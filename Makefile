@@ -1,0 +1,23 @@
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f; done
+
+experiments:
+	python -m repro experiments
+
+experiments-full:
+	python -m repro experiments --full
+
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+.PHONY: install test bench examples experiments experiments-full outputs

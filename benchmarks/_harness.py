@@ -1,0 +1,40 @@
+"""Shared harness for the experiment benchmarks.
+
+Each ``bench_eXX_*.py`` file wraps one experiment from
+:mod:`repro.experiments` in pytest-benchmark, asserts the experiment's
+shape checks (the DESIGN.md "expected shape" column), and writes the
+rendered result tables to ``benchmarks/results/eXX.txt`` so EXPERIMENTS.md
+rows can be pasted from a run.
+
+Benchmarks run each experiment once per round (``pedantic``): the
+experiments are deterministic whole-system runs, not microbenchmarks,
+so statistical repetition buys nothing but wall-clock.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.registry import ExperimentResult, get_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_and_record(
+    experiment_id: str,
+    benchmark,
+    seed: int = 0,
+    fast: bool = True,
+    rounds: int = 3,
+) -> ExperimentResult:
+    """Benchmark one experiment, persist its tables, assert its shape."""
+    runner = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        runner, kwargs={"seed": seed, "fast": fast}, rounds=rounds, iterations=1
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
+    out_path.write_text(result.render() + "\n", encoding="utf-8")
+    failing = {name for name, ok in result.checks.items() if not ok}
+    assert not failing, f"{experiment_id} shape checks failed: {failing}"
+    return result

@@ -1,0 +1,11 @@
+"""Benchmark for experiment E1: regenerates its result table(s).
+
+See the E1 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e01.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e01_method_adoption(benchmark):
+    run_and_record("E1", benchmark)

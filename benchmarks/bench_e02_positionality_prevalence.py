@@ -1,0 +1,11 @@
+"""Benchmark for experiment E2: regenerates its result table(s).
+
+See the E2 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e02.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e02_positionality_prevalence(benchmark):
+    run_and_record("E2", benchmark)

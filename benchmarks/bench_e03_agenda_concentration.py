@@ -1,0 +1,11 @@
+"""Benchmark for experiment E3: regenerates its result table(s).
+
+See the E3 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e03.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e03_agenda_concentration(benchmark):
+    run_and_record("E3", benchmark)

@@ -1,0 +1,11 @@
+"""Benchmark for experiment E4: regenerates its result table(s).
+
+See the E4 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e04.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e04_coding_reliability(benchmark):
+    run_and_record("E4", benchmark)

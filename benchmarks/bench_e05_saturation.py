@@ -1,0 +1,11 @@
+"""Benchmark for experiment E5: regenerates its result table(s).
+
+See the E5 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e05.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e05_saturation(benchmark):
+    run_and_record("E5", benchmark)

@@ -1,0 +1,11 @@
+"""Benchmark for experiment E6: regenerates its result table(s).
+
+See the E6 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e06.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e06_telmex_evasion(benchmark):
+    run_and_record("E6", benchmark)

@@ -1,0 +1,11 @@
+"""Benchmark for experiment E7: regenerates its result table(s).
+
+See the E7 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e07.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e07_ixp_gravity(benchmark):
+    run_and_record("E7", benchmark)

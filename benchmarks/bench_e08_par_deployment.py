@@ -1,0 +1,11 @@
+"""Benchmark for experiment E8: regenerates its result table(s).
+
+See the E8 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e08.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e08_par_deployment(benchmark):
+    run_and_record("E8", benchmark)

@@ -1,0 +1,11 @@
+"""Benchmark for experiment E9: regenerates its result table(s).
+
+See the E9 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e09.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e09_cpr_congestion(benchmark):
+    run_and_record("E9", benchmark)

@@ -1,0 +1,11 @@
+"""Benchmark for experiment E10: regenerates its result table(s).
+
+See the E10 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e10.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e10_reachability_bias(benchmark):
+    run_and_record("E10", benchmark)

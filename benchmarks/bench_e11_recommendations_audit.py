@@ -1,0 +1,11 @@
+"""Benchmark for experiment E11: regenerates its result table(s).
+
+See the E11 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e11.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e11_recommendations_audit(benchmark):
+    run_and_record("E11", benchmark)

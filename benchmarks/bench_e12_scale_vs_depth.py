@@ -1,0 +1,11 @@
+"""Benchmark for experiment E12: regenerates its result table(s).
+
+See the E12 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e12.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e12_scale_vs_depth(benchmark):
+    run_and_record("E12", benchmark)

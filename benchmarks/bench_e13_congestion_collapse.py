@@ -1,0 +1,11 @@
+"""Benchmark for experiment E13: regenerates its result table(s).
+
+See the E13 module in repro.experiments for the paper claim and the
+expected shape; rendered tables land in benchmarks/results/e13.txt.
+"""
+
+from _harness import run_and_record
+
+
+def test_e13_congestion_collapse(benchmark):
+    run_and_record("E13", benchmark)

@@ -1,0 +1,102 @@
+"""Micro-benchmarks for the library's hot primitives.
+
+The experiment benchmarks (bench_e01..e12) time whole studies; these
+time the individual kernels they are built from, so a performance
+regression can be localized.
+"""
+
+import random
+
+from repro.bibliometrics.methods_detect import detect_methods
+from repro.netsim.bgp.asys import AS, ASGraph
+from repro.netsim.bgp.routing import propagate_routes
+from repro.netsim.community.congestion import CprAllocator, allocate_maxmin
+from repro.qualcoding.agreement import cohens_kappa, krippendorff_alpha
+from repro.textmine.tfidf import TfidfVectorizer
+
+_RNG = random.Random(0)
+
+_ABSTRACT = (
+    "This paper studies peering policies and the practices surrounding "
+    "them. We conducted semi-structured interviews with 24 operators and "
+    "complement the findings with a measurement study spanning 12 months "
+    "of packet traces collected from 9 vantage points. A testbed "
+    "deployment validates the design. "
+) * 4
+
+_DOCS = [
+    " ".join(
+        _RNG.choice(
+            ("mesh", "community", "network", "peering", "transit", "ixp",
+             "backhaul", "datacenter", "latency", "operator")
+        )
+        for _ in range(120)
+    )
+    for _ in range(200)
+]
+
+_LABELS_A = [_RNG.choice("abc") for _ in range(5000)]
+_LABELS_B = [
+    label if _RNG.random() > 0.15 else _RNG.choice("abc")
+    for label in _LABELS_A
+]
+
+
+def _transit_hierarchy(n_stubs=120):
+    graph = ASGraph()
+    graph.add_as(AS(1))
+    graph.add_as(AS(2))
+    graph.add_as(AS(3))
+    graph.add_peering(1, 2)
+    graph.add_customer(provider=1, customer=3)
+    for i in range(n_stubs):
+        asn = 100 + i
+        graph.add_as(AS(asn))
+        graph.add_customer(provider=(1, 2, 3)[i % 3], customer=asn)
+    return graph
+
+
+def test_method_detection_speed(benchmark):
+    mentions = benchmark(detect_methods, _ABSTRACT)
+    assert mentions
+
+
+def test_tfidf_fit_transform_speed(benchmark):
+    matrix = benchmark(lambda: TfidfVectorizer().fit_transform(_DOCS))
+    assert matrix.shape[0] == len(_DOCS)
+
+
+def test_cohens_kappa_speed(benchmark):
+    kappa = benchmark(cohens_kappa, _LABELS_A, _LABELS_B)
+    assert 0.5 < kappa <= 1.0
+
+
+def test_krippendorff_alpha_speed(benchmark):
+    rows = list(zip(_LABELS_A, _LABELS_B))
+    alpha = benchmark(krippendorff_alpha, rows)
+    assert 0.5 < alpha <= 1.0
+
+
+def test_route_propagation_speed(benchmark):
+    graph = _transit_hierarchy()
+    table = benchmark(propagate_routes, graph)
+    assert table.full_path(100, 101) is not None
+
+
+def test_maxmin_allocation_speed(benchmark):
+    demands = [_RNG.uniform(0.1, 10.0) for _ in range(200)]
+    result = benchmark(allocate_maxmin, demands, 300.0)
+    assert result.utilization > 0
+
+
+def test_cpr_allocation_speed(benchmark):
+    demands = [_RNG.uniform(0.1, 10.0) for _ in range(200)]
+
+    def run():
+        allocator = CprAllocator()
+        for _ in range(10):
+            allocator.allocate(demands, 300.0)
+        return allocator
+
+    allocator = benchmark(run)
+    assert allocator is not None

@@ -1,0 +1,118 @@
+"""Community-network operation: participatory vs top-down (Section 4).
+
+Part 1 simulates 24 months of a 60-household mesh under the fully
+participatory operating mode (community siting + local maintenance +
+feedback iteration) and under top-down operation, then ablates each
+ingredient.  Part 2 zooms into congestion management, comparing
+common-pool-resource allocation against FIFO, static caps, and max-min.
+
+Run:  python examples/community_network_par.py
+"""
+
+from repro.io.tables import Table
+from repro.netsim.community import (
+    fee_sweep,
+    run_congestion_study,
+    run_deployment_study,
+)
+
+
+def deployment() -> None:
+    print("=" * 72)
+    print("Part 1: 24 months of operation, PAR vs top-down (5-seed average)")
+    print("=" * 72)
+    results = run_deployment_study(n_seeds=5, months=24, ablations=True)
+    table = Table(
+        ["policy", "coverage", "repair days", "retention", "members",
+         "volunteers"],
+        title="Deployment outcomes",
+    )
+    for policy, record in results.items():
+        table.add_row(
+            [
+                policy,
+                record["mean_coverage"],
+                record["median_repair_days"],
+                record["retention"],
+                record["final_members"],
+                record["final_volunteers"],
+            ]
+        )
+    print(table.render())
+    par = results["par"]
+    top = results["top_down"]
+    print(
+        f"\nReading: the participatory operation repairs "
+        f"{top['median_repair_days'] / par['median_repair_days']:.1f}x "
+        "faster (locals notice outages and live near the towers), retains "
+        "more members, and ends with a volunteer base instead of a ticket "
+        "queue. No single ingredient alone reproduces the effect — "
+        "engagement is what keeps the volunteer pool alive."
+    )
+
+
+def congestion() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2: shared backhaul as a common-pool resource")
+    print("=" * 72)
+    results = run_congestion_study(n_members=24, n_rounds=300, seed=0)
+    table = Table(
+        ["policy", "Jain fairness", "satisfaction", "utilization",
+         "starved rounds"],
+        title="Allocator comparison under overload (20% persistent heavy users)",
+    )
+    for policy, record in results.items():
+        table.add_row(
+            [
+                policy,
+                record["mean_jain"],
+                record["mean_satisfaction"],
+                record["mean_utilization"],
+                record["starved_rounds_share"],
+            ]
+        )
+    print(table.render())
+    print(
+        "\nReading: FIFO starves someone in most overloaded rounds; static "
+        "caps waste headroom; community CPR rules (graduated sanctions + "
+        "behaviour change) keep fairness near max-min while actually "
+        "reducing offered overload."
+    )
+
+
+def economics() -> None:
+    print()
+    print("=" * 72)
+    print("Part 3: the affordability vise — fee policy and sustainability")
+    print("=" * 72)
+    table = Table(
+        ["policy", "fee", "solvent", "months", "final members"],
+        title="36-month cash-flow simulation",
+    )
+    for income_scaled in (False, True):
+        label = "income-scaled" if income_scaled else "flat"
+        for record in fee_sweep(income_scaled=income_scaled, seed=1):
+            table.add_row(
+                [
+                    label,
+                    record["fee"],
+                    record["solvent"],
+                    record["months_survived"],
+                    record["final_members"],
+                ]
+            )
+    print(table.render())
+    print(
+        "\nReading: both fee policies show the inverted-U (too cheap "
+        "bleeds the reserve, too expensive bleeds the membership), but "
+        "inside the window the income-scaled cooperative fee keeps every "
+        "household connected — the cross-subsidy removes affordability "
+        "churn instead of balancing it."
+    )
+
+
+if __name__ == "__main__":
+    deployment()
+    congestion()
+    economics()

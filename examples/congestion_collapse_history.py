@@ -1,0 +1,91 @@
+"""The Section-2 historical exhibit: congestion collapse, run live.
+
+The paper grounds its Action-Research argument in networking's own
+history: congestion control "deployed first into the Internet",
+iterated with operators — and "we know what would have happened without
+these use-focused 'action' methods".  This example runs the
+counterfactual: open-loop fixed-window senders (static timeout, no
+adaptation — the pre-Tahoe design) against Tahoe and Reno on a shared
+drop-tail bottleneck, sweeping offered load.
+
+Run:  python examples/congestion_collapse_history.py
+"""
+
+from repro.io.tables import Table
+from repro.netsim.bgp.resilience import criticality_ranking
+from repro.netsim.bgp.scenarios import (
+    INCUMBENT_ASN,
+    build_mandatory_peering_scenario,
+)
+from repro.netsim.bgp.ixp import connect_ixp_members
+from repro.netsim.transport import run_collapse_study
+
+
+def collapse() -> None:
+    print("=" * 72)
+    print("Part 1: goodput vs offered load — the 1986-88 counterfactual")
+    print("=" * 72)
+    results = run_collapse_study(ticks=600)
+    table = Table(
+        ["protocol", "load", "goodput", "duplicates", "loss", "queue delay"],
+        title="8 flows on a drop-tail bottleneck",
+    )
+    for record in results:
+        table.add_row(
+            [
+                record.protocol,
+                record.offered_load,
+                record.goodput,
+                record.duplicate_share,
+                record.loss_rate,
+                record.mean_queue_delay,
+            ]
+        )
+    print(table.render())
+    fixed_overload = [
+        r for r in results if r.protocol == "fixed" and r.offered_load > 1.0
+    ]
+    print(
+        "\nReading: the moment load exceeds capacity, the open-loop "
+        "sender's static timeout fires while packets still sit in the "
+        f"queue; ~{fixed_overload[0].duplicate_share:.0%} of everything "
+        "delivered is a duplicate and goodput halves. Tahoe's "
+        "deployment-bred fixes (adaptive RTO + AIMD) hold the plateau; "
+        "Reno's fast recovery closes the remaining gap. The fix was not "
+        "derived in the abstract — it was iterated in production, which "
+        "is the paper's point."
+    )
+
+
+def criticality() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2: what one actor's failure costs (resilience ranking)")
+    print("=" * 72)
+    scenario = build_mandatory_peering_scenario(n_small_isps=24, seed=0)
+    connect_ixp_members(scenario.graph, scenario.ixp)
+    ranking = criticality_ranking(
+        scenario.graph, scenario.demands, scenario.country,
+        candidate_asns=[INCUMBENT_ASN, 2],
+        candidate_ixps=[scenario.ixp],
+    )
+    table = Table(
+        ["element", "delivered drop", "local-share drop"],
+        title="Single-failure damage to domestic traffic",
+    )
+    for record in ranking:
+        table.add_row(
+            [record["element"], record["delivered_drop"], record["local_drop"]]
+        )
+    print(table.render())
+    print(
+        "\nReading: the incumbent's failure severs most of the country's "
+        "delivered traffic — the infrastructure version of §6.2.1's "
+        "'individuals with enormous influence on the network'. Small-N "
+        "engagement with exactly these actors covers most of the system."
+    )
+
+
+if __name__ == "__main__":
+    collapse()
+    criticality()

@@ -1,0 +1,102 @@
+"""Reachability bias: whose problems enter the pipeline? (Section 1)
+
+Builds a stakeholder population whose strata differ in how reachable
+they are (hyperscaler engineers answer email; rural users of community
+networks mostly do not), runs three recruitment strategies, fields a
+survey instrument to each sample, and reports which problem classes each
+strategy can even see.
+
+Run:  python examples/reachability_survey.py
+"""
+
+from repro.io.tables import Table
+from repro.surveys import (
+    Instrument,
+    PROBLEM_CATALOG,
+    Question,
+    chain_referral_sample,
+    convenience_sample,
+    coverage_report,
+    cronbach_alpha,
+    default_population,
+    quota_sample,
+    simulate_responses,
+)
+
+
+def main() -> None:
+    population = default_population(size=1500, seed=0)
+    print(
+        f"Population: {len(population)} stakeholders across "
+        f"{len(population.strata())} reachability strata, "
+        f"{len(population.problems_present())} distinct problems present.\n"
+    )
+
+    samples = {
+        "convenience": convenience_sample(population, 150, seed=1),
+        "quota": quota_sample(population, per_stratum=18, seed=1),
+        "chain-referral": chain_referral_sample(population, 150, seed=1),
+    }
+
+    table = Table(
+        ["scheme", "recruits", "attempts", "problem coverage",
+         "low-reach coverage"],
+        title="What each recruitment strategy can see",
+    )
+    for scheme, report in samples.items():
+        coverage = coverage_report(population, report)
+        table.add_row(
+            [
+                scheme,
+                report.n_sampled,
+                report.attempts,
+                coverage["problem_coverage"],
+                coverage["low_reach_problem_coverage"],
+            ]
+        )
+    print(table.render())
+
+    convenience_coverage = coverage_report(population, samples["convenience"])
+    missed = convenience_coverage["missed_problems"]
+    if missed:
+        print("\nProblems invisible to the convenience sample:")
+        for problem_id in missed:
+            print(f"  - {PROBLEM_CATALOG[problem_id]['description']}")
+
+    # Field an instrument to the chain-referral sample and check the
+    # problem scale's internal consistency.
+    instrument = Instrument("problem-severity")
+    scale_items = []
+    for problem_id in ("backhaul-cost", "power-instability", "affordability"):
+        qid = f"problem:{problem_id}"
+        instrument.add(Question(qid, f"'{problem_id}' affects my network"))
+        scale_items.append(qid)
+    recruits = [
+        population.get(sid) for sid in samples["chain-referral"].sampled_ids
+    ]
+    responses = simulate_responses(recruits, instrument, seed=2)
+    alpha = cronbach_alpha(responses, scale_items)
+    if alpha >= 0.7:
+        verdict = "the items cohere into one underlying burden"
+    elif alpha >= 0.4:
+        verdict = (
+            "the items partially cohere — these burdens overlap across "
+            "strata but are not a single construct"
+        )
+    else:
+        verdict = "the items measure distinct burdens"
+    print(
+        f"\nFielded {len(responses)} responses; Cronbach's alpha of the "
+        f"precarity scale: {alpha:.2f} ({verdict})."
+    )
+    print(
+        "\nReading: recruitment through existing reachable channels "
+        "reproduces the paper's Section-1 claim — whole problem classes "
+        "are 'rendered invisible, because the people experiencing them "
+        "are not in the room'. Partnership-based chain referral gets "
+        "them in the room at a comparable contact budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

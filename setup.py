@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has no `wheel` package, so the
+PEP 517 editable path (which needs bdist_wheel) fails; `setup.py develop`
+does not.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro: a human-centered networking research toolkit.
+
+A full-scope reproduction of "Unveiling and Engaging with the Humans of
+Networking Research" (HotNets '25).  The paper is a position paper —
+it ships arguments, not artifacts — so this library operationalizes
+those arguments (see DESIGN.md for the substitution map):
+
+- :mod:`repro.core` -- PAR engagement ledgers, ethnographic fieldwork,
+  positionality statements, and the Section-5 recommendations audit.
+- :mod:`repro.qualcoding` -- qualitative coding with inter-rater
+  reliability, co-occurrence, saturation, and theme extraction.
+- :mod:`repro.textmine` -- from-scratch text mining substrate.
+- :mod:`repro.bibliometrics` -- corpus model, synthetic corpus
+  generator, method-mention detection, concentration metrics.
+- :mod:`repro.surveys` -- instruments, synthetic respondents, and
+  reachability-biased sampling.
+- :mod:`repro.netsim` -- the BGP/IXP interconnection simulator (Telmex
+  and Brazil/DE-CIX case studies) and the community mesh simulator
+  (Seattle Community Network material).
+- :mod:`repro.ethics` -- consent, anonymization, power dynamics, IRB
+  checklists.
+- :mod:`repro.experiments` -- the E1-E12 experiment suite EXPERIMENTS.md
+  reports on.
+
+Quickstart: see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,147 @@
+"""Community demographics: who is in the room, over time.
+
+Section 1's diagnosis is demographic: "Existing agendas tend to reflect
+the views of those who are most easily reachable — researchers with the
+right affiliations, invitations, and implicit credibility."  This
+module measures a venue's room:
+
+- :func:`newcomer_share` -- fraction of each year's author slots held
+  by first-time authors at that venue (an open room admits newcomers).
+- :func:`author_retention` -- fraction of one year's authors who
+  publish at the venue again within ``horizon`` years.
+- :func:`sector_mix` / :func:`region_mix` -- composition of author
+  slots by sector/region, with a concentration Gini.
+- :func:`gatekeeping_index` -- share of a venue's papers with at least
+  one author from its top-decile most-published authors: high values
+  mean the same names are on most of the papers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bibliometrics.corpus import Corpus
+from repro.bibliometrics.metrics import gini
+
+
+def newcomer_share(corpus: Corpus, venue_id: str) -> dict[int, float]:
+    """Per-year share of author slots held by venue first-timers.
+
+    The first year of the corpus is skipped (everyone is a newcomer to
+    an empty history, which says nothing).
+    """
+    seen: set[str] = set()
+    shares: dict[int, float] = {}
+    years = corpus.years()
+    for year in years:
+        papers = corpus.papers(venue_id=venue_id, year=year)
+        slots = 0
+        new = 0
+        year_authors: set[str] = set()
+        for paper in papers:
+            for author_id in paper.author_ids:
+                slots += 1
+                if author_id not in seen:
+                    new += 1
+                year_authors.add(author_id)
+        if year != years[0] and slots:
+            shares[year] = new / slots
+        seen |= year_authors
+    return shares
+
+
+def author_retention(
+    corpus: Corpus, venue_id: str, year: int, horizon: int = 3
+) -> float:
+    """Fraction of ``year``'s authors publishing at the venue again
+    within ``horizon`` years.
+
+    Returns 0.0 when the year has no papers at the venue.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    cohort: set[str] = set()
+    for paper in corpus.papers(venue_id=venue_id, year=year):
+        cohort.update(paper.author_ids)
+    if not cohort:
+        return 0.0
+    returned: set[str] = set()
+    for later in range(year + 1, year + horizon + 1):
+        for paper in corpus.papers(venue_id=venue_id, year=later):
+            returned.update(set(paper.author_ids) & cohort)
+    return len(returned) / len(cohort)
+
+
+def _slot_mix(corpus: Corpus, venue_id: str | None, attribute: str) -> dict:
+    counts: Counter = Counter()
+    for paper in corpus.papers(venue_id=venue_id):
+        for author_id in paper.author_ids:
+            counts[getattr(corpus.author(author_id), attribute)] += 1
+    total = sum(counts.values())
+    shares = {
+        key: count / total for key, count in sorted(counts.items())
+    } if total else {}
+    return {
+        "shares": shares,
+        "gini": gini(list(counts.values())) if counts else 0.0,
+        "n_slots": total,
+    }
+
+
+def sector_mix(corpus: Corpus, venue_id: str | None = None) -> dict:
+    """Author-slot shares by sector, plus a concentration Gini."""
+    return _slot_mix(corpus, venue_id, "sector")
+
+
+def region_mix(corpus: Corpus, venue_id: str | None = None) -> dict:
+    """Author-slot shares by region, plus a concentration Gini."""
+    return _slot_mix(corpus, venue_id, "region")
+
+
+def gatekeeping_index(corpus: Corpus, venue_id: str) -> float:
+    """Share of the venue's papers carrying a top-decile frequent author.
+
+    The top decile is computed over the venue's own author publication
+    counts (minimum one author).  1.0 means every paper has an
+    established name on it — a closed room; low values mean entry
+    without sponsorship is normal.
+    """
+    papers = corpus.papers(venue_id=venue_id)
+    if not papers:
+        return 0.0
+    counts: Counter = Counter()
+    for paper in papers:
+        counts.update(paper.author_ids)
+    ranked = [author for author, _ in counts.most_common()]
+    top_n = max(1, len(ranked) // 10)
+    top = set(ranked[:top_n])
+    with_top = sum(
+        1 for paper in papers if any(a in top for a in paper.author_ids)
+    )
+    return with_top / len(papers)
+
+
+def room_report(corpus: Corpus, venue_id: str) -> dict:
+    """All demographics for one venue in one dict.
+
+    Keys: ``mean_newcomer_share``, ``sector_gini``, ``region_gini``,
+    ``hyperscaler_slot_share``, ``global_south_slot_share`` (latin-
+    america + africa regions), ``gatekeeping_index``.
+    """
+    newcomers = newcomer_share(corpus, venue_id)
+    sectors = sector_mix(corpus, venue_id)
+    regions = region_mix(corpus, venue_id)
+    south = (
+        regions["shares"].get("latin-america", 0.0)
+        + regions["shares"].get("africa", 0.0)
+    )
+    return {
+        "mean_newcomer_share": (
+            sum(newcomers.values()) / len(newcomers) if newcomers else 0.0
+        ),
+        "sector_gini": sectors["gini"],
+        "region_gini": regions["gini"],
+        "hyperscaler_slot_share": sectors["shares"].get("hyperscaler", 0.0),
+        "global_south_slot_share": south,
+        "gatekeeping_index": gatekeeping_index(corpus, venue_id),
+    }

@@ -1,0 +1,214 @@
+"""Method-mention detection in paper text.
+
+Detects which research methods a paper reports using, via a curated
+phrase lexicon per method family.  The families cover the three methods
+the paper foregrounds (participatory action research, ethnography,
+positionality) plus the wider human-methods canon it references
+(interviews, surveys, focus groups, diaries, case studies) and the
+quantitative baseline families networking papers usually report
+(measurement, simulation, testbed).
+
+Detection is lexicon-based on purpose: it is transparent, auditable, and
+reproducible — the same properties Section 5 asks of qualitative
+practice itself.  Every hit carries its matched phrase and character
+offset so a human can audit the classification with a KWIC view.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.bibliometrics.corpus import Paper
+
+# Family -> phrases.  Phrases are matched case-insensitively on word
+# boundaries; "*" at the end of a token marks a stem wildcard.
+METHOD_FAMILIES: dict[str, tuple[str, ...]] = {
+    "participatory": (
+        "participatory action research",
+        "action research",
+        "participatory design",
+        "co-design",
+        "community-based participatory",
+        "participatory method*",
+        "community partner*",
+        "codesign",
+    ),
+    "ethnography": (
+        "ethnograph*",
+        "participant observation",
+        "fieldwork",
+        "field notes",
+        "fieldnotes",
+        "patchwork ethnography",
+        "rapid ethnography",
+        "autoethnograph*",
+    ),
+    "positionality": (
+        "positionality",
+        "reflexivity",
+        "situated knowledge*",
+        "standpoint",
+        "we situate ourselves",
+        "our own perspectives as researchers",
+    ),
+    "interviews": (
+        "semi-structured interview*",
+        "in-depth interview*",
+        "we interviewed",
+        "interview study",
+        "interviews with",
+        "interviewee*",
+    ),
+    "surveys": (
+        "survey of",
+        "we surveyed",
+        "questionnaire*",
+        "survey respondent*",
+        "likert",
+        "survey instrument",
+    ),
+    "focus_groups": (
+        "focus group*",
+    ),
+    "diaries": (
+        "diary stud*",
+        "user diaries",
+        "diary entries",
+        "technology probe*",
+    ),
+    "case_study": (
+        "case study",
+        "case studies",
+    ),
+    "measurement": (
+        "we measure*",
+        "measurement study",
+        "vantage point*",
+        "packet trace*",
+        "traceroute*",
+        "bgp table*",
+        "passive measurement*",
+        "active measurement*",
+        "telemetry",
+    ),
+    "simulation": (
+        "we simulate*",
+        "simulation stud*",
+        "simulator",
+        "ns-3",
+        "discrete-event simulation",
+        "emulation",
+    ),
+    "testbed": (
+        "testbed",
+        "we deploy*",
+        "deployment experience*",
+        "production deployment",
+        "pilot deployment",
+    ),
+}
+
+# Families that count as "human-centered methods" for the paper's claims.
+HUMAN_METHOD_FAMILIES: frozenset[str] = frozenset(
+    {
+        "participatory",
+        "ethnography",
+        "positionality",
+        "interviews",
+        "surveys",
+        "focus_groups",
+        "diaries",
+    }
+)
+
+
+def _phrase_pattern(phrase: str) -> str:
+    """Compile one lexicon phrase to a regex fragment.
+
+    Tokens ending in "*" become stem matches; whitespace matches any
+    whitespace run; everything is bounded at word edges.
+    """
+    parts = []
+    for token in phrase.split():
+        if token.endswith("*"):
+            parts.append(re.escape(token[:-1]) + r"\w*")
+        else:
+            parts.append(re.escape(token))
+    return r"\b" + r"\s+".join(parts) + r"\b"
+
+
+_FAMILY_PATTERNS: dict[str, re.Pattern] = {
+    family: re.compile(
+        "|".join(_phrase_pattern(p) for p in phrases), re.IGNORECASE
+    )
+    for family, phrases in METHOD_FAMILIES.items()
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MethodMention:
+    """One detected method mention.
+
+    Attributes:
+        family: Method family key (see :data:`METHOD_FAMILIES`).
+        phrase: The matched surface text.
+        start: Character offset in the scanned text.
+    """
+
+    family: str
+    phrase: str
+    start: int
+
+    @property
+    def is_human_method(self) -> bool:
+        """True for the human-centered families."""
+        return self.family in HUMAN_METHOD_FAMILIES
+
+
+def detect_methods(text: str, families: tuple[str, ...] | None = None) -> list[MethodMention]:
+    """Scan ``text`` for method mentions.
+
+    Args:
+        text: Any paper text (title+abstract+body).
+        families: Restrict to these families (default: all).
+
+    Returns:
+        Mentions sorted by offset, then family.
+    """
+    selected = families if families is not None else tuple(METHOD_FAMILIES)
+    unknown = [f for f in selected if f not in _FAMILY_PATTERNS]
+    if unknown:
+        raise KeyError(f"unknown method families: {unknown}")
+    mentions: list[MethodMention] = []
+    for family in selected:
+        for match in _FAMILY_PATTERNS[family].finditer(text):
+            mentions.append(MethodMention(family, match.group(), match.start()))
+    mentions.sort(key=lambda m: (m.start, m.family))
+    return mentions
+
+
+def classify_paper(paper: Paper) -> dict[str, int]:
+    """Count method mentions per family in a paper's full text.
+
+    Families with zero hits are omitted.
+    """
+    counts: dict[str, int] = {}
+    for mention in detect_methods(paper.full_text):
+        counts[mention.family] = counts.get(mention.family, 0) + 1
+    return counts
+
+
+def uses_human_methods(paper: Paper, min_mentions: int = 1) -> bool:
+    """True when the paper mentions any human-centered family.
+
+    Args:
+        paper: The paper to classify.
+        min_mentions: Total human-family mentions required (a single
+            passing reference can be noise; raise this for precision).
+    """
+    counts = classify_paper(paper)
+    human_total = sum(
+        count for family, count in counts.items() if family in HUMAN_METHOD_FAMILIES
+    )
+    return human_total >= min_mentions

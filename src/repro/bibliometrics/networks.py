@@ -1,0 +1,109 @@
+"""Collaboration and citation networks.
+
+Coauthorship and citation graphs over a :class:`~repro.bibliometrics.corpus.Corpus`,
+plus summary statistics used by E3/E12 (who collaborates with whom across
+sectors and regions — the paper's "who is in the room" question made
+measurable).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from repro.bibliometrics.corpus import Corpus
+
+
+def coauthorship_graph(
+    corpus: Corpus,
+    venue_id: str | None = None,
+    years: tuple[int, int] | None = None,
+) -> nx.Graph:
+    """Undirected coauthorship graph.
+
+    Nodes are author ids with ``sector``/``region`` attributes; edge
+    weights count co-authored papers.
+
+    Args:
+        corpus: The corpus.
+        venue_id: Restrict to one venue.
+        years: Inclusive ``(start, end)`` year window.
+    """
+    graph = nx.Graph()
+    for paper in corpus.papers(venue_id=venue_id):
+        if years is not None and not (years[0] <= paper.year <= years[1]):
+            continue
+        for author_id in paper.author_ids:
+            if not graph.has_node(author_id):
+                author = corpus.author(author_id)
+                graph.add_node(
+                    author_id, sector=author.sector, region=author.region
+                )
+        for a, b in combinations(sorted(paper.author_ids), 2):
+            if graph.has_edge(a, b):
+                graph[a][b]["weight"] += 1
+            else:
+                graph.add_edge(a, b, weight=1)
+    return graph
+
+
+def citation_graph(corpus: Corpus) -> nx.DiGraph:
+    """Directed citation graph (edge u -> v means u cites v).
+
+    Only within-corpus references are present by construction; dangling
+    references (to unknown ids) are dropped.
+    """
+    graph = nx.DiGraph()
+    known = {p.paper_id for p in corpus}
+    for paper in corpus:
+        graph.add_node(
+            paper.paper_id,
+            venue=paper.venue_id,
+            year=paper.year,
+            topic=paper.topic,
+        )
+    for paper in corpus:
+        for ref in paper.references:
+            if ref in known:
+                graph.add_edge(paper.paper_id, ref)
+    return graph
+
+
+def collaboration_stats(graph: nx.Graph) -> dict:
+    """Summary statistics of a coauthorship graph.
+
+    Returns:
+        Dict with ``n_authors``, ``n_edges``, ``mean_degree``,
+        ``largest_component_share``, ``cross_sector_edge_share`` (fraction
+        of edges joining different sectors), and
+        ``cross_region_edge_share``.
+    """
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    if n == 0:
+        return {
+            "n_authors": 0,
+            "n_edges": 0,
+            "mean_degree": 0.0,
+            "largest_component_share": 0.0,
+            "cross_sector_edge_share": 0.0,
+            "cross_region_edge_share": 0.0,
+        }
+    components = list(nx.connected_components(graph))
+    largest = max((len(c) for c in components), default=0)
+    cross_sector = 0
+    cross_region = 0
+    for a, b in graph.edges():
+        if graph.nodes[a].get("sector") != graph.nodes[b].get("sector"):
+            cross_sector += 1
+        if graph.nodes[a].get("region") != graph.nodes[b].get("region"):
+            cross_region += 1
+    return {
+        "n_authors": n,
+        "n_edges": m,
+        "mean_degree": 2.0 * m / n,
+        "largest_component_share": largest / n,
+        "cross_sector_edge_share": cross_sector / m if m else 0.0,
+        "cross_region_edge_share": cross_region / m if m else 0.0,
+    }

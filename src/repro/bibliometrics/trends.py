@@ -1,0 +1,97 @@
+"""Method-adoption time series.
+
+Turns the detector output into the per-venue, per-year adoption series
+that experiment E1 reports: what share of each venue's papers mention
+human-centered methods, and how that share moves over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bibliometrics.corpus import Corpus
+from repro.bibliometrics.methods_detect import uses_human_methods
+
+
+@dataclass(frozen=True, slots=True)
+class AdoptionPoint:
+    """One (venue, year) observation.
+
+    Attributes:
+        venue_id: Venue id.
+        year: Year.
+        n_papers: Papers published that year at that venue.
+        n_human: Papers among them detected as using human methods.
+    """
+
+    venue_id: str
+    year: int
+    n_papers: int
+    n_human: int
+
+    @property
+    def share(self) -> float:
+        """Human-method share (0.0 for an empty year)."""
+        return self.n_human / self.n_papers if self.n_papers else 0.0
+
+
+def adoption_series(
+    corpus: Corpus,
+    venue_id: str,
+    min_mentions: int = 1,
+) -> list[AdoptionPoint]:
+    """Yearly human-method adoption for one venue, ascending years."""
+    points = []
+    for year in corpus.years():
+        papers = corpus.papers(venue_id=venue_id, year=year)
+        if not papers:
+            continue
+        n_human = sum(
+            1 for p in papers if uses_human_methods(p, min_mentions=min_mentions)
+        )
+        points.append(AdoptionPoint(venue_id, year, len(papers), n_human))
+    return points
+
+
+def venue_adoption_table(
+    corpus: Corpus,
+    min_mentions: int = 1,
+) -> list[dict]:
+    """Per-venue adoption summary across the whole corpus.
+
+    Returns:
+        One record per venue with ``venue_id``, ``kind``, ``n_papers``,
+        ``human_share`` (overall), ``early_share`` and ``late_share``
+        (first and last third of the year range), sorted by descending
+        ``human_share``.
+    """
+    years = corpus.years()
+    if not years:
+        return []
+    span = years[-1] - years[0] + 1
+    early_cutoff = years[0] + span // 3
+    late_cutoff = years[-1] - span // 3
+    records = []
+    for venue in corpus.venues():
+        papers = corpus.papers(venue_id=venue.venue_id)
+        if not papers:
+            continue
+        flags = [
+            (p.year, uses_human_methods(p, min_mentions=min_mentions))
+            for p in papers
+        ]
+        total_human = sum(1 for _, flag in flags if flag)
+        early = [flag for year, flag in flags if year < early_cutoff]
+        late = [flag for year, flag in flags if year > late_cutoff]
+        records.append(
+            {
+                "venue_id": venue.venue_id,
+                "kind": venue.kind,
+                "n_papers": len(papers),
+                "human_share": total_human / len(papers),
+                "early_share": (sum(early) / len(early)) if early else 0.0,
+                "late_share": (sum(late) / len(late)) if late else 0.0,
+            }
+        )
+    records.sort(key=lambda r: (-r["human_share"], r["venue_id"]))
+    return records

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows a downstream user reaches for
+first:
+
+- ``experiments``: list the E1-E12 suite or run selected experiments
+  and print their result tables.
+- ``corpus``: generate the synthetic venue corpus to JSONL files.
+- ``detect``: run method-mention detection over a text file.
+- ``audit``: evaluate a research-project record (JSON) against the
+  Section-5 recommendations and the default ethics checklist.
+
+Run ``python -m repro --help`` for usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import __version__
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import (
+        all_experiments,
+        describe,
+        get_experiment,
+    )
+
+    if args.list:
+        for experiment_id in all_experiments():
+            title, claim = describe(experiment_id)
+            print(f"{experiment_id:4s} {title}")
+            print(f"     {claim}")
+        return 0
+
+    ids = args.ids or all_experiments()
+    exit_code = 0
+    for experiment_id in ids:
+        result = get_experiment(experiment_id)(seed=args.seed, fast=not args.full)
+        print(result.render())
+        print()
+        if not result.shape_holds:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.bibliometrics.synthgen import (
+        SyntheticCorpusConfig,
+        generate_corpus,
+    )
+    from repro.io.jsonl import write_jsonl
+
+    config = SyntheticCorpusConfig(
+        start_year=args.start_year, end_year=args.end_year, seed=args.seed
+    )
+    corpus, truth = generate_corpus(config)
+    out = Path(args.output)
+    records = corpus.to_records()
+    for name in ("venues", "authors", "papers"):
+        count = write_jsonl(out / f"{name}.jsonl", records[name])
+        print(f"wrote {count} {name} -> {out / (name + '.jsonl')}")
+    truth_records = [
+        {
+            "paper_id": paper_id,
+            "human_methods": list(families),
+            "positionality": paper_id in truth.positionality,
+        }
+        for paper_id, families in sorted(truth.human_methods.items())
+    ]
+    count = write_jsonl(out / "ground_truth.jsonl", truth_records)
+    print(f"wrote {count} ground-truth labels -> {out / 'ground_truth.jsonl'}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.bibliometrics.methods_detect import detect_methods
+
+    text = Path(args.file).read_text(encoding="utf-8")
+    mentions = detect_methods(text)
+    if not mentions:
+        print("no method mentions detected")
+        return 0
+    for mention in mentions:
+        tag = "human" if mention.is_human_method else "quant"
+        print(f"{mention.start:8d}  {tag:5s}  {mention.family:15s}  {mention.phrase}")
+    families = sorted({m.family for m in mentions})
+    print(f"\nfamilies: {', '.join(families)}")
+    return 0
+
+
+def _project_from_json(payload: dict):
+    """Build a ResearchProject from the plain-JSON record format."""
+    from repro.core.par import (
+        EngagementEvent,
+        EngagementKind,
+        EngagementLedger,
+    )
+    from repro.core.positionality import PositionalityStatement
+    from repro.core.project import (
+        ConversationRecord,
+        Partner,
+        ResearchProject,
+    )
+    from repro.core.stages import ResearchStage
+
+    project = ResearchProject(
+        name=payload["name"], description=payload.get("description", "")
+    )
+    for partner in payload.get("partners", []):
+        project.add_partner(Partner(**partner))
+    ledger = EngagementLedger()
+    for event in payload.get("engagements", []):
+        ledger.record(
+            EngagementEvent(
+                month=event["month"],
+                stage=ResearchStage(event["stage"]),
+                partner_id=event["partner_id"],
+                kind=EngagementKind(event["kind"]),
+                description=event.get("description", ""),
+                fed_back_into_design=event.get("fed_back_into_design", False),
+            )
+        )
+    project.ledger = ledger
+    for conversation in payload.get("conversations", []):
+        record = ConversationRecord(
+            conv_id=conversation["conv_id"],
+            partner_id=conversation["partner_id"],
+            month=conversation["month"],
+            summary=conversation.get("summary", ""),
+            how_it_informed=conversation.get("how_it_informed", ""),
+            quotes=tuple(conversation.get("quotes", ())),
+            open_questions=tuple(conversation.get("open_questions", ())),
+        )
+        project.record_conversation(record)
+    for statement in payload.get("positionality", []):
+        project.positionality.append(PositionalityStatement(**statement))
+    project.ethics_plan = payload.get("ethics_plan", {})
+    return project
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.recommendations import audit_project
+    from repro.ethics.irb import default_checklist
+
+    payload = json.loads(Path(args.file).read_text(encoding="utf-8"))
+    project = _project_from_json(payload)
+    audit = audit_project(project)
+    print(f"project: {project.name}")
+    print(f"  partnerships:  {audit.partnerships.score:.2f}")
+    print(f"  conversations: {audit.conversations.score:.2f}")
+    print(f"  positionality: {audit.positionality.score:.2f}")
+    print(f"  overall:       {audit.overall:.2f}")
+    for finding in audit.all_findings():
+        print(f"  finding: {finding}")
+
+    if project.ethics_plan:
+        result = default_checklist().evaluate(project.ethics_plan)
+        status = "APPROVED" if result.approved else "NOT APPROVED"
+        print(f"\nethics checklist: {status}")
+        for item_id in result.failed:
+            print(f"  failed:      {item_id}")
+        for item_id in result.unaddressed:
+            print(f"  unaddressed: {item_id}")
+    else:
+        print("\nethics checklist: no ethics_plan in record (skipped)")
+    return 0 if audit.overall >= args.threshold else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Human-centered networking research toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="list or run the E1-E12 experiment suite"
+    )
+    experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    experiments.add_argument("--list", action="store_true", help="list and exit")
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--full", action="store_true", help="full problem sizes (slower)"
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    corpus = subparsers.add_parser(
+        "corpus", help="generate the synthetic venue corpus to JSONL"
+    )
+    corpus.add_argument("output", help="output directory")
+    corpus.add_argument("--start-year", type=int, default=2000)
+    corpus.add_argument("--end-year", type=int, default=2025)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.set_defaults(func=_cmd_corpus)
+
+    detect = subparsers.add_parser(
+        "detect", help="detect method mentions in a text file"
+    )
+    detect.add_argument("file", help="plain-text file to scan")
+    detect.set_defaults(func=_cmd_detect)
+
+    audit = subparsers.add_parser(
+        "audit", help="audit a research-project JSON record (Section 5)"
+    )
+    audit.add_argument("file", help="project record (JSON)")
+    audit.add_argument(
+        "--threshold", type=float, default=0.0,
+        help="exit non-zero when the overall score is below this",
+    )
+    audit.set_defaults(func=_cmd_audit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped to a consumer (head, less) that closed early.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

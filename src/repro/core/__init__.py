@@ -1,0 +1,98 @@
+"""The paper's primary contribution, operationalized.
+
+The paper argues (Sections 2-5) that three practices — participatory
+action research, ethnographic methods, and positionality — should be
+formalized parts of networking research: "making them visible and
+reproducible to our research community."  This package is that
+formalization:
+
+- :mod:`repro.core.stages` -- the research lifecycle stages engagement
+  is measured against.
+- :mod:`repro.core.par` -- the engagement ledger and participation
+  scoring (who was in the room, at which stage, with how much power).
+- :mod:`repro.core.ethnography` -- fieldwork plans, field notes,
+  patchwork scheduling, and depth metrics.
+- :mod:`repro.core.positionality` -- structured positionality
+  statements: model, renderer, extractor, disclosure scoring.
+- :mod:`repro.core.recommendations` -- the Section-5 audit engine that
+  scores a project against the paper's three recommendations.
+- :mod:`repro.core.project` -- :class:`ResearchProject`, the record
+  type binding all of the above (plus ethics) for one study.
+- :mod:`repro.core.diary` / :mod:`repro.core.focusgroup` -- the "other
+  human-centered methods" of Section 6.1: diary studies triangulated
+  against technology probes, and focus groups with participation-
+  balance diagnostics.
+"""
+
+from repro.core.stages import ResearchStage, STAGE_ORDER
+from repro.core.par import (
+    EngagementKind,
+    PARTICIPATION_LADDER,
+    EngagementEvent,
+    EngagementLedger,
+)
+from repro.core.ethnography import (
+    FieldSite,
+    FieldNote,
+    FieldworkPlan,
+    patchwork_schedule,
+    fieldwork_depth,
+)
+from repro.core.positionality import (
+    PositionalityStatement,
+    disclosure_score,
+    extract_statements,
+    has_positionality_statement,
+    FACETS,
+)
+from repro.core.recommendations import (
+    PracticeScore,
+    RecommendationsAudit,
+    audit_project,
+)
+from repro.core.project import Partner, ConversationRecord, ResearchProject
+from repro.core.diary import (
+    DiaryEntry,
+    DiaryStudy,
+    ProbeLog,
+    simulate_diary_study,
+    triangulate,
+)
+from repro.core.focusgroup import FocusGroup, Turn
+from repro.core.casestudy import CaseStudy, Claim, EvidenceRef, EVIDENCE_KINDS
+
+__all__ = [
+    "ResearchStage",
+    "STAGE_ORDER",
+    "EngagementKind",
+    "PARTICIPATION_LADDER",
+    "EngagementEvent",
+    "EngagementLedger",
+    "FieldSite",
+    "FieldNote",
+    "FieldworkPlan",
+    "patchwork_schedule",
+    "fieldwork_depth",
+    "PositionalityStatement",
+    "disclosure_score",
+    "extract_statements",
+    "has_positionality_statement",
+    "FACETS",
+    "PracticeScore",
+    "RecommendationsAudit",
+    "audit_project",
+    "Partner",
+    "ConversationRecord",
+    "ResearchProject",
+    "DiaryEntry",
+    "DiaryStudy",
+    "ProbeLog",
+    "simulate_diary_study",
+    "triangulate",
+    "FocusGroup",
+    "Turn",
+    "CaseStudy",
+    "Claim",
+    "EvidenceRef",
+    "EVIDENCE_KINDS",
+]

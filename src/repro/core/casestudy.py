@@ -1,0 +1,162 @@
+"""Case studies: claims, evidence chains, triangulation.
+
+The last of Section 6.1's "other human-centered methods".  A case
+study's rigor lives in its evidence chain: every analytic claim should
+trace to sources, and the strong claims should *triangulate* — be
+supported by more than one kind of evidence (an interview AND a
+measurement, a field note AND a document), because each source kind
+fails differently.  This module makes the chain explicit and checkable:
+
+- :class:`EvidenceRef` links a claim to a source (a field note id, an
+  interview document, a measurement artifact, ...).
+- :class:`CaseStudy` holds claims and their evidence.
+- :meth:`CaseStudy.triangulation_report` is the audit: unsupported
+  claims, single-source claims, and the triangulated share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+EVIDENCE_KINDS = (
+    "interview",
+    "fieldnote",
+    "measurement",
+    "document",
+    "survey",
+    "observation",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class EvidenceRef:
+    """A pointer from a claim to a source.
+
+    Attributes:
+        kind: Source kind (one of :data:`EVIDENCE_KINDS`).
+        ref_id: Identifier of the source in whatever store holds it
+            (a document id, a JSONL record id, a trace filename).
+        note: How this source supports the claim.
+    """
+
+    kind: str
+    ref_id: str
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVIDENCE_KINDS:
+            raise ValueError(
+                f"unknown evidence kind {self.kind!r}; "
+                f"expected one of {EVIDENCE_KINDS}"
+            )
+        if not self.ref_id:
+            raise ValueError("ref_id must be non-empty")
+
+
+@dataclass
+class Claim:
+    """One analytic claim of the case study.
+
+    Attributes:
+        claim_id: Unique id.
+        text: The claim.
+        evidence: Supporting sources.
+        central: True for the claims the study's conclusions rest on —
+            these are held to the triangulation bar.
+    """
+
+    claim_id: str
+    text: str
+    evidence: list[EvidenceRef] = field(default_factory=list)
+    central: bool = False
+
+    def source_kinds(self) -> set[str]:
+        """Distinct evidence kinds supporting this claim."""
+        return {e.kind for e in self.evidence}
+
+    @property
+    def triangulated(self) -> bool:
+        """True when at least two *kinds* of evidence support the claim."""
+        return len(self.source_kinds()) >= 2
+
+
+class CaseStudy:
+    """A case study's claims and their evidence chains.
+
+    Example:
+        >>> study = CaseStudy("ixp-study")
+        >>> study.add_claim(Claim("c1", "The incumbent evades the mandate",
+        ...                       central=True))
+        >>> study.attach_evidence("c1", EvidenceRef("interview", "i-07"))
+        >>> study.attach_evidence("c1", EvidenceRef("measurement", "bgp-dump-3"))
+        >>> study.claim("c1").triangulated
+        True
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._claims: dict[str, Claim] = {}
+
+    def __len__(self) -> int:
+        return len(self._claims)
+
+    def add_claim(self, claim: Claim) -> None:
+        """Register a claim; rejects duplicate ids."""
+        if claim.claim_id in self._claims:
+            raise ValueError(f"duplicate claim id: {claim.claim_id!r}")
+        self._claims[claim.claim_id] = claim
+
+    def claim(self, claim_id: str) -> Claim:
+        """Claim by id (KeyError when absent)."""
+        return self._claims[claim_id]
+
+    def claims(self, central_only: bool = False) -> list[Claim]:
+        """All claims, sorted by id."""
+        return sorted(
+            (c for c in self._claims.values() if not central_only or c.central),
+            key=lambda c: c.claim_id,
+        )
+
+    def attach_evidence(self, claim_id: str, evidence: EvidenceRef) -> None:
+        """Attach a source to a claim."""
+        self._claims[claim_id].evidence.append(evidence)
+
+    def triangulation_report(self) -> dict:
+        """The evidence audit.
+
+        Returns:
+            Dict with:
+
+            - ``unsupported``: claim ids with no evidence at all.
+            - ``single_source``: claim ids with evidence of only one kind.
+            - ``central_untriangulated``: central claims failing the
+              two-kind bar (the findings a reviewer challenges first).
+            - ``triangulated_share``: fraction of all claims that
+              triangulate (1.0 for an empty study).
+            - ``kind_usage``: evidence kind -> number of claims using it.
+        """
+        unsupported = []
+        single_source = []
+        central_untriangulated = []
+        kind_usage: dict[str, int] = {}
+        triangulated = 0
+        for claim in self.claims():
+            kinds = claim.source_kinds()
+            for kind in kinds:
+                kind_usage[kind] = kind_usage.get(kind, 0) + 1
+            if not claim.evidence:
+                unsupported.append(claim.claim_id)
+            elif len(kinds) == 1:
+                single_source.append(claim.claim_id)
+            if claim.triangulated:
+                triangulated += 1
+            elif claim.central:
+                central_untriangulated.append(claim.claim_id)
+        total = len(self._claims)
+        return {
+            "unsupported": unsupported,
+            "single_source": single_source,
+            "central_untriangulated": central_untriangulated,
+            "triangulated_share": triangulated / total if total else 1.0,
+            "kind_usage": dict(sorted(kind_usage.items())),
+        }

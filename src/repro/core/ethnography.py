@@ -1,0 +1,193 @@
+"""Ethnographic fieldwork: plans, notes, patchwork schedules, depth.
+
+Section 3 of the paper contrasts traditional long-immersion ethnography
+with *patchwork ethnography* (Günel, Varma & Watanabe) — sustained depth
+through shorter, repeated engagements — and industry "rapid
+ethnography".  This module models fieldwork as scheduled visits to
+sites, accumulates field notes (which flow into
+:mod:`repro.qualcoding` as documents), and computes the depth metrics
+the saturation experiment (E5) compares schedules on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qualcoding.segments import Document
+
+
+@dataclass(frozen=True, slots=True)
+class FieldSite:
+    """A fieldwork site.
+
+    Attributes:
+        site_id: Unique id ("scn-tower-site", "ixp-frankfurt").
+        description: What the site is.
+        access_notes: How access was negotiated — the "work before the
+            work" the paper asks researchers to document.
+    """
+
+    site_id: str
+    description: str = ""
+    access_notes: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class FieldNote:
+    """One field note.
+
+    Attributes:
+        note_id: Unique id.
+        site_id: Where it was written.
+        day: Absolute fieldwork day index.
+        text: The note.
+        reflexive: True for reflexivity memos (the researcher examining
+            their own position) rather than observations.
+    """
+
+    note_id: str
+    site_id: str
+    day: int
+    text: str
+    reflexive: bool = False
+
+    def as_document(self) -> Document:
+        """Convert to a :class:`~repro.qualcoding.segments.Document`."""
+        return Document(
+            doc_id=self.note_id,
+            text=self.text,
+            kind="fieldnote",
+            metadata={
+                "site_id": self.site_id,
+                "day": self.day,
+                "reflexive": self.reflexive,
+            },
+        )
+
+
+@dataclass
+class FieldworkPlan:
+    """A fieldwork engagement: sites, visit schedule, notes.
+
+    Attributes:
+        name: Study name.
+        sites: Sites by id.
+        visits: ``(site_id, start_day, end_day)`` visit windows
+            (end inclusive).
+        notes: Accumulated field notes.
+    """
+
+    name: str
+    sites: dict[str, FieldSite] = field(default_factory=dict)
+    visits: list[tuple[str, int, int]] = field(default_factory=list)
+    notes: list[FieldNote] = field(default_factory=list)
+
+    def add_site(self, site: FieldSite) -> None:
+        """Register a site; rejects duplicates."""
+        if site.site_id in self.sites:
+            raise ValueError(f"duplicate site: {site.site_id!r}")
+        self.sites[site.site_id] = site
+
+    def schedule_visit(self, site_id: str, start_day: int, end_day: int) -> None:
+        """Add a visit window (days inclusive)."""
+        if site_id not in self.sites:
+            raise KeyError(f"unknown site: {site_id!r}")
+        if end_day < start_day or start_day < 0:
+            raise ValueError(f"bad visit window: [{start_day}, {end_day}]")
+        self.visits.append((site_id, start_day, end_day))
+
+    def record_note(self, note: FieldNote) -> None:
+        """Add a field note; its day must fall inside a visit to its site."""
+        if note.site_id not in self.sites:
+            raise KeyError(f"unknown site: {note.site_id!r}")
+        if not any(
+            site == note.site_id and start <= note.day <= end
+            for site, start, end in self.visits
+        ):
+            raise ValueError(
+                f"note day {note.day} is outside every visit to {note.site_id!r}"
+            )
+        self.notes.append(note)
+
+    def field_days(self) -> int:
+        """Total distinct person-days in the field."""
+        days: set[tuple[str, int]] = set()
+        for site, start, end in self.visits:
+            for day in range(start, end + 1):
+                days.add((site, day))
+        return len(days)
+
+    def documents(self) -> list[Document]:
+        """All notes as coding-ready documents, by note id."""
+        return sorted(
+            (note.as_document() for note in self.notes),
+            key=lambda d: d.doc_id,
+        )
+
+
+def patchwork_schedule(
+    site_ids: list[str],
+    total_field_days: int,
+    n_bursts: int,
+    gap_days: int = 30,
+) -> list[tuple[str, int, int]]:
+    """Split a fieldwork budget into patchwork bursts.
+
+    Distributes ``total_field_days`` across ``n_bursts`` visit windows
+    separated by ``gap_days``, cycling through ``site_ids``.  The same
+    budget in one continuous block is the traditional-immersion
+    comparator.
+
+    Returns:
+        ``(site_id, start_day, end_day)`` windows.
+
+    >>> patchwork_schedule(["a"], 10, 2, gap_days=5)
+    [('a', 0, 4), ('a', 10, 14)]
+    """
+    if total_field_days < 1:
+        raise ValueError("total_field_days must be >= 1")
+    if n_bursts < 1:
+        raise ValueError("n_bursts must be >= 1")
+    if n_bursts > total_field_days:
+        raise ValueError("cannot have more bursts than field days")
+    if not site_ids:
+        raise ValueError("need at least one site")
+    base = total_field_days // n_bursts
+    remainder = total_field_days % n_bursts
+    windows = []
+    day = 0
+    for burst in range(n_bursts):
+        length = base + (1 if burst < remainder else 0)
+        site = site_ids[burst % len(site_ids)]
+        windows.append((site, day, day + length - 1))
+        day += length + gap_days
+    return windows
+
+
+def fieldwork_depth(plan: FieldworkPlan) -> dict:
+    """Depth metrics of a fieldwork engagement.
+
+    Returns:
+        Dict with ``field_days``, ``n_sites_visited``, ``n_notes``,
+        ``notes_per_field_day``, ``reflexive_share`` (share of notes
+        that are reflexivity memos), and ``elapsed_days`` (calendar span
+        — patchwork trades field days for elapsed time).
+    """
+    field_days = plan.field_days()
+    n_notes = len(plan.notes)
+    sites_visited = {site for site, _, _ in plan.visits}
+    reflexive = sum(1 for note in plan.notes if note.reflexive)
+    if plan.visits:
+        elapsed = max(end for _, _, end in plan.visits) - min(
+            start for _, start, _ in plan.visits
+        ) + 1
+    else:
+        elapsed = 0
+    return {
+        "field_days": field_days,
+        "n_sites_visited": len(sites_visited),
+        "n_notes": n_notes,
+        "notes_per_field_day": n_notes / field_days if field_days else 0.0,
+        "reflexive_share": reflexive / n_notes if n_notes else 0.0,
+        "elapsed_days": elapsed,
+    }

@@ -1,0 +1,134 @@
+"""Focus groups: transcripts, turn-taking, participation balance.
+
+Another of Section 6.1's "other human-centered methods".  A focus
+group's validity hinges on facilitation: if two voices produce most of
+the words, the "group" finding is really a two-person finding.  This
+module records turns and computes the balance diagnostics a facilitator
+(or a reviewer) checks: speaking shares, a dominance Gini, facilitator
+overhead, and silent-participant detection.  Transcripts convert to
+:class:`~repro.qualcoding.segments.Document` for coding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bibliometrics.metrics import gini
+from repro.qualcoding.segments import Document
+
+
+@dataclass(frozen=True, slots=True)
+class Turn:
+    """One speaking turn.
+
+    Attributes:
+        speaker_id: Who spoke.
+        text: What they said.
+        is_facilitator: True for moderator turns.
+    """
+
+    speaker_id: str
+    text: str
+    is_facilitator: bool = False
+
+    @property
+    def word_count(self) -> int:
+        """Number of words in the turn."""
+        return len(self.text.split())
+
+
+class FocusGroup:
+    """A focus-group session transcript with balance diagnostics.
+
+    Example:
+        >>> group = FocusGroup("fg-1", participant_ids=["a", "b"])
+        >>> group.add_turn(Turn("mod", "What broke last month?",
+        ...                     is_facilitator=True))
+        >>> group.add_turn(Turn("a", "The tower radio, twice."))
+        >>> group.silent_participants()
+        ['b']
+    """
+
+    def __init__(self, session_id: str, participant_ids: list[str]) -> None:
+        if not participant_ids:
+            raise ValueError("need at least one participant")
+        if len(set(participant_ids)) != len(participant_ids):
+            raise ValueError("duplicate participant ids")
+        self.session_id = session_id
+        self.participant_ids = list(participant_ids)
+        self._turns: list[Turn] = []
+
+    def add_turn(self, turn: Turn) -> None:
+        """Append a turn; non-facilitator speakers must be participants."""
+        if not turn.is_facilitator and turn.speaker_id not in self.participant_ids:
+            raise KeyError(f"unknown participant: {turn.speaker_id!r}")
+        self._turns.append(turn)
+
+    def turns(self, include_facilitator: bool = True) -> list[Turn]:
+        """Turns in session order."""
+        if include_facilitator:
+            return list(self._turns)
+        return [t for t in self._turns if not t.is_facilitator]
+
+    def speaking_shares(self) -> dict[str, float]:
+        """Participant -> share of participant words (0.0 when silent)."""
+        counts = {pid: 0 for pid in self.participant_ids}
+        for turn in self._turns:
+            if not turn.is_facilitator:
+                counts[turn.speaker_id] += turn.word_count
+        total = sum(counts.values())
+        if total == 0:
+            return {pid: 0.0 for pid in self.participant_ids}
+        return {pid: count / total for pid, count in counts.items()}
+
+    def dominance_gini(self) -> float:
+        """Gini of participant word counts (0 = perfectly balanced)."""
+        counts = {pid: 0 for pid in self.participant_ids}
+        for turn in self._turns:
+            if not turn.is_facilitator:
+                counts[turn.speaker_id] += turn.word_count
+        return gini(list(counts.values()))
+
+    def silent_participants(self) -> list[str]:
+        """Participants with zero turns, sorted."""
+        spoke = {t.speaker_id for t in self._turns if not t.is_facilitator}
+        return sorted(set(self.participant_ids) - spoke)
+
+    def facilitator_share(self) -> float:
+        """Fraction of all words spoken by the facilitator.
+
+        Conventional guidance puts this well under half: a moderator
+        who out-talks the group is running an interview, not a focus
+        group.
+        """
+        facilitator = sum(
+            t.word_count for t in self._turns if t.is_facilitator
+        )
+        total = sum(t.word_count for t in self._turns)
+        return facilitator / total if total else 0.0
+
+    def balance_report(self) -> dict:
+        """All balance diagnostics in one dict."""
+        return {
+            "speaking_shares": self.speaking_shares(),
+            "dominance_gini": self.dominance_gini(),
+            "silent_participants": self.silent_participants(),
+            "facilitator_share": self.facilitator_share(),
+            "n_turns": len(self._turns),
+        }
+
+    def as_document(self) -> Document:
+        """The whole session as one coding-ready transcript document."""
+        lines = [
+            f"{'[facilitator] ' if t.is_facilitator else ''}{t.speaker_id}: {t.text}"
+            for t in self._turns
+        ]
+        return Document(
+            doc_id=f"focusgroup-{self.session_id}",
+            text="\n".join(lines),
+            kind="focus-group",
+            metadata={
+                "session_id": self.session_id,
+                "participants": list(self.participant_ids),
+            },
+        )

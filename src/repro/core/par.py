@@ -1,0 +1,156 @@
+"""Participatory engagement: the ledger and its scoring.
+
+Section 2 identifies what makes a project participatory: (1) engagement
+throughout the process including problem formation, (2) solutions
+developed for community-identified problems, (3) iterative design with
+community feedback.  The :class:`EngagementLedger` records engagement
+events as they happen; the scoring methods quantify the three criteria.
+
+Engagement *kinds* follow the IAP2-style participation ladder: being
+told about research is not the same as deciding what gets researched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.stages import STAGE_ORDER, ResearchStage
+
+
+class EngagementKind(str, Enum):
+    """How the partner participated, ordered by transferred power."""
+
+    INFORMED = "informed"          # told what is happening
+    CONSULTED = "consulted"        # asked for input
+    INVOLVED = "involved"          # worked alongside researchers
+    COLLABORATED = "collaborated"  # shared decisions
+    LED = "led"                    # partner directed the work
+
+
+#: Kind -> ladder rung (higher = more power with the partner).
+PARTICIPATION_LADDER: dict[EngagementKind, int] = {
+    EngagementKind.INFORMED: 1,
+    EngagementKind.CONSULTED: 2,
+    EngagementKind.INVOLVED: 3,
+    EngagementKind.COLLABORATED: 4,
+    EngagementKind.LED: 5,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class EngagementEvent:
+    """One engagement between researchers and a partner.
+
+    Attributes:
+        month: Project month the event happened.
+        stage: Lifecycle stage the engagement belonged to.
+        partner_id: Which partner (see :class:`repro.core.project.Partner`).
+        kind: Participation kind (ladder rung).
+        description: What happened, for the documentation Section 5.1
+            asks for.
+        fed_back_into_design: True when this event changed the design —
+            the marker iterative-design scoring counts.
+    """
+
+    month: int
+    stage: ResearchStage
+    partner_id: str
+    kind: EngagementKind
+    description: str = ""
+    fed_back_into_design: bool = False
+
+    def __post_init__(self) -> None:
+        if self.month < 0:
+            raise ValueError(f"month must be >= 0, got {self.month}")
+
+
+class EngagementLedger:
+    """All engagement events of a project, with PAR scoring.
+
+    Example:
+        >>> ledger = EngagementLedger()
+        >>> ledger.record(EngagementEvent(
+        ...     0, ResearchStage.PROBLEM_FORMATION, "coop",
+        ...     EngagementKind.LED, "community named the problem"))
+        >>> ledger.stage_coverage()
+        0.2
+    """
+
+    def __init__(self, events: list[EngagementEvent] | None = None) -> None:
+        self._events: list[EngagementEvent] = []
+        for event in events or []:
+            self.record(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, event: EngagementEvent) -> None:
+        """Append an event."""
+        self._events.append(event)
+
+    def events(
+        self,
+        stage: ResearchStage | None = None,
+        partner_id: str | None = None,
+    ) -> list[EngagementEvent]:
+        """Events filtered by stage and/or partner, in recorded order."""
+        return [
+            e
+            for e in self._events
+            if (stage is None or e.stage == stage)
+            and (partner_id is None or e.partner_id == partner_id)
+        ]
+
+    def partners_engaged(self) -> list[str]:
+        """Partner ids appearing in the ledger, sorted."""
+        return sorted({e.partner_id for e in self._events})
+
+    def stage_coverage(self) -> float:
+        """Fraction of lifecycle stages with at least one engagement.
+
+        1.0 is the paper's "full and active participation at all levels".
+        """
+        covered = {e.stage for e in self._events}
+        return len(covered) / len(STAGE_ORDER)
+
+    def problem_formation_rung(self) -> int:
+        """Highest ladder rung reached during problem formation (0 = none).
+
+        The paper's sharpest criterion: did the community shape *what*
+        was studied, or only how?
+        """
+        rungs = [
+            PARTICIPATION_LADDER[e.kind]
+            for e in self.events(stage=ResearchStage.PROBLEM_FORMATION)
+        ]
+        return max(rungs, default=0)
+
+    def mean_rung(self) -> float:
+        """Average ladder rung across all events (0.0 when empty)."""
+        if not self._events:
+            return 0.0
+        return sum(PARTICIPATION_LADDER[e.kind] for e in self._events) / len(
+            self._events
+        )
+
+    def iteration_count(self) -> int:
+        """Number of feedback events that changed the design."""
+        return sum(1 for e in self._events if e.fed_back_into_design)
+
+    def participation_score(self) -> float:
+        """Composite PAR score in [0, 1].
+
+        Equal-weight blend of the paper's three criteria:
+
+        - stage coverage (engagement at all levels),
+        - problem-formation rung (community shaped the question),
+          normalized by the top rung,
+        - iteration (capped at 3 design-changing feedback events).
+        """
+        coverage = self.stage_coverage()
+        formation = self.problem_formation_rung() / max(
+            PARTICIPATION_LADDER.values()
+        )
+        iteration = min(self.iteration_count(), 3) / 3.0
+        return (coverage + formation + iteration) / 3.0

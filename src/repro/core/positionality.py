@@ -1,0 +1,193 @@
+"""Positionality statements: model, renderer, extractor, scoring.
+
+Section 4: "Authors use positionality in the introduction or methods
+sections to situate or position themselves within the research, often
+including their geographic location, socioeconomic status, personal
+beliefs, and affiliations with specific communities."  That sentence is
+this module's schema: a statement is structured disclosure along those
+facets, a disclosure score measures how many relevant facets a
+statement covers, and the extractor recovers statements from paper text
+(used by experiment E2 over the synthetic corpus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.textmine.sections import find_section, split_sections
+from repro.textmine.tokenize import sentences
+
+#: The disclosure facets Section 4 enumerates.
+FACETS: tuple[str, ...] = (
+    "identity",         # who the authors are (role, expertise, background)
+    "location",         # geographic/geopolitical situation
+    "beliefs",          # political/social/theoretical commitments
+    "affiliations",     # institutional and industry ties
+    "community_ties",   # membership in or ties to the studied community
+    "relevance",        # why any of this matters to *this* work
+)
+
+_FACET_CUES: dict[str, tuple[str, ...]] = {
+    "identity": (
+        "we are", "the authors are", "as researchers", "we write as",
+        "situate themselves as", "we identify",
+    ),
+    "location": (
+        "global north", "global south", "based in", "located in",
+        "geograph",
+    ),
+    "beliefs": (
+        "we believe", "we hold", "feminist", "we are committed",
+        "our view", "normative", "we value", "skeptic", "proponent",
+    ),
+    "affiliations": (
+        "affiliat", "industry ties", "funded by", "employed",
+        "prior industry", "our institution",
+    ),
+    "community_ties": (
+        "member of the community", "ties to", "embedded in",
+        "part of the community", "grew up", "we operate",
+    ),
+    "relevance": (
+        "shaped which questions", "informs", "influenced our",
+        "this standpoint", "affects our research", "shaped the framing",
+        "shaped both the methods",
+    ),
+}
+
+_STATEMENT_MARKERS = (
+    "positionality",
+    "we situate ourselves",
+    "situate themselves",
+    "our situated knowledge",
+    "reflexivity statement",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PositionalityStatement:
+    """A structured positionality statement.
+
+    Attributes (each a free-text disclosure; "" = not disclosed):
+        identity / location / beliefs / affiliations / community_ties /
+        relevance: See :data:`FACETS`.
+        source_text: Raw text the statement came from (extractor output)
+            or "" when authored directly.
+    """
+
+    identity: str = ""
+    location: str = ""
+    beliefs: str = ""
+    affiliations: str = ""
+    community_ties: str = ""
+    relevance: str = ""
+    source_text: str = ""
+
+    def disclosed_facets(self) -> tuple[str, ...]:
+        """Facets with non-empty disclosures, in schema order."""
+        return tuple(f for f in FACETS if getattr(self, f).strip())
+
+    def render(self) -> str:
+        """Render as the prose block a paper would carry.
+
+        >>> PositionalityStatement(identity="network engineers").render()
+        'Positionality. We write as network engineers.'
+        """
+        parts = ["Positionality."]
+        if self.identity:
+            parts.append(f"We write as {self.identity}.")
+        if self.location:
+            parts.append(f"We are situated in {self.location}.")
+        if self.affiliations:
+            parts.append(f"Our affiliations include {self.affiliations}.")
+        if self.community_ties:
+            parts.append(f"We have ties to {self.community_ties}.")
+        if self.beliefs:
+            parts.append(f"We hold {self.beliefs}.")
+        if self.relevance:
+            parts.append(f"This matters here because {self.relevance}.")
+        return " ".join(parts)
+
+
+def disclosure_score(statement: PositionalityStatement) -> float:
+    """Fraction of the six facets the statement discloses.
+
+    The paper does not demand every facet in every work ("in as much
+    detail as is relevant"); the score is a coverage measure, not a
+    pass/fail bar.
+    """
+    return len(statement.disclosed_facets()) / len(FACETS)
+
+
+def _facets_in_text(text: str) -> dict[str, str]:
+    """Map facet -> first sentence in ``text`` showing that facet's cue."""
+    found: dict[str, str] = {}
+    for sentence in sentences(text):
+        lowered = sentence.lower()
+        for facet, cues in _FACET_CUES.items():
+            if facet not in found and any(cue in lowered for cue in cues):
+                found[facet] = sentence.strip()
+    return found
+
+
+def extract_statements(paper_text: str) -> list[PositionalityStatement]:
+    """Recover positionality statements from a paper's plain text.
+
+    Strategy: first look for an explicit "Positionality" section; then
+    scan the remaining text for statement-marker sentences and take a
+    window around each.  Each hit is parsed into facets via cue phrases.
+
+    Returns:
+        Statements in document order (usually zero or one per paper).
+    """
+    statements: list[PositionalityStatement] = []
+    claimed_spans: list[str] = []
+
+    section = find_section(split_sections(paper_text), "positionality")
+    if section is not None and section.body.strip():
+        claimed_spans.append(section.body)
+
+    remaining = paper_text
+    for span in claimed_spans:
+        remaining = remaining.replace(span, "")
+    for sentence in sentences(remaining):
+        lowered = sentence.lower()
+        if any(marker in lowered for marker in _STATEMENT_MARKERS):
+            start = remaining.find(sentence)
+            window = remaining[start : start + 500]
+            claimed_spans.append(window)
+            break  # one inline statement per paper is the realistic case
+
+    for index, span in enumerate(claimed_spans):
+        facets = _facets_in_text(span)
+        # An explicit section counts even when facet parsing comes up
+        # empty (the header is the author's own label); an inline marker
+        # hit must parse at least one facet, or it is just the *word*
+        # "positionality" appearing in prose.
+        is_section_span = section is not None and index == 0
+        if not facets and not is_section_span:
+            continue
+        statements.append(
+            PositionalityStatement(
+                identity=facets.get("identity", ""),
+                location=facets.get("location", ""),
+                beliefs=facets.get("beliefs", ""),
+                affiliations=facets.get("affiliations", ""),
+                community_ties=facets.get("community_ties", ""),
+                relevance=facets.get("relevance", ""),
+                source_text=span.strip(),
+            )
+        )
+    return statements
+
+
+def has_positionality_statement(paper_text: str) -> bool:
+    """True when the text carries a recognizable positionality statement.
+
+    Requires a marker *and* at least one parsed facet, so a paper that
+    merely cites positionality literature does not count.
+    """
+    lowered = paper_text.lower()
+    if not any(marker in lowered for marker in _STATEMENT_MARKERS):
+        return False
+    return any(s.disclosed_facets() for s in extract_statements(paper_text))

@@ -1,0 +1,113 @@
+"""The research-project record binding the toolkit together.
+
+A :class:`ResearchProject` is the unit the Section-5 recommendations
+audit runs over: its partners, engagement ledger, documented informal
+conversations ("the work before the work"), fieldwork, positionality
+statements, and ethics plan.  Everything here is the documentation the
+paper says is usually lost "during our publication processes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ethnography import FieldworkPlan
+from repro.core.par import EngagementLedger
+from repro.core.positionality import PositionalityStatement
+
+
+@dataclass(frozen=True, slots=True)
+class Partner:
+    """A research partner.
+
+    Attributes:
+        partner_id: Unique id.
+        name: Display name.
+        kind: "community", "operator", "hyperscaler", "ngo",
+            "government", or "other".
+        relationship_origin: How the partnership formed — the
+            documentation Section 5.1 explicitly requests ("Talk about
+            the partnerships you have formed, how they were formed").
+    """
+
+    partner_id: str
+    name: str
+    kind: str = "community"
+    relationship_origin: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ConversationRecord:
+    """One documented informal conversation (Section 5.2).
+
+    Attributes:
+        conv_id: Unique id.
+        partner_id: Who the conversation was with.
+        month: When.
+        summary: What was discussed.
+        how_it_informed: How it shaped the research — the load-bearing
+            field; an empty value means the conversation was logged but
+            its influence went undocumented.
+        quotes: Direct quotes (already consent-checked and anonymized).
+        open_questions: Questions the conversation left open.
+    """
+
+    conv_id: str
+    partner_id: str
+    month: int
+    summary: str = ""
+    how_it_informed: str = ""
+    quotes: tuple[str, ...] = ()
+    open_questions: tuple[str, ...] = ()
+
+
+@dataclass
+class ResearchProject:
+    """One study's human-methods record.
+
+    Attributes:
+        name: Project name.
+        description: What the project studies.
+        partners: Partners by id.
+        ledger: Engagement events (see :mod:`repro.core.par`).
+        conversations: Documented informal conversations.
+        fieldwork: Optional ethnographic fieldwork plan.
+        positionality: Authors' positionality statements.
+        methods_used: Free-form method labels ("interviews",
+            "participatory design", "bgp-measurement", ...).
+        ethics_plan: Plain-data plan evaluated by
+            :func:`repro.ethics.irb.default_checklist`.
+    """
+
+    name: str
+    description: str = ""
+    partners: dict[str, Partner] = field(default_factory=dict)
+    ledger: EngagementLedger = field(default_factory=EngagementLedger)
+    conversations: list[ConversationRecord] = field(default_factory=list)
+    fieldwork: FieldworkPlan | None = None
+    positionality: list[PositionalityStatement] = field(default_factory=list)
+    methods_used: set[str] = field(default_factory=set)
+    ethics_plan: dict = field(default_factory=dict)
+
+    def add_partner(self, partner: Partner) -> None:
+        """Register a partner; rejects duplicate ids."""
+        if partner.partner_id in self.partners:
+            raise ValueError(f"duplicate partner: {partner.partner_id!r}")
+        self.partners[partner.partner_id] = partner
+
+    def record_conversation(self, record: ConversationRecord) -> None:
+        """Log an informal conversation; the partner must be registered."""
+        if record.partner_id not in self.partners:
+            raise KeyError(f"unknown partner: {record.partner_id!r}")
+        self.conversations.append(record)
+
+    def partners_with_documented_origin(self) -> list[Partner]:
+        """Partners whose relationship origin is documented, by id."""
+        return sorted(
+            (p for p in self.partners.values() if p.relationship_origin.strip()),
+            key=lambda p: p.partner_id,
+        )
+
+    def conversations_with(self, partner_id: str) -> list[ConversationRecord]:
+        """Conversations with one partner, in recorded order."""
+        return [c for c in self.conversations if c.partner_id == partner_id]

@@ -1,0 +1,171 @@
+"""The Section-5 recommendations audit.
+
+The paper makes three concrete recommendations (Section 5):
+
+1. *Include and document your partnerships in the research process* —
+   partners exist, their origins are documented, and they were engaged
+   in formative work (problem formation) and real-world evaluation.
+2. *Detail your informative conversations* — informal conversations are
+   recorded, their influence on the work is documented, and quotes or
+   open questions are preserved.
+3. *Reflect on your own perspectives* — positionality statements exist
+   and disclose the relevant facets.
+
+:func:`audit_project` scores a :class:`~repro.core.project.ResearchProject`
+on each practice in [0, 1] and explains every lost point, so the audit
+is a to-do list rather than a grade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.positionality import disclosure_score
+from repro.core.project import ResearchProject
+from repro.core.stages import ResearchStage
+
+
+@dataclass(frozen=True, slots=True)
+class PracticeScore:
+    """Score for one recommended practice.
+
+    Attributes:
+        practice: Practice id ("partnerships", "conversations",
+            "positionality").
+        score: Value in [0, 1].
+        findings: Human-readable explanations of lost points (empty at
+            a full score).
+    """
+
+    practice: str
+    score: float
+    findings: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RecommendationsAudit:
+    """The three practice scores plus the overall mean.
+
+    Attributes:
+        partnerships / conversations / positionality: Per-practice
+            scores.
+    """
+
+    partnerships: PracticeScore
+    conversations: PracticeScore
+    positionality: PracticeScore
+
+    @property
+    def overall(self) -> float:
+        """Mean of the three practice scores."""
+        return (
+            self.partnerships.score
+            + self.conversations.score
+            + self.positionality.score
+        ) / 3.0
+
+    def all_findings(self) -> tuple[str, ...]:
+        """Every finding across practices, in practice order."""
+        return (
+            self.partnerships.findings
+            + self.conversations.findings
+            + self.positionality.findings
+        )
+
+
+def _audit_partnerships(project: ResearchProject) -> PracticeScore:
+    findings: list[str] = []
+    points = 0.0
+    if project.partners:
+        points += 0.25
+    else:
+        findings.append("no partners are registered")
+    documented = project.partners_with_documented_origin()
+    if project.partners and len(documented) == len(project.partners):
+        points += 0.25
+    elif project.partners:
+        missing = sorted(
+            set(project.partners) - {p.partner_id for p in documented}
+        )
+        findings.append(
+            f"partners without documented relationship origin: {missing}"
+        )
+    else:
+        findings.append("no partnership origins to document")
+
+    formation_rung = project.ledger.problem_formation_rung()
+    threshold = PARTICIPATION_LADDER_CONSULTED
+    if formation_rung >= threshold:
+        points += 0.25
+    else:
+        findings.append(
+            "partners were not engaged in problem formation "
+            f"(best rung {formation_rung}, need >= {threshold})"
+        )
+    if project.ledger.events(stage=ResearchStage.EVALUATION):
+        points += 0.25
+    else:
+        findings.append("no partner engagement during evaluation")
+    return PracticeScore("partnerships", points, tuple(findings))
+
+
+#: Minimum ladder rung that counts as formative engagement.
+PARTICIPATION_LADDER_CONSULTED = 2
+
+
+def _audit_conversations(project: ResearchProject) -> PracticeScore:
+    findings: list[str] = []
+    records = project.conversations
+    if not records:
+        return PracticeScore(
+            "conversations",
+            0.0,
+            ("no informal conversations are documented",),
+        )
+    informed = [c for c in records if c.how_it_informed.strip()]
+    substantiated = [c for c in records if c.quotes or c.open_questions]
+    presence = 1.0 / 3.0
+    informed_share = len(informed) / len(records) / 3.0
+    substantiated_share = len(substantiated) / len(records) / 3.0
+    if len(informed) < len(records):
+        findings.append(
+            f"{len(records) - len(informed)} conversation(s) lack "
+            "'how it informed the research'"
+        )
+    if len(substantiated) < len(records):
+        findings.append(
+            f"{len(records) - len(substantiated)} conversation(s) carry "
+            "neither quotes nor open questions"
+        )
+    return PracticeScore(
+        "conversations",
+        presence + informed_share + substantiated_share,
+        tuple(findings),
+    )
+
+
+def _audit_positionality(project: ResearchProject) -> PracticeScore:
+    if not project.positionality:
+        return PracticeScore(
+            "positionality", 0.0, ("no positionality statement",)
+        )
+    best = max(disclosure_score(s) for s in project.positionality)
+    findings: list[str] = []
+    # Half credit for having a statement at all; the rest tracks facet
+    # coverage of the best statement.
+    score = 0.5 + 0.5 * best
+    if best < 0.5:
+        findings.append(
+            "the positionality statement discloses few facets "
+            f"(coverage {best:.2f})"
+        )
+    return PracticeScore("positionality", score, tuple(findings))
+
+
+def audit_project(project: ResearchProject) -> RecommendationsAudit:
+    """Run the full Section-5 audit over ``project``."""
+    return RecommendationsAudit(
+        partnerships=_audit_partnerships(project),
+        conversations=_audit_conversations(project),
+        positionality=_audit_positionality(project),
+    )

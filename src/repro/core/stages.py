@@ -1,0 +1,31 @@
+"""Research lifecycle stages.
+
+AR/PAR "should strive for full and active participation of individuals
+or communities at all levels, from scoping initial research questions
+through to the publication of research results" (paper, Section 2).
+"All levels" needs a level set; this is it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ResearchStage(str, Enum):
+    """One stage of a research project's lifecycle."""
+
+    PROBLEM_FORMATION = "problem_formation"
+    DESIGN = "design"
+    IMPLEMENTATION = "implementation"
+    EVALUATION = "evaluation"
+    PUBLICATION = "publication"
+
+
+#: Stages in lifecycle order.
+STAGE_ORDER: tuple[ResearchStage, ...] = (
+    ResearchStage.PROBLEM_FORMATION,
+    ResearchStage.DESIGN,
+    ResearchStage.IMPLEMENTATION,
+    ResearchStage.EVALUATION,
+    ResearchStage.PUBLICATION,
+)

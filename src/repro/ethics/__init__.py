@@ -1,0 +1,45 @@
+"""Research-ethics machinery: consent, anonymization, power, IRB.
+
+Section 6.2.3 of the paper calls for "guardrails for maintaining
+ethical research practices" when qualitative methods enter networking —
+consent, power imbalances, and data protection.  This package turns
+those guardrails into code:
+
+- :mod:`repro.ethics.consent` -- a consent registry with scopes,
+  expiry, and withdrawal (withdrawal is honored retroactively).
+- :mod:`repro.ethics.anonymize` -- deterministic pseudonymization and
+  quasi-identifier scrubbing for transcripts and field notes.
+- :mod:`repro.ethics.power` -- power-dynamics risk scoring for a
+  researcher/participant pairing.
+- :mod:`repro.ethics.irb` -- protocol checklists that evaluate a study
+  plan against the practices Sections 5 and 6 recommend.
+- :mod:`repro.ethics.retention` -- data-retention schedules tied to the
+  consent registry: age limits, destruction on withdrawal, and the
+  audit that catches data nobody destroyed.
+"""
+
+from repro.ethics.consent import ConsentRecord, ConsentRegistry, ConsentError
+from repro.ethics.anonymize import Pseudonymizer, scrub_quasi_identifiers
+from repro.ethics.power import PowerAssessment, assess_power_dynamics
+from repro.ethics.irb import ChecklistItem, ProtocolChecklist, default_checklist
+from repro.ethics.retention import (
+    RetentionRule,
+    DataRecord,
+    RetentionManager,
+)
+
+__all__ = [
+    "ConsentRecord",
+    "ConsentRegistry",
+    "ConsentError",
+    "Pseudonymizer",
+    "scrub_quasi_identifiers",
+    "PowerAssessment",
+    "assess_power_dynamics",
+    "ChecklistItem",
+    "ProtocolChecklist",
+    "default_checklist",
+    "RetentionRule",
+    "DataRecord",
+    "RetentionManager",
+]

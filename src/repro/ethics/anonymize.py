@@ -1,0 +1,116 @@
+"""Pseudonymization and quasi-identifier scrubbing.
+
+Publishing interview quotes (paper, Section 5.2: "direct quotes if
+available, paraphrasing if not due to privacy concerns") requires
+stripping identity first.  Two tools:
+
+- :class:`Pseudonymizer` -- deterministic name -> pseudonym mapping
+  (stable within a study so the same person reads consistently across
+  quotes, and keyed by a study secret so mappings differ across
+  studies).
+- :func:`scrub_quasi_identifiers` -- regex scrubbing of emails, phone
+  numbers, IP addresses, and ASNs, which in networking data are
+  identifiers in all but name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+_EMAIL_RE = re.compile(r"\b[\w.+-]+@[\w-]+(?:\.[\w-]+)+\b")
+_PHONE_RE = re.compile(r"\+?\d[\d\s().-]{7,}\d")
+_IPV4_RE = re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}\b")
+_ASN_RE = re.compile(r"\bAS\d{1,6}\b", re.IGNORECASE)
+
+
+class Pseudonymizer:
+    """Deterministic, study-keyed pseudonym assignment.
+
+    The same real name always maps to the same pseudonym within a study
+    key; different study keys produce unlinkable mappings.
+
+    Example:
+        >>> p = Pseudonymizer(study_key="scn-2024")
+        >>> p.pseudonym("Esther") == p.pseudonym("Esther")
+        True
+    """
+
+    def __init__(self, study_key: str, prefix: str = "P") -> None:
+        if not study_key:
+            raise ValueError("study_key must be non-empty")
+        self._study_key = study_key
+        self._prefix = prefix
+        self._assigned: dict[str, str] = {}
+
+    def pseudonym(self, real_name: str) -> str:
+        """Pseudonym for ``real_name`` (stable across calls)."""
+        if real_name in self._assigned:
+            return self._assigned[real_name]
+        digest = hashlib.sha256(
+            f"{self._study_key}:{real_name}".encode("utf-8")
+        ).hexdigest()
+        candidate = f"{self._prefix}{int(digest[:8], 16) % 10000:04d}"
+        # Resolve collisions deterministically by extending the digest.
+        offset = 8
+        while candidate in self._assigned.values():
+            candidate = f"{self._prefix}{int(digest[offset:offset + 8], 16) % 10000:04d}"
+            offset += 8
+            if offset + 8 > len(digest):
+                candidate = f"{self._prefix}x{len(self._assigned):04d}"
+                break
+        self._assigned[real_name] = candidate
+        return candidate
+
+    def apply(self, text: str, real_names: list[str]) -> str:
+        """Replace every listed real name in ``text`` with its pseudonym.
+
+        Longer names are replaced first so "Esther Jang" never leaves a
+        dangling "Jang" behind.
+        """
+        result = text
+        for name in sorted(real_names, key=len, reverse=True):
+            if not name:
+                continue
+            result = re.sub(
+                re.escape(name), self.pseudonym(name), result
+            )
+        return result
+
+    def mapping(self) -> dict[str, str]:
+        """The real-name -> pseudonym table assigned so far (a copy)."""
+        return dict(self._assigned)
+
+
+def scrub_quasi_identifiers(
+    text: str,
+    scrub_asns: bool = True,
+    placeholder_style: str = "tagged",
+) -> str:
+    """Remove emails, phone numbers, IPv4 addresses, and (optionally) ASNs.
+
+    Args:
+        text: The text to scrub.
+        scrub_asns: Replace "AS64500"-style tokens too.  ASNs identify
+            organizations precisely; leave them only when the
+            organization consented to be named.
+        placeholder_style: "tagged" inserts "[EMAIL]"/"[PHONE]"/"[IP]"/
+            "[ASN]"; "blank" removes matches entirely.
+
+    >>> scrub_quasi_identifiers("mail me at op@example.net")
+    'mail me at [EMAIL]'
+    """
+    if placeholder_style not in ("tagged", "blank"):
+        raise ValueError(
+            f"placeholder_style must be 'tagged' or 'blank', got {placeholder_style!r}"
+        )
+
+    def tag(label: str) -> str:
+        return f"[{label}]" if placeholder_style == "tagged" else ""
+
+    result = _EMAIL_RE.sub(tag("EMAIL"), text)
+    result = _IPV4_RE.sub(tag("IP"), result)
+    result = _PHONE_RE.sub(tag("PHONE"), result)
+    if scrub_asns:
+        result = _ASN_RE.sub(tag("ASN"), result)
+    return result

@@ -1,0 +1,156 @@
+"""Consent tracking.
+
+A consent registry answers one question reliably: *may this datum be
+used for this purpose right now?*  Records carry scopes ("interview",
+"publication-quote", "recording"), optional expiry, and withdrawal —
+and withdrawal wins over everything recorded earlier, which is what
+makes consent meaningful rather than ceremonial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ConsentError(Exception):
+    """Raised when an operation requires consent that is not in force."""
+
+
+@dataclass
+class ConsentRecord:
+    """One participant's consent grant.
+
+    Attributes:
+        participant_id: Who consented.
+        scopes: What they consented to ("interview", "recording",
+            "publication-quote", ...).
+        granted_at: Month/step index the grant was made (simulation
+            time; any monotonic integer clock works).
+        expires_at: Clock value after which the grant lapses (None =
+            no expiry).
+        withdrawn_at: Clock value of withdrawal (None = in force).
+        notes: Free-form context (how consent was obtained).
+    """
+
+    participant_id: str
+    scopes: frozenset[str]
+    granted_at: int
+    expires_at: int | None = None
+    withdrawn_at: int | None = None
+    notes: str = ""
+
+    def in_force(self, scope: str, now: int) -> bool:
+        """True when ``scope`` is covered and the grant is live at ``now``."""
+        if scope not in self.scopes:
+            return False
+        if self.withdrawn_at is not None and now >= self.withdrawn_at:
+            return False
+        if self.expires_at is not None and now > self.expires_at:
+            return False
+        return now >= self.granted_at
+
+
+class ConsentRegistry:
+    """All consent state for a study.
+
+    Example:
+        >>> registry = ConsentRegistry()
+        >>> _ = registry.grant("p1", {"interview"}, now=0)
+        >>> registry.check("p1", "interview", now=1)
+        True
+        >>> _ = registry.withdraw("p1", now=2)
+        >>> registry.check("p1", "interview", now=3)
+        False
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[ConsentRecord]] = {}
+
+    def grant(
+        self,
+        participant_id: str,
+        scopes: set[str],
+        now: int,
+        expires_at: int | None = None,
+        notes: str = "",
+    ) -> ConsentRecord:
+        """Record a new grant (grants accumulate; they do not replace)."""
+        if not scopes:
+            raise ValueError("a grant needs at least one scope")
+        if expires_at is not None and expires_at < now:
+            raise ValueError("expires_at cannot precede the grant")
+        record = ConsentRecord(
+            participant_id=participant_id,
+            scopes=frozenset(scopes),
+            granted_at=now,
+            expires_at=expires_at,
+            notes=notes,
+        )
+        self._records.setdefault(participant_id, []).append(record)
+        return record
+
+    def withdraw(self, participant_id: str, now: int) -> int:
+        """Withdraw *all* of a participant's live grants.
+
+        Returns the number of records withdrawn.  Unknown participants
+        raise KeyError — silently "withdrawing" nothing would hide a
+        bookkeeping bug.
+        """
+        records = self._records.get(participant_id)
+        if records is None:
+            raise KeyError(f"no consent on file for {participant_id!r}")
+        count = 0
+        for record in records:
+            if record.withdrawn_at is None:
+                record.withdrawn_at = now
+                count += 1
+        return count
+
+    def check(self, participant_id: str, scope: str, now: int) -> bool:
+        """True when any record covers ``scope`` and is in force."""
+        return any(
+            record.in_force(scope, now)
+            for record in self._records.get(participant_id, [])
+        )
+
+    def require(self, participant_id: str, scope: str, now: int) -> None:
+        """Raise :class:`ConsentError` unless consent is in force."""
+        if not self.check(participant_id, scope, now):
+            raise ConsentError(
+                f"no consent in force for participant {participant_id!r}, "
+                f"scope {scope!r} at t={now}"
+            )
+
+    def participants(self) -> list[str]:
+        """All participant ids with any record, sorted."""
+        return sorted(self._records)
+
+    def usable_participants(self, scope: str, now: int) -> list[str]:
+        """Participants whose consent covers ``scope`` right now, sorted."""
+        return [
+            pid for pid in self.participants() if self.check(pid, scope, now)
+        ]
+
+    def audit(self, now: int) -> dict[str, dict]:
+        """Snapshot per participant: live scopes, withdrawn/expired counts."""
+        report = {}
+        for pid, records in sorted(self._records.items()):
+            live_scopes: set[str] = set()
+            withdrawn = 0
+            expired = 0
+            for record in records:
+                if record.withdrawn_at is not None and now >= record.withdrawn_at:
+                    withdrawn += 1
+                elif record.expires_at is not None and now > record.expires_at:
+                    expired += 1
+                else:
+                    live_scopes.update(
+                        s for s in record.scopes if record.in_force(s, now)
+                    )
+            report[pid] = {
+                "live_scopes": sorted(live_scopes),
+                "withdrawn_records": withdrawn,
+                "expired_records": expired,
+                "total_records": len(records),
+            }
+        return report

@@ -1,0 +1,177 @@
+"""Protocol checklists.
+
+"Make sure to consult your institutional review board and social
+science colleagues for best practices" (paper, Section 6.2.3).  A
+:class:`ProtocolChecklist` evaluates a study plan — a plain dict of
+facts about the protocol — against named requirements, and reports what
+passes, what fails, and what cannot be evaluated because the plan never
+addresses it (silence about consent is a finding, not a pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class ChecklistItem:
+    """One checkable requirement.
+
+    Attributes:
+        item_id: Stable id ("consent-documented").
+        description: What the requirement demands.
+        keys: Plan keys the predicate needs; if any is absent the item
+            is *unaddressed* rather than failed.
+        predicate: Callable receiving the sub-dict of ``keys`` and
+            returning pass/fail.
+        severity: "required" or "recommended".
+    """
+
+    item_id: str
+    description: str
+    keys: tuple[str, ...]
+    predicate: Callable[[dict], bool]
+    severity: str = "required"
+
+    def __post_init__(self) -> None:
+        if self.severity not in ("required", "recommended"):
+            raise ValueError(f"bad severity: {self.severity!r}")
+
+
+@dataclass
+class ChecklistResult:
+    """Outcome of evaluating a plan.
+
+    Attributes:
+        passed / failed / unaddressed: item ids by outcome.
+        approved: True when no *required* item failed or went
+            unaddressed.
+    """
+
+    passed: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+    unaddressed: list[str] = field(default_factory=list)
+    _required_problems: int = 0
+
+    @property
+    def approved(self) -> bool:
+        """True when every required item passed."""
+        return self._required_problems == 0
+
+
+class ProtocolChecklist:
+    """An ordered set of checklist items evaluated against a plan dict."""
+
+    def __init__(self, name: str, items: list[ChecklistItem] | None = None) -> None:
+        self.name = name
+        self._items: dict[str, ChecklistItem] = {}
+        for item in items or []:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: ChecklistItem) -> None:
+        """Add an item; rejects duplicate ids."""
+        if item.item_id in self._items:
+            raise ValueError(f"duplicate checklist item: {item.item_id!r}")
+        self._items[item.item_id] = item
+
+    def items(self) -> list[ChecklistItem]:
+        """Items sorted by id."""
+        return sorted(self._items.values(), key=lambda i: i.item_id)
+
+    def evaluate(self, plan: dict) -> ChecklistResult:
+        """Evaluate ``plan``; see :class:`ChecklistResult`."""
+        result = ChecklistResult()
+        for item in self.items():
+            if any(key not in plan for key in item.keys):
+                result.unaddressed.append(item.item_id)
+                if item.severity == "required":
+                    result._required_problems += 1
+                continue
+            subplan = {key: plan[key] for key in item.keys}
+            if item.predicate(subplan):
+                result.passed.append(item.item_id)
+            else:
+                result.failed.append(item.item_id)
+                if item.severity == "required":
+                    result._required_problems += 1
+        return result
+
+
+def default_checklist() -> ProtocolChecklist:
+    """The checklist distilled from the paper's Sections 5 and 6.2.3.
+
+    Expected plan keys (all plain data):
+
+    - ``consent_process`` (str): how consent is obtained ("" = none).
+    - ``consent_withdrawal_supported`` (bool)
+    - ``data_anonymized`` (bool)
+    - ``power_risk_band`` (str): from
+      :func:`repro.ethics.power.assess_power_dynamics`.
+    - ``power_mitigations_planned`` (bool)
+    - ``community_in_problem_formation`` (bool)
+    - ``partnerships_documented`` (bool)
+    - ``positionality_statement`` (str): "" = none.
+    - ``data_sovereignty_plan`` (str): required when working with
+      indigenous communities.
+    - ``works_with_indigenous_communities`` (bool)
+    """
+    items = [
+        ChecklistItem(
+            "consent-documented",
+            "A consent process is described",
+            ("consent_process",),
+            lambda p: bool(p["consent_process"].strip()),
+        ),
+        ChecklistItem(
+            "consent-withdrawal",
+            "Participants can withdraw, and withdrawal is honored",
+            ("consent_withdrawal_supported",),
+            lambda p: bool(p["consent_withdrawal_supported"]),
+        ),
+        ChecklistItem(
+            "anonymization",
+            "Published data is pseudonymized/scrubbed",
+            ("data_anonymized",),
+            lambda p: bool(p["data_anonymized"]),
+        ),
+        ChecklistItem(
+            "power-assessed-and-mitigated",
+            "Power dynamics are assessed; high risk carries mitigations",
+            ("power_risk_band", "power_mitigations_planned"),
+            lambda p: p["power_risk_band"] == "low"
+            or bool(p["power_mitigations_planned"]),
+        ),
+        ChecklistItem(
+            "community-problem-formation",
+            "The community helped form the research problem",
+            ("community_in_problem_formation",),
+            lambda p: bool(p["community_in_problem_formation"]),
+            severity="recommended",
+        ),
+        ChecklistItem(
+            "partnerships-documented",
+            "Partnerships and their influence are documented",
+            ("partnerships_documented",),
+            lambda p: bool(p["partnerships_documented"]),
+            severity="recommended",
+        ),
+        ChecklistItem(
+            "positionality-statement",
+            "Authors reflect on their positionality",
+            ("positionality_statement",),
+            lambda p: bool(p["positionality_statement"].strip()),
+            severity="recommended",
+        ),
+        ChecklistItem(
+            "indigenous-data-sovereignty",
+            "Indigenous partnerships carry a data-sovereignty plan",
+            ("works_with_indigenous_communities", "data_sovereignty_plan"),
+            lambda p: (not p["works_with_indigenous_communities"])
+            or bool(p["data_sovereignty_plan"].strip()),
+        ),
+    ]
+    return ProtocolChecklist("human-centered-networking-default", items)

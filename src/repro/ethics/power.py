@@ -1,0 +1,112 @@
+"""Power-dynamics risk assessment.
+
+"The power balances between network researchers and industry
+practitioners will rarely be considered high-risk, but we do agitate for
+broadening networking research outside of this limited context and that
+will change those dynamics" (paper, Section 6.2.3).  This module scores
+a researcher/participant pairing on the dimensions that ethics
+literature treats as power-relevant, and recommends mitigations keyed
+to the drivers of the score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Dimension -> weight in the risk score.  Weights sum to 1.
+_DIMENSION_WEIGHTS = {
+    "resource_dependence": 0.25,   # participant depends on what research brings
+    "institutional_gap": 0.15,     # university vs informal collective, etc.
+    "historical_harm": 0.25,       # prior research abuse of the community
+    "exit_cost": 0.15,             # how hard refusing/withdrawing is
+    "representation_gap": 0.20,    # community voice in research design
+}
+
+_MITIGATIONS = {
+    "resource_dependence": (
+        "decouple service delivery from study participation; "
+        "guarantee benefits regardless of continued participation"
+    ),
+    "institutional_gap": (
+        "use community-preferred venues and formats for consent and "
+        "feedback; avoid institution-jargon instruments"
+    ),
+    "historical_harm": (
+        "follow community research-governance protocols (e.g. tribal "
+        "IRBs); plan data sovereignty and return of results first"
+    ),
+    "exit_cost": (
+        "create low-friction withdrawal with no service consequences; "
+        "re-confirm consent at each study phase"
+    ),
+    "representation_gap": (
+        "bring community members into problem formation and analysis "
+        "(participatory design of the study itself)"
+    ),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class PowerAssessment:
+    """A scored power-dynamics assessment.
+
+    Attributes:
+        score: Weighted risk in [0, 1]; higher = larger imbalance.
+        band: "low" (< 0.3), "moderate" (< 0.6), or "high".
+        drivers: Dimensions at or above 0.6, sorted by contribution.
+        mitigations: Recommended mitigations for each driver.
+    """
+
+    score: float
+    band: str
+    drivers: tuple[str, ...]
+    mitigations: tuple[str, ...]
+
+
+def assess_power_dynamics(dimensions: dict[str, float]) -> PowerAssessment:
+    """Score a pairing on the five power dimensions.
+
+    Args:
+        dimensions: Each of ``resource_dependence``,
+            ``institutional_gap``, ``historical_harm``, ``exit_cost``,
+            ``representation_gap`` as a value in [0, 1].  All five are
+            required — skipping a dimension is itself a red flag.
+
+    Returns:
+        A :class:`PowerAssessment`.
+
+    >>> low = assess_power_dynamics({k: 0.1 for k in (
+    ...     "resource_dependence", "institutional_gap", "historical_harm",
+    ...     "exit_cost", "representation_gap")})
+    >>> low.band
+    'low'
+    """
+    missing = sorted(set(_DIMENSION_WEIGHTS) - set(dimensions))
+    if missing:
+        raise ValueError(f"missing power dimensions: {missing}")
+    unknown = sorted(set(dimensions) - set(_DIMENSION_WEIGHTS))
+    if unknown:
+        raise ValueError(f"unknown power dimensions: {unknown}")
+    for name, value in dimensions.items():
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    score = sum(
+        _DIMENSION_WEIGHTS[name] * value for name, value in dimensions.items()
+    )
+    if score < 0.3:
+        band = "low"
+    elif score < 0.6:
+        band = "moderate"
+    else:
+        band = "high"
+    drivers = tuple(
+        sorted(
+            (name for name, value in dimensions.items() if value >= 0.6),
+            key=lambda name: (-_DIMENSION_WEIGHTS[name] * dimensions[name], name),
+        )
+    )
+    mitigations = tuple(_MITIGATIONS[name] for name in drivers)
+    return PowerAssessment(
+        score=score, band=band, drivers=drivers, mitigations=mitigations
+    )

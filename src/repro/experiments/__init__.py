@@ -1,0 +1,24 @@
+"""The experiment suite (E1-E12).
+
+The paper has no tables or figures — it is a position paper — so
+DESIGN.md defines a synthetic evaluation suite mapping each of the
+paper's claims and case studies to a quantitative, seed-deterministic
+experiment.  Each module here is one experiment's runner; the
+``benchmarks/`` directory wraps them in pytest-benchmark harnesses and
+EXPERIMENTS.md records their expected shapes.
+
+Use :func:`repro.experiments.registry.get_experiment` /
+:func:`repro.experiments.registry.all_experiments` to enumerate and run
+them programmatically; each runner accepts ``seed`` and ``fast``
+(reduced problem sizes for CI) and returns an
+:class:`~repro.experiments.registry.ExperimentResult`.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    run_all,
+)
+
+__all__ = ["ExperimentResult", "all_experiments", "get_experiment", "run_all"]

@@ -1,0 +1,29 @@
+"""Shared synthetic corpus for the bibliometric experiments (E1-E3, E12).
+
+Generating and scanning the corpus dominates those experiments' cost,
+and they test different claims on the *same* data — so the corpus is
+built once per ``(seed, fast)`` and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bibliometrics.corpus import Corpus
+from repro.bibliometrics.synthgen import (
+    GroundTruth,
+    SyntheticCorpusConfig,
+    generate_corpus,
+)
+
+
+@lru_cache(maxsize=4)
+def shared_corpus(seed: int = 0, fast: bool = True) -> tuple[Corpus, GroundTruth]:
+    """The E1-E3/E12 corpus: 2000-2025 full, 2016-2025 in fast mode."""
+    config = SyntheticCorpusConfig(
+        start_year=2016 if fast else 2000,
+        end_year=2025,
+        seed=seed,
+        authors_per_venue_pool=60 if fast else 120,
+    )
+    return generate_corpus(config)

@@ -1,0 +1,89 @@
+"""E2: positionality-statement prevalence by venue kind.
+
+Claim (paper §4): positionality statements — authors situating their
+identities, locations, beliefs, and community ties — are conventional
+in feminist-STS-informed venues and essentially absent from networking
+venues.
+
+Shape expected: detected prevalence under 2% at networking venues and
+double-digit percent at HCI/STS venues; the extractor's precision and
+recall against the generator's ground truth both above 0.9 (it is a
+rule-based extractor over rule-generated text — this check guards the
+pipeline, not linguistics).
+"""
+
+from __future__ import annotations
+
+from repro.core.positionality import has_positionality_statement
+from repro.experiments._corpus import shared_corpus
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E2; see module docstring for the expected shape."""
+    corpus, truth = shared_corpus(seed=seed, fast=fast)
+
+    per_kind: dict[str, dict[str, int]] = {}
+    true_positive = false_positive = false_negative = 0
+    for paper in corpus:
+        kind = corpus.venue(paper.venue_id).kind
+        bucket = per_kind.setdefault(
+            kind, {"papers": 0, "detected": 0, "truth": 0}
+        )
+        bucket["papers"] += 1
+        detected = has_positionality_statement(paper.full_text)
+        actual = paper.paper_id in truth.positionality
+        bucket["detected"] += int(detected)
+        bucket["truth"] += int(actual)
+        if detected and actual:
+            true_positive += 1
+        elif detected:
+            false_positive += 1
+        elif actual:
+            false_negative += 1
+
+    table = Table(
+        ["venue_kind", "papers", "detected_share", "truth_share"],
+        title="E2a: positionality prevalence by venue kind",
+    )
+    shares = {}
+    for kind in sorted(per_kind):
+        bucket = per_kind[kind]
+        detected_share = bucket["detected"] / bucket["papers"]
+        shares[kind] = detected_share
+        table.add_row(
+            [
+                kind,
+                bucket["papers"],
+                detected_share,
+                bucket["truth"] / bucket["papers"],
+            ]
+        )
+
+    precision = (
+        true_positive / (true_positive + false_positive)
+        if (true_positive + false_positive)
+        else 1.0
+    )
+    recall = (
+        true_positive / (true_positive + false_negative)
+        if (true_positive + false_negative)
+        else 1.0
+    )
+    detector_table = Table(
+        ["metric", "value"], title="E2b: extractor accuracy vs ground truth"
+    )
+    detector_table.add_row(["precision", precision])
+    detector_table.add_row(["recall", recall])
+
+    result = make_result("E2")
+    result.tables = [table, detector_table]
+    result.checks = {
+        "networking_below_2pct": shares.get("networking", 0.0) < 0.02,
+        "hci_double_digit": shares.get("hci", 0.0) >= 0.10,
+        "sts_double_digit": shares.get("sts", 0.0) >= 0.10,
+        "precision_above_0.9": precision > 0.9,
+        "recall_above_0.9": recall > 0.9,
+    }
+    return result

@@ -1,0 +1,69 @@
+"""E7: IXP gravity and tromboning (the Brazil / DE-CIX case study).
+
+Claim (paper §3, Rosa [39]): "Despite more than 35 local IXPs, many
+Brazilian ISPs still connect in Europe ... large IXPs such as DE-CIX in
+Frankfurt have benefited from the limited public points of presence of
+big tech in the Global South, attracting international traffic and
+becoming giant Internet nodes."
+
+Shape expected: with no Global-South content PoPs, the foreign
+mega-exchange carries the large majority of IXP-crossing volume
+(gravity ratio high) and no content is served domestically; both
+reverse monotonically as PoP presence sweeps to 1.0, and domestic
+tromboning falls.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+from repro.netsim.bgp.scenarios import run_gravity_study
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E7; see module docstring for the expected shape."""
+    records = run_gravity_study(
+        n_eyeballs=18 if fast else 30,
+        seed=seed,
+    )
+    table = Table(
+        [
+            "pop_presence", "content_domestic", "tromboned",
+            "mega_ixp_vol", "local_ixp_vol", "mega_gravity",
+        ],
+        title="E7: locality vs content-PoP presence in the South region",
+    )
+    for record in records:
+        table.add_row(
+            [
+                record["content_pop_presence"],
+                record["content_served_domestically"],
+                record["eyeball_tromboned_share"],
+                record["mega_ixp_volume"],
+                record["local_ixp_volume"],
+                record["mega_gravity_ratio"],
+            ]
+        )
+
+    first, last = records[0], records[-1]
+    domestic_series = [r["content_served_domestically"] for r in records]
+    gravity_series = [r["mega_gravity_ratio"] for r in records]
+    result = make_result("E7")
+    result.tables = [table]
+    result.checks = {
+        "no_pops_mega_majority": first["mega_gravity_ratio"] > 0.5,
+        "no_pops_zero_domestic_content": (
+            first["content_served_domestically"] == 0.0
+        ),
+        "domestic_content_monotone_up": all(
+            a <= b + 1e-9 for a, b in zip(domestic_series, domestic_series[1:])
+        ),
+        "mega_gravity_monotone_down": all(
+            a >= b - 1e-9 for a, b in zip(gravity_series, gravity_series[1:])
+        ),
+        "full_pops_cut_tromboning": (
+            last["eyeball_tromboned_share"]
+            < first["eyeball_tromboned_share"] - 0.2
+        ),
+    }
+    return result

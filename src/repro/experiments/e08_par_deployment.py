@@ -1,0 +1,81 @@
+"""E8: PAR-engaged vs top-down community-network deployment.
+
+Claim (paper §2, §4): participatory engagement — community-shaped
+siting, local volunteer maintenance, iterative feedback — is what made
+an "operational, impact-focused research network" like the Seattle
+Community Network work; detached operation misses it.
+
+Shape expected: the fully participatory deployment beats top-down on
+median repair time (by roughly 2x), retention, coverage, and volunteer
+base, stably across seeds.  The ablation shows no single ingredient
+reproduces the full effect — notably, local maintenance *without*
+community engagement underperforms (too few volunteers), which is the
+paper's interaction argument in miniature.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+from repro.netsim.community.deployment import run_deployment_study
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E8; see module docstring for the expected shape.
+
+    ``seed`` offsets the seed range used for the per-variant averages.
+    """
+    n_seeds = 3 if fast else 8
+    months = 18 if fast else 24
+    # run_deployment_study uses seeds 0..n-1 internally; fold the caller
+    # seed in by widening the average window when seed > 0.
+    results = run_deployment_study(
+        n_seeds=n_seeds + (seed % 2), months=months, ablations=True
+    )
+
+    table = Table(
+        [
+            "policy", "uptime", "coverage", "quality",
+            "repair_days", "retention", "members", "volunteers",
+        ],
+        title="E8: deployment outcomes (seed-averaged)",
+    )
+    for policy in (
+        "par", "top_down", "siting_only", "maintenance_only", "iteration_only",
+    ):
+        record = results[policy]
+        table.add_row(
+            [
+                policy,
+                record["mean_uptime"],
+                record["mean_coverage"],
+                record["mean_service_quality"],
+                record["median_repair_days"],
+                record["retention"],
+                record["final_members"],
+                record["final_volunteers"],
+            ]
+        )
+
+    par = results["par"]
+    top = results["top_down"]
+    ablation_retentions = [
+        results[p]["retention"]
+        for p in ("siting_only", "maintenance_only", "iteration_only")
+    ]
+    result = make_result("E8")
+    result.tables = [table]
+    result.checks = {
+        "par_repairs_faster_1.5x": (
+            top["median_repair_days"] >= 1.5 * par["median_repair_days"]
+        ),
+        "par_better_retention": par["retention"] > top["retention"],
+        "par_better_coverage": par["mean_coverage"] > top["mean_coverage"],
+        "par_more_volunteers": (
+            par["final_volunteers"] > 2.0 * max(top["final_volunteers"], 0.1)
+        ),
+        "no_single_ingredient_matches_par": all(
+            r < par["retention"] for r in ablation_retentions
+        ),
+    }
+    return result

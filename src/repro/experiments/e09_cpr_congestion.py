@@ -1,0 +1,82 @@
+"""E9: congestion management as a common-pool resource.
+
+Claim (paper §4, Johnson et al. [28]): community-based congestion
+management — treating shared capacity as a commons governed by the
+community's own rules — works in an operating community network.
+
+Shape expected: under overload with persistent heavy users, CPR
+management beats FIFO on fairness (Jain) and overall satisfaction, and
+beats static caps on utilization; heavy users pay a moderate (not
+punitive) satisfaction cost.  The sanction-strength ablation shows
+fairness robust across sanction factors while heavy-user satisfaction
+falls as sanctions harden — the knob a community actually debates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+from repro.netsim.community.congestion import run_congestion_study
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E9; see module docstring for the expected shape."""
+    n_rounds = 120 if fast else 400
+    results = run_congestion_study(n_rounds=n_rounds, seed=seed)
+
+    table = Table(
+        [
+            "policy", "jain", "satisfaction", "utilization",
+            "starved_rounds", "heavy_user_sat",
+        ],
+        title="E9a: allocator comparison under overload",
+    )
+    for policy in ("fifo", "static_cap", "maxmin", "cpr"):
+        record = results[policy]
+        table.add_row(
+            [
+                policy,
+                record["mean_jain"],
+                record["mean_satisfaction"],
+                record["mean_utilization"],
+                record["starved_rounds_share"],
+                record["heavy_user_satisfaction"],
+            ]
+        )
+
+    ablation = Table(
+        ["sanction_factor", "jain", "satisfaction", "heavy_user_sat"],
+        title="E9b: CPR sanction-strength ablation",
+    )
+    for factor in (0.8, 0.5, 0.2):
+        record = run_congestion_study(
+            n_rounds=n_rounds, seed=seed, sanction_factor=factor
+        )["cpr"]
+        ablation.add_row(
+            [
+                factor,
+                record["mean_jain"],
+                record["mean_satisfaction"],
+                record["heavy_user_satisfaction"],
+            ]
+        )
+
+    fifo = results["fifo"]
+    static = results["static_cap"]
+    cpr = results["cpr"]
+    result = make_result("E9")
+    result.tables = [table, ablation]
+    result.checks = {
+        "cpr_fairer_than_fifo": cpr["mean_jain"] > fifo["mean_jain"] + 0.02,
+        "cpr_more_satisfying_than_fifo": (
+            cpr["mean_satisfaction"] > fifo["mean_satisfaction"]
+        ),
+        "cpr_beats_static_cap_utilization": (
+            cpr["mean_utilization"] > static["mean_utilization"] + 0.05
+        ),
+        "cpr_rarely_starves": (
+            cpr["starved_rounds_share"] < fifo["starved_rounds_share"] - 0.2
+        ),
+        "heavy_users_not_crushed": cpr["heavy_user_satisfaction"] > 0.5,
+    }
+    return result

@@ -1,0 +1,140 @@
+"""E10: reachability bias in problem surfacing.
+
+Claim (paper §1): "Existing agendas tend to reflect the views of those
+who are most easily reachable ... Entire classes of challenges — those
+shaped by economic precarity, infrastructural instability, or
+linguistic and geopolitical marginality — are rendered invisible,
+because the people experiencing them are not in the room."
+
+Operationalization: a stakeholder population stratified by reachability,
+each stratum experiencing its own catalog of problems; three recruiters
+(convenience, quota, PAR-style chain referral) sample it.  The outcome
+is the *voice share* of low-reachability problem classes — the fraction
+of surfaced problem-reports concerning them, against the population's
+own fraction.  (Binary coverage saturates once a couple of marginal
+members are recruited; what the paper claims is muted, not absent,
+voice.)
+
+Shape expected: convenience sampling mutes low-reach problems to well
+under their population voice share and over-represents hyperscaler
+engineers several-fold; chain referral restores voice to near-faithful
+at a similar contact budget; quota restores it too but at a much larger
+attempt cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+from repro.surveys.respondents import default_population
+from repro.surveys.sampling import (
+    chain_referral_sample,
+    convenience_sample,
+    coverage_report,
+    quota_sample,
+)
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E10; see module docstring for the expected shape."""
+    population = default_population(size=600 if fast else 2000, seed=seed)
+    target = 80 if fast else 200
+    per_stratum = max(5, target // len(population.strata()))
+
+    samples = {
+        "convenience": convenience_sample(population, target, seed=seed),
+        "quota": quota_sample(population, per_stratum, seed=seed),
+        "chain_referral": chain_referral_sample(population, target, seed=seed),
+    }
+
+    table = Table(
+        [
+            "scheme", "recruits", "attempts", "problem_coverage",
+            "low_reach_voice", "voice_repr", "hyperscaler_repr",
+            "rural_user_repr",
+        ],
+        title="E10: sampling schemes vs low-reach problem voice",
+    )
+    coverage = {}
+    for scheme, report in samples.items():
+        cov = coverage_report(population, report)
+        coverage[scheme] = cov
+        representation = cov["stratum_representation"]
+        table.add_row(
+            [
+                scheme,
+                report.n_sampled,
+                report.attempts,
+                cov["problem_coverage"],
+                cov["low_reach_voice_share"],
+                cov["voice_representation"],
+                representation.get("hyperscaler-engineer", 0.0),
+                representation.get("rural-user", 0.0),
+            ]
+        )
+    baseline = Table(["metric", "value"], title="E10b: population baseline")
+    baseline.add_row(
+        [
+            "population_low_reach_voice_share",
+            coverage["convenience"]["population_low_reach_voice_share"],
+        ]
+    )
+
+    # Can post-stratification weighting repair the convenience sample?
+    # Only for strata it contains at all — the unrepresentable share is
+    # what no weighting scheme recovers (repro.surveys.weighting).
+    from repro.surveys.weighting import coverage_deficit
+
+    population_counts: dict[str, int] = {}
+    for member in population:
+        population_counts[member.stratum] = (
+            population_counts.get(member.stratum, 0) + 1
+        )
+    n_pop = len(population)
+    population_shares = {
+        stratum: count / n_pop for stratum, count in population_counts.items()
+    }
+    weighting = Table(
+        ["scheme", "unseen_strata", "unrepresentable_share"],
+        title="E10c: what post-stratification weighting cannot repair",
+    )
+    deficits = {}
+    for scheme, report in samples.items():
+        strata = [population.get(sid).stratum for sid in report.sampled_ids]
+        deficit = coverage_deficit(strata, population_shares)
+        deficits[scheme] = deficit
+        weighting.add_row(
+            [
+                scheme,
+                len(deficit["unseen_strata"]),
+                deficit["unrepresentable_share"],
+            ]
+        )
+
+    convenience = coverage["convenience"]
+    referral = coverage["chain_referral"]
+    quota = coverage["quota"]
+    conv_repr = convenience["stratum_representation"]
+    result = make_result("E10")
+    result.tables = [table, baseline, weighting]
+    result.checks = {
+        "convenience_mutes_low_reach_voice": (
+            convenience["voice_representation"] < 0.6
+        ),
+        "referral_restores_voice": (
+            referral["voice_representation"]
+            > convenience["voice_representation"] + 0.2
+        ),
+        "quota_restores_voice": (
+            quota["voice_representation"]
+            > convenience["voice_representation"] + 0.2
+        ),
+        "convenience_overrepresents_reachable": (
+            conv_repr.get("hyperscaler-engineer", 0.0)
+            > 3.0 * max(conv_repr.get("rural-user", 0.0), 1e-9)
+        ),
+        "quota_costs_more_attempts": (
+            samples["quota"].attempts > samples["chain_referral"].attempts
+        ),
+    }
+    return result

@@ -1,0 +1,182 @@
+"""E11: the Section-5 recommendations audit is sensitive and separable.
+
+Claim (paper §5): the three recommendations — document partnerships,
+detail informative conversations, reflect on positionality — are
+concrete enough to check.  This experiment builds a fully documented
+reference project, then strips one practice at a time and verifies the
+audit (i) scores the full project near 1.0, (ii) attributes each
+stripped practice to exactly the right sub-score, and (iii) leaves the
+other two sub-scores untouched (separability).
+"""
+
+from __future__ import annotations
+
+from repro.core.par import EngagementEvent, EngagementKind, EngagementLedger
+from repro.core.positionality import PositionalityStatement
+from repro.core.project import ConversationRecord, Partner, ResearchProject
+from repro.core.recommendations import audit_project
+from repro.core.stages import ResearchStage
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+
+
+def build_reference_project() -> ResearchProject:
+    """A project that follows every Section-5 practice."""
+    project = ResearchProject(
+        name="community-backhaul-study",
+        description="Shared backhaul economics in a rural cooperative",
+    )
+    project.add_partner(
+        Partner(
+            "coop",
+            "Rural Connectivity Cooperative",
+            kind="community",
+            relationship_origin=(
+                "introduced by a regional NGO after a community meeting; "
+                "two years of relationship building preceded the study"
+            ),
+        )
+    )
+    ledger = EngagementLedger()
+    ledger.record(
+        EngagementEvent(
+            0, ResearchStage.PROBLEM_FORMATION, "coop",
+            EngagementKind.LED,
+            "cooperative named backhaul cost as the problem to study",
+        )
+    )
+    ledger.record(
+        EngagementEvent(
+            2, ResearchStage.DESIGN, "coop", EngagementKind.COLLABORATED,
+            "co-designed the traffic-sharing rules", fed_back_into_design=True,
+        )
+    )
+    ledger.record(
+        EngagementEvent(
+            5, ResearchStage.IMPLEMENTATION, "coop", EngagementKind.INVOLVED,
+            "members installed and configured the meters",
+        )
+    )
+    ledger.record(
+        EngagementEvent(
+            9, ResearchStage.EVALUATION, "coop", EngagementKind.COLLABORATED,
+            "evaluation ran on the cooperative's live network",
+            fed_back_into_design=True,
+        )
+    )
+    ledger.record(
+        EngagementEvent(
+            12, ResearchStage.PUBLICATION, "coop", EngagementKind.CONSULTED,
+            "cooperative reviewed the draft and the quotes used",
+        )
+    )
+    project.ledger = ledger
+    project.record_conversation(
+        ConversationRecord(
+            "conv-1", "coop", 1,
+            summary="hallway conversation about seasonal demand",
+            how_it_informed="added the harvest-season load scenario",
+            quotes=("the network dies every harvest",),
+            open_questions=("does the pattern hold in the north valley?",),
+        )
+    )
+    project.record_conversation(
+        ConversationRecord(
+            "conv-2", "coop", 6,
+            summary="maintenance volunteers on spare-part logistics",
+            how_it_informed="reframed repair time as a logistics problem",
+            quotes=("parts take a season to arrive",),
+        )
+    )
+    project.positionality = [
+        PositionalityStatement(
+            identity="network engineers from the Global North",
+            location="based in a university town far from the field site",
+            affiliations="publicly funded lab, no vendor ties",
+            community_ties="one author grew up in a neighboring cooperative",
+            beliefs="decentralized infrastructure as a default good",
+            relevance="shaped which costs we counted as burdens",
+        )
+    ]
+    project.methods_used = {"interviews", "participatory design", "metering"}
+    return project
+
+
+def _strip_partnership_docs(project: ResearchProject) -> ResearchProject:
+    stripped = build_reference_project()
+    stripped.partners = {
+        pid: Partner(p.partner_id, p.name, p.kind, relationship_origin="")
+        for pid, p in stripped.partners.items()
+    }
+    stripped.ledger = EngagementLedger(
+        [
+            e
+            for e in stripped.ledger.events()
+            if e.stage
+            not in (ResearchStage.PROBLEM_FORMATION, ResearchStage.EVALUATION)
+        ]
+    )
+    return stripped
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E11 (deterministic; ``seed``/``fast`` accepted for uniformity)."""
+    variants: dict[str, ResearchProject] = {"full": build_reference_project()}
+
+    variants["no_partnership_docs"] = _strip_partnership_docs(
+        build_reference_project()
+    )
+
+    no_conversations = build_reference_project()
+    no_conversations.conversations = []
+    variants["no_conversations"] = no_conversations
+
+    no_positionality = build_reference_project()
+    no_positionality.positionality = []
+    variants["no_positionality"] = no_positionality
+
+    table = Table(
+        ["variant", "partnerships", "conversations", "positionality", "overall"],
+        title="E11: audit scores across stripped variants",
+    )
+    audits = {}
+    for name, project in variants.items():
+        audit = audit_project(project)
+        audits[name] = audit
+        table.add_row(
+            [
+                name,
+                audit.partnerships.score,
+                audit.conversations.score,
+                audit.positionality.score,
+                audit.overall,
+            ]
+        )
+
+    full = audits["full"]
+    result = make_result("E11")
+    result.tables = [table]
+    result.checks = {
+        "full_project_scores_high": full.overall >= 0.95,
+        "partnership_strip_hits_partnerships": (
+            audits["no_partnership_docs"].partnerships.score
+            < full.partnerships.score - 0.3
+        ),
+        "partnership_strip_separable": (
+            audits["no_partnership_docs"].conversations.score
+            == full.conversations.score
+            and audits["no_partnership_docs"].positionality.score
+            == full.positionality.score
+        ),
+        "conversation_strip_hits_conversations": (
+            audits["no_conversations"].conversations.score == 0.0
+            and audits["no_conversations"].partnerships.score
+            == full.partnerships.score
+        ),
+        "positionality_strip_hits_positionality": (
+            audits["no_positionality"].positionality.score == 0.0
+            and audits["no_positionality"].conversations.score
+            == full.conversations.score
+        ),
+    }
+    return result

@@ -1,0 +1,93 @@
+"""E12: scale vs depth.
+
+Claim (paper §6.2.1): "while data from a small number of actors may not
+seem to be 'at scale', it's clear that there are individuals with
+enormous influence on the network and limited datasets from
+interactions with these actors can have huge scaled implications."
+
+Operationalization, in both of the library's worlds:
+
+- *Interconnection*: in the mandatory-peering market, what share of
+  delivered domestic traffic touches the top-k transit organizations?
+  (Interviewing three organizations "covers" most of the traffic.)
+- *Bibliometrics*: what share of within-corpus citations goes to the
+  top 1% / 5% of papers, and what is the citation Gini?
+
+Shape expected: top-3 ASes touch well over half the traffic; citations
+are heavily concentrated (Gini > 0.6, top-5% share > 30%) — small-N
+qualitative engagement with the right actors covers much of the system.
+"""
+
+from __future__ import annotations
+
+from repro.bibliometrics.metrics import gini, top_k_share
+from repro.experiments._corpus import shared_corpus
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+from repro.netsim.bgp.ixp import connect_ixp_members
+from repro.netsim.bgp.routing import propagate_routes
+from repro.netsim.bgp.scenarios import build_mandatory_peering_scenario
+from repro.netsim.bgp.traffic import resolve_flows
+
+
+def _traffic_concentration(seed: int, fast: bool) -> list[tuple[int, float]]:
+    """Share of delivered domestic volume touching the top-k ASes."""
+    scenario = build_mandatory_peering_scenario(
+        n_small_isps=20 if fast else 40, seed=seed
+    )
+    connect_ixp_members(scenario.graph, scenario.ixp)
+    table = propagate_routes(scenario.graph)
+    flows = resolve_flows(scenario.graph, table, scenario.demands)
+    delivered = [f for f in flows if f.delivered]
+    total = sum(f.demand.volume for f in delivered)
+    volume_by_asn: dict[int, float] = {}
+    for flow in delivered:
+        assert flow.path is not None
+        for asn in flow.path:
+            volume_by_asn[asn] = volume_by_asn.get(asn, 0.0) + flow.demand.volume
+    top = sorted(volume_by_asn.items(), key=lambda kv: (-kv[1], kv[0]))
+    shares = []
+    for k in (1, 3, 5):
+        covered_flows = 0.0
+        top_asns = {asn for asn, _ in top[:k]}
+        for flow in delivered:
+            assert flow.path is not None
+            if any(asn in top_asns for asn in flow.path):
+                covered_flows += flow.demand.volume
+        shares.append((k, covered_flows / total if total else 0.0))
+    return shares
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E12; see module docstring for the expected shape."""
+    traffic_shares = _traffic_concentration(seed, fast)
+    traffic_table = Table(
+        ["top_k_ases", "traffic_touch_share"],
+        title="E12a: domestic traffic touching the top-k ASes",
+    )
+    for k, share in traffic_shares:
+        traffic_table.add_row([k, share])
+
+    corpus, _ = shared_corpus(seed=seed, fast=fast)
+    citation_counts = corpus.citation_counts()
+    counts = [citation_counts.get(p.paper_id, 0) for p in corpus]
+    n = len(counts)
+    citation_table = Table(
+        ["metric", "value"], title="E12b: citation concentration"
+    )
+    top1 = top_k_share(counts, max(1, n // 100))
+    top5 = top_k_share(counts, max(1, n // 20))
+    citation_gini = gini(counts)
+    citation_table.add_row(["top_1pct_share", top1])
+    citation_table.add_row(["top_5pct_share", top5])
+    citation_table.add_row(["gini", citation_gini])
+
+    result = make_result("E12")
+    result.tables = [traffic_table, citation_table]
+    top3_share = dict(traffic_shares)[3]
+    result.checks = {
+        "top3_ases_touch_majority": top3_share > 0.5,
+        "citations_concentrated_gini": citation_gini > 0.6,
+        "top5pct_papers_over_30pct_citations": top5 > 0.3,
+    }
+    return result

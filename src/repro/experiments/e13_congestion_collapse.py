@@ -1,0 +1,93 @@
+"""E13: congestion collapse and the action-research counterfactual.
+
+Claim (paper §2): networking's formative era worked like action
+research — "innovations such as congestion control algorithms (e.g.,
+TCP Tahoe) being relatively small extensions over existing designs and
+deployed first into the Internet", iterated with operators; and "we
+know what would have happened without these use-focused 'action'
+methods".  What would have happened is congestion collapse: the 1986-88
+episodes that open-loop senders caused and Jacobson's deployment-bred
+AIMD fixed.
+
+Operationalization: N senders share a drop-tail bottleneck; sweep
+offered load for (a) the open-loop fixed-window sender with a static
+timeout (the counterfactual), (b) Tahoe (the first deployed fix), and
+(c) Reno (the next deployment iteration).
+
+Shape expected: all protocols track capacity up to load 1.0; beyond it
+the open-loop sender's goodput *falls* (duplicate retransmissions crowd
+out fresh data once queueing delay exceeds its timeout) and stays
+depressed, while Tahoe holds ≥ 0.7 of capacity and Reno ≥ Tahoe at
+every overload point (fast recovery avoids Tahoe's window resets).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, make_result
+from repro.io.tables import Table
+from repro.netsim.transport.sim import run_collapse_study
+
+
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E13 (deterministic; ``seed`` accepted for uniformity)."""
+    ticks = 250 if fast else 600
+    results = run_collapse_study(ticks=ticks)
+
+    table = Table(
+        [
+            "protocol", "offered_load", "goodput", "duplicate_share",
+            "loss_rate", "retx_share", "queue_delay",
+        ],
+        title="E13: goodput vs offered load on a shared bottleneck",
+    )
+    by_protocol: dict[str, list] = {}
+    for record in results:
+        by_protocol.setdefault(record.protocol, []).append(record)
+        table.add_row(
+            [
+                record.protocol,
+                record.offered_load,
+                record.goodput,
+                record.duplicate_share,
+                record.loss_rate,
+                record.retransmission_share,
+                record.mean_queue_delay,
+            ]
+        )
+
+    fixed = by_protocol["fixed"]
+    tahoe = by_protocol["tahoe"]
+    reno = by_protocol["reno"]
+    overload_fixed = [r for r in fixed if r.offered_load > 1.0]
+    overload_tahoe = [r for r in tahoe if r.offered_load > 1.0]
+    overload_reno = [r for r in reno if r.offered_load > 1.0]
+    fixed_at_capacity = next(r for r in fixed if r.offered_load == 1.0)
+
+    result = make_result("E13")
+    result.tables = [table]
+    result.checks = {
+        "all_fine_at_or_below_capacity": all(
+            r.goodput >= min(1.0, r.offered_load) - 0.05
+            for rows in (fixed, tahoe, reno)
+            for r in rows
+            if r.offered_load <= 1.0
+        ),
+        "open_loop_collapses_under_overload": all(
+            r.goodput <= fixed_at_capacity.goodput - 0.25
+            for r in overload_fixed
+        ),
+        "collapse_is_duplicates": all(
+            r.duplicate_share >= 0.3 for r in overload_fixed
+        ),
+        "tahoe_holds_goodput": all(
+            r.goodput >= 0.7 for r in overload_tahoe
+        ),
+        "reno_at_least_tahoe": all(
+            rr.goodput >= rt.goodput - 0.02
+            for rr, rt in zip(overload_reno, overload_tahoe)
+        ),
+        "aimd_keeps_fairness": all(
+            r.fairness >= 0.9 for r in overload_tahoe + overload_reno
+        ),
+    }
+    return result

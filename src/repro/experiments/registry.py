@@ -1,0 +1,149 @@
+"""Experiment registry and result type."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.io.tables import Table
+
+#: Experiment id -> (module name, title, paper claim).
+_EXPERIMENTS: dict[str, tuple[str, str, str]] = {
+    "E1": (
+        "repro.experiments.e01_method_adoption",
+        "Human-method adoption by venue",
+        "Human methods are peripheral in networking venues vs HCI/STS (§1, §6.4)",
+    ),
+    "E2": (
+        "repro.experiments.e02_positionality_prevalence",
+        "Positionality-statement prevalence",
+        "Positionality statements are rare in networking, present in HCI/STS (§4)",
+    ),
+    "E3": (
+        "repro.experiments.e03_agenda_concentration",
+        "Research-agenda concentration",
+        "Agendas mirror large moneyed interests (§1, §6.3.1)",
+    ),
+    "E4": (
+        "repro.experiments.e04_coding_reliability",
+        "Qualitative-coding reliability",
+        "Formal coding is reliable and chance-correction matters (§5.2 fn.1)",
+    ),
+    "E5": (
+        "repro.experiments.e05_saturation",
+        "Saturation and patchwork ethnography",
+        "Patchwork engagement approaches full-immersion coverage (§3)",
+    ),
+    "E6": (
+        "repro.experiments.e06_telmex_evasion",
+        "Mandatory-peering evasion",
+        "An incumbent can satisfy an IXP mandate via ASN games (§3, [38])",
+    ),
+    "E7": (
+        "repro.experiments.e07_ixp_gravity",
+        "IXP gravity and tromboning",
+        "Sparse Global-South PoPs push traffic through foreign mega-IXPs (§3, [39])",
+    ),
+    "E8": (
+        "repro.experiments.e08_par_deployment",
+        "PAR vs top-down deployment",
+        "Participatory operation improves community-network outcomes (§2, §4)",
+    ),
+    "E9": (
+        "repro.experiments.e09_cpr_congestion",
+        "Common-pool congestion management",
+        "Community CPR management beats unmanaged sharing (§4, [28])",
+    ),
+    "E10": (
+        "repro.experiments.e10_reachability_bias",
+        "Reachability bias in problem surfacing",
+        "Problems surface from the most easily reachable stakeholders (§1)",
+    ),
+    "E11": (
+        "repro.experiments.e11_recommendations_audit",
+        "Recommendations audit sensitivity",
+        "Section-5 practices are auditable and separable (§5)",
+    ),
+    "E12": (
+        "repro.experiments.e12_scale_vs_depth",
+        "Scale vs depth",
+        "Few actors carry most of the system; small-N engagement covers much (§6.2.1)",
+    ),
+    "E13": (
+        "repro.experiments.e13_congestion_collapse",
+        "Congestion collapse counterfactual",
+        "Deployment-bred AIMD (Tahoe/Reno) prevents the collapse open-loop "
+        "design causes (§2)",
+    ),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        experiment_id: "E1".."E12".
+        title: Human-readable title.
+        claim: The paper claim being tested.
+        tables: Result tables (rendered into bench output and
+            EXPERIMENTS.md).
+        checks: Named boolean shape-checks — the "expected shape" from
+            DESIGN.md evaluated on this run's numbers.
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    tables: list[Table] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def shape_holds(self) -> bool:
+        """True when every shape-check passed."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        """Render tables and checks as plain text."""
+        parts = [f"{self.experiment_id}: {self.title}", f"claim: {self.claim}"]
+        for table in self.tables:
+            parts.append(table.render())
+        for name, ok in sorted(self.checks.items()):
+            parts.append(f"check {name}: {'PASS' if ok else 'FAIL'}")
+        return "\n\n".join(parts)
+
+
+def all_experiments() -> list[str]:
+    """Experiment ids in suite order."""
+    return sorted(_EXPERIMENTS, key=lambda k: int(k[1:]))
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The runner for ``experiment_id`` (signature: ``run(seed=0, fast=False)``)."""
+    if experiment_id not in _EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {all_experiments()}"
+        )
+    module_name, _, _ = _EXPERIMENTS[experiment_id]
+    module = importlib.import_module(module_name)
+    return module.run
+
+
+def describe(experiment_id: str) -> tuple[str, str]:
+    """``(title, claim)`` for ``experiment_id``."""
+    _, title, claim = _EXPERIMENTS[experiment_id]
+    return title, claim
+
+
+def make_result(experiment_id: str) -> ExperimentResult:
+    """A blank :class:`ExperimentResult` with registry metadata filled in."""
+    title, claim = describe(experiment_id)
+    return ExperimentResult(experiment_id=experiment_id, title=title, claim=claim)
+
+
+def run_all(seed: int = 0, fast: bool = True) -> list[ExperimentResult]:
+    """Run every experiment; returns results in suite order."""
+    return [
+        get_experiment(eid)(seed=seed, fast=fast) for eid in all_experiments()
+    ]

@@ -1,0 +1,12 @@
+"""Persistence and report-rendering helpers.
+
+- :mod:`repro.io.jsonl` -- line-delimited JSON read/write for corpora,
+  coded sessions, and experiment outputs.
+- :mod:`repro.io.tables` -- plain-text table rendering for benchmark
+  reports (the rows EXPERIMENTS.md records).
+"""
+
+from repro.io.jsonl import read_jsonl, write_jsonl, append_jsonl
+from repro.io.tables import Table, render_table
+
+__all__ = ["read_jsonl", "write_jsonl", "append_jsonl", "Table", "render_table"]

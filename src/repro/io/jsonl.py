@@ -1,0 +1,62 @@
+"""Line-delimited JSON persistence.
+
+JSONL is the interchange format for every dataset this library produces:
+one JSON object per line, UTF-8, no trailing commas to corrupt, and
+streamable.  Readers tolerate (and report) blank lines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Write ``records`` to ``path``, one JSON object per line.
+
+    Returns the number of records written.  Parent directories are
+    created as needed; an existing file is overwritten.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def append_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Append ``records`` to ``path``; creates the file when absent."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield the records of a JSONL file, skipping blank lines.
+
+    Raises ``json.JSONDecodeError`` (annotated with the line number) on
+    malformed lines rather than silently dropping data.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise json.JSONDecodeError(
+                    f"{path}:{line_number}: {exc.msg}", exc.doc, exc.pos
+                ) from exc

@@ -1,0 +1,77 @@
+"""Plain-text table rendering.
+
+Every benchmark prints its result rows as an aligned plain-text table so
+EXPERIMENTS.md entries can be pasted straight from a run's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An accumulating result table.
+
+    Example:
+        >>> t = Table(["venue", "share"], title="Method adoption")
+        >>> t.add_row(["SIGCOMM-like", 0.041])
+        >>> print(t.render())  # doctest: +SKIP
+    """
+
+    columns: list[str]
+    title: str = ""
+    precision: int = 3
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append a row; must match the column count."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        return render_table(
+            self.columns, self.rows, title=self.title, precision=self.precision
+        )
+
+    def to_records(self) -> list[dict]:
+        """Rows as dicts keyed by column name (for JSONL persistence)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render ``columns`` and ``rows`` as an aligned plain-text table."""
+    formatted = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(c) for c in columns]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

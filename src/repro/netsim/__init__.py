@@ -1,0 +1,20 @@
+"""Network simulation substrates for the paper's case studies.
+
+Two simulators live here:
+
+- :mod:`repro.netsim.bgp` -- an AS-level interdomain routing and
+  interconnection simulator (Gao–Rexford policies, IXPs, regulators,
+  traffic locality).  Backs the Telmex mandatory-peering case study and
+  the Brazil/DE-CIX gravity study (paper, Section 3).
+- :mod:`repro.netsim.community` -- a community mesh-network simulator
+  (volunteer maintenance, member churn, common-pool-resource congestion
+  management, participatory vs top-down deployment).  Backs Section 4's
+  Seattle Community Network material and the congestion-as-commons study
+  it cites.
+
+Shared geometry/topology helpers are in :mod:`repro.netsim.topology`.
+"""
+
+from repro.netsim.topology import Location, distance_km, gravity_weight
+
+__all__ = ["Location", "distance_km", "gravity_weight"]

@@ -1,0 +1,106 @@
+"""AS-level interdomain routing and interconnection simulator.
+
+A policy-level BGP model: ASes with customer/provider/peer relationships,
+Gao–Rexford route selection and export, IXPs as multilateral peering
+fabrics, a regulator that can mandate IXP peering, and a traffic layer
+that resolves gravity-model demand onto routed paths and classifies
+their locality.
+
+It exists to reproduce the *mechanisms* two ethnographic studies
+uncovered (paper, Section 3):
+
+- Rosa [38]: Telmex used "different ASNs" to technically comply with a
+  Mexican mandatory-peering rule while keeping its network unpeered —
+  see :mod:`repro.netsim.bgp.regulator` and
+  :func:`repro.netsim.bgp.scenarios.build_mandatory_peering_scenario`.
+- Rosa [39]: Brazilian ISPs interconnect at DE-CIX Frankfurt because
+  big-tech PoPs are sparse in the Global South — see
+  :func:`repro.netsim.bgp.scenarios.build_gravity_scenario`.
+
+Modules:
+
+- :mod:`repro.netsim.bgp.asys` -- ASes and the relationship graph.
+- :mod:`repro.netsim.bgp.policy` -- Gao–Rexford preference and export.
+- :mod:`repro.netsim.bgp.routing` -- path-vector propagation.
+- :mod:`repro.netsim.bgp.ixp` -- IXP membership and peering fabrics.
+- :mod:`repro.netsim.bgp.traffic` -- demand, path resolution, locality.
+- :mod:`repro.netsim.bgp.regulator` -- peering mandates and evasion.
+- :mod:`repro.netsim.bgp.scenarios` -- the two case-study builders.
+"""
+
+from repro.netsim.bgp.asys import AS, ASGraph, Relationship
+from repro.netsim.bgp.policy import (
+    RELATIONSHIP_PREFERENCE,
+    route_preference_key,
+    should_export,
+)
+from repro.netsim.bgp.routing import Route, RoutingTable, propagate_routes
+from repro.netsim.bgp.ixp import IXP, connect_ixp_members
+from repro.netsim.bgp.traffic import (
+    TrafficDemand,
+    FlowResult,
+    gravity_demands,
+    resolve_flows,
+    locality_report,
+)
+from repro.netsim.bgp.regulator import (
+    PeeringMandate,
+    compliance_report,
+    apply_asn_split_evasion,
+)
+from repro.netsim.bgp.hijack import (
+    HijackResult,
+    simulate_prefix_hijack,
+    run_hijack_study,
+)
+from repro.netsim.bgp.resilience import (
+    FailureHandle,
+    fail_as,
+    fail_ixp,
+    locality_under_failure,
+    criticality_ranking,
+)
+from repro.netsim.bgp.scenarios import (
+    MandatoryPeeringScenario,
+    build_mandatory_peering_scenario,
+    run_mandatory_peering_study,
+    GravityScenario,
+    build_gravity_scenario,
+    run_gravity_study,
+)
+
+__all__ = [
+    "AS",
+    "ASGraph",
+    "Relationship",
+    "RELATIONSHIP_PREFERENCE",
+    "route_preference_key",
+    "should_export",
+    "Route",
+    "RoutingTable",
+    "propagate_routes",
+    "IXP",
+    "connect_ixp_members",
+    "TrafficDemand",
+    "FlowResult",
+    "gravity_demands",
+    "resolve_flows",
+    "locality_report",
+    "PeeringMandate",
+    "compliance_report",
+    "apply_asn_split_evasion",
+    "MandatoryPeeringScenario",
+    "build_mandatory_peering_scenario",
+    "run_mandatory_peering_study",
+    "GravityScenario",
+    "build_gravity_scenario",
+    "run_gravity_study",
+    "HijackResult",
+    "simulate_prefix_hijack",
+    "run_hijack_study",
+    "FailureHandle",
+    "fail_as",
+    "fail_ixp",
+    "locality_under_failure",
+    "criticality_ranking",
+]

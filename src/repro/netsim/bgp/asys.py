@@ -1,0 +1,228 @@
+"""Autonomous systems and the relationship graph.
+
+The unit of the interconnection model is the AS.  Crucially for the
+Telmex case study, an AS records the *organization* that operates it:
+one organization may run several ASNs, and whether a regulator sees
+through that distinction is exactly what the evasion experiment (E6)
+varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from repro.netsim.topology import Location
+
+
+class Relationship(str, Enum):
+    """Business relationship of a link, from the perspective of one side.
+
+    ``CUSTOMER`` means "the neighbor is my customer" (I provide transit),
+    ``PROVIDER`` means "the neighbor is my provider", ``PEER`` is
+    settlement-free peering.
+    """
+
+    CUSTOMER = "customer"
+    PROVIDER = "provider"
+    PEER = "peer"
+
+    def inverse(self) -> "Relationship":
+        """The same link seen from the other side."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+@dataclass
+class AS:
+    """One autonomous system.
+
+    Attributes:
+        asn: AS number (unique in the graph).
+        name: Display name.
+        org: Operating organization id; several ASes may share one.
+        kind: Role label ("stub", "transit", "content", "incumbent").
+        location: Coarse geographic placement.
+        size: Mass for gravity traffic (subscriber count proxy).
+    """
+
+    asn: int
+    name: str = ""
+    org: str = ""
+    kind: str = "stub"
+    location: Location = field(default_factory=lambda: Location(0.0, 0.0))
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.asn < 0:
+            raise ValueError(f"ASN must be non-negative, got {self.asn}")
+        if not self.org:
+            self.org = f"org-{self.asn}"
+        if not self.name:
+            self.name = f"AS{self.asn}"
+
+    @property
+    def country(self) -> str:
+        """Country of the AS's location."""
+        return self.location.country
+
+
+class ASGraph:
+    """The interconnection graph: ASes plus typed relationships.
+
+    Example:
+        >>> g = ASGraph()
+        >>> g.add_as(AS(1, kind="transit"))
+        >>> g.add_as(AS(2))
+        >>> g.add_customer(provider=1, customer=2)
+        >>> g.relationship(2, 1)
+        <Relationship.PROVIDER: 'provider'>
+    """
+
+    def __init__(self) -> None:
+        self._ases: dict[int, AS] = {}
+        # _links[a][b] is the relationship of b as seen from a.
+        self._links: dict[int, dict[int, Relationship]] = {}
+        # (min_asn, max_asn) -> ixp_id for links created at an IXP.
+        self._link_ixp: dict[tuple[int, int], str] = {}
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._ases
+
+    def __iter__(self) -> Iterator[AS]:
+        return iter(sorted(self._ases.values(), key=lambda a: a.asn))
+
+    # -- construction --------------------------------------------------------
+
+    def add_as(self, autonomous_system: AS) -> None:
+        """Add an AS; rejects duplicate ASNs."""
+        if autonomous_system.asn in self._ases:
+            raise ValueError(f"duplicate ASN: {autonomous_system.asn}")
+        self._ases[autonomous_system.asn] = autonomous_system
+        self._links[autonomous_system.asn] = {}
+
+    def add_customer(self, provider: int, customer: int) -> None:
+        """Create a provider->customer transit relationship."""
+        self._add_link(provider, customer, Relationship.CUSTOMER)
+
+    def add_peering(self, a: int, b: int, ixp_id: str | None = None) -> None:
+        """Create settlement-free peering, optionally tagged with an IXP."""
+        self._add_link(a, b, Relationship.PEER)
+        if ixp_id is not None:
+            self._link_ixp[(min(a, b), max(a, b))] = ixp_id
+
+    def _add_link(self, a: int, b: int, rel_of_b_seen_from_a: Relationship) -> None:
+        if a == b:
+            raise ValueError(f"self-link on ASN {a}")
+        for asn in (a, b):
+            if asn not in self._ases:
+                raise KeyError(f"unknown ASN: {asn}")
+        if b in self._links[a]:
+            raise ValueError(f"link {a}-{b} already exists")
+        self._links[a][b] = rel_of_b_seen_from_a
+        self._links[b][a] = rel_of_b_seen_from_a.inverse()
+
+    def remove_link(self, a: int, b: int) -> None:
+        """Remove the a-b link (KeyError when absent)."""
+        del self._links[a][b]
+        del self._links[b][a]
+        self._link_ixp.pop((min(a, b), max(a, b)), None)
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, asn: int) -> AS:
+        """AS by number (KeyError when absent)."""
+        return self._ases[asn]
+
+    def asns(self) -> list[int]:
+        """All ASNs, ascending."""
+        return sorted(self._ases)
+
+    def relationship(self, a: int, b: int) -> Relationship | None:
+        """Relationship of ``b`` as seen from ``a`` (None when unlinked)."""
+        return self._links[a].get(b)
+
+    def neighbors(self, asn: int) -> dict[int, Relationship]:
+        """Neighbor ASN -> relationship as seen from ``asn``."""
+        return dict(self._links[asn])
+
+    def customers(self, asn: int) -> list[int]:
+        """Direct customers of ``asn``, ascending."""
+        return sorted(
+            n for n, r in self._links[asn].items() if r is Relationship.CUSTOMER
+        )
+
+    def providers(self, asn: int) -> list[int]:
+        """Direct providers of ``asn``, ascending."""
+        return sorted(
+            n for n, r in self._links[asn].items() if r is Relationship.PROVIDER
+        )
+
+    def peers(self, asn: int) -> list[int]:
+        """Settlement-free peers of ``asn``, ascending."""
+        return sorted(
+            n for n, r in self._links[asn].items() if r is Relationship.PEER
+        )
+
+    def link_ixp(self, a: int, b: int) -> str | None:
+        """IXP id tagged on the a-b peering link, if any."""
+        return self._link_ixp.get((min(a, b), max(a, b)))
+
+    def customer_cone(self, asn: int) -> set[int]:
+        """All ASNs reachable downward through customer links, incl. self.
+
+        The customer cone is the standard measure of an AS's market
+        weight — the incumbent in the Telmex scenario is exactly the AS
+        with a dominant cone.
+        """
+        cone = {asn}
+        frontier = [asn]
+        while frontier:
+            current = frontier.pop()
+            for customer in self.customers(current):
+                if customer not in cone:
+                    cone.add(customer)
+                    frontier.append(customer)
+        return cone
+
+    def ases_in_country(self, country: str) -> list[AS]:
+        """ASes located in ``country``, by ASN."""
+        return [a for a in self if a.country == country]
+
+    def ases_of_org(self, org: str) -> list[AS]:
+        """ASes operated by organization ``org``, by ASN."""
+        return [a for a in self if a.org == org]
+
+    def validate_hierarchy(self) -> list[str]:
+        """Detect customer-provider cycles (which break Gao–Rexford).
+
+        Returns a list of human-readable problem strings; empty when the
+        provider graph is a DAG.
+        """
+        color: dict[int, int] = {}
+        problems: list[str] = []
+
+        def visit(asn: int, stack: list[int]) -> None:
+            color[asn] = 1
+            for customer in self.customers(asn):
+                if color.get(customer, 0) == 1:
+                    cycle = stack[stack.index(customer):] if customer in stack else []
+                    problems.append(
+                        f"customer-provider cycle through AS{customer}"
+                        + (f": {cycle + [customer]}" if cycle else "")
+                    )
+                elif color.get(customer, 0) == 0:
+                    visit(customer, stack + [customer])
+            color[asn] = 2
+
+        for asn in self.asns():
+            if color.get(asn, 0) == 0:
+                visit(asn, [asn])
+        return problems

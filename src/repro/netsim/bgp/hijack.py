@@ -1,0 +1,177 @@
+"""Prefix hijacks and origin validation.
+
+Section 6.2.2 calls BGP "not especially complex in protocol design (at
+least prior to the integration of security mechanisms), yet ... a rich
+source of research because of the social and economic dynamics it
+encodes".  The hijack is the canonical example: nothing in the protocol
+stops an AS from originating someone else's prefix, and *who believes
+the lie* is decided by the same economic preferences that route honest
+traffic — a customer's lie beats a peer's truth.
+
+- :func:`simulate_prefix_hijack` -- propagate a prefix originated by
+  both its legitimate owner and a hijacker; report which ASes end up
+  routing to the attacker.  ASes in the ``validating`` set perform
+  origin validation (RPKI-style) and reject routes whose origin is not
+  the legitimate owner.
+- :func:`run_hijack_study` -- sweep validation deployment and attacker
+  position; pollution falls with deployment, and a well-connected
+  attacker (big customer cone) poisons far more of the Internet than a
+  stub — the economic-gravity point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.bgp.asys import ASGraph
+from repro.netsim.bgp.policy import route_preference_key, should_export
+from repro.netsim.bgp.routing import Route
+
+
+@dataclass(frozen=True, slots=True)
+class HijackResult:
+    """Outcome of one hijack simulation.
+
+    Attributes:
+        victim: Legitimate origin ASN.
+        attacker: Hijacking ASN.
+        polluted: ASNs whose best route leads to the attacker, sorted.
+        pollution_share: Polluted / all other ASes (victim and attacker
+            themselves excluded from the denominator).
+        unreachable: ASNs with no route to the prefix at all.
+    """
+
+    victim: int
+    attacker: int
+    polluted: tuple[int, ...]
+    pollution_share: float
+    unreachable: tuple[int, ...]
+
+
+def simulate_prefix_hijack(
+    graph: ASGraph,
+    victim: int,
+    attacker: int,
+    validating: set[int] | frozenset[int] = frozenset(),
+) -> HijackResult:
+    """Propagate a doubly-originated prefix and report the damage.
+
+    Both ``victim`` and ``attacker`` originate the same prefix; every
+    AS selects among the announcements it hears with ordinary
+    Gao–Rexford preference.  ASes in ``validating`` drop announcements
+    whose AS-path origin is not ``victim`` (origin validation).  The
+    attacker ignores its own validation setting (it is lying on
+    purpose), and the victim trivially routes to itself.
+
+    Returns:
+        A :class:`HijackResult`.
+    """
+    if victim == attacker:
+        raise ValueError("victim and attacker must differ")
+    for asn in (victim, attacker):
+        if asn not in graph:
+            raise KeyError(f"unknown ASN: {asn}")
+
+    best: dict[int, Route] = {
+        victim: Route(victim, (), None),
+        attacker: Route(attacker, (), None),
+    }
+
+    def accepts(asn: int, route: Route) -> bool:
+        if asn not in validating:
+            return True
+        origin = route.path[-1] if route.path else None
+        return origin == victim
+
+    max_rounds = 2 * len(graph) + 10
+    for _ in range(max_rounds):
+        changed = False
+        for asn in graph.asns():
+            for neighbor, rel_of_neighbor in sorted(graph.neighbors(asn).items()):
+                route = best.get(neighbor)
+                if route is None:
+                    continue
+                if not should_export(
+                    route.learned_from, rel_of_neighbor.inverse()
+                ):
+                    continue
+                candidate = Route(
+                    origin=route.origin,
+                    path=(neighbor,) + route.path,
+                    learned_from=rel_of_neighbor,
+                )
+                if asn in candidate.path[:-1] or asn == candidate.path[-1]:
+                    continue  # loop prevention
+                if asn in (victim, attacker):
+                    continue  # origins keep their own route
+                if not accepts(asn, candidate):
+                    continue
+                current = best.get(asn)
+                if current is None or route_preference_key(
+                    candidate.learned_from, candidate.path
+                ) < route_preference_key(current.learned_from, current.path):
+                    best[asn] = candidate
+                    changed = True
+        if not changed:
+            break
+
+    others = [a for a in graph.asns() if a not in (victim, attacker)]
+    polluted = tuple(
+        sorted(
+            asn
+            for asn in others
+            if asn in best and best[asn].path and best[asn].path[-1] == attacker
+        )
+    )
+    unreachable = tuple(sorted(asn for asn in others if asn not in best))
+    return HijackResult(
+        victim=victim,
+        attacker=attacker,
+        polluted=polluted,
+        pollution_share=len(polluted) / len(others) if others else 0.0,
+        unreachable=unreachable,
+    )
+
+
+def run_hijack_study(
+    graph: ASGraph,
+    victim: int,
+    attackers: list[int],
+    validation_levels: tuple[float, ...] = (0.0, 0.5, 1.0),
+    seed: int = 0,
+) -> list[dict]:
+    """Sweep attacker position and origin-validation deployment.
+
+    Validation deployment selects the ``round(level * n)`` ASes with the
+    largest customer cones (the realistic RPKI adoption order: big
+    networks first), excluding the attacker.
+
+    Returns:
+        One record per (attacker, level): ``{attacker, attacker_cone,
+        validation_level, pollution_share}``.
+    """
+    records = []
+    cones = {
+        asn: len(graph.customer_cone(asn)) for asn in graph.asns()
+    }
+    by_cone = sorted(graph.asns(), key=lambda a: (-cones[a], a))
+    for attacker in attackers:
+        for level in validation_levels:
+            if not 0.0 <= level <= 1.0:
+                raise ValueError("validation levels must be in [0, 1]")
+            n_validating = round(level * len(by_cone))
+            validating = {
+                asn for asn in by_cone[:n_validating] if asn != attacker
+            }
+            result = simulate_prefix_hijack(
+                graph, victim, attacker, validating
+            )
+            records.append(
+                {
+                    "attacker": attacker,
+                    "attacker_cone": cones[attacker],
+                    "validation_level": level,
+                    "pollution_share": result.pollution_share,
+                }
+            )
+    return records

@@ -1,0 +1,88 @@
+"""Internet exchange points.
+
+An IXP is a peering fabric: members that connect to it can establish
+settlement-free peering with other members.  The model distinguishes
+*membership* (being present at the exchange) from *peering* (actually
+exchanging routes) — the gap between the two is exactly where the
+Telmex case study lives, and the open/selective policy split is what
+lets big IXPs accumulate "gravity" in the Brazil/DE-CIX study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.netsim.bgp.asys import ASGraph
+from repro.netsim.topology import Location
+
+
+@dataclass
+class IXP:
+    """An Internet exchange point.
+
+    Attributes:
+        ixp_id: Unique id ("ix-mx-1", "de-cix-like").
+        name: Display name.
+        location: Where the exchange physically is.
+        members: ASNs present at the exchange.
+        open_policy: ASNs that peer with anyone at this IXP (route-server
+            style multilateral peering).  Members not in this set peer
+            selectively and only form the sessions explicitly created.
+    """
+
+    ixp_id: str
+    name: str = ""
+    location: Location = field(default_factory=lambda: Location(0.0, 0.0))
+    members: set[int] = field(default_factory=set)
+    open_policy: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.ixp_id
+
+    def join(self, asn: int, open_policy: bool = True) -> None:
+        """Add ``asn`` to the exchange.
+
+        Args:
+            asn: The joining AS.
+            open_policy: Whether it peers multilaterally (default) or
+                selectively.
+        """
+        self.members.add(asn)
+        if open_policy:
+            self.open_policy.add(asn)
+        else:
+            self.open_policy.discard(asn)
+
+    def leave(self, asn: int) -> None:
+        """Remove ``asn`` from the exchange."""
+        self.members.discard(asn)
+        self.open_policy.discard(asn)
+
+    @property
+    def country(self) -> str:
+        """Country the exchange sits in."""
+        return self.location.country
+
+
+def connect_ixp_members(graph: ASGraph, ixp: IXP) -> int:
+    """Create the peering sessions an IXP's policies imply.
+
+    Every pair of members where *both* run an open policy gets a peering
+    link tagged with the IXP id (if not already linked).  Selective
+    members form no automatic sessions — add those with
+    :meth:`~repro.netsim.bgp.asys.ASGraph.add_peering` directly.
+
+    Returns:
+        Number of new peering links created.
+    """
+    created = 0
+    for a, b in combinations(sorted(ixp.members), 2):
+        if a not in ixp.open_policy or b not in ixp.open_policy:
+            continue
+        if graph.relationship(a, b) is not None:
+            continue
+        graph.add_peering(a, b, ixp_id=ixp.ixp_id)
+        created += 1
+    return created

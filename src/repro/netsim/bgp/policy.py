@@ -1,0 +1,71 @@
+"""Gao–Rexford routing policy.
+
+The economic logic of interdomain routing (Gao & Rexford 2001), and the
+reason "BGP ... continues to be a rich source of research because of the
+social and economic dynamics it encodes" (paper, Section 6.2.2):
+
+- **Preference**: routes learned from customers beat routes learned from
+  peers beat routes learned from providers (revenue > free > cost);
+  ties break on AS-path length, then lowest next-hop ASN (a stand-in
+  for the deterministic tie-breakers of real BGP).
+- **Export**: an AS announces customer-learned routes (and its own
+  prefix) to everyone, but announces peer- and provider-learned routes
+  only to its customers — nobody provides free transit.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.bgp.asys import Relationship
+
+# Lower is better.
+RELATIONSHIP_PREFERENCE: dict[Relationship, int] = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+def route_preference_key(
+    learned_from: Relationship | None, path: tuple[int, ...]
+) -> tuple[int, int, int]:
+    """Sort key for route selection (lower wins).
+
+    Args:
+        learned_from: Relationship of the neighbor the route came from;
+            None for the AS's own prefix (always best).
+        path: AS path, next hop first.
+
+    Returns:
+        ``(relationship_rank, path_length, next_hop_asn)``.
+    """
+    if learned_from is None:
+        return (-1, 0, -1)
+    rank = RELATIONSHIP_PREFERENCE[learned_from]
+    next_hop = path[0] if path else -1
+    return (rank, len(path), next_hop)
+
+
+def should_export(
+    learned_from: Relationship | None, to_neighbor: Relationship
+) -> bool:
+    """Gao–Rexford export rule.
+
+    Args:
+        learned_from: How the exporting AS learned the route (None for
+            its own prefix).
+        to_neighbor: The exporting AS's relationship *to* the neighbor
+            being considered (CUSTOMER means "they are my customer").
+
+    Returns:
+        True when the route may be announced to that neighbor.
+
+    >>> should_export(None, Relationship.PEER)  # own prefix: to anyone
+    True
+    >>> should_export(Relationship.PEER, Relationship.PEER)  # no free transit
+    False
+    >>> should_export(Relationship.PROVIDER, Relationship.CUSTOMER)
+    True
+    """
+    if learned_from is None or learned_from is Relationship.CUSTOMER:
+        return True
+    return to_neighbor is Relationship.CUSTOMER

@@ -1,0 +1,170 @@
+"""Peering mandates, compliance checking, and the ASN-split evasion.
+
+The Telmex case study (paper, Section 3; Rosa [38]) found that a legal
+mandate — "ASes present in the country must peer at the IXP" — was
+satisfied on paper and defeated in practice: the incumbent "played with
+different ASNs", registering presence through an ASN that carried none
+of its network, "arguing that they were responding to the law".
+
+This module makes that mechanism executable:
+
+- :class:`PeeringMandate` states the rule, including how the regulator
+  identifies an obligated party: by ASN (the naive reading the law used)
+  or by organization (what would close the loophole).
+- :func:`apply_asn_split_evasion` performs the incumbent's move: mint a
+  shell ASN under the same organization, connect it as a customer of the
+  main network, and present *it* at the IXP.  Gao–Rexford export then
+  guarantees the shell leaks nothing: it has no customers, so it
+  announces only its own (empty) network to IXP peers.
+- :func:`compliance_report` evaluates the rule both ways, exposing the
+  gap between legal and effective compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.bgp.asys import AS, ASGraph
+from repro.netsim.bgp.ixp import IXP
+from repro.netsim.topology import Location
+
+
+@dataclass(frozen=True, slots=True)
+class PeeringMandate:
+    """A mandatory-peering rule.
+
+    Attributes:
+        country: Country whose operators are obligated.
+        ixp_id: The exchange where presence is required.
+        enforcement: "asn" — any ASN of the operator present and openly
+            peering satisfies the rule (the loophole); "org" — the
+            operator's ASes carrying at least ``min_covered_size_share``
+            of the organization's total size must peer openly.
+        min_size: Only organizations whose total AS size meets this
+            threshold are obligated (small players are exempt).
+        min_covered_size_share: For "org" enforcement, the fraction of
+            the organization's size that must be behind openly peering
+            ASes.
+    """
+
+    country: str
+    ixp_id: str
+    enforcement: str = "asn"
+    min_size: float = 0.0
+    min_covered_size_share: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.enforcement not in ("asn", "org"):
+            raise ValueError(
+                f"enforcement must be 'asn' or 'org', got {self.enforcement!r}"
+            )
+
+
+def obligated_orgs(graph: ASGraph, mandate: PeeringMandate) -> list[str]:
+    """Organizations the mandate obligates, sorted.
+
+    An organization is obligated when its ASes in the mandate's country
+    total at least ``mandate.min_size``.
+    """
+    sizes: dict[str, float] = {}
+    for autonomous_system in graph:
+        if autonomous_system.country == mandate.country:
+            sizes[autonomous_system.org] = (
+                sizes.get(autonomous_system.org, 0.0) + autonomous_system.size
+            )
+    return sorted(org for org, size in sizes.items() if size >= mandate.min_size)
+
+
+def _org_open_members(graph: ASGraph, ixp: IXP, org: str) -> list[AS]:
+    return [
+        graph.get(asn)
+        for asn in sorted(ixp.members & ixp.open_policy)
+        if graph.get(asn).org == org
+    ]
+
+
+def compliance_report(
+    graph: ASGraph, ixp: IXP, mandate: PeeringMandate
+) -> dict[str, dict]:
+    """Evaluate every obligated organization against the mandate.
+
+    Returns:
+        org -> dict with:
+
+        - ``compliant_asn_level``: True when any of the org's ASNs is an
+          open member of the exchange (the naive rule).
+        - ``compliant_org_level``: True when the open-member ASes cover
+          at least ``min_covered_size_share`` of the org's total size.
+        - ``covered_size_share``: that coverage fraction.
+        - ``open_member_asns``: the org's openly peering member ASNs.
+        - ``total_size``: the org's total AS size in the country.
+    """
+    if ixp.ixp_id != mandate.ixp_id:
+        raise ValueError(
+            f"mandate targets {mandate.ixp_id!r}, got IXP {ixp.ixp_id!r}"
+        )
+    report: dict[str, dict] = {}
+    for org in obligated_orgs(graph, mandate):
+        org_ases = [
+            a for a in graph.ases_of_org(org) if a.country == mandate.country
+        ]
+        total_size = sum(a.size for a in org_ases)
+        open_members = _org_open_members(graph, ixp, org)
+        covered = sum(a.size for a in open_members if a.country == mandate.country)
+        share = covered / total_size if total_size else 0.0
+        report[org] = {
+            "compliant_asn_level": bool(open_members),
+            "compliant_org_level": share >= mandate.min_covered_size_share,
+            "covered_size_share": share,
+            "open_member_asns": [a.asn for a in open_members],
+            "total_size": total_size,
+        }
+    return report
+
+
+def apply_asn_split_evasion(
+    graph: ASGraph,
+    ixp: IXP,
+    org: str,
+    main_asn: int,
+    shell_asn: int,
+    shell_size: float = 0.01,
+) -> AS:
+    """Execute the Telmex move: comply via a shell ASN.
+
+    Creates a new AS ``shell_asn`` under ``org`` in the same country as
+    the main AS, attaches it as a *customer* of ``main_asn``, and joins
+    it to ``ixp`` with an open policy.  The main network stays off the
+    exchange.  Because the shell has no customers of its own, valley-free
+    export means it offers IXP peers only its own negligible prefix —
+    presence without interconnection.
+
+    Returns:
+        The created shell :class:`AS`.
+
+    Raises:
+        ValueError when ``main_asn`` does not belong to ``org`` or the
+        shell ASN already exists.
+    """
+    main = graph.get(main_asn)
+    if main.org != org:
+        raise ValueError(f"AS{main_asn} belongs to {main.org!r}, not {org!r}")
+    if shell_asn in graph:
+        raise ValueError(f"shell ASN {shell_asn} already exists")
+    shell = AS(
+        asn=shell_asn,
+        name=f"{main.name}-shell",
+        org=org,
+        kind="shell",
+        location=Location(
+            main.location.x,
+            main.location.y,
+            main.location.region,
+            main.location.country,
+        ),
+        size=shell_size,
+    )
+    graph.add_as(shell)
+    graph.add_customer(provider=main_asn, customer=shell_asn)
+    ixp.join(shell_asn, open_policy=True)
+    return shell

@@ -1,0 +1,155 @@
+"""Failure analysis: what a country's connectivity hangs on.
+
+Section 6.2.1's point that "there are individuals with enormous
+influence on the network" has an infrastructure twin: single facilities
+— an exchange, an incumbent — whose failure reshapes a whole country's
+traffic.  This module measures it:
+
+- :func:`fail_ixp` / :func:`fail_as` -- remove an exchange's peering
+  fabric or an AS's links, returning an undo handle.
+- :func:`locality_under_failure` -- locality report with one element
+  failed, against the baseline.
+- :func:`criticality_ranking` -- every candidate element ranked by how
+  much domestic delivered/local traffic its failure destroys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.netsim.bgp.asys import ASGraph, Relationship
+from repro.netsim.bgp.ixp import IXP
+from repro.netsim.bgp.routing import propagate_routes
+from repro.netsim.bgp.traffic import (
+    TrafficDemand,
+    locality_report,
+    resolve_flows,
+)
+
+
+@dataclass
+class FailureHandle:
+    """Undo record for a simulated failure.
+
+    Attributes:
+        description: What failed.
+        removed_links: ``(a, b, relationship_of_b_seen_from_a, ixp_id)``
+            tuples to restore.
+    """
+
+    description: str
+    removed_links: list[tuple[int, int, Relationship, str | None]]
+
+    def restore(self, graph: ASGraph) -> None:
+        """Put every removed link back."""
+        for a, b, relationship, ixp_id in self.removed_links:
+            if relationship is Relationship.CUSTOMER:
+                graph.add_customer(provider=a, customer=b)
+            elif relationship is Relationship.PROVIDER:
+                graph.add_customer(provider=b, customer=a)
+            else:
+                graph.add_peering(a, b, ixp_id=ixp_id)
+        self.removed_links.clear()
+
+
+def fail_ixp(graph: ASGraph, ixp: IXP) -> FailureHandle:
+    """Take an exchange down: remove every peering link tagged with it."""
+    removed = []
+    for asn in sorted(ixp.members):
+        if asn not in graph:
+            continue
+        for neighbor in graph.peers(asn):
+            if graph.link_ixp(asn, neighbor) == ixp.ixp_id:
+                removed.append((asn, neighbor, Relationship.PEER, ixp.ixp_id))
+                graph.remove_link(asn, neighbor)
+    return FailureHandle(f"ixp:{ixp.ixp_id}", removed)
+
+
+def fail_as(graph: ASGraph, asn: int) -> FailureHandle:
+    """Take an AS down: remove all of its links (it stays in the graph)."""
+    removed = []
+    for neighbor, relationship in sorted(graph.neighbors(asn).items()):
+        ixp_id = graph.link_ixp(asn, neighbor)
+        removed.append((asn, neighbor, relationship, ixp_id))
+        graph.remove_link(asn, neighbor)
+    return FailureHandle(f"as:{asn}", removed)
+
+
+def locality_under_failure(
+    graph: ASGraph,
+    demands: Sequence[TrafficDemand],
+    country: str,
+    handle: FailureHandle,
+    ixp_countries: dict[str, str] | None = None,
+) -> dict:
+    """Locality report while ``handle``'s element is failed.
+
+    The failure is already applied (``handle`` came from
+    :func:`fail_ixp`/:func:`fail_as`); this routes, resolves, reports,
+    and leaves the graph as it found it — call ``handle.restore`` when
+    done or use :func:`criticality_ranking` which manages lifetimes.
+    """
+    table = propagate_routes(graph)
+    flows = resolve_flows(graph, table, demands)
+    report = locality_report(flows, country, ixp_countries)
+    report["failed"] = handle.description
+    return report
+
+
+def criticality_ranking(
+    graph: ASGraph,
+    demands: Sequence[TrafficDemand],
+    country: str,
+    candidate_asns: Sequence[int] = (),
+    candidate_ixps: Sequence[IXP] = (),
+    ixp_countries: dict[str, str] | None = None,
+) -> list[dict]:
+    """Rank elements by the damage their single failure does.
+
+    For each candidate, fail it, measure the drop in delivered share
+    and local share of the country's domestic traffic, and restore.
+
+    Returns:
+        One record per candidate, sorted by descending
+        ``delivered_drop`` then descending ``local_drop``:
+        ``{element, delivered_drop, local_drop, delivered_share,
+        local_share}``.  The baseline (nothing failed) is recomputed
+        once and shared.
+    """
+    baseline_table = propagate_routes(graph)
+    baseline_flows = resolve_flows(graph, baseline_table, demands)
+    baseline = locality_report(baseline_flows, country, ixp_countries)
+
+    records = []
+    for asn in candidate_asns:
+        handle = fail_as(graph, asn)
+        try:
+            report = locality_under_failure(
+                graph, demands, country, handle, ixp_countries
+            )
+        finally:
+            handle.restore(graph)
+        records.append(_damage_record(f"as:{asn}", baseline, report))
+    for ixp in candidate_ixps:
+        handle = fail_ixp(graph, ixp)
+        try:
+            report = locality_under_failure(
+                graph, demands, country, handle, ixp_countries
+            )
+        finally:
+            handle.restore(graph)
+        records.append(_damage_record(f"ixp:{ixp.ixp_id}", baseline, report))
+
+    records.sort(key=lambda r: (-r["delivered_drop"], -r["local_drop"], r["element"]))
+    return records
+
+
+def _damage_record(element: str, baseline: dict, failed: dict) -> dict:
+    return {
+        "element": element,
+        "delivered_drop": baseline["delivered_share"] - failed["delivered_share"],
+        "local_drop": baseline["local_share"] - failed["local_share"],
+        "delivered_share": failed["delivered_share"],
+        "local_share": failed["local_share"],
+    }

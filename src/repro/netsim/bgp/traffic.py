@@ -1,0 +1,229 @@
+"""Traffic demand, path resolution, and locality accounting.
+
+The ethnographies' findings are about *where traffic goes*: does
+domestic traffic stay in the country, or does it trombone through a
+foreign exchange?  This module turns a routed :class:`ASGraph` into
+those numbers: gravity-model demands between ASes, resolution of each
+demand onto its routed AS path, and a locality report that classifies
+flows (local direct / local via IXP / via domestic transit / tromboned
+abroad) and attributes volume to the IXPs it crosses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.netsim.bgp.asys import ASGraph
+from repro.netsim.bgp.routing import RoutingTable
+from repro.netsim.topology import distance_km, gravity_weight
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficDemand:
+    """Offered traffic between two ASes.
+
+    Attributes:
+        src: Source ASN.
+        dst: Destination ASN.
+        volume: Offered volume (arbitrary units).
+    """
+
+    src: int
+    dst: int
+    volume: float
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise ValueError(f"volume must be non-negative, got {self.volume}")
+
+
+@dataclass(frozen=True, slots=True)
+class FlowResult:
+    """One demand resolved onto its routed path.
+
+    Attributes:
+        demand: The offered demand.
+        path: AS path src..dst, or None when unroutable.
+        ixps_crossed: IXP ids of the peering links the path traverses.
+        countries: Countries of the ASes on the path, in order; for an
+            unroutable demand, just ``(src_country, dst_country)`` so
+            locality accounting still knows whose demand went undelivered.
+    """
+
+    demand: TrafficDemand
+    path: tuple[int, ...] | None
+    ixps_crossed: tuple[str, ...]
+    countries: tuple[str, ...]
+
+    @property
+    def delivered(self) -> bool:
+        """True when the demand found a route."""
+        return self.path is not None
+
+    def is_domestic(self) -> bool:
+        """True when source and destination share a country."""
+        return (
+            len(self.countries) >= 2 and self.countries[0] == self.countries[-1]
+        )
+
+    def trombones(self, ixp_countries: dict[str, str] | None = None) -> bool:
+        """True for a domestic flow that physically leaves the country.
+
+        A flow trombones when its AS path transits a foreign AS, or —
+        with ``ixp_countries`` (ixp_id -> country) supplied — when it
+        crosses an exchange located abroad: two domestic ISPs peering at
+        a foreign mega-IXP exchange domestic traffic through that
+        country even though every AS on the path is domestic.
+        """
+        if not self.delivered or not self.is_domestic():
+            return False
+        home = self.countries[0]
+        if any(country != home for country in self.countries):
+            return True
+        if ixp_countries:
+            return any(
+                ixp_countries.get(ixp_id, home) != home
+                for ixp_id in self.ixps_crossed
+            )
+        return False
+
+
+def gravity_demands(
+    graph: ASGraph,
+    sources: Iterable[int] | None = None,
+    destinations: Iterable[int] | None = None,
+    total_volume: float = 1000.0,
+    decay: float = 0.5,
+) -> list[TrafficDemand]:
+    """Gravity-model traffic matrix over AS pairs.
+
+    Each ordered (src, dst) pair gets weight ``size_src * size_dst /
+    (1 + distance)**decay``; weights are normalized so all demands sum
+    to ``total_volume``.
+
+    Args:
+        graph: The AS graph (uses each AS's ``size`` and ``location``).
+        sources: Source ASNs (default: all).
+        destinations: Destination ASNs (default: all).
+        total_volume: Sum of generated volumes.
+        decay: Distance-decay exponent (0 = geography-free).
+    """
+    source_list = sorted(sources) if sources is not None else graph.asns()
+    dest_list = sorted(destinations) if destinations is not None else graph.asns()
+    raw: list[tuple[int, int, float]] = []
+    for src in source_list:
+        a = graph.get(src)
+        for dst in dest_list:
+            if src == dst:
+                continue
+            b = graph.get(dst)
+            weight = gravity_weight(
+                a.size, b.size, distance_km(a.location, b.location), decay
+            )
+            if weight > 0:
+                raw.append((src, dst, weight))
+    total_weight = sum(w for _, _, w in raw)
+    if total_weight == 0:
+        return []
+    scale = total_volume / total_weight
+    return [TrafficDemand(src, dst, w * scale) for src, dst, w in raw]
+
+
+def resolve_flows(
+    graph: ASGraph,
+    table: RoutingTable,
+    demands: Sequence[TrafficDemand],
+) -> list[FlowResult]:
+    """Resolve each demand onto its routed path and annotate it."""
+    results = []
+    for demand in demands:
+        path = table.full_path(demand.src, demand.dst)
+        if path is None:
+            endpoints = (
+                graph.get(demand.src).country,
+                graph.get(demand.dst).country,
+            )
+            results.append(FlowResult(demand, None, (), endpoints))
+            continue
+        ixps = []
+        for hop_a, hop_b in zip(path, path[1:]):
+            ixp_id = graph.link_ixp(hop_a, hop_b)
+            if ixp_id is not None:
+                ixps.append(ixp_id)
+        countries = tuple(graph.get(asn).country for asn in path)
+        results.append(FlowResult(demand, path, tuple(ixps), countries))
+    return results
+
+
+def locality_report(
+    flows: Sequence[FlowResult],
+    country: str,
+    ixp_countries: dict[str, str] | None = None,
+) -> dict:
+    """Classify a country's domestic flows and account IXP volumes.
+
+    Args:
+        flows: Resolved flows (any mix; only ``country``'s domestic
+            flows enter the locality shares, but IXP volume counts all).
+        ixp_countries: ixp_id -> country; when given, a domestic flow
+            peering at a foreign exchange counts as tromboned (and not
+            local) even if its AS path is all-domestic.
+
+    Returns:
+        Dict with:
+
+        - ``domestic_volume``: total offered volume between ASes of
+          ``country``.
+        - ``delivered_share``: fraction of domestic volume routed at all.
+        - ``local_share``: fraction of *delivered* domestic volume that
+          never leaves the country.
+        - ``tromboned_share``: fraction of delivered domestic volume
+          that transits a foreign AS.
+        - ``via_ixp_share``: fraction of delivered domestic volume
+          crossing at least one IXP (wherever located).
+        - ``ixp_volumes``: ixp_id -> total volume (all flows) crossing it.
+        - ``mean_path_length``: mean AS-hop count of delivered domestic
+          flows (0.0 when none).
+    """
+    domestic = [
+        f
+        for f in flows
+        if len(f.countries) >= 2
+        and f.countries[0] == country
+        and f.countries[-1] == country
+    ]
+    domestic_volume = sum(f.demand.volume for f in domestic)
+    delivered = [f for f in domestic if f.delivered]
+    delivered_volume = sum(f.demand.volume for f in delivered)
+
+    local = sum(
+        f.demand.volume
+        for f in delivered
+        if all(c == country for c in f.countries)
+        and not f.trombones(ixp_countries)
+    )
+    tromboned = sum(
+        f.demand.volume for f in delivered if f.trombones(ixp_countries)
+    )
+    via_ixp = sum(f.demand.volume for f in delivered if f.ixps_crossed)
+
+    ixp_volumes: dict[str, float] = {}
+    for flow in flows:
+        for ixp_id in set(flow.ixps_crossed):
+            ixp_volumes[ixp_id] = ixp_volumes.get(ixp_id, 0.0) + flow.demand.volume
+
+    hops = [len(f.path) - 1 for f in delivered if f.path]
+    return {
+        "domestic_volume": domestic_volume,
+        "delivered_share": (
+            delivered_volume / domestic_volume if domestic_volume else 0.0
+        ),
+        "local_share": local / delivered_volume if delivered_volume else 0.0,
+        "tromboned_share": (
+            tromboned / delivered_volume if delivered_volume else 0.0
+        ),
+        "via_ixp_share": via_ixp / delivered_volume if delivered_volume else 0.0,
+        "ixp_volumes": ixp_volumes,
+        "mean_path_length": sum(hops) / len(hops) if hops else 0.0,
+    }

@@ -1,0 +1,74 @@
+"""Community mesh-network simulator.
+
+Backs the paper's Section 4 material: the Seattle Community Network
+study of researcher/mobilizer positionality in an operational community
+network [23], and the "network capacity as common pool resource" work on
+community-based congestion management [28].
+
+Modules:
+
+- :mod:`repro.netsim.community.mesh` -- nodes, radio links, connectivity.
+- :mod:`repro.netsim.community.members` -- households, demand, churn.
+- :mod:`repro.netsim.community.maintenance` -- failures, volunteers,
+  repair policies.
+- :mod:`repro.netsim.community.congestion` -- backhaul allocation:
+  FIFO vs static caps vs max-min vs common-pool-resource management.
+- :mod:`repro.netsim.community.deployment` -- the month-by-month
+  deployment simulation comparing PAR-engaged and top-down operation.
+"""
+
+from repro.netsim.community.mesh import MeshNode, MeshNetwork
+from repro.netsim.community.members import Member, MemberPool
+from repro.netsim.community.maintenance import (
+    Failure,
+    VolunteerPool,
+    repair_time_days,
+)
+from repro.netsim.community.congestion import (
+    AllocationResult,
+    allocate_fifo,
+    allocate_static_cap,
+    allocate_maxmin,
+    CprAllocator,
+    jain_fairness,
+    run_congestion_study,
+)
+from repro.netsim.community.deployment import (
+    DeploymentConfig,
+    DeploymentOutcome,
+    simulate_deployment,
+    run_deployment_study,
+)
+from repro.netsim.community.economics import (
+    CostModel,
+    FeePolicy,
+    FinanceOutcome,
+    simulate_finances,
+    fee_sweep,
+)
+
+__all__ = [
+    "MeshNode",
+    "MeshNetwork",
+    "Member",
+    "MemberPool",
+    "Failure",
+    "VolunteerPool",
+    "repair_time_days",
+    "AllocationResult",
+    "allocate_fifo",
+    "allocate_static_cap",
+    "allocate_maxmin",
+    "CprAllocator",
+    "jain_fairness",
+    "run_congestion_study",
+    "DeploymentConfig",
+    "DeploymentOutcome",
+    "simulate_deployment",
+    "run_deployment_study",
+    "CostModel",
+    "FeePolicy",
+    "FinanceOutcome",
+    "simulate_finances",
+    "fee_sweep",
+]

@@ -1,0 +1,539 @@
+"""The deployment study: participatory vs top-down operation (E8).
+
+Simulates a community network month by month — siting, failures,
+repairs, congestion, churn, growth — under two operating modes:
+
+- **PAR-engaged** (the Seattle Community Network mode of the paper's
+  Section 4): nodes sited where the community actually lives, repairs
+  done by local member-volunteers who notice outages immediately, and
+  quarterly feedback iterations that re-site hardware to cover the
+  people it misses, with community-managed (CPR) congestion control.
+- **Top-down**: the same hardware budget sited on a uniform grid by an
+  external team, repairs dispatched from outside on ticket latency, no
+  iteration, FIFO congestion.
+
+The three PAR ingredients are independent switches so the E8 ablation
+can ask which one carries the effect.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from repro.netsim.community.congestion import CprAllocator, allocate_fifo
+from repro.netsim.community.maintenance import (
+    VolunteerPool,
+    repair_time_days,
+    sample_failures,
+)
+from repro.netsim.community.members import Member, MemberPool
+from repro.netsim.community.mesh import MeshNetwork, MeshNode
+from repro.netsim.topology import Location, distance_km
+
+DAYS_PER_MONTH = 30.0
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentConfig:
+    """Parameters of one deployment simulation.
+
+    Attributes:
+        community_siting: Site nodes on the community's actual clusters
+            (PAR) instead of a uniform grid.
+        local_maintenance: Repairs by local member-volunteers instead of
+            an external two-person crew.
+        feedback_iteration: Quarterly re-siting of the worst relay to
+            cover unserved members, plus CPR (vs FIFO) congestion
+            management.
+        n_initial_members: Households at launch.
+        n_relays: Relay budget (plus one gateway, always); deliberately
+            scarce relative to the community's footprint, so siting
+            choices matter.
+        months: Simulated months.
+        radio_range_km: Node radio range.
+        backhaul_mbps: Shared backhaul capacity.
+        failure_rate: Monthly per-node failure probability (weather
+            modulates it seasonally).
+        initial_volunteer_rate: Probability a founding member volunteers
+            (doubled under community siting — engagement starts at the
+            design meetings).
+        seed: RNG seed.
+    """
+
+    community_siting: bool
+    local_maintenance: bool
+    feedback_iteration: bool
+    n_initial_members: int = 60
+    n_relays: int = 8
+    months: int = 24
+    radio_range_km: float = 1.2
+    backhaul_mbps: float = 60.0
+    failure_rate: float = 0.08
+    initial_volunteer_rate: float = 0.1
+    seed: int = 0
+
+    @classmethod
+    def par(cls, **overrides) -> "DeploymentConfig":
+        """The fully participatory preset."""
+        return cls(
+            community_siting=True,
+            local_maintenance=True,
+            feedback_iteration=True,
+            **overrides,
+        )
+
+    @classmethod
+    def top_down(cls, **overrides) -> "DeploymentConfig":
+        """The fully top-down preset."""
+        return cls(
+            community_siting=False,
+            local_maintenance=False,
+            feedback_iteration=False,
+            **overrides,
+        )
+
+
+@dataclass
+class DeploymentOutcome:
+    """Aggregated results of one simulation run.
+
+    Attributes:
+        mean_uptime: Mean monthly node uptime across the run.
+        mean_coverage: Mean share of active members within range of a
+            serving node.
+        mean_service_quality: Mean member-experienced quality (coverage x
+            uptime x congestion satisfaction).
+        median_repair_days: Median repair time over all failures.
+        retention: Share of ever-members still active at the end.
+        final_members: Active members at the end.
+        final_volunteers: Active volunteers at the end.
+        n_failures: Total failures over the run.
+        monthly_quality: Per-month mean service quality (the time series
+            E8 plots).
+    """
+
+    mean_uptime: float
+    mean_coverage: float
+    mean_service_quality: float
+    median_repair_days: float
+    retention: float
+    final_members: int
+    final_volunteers: int
+    n_failures: int
+    monthly_quality: list[float] = field(default_factory=list)
+
+
+def _clustered_locations(
+    n: int, rng: random.Random, n_clusters: int = 4, spread_km: float = 0.7
+) -> list[Location]:
+    """Member households in a few hamlet clusters over a ~10x10 km area."""
+    centers = [
+        Location(rng.uniform(0, 10), rng.uniform(0, 10))
+        for _ in range(n_clusters)
+    ]
+    locations = []
+    for i in range(n):
+        center = centers[i % n_clusters]
+        locations.append(
+            Location(
+                center.x + rng.gauss(0, spread_km),
+                center.y + rng.gauss(0, spread_km),
+            )
+        )
+    return locations
+
+
+def _centroid(locations: list[Location]) -> Location:
+    return Location(
+        sum(p.x for p in locations) / len(locations),
+        sum(p.y for p in locations) / len(locations),
+    )
+
+
+def _site_nodes(
+    config: DeploymentConfig,
+    member_locations: list[Location],
+    rng: random.Random,
+) -> MeshNetwork:
+    """Place one gateway plus ``n_relays`` relays.
+
+    Community siting: gateway at the overall demand centroid, relays by
+    a greedy k-median-style sweep — each relay goes to the centroid of
+    the members farthest from existing coverage.  Top-down siting: the
+    same budget on a uniform grid over the bounding box, blind to where
+    households cluster.
+    """
+    network = MeshNetwork(radio_range_km=config.radio_range_km)
+    reach = config.radio_range_km
+
+    def neighborhood(anchor: Location, pool: list[Location]) -> list[Location]:
+        return [loc for loc in pool if distance_km(loc, anchor) <= reach]
+
+    if config.community_siting:
+        # The community sites the gateway where the most households are.
+        gateway_anchor = max(
+            member_locations,
+            key=lambda loc: len(neighborhood(loc, member_locations)),
+        )
+        gateway_location = _centroid(neighborhood(gateway_anchor, member_locations))
+        network.add_node(MeshNode("gw0", gateway_location, kind="gateway"))
+        placed = [gateway_location]
+        budget = config.n_relays
+        relay_index = 0
+        while budget > 0:
+            uncovered = [
+                loc
+                for loc in member_locations
+                if all(distance_km(loc, p) > reach for p in placed)
+            ]
+            if not uncovered:
+                break
+            # Pick the dark hamlet with the best members-per-relay payoff:
+            # households reachable there divided by the chain hops needed
+            # to get there from existing infrastructure.
+            def payoff(anchor: Location) -> float:
+                gain = len(neighborhood(anchor, uncovered))
+                hops = max(
+                    1,
+                    -(-min(distance_km(anchor, p) for p in placed)
+                      // (reach * 0.95)),
+                )
+                return gain / hops
+
+            anchor = max(uncovered, key=payoff)
+            target = _centroid(neighborhood(anchor, uncovered))
+            # Chain relays from the nearest placed node toward the target,
+            # one radio hop at a time, until it is reached or budget ends.
+            while budget > 0:
+                nearest = min(placed, key=lambda p: distance_km(p, target))
+                gap = distance_km(nearest, target)
+                if gap <= reach * 0.95:
+                    spot = target
+                else:
+                    ratio = reach * 0.95 / gap
+                    spot = Location(
+                        nearest.x + (target.x - nearest.x) * ratio,
+                        nearest.y + (target.y - nearest.y) * ratio,
+                    )
+                network.add_node(MeshNode(f"r{relay_index}", spot, kind="relay"))
+                placed.append(spot)
+                relay_index += 1
+                budget -= 1
+                if spot is target:
+                    break
+        # Spend any leftover budget densifying the gateway hamlet.
+        while budget > 0:
+            spot = Location(
+                gateway_location.x + (0.5 + 0.1 * relay_index),
+                gateway_location.y,
+            )
+            network.add_node(MeshNode(f"r{relay_index}", spot, kind="relay"))
+            relay_index += 1
+            budget -= 1
+    else:
+        xs = [loc.x for loc in member_locations]
+        ys = [loc.y for loc in member_locations]
+        min_x, max_x = min(xs), max(xs)
+        min_y, max_y = min(ys), max(ys)
+        network.add_node(
+            MeshNode(
+                "gw0",
+                Location((min_x + max_x) / 2, (min_y + max_y) / 2),
+                kind="gateway",
+            )
+        )
+        # Grid placement, but chained for radio connectivity: the external
+        # team knows RF engineering; what it lacks is knowledge of where
+        # households cluster.
+        gateway_location = network.node("gw0").location
+        placed = [gateway_location]
+        side = max(1, round(config.n_relays ** 0.5))
+        placed_count = 0
+        for row in range(side + 1):
+            for col in range(side + 1):
+                if placed_count >= config.n_relays:
+                    break
+                x = min_x + (max_x - min_x) * (col + 0.5) / (side + 1)
+                y = min_y + (max_y - min_y) * (row + 0.5) / (side + 1)
+                target = Location(x, y)
+                nearest = min(placed, key=lambda p: distance_km(p, target))
+                gap = distance_km(nearest, target)
+                if gap > config.radio_range_km:
+                    ratio = config.radio_range_km * 0.95 / gap
+                    target = Location(
+                        nearest.x + (target.x - nearest.x) * ratio,
+                        nearest.y + (target.y - nearest.y) * ratio,
+                    )
+                network.add_node(
+                    MeshNode(f"r{placed_count}", target, kind="relay")
+                )
+                placed.append(target)
+                placed_count += 1
+    return network
+
+
+def _seasonal_weather(month: int) -> float:
+    """Weather failure multiplier: storms in months 10..12 of each year."""
+    return 2.0 if month % 12 >= 9 else 1.0
+
+
+def _resite_worst_relay(
+    network: MeshNetwork, members: MemberPool, radio_range_km: float
+) -> None:
+    """Feedback iteration: move the least useful relay to unserved members."""
+    active_locations = [m.location for m in members.active_members()]
+    if not active_locations:
+        return
+    connected = network.connected_node_ids()
+    serving = [network.node(nid) for nid in connected]
+    uncovered = [
+        loc
+        for loc in active_locations
+        if all(
+            distance_km(node.location, loc) > radio_range_km for node in serving
+        )
+    ]
+    if not uncovered:
+        return
+    relays = network.nodes(kind="relay")
+    if not relays:
+        return
+
+    def usefulness(node: MeshNode) -> int:
+        return sum(
+            1
+            for loc in active_locations
+            if distance_km(node.location, loc) <= radio_range_km
+        )
+
+    worst = min(relays, key=lambda n: (usefulness(n), n.node_id))
+    target = _centroid(uncovered)
+    anchors = [n for n in serving if n.node_id != worst.node_id]
+    if anchors:
+        nearest = min(anchors, key=lambda n: distance_km(n.location, target))
+        gap = distance_km(nearest.location, target)
+        if gap > radio_range_km:
+            ratio = radio_range_km * 0.95 / gap
+            target = Location(
+                nearest.location.x + (target.x - nearest.location.x) * ratio,
+                nearest.location.y + (target.y - nearest.location.y) * ratio,
+            )
+    worst.location = target
+
+
+def simulate_deployment(config: DeploymentConfig) -> DeploymentOutcome:
+    """Run one deployment simulation (deterministic in ``config.seed``)."""
+    rng = random.Random(config.seed)
+    locations = _clustered_locations(config.n_initial_members, rng)
+    volunteer_rate = config.initial_volunteer_rate * (
+        2.0 if config.community_siting else 1.0
+    )
+    members = MemberPool(
+        [
+            Member(
+                member_id=f"m{i:04d}",
+                location=location,
+                demand_mbps=rng.uniform(1.0, 4.0),
+                is_volunteer=rng.random() < volunteer_rate,
+                skill=rng.uniform(0.1, 0.9),
+            )
+            for i, location in enumerate(locations)
+        ]
+    )
+    network = _site_nodes(config, locations, rng)
+    cpr = CprAllocator()
+
+    downtime_backlog: dict[str, float] = {}
+    repair_days_log: list[float] = []
+    monthly_uptime: list[float] = []
+    monthly_coverage: list[float] = []
+    monthly_quality: list[float] = []
+    n_failures = 0
+
+    for month in range(config.months):
+        # -- failures arrive -------------------------------------------------
+        weather = _seasonal_weather(month)
+        failures = sample_failures(
+            [n.node_id for n in network.nodes()],
+            month,
+            rng,
+            base_rate=config.failure_rate,
+            weather_multiplier=weather,
+        )
+        n_failures += len(failures)
+
+        if config.local_maintenance:
+            pool = VolunteerPool.from_members(members, local=True)
+        else:
+            pool = VolunteerPool(n_volunteers=2, mean_skill=0.6, local=False)
+        spare_delay = 2.0 if config.local_maintenance else 10.0
+
+        pending = len(failures) + sum(1 for v in downtime_backlog.values() if v > 0)
+        for failure in failures:
+            days = repair_time_days(pool, pending, spare_delay, rng)
+            repair_days_log.append(days)
+            downtime_backlog[failure.node_id] = (
+                downtime_backlog.get(failure.node_id, 0.0) + days
+            )
+
+        # -- uptime accounting ----------------------------------------------
+        node_uptime: dict[str, float] = {}
+        for node in network.nodes():
+            backlog = downtime_backlog.get(node.node_id, 0.0)
+            down_days = min(DAYS_PER_MONTH, backlog)
+            downtime_backlog[node.node_id] = backlog - down_days
+            node_uptime[node.node_id] = 1.0 - down_days / DAYS_PER_MONTH
+            node.up = downtime_backlog[node.node_id] <= 0.0
+        gateway_uptime = node_uptime.get("gw0", 1.0)
+        mean_uptime = sum(node_uptime.values()) / len(node_uptime)
+        monthly_uptime.append(mean_uptime)
+
+        # -- coverage & congestion -------------------------------------------
+        active = members.active_members()
+        active_locations = [m.location for m in active]
+        # Structural coverage uses the full topology; outages enter
+        # through the uptime factors below.
+        for node in network.nodes():
+            node.up = True
+        coverage = network.coverage_share(active_locations)
+        monthly_coverage.append(coverage)
+        connected_ids = network.connected_node_ids()
+        serving_nodes = [network.node(nid) for nid in sorted(connected_ids)]
+
+        covered_members = []
+        for member in active:
+            reachable = [
+                node
+                for node in serving_nodes
+                if distance_km(node.location, member.location)
+                <= config.radio_range_km
+            ]
+            if reachable:
+                nearest = min(
+                    reachable,
+                    key=lambda n: distance_km(n.location, member.location),
+                )
+                covered_members.append((member, nearest))
+
+        demands = [m.demand_mbps for m, _ in covered_members]
+        if demands:
+            if config.feedback_iteration:
+                allocation = cpr.allocate(demands, config.backhaul_mbps)
+            else:
+                order = list(range(len(demands)))
+                rng.shuffle(order)
+                allocation = allocate_fifo(
+                    demands, config.backhaul_mbps, arrival_order=order
+                )
+            congestion_satisfaction = dict(
+                zip(
+                    (m.member_id for m, _ in covered_members),
+                    allocation.satisfaction,
+                )
+            )
+        else:
+            congestion_satisfaction = {}
+
+        covered_ids = {m.member_id for m, _ in covered_members}
+        serving_uptime = {
+            m.member_id: node_uptime[node.node_id] * gateway_uptime
+            for m, node in covered_members
+        }
+
+        qualities = []
+        for member in active:
+            if member.member_id in covered_ids:
+                quality = (
+                    serving_uptime[member.member_id]
+                    * congestion_satisfaction.get(member.member_id, 1.0)
+                )
+            else:
+                quality = 0.0
+            member.update_satisfaction(min(1.0, max(0.0, quality)))
+            qualities.append(quality)
+        monthly_quality.append(
+            sum(qualities) / len(qualities) if qualities else 0.0
+        )
+
+        # -- community dynamics ----------------------------------------------
+        members.apply_churn(month, rng)
+        members.recruit(
+            month,
+            rng,
+            base_rate=0.02,
+            volunteer_rate=volunteer_rate,
+        )
+        if config.feedback_iteration and month % 3 == 2:
+            _resite_worst_relay(network, members, config.radio_range_km)
+
+    return DeploymentOutcome(
+        mean_uptime=sum(monthly_uptime) / len(monthly_uptime),
+        mean_coverage=sum(monthly_coverage) / len(monthly_coverage),
+        mean_service_quality=sum(monthly_quality) / len(monthly_quality),
+        median_repair_days=(
+            statistics.median(repair_days_log) if repair_days_log else 0.0
+        ),
+        retention=members.retention(),
+        final_members=len(members.active_members()),
+        final_volunteers=len(members.volunteers()),
+        n_failures=n_failures,
+        monthly_quality=monthly_quality,
+    )
+
+
+def run_deployment_study(
+    n_seeds: int = 5,
+    months: int = 24,
+    ablations: bool = False,
+) -> dict[str, dict]:
+    """Experiment E8: PAR vs top-down across seeds (optionally ablated).
+
+    Returns:
+        policy -> dict of seed-averaged outcome fields (``mean_uptime``,
+        ``mean_coverage``, ``mean_service_quality``,
+        ``median_repair_days``, ``retention``, ``final_members``,
+        ``final_volunteers``).  With ``ablations=True``, adds one policy
+        per single PAR ingredient enabled alone.
+    """
+    variants: dict[str, dict] = {
+        "par": {"community_siting": True, "local_maintenance": True,
+                "feedback_iteration": True},
+        "top_down": {"community_siting": False, "local_maintenance": False,
+                     "feedback_iteration": False},
+    }
+    if ablations:
+        variants.update(
+            {
+                "siting_only": {"community_siting": True,
+                                "local_maintenance": False,
+                                "feedback_iteration": False},
+                "maintenance_only": {"community_siting": False,
+                                     "local_maintenance": True,
+                                     "feedback_iteration": False},
+                "iteration_only": {"community_siting": False,
+                                   "local_maintenance": False,
+                                   "feedback_iteration": True},
+            }
+        )
+
+    fields = (
+        "mean_uptime",
+        "mean_coverage",
+        "mean_service_quality",
+        "median_repair_days",
+        "retention",
+        "final_members",
+        "final_volunteers",
+    )
+    results: dict[str, dict] = {}
+    for name, switches in variants.items():
+        accumulator = {f: 0.0 for f in fields}
+        for seed in range(n_seeds):
+            config = DeploymentConfig(months=months, seed=seed, **switches)
+            outcome = simulate_deployment(config)
+            for f in fields:
+                accumulator[f] += float(getattr(outcome, f))
+        results[name] = {f: accumulator[f] / n_seeds for f in fields}
+    return results

@@ -1,0 +1,215 @@
+"""Community-network economics: fees, costs, sustainability.
+
+The problem catalog behind E10 includes ``backhaul-cost`` ("backhaul
+transit costs dominate operating budgets") and ``affordability``
+("service prices exceed what households can pay") — the two jaws of the
+vise every community network operates in.  This module models the
+squeeze:
+
+- :class:`CostModel` -- monthly costs: fixed backhaul, per-Mbps
+  transit, per-node power, and a parts budget proportional to failures.
+- :class:`FeePolicy` -- flat or income-scaled member fees.
+- :func:`simulate_finances` -- month-by-month cash flow with
+  affordability churn: members whose fee exceeds their willingness to
+  pay leave, shrinking revenue (the death-spiral risk).
+- :func:`fee_sweep` -- the inverted-U: revenue first rises with the
+  fee, then collapses as affordability churn bites; the sweep finds
+  the sustainable window.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Monthly cost structure.
+
+    Attributes:
+        backhaul_fixed: Fixed monthly backhaul/transit charge.
+        backhaul_per_mbps: Charge per Mbps of provisioned capacity.
+        power_per_node: Monthly power cost per mesh node.
+        parts_per_failure: Average parts cost per hardware failure.
+    """
+
+    backhaul_fixed: float = 150.0
+    backhaul_per_mbps: float = 3.0
+    power_per_node: float = 5.0
+    parts_per_failure: float = 60.0
+
+    def monthly_cost(
+        self, capacity_mbps: float, n_nodes: int, n_failures: int
+    ) -> float:
+        """Total cost for one month."""
+        if capacity_mbps < 0 or n_nodes < 0 or n_failures < 0:
+            raise ValueError("cost inputs must be non-negative")
+        return (
+            self.backhaul_fixed
+            + self.backhaul_per_mbps * capacity_mbps
+            + self.power_per_node * n_nodes
+            + self.parts_per_failure * n_failures
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FeePolicy:
+    """Member fee policy.
+
+    Attributes:
+        base_fee: Monthly fee for a median-income household.
+        income_scaled: When True, each member pays
+            ``base_fee * (income_factor)`` — wealthier households
+            subsidize poorer ones (a common cooperative arrangement);
+            when False everyone pays ``base_fee``.
+    """
+
+    base_fee: float = 10.0
+    income_scaled: bool = False
+
+    def fee_for(self, income_factor: float) -> float:
+        """Fee charged to a member with the given relative income."""
+        if income_factor <= 0:
+            raise ValueError("income_factor must be positive")
+        if self.income_scaled:
+            return self.base_fee * income_factor
+        return self.base_fee
+
+
+@dataclass
+class FinanceOutcome:
+    """Result of a finance simulation.
+
+    Attributes:
+        months_survived: Months before the reserve went negative
+            (equals the horizon when the network stays solvent).
+        final_reserve: Cash at the end (or at failure).
+        final_members: Members remaining.
+        mean_monthly_margin: Average revenue minus cost per month
+            survived.
+        solvent: True when the run ended with members and cash.
+    """
+
+    months_survived: int
+    final_reserve: float
+    final_members: int
+    mean_monthly_margin: float
+    solvent: bool
+
+
+def simulate_finances(
+    fee_policy: FeePolicy,
+    cost_model: CostModel | None = None,
+    n_members: int = 60,
+    capacity_mbps: float = 50.0,
+    n_nodes: int = 10,
+    months: int = 36,
+    initial_reserve: float = 500.0,
+    failure_rate_per_node: float = 0.08,
+    seed: int = 0,
+) -> FinanceOutcome:
+    """Run the monthly cash-flow simulation.
+
+    Members carry lognormal relative incomes (median 1.0) and a
+    willingness to pay of ``15 * income`` (a median household accepts a
+    fee up to 15 units).  Each month, members whose fee exceeds their
+    willingness leave with probability 0.5; revenue, costs, and failures
+    are then settled against the reserve.  The network fails when the
+    reserve goes negative or membership empties.
+
+    Note the income-scaled policy's structural property: because the
+    fee scales with the same income that sets willingness, it prices
+    nobody out as long as ``base_fee <= 15`` — the cooperative
+    cross-subsidy eliminates affordability churn rather than balancing
+    it.
+    """
+    if months < 1:
+        raise ValueError("months must be >= 1")
+    if n_members < 1:
+        raise ValueError("n_members must be >= 1")
+    cost_model = cost_model or CostModel()
+    rng = random.Random(seed)
+    incomes = [rng.lognormvariate(0.0, 0.5) for _ in range(n_members)]
+    willingness = [15.0 * income for income in incomes]
+
+    reserve = initial_reserve
+    margins = []
+    month = 0
+    for month in range(1, months + 1):
+        # Affordability churn first: the bill arrives, some can't pay.
+        keep_incomes = []
+        keep_willingness = []
+        for income, limit in zip(incomes, willingness):
+            fee = fee_policy.fee_for(income)
+            if fee > limit and rng.random() < 0.5:
+                continue
+            keep_incomes.append(income)
+            keep_willingness.append(limit)
+        incomes, willingness = keep_incomes, keep_willingness
+        if not incomes:
+            return FinanceOutcome(
+                months_survived=month - 1,
+                final_reserve=reserve,
+                final_members=0,
+                mean_monthly_margin=(
+                    sum(margins) / len(margins) if margins else 0.0
+                ),
+                solvent=False,
+            )
+
+        revenue = sum(fee_policy.fee_for(income) for income in incomes)
+        n_failures = sum(
+            1 for _ in range(n_nodes) if rng.random() < failure_rate_per_node
+        )
+        cost = cost_model.monthly_cost(capacity_mbps, n_nodes, n_failures)
+        margin = revenue - cost
+        margins.append(margin)
+        reserve += margin
+        if reserve < 0:
+            return FinanceOutcome(
+                months_survived=month,
+                final_reserve=reserve,
+                final_members=len(incomes),
+                mean_monthly_margin=sum(margins) / len(margins),
+                solvent=False,
+            )
+    return FinanceOutcome(
+        months_survived=months,
+        final_reserve=reserve,
+        final_members=len(incomes),
+        mean_monthly_margin=sum(margins) / len(margins) if margins else 0.0,
+        solvent=True,
+    )
+
+
+def fee_sweep(
+    fees: tuple[float, ...] = (4.0, 8.0, 12.0, 16.0, 24.0, 40.0),
+    income_scaled: bool = False,
+    seed: int = 0,
+    **simulate_kwargs,
+) -> list[dict]:
+    """Sweep the base fee; returns one record per fee level.
+
+    Each record carries ``fee``, ``solvent``, ``months_survived``,
+    ``final_members``, ``mean_monthly_margin``.  The classic shape is an
+    inverted U: too-low fees bleed the reserve, too-high fees bleed the
+    membership; the sustainable window sits between.
+    """
+    records = []
+    for fee in fees:
+        outcome = simulate_finances(
+            FeePolicy(base_fee=fee, income_scaled=income_scaled),
+            seed=seed,
+            **simulate_kwargs,
+        )
+        records.append(
+            {
+                "fee": fee,
+                "solvent": outcome.solvent,
+                "months_survived": outcome.months_survived,
+                "final_members": outcome.final_members,
+                "mean_monthly_margin": outcome.mean_monthly_margin,
+            }
+        )
+    return records

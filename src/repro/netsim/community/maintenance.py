@@ -1,0 +1,124 @@
+"""Failures, volunteers, and repair.
+
+Hardware fails; who notices and who climbs the roof determines uptime.
+Garrison et al. ("The Network Is an Excuse", cited in the paper's
+Section 4 [16]) document community-network maintenance as social labour;
+this module gives that labour a cost model:
+
+- failures arrive per node per month (weather multiplies the rate),
+- repair time depends on detection latency, travel/coordination
+  overhead, volunteer skill, and spare-parts logistics,
+- participatory operations detect faster (members report their own
+  infrastructure), field more local volunteers, and pre-position spares;
+  top-down operations dispatch from a central queue.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netsim.community.members import MemberPool
+
+
+@dataclass
+class Failure:
+    """One node failure.
+
+    Attributes:
+        node_id: The failed node.
+        month: Month the failure occurred.
+        repaired: Whether it has been fixed.
+        repair_days: Days the repair took (set when repaired).
+    """
+
+    node_id: str
+    month: int
+    repaired: bool = False
+    repair_days: float = 0.0
+
+
+@dataclass
+class VolunteerPool:
+    """Maintenance labour available to the operation.
+
+    Attributes:
+        n_volunteers: People willing to do repairs this month.
+        mean_skill: Average skill in [0, 1].
+        local: Whether volunteers live in the served community
+            (participatory) or dispatch from outside (top-down).
+    """
+
+    n_volunteers: int
+    mean_skill: float
+    local: bool
+
+    @classmethod
+    def from_members(cls, members: MemberPool, local: bool = True) -> "VolunteerPool":
+        """Build the pool from a member roster's volunteers."""
+        volunteers = members.volunteers()
+        if not volunteers:
+            return cls(n_volunteers=0, mean_skill=0.0, local=local)
+        mean_skill = sum(v.skill for v in volunteers) / len(volunteers)
+        return cls(n_volunteers=len(volunteers), mean_skill=mean_skill, local=local)
+
+
+def repair_time_days(
+    pool: VolunteerPool,
+    pending_repairs: int,
+    spare_parts_delay_days: float,
+    rng: random.Random,
+    detection_days_local: float = 0.5,
+    detection_days_remote: float = 4.0,
+) -> float:
+    """Sample the days one repair takes under current conditions.
+
+    Components:
+
+    - detection: locals notice within a day; a remote NOC hears when a
+      ticket finally lands.
+    - queueing: pending repairs divided by the volunteer count (plus 1
+      so an empty pool means weeks, not infinity).
+    - work: base 1 day scaled down by skill.
+    - parts: the logistics delay applies with probability 0.3 (most
+      repairs are reseat/reboot/re-aim; some need hardware).
+
+    Returns total days (>= 0.25).
+    """
+    if pending_repairs < 0:
+        raise ValueError("pending_repairs must be >= 0")
+    if spare_parts_delay_days < 0:
+        raise ValueError("spare_parts_delay_days must be >= 0")
+    detection = (
+        detection_days_local if pool.local else detection_days_remote
+    ) * rng.uniform(0.5, 1.5)
+    effective_crew = max(pool.n_volunteers, 0)
+    queueing = pending_repairs / (effective_crew + 1.0) * 2.0
+    skill = max(0.05, pool.mean_skill if effective_crew else 0.05)
+    work = rng.uniform(0.5, 1.5) / skill
+    parts = spare_parts_delay_days if rng.random() < 0.3 else 0.0
+    return max(0.25, detection + queueing + work + parts)
+
+
+def sample_failures(
+    node_ids: list[str],
+    month: int,
+    rng: random.Random,
+    base_rate: float = 0.08,
+    weather_multiplier: float = 1.0,
+) -> list[Failure]:
+    """Draw this month's failures.
+
+    Each node fails independently with probability ``base_rate *
+    weather_multiplier`` (clamped to 1).  Returns failures sorted by
+    node id for determinism.
+    """
+    if base_rate < 0 or weather_multiplier < 0:
+        raise ValueError("rates must be non-negative")
+    probability = min(1.0, base_rate * weather_multiplier)
+    failures = [
+        Failure(node_id=node_id, month=month)
+        for node_id in sorted(node_ids)
+        if rng.random() < probability
+    ]
+    return failures

@@ -1,0 +1,156 @@
+"""Community members: households, demand, satisfaction, churn.
+
+Members experience the network month by month: outages and congestion
+erode satisfaction, good service restores it, and members whose
+satisfaction stays low leave (churn).  Engaged members can volunteer —
+the labour pool maintenance runs on — and satisfied members recruit
+neighbors, which is how community networks actually grow.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netsim.topology import Location
+
+
+@dataclass
+class Member:
+    """One household on the network.
+
+    Attributes:
+        member_id: Unique id.
+        location: Where the household is.
+        joined_month: Simulation month of joining.
+        demand_mbps: Typical peak demand.
+        is_volunteer: Whether the member contributes maintenance labour.
+        skill: Volunteer skill in [0, 1] (repair speed multiplier).
+        satisfaction: Rolling satisfaction in [0, 1].
+        active: False after churning out.
+        left_month: Month of leaving, or None while active.
+    """
+
+    member_id: str
+    location: Location
+    joined_month: int = 0
+    demand_mbps: float = 2.0
+    is_volunteer: bool = False
+    skill: float = 0.3
+    satisfaction: float = 0.7
+    active: bool = True
+    left_month: int | None = None
+
+    def update_satisfaction(self, service_quality: float, inertia: float = 0.7) -> None:
+        """Blend this month's service quality into rolling satisfaction.
+
+        Args:
+            service_quality: This month's experienced quality in [0, 1]
+                (uptime times congestion satisfaction).
+            inertia: Weight on the existing satisfaction.
+        """
+        if not 0.0 <= service_quality <= 1.0:
+            raise ValueError("service_quality must be in [0, 1]")
+        self.satisfaction = (
+            inertia * self.satisfaction + (1.0 - inertia) * service_quality
+        )
+
+
+class MemberPool:
+    """The member roster with churn and recruitment dynamics."""
+
+    def __init__(self, members: list[Member] | None = None) -> None:
+        self._members: dict[str, Member] = {}
+        for member in members or []:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return iter(sorted(self._members.values(), key=lambda m: m.member_id))
+
+    def add(self, member: Member) -> None:
+        """Add a member; rejects duplicate ids."""
+        if member.member_id in self._members:
+            raise ValueError(f"duplicate member id: {member.member_id!r}")
+        self._members[member.member_id] = member
+
+    def get(self, member_id: str) -> Member:
+        """Member by id (KeyError when absent)."""
+        return self._members[member_id]
+
+    def active_members(self) -> list[Member]:
+        """Members still on the network, sorted by id."""
+        return [m for m in self if m.active]
+
+    def volunteers(self) -> list[Member]:
+        """Active volunteers, sorted by id."""
+        return [m for m in self.active_members() if m.is_volunteer]
+
+    def retention(self) -> float:
+        """Fraction of all ever-members still active."""
+        if not self._members:
+            return 1.0
+        return len(self.active_members()) / len(self._members)
+
+    def apply_churn(
+        self,
+        month: int,
+        rng: random.Random,
+        threshold: float = 0.35,
+        churn_probability: float = 0.5,
+    ) -> list[str]:
+        """Let low-satisfaction members leave.
+
+        Each active member with satisfaction below ``threshold`` leaves
+        this month with ``churn_probability``.  Returns the ids that
+        left (sorted, for determinism).
+        """
+        left = []
+        for member in self.active_members():
+            if member.satisfaction < threshold and rng.random() < churn_probability:
+                member.active = False
+                member.left_month = month
+                left.append(member.member_id)
+        return sorted(left)
+
+    def recruit(
+        self,
+        month: int,
+        rng: random.Random,
+        base_rate: float,
+        volunteer_rate: float,
+        spread_km: float = 1.5,
+        id_prefix: str = "m",
+    ) -> list[Member]:
+        """Word-of-mouth growth around satisfied members.
+
+        Each active member with satisfaction above 0.7 recruits a new
+        neighbor household with probability ``base_rate``; the recruit
+        lands near the recruiter and volunteers with ``volunteer_rate``.
+        Returns the new members (already added to the pool).
+        """
+        recruits = []
+        counter = len(self._members)
+        for member in self.active_members():
+            if member.satisfaction > 0.7 and rng.random() < base_rate:
+                location = Location(
+                    member.location.x + rng.uniform(-spread_km, spread_km),
+                    member.location.y + rng.uniform(-spread_km, spread_km),
+                    member.location.region,
+                    member.location.country,
+                )
+                recruit = Member(
+                    member_id=f"{id_prefix}{counter:04d}",
+                    location=location,
+                    joined_month=month,
+                    demand_mbps=rng.uniform(1.0, 4.0),
+                    is_volunteer=rng.random() < volunteer_rate,
+                    skill=rng.uniform(0.1, 0.9),
+                    satisfaction=0.7,
+                )
+                counter += 1
+                self.add(recruit)
+                recruits.append(recruit)
+        return recruits

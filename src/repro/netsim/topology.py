@@ -1,0 +1,55 @@
+"""Shared geometry and topology helpers.
+
+Both simulators need coarse geography: the BGP simulator to decide what
+"keeping traffic local" means, the community simulator to place mesh
+nodes.  Locations are planar kilometre coordinates — great-circle math
+would add precision the case studies do not need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """A point in a planar km coordinate system.
+
+    Attributes:
+        x: East-west kilometres.
+        y: North-south kilometres.
+        region: Coarse region label ("south-america", "europe", ...).
+        country: Country label ("BR", "DE", "MX", ...).
+    """
+
+    x: float
+    y: float
+    region: str = ""
+    country: str = ""
+
+
+def distance_km(a: Location, b: Location) -> float:
+    """Euclidean distance between two locations in kilometres."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def gravity_weight(
+    size_a: float, size_b: float, distance: float, decay: float = 1.0
+) -> float:
+    """Gravity-model interaction weight between two endpoints.
+
+    ``weight = size_a * size_b / (1 + distance) ** decay`` — the standard
+    traffic-matrix prior: big endpoints exchange more, far endpoints less.
+
+    Args:
+        size_a: Mass of one endpoint (users, customer-cone size, ...).
+        size_b: Mass of the other.
+        distance: Distance in km (any non-negative scale).
+        decay: Distance-decay exponent; 0 disables geography.
+    """
+    if size_a < 0 or size_b < 0:
+        raise ValueError("sizes must be non-negative")
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    return size_a * size_b / (1.0 + distance) ** decay

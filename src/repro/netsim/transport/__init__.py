@@ -1,0 +1,51 @@
+"""Flow-level transport simulator: the Section-2 historical exhibit.
+
+The paper's Action-Research argument leans on congestion control as its
+canonical example: innovations "such as congestion control algorithms
+(e.g., TCP Tahoe) being relatively small extensions over existing
+designs and deployed first into the Internet", developed hand-in-hand
+with operators — and "we know what would have happened without these
+use-focused 'action' methods".  What would have happened is congestion
+collapse (Jacobson 1988): open-loop senders retransmitting into a
+saturated network until goodput dies.
+
+This package reproduces that exhibit with a discrete-time fluid/packet
+simulator:
+
+- :mod:`repro.netsim.transport.link` -- a bottleneck link with a finite
+  buffer (drop-tail).
+- :mod:`repro.netsim.transport.flows` -- sender behaviours: open-loop
+  fixed-window (the pre-Tahoe counterfactual), Tahoe-style slow start +
+  AIMD with timeout, and Reno-style fast recovery.
+- :mod:`repro.netsim.transport.sim` -- the shared-bottleneck simulation
+  and the E13 congestion-collapse study.
+"""
+
+from repro.netsim.transport.link import Link, interleave
+from repro.netsim.transport.flows import (
+    FlowStats,
+    SenderBase,
+    FixedWindowSender,
+    TahoeSender,
+    RenoSender,
+    make_sender,
+)
+from repro.netsim.transport.sim import (
+    SimulationResult,
+    simulate_shared_link,
+    run_collapse_study,
+)
+
+__all__ = [
+    "Link",
+    "interleave",
+    "FlowStats",
+    "SenderBase",
+    "FixedWindowSender",
+    "TahoeSender",
+    "RenoSender",
+    "make_sender",
+    "SimulationResult",
+    "simulate_shared_link",
+    "run_collapse_study",
+]

@@ -1,0 +1,255 @@
+"""Sender behaviours: the pre-Tahoe counterfactual and the AIMD family.
+
+Senders transmit sequence-numbered packets under a window, retransmit
+on timeout, and (for the AIMD family) adapt the window to loss signals.
+Three behaviours span the paper's Section-2 historical argument:
+
+- :class:`FixedWindowSender` — the open-loop counterfactual: a constant
+  window, a *static* retransmission timeout with no RTT estimation, and
+  no reaction to loss.  When queueing delay exceeds its timeout it
+  re-sends packets that were never lost; the shared queue fills with
+  duplicates and goodput collapses (Jacobson 1988's diagnosis).
+- :class:`TahoeSender` — slow start + congestion avoidance + adaptive
+  timeout (EWMA RTT estimation); any loss event resets the window to 1.
+  Built from deployment experience — the paper's example of action
+  research shipped into the Internet.
+- :class:`RenoSender` — Tahoe plus fast recovery: a loss tick on which
+  ACKs still arrived halves the window instead of resetting it (the
+  next deployment iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FlowStats:
+    """Lifetime statistics for one sender.
+
+    Attributes:
+        transmitted: Packets put on the wire (including retransmissions).
+        retransmissions: Of those, how many were re-sends.
+        acked: Distinct sequence numbers acknowledged.
+    """
+
+    transmitted: int = 0
+    retransmissions: int = 0
+    acked: int = 0
+
+
+class SenderBase:
+    """Window, in-flight tracking, timeout retransmission.
+
+    Subclasses set the window policy via :meth:`window` and react to
+    loss signals in :meth:`on_tick_feedback`.
+    """
+
+    def __init__(self, flow_id: str, demand_per_tick: int) -> None:
+        if demand_per_tick < 0:
+            raise ValueError("demand_per_tick must be >= 0")
+        self.flow_id = flow_id
+        self.demand_per_tick = demand_per_tick
+        self.stats = FlowStats()
+        self._next_seq = 0
+        self._app_backlog = 0          # sequence numbers not yet created
+        self._in_flight: dict[int, int] = {}  # seq -> last transmission tick
+        self._timeouts_this_tick = 0
+
+    # -- policy hooks --------------------------------------------------------
+
+    def window(self) -> int:
+        """Current window size in packets."""
+        raise NotImplementedError
+
+    def timeout_ticks(self, now: int) -> int:
+        """Current retransmission timeout in ticks."""
+        raise NotImplementedError
+
+    def on_tick_feedback(
+        self, acked: int, spurious_acks: int, timeouts: int, now: int
+    ) -> None:
+        """React to this tick's signals (AIMD subclasses adjust cwnd)."""
+
+    def record_rtt(self, rtt: float) -> None:
+        """Observe one packet's round-trip time (adaptive-RTO hook)."""
+
+    # -- mechanics -----------------------------------------------------------
+
+    def transmit(self, now: int) -> list[int]:
+        """Sequence numbers to put on the wire this tick.
+
+        Timed-out in-flight packets are retransmitted first; new
+        sequence numbers fill the remaining window.  The count of
+        timeout retransmissions this tick is exposed through the return
+        of :meth:`collect_timeouts` (already folded into stats here).
+        """
+        self._app_backlog += self.demand_per_tick
+        timeout = self.timeout_ticks(now)
+        window = max(1, self.window())
+
+        sends: list[int] = []
+        timeouts = 0
+        for seq in sorted(self._in_flight):
+            if len(sends) >= window:
+                break
+            if now - self._in_flight[seq] >= timeout:
+                self._in_flight[seq] = now
+                sends.append(seq)
+                timeouts += 1
+        self._timeouts_this_tick = timeouts
+
+        while (
+            len(self._in_flight) < window
+            and len(sends) < window
+            and self._app_backlog > 0
+        ):
+            seq = self._next_seq
+            self._next_seq += 1
+            self._app_backlog -= 1
+            self._in_flight[seq] = now
+            sends.append(seq)
+
+        self.stats.transmitted += len(sends)
+        self.stats.retransmissions += timeouts
+        return sends
+
+    def deliver_acks(self, seqs: list[int], now: int) -> tuple[int, int]:
+        """Process ACKs for served packets.
+
+        Returns ``(fresh, spurious)``: ACKs for packets still considered
+        in flight vs duplicates of already-acknowledged data.
+        """
+        fresh = 0
+        spurious = 0
+        for seq in seqs:
+            sent_at = self._in_flight.pop(seq, None)
+            if sent_at is None:
+                spurious += 1
+            else:
+                fresh += 1
+                self.stats.acked += 1
+                self.record_rtt(now - sent_at + 1)
+        self.on_tick_feedback(
+            fresh, spurious, self._timeouts_this_tick, now
+        )
+        self._timeouts_this_tick = 0
+        return fresh, spurious
+
+
+class FixedWindowSender(SenderBase):
+    """Open-loop sender: constant window, static timeout, no adaptation."""
+
+    def __init__(
+        self,
+        flow_id: str,
+        demand_per_tick: int,
+        window_size: int,
+        static_timeout: int = 2,
+    ) -> None:
+        super().__init__(flow_id, demand_per_tick)
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if static_timeout < 1:
+            raise ValueError("static_timeout must be >= 1")
+        self._window = window_size
+        self._timeout = static_timeout
+
+    def window(self) -> int:
+        return self._window
+
+    def timeout_ticks(self, now: int) -> int:
+        return self._timeout
+
+
+class AdaptiveRtoMixin:
+    """EWMA RTT estimation feeding the retransmission timeout.
+
+    Jacobson's companion fix to AIMD: the timeout tracks measured RTT
+    (here ``2 * srtt + 1``, floored at 3 ticks), so a standing queue
+    does not trigger spurious retransmission.
+    """
+
+    def __init__(self) -> None:
+        self._srtt = 2.0
+
+    def record_rtt(self, rtt: float) -> None:
+        self._srtt = 0.875 * self._srtt + 0.125 * rtt
+
+    def timeout_ticks(self, now: int) -> int:
+        return max(3, int(2 * self._srtt + 1))
+
+
+class TahoeSender(AdaptiveRtoMixin, SenderBase):
+    """Slow start + congestion avoidance; loss resets the window to 1."""
+
+    def __init__(
+        self, flow_id: str, demand_per_tick: int, max_window: int = 1 << 10
+    ) -> None:
+        SenderBase.__init__(self, flow_id, demand_per_tick)
+        AdaptiveRtoMixin.__init__(self)
+        self.cwnd = 1.0
+        self.ssthresh = float(max_window)
+        self.max_window = max_window
+
+    def window(self) -> int:
+        return max(1, int(self.cwnd))
+
+    def on_tick_feedback(
+        self, acked: int, spurious_acks: int, timeouts: int, now: int
+    ) -> None:
+        if timeouts > 0:
+            self.ssthresh = max(2.0, self.cwnd / 2.0)
+            self.cwnd = 1.0
+        elif acked > 0:
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd * 2.0, float(self.max_window))
+            else:
+                self.cwnd = min(self.cwnd + 1.0, float(self.max_window))
+
+
+class RenoSender(TahoeSender):
+    """Tahoe plus fast recovery.
+
+    A loss tick on which fresh ACKs still arrived is the
+    triple-duplicate-ACK analogue: halve instead of resetting.  A loss
+    tick with no ACK progress is a timeout: reset to 1 as in Tahoe.
+    """
+
+    def on_tick_feedback(
+        self, acked: int, spurious_acks: int, timeouts: int, now: int
+    ) -> None:
+        if timeouts > 0 and acked > 0:
+            self.ssthresh = max(2.0, self.cwnd / 2.0)
+            self.cwnd = max(1.0, self.ssthresh)
+        elif timeouts > 0:
+            self.ssthresh = max(2.0, self.cwnd / 2.0)
+            self.cwnd = 1.0
+        elif acked > 0:
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd * 2.0, float(self.max_window))
+            else:
+                self.cwnd = min(self.cwnd + 1.0, float(self.max_window))
+
+
+def make_sender(
+    protocol: str,
+    flow_id: str,
+    demand_per_tick: int,
+    window_size: int = 32,
+) -> SenderBase:
+    """Factory: "fixed", "tahoe", or "reno".
+
+    Args:
+        protocol: Sender behaviour name.
+        flow_id: Flow identifier.
+        demand_per_tick: New packets the application produces per tick.
+        window_size: Fixed window (fixed) / max window (tahoe, reno).
+    """
+    if protocol == "fixed":
+        return FixedWindowSender(flow_id, demand_per_tick, window_size)
+    if protocol == "tahoe":
+        return TahoeSender(flow_id, demand_per_tick, max_window=window_size)
+    if protocol == "reno":
+        return RenoSender(flow_id, demand_per_tick, max_window=window_size)
+    raise ValueError(f"unknown protocol: {protocol!r}")

@@ -1,0 +1,94 @@
+"""The bottleneck link: a drop-tail FIFO of real packets.
+
+Packets are ``(flow_index, sequence_number)`` pairs.  Each tick, flows'
+transmissions are interleaved round-robin (so no flow gets priority by
+list position), admitted up to the free buffer (drop-tail beyond), and
+the head ``capacity`` packets are served.  Queueing delay — the number
+of ticks a packet waits — is what drives the congestion-collapse
+mechanism: when delay exceeds a sender's retransmission timeout, the
+sender re-sends packets that were never lost, and the link fills with
+duplicates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+Packet = tuple[int, int]  # (flow_index, sequence_number)
+
+
+def interleave(per_flow: list[list[Packet]]) -> list[Packet]:
+    """Round-robin interleave per-flow packet lists.
+
+    >>> interleave([[(0, 1), (0, 2)], [(1, 9)]])
+    [(0, 1), (1, 9), (0, 2)]
+    """
+    result: list[Packet] = []
+    cursors = [0] * len(per_flow)
+    remaining = sum(len(packets) for packets in per_flow)
+    while remaining:
+        for i, packets in enumerate(per_flow):
+            if cursors[i] < len(packets):
+                result.append(packets[cursors[i]])
+                cursors[i] += 1
+                remaining -= 1
+    return result
+
+
+@dataclass
+class Link:
+    """A shared drop-tail bottleneck.
+
+    Attributes:
+        capacity: Packets served per tick.
+        buffer_size: Maximum packets held in the queue between ticks.
+    """
+
+    capacity: int
+    buffer_size: int
+    _fifo: deque = field(default_factory=deque, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.buffer_size < 0:
+            raise ValueError(f"buffer_size must be >= 0, got {self.buffer_size}")
+
+    @property
+    def queue(self) -> int:
+        """Current queue occupancy."""
+        return len(self._fifo)
+
+    @property
+    def queue_delay_ticks(self) -> float:
+        """Ticks a packet arriving now would wait before service."""
+        return self.queue / self.capacity
+
+    def tick(self, per_flow_transmissions: list[list[Packet]]) -> tuple[
+        list[Packet], list[Packet]
+    ]:
+        """Run one tick: admit arrivals, then serve the head of the queue.
+
+        Args:
+            per_flow_transmissions: Each flow's packets this tick.
+
+        Returns:
+            ``(served, dropped)`` packet lists.  Served packets left the
+            link this tick (their ACKs arrive now); dropped packets were
+            tail-dropped at admission.
+        """
+        arrivals = interleave(per_flow_transmissions)
+        free = self.buffer_size + self.capacity - self.queue
+        admitted = arrivals[: max(0, free)]
+        dropped = arrivals[max(0, free):]
+        self._fifo.extend(admitted)
+        served = [
+            self._fifo.popleft()
+            for _ in range(min(self.capacity, len(self._fifo)))
+        ]
+        return served, dropped
+
+    def reset(self) -> None:
+        """Empty the queue."""
+        self._fifo.clear()

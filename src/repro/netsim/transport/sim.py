@@ -1,0 +1,164 @@
+"""Shared-bottleneck simulation and the congestion-collapse study (E13).
+
+``simulate_shared_link`` runs N senders of one protocol over one
+:class:`~repro.netsim.transport.link.Link` for T ticks.  The receiver
+counts each sequence number once: re-deliveries of already-received
+data are duplicates — wire capacity spent without progress.  Goodput is
+unique deliveries per tick over capacity.
+
+``run_collapse_study`` sweeps offered load per protocol and produces
+the classic curve: open-loop goodput rises to capacity, then *falls* as
+load grows (spurious retransmissions crowd out fresh data once queueing
+delay exceeds the static timeout); AIMD senders hold the plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.community.congestion import jain_fairness
+from repro.netsim.transport.flows import make_sender
+from repro.netsim.transport.link import Link
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of one shared-link run.
+
+    Attributes:
+        protocol: Sender behaviour used.
+        offered_load: Application demand per tick / link capacity.
+        goodput: Unique deliveries per tick / capacity.
+        duplicate_share: Duplicate deliveries / all deliveries — the
+            collapse signature.
+        loss_rate: Tail-dropped / transmitted.
+        retransmission_share: Retransmissions / transmissions.
+        fairness: Jain index over per-flow unique deliveries.
+        mean_queue_delay: Average queueing delay in ticks.
+    """
+
+    protocol: str
+    offered_load: float
+    goodput: float
+    duplicate_share: float
+    loss_rate: float
+    retransmission_share: float
+    fairness: float
+    mean_queue_delay: float
+
+
+def simulate_shared_link(
+    protocol: str,
+    n_flows: int = 8,
+    demand_per_flow: int = 4,
+    capacity: int = 16,
+    buffer_size: int = 32,
+    window_size: int = 64,
+    ticks: int = 400,
+    warmup: int = 50,
+) -> SimulationResult:
+    """Run one protocol over a shared bottleneck (deterministic).
+
+    Statistics exclude the first ``warmup`` ticks so slow start and the
+    initial queue ramp do not blur the steady state.
+    """
+    if n_flows < 1:
+        raise ValueError("n_flows must be >= 1")
+    if ticks <= warmup:
+        raise ValueError("ticks must exceed warmup")
+    link = Link(capacity=capacity, buffer_size=buffer_size)
+    senders = [
+        make_sender(protocol, f"f{i}", demand_per_flow, window_size)
+        for i in range(n_flows)
+    ]
+    received: list[set[int]] = [set() for _ in range(n_flows)]
+
+    unique = [0] * n_flows
+    duplicates = 0
+    transmitted = 0
+    dropped_count = 0
+    delay_samples: list[float] = []
+
+    for tick in range(ticks):
+        per_flow = [
+            [(i, seq) for seq in sender.transmit(tick)]
+            for i, sender in enumerate(senders)
+        ]
+        if tick >= warmup:
+            delay_samples.append(link.queue_delay_ticks)
+        served, dropped = link.tick(per_flow)
+
+        acks_by_flow: list[list[int]] = [[] for _ in range(n_flows)]
+        for flow_index, seq in served:
+            acks_by_flow[flow_index].append(seq)
+            if seq in received[flow_index]:
+                if tick >= warmup:
+                    duplicates += 1
+            else:
+                received[flow_index].add(seq)
+                if tick >= warmup:
+                    unique[flow_index] += 1
+        for i, sender in enumerate(senders):
+            sender.deliver_acks(acks_by_flow[i], tick)
+
+        if tick >= warmup:
+            transmitted += sum(len(p) for p in per_flow)
+            dropped_count += len(dropped)
+
+    # Retransmission share is computed over lifetime sender stats (the
+    # slow-start transient retransmits little, so the warmup skew is
+    # negligible and the lifetime counters are exact).
+    total_retx = sum(s.stats.retransmissions for s in senders)
+    total_tx = sum(s.stats.transmitted for s in senders)
+
+    measured = ticks - warmup
+    total_unique = sum(unique)
+    total_delivered = total_unique + duplicates
+    return SimulationResult(
+        protocol=protocol,
+        offered_load=n_flows * demand_per_flow / capacity,
+        goodput=total_unique / (capacity * measured),
+        duplicate_share=(
+            duplicates / total_delivered if total_delivered else 0.0
+        ),
+        loss_rate=dropped_count / transmitted if transmitted else 0.0,
+        retransmission_share=total_retx / total_tx if total_tx else 0.0,
+        fairness=jain_fairness(unique),
+        mean_queue_delay=(
+            sum(delay_samples) / len(delay_samples) if delay_samples else 0.0
+        ),
+    )
+
+
+def run_collapse_study(
+    load_levels: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0),
+    protocols: tuple[str, ...] = ("fixed", "tahoe", "reno"),
+    capacity: int = 16,
+    n_flows: int = 8,
+    ticks: int = 400,
+) -> list[SimulationResult]:
+    """Sweep offered load for each protocol (experiment E13).
+
+    ``load_levels`` are in units of link capacity; per-flow demand is
+    derived (at least 1 packet/tick).  The fixed-window sender's window
+    is sized to its own demand times the nominal RTT (open-loop
+    engineering with no regard for sharing); AIMD senders get a large
+    maximum window and regulate themselves.
+    """
+    results = []
+    for protocol in protocols:
+        for load in load_levels:
+            demand = max(1, round(load * capacity / n_flows))
+            results.append(
+                simulate_shared_link(
+                    protocol,
+                    n_flows=n_flows,
+                    demand_per_flow=demand,
+                    capacity=capacity,
+                    window_size=(
+                        max(4, 3 * demand) if protocol == "fixed" else 1 << 10
+                    ),
+                    ticks=ticks,
+                )
+            )
+    return results

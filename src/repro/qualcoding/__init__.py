@@ -1,0 +1,64 @@
+"""Qualitative coding substrate.
+
+Section 5.2 of the paper recommends that informal conversations and
+interviews be "formally coded" — the standard qualitative-research
+technique of organizing unstructured data, identifying patterns, and
+deriving themes.  This package implements that technique end to end:
+
+- :mod:`repro.qualcoding.codebook` -- hierarchical codebooks.
+- :mod:`repro.qualcoding.segments` -- documents, segments, and coding acts.
+- :mod:`repro.qualcoding.agreement` -- inter-rater reliability statistics
+  (percent agreement, Cohen's kappa, Fleiss' kappa, Krippendorff's alpha).
+- :mod:`repro.qualcoding.cooccurrence` -- code co-occurrence networks.
+- :mod:`repro.qualcoding.saturation` -- code-saturation curves.
+- :mod:`repro.qualcoding.themes` -- clustering coded segments into themes.
+"""
+
+from repro.qualcoding.codebook import Code, Codebook
+from repro.qualcoding.segments import CodedSegment, Document, CodingSession
+from repro.qualcoding.agreement import (
+    percent_agreement,
+    cohens_kappa,
+    fleiss_kappa,
+    krippendorff_alpha,
+    kappa_interpretation,
+    AgreementReport,
+    compare_raters,
+)
+from repro.qualcoding.cooccurrence import cooccurrence_matrix, cooccurrence_graph
+from repro.qualcoding.saturation import (
+    SaturationCurve,
+    saturation_curve,
+    saturation_point,
+)
+from repro.qualcoding.themes import Theme, extract_themes
+from repro.qualcoding.ordinal import (
+    weighted_kappa,
+    confusion_matrix,
+    disagreement_pairs,
+)
+
+__all__ = [
+    "Code",
+    "Codebook",
+    "CodedSegment",
+    "Document",
+    "CodingSession",
+    "percent_agreement",
+    "cohens_kappa",
+    "fleiss_kappa",
+    "krippendorff_alpha",
+    "kappa_interpretation",
+    "AgreementReport",
+    "compare_raters",
+    "cooccurrence_matrix",
+    "cooccurrence_graph",
+    "SaturationCurve",
+    "saturation_curve",
+    "saturation_point",
+    "Theme",
+    "extract_themes",
+    "weighted_kappa",
+    "confusion_matrix",
+    "disagreement_pairs",
+]

@@ -1,0 +1,261 @@
+"""Inter-rater reliability statistics.
+
+When the paper recommends that conversations be "formally coded"
+(Section 5.2, footnote 1), the reproducibility of that coding is what
+makes it *formal*: two raters applying the same codebook to the same
+data should mostly agree, and the residual disagreement should be
+quantified with chance-corrected statistics.  This module implements the
+standard battery:
+
+- percent (raw) agreement,
+- Cohen's kappa (two raters, nominal categories),
+- Fleiss' kappa (many raters, nominal categories),
+- Krippendorff's alpha (any number of raters, missing data, nominal
+  metric),
+
+plus the conventional Landis & Koch interpretation bands and a
+convenience :func:`compare_raters` that runs the battery over a
+:class:`~repro.qualcoding.segments.CodingSession`.
+
+All functions operate on *labels per unit*: ``ratings[i][j]`` is the
+label rater ``j`` assigned to unit ``i`` (None for missing).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.qualcoding.segments import CodingSession
+
+Label = Hashable
+
+
+def _validate_pair(a: Sequence[Label], b: Sequence[Label]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"rating lengths differ: {len(a)} vs {len(b)}")
+    if not a:
+        raise ValueError("need at least one rated unit")
+
+
+def percent_agreement(a: Sequence[Label], b: Sequence[Label]) -> float:
+    """Fraction of units on which two raters assigned the same label.
+
+    >>> percent_agreement(["x", "y", "x"], ["x", "y", "y"])
+    0.6666666666666666
+    """
+    _validate_pair(a, b)
+    matches = sum(1 for left, right in zip(a, b) if left == right)
+    return matches / len(a)
+
+
+def cohens_kappa(a: Sequence[Label], b: Sequence[Label]) -> float:
+    """Cohen's kappa for two raters over nominal labels.
+
+    ``kappa = (p_o - p_e) / (1 - p_e)`` where ``p_o`` is observed
+    agreement and ``p_e`` the agreement expected if both raters labeled
+    at random with their own marginal distributions.  Returns 1.0 when
+    both raters agree perfectly *and* chance agreement is 1 (the single
+    degenerate case where the formula is 0/0 but agreement is total).
+    """
+    _validate_pair(a, b)
+    n = len(a)
+    observed = percent_agreement(a, b)
+    marginal_a = Counter(a)
+    marginal_b = Counter(b)
+    expected = sum(
+        (marginal_a[label] / n) * (marginal_b[label] / n)
+        for label in set(marginal_a) | set(marginal_b)
+    )
+    if expected >= 1.0:
+        return 1.0 if observed == 1.0 else 0.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def fleiss_kappa(ratings: Sequence[Sequence[Label]]) -> float:
+    """Fleiss' kappa for a fixed number of raters per unit.
+
+    Args:
+        ratings: ``ratings[i]`` is the list of labels the raters assigned
+            to unit ``i``.  Every unit must have the same number (>= 2)
+            of ratings; use :func:`krippendorff_alpha` for missing data.
+    """
+    if not ratings:
+        raise ValueError("need at least one rated unit")
+    n_raters = len(ratings[0])
+    if n_raters < 2:
+        raise ValueError("Fleiss' kappa needs at least 2 raters per unit")
+    if any(len(row) != n_raters for row in ratings):
+        raise ValueError("all units must have the same number of ratings")
+
+    categories = sorted({label for row in ratings for label in row}, key=repr)
+    if len(categories) == 1:
+        return 1.0
+    n_units = len(ratings)
+
+    # Per-unit agreement P_i and per-category proportions p_j.
+    category_totals = Counter()
+    unit_agreements = []
+    for row in ratings:
+        counts = Counter(row)
+        category_totals.update(counts)
+        agreement = sum(c * (c - 1) for c in counts.values())
+        unit_agreements.append(agreement / (n_raters * (n_raters - 1)))
+
+    p_bar = sum(unit_agreements) / n_units
+    total = n_units * n_raters
+    p_e = sum((category_totals[c] / total) ** 2 for c in categories)
+    if p_e >= 1.0:
+        return 1.0 if p_bar == 1.0 else 0.0
+    return (p_bar - p_e) / (1.0 - p_e)
+
+
+def krippendorff_alpha(
+    ratings: Sequence[Sequence[Label | None]],
+) -> float:
+    """Krippendorff's alpha with the nominal difference metric.
+
+    Handles missing ratings (None) and any number of raters.  Units with
+    fewer than two non-missing ratings are dropped, per the standard
+    definition.
+
+    Args:
+        ratings: ``ratings[i][j]`` is rater ``j``'s label for unit ``i``
+            or None when rater ``j`` did not rate unit ``i``.
+
+    Returns:
+        Alpha in [-1, 1]; 1.0 is perfect reliability, 0.0 is chance.
+    """
+    units: list[list[Label]] = []
+    for row in ratings:
+        present = [label for label in row if label is not None]
+        if len(present) >= 2:
+            units.append(present)
+    if not units:
+        raise ValueError("no unit has two or more non-missing ratings")
+
+    # Observed disagreement: within-unit pairable mismatches.
+    total_pairable = sum(len(u) for u in units)
+    observed = 0.0
+    for unit in units:
+        m = len(unit)
+        counts = Counter(unit)
+        mismatched_pairs = m * (m - 1) - sum(c * (c - 1) for c in counts.values())
+        observed += mismatched_pairs / (m - 1)
+    d_o = observed / total_pairable
+
+    # Expected disagreement: mismatches drawing from pooled labels.
+    pooled = Counter()
+    for unit in units:
+        pooled.update(unit)
+    n = total_pairable
+    if n < 2:
+        raise ValueError("need at least two pairable ratings overall")
+    mismatched = n * (n - 1) - sum(c * (c - 1) for c in pooled.values())
+    d_e = mismatched / (n * (n - 1))
+
+    if d_e == 0.0:
+        return 1.0
+    return 1.0 - d_o / d_e
+
+
+def kappa_interpretation(kappa: float) -> str:
+    """Landis & Koch (1977) verbal band for a kappa/alpha value."""
+    if kappa < 0.0:
+        return "poor"
+    if kappa <= 0.20:
+        return "slight"
+    if kappa <= 0.40:
+        return "fair"
+    if kappa <= 0.60:
+        return "moderate"
+    if kappa <= 0.80:
+        return "substantial"
+    return "almost perfect"
+
+
+@dataclass(frozen=True, slots=True)
+class AgreementReport:
+    """Battery of reliability statistics for one code.
+
+    Attributes:
+        code: The code whose application was compared.
+        n_units: Number of documents compared.
+        percent: Raw percent agreement.
+        kappa: Cohen's kappa (two raters) or Fleiss' kappa (more).
+        alpha: Krippendorff's alpha.
+        interpretation: Landis & Koch band for ``kappa``.
+    """
+
+    code: str
+    n_units: int
+    percent: float
+    kappa: float
+    alpha: float
+
+    @property
+    def interpretation(self) -> str:
+        """Verbal reliability band for the kappa value."""
+        return kappa_interpretation(self.kappa)
+
+
+def compare_raters(
+    session: CodingSession,
+    raters: Sequence[str] | None = None,
+    codes: Sequence[str] | None = None,
+) -> list[AgreementReport]:
+    """Per-code reliability battery over a coding session.
+
+    Each document is a unit; for each code, a rater's label for a unit is
+    whether they applied the code to that document (binary
+    presence/absence).  This matches the common "code application
+    agreement" protocol for document-level coding.
+
+    Args:
+        session: The coded data.
+        raters: Raters to compare (default: all raters in the session).
+        codes: Codes to report on (default: all codes any rater used).
+
+    Returns:
+        One :class:`AgreementReport` per code, sorted by code name.
+    """
+    rater_list = list(raters) if raters is not None else session.raters()
+    if len(rater_list) < 2:
+        raise ValueError("need at least two raters to compare")
+    units = list(session.iter_units(rater_list))
+    if not units:
+        raise ValueError("session has no documents")
+    used_codes = (
+        sorted(codes)
+        if codes is not None
+        else sorted({c for _, per in units for s in per.values() for c in s})
+    )
+    reports = []
+    for code in used_codes:
+        per_rater_labels: list[list[bool]] = [
+            [code in per[r] for _, per in units] for r in rater_list
+        ]
+        rows = list(zip(*per_rater_labels))
+        if len(rater_list) == 2:
+            kappa = cohens_kappa(per_rater_labels[0], per_rater_labels[1])
+            percent = percent_agreement(per_rater_labels[0], per_rater_labels[1])
+        else:
+            kappa = fleiss_kappa(rows)
+            pairs = [
+                percent_agreement(per_rater_labels[i], per_rater_labels[j])
+                for i in range(len(rater_list))
+                for j in range(i + 1, len(rater_list))
+            ]
+            percent = sum(pairs) / len(pairs)
+        alpha = krippendorff_alpha(rows)
+        reports.append(
+            AgreementReport(
+                code=code,
+                n_units=len(units),
+                percent=percent,
+                kappa=kappa,
+                alpha=alpha,
+            )
+        )
+    return reports

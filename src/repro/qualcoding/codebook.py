@@ -1,0 +1,204 @@
+"""Hierarchical codebooks.
+
+A codebook is the controlled vocabulary of a qualitative analysis: each
+code has a name, a definition, optional examples, and an optional parent
+(codes form a forest).  Codebooks evolve during analysis — codes are
+added as new phenomena appear in the data and merged as understanding
+consolidates — so the API supports safe, history-preserving mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Code:
+    """A single code in a codebook.
+
+    Attributes:
+        name: Unique identifier within the codebook (e.g. "barriers/cost").
+        definition: When this code applies, written for a second rater.
+        examples: Short illustrative quotes.
+        parent: Name of the parent code, or None for a top-level code.
+    """
+
+    name: str
+    definition: str = ""
+    examples: list[str] = field(default_factory=list)
+    parent: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("code name must be non-empty")
+
+
+class Codebook:
+    """A mutable collection of :class:`Code` objects forming a forest.
+
+    Example:
+        >>> book = Codebook("community-network study")
+        >>> _ = book.add("barriers", "Obstacles to network adoption")
+        >>> _ = book.add("barriers/cost", "Monetary obstacles", parent="barriers")
+        >>> sorted(c.name for c in book.children("barriers"))
+        ['barriers/cost']
+    """
+
+    def __init__(self, name: str, codes: list[Code] | None = None) -> None:
+        self.name = name
+        self._codes: dict[str, Code] = {}
+        self._merge_log: list[tuple[str, str]] = []
+        for code in codes or []:
+            self.add_code(code)
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._codes
+
+    def __iter__(self) -> Iterator[Code]:
+        return iter(sorted(self._codes.values(), key=lambda c: c.name))
+
+    def add(
+        self,
+        name: str,
+        definition: str = "",
+        examples: list[str] | None = None,
+        parent: str | None = None,
+    ) -> Code:
+        """Create a new code and add it; returns the created :class:`Code`."""
+        code = Code(name, definition, list(examples or []), parent)
+        return self.add_code(code)
+
+    def add_code(self, code: Code) -> Code:
+        """Add an existing :class:`Code`; rejects duplicates and bad parents."""
+        if code.name in self._codes:
+            raise ValueError(f"duplicate code name: {code.name!r}")
+        if code.parent is not None and code.parent not in self._codes:
+            raise ValueError(f"unknown parent code: {code.parent!r}")
+        self._codes[code.name] = code
+        return code
+
+    def get(self, name: str) -> Code:
+        """Look up a code by name; raises KeyError when absent."""
+        return self._codes[name]
+
+    def names(self) -> list[str]:
+        """All code names, sorted."""
+        return sorted(self._codes)
+
+    def roots(self) -> list[Code]:
+        """Top-level codes (no parent), sorted by name."""
+        return sorted(
+            (c for c in self._codes.values() if c.parent is None),
+            key=lambda c: c.name,
+        )
+
+    def children(self, name: str) -> list[Code]:
+        """Direct children of code ``name``, sorted by name."""
+        if name not in self._codes:
+            raise KeyError(name)
+        return sorted(
+            (c for c in self._codes.values() if c.parent == name),
+            key=lambda c: c.name,
+        )
+
+    def descendants(self, name: str) -> list[Code]:
+        """All transitive children of code ``name``, depth-first order."""
+        result: list[Code] = []
+        for child in self.children(name):
+            result.append(child)
+            result.extend(self.descendants(child.name))
+        return result
+
+    def ancestry(self, name: str) -> list[str]:
+        """Code names from root to ``name`` inclusive."""
+        chain: list[str] = []
+        current: str | None = name
+        seen: set[str] = set()
+        while current is not None:
+            if current in seen:
+                raise ValueError(f"parent cycle detected at {current!r}")
+            seen.add(current)
+            chain.append(current)
+            current = self._codes[current].parent
+        chain.reverse()
+        return chain
+
+    def merge(self, source: str, target: str) -> None:
+        """Merge code ``source`` into ``target``.
+
+        ``source`` is removed; its children are re-parented to ``target``
+        and its examples appended to ``target``.  The merge is recorded
+        in :meth:`merge_history` so coded segments can be remapped.
+        """
+        if source == target:
+            raise ValueError("cannot merge a code into itself")
+        source_code = self._codes[source]
+        target_code = self._codes[target]
+        for child in self.children(source):
+            child.parent = target
+        target_code.examples.extend(source_code.examples)
+        del self._codes[source]
+        self._merge_log.append((source, target))
+
+    def merge_history(self) -> list[tuple[str, str]]:
+        """``(source, target)`` pairs, oldest first."""
+        return list(self._merge_log)
+
+    def resolve(self, name: str) -> str:
+        """Follow merge history to the current name for ``name``.
+
+        Segments coded before a merge can be remapped by resolving their
+        code names through this method.
+        """
+        current = name
+        for source, target in self._merge_log:
+            if current == source:
+                current = target
+        return current
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dict (for :mod:`repro.io.jsonl`)."""
+        return {
+            "name": self.name,
+            "codes": [
+                {
+                    "name": c.name,
+                    "definition": c.definition,
+                    "examples": list(c.examples),
+                    "parent": c.parent,
+                }
+                for c in self
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Codebook":
+        """Inverse of :meth:`to_dict`."""
+        book = cls(payload["name"])
+        pending = list(payload["codes"])
+        # Parents may appear after children in arbitrary serializations;
+        # insert in passes until fixed point.
+        while pending:
+            progressed = False
+            remaining = []
+            for item in pending:
+                parent = item.get("parent")
+                if parent is None or parent in book:
+                    book.add(
+                        item["name"],
+                        item.get("definition", ""),
+                        item.get("examples"),
+                        parent,
+                    )
+                    progressed = True
+                else:
+                    remaining.append(item)
+            if not progressed:
+                names = [item["name"] for item in remaining]
+                raise ValueError(f"unresolvable parents for codes: {names}")
+            pending = remaining
+        return book

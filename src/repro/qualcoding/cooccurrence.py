@@ -1,0 +1,88 @@
+"""Code co-occurrence analysis.
+
+Codes that repeatedly appear in the same documents (or overlapping
+spans) reveal the relational structure of the data — e.g. "cost
+barriers" co-occurring with "maintenance burden" across community
+network interviews.  The co-occurrence graph is the standard input to
+theme construction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+
+from repro.qualcoding.segments import CodingSession
+
+
+def cooccurrence_matrix(
+    session: CodingSession,
+    rater: str | None = None,
+    level: str = "document",
+) -> tuple[list[str], np.ndarray]:
+    """Count pairwise code co-occurrences.
+
+    Args:
+        session: The coded data.
+        rater: Restrict to one rater's segments (default: all).
+        level: "document" counts codes co-applied to the same document;
+            "span" counts codes on overlapping character spans.
+
+    Returns:
+        ``(codes, matrix)`` where ``matrix[i][j]`` is the number of
+        contexts in which codes ``i`` and ``j`` co-occur.  The diagonal
+        holds each code's own context count.
+    """
+    if level not in ("document", "span"):
+        raise ValueError(f"level must be 'document' or 'span', got {level!r}")
+    codes = session.codebook.names()
+    index = {code: i for i, code in enumerate(codes)}
+    matrix = np.zeros((len(codes), len(codes)), dtype=np.int64)
+
+    if level == "document":
+        for doc_codes in session.document_code_matrix(rater=rater).values():
+            present = sorted(doc_codes)
+            for code in present:
+                matrix[index[code], index[code]] += 1
+            for a, b in combinations(present, 2):
+                matrix[index[a], index[b]] += 1
+                matrix[index[b], index[a]] += 1
+    else:
+        for document in session.documents():
+            segments = session.segments(doc_id=document.doc_id, rater=rater)
+            for seg in segments:
+                matrix[index[seg.code], index[seg.code]] += 1
+            for left, right in combinations(segments, 2):
+                if left.code != right.code and left.overlaps(right):
+                    matrix[index[left.code], index[right.code]] += 1
+                    matrix[index[right.code], index[left.code]] += 1
+    return codes, matrix
+
+
+def cooccurrence_graph(
+    session: CodingSession,
+    rater: str | None = None,
+    level: str = "document",
+    min_weight: int = 1,
+) -> nx.Graph:
+    """Build a weighted co-occurrence graph.
+
+    Nodes are codes (with a ``count`` attribute); edges carry ``weight``
+    (raw co-occurrence count) and ``jaccard`` (normalized overlap).
+    Edges below ``min_weight`` are dropped.
+    """
+    codes, matrix = cooccurrence_matrix(session, rater=rater, level=level)
+    graph = nx.Graph()
+    for i, code in enumerate(codes):
+        graph.add_node(code, count=int(matrix[i, i]))
+    for i, a in enumerate(codes):
+        for j in range(i + 1, len(codes)):
+            weight = int(matrix[i, j])
+            if weight < min_weight:
+                continue
+            union = matrix[i, i] + matrix[j, j] - weight
+            jaccard = weight / union if union > 0 else 0.0
+            graph.add_edge(a, codes[j], weight=weight, jaccard=float(jaccard))
+    return graph

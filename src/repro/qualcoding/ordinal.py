@@ -1,0 +1,120 @@
+"""Ordinal agreement and rater-comparison utilities.
+
+Nominal kappa treats "severity 1 vs 5" and "severity 4 vs 5" as equally
+wrong; when codes carry an order (severity scales, frequency ratings,
+Likert-style intensity codes), weighted kappa is the standard fix.
+This module adds:
+
+- :func:`weighted_kappa` -- Cohen's kappa with linear or quadratic
+  disagreement weights over an ordered category list.
+- :func:`confusion_matrix` -- the underlying rater-vs-rater table.
+- :func:`disagreement_pairs` -- the concrete units two raters disagreed
+  on, which is what a codebook reconciliation meeting actually reviews.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+Label = Hashable
+
+
+def confusion_matrix(
+    a: Sequence[Label],
+    b: Sequence[Label],
+    categories: Sequence[Label],
+) -> np.ndarray:
+    """Rater-vs-rater confusion counts.
+
+    ``matrix[i][j]`` counts units where rater A chose ``categories[i]``
+    and rater B chose ``categories[j]``.
+
+    Raises ValueError on unequal lengths or labels outside
+    ``categories``.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"rating lengths differ: {len(a)} vs {len(b)}")
+    index = {category: i for i, category in enumerate(categories)}
+    if len(index) != len(categories):
+        raise ValueError("categories contains duplicates")
+    matrix = np.zeros((len(categories), len(categories)), dtype=np.int64)
+    for left, right in zip(a, b):
+        if left not in index or right not in index:
+            raise ValueError(f"label outside categories: {left!r} / {right!r}")
+        matrix[index[left], index[right]] += 1
+    return matrix
+
+
+def weighted_kappa(
+    a: Sequence[Label],
+    b: Sequence[Label],
+    categories: Sequence[Label],
+    weights: str = "quadratic",
+) -> float:
+    """Cohen's weighted kappa over ordered categories.
+
+    Args:
+        a, b: The two raters' labels per unit.
+        categories: Categories in their intrinsic order (least to most).
+        weights: "linear" (|i - j| / (k-1)) or "quadratic"
+            (((i - j) / (k-1))**2) disagreement weights.
+
+    Returns:
+        Weighted kappa in [-1, 1].  With one category, or identical
+        ratings under degenerate marginals, returns 1.0.
+
+    >>> weighted_kappa([1, 2, 3], [1, 2, 3], [1, 2, 3])
+    1.0
+    """
+    if weights not in ("linear", "quadratic"):
+        raise ValueError(f"weights must be linear/quadratic, got {weights!r}")
+    if not a:
+        raise ValueError("need at least one rated unit")
+    k = len(categories)
+    if k == 1:
+        return 1.0
+    observed = confusion_matrix(a, b, categories).astype(float)
+    n = observed.sum()
+    observed /= n
+
+    indices = np.arange(k)
+    distance = np.abs(indices[:, None] - indices[None, :]) / (k - 1)
+    weight_matrix = distance if weights == "linear" else distance**2
+
+    row_marginals = observed.sum(axis=1)
+    column_marginals = observed.sum(axis=0)
+    expected = np.outer(row_marginals, column_marginals)
+
+    observed_disagreement = float((weight_matrix * observed).sum())
+    expected_disagreement = float((weight_matrix * expected).sum())
+    if expected_disagreement == 0.0:
+        return 1.0 if observed_disagreement == 0.0 else 0.0
+    return 1.0 - observed_disagreement / expected_disagreement
+
+
+def disagreement_pairs(
+    a: Sequence[Label],
+    b: Sequence[Label],
+    unit_ids: Sequence[str] | None = None,
+) -> list[tuple[str, Label, Label]]:
+    """Units where the raters disagree, as ``(unit_id, a_label, b_label)``.
+
+    Args:
+        a, b: The two raters' labels per unit.
+        unit_ids: Ids per unit (default: stringified indices).
+
+    The return value is what a reconciliation session walks through:
+    each row is one conversation about the codebook.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"rating lengths differ: {len(a)} vs {len(b)}")
+    ids = list(unit_ids) if unit_ids is not None else [str(i) for i in range(len(a))]
+    if len(ids) != len(a):
+        raise ValueError("unit_ids length must match ratings")
+    return [
+        (unit_id, left, right)
+        for unit_id, left, right in zip(ids, a, b)
+        if left != right
+    ]

@@ -1,0 +1,142 @@
+"""Code-saturation curves.
+
+"Good anthropology will always take time" (paper, Section 3) — but how
+much?  Saturation analysis answers empirically: plot the number of
+distinct codes discovered against the number of documents analyzed and
+find where new data stops producing new codes.  This module computes the
+curve, a conventional stopping rule, and a bootstrap over document
+orderings (the curve depends on the order interviews happened to be
+analyzed in, so a single ordering is an anecdote).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.qualcoding.segments import CodingSession
+
+
+@dataclass(frozen=True, slots=True)
+class SaturationCurve:
+    """Cumulative code discovery over an ordered document sequence.
+
+    Attributes:
+        doc_ids: Documents in analysis order.
+        cumulative_codes: ``cumulative_codes[i]`` is the number of
+            distinct codes seen in the first ``i + 1`` documents.
+        new_codes_per_doc: Number of never-before-seen codes contributed
+            by each document.
+    """
+
+    doc_ids: tuple[str, ...]
+    cumulative_codes: tuple[int, ...]
+    new_codes_per_doc: tuple[int, ...]
+
+    @property
+    def total_codes(self) -> int:
+        """Distinct codes discovered over the whole sequence."""
+        return self.cumulative_codes[-1] if self.cumulative_codes else 0
+
+    def coverage_at(self, n_docs: int) -> float:
+        """Fraction of all discovered codes found within the first ``n_docs``."""
+        if self.total_codes == 0:
+            return 1.0
+        if n_docs <= 0:
+            return 0.0
+        clamped = min(n_docs, len(self.cumulative_codes))
+        return self.cumulative_codes[clamped - 1] / self.total_codes
+
+
+def saturation_curve(
+    session: CodingSession,
+    order: Sequence[str] | None = None,
+    rater: str | None = None,
+) -> SaturationCurve:
+    """Compute the cumulative code-discovery curve.
+
+    Args:
+        session: The coded data.
+        order: Document ids in analysis order (default: sorted ids).
+        rater: Restrict to one rater's codes.
+    """
+    matrix = session.document_code_matrix(rater=rater)
+    doc_ids = list(order) if order is not None else sorted(matrix)
+    unknown = [d for d in doc_ids if d not in matrix]
+    if unknown:
+        raise KeyError(f"unknown document ids in order: {unknown}")
+    seen: set[str] = set()
+    cumulative: list[int] = []
+    new_counts: list[int] = []
+    for doc_id in doc_ids:
+        fresh = matrix[doc_id] - seen
+        seen |= matrix[doc_id]
+        new_counts.append(len(fresh))
+        cumulative.append(len(seen))
+    return SaturationCurve(tuple(doc_ids), tuple(cumulative), tuple(new_counts))
+
+
+def saturation_point(
+    curve: SaturationCurve, window: int = 3, threshold: int = 0
+) -> int | None:
+    """Index (1-based document count) at which saturation is reached.
+
+    Saturation follows the conventional stopping rule: the first point
+    after which ``window`` consecutive documents each contribute no more
+    than ``threshold`` new codes.  Returns None when never reached.
+
+    >>> curve = SaturationCurve(("a", "b", "c", "d", "e"),
+    ...                         (3, 5, 5, 5, 5), (3, 2, 0, 0, 0))
+    >>> saturation_point(curve, window=3)
+    2
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    new = curve.new_codes_per_doc
+    for i in range(len(new) - window + 1):
+        if all(count <= threshold for count in new[i : i + window]):
+            return i  # documents analyzed before the quiet window
+    return None
+
+
+def bootstrap_saturation(
+    session: CodingSession,
+    n_orderings: int = 100,
+    seed: int = 0,
+    rater: str | None = None,
+    window: int = 3,
+) -> dict:
+    """Bootstrap the saturation point over random document orderings.
+
+    Returns:
+        Dict with keys ``mean_curve`` (average cumulative-code count per
+        position), ``saturation_points`` (one per ordering; None dropped),
+        ``median_saturation`` (None when no ordering saturates), and
+        ``n_orderings``.
+    """
+    if n_orderings < 1:
+        raise ValueError("n_orderings must be >= 1")
+    rng = random.Random(seed)
+    doc_ids = [d.doc_id for d in session.documents()]
+    if not doc_ids:
+        raise ValueError("session has no documents")
+    totals = [0.0] * len(doc_ids)
+    points: list[int] = []
+    for _ in range(n_orderings):
+        order = doc_ids[:]
+        rng.shuffle(order)
+        curve = saturation_curve(session, order=order, rater=rater)
+        for i, value in enumerate(curve.cumulative_codes):
+            totals[i] += value
+        point = saturation_point(curve, window=window)
+        if point is not None:
+            points.append(point)
+    points.sort()
+    median = points[len(points) // 2] if points else None
+    return {
+        "mean_curve": [t / n_orderings for t in totals],
+        "saturation_points": points,
+        "median_saturation": median,
+        "n_orderings": n_orderings,
+    }

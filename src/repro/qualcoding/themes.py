@@ -1,0 +1,105 @@
+"""Theme extraction from coded data.
+
+Themes are the analytic output of qualitative coding: clusters of codes
+that travel together across the data.  We build them by running
+connected-component / community detection over the code co-occurrence
+graph, then naming each theme by its highest-degree code and attaching
+representative quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.qualcoding.cooccurrence import cooccurrence_graph
+from repro.qualcoding.segments import CodingSession
+
+
+@dataclass(frozen=True, slots=True)
+class Theme:
+    """A cluster of co-occurring codes.
+
+    Attributes:
+        name: Label (the most connected member code).
+        codes: Member codes, sorted.
+        weight: Total internal co-occurrence weight.
+        quotes: Representative quoted segments (up to a small cap).
+    """
+
+    name: str
+    codes: tuple[str, ...]
+    weight: int
+    quotes: tuple[str, ...] = field(default=())
+
+    @property
+    def size(self) -> int:
+        """Number of member codes."""
+        return len(self.codes)
+
+
+def _central_code(graph: nx.Graph, members: set[str]) -> str:
+    """The member with the highest weighted degree (ties: alphabetical)."""
+    sub = graph.subgraph(members)
+    return min(
+        members,
+        key=lambda c: (-sub.degree(c, weight="weight"), c),
+    )
+
+
+def extract_themes(
+    session: CodingSession,
+    min_cooccurrence: int = 2,
+    min_size: int = 2,
+    quotes_per_theme: int = 3,
+    rater: str | None = None,
+) -> list[Theme]:
+    """Cluster codes into themes via greedy modularity communities.
+
+    Args:
+        session: The coded data.
+        min_cooccurrence: Drop co-occurrence edges below this weight.
+        min_size: Drop themes with fewer member codes than this.
+        quotes_per_theme: Representative quotes attached per theme.
+        rater: Restrict to one rater's coding.
+
+    Returns:
+        Themes sorted by descending internal weight, then name.
+    """
+    graph = cooccurrence_graph(session, rater=rater, min_weight=min_cooccurrence)
+    # Isolated nodes cannot form themes; ignore them.
+    connected = graph.subgraph(
+        [n for n in graph if graph.degree(n) > 0]
+    )
+    if connected.number_of_nodes() == 0:
+        return []
+    communities = nx.community.greedy_modularity_communities(
+        connected, weight="weight"
+    )
+    themes: list[Theme] = []
+    for members in communities:
+        members = set(members)
+        if len(members) < min_size:
+            continue
+        sub = connected.subgraph(members)
+        weight = int(sum(d["weight"] for _, _, d in sub.edges(data=True)))
+        name = _central_code(connected, members)
+        quotes: list[str] = []
+        for code in sorted(members):
+            for quote in session.quotes(code, rater=rater):
+                quotes.append(quote)
+                if len(quotes) >= quotes_per_theme:
+                    break
+            if len(quotes) >= quotes_per_theme:
+                break
+        themes.append(
+            Theme(
+                name=name,
+                codes=tuple(sorted(members)),
+                weight=weight,
+                quotes=tuple(quotes),
+            )
+        )
+    themes.sort(key=lambda t: (-t.weight, t.name))
+    return themes

@@ -1,0 +1,81 @@
+"""Survey instruments, synthetic respondents, and sampling-bias analysis.
+
+The paper's introduction claims that research agendas reflect "those who
+are most easily reachable" and footnote 3 notes that survey methods
+carry "a host of practical issues" in the networking community.  Real
+survey data is the unavailable resource of this reproduction (see
+DESIGN.md), so this package pairs a full instrument/response model with
+a **synthetic respondent simulator** whose ground truth is controlled —
+which is exactly what makes reachability bias measurable (experiment
+E10).
+
+Modules:
+
+- :mod:`repro.surveys.instrument` -- questions, scales, instruments.
+- :mod:`repro.surveys.respondents` -- stakeholder populations and
+  response simulation with response-style biases.
+- :mod:`repro.surveys.sampling` -- convenience / quota / chain-referral
+  sampling and bias metrics.
+- :mod:`repro.surveys.analysis` -- response summaries, Cronbach's alpha,
+  cross-tabs.
+"""
+
+from repro.surveys.instrument import (
+    Question,
+    LikertScale,
+    Instrument,
+    Response,
+)
+from repro.surveys.respondents import (
+    Stakeholder,
+    StakeholderPopulation,
+    ResponseStyle,
+    simulate_responses,
+    default_population,
+    PROBLEM_CATALOG,
+)
+from repro.surveys.sampling import (
+    convenience_sample,
+    quota_sample,
+    chain_referral_sample,
+    coverage_report,
+    SamplingReport,
+)
+from repro.surveys.analysis import (
+    summarize_numeric,
+    cronbach_alpha,
+    crosstab,
+    response_rate_by,
+)
+from repro.surveys.weighting import (
+    post_stratification_weights,
+    weighted_mean,
+    weighted_likert_mean,
+    coverage_deficit,
+)
+
+__all__ = [
+    "Question",
+    "LikertScale",
+    "Instrument",
+    "Response",
+    "Stakeholder",
+    "StakeholderPopulation",
+    "ResponseStyle",
+    "simulate_responses",
+    "default_population",
+    "PROBLEM_CATALOG",
+    "convenience_sample",
+    "quota_sample",
+    "chain_referral_sample",
+    "coverage_report",
+    "SamplingReport",
+    "summarize_numeric",
+    "cronbach_alpha",
+    "crosstab",
+    "response_rate_by",
+    "post_stratification_weights",
+    "weighted_mean",
+    "weighted_likert_mean",
+    "coverage_deficit",
+]

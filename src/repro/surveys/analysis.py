@@ -1,0 +1,106 @@
+"""Survey response analysis.
+
+Descriptive summaries, scale reliability (Cronbach's alpha), cross-tabs,
+and response-rate breakdowns — the standard analysis battery for the
+practitioner surveys the paper's footnote 3 gestures at.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.surveys.instrument import Response
+
+
+def summarize_numeric(values: Sequence[float]) -> dict:
+    """Mean/sd/min/median/max summary of a numeric answer column."""
+    if not values:
+        raise ValueError("need at least one value")
+    array = np.asarray(values, dtype=float)
+    return {
+        "n": int(array.size),
+        "mean": float(array.mean()),
+        "sd": float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        "min": float(array.min()),
+        "median": float(np.median(array)),
+        "max": float(array.max()),
+    }
+
+
+def cronbach_alpha(
+    responses: Sequence[Response], item_ids: Sequence[str]
+) -> float:
+    """Cronbach's alpha for a multi-item scale.
+
+    ``alpha = k/(k-1) * (1 - sum(item variances)/variance(total))``.
+    Respondents missing any item are dropped listwise.
+
+    Raises ValueError with fewer than 2 items or 2 complete respondents,
+    or when the total score has zero variance.
+    """
+    if len(item_ids) < 2:
+        raise ValueError("Cronbach's alpha needs at least 2 items")
+    rows = []
+    for response in responses:
+        values = [response.answer(qid) for qid in item_ids]
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            rows.append([float(v) for v in values])
+    if len(rows) < 2:
+        raise ValueError("need at least 2 complete respondents")
+    matrix = np.asarray(rows)
+    k = matrix.shape[1]
+    item_variances = matrix.var(axis=0, ddof=1)
+    total_variance = matrix.sum(axis=1).var(ddof=1)
+    if total_variance == 0:
+        raise ValueError("total score has zero variance")
+    return float(k / (k - 1) * (1.0 - item_variances.sum() / total_variance))
+
+
+def crosstab(
+    responses: Sequence[Response],
+    row_key: str,
+    column_question: str,
+) -> dict[tuple[str, object], int]:
+    """Cross-tabulate a metadata key against a question's answers.
+
+    Args:
+        responses: The responses.
+        row_key: Metadata key (e.g. "stratum").
+        column_question: Question id whose answer labels the columns.
+
+    Returns:
+        ``(row_value, answer) -> count``; unanswered questions and
+        missing metadata are skipped.
+    """
+    table: Counter = Counter()
+    for response in responses:
+        row = response.metadata.get(row_key)
+        answer = response.answer(column_question)
+        if row is None or answer is None:
+            continue
+        table[(str(row), answer)] += 1
+    return dict(table)
+
+
+def response_rate_by(
+    responses: Sequence[Response],
+    population_counts: dict[str, int],
+    key: str = "stratum",
+) -> dict[str, float]:
+    """Response rate per group: respondents / population members.
+
+    Groups present in ``population_counts`` but absent from the
+    responses report 0.0; groups with zero population are skipped.
+    """
+    got: Counter = Counter(
+        str(r.metadata.get(key)) for r in responses if r.metadata.get(key) is not None
+    )
+    rates = {}
+    for group, total in sorted(population_counts.items()):
+        if total <= 0:
+            continue
+        rates[group] = got.get(group, 0) / total
+    return rates

@@ -1,0 +1,209 @@
+"""Survey instruments: questions, scales, responses.
+
+An :class:`Instrument` is an ordered set of questions; a
+:class:`Response` maps question ids to answers and is validated against
+the instrument.  Question kinds cover the common needs of practitioner
+surveys: Likert items, single/multi choice, free text, and numeric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class LikertScale:
+    """A symmetric agreement scale.
+
+    Attributes:
+        points: Number of scale points (commonly 5 or 7).
+        labels: Optional point labels, lowest first; must match ``points``.
+    """
+
+    points: int = 5
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.points < 2:
+            raise ValueError("a Likert scale needs at least 2 points")
+        if self.labels and len(self.labels) != self.points:
+            raise ValueError(
+                f"{len(self.labels)} labels given for a {self.points}-point scale"
+            )
+
+    def validate(self, value: object) -> int:
+        """Check and normalize an answer to an int in [1, points]."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"Likert answer must be an int, got {value!r}")
+        if not 1 <= value <= self.points:
+            raise ValueError(
+                f"Likert answer {value} outside [1, {self.points}]"
+            )
+        return value
+
+    @property
+    def midpoint(self) -> float:
+        """The neutral point ((points + 1) / 2)."""
+        return (self.points + 1) / 2
+
+
+_KINDS = ("likert", "single_choice", "multi_choice", "free_text", "numeric")
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One survey question.
+
+    Attributes:
+        question_id: Unique id within the instrument.
+        prompt: Question text.
+        kind: One of "likert", "single_choice", "multi_choice",
+            "free_text", "numeric".
+        scale: Likert scale (required for likert questions).
+        choices: Allowed options (required for choice questions).
+        required: Whether a response must answer this question.
+    """
+
+    question_id: str
+    prompt: str
+    kind: str = "likert"
+    scale: LikertScale | None = None
+    choices: tuple[str, ...] = ()
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown question kind: {self.kind!r}")
+        if self.kind == "likert" and self.scale is None:
+            object.__setattr__(self, "scale", LikertScale())
+        if self.kind in ("single_choice", "multi_choice") and not self.choices:
+            raise ValueError(f"{self.kind} question needs choices")
+
+    def validate(self, value: object) -> object:
+        """Validate an answer against the question kind; returns it normalized."""
+        if self.kind == "likert":
+            assert self.scale is not None
+            return self.scale.validate(value)
+        if self.kind == "single_choice":
+            if value not in self.choices:
+                raise ValueError(f"{value!r} not in choices {self.choices}")
+            return value
+        if self.kind == "multi_choice":
+            if not isinstance(value, (list, tuple, set)):
+                raise ValueError("multi_choice answer must be a collection")
+            bad = [v for v in value if v not in self.choices]
+            if bad:
+                raise ValueError(f"invalid options: {bad}")
+            return tuple(sorted(set(value)))
+        if self.kind == "numeric":
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"numeric answer must be a number, got {value!r}")
+            return float(value)
+        # free_text
+        if not isinstance(value, str):
+            raise ValueError(f"free_text answer must be a string, got {value!r}")
+        return value
+
+
+class Instrument:
+    """An ordered, validated set of questions.
+
+    Example:
+        >>> inst = Instrument("ops-survey")
+        >>> inst.add(Question("q1", "Peering policy matters to my network."))
+        >>> inst.question_ids()
+        ['q1']
+    """
+
+    def __init__(self, name: str, questions: Iterable[Question] = ()) -> None:
+        self.name = name
+        self._questions: dict[str, Question] = {}
+        self._order: list[str] = []
+        for question in questions:
+            self.add(question)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def add(self, question: Question) -> None:
+        """Append a question; rejects duplicate ids."""
+        if question.question_id in self._questions:
+            raise ValueError(f"duplicate question id: {question.question_id!r}")
+        self._questions[question.question_id] = question
+        self._order.append(question.question_id)
+
+    def question(self, question_id: str) -> Question:
+        """Question by id (KeyError when absent)."""
+        return self._questions[question_id]
+
+    def questions(self) -> list[Question]:
+        """Questions in instrument order."""
+        return [self._questions[qid] for qid in self._order]
+
+    def question_ids(self) -> list[str]:
+        """Question ids in instrument order."""
+        return list(self._order)
+
+    def likert_ids(self) -> list[str]:
+        """Ids of the Likert questions (the usual scale-analysis subset)."""
+        return [qid for qid in self._order if self._questions[qid].kind == "likert"]
+
+    def validate_response(self, answers: dict[str, object]) -> dict[str, object]:
+        """Validate raw answers; returns normalized answers.
+
+        Raises ValueError on unknown ids, missing required answers, or
+        kind-invalid values.
+        """
+        unknown = [qid for qid in answers if qid not in self._questions]
+        if unknown:
+            raise ValueError(f"answers for unknown questions: {unknown}")
+        normalized: dict[str, object] = {}
+        for qid in self._order:
+            question = self._questions[qid]
+            if qid not in answers:
+                if question.required:
+                    raise ValueError(f"missing required answer: {qid!r}")
+                continue
+            normalized[qid] = question.validate(answers[qid])
+        return normalized
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One validated response to an instrument.
+
+    Build through :meth:`Response.create` so answers are validated.
+
+    Attributes:
+        respondent_id: Who answered.
+        instrument_name: Which instrument.
+        answers: question_id -> normalized answer.
+        metadata: Stratum/segment context carried from the respondent.
+    """
+
+    respondent_id: str
+    instrument_name: str
+    answers: dict[str, object]
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        respondent_id: str,
+        instrument: Instrument,
+        answers: dict[str, object],
+        metadata: dict | None = None,
+    ) -> "Response":
+        """Validate ``answers`` against ``instrument`` and build a Response."""
+        normalized = instrument.validate_response(answers)
+        return cls(
+            respondent_id=respondent_id,
+            instrument_name=instrument.name,
+            answers=normalized,
+            metadata=dict(metadata or {}),
+        )
+
+    def answer(self, question_id: str, default: object = None) -> object:
+        """Answer for ``question_id`` (default when unanswered)."""
+        return self.answers.get(question_id, default)

@@ -1,0 +1,361 @@
+"""Stakeholder populations and synthetic response simulation.
+
+The unavailable resource of this reproduction is real survey data, so we
+simulate the people instead.  A :class:`StakeholderPopulation` holds
+stakeholders in *reachability strata* — hyperscaler engineers reachable
+through existing professional networks at one end, operators of fragile
+last-mile networks at the other (paper, Section 1).  Each stakeholder
+experiences a subset of problems from :data:`PROBLEM_CATALOG` (the
+ground truth that sampling schemes will or won't surface) and answers
+Likert items from latent attitudes perturbed by documented response
+styles (acquiescence, extremity, central tendency).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.surveys.instrument import Instrument, Response
+
+# Problem catalog: problem id -> (description, strata that experience it).
+# Strata mirror the paper's framing: dominant players' problems vs the
+# "entire classes of challenges" (economic precarity, infrastructural
+# instability, linguistic/geopolitical marginality) of Section 1.
+PROBLEM_CATALOG: dict[str, dict] = {
+    "dc-incast": {
+        "description": "Incast congestion in datacenter fabrics",
+        "strata": ("hyperscaler-engineer",),
+    },
+    "dc-telemetry-volume": {
+        "description": "Telemetry volume overwhelms monitoring pipelines",
+        "strata": ("hyperscaler-engineer", "enterprise-operator"),
+    },
+    "interdomain-route-leaks": {
+        "description": "Route leaks disrupt interdomain reachability",
+        "strata": ("hyperscaler-engineer", "regional-isp", "ixp-operator"),
+    },
+    "peering-negotiation-power": {
+        "description": "Asymmetric bargaining power in peering negotiations",
+        "strata": ("regional-isp", "ixp-operator"),
+    },
+    "backhaul-cost": {
+        "description": "Backhaul transit costs dominate operating budgets",
+        "strata": ("regional-isp", "community-operator"),
+    },
+    "power-instability": {
+        "description": "Unreliable grid power takes towers offline",
+        "strata": ("community-operator", "rural-user"),
+    },
+    "spare-parts-logistics": {
+        "description": "Replacement hardware takes months to arrive",
+        "strata": ("community-operator",),
+    },
+    "volunteer-burnout": {
+        "description": "Volunteer maintainers burn out and leave",
+        "strata": ("community-operator",),
+    },
+    "regulatory-instability": {
+        "description": "Licensing rules change unpredictably",
+        "strata": ("community-operator", "regional-isp", "regulator"),
+    },
+    "spectrum-access": {
+        "description": "No affordable access to licensed spectrum",
+        "strata": ("community-operator",),
+    },
+    "linguistic-localization": {
+        "description": "Tooling and documentation exist only in English",
+        "strata": ("community-operator", "rural-user"),
+    },
+    "affordability": {
+        "description": "Service prices exceed what households can pay",
+        "strata": ("rural-user", "community-operator"),
+    },
+    "device-constraints": {
+        "description": "Users access the network through low-end shared devices",
+        "strata": ("rural-user",),
+    },
+    "data-sovereignty": {
+        "description": "Community data is stored under foreign jurisdiction",
+        "strata": ("regulator", "community-operator", "indigenous-operator"),
+    },
+    "cultural-consent": {
+        "description": "Research engagement ignores community consent norms",
+        "strata": ("indigenous-operator", "rural-user"),
+    },
+    "ixp-traffic-gravity": {
+        "description": "Domestic traffic detours through foreign IXPs",
+        "strata": ("ixp-operator", "regional-isp", "regulator"),
+    },
+}
+
+# Default reachability per stratum: the probability that a convenience
+# contact attempt reaches a member, and the relative ease of recruiting.
+DEFAULT_STRATA: dict[str, dict] = {
+    "hyperscaler-engineer": {"reachability": 0.90, "share": 0.18},
+    "enterprise-operator": {"reachability": 0.70, "share": 0.15},
+    "regional-isp": {"reachability": 0.45, "share": 0.17},
+    "ixp-operator": {"reachability": 0.40, "share": 0.08},
+    "regulator": {"reachability": 0.35, "share": 0.07},
+    "community-operator": {"reachability": 0.15, "share": 0.15},
+    "indigenous-operator": {"reachability": 0.08, "share": 0.05},
+    "rural-user": {"reachability": 0.05, "share": 0.15},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseStyle:
+    """Latent response-style parameters for one respondent.
+
+    Attributes:
+        acquiescence: Tendency to agree regardless of content (shifts
+            answers up the scale), in scale points.
+        extremity: Tendency to pick scale endpoints (>1 stretches
+            answers away from the midpoint; <1 compresses).
+        noise_sd: Standard deviation of per-item Gaussian noise.
+    """
+
+    acquiescence: float = 0.0
+    extremity: float = 1.0
+    noise_sd: float = 0.6
+
+
+@dataclass(frozen=True, slots=True)
+class Stakeholder:
+    """A member of the studied population.
+
+    Attributes:
+        stakeholder_id: Unique id.
+        stratum: Reachability stratum key.
+        reachability: Probability a convenience contact succeeds.
+        problems: Problem ids this stakeholder actually experiences.
+        attitudes: Latent agreement (in scale points around the
+            midpoint) per question id; unknown questions default to 0.
+        style: Response-style parameters.
+        referrals: Ids of peers this stakeholder can refer researchers to
+            (the social fabric chain-referral sampling walks).
+    """
+
+    stakeholder_id: str
+    stratum: str
+    reachability: float
+    problems: tuple[str, ...] = ()
+    attitudes: dict[str, float] = field(default_factory=dict)
+    style: ResponseStyle = field(default_factory=ResponseStyle)
+    referrals: tuple[str, ...] = ()
+
+
+class StakeholderPopulation:
+    """A population of stakeholders with stratum indexing."""
+
+    def __init__(self, stakeholders: Iterable[Stakeholder] = ()) -> None:
+        self._members: dict[str, Stakeholder] = {}
+        for stakeholder in stakeholders:
+            self.add(stakeholder)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return iter(sorted(self._members.values(), key=lambda s: s.stakeholder_id))
+
+    def add(self, stakeholder: Stakeholder) -> None:
+        """Add a member; rejects duplicate ids."""
+        if stakeholder.stakeholder_id in self._members:
+            raise ValueError(f"duplicate stakeholder: {stakeholder.stakeholder_id!r}")
+        self._members[stakeholder.stakeholder_id] = stakeholder
+
+    def get(self, stakeholder_id: str) -> Stakeholder:
+        """Member by id (KeyError when absent)."""
+        return self._members[stakeholder_id]
+
+    def strata(self) -> list[str]:
+        """Distinct stratum keys, sorted."""
+        return sorted({s.stratum for s in self._members.values()})
+
+    def members_of(self, stratum: str) -> list[Stakeholder]:
+        """Members of one stratum, sorted by id."""
+        return [s for s in self if s.stratum == stratum]
+
+    def problems_present(self) -> set[str]:
+        """All problem ids experienced by at least one member."""
+        present: set[str] = set()
+        for stakeholder in self._members.values():
+            present.update(stakeholder.problems)
+        return present
+
+    def problems_by_stratum(self) -> dict[str, set[str]]:
+        """Stratum -> union of problems its members experience."""
+        result: dict[str, set[str]] = {}
+        for stakeholder in self._members.values():
+            result.setdefault(stakeholder.stratum, set()).update(
+                stakeholder.problems
+            )
+        return result
+
+
+def default_population(
+    size: int = 1000,
+    seed: int = 0,
+    strata: dict[str, dict] | None = None,
+) -> StakeholderPopulation:
+    """Generate the default stakeholder population for experiment E10.
+
+    Members are distributed across :data:`DEFAULT_STRATA` by share;
+    each member experiences a random subset (1..all) of their stratum's
+    catalog problems; referrals connect members mostly within-stratum
+    with occasional cross-stratum ties (what makes chain referral able
+    to escape the convenient core).
+
+    Deterministic for a given ``(size, seed, strata)``.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    strata = strata or DEFAULT_STRATA
+    rng = random.Random(seed)
+    names = sorted(strata)
+    weights = [strata[name]["share"] for name in names]
+
+    assigned = rng.choices(names, weights=weights, k=size)
+    members: list[Stakeholder] = []
+    ids_by_stratum: dict[str, list[str]] = {name: [] for name in names}
+    problems_by_stratum = {
+        name: sorted(
+            pid for pid, spec in PROBLEM_CATALOG.items() if name in spec["strata"]
+        )
+        for name in names
+    }
+    for i, stratum in enumerate(assigned):
+        stakeholder_id = f"s{i:05d}"
+        ids_by_stratum[stratum].append(stakeholder_id)
+        pool = problems_by_stratum[stratum]
+        n_problems = rng.randint(1, len(pool)) if pool else 0
+        problems = tuple(sorted(rng.sample(pool, k=n_problems))) if pool else ()
+        reach = strata[stratum]["reachability"]
+        reachability = min(1.0, max(0.01, rng.gauss(reach, 0.05)))
+        style = ResponseStyle(
+            acquiescence=rng.gauss(0.0, 0.3),
+            extremity=min(2.0, max(0.5, rng.gauss(1.0, 0.2))),
+            noise_sd=min(1.5, max(0.2, rng.gauss(0.6, 0.15))),
+        )
+        members.append(
+            Stakeholder(
+                stakeholder_id=stakeholder_id,
+                stratum=stratum,
+                reachability=reachability,
+                problems=problems,
+                style=style,
+            )
+        )
+
+    # Referral ties: ~4 within-stratum, ~1 cross-stratum per member.
+    finished: list[Stakeholder] = []
+    all_ids = [m.stakeholder_id for m in members]
+    for member in members:
+        same = ids_by_stratum[member.stratum]
+        within = [
+            sid for sid in rng.sample(same, k=min(4, len(same)))
+            if sid != member.stakeholder_id
+        ]
+        cross = rng.sample(all_ids, k=min(2, len(all_ids)))
+        referrals = tuple(sorted(set(within + cross) - {member.stakeholder_id}))
+        finished.append(
+            Stakeholder(
+                stakeholder_id=member.stakeholder_id,
+                stratum=member.stratum,
+                reachability=member.reachability,
+                problems=member.problems,
+                attitudes=member.attitudes,
+                style=member.style,
+                referrals=referrals,
+            )
+        )
+    return StakeholderPopulation(finished)
+
+
+def _likert_answer(
+    rng: random.Random,
+    points: int,
+    attitude: float,
+    style: ResponseStyle,
+) -> int:
+    midpoint = (points + 1) / 2
+    raw = midpoint + attitude * style.extremity + style.acquiescence
+    raw += rng.gauss(0.0, style.noise_sd)
+    return int(min(points, max(1, round(raw))))
+
+
+def simulate_responses(
+    stakeholders: Sequence[Stakeholder],
+    instrument: Instrument,
+    seed: int = 0,
+    problem_question_prefix: str = "problem:",
+) -> list[Response]:
+    """Simulate each stakeholder answering ``instrument``.
+
+    Question semantics:
+
+    - Likert questions whose id is ``problem:<problem_id>`` ask "how much
+      does <problem> affect you"; the latent attitude is strongly
+      positive when the stakeholder experiences the problem and strongly
+      negative otherwise, so the ground truth is recoverable.
+    - Other Likert questions draw on the stakeholder's ``attitudes``
+      entry (default 0 = neutral).
+    - ``multi_choice`` questions whose id is ``problems_experienced``
+      receive the stakeholder's true problems intersected with the
+      offered choices.
+    - ``free_text``/``numeric``/``single_choice`` questions are answered
+      neutrally (empty string / 0 / first choice) unless an attitude is
+      supplied — they exist so instruments round-trip, not to model prose.
+
+    Returns one :class:`Response` per stakeholder (no nonresponse here;
+    sampling modules model who gets *asked* in the first place).
+    """
+    rng = random.Random(seed)
+    responses = []
+    for stakeholder in stakeholders:
+        answers: dict[str, object] = {}
+        for question in instrument.questions():
+            if question.kind == "likert":
+                assert question.scale is not None
+                if question.question_id.startswith(problem_question_prefix):
+                    problem_id = question.question_id[len(problem_question_prefix):]
+                    attitude = 1.8 if problem_id in stakeholder.problems else -1.8
+                else:
+                    attitude = stakeholder.attitudes.get(question.question_id, 0.0)
+                answers[question.question_id] = _likert_answer(
+                    rng, question.scale.points, attitude, stakeholder.style
+                )
+            elif question.kind == "multi_choice":
+                if question.question_id == "problems_experienced":
+                    answers[question.question_id] = tuple(
+                        sorted(set(stakeholder.problems) & set(question.choices))
+                    )
+                else:
+                    answers[question.question_id] = ()
+            elif question.kind == "single_choice":
+                if question.question_id == "stratum":
+                    value = (
+                        stakeholder.stratum
+                        if stakeholder.stratum in question.choices
+                        else question.choices[0]
+                    )
+                else:
+                    value = question.choices[0]
+                answers[question.question_id] = value
+            elif question.kind == "numeric":
+                answers[question.question_id] = float(
+                    stakeholder.attitudes.get(question.question_id, 0.0)
+                )
+            else:  # free_text
+                answers[question.question_id] = ""
+        responses.append(
+            Response.create(
+                stakeholder.stakeholder_id,
+                instrument,
+                answers,
+                metadata={"stratum": stakeholder.stratum},
+            )
+        )
+    return responses

@@ -1,0 +1,308 @@
+"""Sampling schemes and reachability-bias metrics.
+
+Operationalizes the paper's core empirical claim (Section 1): problems
+enter the research pipeline through "those who are most easily
+reachable", so convenience recruitment systematically misses the
+problems of low-reachability strata.  Three recruiters are implemented:
+
+- :func:`convenience_sample` -- contact attempts succeed with each
+  stakeholder's reachability probability (the default mode the paper
+  criticizes).
+- :func:`quota_sample` -- stratified recruitment with per-stratum
+  quotas (costly: expected attempts scale with 1/reachability).
+- :func:`chain_referral_sample` -- PAR-style snowball recruitment that
+  walks referral ties; a referred contact is far more likely to engage
+  (the "work before the work" of building rapport).
+
+:func:`coverage_report` then measures what each sample can see: which
+catalog problems appear among sampled stakeholders, per-stratum
+representation, and the bias of surfaced problem-priorities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.surveys.respondents import PROBLEM_CATALOG, StakeholderPopulation
+
+
+@dataclass(frozen=True, slots=True)
+class SamplingReport:
+    """Outcome of one recruitment run.
+
+    Attributes:
+        scheme: Recruiter name.
+        sampled_ids: Recruited stakeholder ids, in recruitment order.
+        attempts: Contact attempts expended.
+        stratum_counts: Stratum -> number of recruits.
+    """
+
+    scheme: str
+    sampled_ids: tuple[str, ...]
+    attempts: int
+    stratum_counts: dict[str, int]
+
+    @property
+    def n_sampled(self) -> int:
+        """Number of recruits."""
+        return len(self.sampled_ids)
+
+    @property
+    def yield_rate(self) -> float:
+        """Recruits per contact attempt."""
+        return self.n_sampled / self.attempts if self.attempts else 0.0
+
+
+def convenience_sample(
+    population: StakeholderPopulation,
+    target: int,
+    seed: int = 0,
+    max_attempts: int | None = None,
+) -> SamplingReport:
+    """Recruit by contacting uniformly random members until ``target``.
+
+    Each attempt reaches the contacted member with their individual
+    ``reachability``; unreachable members may be retried later (they are
+    not removed from the pool — researchers rarely know who ignored the
+    email).  Stops at ``max_attempts`` (default ``20 * target``).
+    """
+    if target < 1:
+        raise ValueError("target must be >= 1")
+    rng = random.Random(seed)
+    members = list(population)
+    max_attempts = max_attempts if max_attempts is not None else 20 * target
+    recruited: list[str] = []
+    recruited_set: set[str] = set()
+    attempts = 0
+    while len(recruited) < target and attempts < max_attempts:
+        candidate = rng.choice(members)
+        attempts += 1
+        if candidate.stakeholder_id in recruited_set:
+            continue
+        if rng.random() < candidate.reachability:
+            recruited.append(candidate.stakeholder_id)
+            recruited_set.add(candidate.stakeholder_id)
+    return _report("convenience", population, recruited, attempts)
+
+
+def quota_sample(
+    population: StakeholderPopulation,
+    per_stratum: int,
+    seed: int = 0,
+    max_attempts_per_stratum: int | None = None,
+) -> SamplingReport:
+    """Recruit ``per_stratum`` members from every stratum.
+
+    Within a stratum, attempts target random members with their
+    reachability, so filling low-reachability quotas is expensive —
+    the report's ``attempts`` makes that cost visible.
+    """
+    if per_stratum < 1:
+        raise ValueError("per_stratum must be >= 1")
+    rng = random.Random(seed)
+    cap = (
+        max_attempts_per_stratum
+        if max_attempts_per_stratum is not None
+        else 100 * per_stratum
+    )
+    recruited: list[str] = []
+    attempts = 0
+    for stratum in population.strata():
+        members = population.members_of(stratum)
+        got: set[str] = set()
+        stratum_attempts = 0
+        while len(got) < per_stratum and stratum_attempts < cap:
+            candidate = rng.choice(members)
+            stratum_attempts += 1
+            if candidate.stakeholder_id in got:
+                continue
+            if rng.random() < candidate.reachability:
+                got.add(candidate.stakeholder_id)
+                recruited.append(candidate.stakeholder_id)
+        attempts += stratum_attempts
+    return _report("quota", population, recruited, attempts)
+
+
+def chain_referral_sample(
+    population: StakeholderPopulation,
+    target: int,
+    seeds_per_stratum: int = 1,
+    seed: int = 0,
+    referral_boost: float = 0.75,
+    max_attempts: int | None = None,
+) -> SamplingReport:
+    """Snowball recruitment through referral ties.
+
+    Starts from a few seed contacts per stratum (recruited at their raw
+    reachability — finding the first community partner is the hard
+    part), then follows referrals: a referred contact engages with
+    probability ``reachability + referral_boost * (1 - reachability)``,
+    modeling the trust a warm introduction carries (Section 5.1's
+    partnerships; Le Dantec & Fox's "work before the work").
+    """
+    if target < 1:
+        raise ValueError("target must be >= 1")
+    rng = random.Random(seed)
+    max_attempts = max_attempts if max_attempts is not None else 20 * target
+    recruited: list[str] = []
+    recruited_set: set[str] = set()
+    frontier: list[str] = []
+    attempts = 0
+
+    # Seed phase: cold contacts within each stratum.
+    for stratum in population.strata():
+        members = population.members_of(stratum)
+        found = 0
+        stratum_attempts = 0
+        while found < seeds_per_stratum and stratum_attempts < 50:
+            candidate = rng.choice(members)
+            stratum_attempts += 1
+            attempts += 1
+            if candidate.stakeholder_id in recruited_set:
+                continue
+            if rng.random() < candidate.reachability:
+                recruited.append(candidate.stakeholder_id)
+                recruited_set.add(candidate.stakeholder_id)
+                frontier.append(candidate.stakeholder_id)
+                found += 1
+
+    # Referral phase.
+    while frontier and len(recruited) < target and attempts < max_attempts:
+        current = population.get(frontier.pop(0))
+        referrals = [r for r in current.referrals if r not in recruited_set]
+        rng.shuffle(referrals)
+        for referred_id in referrals:
+            if len(recruited) >= target or attempts >= max_attempts:
+                break
+            referred = population.get(referred_id)
+            attempts += 1
+            engage = referred.reachability + referral_boost * (
+                1.0 - referred.reachability
+            )
+            if rng.random() < engage:
+                recruited.append(referred_id)
+                recruited_set.add(referred_id)
+                frontier.append(referred_id)
+    return _report("chain-referral", population, recruited, attempts)
+
+
+def _report(
+    scheme: str,
+    population: StakeholderPopulation,
+    recruited: Sequence[str],
+    attempts: int,
+) -> SamplingReport:
+    counts: dict[str, int] = {}
+    for sid in recruited:
+        stratum = population.get(sid).stratum
+        counts[stratum] = counts.get(stratum, 0) + 1
+    return SamplingReport(
+        scheme=scheme,
+        sampled_ids=tuple(recruited),
+        attempts=attempts,
+        stratum_counts=counts,
+    )
+
+
+def coverage_report(
+    population: StakeholderPopulation,
+    report: SamplingReport,
+) -> dict:
+    """What a sample can and cannot see.
+
+    Returns:
+        Dict with:
+
+        - ``problem_coverage``: fraction of population-present problems
+          experienced by at least one sampled member.
+        - ``missed_problems``: sorted ids of problems nobody in the
+          sample experiences.
+        - ``stratum_representation``: stratum -> (sample share) /
+          (population share); 0.0 for unsampled strata.
+        - ``low_reach_problem_coverage``: coverage restricted to
+          problems whose experiencing strata all have reachability
+          below the population median (the "invisible classes of
+          challenges" of Section 1).
+        - ``low_reach_voice_share``: among all problem-experiences the
+          *sample* reports, the fraction concerning low-reach problems.
+          Binary coverage saturates once a couple of members of a
+          marginal stratum are recruited; voice share measures how loud
+          those problems actually are in the surfaced agenda.
+        - ``population_low_reach_voice_share``: the same fraction in
+          the full population — the unbiased baseline.
+        - ``voice_representation``: sample voice share / population
+          voice share (1.0 = faithful, < 1 = muted).
+    """
+    sampled = [population.get(sid) for sid in report.sampled_ids]
+    present = population.problems_present()
+    seen: set[str] = set()
+    for stakeholder in sampled:
+        seen.update(stakeholder.problems)
+    seen &= present
+
+    # Stratum representation ratios.
+    population_counts: dict[str, int] = {}
+    for member in population:
+        population_counts[member.stratum] = (
+            population_counts.get(member.stratum, 0) + 1
+        )
+    n_pop = len(population)
+    n_sample = max(1, report.n_sampled)
+    representation = {}
+    for stratum, pop_count in sorted(population_counts.items()):
+        sample_share = report.stratum_counts.get(stratum, 0) / n_sample
+        pop_share = pop_count / n_pop
+        representation[stratum] = sample_share / pop_share if pop_share else 0.0
+
+    # Low-reachability problems: every experiencing stratum is below the
+    # median stratum reachability.
+    stratum_reach = {
+        stratum: (
+            sum(m.reachability for m in population.members_of(stratum))
+            / max(1, len(population.members_of(stratum)))
+        )
+        for stratum in population.strata()
+    }
+    reaches = sorted(stratum_reach.values())
+    median_reach = reaches[len(reaches) // 2]
+    low_reach_problems = {
+        pid
+        for pid in present
+        if all(
+            stratum_reach.get(stratum, 1.0) < median_reach
+            for stratum in PROBLEM_CATALOG.get(pid, {}).get("strata", ())
+            if stratum in stratum_reach
+        )
+        and any(
+            stratum in stratum_reach
+            for stratum in PROBLEM_CATALOG.get(pid, {}).get("strata", ())
+        )
+    }
+    low_seen = seen & low_reach_problems
+
+    def voice_share(members) -> float:
+        low = total = 0
+        for stakeholder in members:
+            for problem in stakeholder.problems:
+                total += 1
+                if problem in low_reach_problems:
+                    low += 1
+        return low / total if total else 0.0
+
+    sample_voice = voice_share(sampled)
+    population_voice = voice_share(population)
+    return {
+        "problem_coverage": len(seen) / len(present) if present else 1.0,
+        "missed_problems": sorted(present - seen),
+        "stratum_representation": representation,
+        "low_reach_problem_coverage": (
+            len(low_seen) / len(low_reach_problems) if low_reach_problems else 1.0
+        ),
+        "low_reach_voice_share": sample_voice,
+        "population_low_reach_voice_share": population_voice,
+        "voice_representation": (
+            sample_voice / population_voice if population_voice else 1.0
+        ),
+    }

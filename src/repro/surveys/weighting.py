@@ -1,0 +1,116 @@
+"""Post-stratification weighting — and where it cannot help.
+
+Survey practice re-weights a biased sample to known population strata
+shares.  That repairs *under*-representation, but the paper's Section-1
+claim is sharper: some strata are not under-represented, they are
+**absent** — and no weight on zero observations recovers a voice.  This
+module implements the estimator and makes the failure mode explicit
+(the E10 discussion in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.surveys.instrument import Response
+
+
+def post_stratification_weights(
+    sample_strata: Sequence[str],
+    population_shares: dict[str, float],
+) -> list[float]:
+    """Per-respondent weights aligning sample strata to population shares.
+
+    ``weight = population_share / sample_share`` for the respondent's
+    stratum.  Strata present in the population but absent from the
+    sample receive no weight anywhere — their share of the estimand is
+    silently dropped, which is exactly the failure
+    :func:`coverage_deficit` reports.
+
+    Raises ValueError when the sample is empty or a sampled stratum is
+    missing from ``population_shares``.
+    """
+    if not sample_strata:
+        raise ValueError("sample is empty")
+    counts: dict[str, int] = {}
+    for stratum in sample_strata:
+        counts[stratum] = counts.get(stratum, 0) + 1
+    missing = sorted(set(counts) - set(population_shares))
+    if missing:
+        raise ValueError(f"sampled strata missing population shares: {missing}")
+    n = len(sample_strata)
+    weights = []
+    for stratum in sample_strata:
+        sample_share = counts[stratum] / n
+        weights.append(population_shares[stratum] / sample_share)
+    return weights
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted mean (weights need not be normalized)."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights lengths differ")
+    if not values:
+        raise ValueError("need at least one value")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def weighted_likert_mean(
+    responses: Sequence[Response],
+    question_id: str,
+    population_shares: dict[str, float],
+    stratum_key: str = "stratum",
+) -> dict:
+    """Post-stratified mean of a Likert item.
+
+    Returns:
+        Dict with ``raw_mean``, ``weighted_mean``, and
+        ``covered_population_share`` (how much of the population the
+        weighting can actually speak for — strata absent from the
+        sample contribute nothing, and this is the honest denominator).
+    """
+    values = []
+    strata = []
+    for response in responses:
+        answer = response.answer(question_id)
+        stratum = response.metadata.get(stratum_key)
+        if answer is None or stratum is None:
+            continue
+        values.append(float(answer))
+        strata.append(str(stratum))
+    if not values:
+        raise ValueError(f"no answered responses for {question_id!r}")
+    weights = post_stratification_weights(strata, population_shares)
+    covered = sum(
+        share
+        for stratum, share in population_shares.items()
+        if stratum in set(strata)
+    )
+    return {
+        "raw_mean": sum(values) / len(values),
+        "weighted_mean": weighted_mean(values, weights),
+        "covered_population_share": covered,
+    }
+
+
+def coverage_deficit(
+    sample_strata: Sequence[str],
+    population_shares: dict[str, float],
+) -> dict:
+    """What re-weighting cannot repair.
+
+    Returns:
+        Dict with ``unseen_strata`` (population strata with zero sampled
+        members, sorted) and ``unrepresentable_share`` (their combined
+        population share — the fraction of the population whose answers
+        no weighting scheme can reconstruct).
+    """
+    seen = set(sample_strata)
+    unseen = sorted(s for s in population_shares if s not in seen)
+    return {
+        "unseen_strata": unseen,
+        "unrepresentable_share": sum(population_shares[s] for s in unseen),
+    }

@@ -1,0 +1,61 @@
+"""From-scratch text-mining substrate.
+
+The paper's bibliometric and positionality analyses need basic natural
+language machinery: tokenization, stopword filtering, TF-IDF weighting,
+keyword-in-context concordances, section splitting, and document
+similarity.  No third-party NLP libraries are available in this
+environment, so everything here is implemented directly on the standard
+library (plus numpy for the vector math).
+
+Public modules:
+
+- :mod:`repro.textmine.tokenize` -- sentence and word tokenizers.
+- :mod:`repro.textmine.stopwords` -- English stopword list and filters.
+- :mod:`repro.textmine.tfidf` -- corpus vectorizer with TF-IDF weighting.
+- :mod:`repro.textmine.kwic` -- keyword-in-context concordance.
+- :mod:`repro.textmine.sections` -- research-paper section splitter.
+- :mod:`repro.textmine.similarity` -- cosine/Jaccard document similarity.
+"""
+
+from repro.textmine.tokenize import (
+    Token,
+    sentences,
+    tokens,
+    word_tokens,
+    ngrams,
+    normalize,
+)
+from repro.textmine.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.textmine.tfidf import TfidfVectorizer, TermDocumentMatrix
+from repro.textmine.kwic import KwicHit, kwic
+from repro.textmine.sections import Section, split_sections, find_section
+from repro.textmine.similarity import (
+    cosine_similarity,
+    jaccard_similarity,
+    most_similar,
+)
+from repro.textmine.collocations import Collocation, collocations
+
+__all__ = [
+    "Token",
+    "sentences",
+    "tokens",
+    "word_tokens",
+    "ngrams",
+    "normalize",
+    "STOPWORDS",
+    "is_stopword",
+    "remove_stopwords",
+    "TfidfVectorizer",
+    "TermDocumentMatrix",
+    "KwicHit",
+    "kwic",
+    "Section",
+    "split_sections",
+    "find_section",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "most_similar",
+    "Collocation",
+    "collocations",
+]

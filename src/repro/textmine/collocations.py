@@ -1,0 +1,92 @@
+"""Collocation extraction (pointwise mutual information).
+
+Qualitative analysts skim a corpus for the phrases that behave like
+units — "community network", "route server", "mandatory peering" —
+before building a codebook.  PMI over bigrams is the standard first
+pass: it scores how much more often two words co-occur than chance.
+The discounted variant here (Pantel & Lin 2002) shrinks the score of
+rare accidental pairs — raw PMI's notorious failure mode is ranking a
+once-seen pair of once-seen words above every real phrase.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.textmine.stopwords import remove_stopwords
+from repro.textmine.tokenize import word_tokens
+
+
+@dataclass(frozen=True, slots=True)
+class Collocation:
+    """One scored bigram.
+
+    Attributes:
+        bigram: The word pair.
+        count: Occurrences in the corpus.
+        pmi: Discounted pointwise mutual information (bits).
+    """
+
+    bigram: tuple[str, str]
+    count: int
+    pmi: float
+
+    @property
+    def text(self) -> str:
+        """The bigram as a space-joined phrase."""
+        return " ".join(self.bigram)
+
+
+def collocations(
+    documents: Iterable[str],
+    min_count: int = 3,
+    top_k: int = 20,
+    drop_stopwords: bool = True,
+) -> list[Collocation]:
+    """Top PMI bigrams of a corpus.
+
+    Args:
+        documents: Source texts.
+        min_count: Bigrams below this count are ignored (rare pairs
+            have unreliable PMI even after smoothing).
+        top_k: Number of collocations returned.
+        drop_stopwords: Remove stopwords before pairing, so "of the"
+            never wins.
+
+    Returns:
+        Collocations sorted by descending PMI, ties by count then
+        alphabetically.
+
+    The score is discounted PMI (Pantel & Lin):
+    ``pmi = log2((c_xy * N) / (c_x * c_y)) * (c_xy / (c_xy + 1)) *
+    (min(c_x, c_y) / (min(c_x, c_y) + 1))`` with ``N`` the token count —
+    both factors approach 1 for frequent pairs and shrink hapax scores.
+    """
+    if min_count < 1:
+        raise ValueError("min_count must be >= 1")
+    unigrams: Counter = Counter()
+    bigrams: Counter = Counter()
+    for document in documents:
+        tokens = word_tokens(document)
+        if drop_stopwords:
+            tokens = remove_stopwords(tokens)
+        unigrams.update(tokens)
+        bigrams.update(zip(tokens, tokens[1:]))
+    total = sum(unigrams.values())
+    if total == 0:
+        return []
+    scored = []
+    for (left, right), count in bigrams.items():
+        if count < min_count:
+            continue
+        raw = math.log2(
+            (count * total) / (unigrams[left] * unigrams[right])
+        )
+        rarer = min(unigrams[left], unigrams[right])
+        discount = (count / (count + 1.0)) * (rarer / (rarer + 1.0))
+        scored.append(Collocation((left, right), count, raw * discount))
+    scored.sort(key=lambda c: (-c.pmi, -c.count, c.bigram))
+    return scored[:top_k]

@@ -1,0 +1,80 @@
+"""Keyword-in-context (KWIC) concordance.
+
+Ethnographic and bibliometric workflows both need to inspect how a term
+is actually used: "peering" in a regulation interview means something
+different from "peering" in a routing-table dump.  A KWIC concordance
+lists every hit with a window of surrounding text, which is the standard
+first step of qualitative corpus inspection.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class KwicHit:
+    """One concordance line.
+
+    Attributes:
+        keyword: The matched surface form.
+        left: Context preceding the match.
+        right: Context following the match.
+        start: Character offset of the match in the source document.
+        doc_id: Index of the source document in the input sequence.
+    """
+
+    keyword: str
+    left: str
+    right: str
+    start: int
+    doc_id: int
+
+    def line(self, width: int = 30) -> str:
+        """Render the hit as a fixed-width concordance line."""
+        left = self.left[-width:].rjust(width)
+        right = self.right[:width].ljust(width)
+        return f"{left} [{self.keyword}] {right}"
+
+
+def kwic(
+    documents: Iterable[str],
+    keyword: str,
+    window: int = 40,
+    whole_word: bool = True,
+    case_sensitive: bool = False,
+) -> list[KwicHit]:
+    """Find every occurrence of ``keyword`` with surrounding context.
+
+    Args:
+        documents: Source texts, indexed by position for ``doc_id``.
+        keyword: Literal keyword (regex metacharacters are escaped).
+        window: Number of context characters on each side.
+        whole_word: Require word boundaries around the match.
+        case_sensitive: Match case exactly when True.
+
+    Returns:
+        Hits in document order, then offset order.
+    """
+    if not keyword:
+        raise ValueError("keyword must be non-empty")
+    pattern = re.escape(keyword)
+    if whole_word:
+        pattern = rf"\b{pattern}\b"
+    flags = 0 if case_sensitive else re.IGNORECASE
+    compiled = re.compile(pattern, flags)
+    hits: list[KwicHit] = []
+    for doc_id, text in enumerate(documents):
+        for match in compiled.finditer(text):
+            hits.append(
+                KwicHit(
+                    keyword=match.group(),
+                    left=text[max(0, match.start() - window) : match.start()],
+                    right=text[match.end() : match.end() + window],
+                    start=match.start(),
+                    doc_id=doc_id,
+                )
+            )
+    return hits

@@ -1,0 +1,129 @@
+"""Research-paper section splitting.
+
+Positionality statements live in specific places — introductions, method
+sections, explicit "Positionality" headers (paper, Section 4).  To detect
+them we first need to carve a paper's plain text into titled sections.
+The splitter recognizes numbered headers ("3 Ethnographic Methods",
+"5.1 Include and document..."), markdown-style headers, and a small set
+of conventional unnumbered headers (Abstract, Acknowledgments, ...).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_HEADER_RE = re.compile(
+    r"^(?:#{1,4}\s+)?"  # optional markdown hashes
+    r"(?P<number>\d+(?:\.\d+)*)?\s*"
+    r"(?P<title>[A-Z][^\n]{0,80})$"
+)
+
+_KNOWN_UNNUMBERED = frozenset(
+    {
+        "abstract",
+        "acknowledgments",
+        "acknowledgements",
+        "appendix",
+        "conclusion",
+        "discussion",
+        "introduction",
+        "references",
+        "related work",
+        "methods",
+        "methodology",
+        "positionality",
+        "positionality statement",
+        "ethics",
+        "ethics statement",
+        "limitations",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Section:
+    """A titled slice of a paper.
+
+    Attributes:
+        number: Dotted section number ("5.1") or "" for unnumbered headers.
+        title: Header text without the number.
+        body: Text between this header and the next.
+    """
+
+    number: str
+    title: str
+    body: str
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth: 1 for "3", 2 for "5.1", 1 for unnumbered."""
+        if not self.number:
+            return 1
+        return self.number.count(".") + 1
+
+
+def _is_header(line: str) -> tuple[str, str] | None:
+    """Return ``(number, title)`` when ``line`` looks like a section header."""
+    stripped = line.strip()
+    if not stripped or len(stripped) > 90:
+        return None
+    match = _HEADER_RE.match(stripped)
+    if not match:
+        return None
+    number = match.group("number") or ""
+    title = match.group("title").strip()
+    if stripped.startswith("#"):
+        return number, title
+    if number:
+        # Numbered header: short title, no terminal period, mostly title-case.
+        if title.endswith((".", ",", ";", ":")):
+            return None
+        if len(title.split()) > 10:
+            return None
+        return number, title
+    if title.lower().rstrip(".") in _KNOWN_UNNUMBERED:
+        return "", title.rstrip(".")
+    return None
+
+
+def split_sections(text: str) -> list[Section]:
+    """Split a paper's plain text into :class:`Section` objects.
+
+    Text before the first recognized header is returned as a section with
+    title "(front matter)".  The split is line-oriented: headers must sit
+    on their own line, which matches how paper text extractions arrive.
+    """
+    lines = text.splitlines()
+    sections: list[Section] = []
+    current_number = ""
+    current_title = "(front matter)"
+    body_lines: list[str] = []
+
+    def flush() -> None:
+        body = "\n".join(body_lines).strip()
+        if body or current_title != "(front matter)":
+            sections.append(Section(current_number, current_title, body))
+
+    for line in lines:
+        header = _is_header(line)
+        if header is not None:
+            flush()
+            current_number, current_title = header
+            body_lines = []
+        else:
+            body_lines.append(line)
+    flush()
+    return sections
+
+
+def find_section(sections: list[Section], title_substring: str) -> Section | None:
+    """Return the first section whose title contains ``title_substring``.
+
+    Matching is case-insensitive.  Returns None when absent.
+    """
+    needle = title_substring.lower()
+    for section in sections:
+        if needle in section.title.lower():
+            return section
+    return None

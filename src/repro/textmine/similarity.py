@@ -1,0 +1,69 @@
+"""Document similarity measures.
+
+Cosine similarity over TF-IDF vectors and Jaccard similarity over token
+sets.  Used by the bibliometric deduplicator and by theme extraction in
+the qualitative-coding package.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine of the angle between vectors ``a`` and ``b``.
+
+    Returns 0.0 when either vector is all-zero (rather than NaN), which
+    is the conventional choice for sparse text vectors.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if norm == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / norm)
+
+
+def jaccard_similarity(a: set[str] | Sequence[str], b: set[str] | Sequence[str]) -> float:
+    """Jaccard index of two token collections (|A∩B| / |A∪B|).
+
+    Two empty collections are defined to be identical (1.0).
+    """
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def most_similar(
+    query: np.ndarray, matrix: np.ndarray, k: int = 5
+) -> list[tuple[int, float]]:
+    """Rows of ``matrix`` most cosine-similar to ``query``.
+
+    Args:
+        query: Vector of shape ``(n_terms,)``.
+        matrix: Matrix of shape ``(n_docs, n_terms)``.
+        k: Number of results.
+
+    Returns:
+        ``(row_index, similarity)`` pairs, best first; ties broken by
+        ascending row index for determinism.
+    """
+    query = np.asarray(query, dtype=float)
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or query.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"incompatible shapes: query {query.shape}, matrix {matrix.shape}"
+        )
+    query_norm = np.linalg.norm(query)
+    row_norms = np.linalg.norm(matrix, axis=1)
+    denominator = query_norm * row_norms
+    safe = np.where(denominator == 0, 1.0, denominator)
+    scores = np.where(denominator == 0, 0.0, matrix @ query / safe)
+    order = sorted(range(len(scores)), key=lambda i: (-scores[i], i))[:k]
+    return [(i, float(scores[i])) for i in order]

@@ -1,0 +1,45 @@
+"""English stopword list and filtering helpers.
+
+A compact, hand-curated stopword list tuned for research-paper prose.
+It deliberately keeps domain-bearing words ("network", "community",
+"measurement") out of the list so that method-detection and TF-IDF runs
+retain the vocabulary the analyses care about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all also am an and any are aren't as
+    at be because been before being below between both but by can cannot
+    could couldn't did didn't do does doesn't doing don't down during each
+    few for from further had hadn't has hasn't have haven't having he he'd
+    he'll he's her here here's hers herself him himself his how how's i
+    i'd i'll i'm i've if in into is isn't it it's its itself let's may me
+    might more most mustn't my myself no nor not of off on once only or
+    other ought our ours ourselves out over own same shan't she she'd
+    she'll she's should shouldn't so some such than that that's the their
+    theirs them themselves then there there's these they they'd they'll
+    they're they've this those through to too under until up upon us very
+    was wasn't we we'd we'll we're we've were weren't what what's when
+    when's where where's which while who who's whom why why's will with
+    within without won't would wouldn't you you'd you'll you're you've
+    your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(word: str) -> bool:
+    """Return True when ``word`` (case-insensitive) is a stopword."""
+    return word.lower() in STOPWORDS
+
+
+def remove_stopwords(words: Iterable[str]) -> list[str]:
+    """Filter stopwords out of a token sequence, preserving order.
+
+    >>> remove_stopwords(["the", "community", "ran", "the", "network"])
+    ['community', 'ran', 'network']
+    """
+    return [w for w in words if w.lower() not in STOPWORDS]

@@ -1,0 +1,146 @@
+"""Term-document matrices and TF-IDF weighting.
+
+Implements the standard smoothed TF-IDF scheme used by scikit-learn
+(``idf = ln((1 + N) / (1 + df)) + 1`` with L2-normalized rows) so results
+are comparable to the wider ecosystem, without depending on it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.textmine.stopwords import remove_stopwords
+from repro.textmine.tokenize import word_tokens
+
+Tokenizer = Callable[[str], list[str]]
+
+
+def _default_tokenizer(text: str) -> list[str]:
+    return remove_stopwords(word_tokens(text))
+
+
+@dataclass
+class TermDocumentMatrix:
+    """A dense term-document count matrix with a fixed vocabulary.
+
+    Attributes:
+        vocabulary: Term -> column index.
+        counts: ``(n_docs, n_terms)`` integer count matrix.
+    """
+
+    vocabulary: dict[str, int]
+    counts: np.ndarray
+
+    @property
+    def n_docs(self) -> int:
+        """Number of documents (rows)."""
+        return self.counts.shape[0]
+
+    @property
+    def n_terms(self) -> int:
+        """Vocabulary size (columns)."""
+        return self.counts.shape[1]
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (0 if out of vocabulary)."""
+        column = self.vocabulary.get(term)
+        if column is None:
+            return 0
+        return int((self.counts[:, column] > 0).sum())
+
+    def term_frequency(self, term: str, doc: int) -> int:
+        """Raw count of ``term`` in document ``doc`` (0 if out of vocabulary)."""
+        column = self.vocabulary.get(term)
+        if column is None:
+            return 0
+        return int(self.counts[doc, column])
+
+    def top_terms(self, doc: int, k: int = 10) -> list[tuple[str, int]]:
+        """The ``k`` highest-count terms of document ``doc``."""
+        inverse = {i: t for t, i in self.vocabulary.items()}
+        row = self.counts[doc]
+        order = np.argsort(row)[::-1][:k]
+        return [(inverse[int(i)], int(row[i])) for i in order if row[i] > 0]
+
+
+@dataclass
+class TfidfVectorizer:
+    """Fit a vocabulary on a corpus and transform documents to TF-IDF rows.
+
+    Args:
+        tokenizer: Callable mapping raw text to a token list.  Defaults to
+            lowercased word tokens with stopwords removed.
+        min_df: Drop terms appearing in fewer than this many documents.
+        max_vocabulary: Keep at most this many terms, preferring high
+            document frequency (ties broken alphabetically for determinism).
+
+    Example:
+        >>> v = TfidfVectorizer()
+        >>> m = v.fit_transform(["mesh community network", "datacenter fabric"])
+        >>> m.shape[0]
+        2
+    """
+
+    tokenizer: Tokenizer = field(default=_default_tokenizer)
+    min_df: int = 1
+    max_vocabulary: int | None = None
+
+    vocabulary_: dict[str, int] = field(default_factory=dict, init=False)
+    idf_: np.ndarray = field(default_factory=lambda: np.empty(0), init=False)
+
+    def build_matrix(self, documents: Sequence[str]) -> TermDocumentMatrix:
+        """Tokenize ``documents`` and build a raw count matrix."""
+        tokenized = [self.tokenizer(doc) for doc in documents]
+        df_counter: Counter[str] = Counter()
+        for doc_tokens in tokenized:
+            df_counter.update(set(doc_tokens))
+        terms = sorted(t for t, df in df_counter.items() if df >= self.min_df)
+        if self.max_vocabulary is not None and len(terms) > self.max_vocabulary:
+            terms = sorted(
+                terms, key=lambda t: (-df_counter[t], t)
+            )[: self.max_vocabulary]
+            terms.sort()
+        vocabulary = {term: i for i, term in enumerate(terms)}
+        counts = np.zeros((len(documents), len(terms)), dtype=np.int64)
+        for row, doc_tokens in enumerate(tokenized):
+            for term, count in Counter(doc_tokens).items():
+                column = vocabulary.get(term)
+                if column is not None:
+                    counts[row, column] = count
+        return TermDocumentMatrix(vocabulary=vocabulary, counts=counts)
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and IDF weights from ``documents``."""
+        matrix = self.build_matrix(documents)
+        self.vocabulary_ = matrix.vocabulary
+        n_docs = max(matrix.n_docs, 1)
+        df = (matrix.counts > 0).sum(axis=0)
+        self.idf_ = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Map ``documents`` into the fitted TF-IDF space (L2-normalized)."""
+        if not self.vocabulary_:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        rows = np.zeros((len(documents), len(self.vocabulary_)))
+        for row, doc in enumerate(documents):
+            for term, count in Counter(self.tokenizer(doc)).items():
+                column = self.vocabulary_.get(term)
+                if column is not None:
+                    rows[row, column] = count
+        weighted = rows * self.idf_
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return weighted / norms
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Equivalent to ``fit(documents)`` followed by ``transform(documents)``."""
+        return self.fit(documents).transform(documents)
+
+    def feature_names(self) -> list[str]:
+        """Vocabulary terms ordered by column index."""
+        return sorted(self.vocabulary_, key=self.vocabulary_.__getitem__)

@@ -1,0 +1,107 @@
+"""Tests for repro.netsim.bgp.asys."""
+
+import pytest
+
+from repro.netsim.bgp.asys import AS, ASGraph, Relationship
+from repro.netsim.topology import Location
+
+
+@pytest.fixture
+def graph():
+    g = ASGraph()
+    g.add_as(AS(1, "T1", org="t1", kind="transit"))
+    g.add_as(AS(2, "Mid", org="mid", kind="transit"))
+    g.add_as(AS(3, "Stub", org="stub"))
+    g.add_as(AS(4, "Peer", org="peer"))
+    g.add_customer(provider=1, customer=2)
+    g.add_customer(provider=2, customer=3)
+    g.add_peering(2, 4, ixp_id="ix-1")
+    return g
+
+
+class TestRelationship:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+
+class TestConstruction:
+    def test_duplicate_asn_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_as(AS(1))
+
+    def test_negative_asn_rejected(self):
+        with pytest.raises(ValueError):
+            AS(-5)
+
+    def test_self_link_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_peering(1, 1)
+
+    def test_duplicate_link_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_customer(provider=1, customer=2)
+
+    def test_unknown_asn_rejected(self, graph):
+        with pytest.raises(KeyError):
+            graph.add_peering(1, 99)
+
+    def test_defaults(self):
+        autonomous_system = AS(7)
+        assert autonomous_system.org == "org-7"
+        assert autonomous_system.name == "AS7"
+
+
+class TestQueries:
+    def test_relationship_perspective(self, graph):
+        assert graph.relationship(1, 2) is Relationship.CUSTOMER
+        assert graph.relationship(2, 1) is Relationship.PROVIDER
+        assert graph.relationship(2, 4) is Relationship.PEER
+        assert graph.relationship(1, 3) is None
+
+    def test_customers_providers_peers(self, graph):
+        assert graph.customers(1) == [2]
+        assert graph.providers(3) == [2]
+        assert graph.peers(2) == [4]
+
+    def test_link_ixp_tag(self, graph):
+        assert graph.link_ixp(2, 4) == "ix-1"
+        assert graph.link_ixp(4, 2) == "ix-1"
+        assert graph.link_ixp(1, 2) is None
+
+    def test_remove_link(self, graph):
+        graph.remove_link(2, 4)
+        assert graph.relationship(2, 4) is None
+        assert graph.link_ixp(2, 4) is None
+
+    def test_customer_cone(self, graph):
+        assert graph.customer_cone(1) == {1, 2, 3}
+        assert graph.customer_cone(3) == {3}
+
+    def test_ases_of_org(self, graph):
+        graph.add_as(AS(5, org="t1"))
+        assert [a.asn for a in graph.ases_of_org("t1")] == [1, 5]
+
+    def test_ases_in_country(self):
+        g = ASGraph()
+        g.add_as(AS(1, location=Location(0, 0, country="MX")))
+        g.add_as(AS(2, location=Location(0, 0, country="US")))
+        assert [a.asn for a in g.ases_in_country("MX")] == [1]
+
+
+class TestHierarchyValidation:
+    def test_valid_dag(self, graph):
+        assert graph.validate_hierarchy() == []
+
+    def test_cycle_detected(self):
+        g = ASGraph()
+        g.add_as(AS(1))
+        g.add_as(AS(2))
+        g.add_as(AS(3))
+        g.add_customer(provider=1, customer=2)
+        g.add_customer(provider=2, customer=3)
+        g.add_customer(provider=3, customer=1)
+        problems = g.validate_hierarchy()
+        assert problems
+        assert "cycle" in problems[0]

@@ -1,0 +1,101 @@
+"""Tests for repro.netsim.bgp.hijack."""
+
+import pytest
+
+from repro.netsim.bgp.asys import AS, ASGraph
+from repro.netsim.bgp.hijack import run_hijack_study, simulate_prefix_hijack
+from repro.netsim.bgp.scenarios import build_mandatory_peering_scenario
+from repro.netsim.bgp.ixp import connect_ixp_members
+
+
+@pytest.fixture
+def world():
+    """Two tier-1s (1, 2) peering; victim 10 under 1, attacker 20 under 2,
+    plus bystanders 11 (under 1) and 21, 22 (under 2)."""
+    g = ASGraph()
+    for asn in (1, 2, 10, 11, 20, 21, 22):
+        g.add_as(AS(asn))
+    g.add_peering(1, 2)
+    g.add_customer(provider=1, customer=10)
+    g.add_customer(provider=1, customer=11)
+    g.add_customer(provider=2, customer=20)
+    g.add_customer(provider=2, customer=21)
+    g.add_customer(provider=2, customer=22)
+    return g
+
+
+class TestHijack:
+    def test_customer_lie_beats_peer_truth(self, world):
+        result = simulate_prefix_hijack(world, victim=10, attacker=20)
+        # Tier-1 2 hears the truth from its peer 1 and the lie from its
+        # customer 20; economics pick the customer. Its whole cone is
+        # polluted.
+        assert 2 in result.polluted
+        assert 21 in result.polluted
+        assert 22 in result.polluted
+
+    def test_victim_side_stays_clean(self, world):
+        result = simulate_prefix_hijack(world, victim=10, attacker=20)
+        assert 1 not in result.polluted
+        assert 11 not in result.polluted
+
+    def test_no_attacker_origin_no_pollution(self, world):
+        # Sanity: hijack by an AS equal to victim is rejected.
+        with pytest.raises(ValueError):
+            simulate_prefix_hijack(world, victim=10, attacker=10)
+
+    def test_unknown_asns_rejected(self, world):
+        with pytest.raises(KeyError):
+            simulate_prefix_hijack(world, victim=10, attacker=999)
+
+    def test_full_validation_stops_hijack(self, world):
+        validating = set(world.asns()) - {20}
+        result = simulate_prefix_hijack(
+            world, victim=10, attacker=20, validating=validating
+        )
+        assert result.polluted == ()
+        assert result.pollution_share == 0.0
+
+    def test_validating_transit_shields_cone(self, world):
+        # Only tier-1 2 validates: it rejects the lie, so its other
+        # customers learn the truth through it.
+        result = simulate_prefix_hijack(
+            world, victim=10, attacker=20, validating={2}
+        )
+        assert 21 not in result.polluted
+        assert 22 not in result.polluted
+
+    def test_pollution_share_range(self, world):
+        result = simulate_prefix_hijack(world, victim=10, attacker=20)
+        assert 0.0 <= result.pollution_share <= 1.0
+
+
+class TestStudy:
+    def test_validation_monotonically_reduces_pollution(self):
+        scenario = build_mandatory_peering_scenario(n_small_isps=16, seed=3)
+        connect_ixp_members(scenario.graph, scenario.ixp)
+        asns = scenario.graph.asns()
+        victim = asns[-1]
+        attacker = asns[-2]
+        records = run_hijack_study(
+            scenario.graph, victim, [attacker],
+            validation_levels=(0.0, 0.5, 1.0),
+        )
+        shares = [r["pollution_share"] for r in records]
+        assert shares[0] >= shares[1] >= shares[2]
+        assert shares[2] == 0.0
+
+    def test_bigger_cone_pollutes_more(self, world):
+        # Attacker 2 (tier-1, big cone) vs attacker 22 (stub).
+        records = run_hijack_study(
+            world, victim=10, attackers=[2, 22], validation_levels=(0.0,)
+        )
+        by_attacker = {r["attacker"]: r for r in records}
+        assert (
+            by_attacker[2]["pollution_share"]
+            >= by_attacker[22]["pollution_share"]
+        )
+
+    def test_bad_level_rejected(self, world):
+        with pytest.raises(ValueError):
+            run_hijack_study(world, 10, [20], validation_levels=(1.5,))

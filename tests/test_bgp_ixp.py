@@ -1,0 +1,72 @@
+"""Tests for repro.netsim.bgp.ixp."""
+
+from repro.netsim.bgp.asys import AS, ASGraph, Relationship
+from repro.netsim.bgp.ixp import IXP, connect_ixp_members
+
+
+def make_graph(n=4):
+    g = ASGraph()
+    for asn in range(1, n + 1):
+        g.add_as(AS(asn))
+    return g
+
+
+def test_open_members_fully_meshed():
+    graph = make_graph(3)
+    ixp = IXP("ix")
+    for asn in (1, 2, 3):
+        ixp.join(asn)
+    created = connect_ixp_members(graph, ixp)
+    assert created == 3
+    assert graph.relationship(1, 2) is Relationship.PEER
+    assert graph.link_ixp(1, 3) == "ix"
+
+
+def test_selective_members_not_auto_peered():
+    graph = make_graph(3)
+    ixp = IXP("ix")
+    ixp.join(1)
+    ixp.join(2)
+    ixp.join(3, open_policy=False)
+    connect_ixp_members(graph, ixp)
+    assert graph.relationship(1, 2) is Relationship.PEER
+    assert graph.relationship(1, 3) is None
+    assert graph.relationship(2, 3) is None
+
+
+def test_existing_links_not_duplicated():
+    graph = make_graph(2)
+    graph.add_peering(1, 2)
+    ixp = IXP("ix")
+    ixp.join(1)
+    ixp.join(2)
+    assert connect_ixp_members(graph, ixp) == 0
+
+
+def test_rejoining_flips_policy():
+    ixp = IXP("ix")
+    ixp.join(1, open_policy=False)
+    assert 1 not in ixp.open_policy
+    ixp.join(1, open_policy=True)
+    assert 1 in ixp.open_policy
+
+
+def test_leave_removes_membership():
+    ixp = IXP("ix")
+    ixp.join(1)
+    ixp.leave(1)
+    assert 1 not in ixp.members
+    assert 1 not in ixp.open_policy
+
+
+def test_name_defaults_to_id():
+    assert IXP("ix-br-1").name == "ix-br-1"
+
+
+def test_idempotent_connect():
+    graph = make_graph(3)
+    ixp = IXP("ix")
+    for asn in (1, 2, 3):
+        ixp.join(asn)
+    connect_ixp_members(graph, ixp)
+    assert connect_ixp_members(graph, ixp) == 0

@@ -1,0 +1,47 @@
+"""Tests for repro.netsim.bgp.policy."""
+
+from repro.netsim.bgp.asys import Relationship
+from repro.netsim.bgp.policy import route_preference_key, should_export
+
+
+class TestPreference:
+    def test_customer_beats_peer_beats_provider(self):
+        customer = route_preference_key(Relationship.CUSTOMER, (9, 8, 7))
+        peer = route_preference_key(Relationship.PEER, (5,))
+        provider = route_preference_key(Relationship.PROVIDER, (5,))
+        assert customer < peer < provider
+
+    def test_own_prefix_always_best(self):
+        own = route_preference_key(None, ())
+        customer = route_preference_key(Relationship.CUSTOMER, (2,))
+        assert own < customer
+
+    def test_shorter_path_wins_within_class(self):
+        short = route_preference_key(Relationship.PEER, (5,))
+        long = route_preference_key(Relationship.PEER, (5, 6))
+        assert short < long
+
+    def test_lower_next_hop_breaks_ties(self):
+        low = route_preference_key(Relationship.PEER, (3, 9))
+        high = route_preference_key(Relationship.PEER, (7, 9))
+        assert low < high
+
+
+class TestExport:
+    def test_own_prefix_exported_everywhere(self):
+        for rel in Relationship:
+            assert should_export(None, rel)
+
+    def test_customer_routes_exported_everywhere(self):
+        for rel in Relationship:
+            assert should_export(Relationship.CUSTOMER, rel)
+
+    def test_peer_routes_only_to_customers(self):
+        assert should_export(Relationship.PEER, Relationship.CUSTOMER)
+        assert not should_export(Relationship.PEER, Relationship.PEER)
+        assert not should_export(Relationship.PEER, Relationship.PROVIDER)
+
+    def test_provider_routes_only_to_customers(self):
+        assert should_export(Relationship.PROVIDER, Relationship.CUSTOMER)
+        assert not should_export(Relationship.PROVIDER, Relationship.PEER)
+        assert not should_export(Relationship.PROVIDER, Relationship.PROVIDER)

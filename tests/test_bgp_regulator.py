@@ -1,0 +1,114 @@
+"""Tests for repro.netsim.bgp.regulator."""
+
+import pytest
+
+from repro.netsim.bgp.asys import AS, ASGraph
+from repro.netsim.bgp.ixp import IXP, connect_ixp_members
+from repro.netsim.bgp.regulator import (
+    PeeringMandate,
+    apply_asn_split_evasion,
+    compliance_report,
+    obligated_orgs,
+)
+from repro.netsim.bgp.routing import propagate_routes
+from repro.netsim.topology import Location
+
+MX = Location(0, 0, country="MX")
+
+
+@pytest.fixture
+def market():
+    g = ASGraph()
+    g.add_as(AS(1, "Incumbent", org="big", location=MX, size=50))
+    g.add_as(AS(2, "Small", org="small", location=MX, size=2))
+    ixp = IXP("ix", location=MX)
+    ixp.join(2)
+    return g, ixp
+
+
+def mandate(enforcement="asn"):
+    return PeeringMandate("MX", "ix", enforcement=enforcement, min_size=10)
+
+
+class TestMandate:
+    def test_bad_enforcement_rejected(self):
+        with pytest.raises(ValueError):
+            PeeringMandate("MX", "ix", enforcement="vibes")
+
+    def test_obligated_orgs_by_size(self, market):
+        graph, _ = market
+        assert obligated_orgs(graph, mandate()) == ["big"]
+
+    def test_mismatched_ixp_rejected(self, market):
+        graph, ixp = market
+        with pytest.raises(ValueError):
+            compliance_report(graph, ixp, PeeringMandate("MX", "other-ix"))
+
+
+class TestCompliance:
+    def test_absent_incumbent_noncompliant(self, market):
+        graph, ixp = market
+        report = compliance_report(graph, ixp, mandate())
+        assert not report["big"]["compliant_asn_level"]
+        assert not report["big"]["compliant_org_level"]
+
+    def test_honest_join_compliant_both_ways(self, market):
+        graph, ixp = market
+        ixp.join(1)
+        report = compliance_report(graph, ixp, mandate())
+        assert report["big"]["compliant_asn_level"]
+        assert report["big"]["compliant_org_level"]
+        assert report["big"]["covered_size_share"] == pytest.approx(1.0)
+
+    def test_selective_membership_not_compliant(self, market):
+        # Present but refusing to peer openly does not satisfy the rule.
+        graph, ixp = market
+        ixp.join(1, open_policy=False)
+        report = compliance_report(graph, ixp, mandate())
+        assert not report["big"]["compliant_asn_level"]
+
+
+class TestEvasion:
+    def test_shell_created_under_same_org(self, market):
+        graph, ixp = market
+        shell = apply_asn_split_evasion(graph, ixp, "big", 1, 64500)
+        assert shell.org == "big"
+        assert shell.country == "MX"
+        assert graph.relationship(1, 64500).value == "customer"
+        assert 64500 in ixp.open_policy
+
+    def test_evasion_compliant_at_asn_level_only(self, market):
+        graph, ixp = market
+        apply_asn_split_evasion(graph, ixp, "big", 1, 64500)
+        report = compliance_report(graph, ixp, mandate("asn"))
+        assert report["big"]["compliant_asn_level"]
+        report_org = compliance_report(graph, ixp, mandate("org"))
+        assert not report_org["big"]["compliant_org_level"]
+        assert report_org["big"]["covered_size_share"] < 0.01
+
+    def test_shell_leaks_no_incumbent_routes(self, market):
+        graph, ixp = market
+        apply_asn_split_evasion(graph, ixp, "big", 1, 64500)
+        connect_ixp_members(graph, ixp)
+        table = propagate_routes(graph)
+        # AS2 peers with the shell at the IXP but must NOT learn the
+        # incumbent's prefix through it (valley-free export).
+        route = table.route(2, 1)
+        assert route is None
+
+    def test_shell_own_prefix_does_leak(self, market):
+        graph, ixp = market
+        apply_asn_split_evasion(graph, ixp, "big", 1, 64500)
+        connect_ixp_members(graph, ixp)
+        table = propagate_routes(graph)
+        assert table.full_path(2, 64500) == (2, 64500)
+
+    def test_wrong_org_rejected(self, market):
+        graph, ixp = market
+        with pytest.raises(ValueError):
+            apply_asn_split_evasion(graph, ixp, "small", 1, 64500)
+
+    def test_existing_shell_asn_rejected(self, market):
+        graph, ixp = market
+        with pytest.raises(ValueError):
+            apply_asn_split_evasion(graph, ixp, "big", 1, 2)

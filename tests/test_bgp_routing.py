@@ -1,0 +1,93 @@
+"""Tests for repro.netsim.bgp.routing."""
+
+import pytest
+
+from repro.netsim.bgp.asys import AS, ASGraph, Relationship
+from repro.netsim.bgp.routing import propagate_routes
+
+
+def chain_graph():
+    """1 (tier-1) -> 2 -> 3 provider chains, plus 4 peered with 2."""
+    g = ASGraph()
+    for asn in (1, 2, 3, 4):
+        g.add_as(AS(asn))
+    g.add_customer(provider=1, customer=2)
+    g.add_customer(provider=2, customer=3)
+    g.add_peering(2, 4)
+    return g
+
+
+class TestPropagation:
+    def test_customer_routes_reach_everyone(self):
+        table = propagate_routes(chain_graph())
+        # 3's prefix is a customer route at 2, so 1 and 4 both learn it.
+        assert table.full_path(1, 3) == (1, 2, 3)
+        assert table.full_path(4, 3) == (4, 2, 3)
+
+    def test_valley_free_blocks_peer_transit(self):
+        # 4 is a peer of 2; 4's prefix must not be re-exported by 2 to 1
+        # (peer route to provider) — so 1 cannot reach 4.
+        table = propagate_routes(chain_graph())
+        assert table.full_path(1, 4) is None
+
+    def test_customers_learn_provider_routes(self):
+        table = propagate_routes(chain_graph())
+        # 3 learns 4's prefix via its provider 2 (peer route exported down).
+        assert table.full_path(3, 4) == (3, 2, 4)
+
+    def test_self_path(self):
+        table = propagate_routes(chain_graph())
+        assert table.full_path(2, 2) == (2,)
+
+    def test_customer_route_preferred_over_peer(self):
+        g = ASGraph()
+        for asn in (1, 2, 3):
+            g.add_as(AS(asn))
+        # 3 reachable from 1 both via customer 2 and direct peering 1-3.
+        g.add_customer(provider=1, customer=2)
+        g.add_customer(provider=2, customer=3)
+        g.add_peering(1, 3)
+        table = propagate_routes(g)
+        route = table.route(1, 3)
+        # Customer route (1->2->3) wins over the shorter peer route.
+        assert route.learned_from is Relationship.CUSTOMER
+        assert route.path == (2, 3)
+
+    def test_shorter_path_wins_within_class(self):
+        g = ASGraph()
+        for asn in (1, 2, 3, 4):
+            g.add_as(AS(asn))
+        g.add_customer(provider=1, customer=4)       # direct
+        g.add_customer(provider=1, customer=2)
+        g.add_customer(provider=2, customer=3)
+        g.add_customer(provider=3, customer=4)       # long way (multi-homed 4)
+        table = propagate_routes(g)
+        assert table.full_path(1, 4) == (1, 4)
+
+    def test_origins_subset(self):
+        table = propagate_routes(chain_graph(), origins=[3])
+        assert table.full_path(1, 3) is not None
+        assert table.route(1, 2) is None
+
+    def test_unknown_origin_rejected(self):
+        with pytest.raises(KeyError):
+            propagate_routes(chain_graph(), origins=[99])
+
+    def test_reachable_origins(self):
+        table = propagate_routes(chain_graph())
+        assert table.reachable_origins(3) == [1, 2, 3, 4]
+        assert table.reachable_origins(1) == [1, 2, 3]  # 4 invisible (valley-free)
+
+
+class TestTier1Scenario:
+    def test_two_tier1s_peering_connect_their_cones(self):
+        g = ASGraph()
+        for asn in (10, 20, 11, 21):
+            g.add_as(AS(asn))
+        g.add_customer(provider=10, customer=11)
+        g.add_customer(provider=20, customer=21)
+        g.add_peering(10, 20)
+        table = propagate_routes(g)
+        # Customer routes cross the peering link in both directions.
+        assert table.full_path(11, 21) == (11, 10, 20, 21)
+        assert table.full_path(21, 11) == (21, 20, 10, 11)

@@ -1,0 +1,72 @@
+"""Tests for scenario-builder options not covered by the studies."""
+
+import pytest
+
+from repro.netsim.bgp.ixp import connect_ixp_members
+from repro.netsim.bgp.routing import propagate_routes
+from repro.netsim.bgp.scenarios import (
+    build_gravity_scenario,
+    build_mandatory_peering_scenario,
+)
+from repro.netsim.bgp.traffic import locality_report, resolve_flows
+
+
+class TestGravityOptions:
+    def test_domestic_transit_peering_reduces_tromboning(self):
+        reports = {}
+        for peering in (False, True):
+            scenario = build_gravity_scenario(
+                n_eyeballs=15, content_pop_presence=0.0,
+                domestic_transit_peering=peering, seed=4,
+            )
+            for ixp in scenario.local_ixps + [scenario.mega_ixp]:
+                connect_ixp_members(scenario.graph, ixp)
+            table = propagate_routes(scenario.graph)
+            flows = resolve_flows(scenario.graph, table, scenario.demands)
+            ixp_countries = {
+                ixp.ixp_id: ixp.country
+                for ixp in scenario.local_ixps + [scenario.mega_ixp]
+            }
+            reports[peering] = locality_report(
+                flows, scenario.country, ixp_countries
+            )
+        # Domestic transits interconnecting at home keeps eyeball pairs
+        # in-country instead of meeting at the European tier-1.
+        assert (
+            reports[True]["tromboned_share"]
+            < reports[False]["tromboned_share"]
+        )
+
+    def test_remote_membership_zero_empties_mega_ixp(self):
+        scenario = build_gravity_scenario(
+            n_eyeballs=12, remote_mega_membership=0.0, seed=1
+        )
+        # Only the EU content AS remains a member.
+        assert scenario.mega_ixp.members == {2000}
+
+    def test_local_membership_zero(self):
+        scenario = build_gravity_scenario(
+            n_eyeballs=12, local_ixp_membership=0.0,
+            content_pop_presence=0.0, seed=1,
+        )
+        assert all(not ixp.members for ixp in scenario.local_ixps)
+
+
+class TestMandatoryPeeringOptions:
+    def test_all_customers_to_incumbent(self):
+        scenario = build_mandatory_peering_scenario(
+            n_small_isps=10, incumbent_customer_share=1.0, seed=0
+        )
+        cone = scenario.graph.customer_cone(1)
+        stubs = [a.asn for a in scenario.graph if a.kind == "stub"]
+        assert all(asn in cone for asn in stubs)
+
+    def test_zero_ixp_membership(self):
+        scenario = build_mandatory_peering_scenario(
+            n_small_isps=10, ixp_membership_rate=0.0, seed=0
+        )
+        assert scenario.ixp.members == set()
+
+    def test_demand_volume_conserved(self):
+        scenario = build_mandatory_peering_scenario(n_small_isps=12, seed=0)
+        assert sum(d.volume for d in scenario.demands) == pytest.approx(1000.0)

@@ -1,0 +1,144 @@
+"""Tests for repro.netsim.bgp.traffic."""
+
+import pytest
+
+from repro.netsim.bgp.asys import AS, ASGraph
+from repro.netsim.bgp.routing import propagate_routes
+from repro.netsim.bgp.traffic import (
+    FlowResult,
+    TrafficDemand,
+    gravity_demands,
+    locality_report,
+    resolve_flows,
+)
+from repro.netsim.topology import Location
+
+
+@pytest.fixture
+def world():
+    """MX stubs 3,4 under MX incumbent 1; US tier-1 100 above; US stub 5."""
+    g = ASGraph()
+    mx = Location(0, 0, country="MX")
+    us = Location(1000, 0, country="US")
+    g.add_as(AS(100, location=us, size=5))
+    g.add_as(AS(1, location=mx, size=10))
+    g.add_as(AS(3, location=mx, size=2))
+    g.add_as(AS(4, location=mx, size=2))
+    g.add_as(AS(5, location=us, size=3))
+    g.add_customer(provider=100, customer=1)
+    g.add_customer(provider=1, customer=3)
+    g.add_customer(provider=1, customer=4)
+    g.add_customer(provider=100, customer=5)
+    return g
+
+
+class TestDemands:
+    def test_volume_normalized(self, world):
+        demands = gravity_demands(world, total_volume=500.0)
+        assert sum(d.volume for d in demands) == pytest.approx(500.0)
+
+    def test_no_self_demand(self, world):
+        demands = gravity_demands(world)
+        assert all(d.src != d.dst for d in demands)
+
+    def test_bigger_pairs_get_more(self, world):
+        demands = {(d.src, d.dst): d.volume for d in gravity_demands(world, decay=0.0)}
+        assert demands[(1, 100)] > demands[(3, 4)]
+
+    def test_source_destination_filters(self, world):
+        demands = gravity_demands(world, sources=[3], destinations=[4, 5])
+        assert {(d.src, d.dst) for d in demands} == {(3, 4), (3, 5)}
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficDemand(1, 2, -5.0)
+
+
+class TestResolve:
+    def test_paths_follow_routing(self, world):
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 4, 10.0)])
+        assert flows[0].path == (3, 1, 4)
+        assert flows[0].countries == ("MX", "MX", "MX")
+
+    def test_unroutable_flow_keeps_endpoint_countries(self, world):
+        world.add_as(AS(99, location=Location(0, 0, country="MX")))
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 99, 1.0)])
+        assert not flows[0].delivered
+        assert flows[0].countries == ("MX", "MX")
+
+    def test_ixps_crossed_recorded(self, world):
+        world.add_peering(3, 4, ixp_id="ix-mx")
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 4, 1.0)])
+        assert flows[0].ixps_crossed == ("ix-mx",)
+
+
+class TestTromboning:
+    def test_domestic_via_foreign_as_trombones(self, world):
+        # Remove 4's link to incumbent; rehome under the US tier-1.
+        world.remove_link(1, 4)
+        world.add_customer(provider=100, customer=4)
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 4, 1.0)])
+        assert flows[0].trombones()
+
+    def test_all_domestic_path_does_not_trombone(self, world):
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 4, 1.0)])
+        assert not flows[0].trombones()
+
+    def test_foreign_ixp_counts_with_ixp_countries(self, world):
+        world.add_peering(3, 4, ixp_id="ix-de")
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 4, 1.0)])
+        assert not flows[0].trombones()
+        assert flows[0].trombones({"ix-de": "DE"})
+        assert not flows[0].trombones({"ix-de": "MX"})
+
+    def test_international_flow_never_trombones(self, world):
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 5, 1.0)])
+        assert not flows[0].trombones()
+
+
+class TestLocalityReport:
+    def test_shares_sum_sensibly(self, world):
+        table = propagate_routes(world)
+        demands = gravity_demands(world)
+        flows = resolve_flows(world, table, demands)
+        report = locality_report(flows, "MX")
+        assert report["delivered_share"] == pytest.approx(1.0)
+        assert report["local_share"] + report["tromboned_share"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_ixp_volumes_accumulated(self, world):
+        world.add_peering(3, 4, ixp_id="ix-mx")
+        table = propagate_routes(world)
+        flows = resolve_flows(
+            world, table, [TrafficDemand(3, 4, 7.0), TrafficDemand(4, 3, 5.0)]
+        )
+        report = locality_report(flows, "MX")
+        assert report["ixp_volumes"]["ix-mx"] == pytest.approx(12.0)
+
+    def test_undelivered_lowers_delivered_share(self, world):
+        world.add_as(AS(99, location=Location(0, 0, country="MX")))
+        table = propagate_routes(world)
+        flows = resolve_flows(
+            world, table,
+            [TrafficDemand(3, 4, 5.0), TrafficDemand(3, 99, 5.0)],
+        )
+        report = locality_report(flows, "MX")
+        assert report["delivered_share"] == pytest.approx(0.5)
+
+    def test_foreign_ixp_shifts_local_to_tromboned(self, world):
+        world.add_peering(3, 4, ixp_id="ix-de")
+        table = propagate_routes(world)
+        flows = resolve_flows(world, table, [TrafficDemand(3, 4, 1.0)])
+        domestic_report = locality_report(flows, "MX")
+        foreign_report = locality_report(flows, "MX", {"ix-de": "DE"})
+        assert domestic_report["local_share"] == 1.0
+        assert foreign_report["local_share"] == 0.0
+        assert foreign_report["tromboned_share"] == 1.0

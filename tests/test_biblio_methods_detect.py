@@ -1,0 +1,91 @@
+"""Tests for repro.bibliometrics.methods_detect."""
+
+import pytest
+
+from repro.bibliometrics.corpus import Paper, Venue, Corpus
+from repro.bibliometrics.methods_detect import (
+    HUMAN_METHOD_FAMILIES,
+    METHOD_FAMILIES,
+    classify_paper,
+    detect_methods,
+    uses_human_methods,
+)
+
+
+def make_paper(abstract, body=""):
+    return Paper("p", "Title", abstract, "v", 2020, body=body)
+
+
+class TestDetect:
+    def test_finds_participatory(self):
+        mentions = detect_methods(
+            "We conducted participatory action research with operators."
+        )
+        assert any(m.family == "participatory" for m in mentions)
+
+    def test_stem_wildcards(self):
+        mentions = detect_methods("Our ethnographic fieldwork spanned a year.")
+        families = {m.family for m in mentions}
+        assert "ethnography" in families
+
+    def test_case_insensitive(self):
+        assert detect_methods("SEMI-STRUCTURED INTERVIEWS with staff")
+
+    def test_offsets_recorded(self):
+        text = "xxxx testbed yyyy"
+        mention = detect_methods(text, families=("testbed",))[0]
+        assert text[mention.start:mention.start + len("testbed")] == "testbed"
+
+    def test_family_filter(self):
+        text = "We interviewed users on our testbed."
+        only = detect_methods(text, families=("testbed",))
+        assert {m.family for m in only} == {"testbed"}
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            detect_methods("x", families=("astrology",))
+
+    def test_no_false_positive_on_plain_text(self):
+        mentions = detect_methods(
+            "We present a new congestion control algorithm with proofs."
+        )
+        human = [m for m in mentions if m.is_human_method]
+        assert human == []
+
+    def test_sorted_by_offset(self):
+        text = "A focus group met. Then a diary study started."
+        mentions = detect_methods(text)
+        offsets = [m.start for m in mentions]
+        assert offsets == sorted(offsets)
+
+
+class TestClassify:
+    def test_counts_per_family(self):
+        paper = make_paper(
+            "We interviewed operators. We interviewed users. A testbed ran."
+        )
+        counts = classify_paper(paper)
+        assert counts["interviews"] == 2
+        assert counts["testbed"] == 1
+
+    def test_body_scanned_too(self):
+        paper = make_paper("Plain abstract.", body="A diary study followed.")
+        assert "diaries" in classify_paper(paper)
+
+    def test_human_families_subset_of_all(self):
+        assert HUMAN_METHOD_FAMILIES <= set(METHOD_FAMILIES)
+
+
+class TestUsesHumanMethods:
+    def test_true_for_interview_paper(self):
+        paper = make_paper("Findings draw on in-depth interviews with engineers.")
+        assert uses_human_methods(paper)
+
+    def test_false_for_measurement_paper(self):
+        paper = make_paper("We measure the system from 40 vantage points.")
+        assert not uses_human_methods(paper)
+
+    def test_min_mentions_threshold(self):
+        paper = make_paper("One focus group met.")
+        assert uses_human_methods(paper, min_mentions=1)
+        assert not uses_human_methods(paper, min_mentions=2)

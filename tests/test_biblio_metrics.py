@@ -1,0 +1,116 @@
+"""Tests for repro.bibliometrics.metrics."""
+
+import pytest
+
+from repro.bibliometrics.metrics import (
+    gini,
+    h_index,
+    hhi,
+    lorenz_curve,
+    shannon_diversity,
+    top_k_share,
+)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_monopoly_approaches_one(self):
+        value = gini([0] * 99 + [100])
+        assert value > 0.95
+
+    def test_known_value(self):
+        # For [1, 3]: gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25
+        assert gini([1, 3]) == pytest.approx(0.25)
+
+    def test_all_zero_is_equal(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini([])
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+
+class TestLorenz:
+    def test_endpoints(self):
+        points = lorenz_curve([1, 2, 3])
+        assert points[0] == (0.0, 0.0)
+        assert points[-1] == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_convexity(self):
+        points = lorenz_curve([1, 5, 10])
+        shares = [s for _, s in points]
+        increments = [b - a for a, b in zip(shares, shares[1:])]
+        assert increments == sorted(increments)
+
+    def test_below_diagonal(self):
+        for population, share in lorenz_curve([1, 2, 10]):
+            assert share <= population + 1e-9
+
+
+class TestHHI:
+    def test_even_split(self):
+        assert hhi([1, 1, 1, 1]) == pytest.approx(0.25)
+
+    def test_monopoly(self):
+        assert hhi([0, 0, 7]) == pytest.approx(1.0)
+
+    def test_all_zero_degenerate(self):
+        assert hhi([0, 0]) == pytest.approx(0.5)
+
+
+class TestShannon:
+    def test_uniform_maximal(self):
+        uniform = shannon_diversity([1, 1, 1, 1], normalized=True)
+        skewed = shannon_diversity([10, 1, 1, 1], normalized=True)
+        assert uniform == pytest.approx(1.0)
+        assert skewed < uniform
+
+    def test_single_category_zero(self):
+        assert shannon_diversity([5], normalized=True) == 0.0
+        assert shannon_diversity([5, 0, 0]) == pytest.approx(0.0)
+
+    def test_raw_entropy_of_two_even(self):
+        import math
+        assert shannon_diversity([1, 1]) == pytest.approx(math.log(2))
+
+
+class TestTopK:
+    def test_basic(self):
+        assert top_k_share([10, 1, 1, 1], 1) == pytest.approx(10 / 13)
+
+    def test_k_exceeds_length(self):
+        assert top_k_share([1, 2], 10) == 1.0
+
+    def test_zero_total(self):
+        assert top_k_share([0, 0], 1) == 0.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_share([1], 0)
+
+
+class TestHIndex:
+    def test_textbook(self):
+        assert h_index([10, 8, 5, 4, 3]) == 4
+
+    def test_all_zero(self):
+        assert h_index([0, 0, 0]) == 0
+
+    def test_uniform(self):
+        assert h_index([3, 3, 3]) == 3
+
+    def test_single_paper(self):
+        assert h_index([100]) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            h_index([-1])

@@ -1,0 +1,82 @@
+"""Tests for repro.bibliometrics.networks."""
+
+import pytest
+
+from repro.bibliometrics.corpus import Author, Corpus, Paper, Venue
+from repro.bibliometrics.networks import (
+    citation_graph,
+    coauthorship_graph,
+    collaboration_stats,
+)
+
+
+@pytest.fixture
+def corpus():
+    c = Corpus()
+    c.add_venue(Venue("v", "V"))
+    c.add_author(Author("a1", "A", sector="university", region="europe"))
+    c.add_author(Author("a2", "B", sector="hyperscaler", region="europe"))
+    c.add_author(Author("a3", "C", sector="university", region="africa"))
+    c.add_paper(Paper("p1", "t1", "x", "v", 2020, ("a1", "a2")))
+    c.add_paper(Paper("p2", "t2", "x", "v", 2021, ("a1", "a2", "a3"),
+                      references=("p1",)))
+    c.add_paper(Paper("p3", "t3", "x", "v", 2022, ("a3",),
+                      references=("p1", "p2", "ghost")))
+    return c
+
+
+class TestCoauthorship:
+    def test_edge_weights_accumulate(self, corpus):
+        graph = coauthorship_graph(corpus)
+        assert graph["a1"]["a2"]["weight"] == 2
+        assert graph["a1"]["a3"]["weight"] == 1
+
+    def test_node_attributes(self, corpus):
+        graph = coauthorship_graph(corpus)
+        assert graph.nodes["a2"]["sector"] == "hyperscaler"
+        assert graph.nodes["a3"]["region"] == "africa"
+
+    def test_year_window(self, corpus):
+        graph = coauthorship_graph(corpus, years=(2020, 2020))
+        assert "a3" not in graph
+
+    def test_solo_papers_add_isolated_nodes(self, corpus):
+        graph = coauthorship_graph(corpus)
+        assert graph.degree("a3") == 2  # linked via p2 only
+
+
+class TestCitationGraph:
+    def test_edges_directed_citer_to_cited(self, corpus):
+        graph = citation_graph(corpus)
+        assert graph.has_edge("p2", "p1")
+        assert not graph.has_edge("p1", "p2")
+
+    def test_dangling_references_dropped(self, corpus):
+        graph = citation_graph(corpus)
+        assert "ghost" not in graph
+
+    def test_node_attributes(self, corpus):
+        graph = citation_graph(corpus)
+        assert graph.nodes["p1"]["year"] == 2020
+
+
+class TestStats:
+    def test_cross_sector_share(self, corpus):
+        graph = coauthorship_graph(corpus)
+        stats = collaboration_stats(graph)
+        # Edges: a1-a2 (cross), a1-a3 (same sector), a2-a3 (cross).
+        assert stats["cross_sector_edge_share"] == pytest.approx(2 / 3)
+
+    def test_cross_region_share(self, corpus):
+        stats = collaboration_stats(coauthorship_graph(corpus))
+        assert stats["cross_region_edge_share"] == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        import networkx as nx
+        stats = collaboration_stats(nx.Graph())
+        assert stats["n_authors"] == 0
+        assert stats["mean_degree"] == 0.0
+
+    def test_largest_component(self, corpus):
+        stats = collaboration_stats(coauthorship_graph(corpus))
+        assert stats["largest_component_share"] == 1.0

@@ -1,0 +1,86 @@
+"""Tests for repro.bibliometrics.statistics."""
+
+import pytest
+
+from repro.bibliometrics.statistics import (
+    bootstrap_mean_ci,
+    chi_squared_independence,
+    proportion_confint,
+    two_proportion_test,
+)
+
+
+class TestWilson:
+    def test_interval_contains_point(self):
+        low, high = proportion_confint(20, 100)
+        assert low < 0.2 < high
+
+    def test_zero_successes_positive_width(self):
+        low, high = proportion_confint(0, 50)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert 0.001 < high < 0.15
+
+    def test_higher_confidence_wider(self):
+        narrow = proportion_confint(30, 100, confidence=0.90)
+        wide = proportion_confint(30, 100, confidence=0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_confint(5, 0)
+        with pytest.raises(ValueError):
+            proportion_confint(10, 5)
+
+
+class TestTwoProportion:
+    def test_large_gap_significant(self):
+        result = two_proportion_test(80, 100, 10, 100)
+        assert result["significant_at_01"]
+        assert result["p_value"] < 1e-6
+
+    def test_identical_proportions_not_significant(self):
+        result = two_proportion_test(50, 100, 50, 100)
+        assert result["p_value"] == pytest.approx(1.0)
+        assert not result["significant_at_01"]
+
+    def test_degenerate_pooled(self):
+        result = two_proportion_test(0, 10, 0, 10)
+        assert result["p_value"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_proportion_test(1, 0, 1, 2)
+
+
+class TestChiSquared:
+    def test_dependent_table(self):
+        # Venue kind strongly predicts human-method use.
+        table = [[90, 10], [10, 90]]
+        result = chi_squared_independence(table)
+        assert result["p_value"] < 1e-6
+        assert result["cramers_v"] > 0.5
+
+    def test_independent_table(self):
+        table = [[50, 50], [50, 50]]
+        result = chi_squared_independence(table)
+        assert result["p_value"] > 0.9
+        assert result["cramers_v"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            chi_squared_independence([[1, 2]])
+
+
+class TestBootstrap:
+    def test_contains_true_mean_usually(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0] * 20
+        low, high = bootstrap_mean_ci(values, seed=0)
+        assert low < 3.0 < high
+
+    def test_deterministic(self):
+        values = list(range(30))
+        assert bootstrap_mean_ci(values, seed=3) == bootstrap_mean_ci(values, seed=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])

@@ -1,0 +1,95 @@
+"""Tests for repro.bibliometrics.synthgen."""
+
+import pytest
+
+from repro.bibliometrics.methods_detect import uses_human_methods
+from repro.bibliometrics.synthgen import (
+    SyntheticCorpusConfig,
+    default_venue_profiles,
+    generate_corpus,
+)
+
+CONFIG = SyntheticCorpusConfig(
+    start_year=2020, end_year=2022, seed=42, authors_per_venue_pool=30
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_corpus(CONFIG)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a, _ = generate_corpus(CONFIG)
+        b, _ = generate_corpus(CONFIG)
+        assert a.to_records() == b.to_records()
+
+    def test_different_seed_differs(self):
+        a, _ = generate_corpus(CONFIG)
+        other = SyntheticCorpusConfig(
+            start_year=2020, end_year=2022, seed=43,
+            authors_per_venue_pool=30,
+        )
+        b, _ = generate_corpus(other)
+        assert a.to_records() != b.to_records()
+
+
+class TestStructure:
+    def test_paper_volume_matches_profiles(self, generated):
+        corpus, _ = generated
+        profiles = {p.venue_id: p for p in default_venue_profiles()}
+        years = 3
+        for venue in corpus.venues():
+            expected = profiles[venue.venue_id].papers_per_year * years
+            assert len(corpus.papers(venue_id=venue.venue_id)) == expected
+
+    def test_references_point_backwards(self, generated):
+        corpus, _ = generated
+        for paper in corpus:
+            for ref in paper.references:
+                assert corpus.paper(ref).year <= paper.year
+
+    def test_authors_publish_at_their_venue_pool(self, generated):
+        corpus, _ = generated
+        for paper in corpus.papers(venue_id="chi-like")[:20]:
+            assert all(a.startswith("chi-like-") for a in paper.author_ids)
+
+    def test_bad_year_range_rejected(self):
+        with pytest.raises(ValueError):
+            generate_corpus(
+                SyntheticCorpusConfig(start_year=2022, end_year=2020)
+            )
+
+
+class TestCalibration:
+    def test_ground_truth_matches_detection_direction(self, generated):
+        corpus, truth = generated
+        # Every ground-truth human-methods paper is detectable (the
+        # generator plants real lexicon phrases).
+        for paper_id in list(truth.human_methods)[:50]:
+            assert uses_human_methods(corpus.paper(paper_id))
+
+    def test_networking_vs_hci_adoption_gap(self, generated):
+        corpus, truth = generated
+        def truth_share(venue_id):
+            papers = corpus.papers(venue_id=venue_id)
+            flagged = sum(1 for p in papers if p.paper_id in truth.human_methods)
+            return flagged / len(papers)
+        assert truth_share("cscw-like") > 5 * max(truth_share("sigcomm-like"), 0.001)
+
+    def test_positionality_only_in_human_method_papers(self, generated):
+        _, truth = generated
+        assert truth.positionality <= set(truth.human_methods)
+
+    def test_positionality_statements_in_body(self, generated):
+        corpus, truth = generated
+        for paper_id in list(truth.positionality)[:10]:
+            assert "positionality" in corpus.paper(paper_id).body.lower()
+
+    def test_networking_topics_skew_technical(self, generated):
+        corpus, _ = generated
+        topics = corpus.topic_counts(venue_id="sigcomm-like")
+        technical = topics.get("datacenter", 0) + topics.get("transport", 0)
+        community = topics.get("community-networks", 0)
+        assert technical > 3 * max(community, 1)

@@ -1,0 +1,60 @@
+"""Tests for repro.bibliometrics.trends."""
+
+import pytest
+
+from repro.bibliometrics.corpus import Author, Corpus, Paper, Venue
+from repro.bibliometrics.trends import adoption_series, venue_adoption_table
+
+HUMAN_ABSTRACT = "We conducted semi-structured interviews with operators."
+TECH_ABSTRACT = "We measure the network from many vantage points."
+
+
+@pytest.fixture
+def corpus():
+    c = Corpus()
+    c.add_venue(Venue("net", "Net", kind="networking"))
+    c.add_venue(Venue("hci", "HCI", kind="hci"))
+    c.add_author(Author("a", "A"))
+    pid = 0
+    for year in (2019, 2020, 2021):
+        for _ in range(4):
+            c.add_paper(Paper(f"n{pid}", "t", TECH_ABSTRACT, "net", year, ("a",)))
+            pid += 1
+        c.add_paper(Paper(f"h{pid}", "t", HUMAN_ABSTRACT, "hci", year, ("a",)))
+        pid += 1
+    # One human-methods networking paper in the last year.
+    c.add_paper(Paper("nx", "t", HUMAN_ABSTRACT, "net", 2021, ("a",)))
+    return c
+
+
+class TestSeries:
+    def test_points_per_year(self, corpus):
+        series = adoption_series(corpus, "net")
+        assert [p.year for p in series] == [2019, 2020, 2021]
+
+    def test_shares(self, corpus):
+        series = adoption_series(corpus, "net")
+        assert series[0].share == 0.0
+        assert series[-1].share == pytest.approx(1 / 5)
+
+    def test_hci_always_full(self, corpus):
+        series = adoption_series(corpus, "hci")
+        assert all(p.share == 1.0 for p in series)
+
+    def test_empty_year_share(self):
+        from repro.bibliometrics.trends import AdoptionPoint
+        assert AdoptionPoint("v", 2020, 0, 0).share == 0.0
+
+
+class TestVenueTable:
+    def test_sorted_by_share(self, corpus):
+        table = venue_adoption_table(corpus)
+        assert table[0]["venue_id"] == "hci"
+
+    def test_early_late_split(self, corpus):
+        table = venue_adoption_table(corpus)
+        net = next(r for r in table if r["venue_id"] == "net")
+        assert net["late_share"] > net["early_share"]
+
+    def test_empty_corpus(self):
+        assert venue_adoption_table(Corpus()) == []

@@ -1,0 +1,144 @@
+"""Tests for the CLI (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PROJECT_RECORD = {
+    "name": "cli-test-project",
+    "partners": [
+        {
+            "partner_id": "coop",
+            "name": "Coop",
+            "kind": "community",
+            "relationship_origin": "met at a community meeting",
+        }
+    ],
+    "engagements": [
+        {
+            "month": 0,
+            "stage": "problem_formation",
+            "partner_id": "coop",
+            "kind": "led",
+            "description": "coop named the problem",
+        },
+        {
+            "month": 5,
+            "stage": "evaluation",
+            "partner_id": "coop",
+            "kind": "collaborated",
+        },
+    ],
+    "conversations": [
+        {
+            "conv_id": "c1",
+            "partner_id": "coop",
+            "month": 1,
+            "how_it_informed": "reframed the problem",
+            "quotes": ["a quote"],
+        }
+    ],
+    "positionality": [
+        {
+            "identity": "engineers",
+            "location": "the Global North",
+            "relevance": "shaped what we counted",
+        }
+    ],
+    "ethics_plan": {
+        "consent_process": "written consent",
+        "consent_withdrawal_supported": True,
+        "data_anonymized": True,
+        "power_risk_band": "low",
+        "power_mitigations_planned": False,
+        "community_in_problem_formation": True,
+        "partnerships_documented": True,
+        "positionality_statement": "present",
+        "works_with_indigenous_communities": False,
+        "data_sovereignty_plan": "",
+    },
+}
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1 " in out
+        assert "E12" in out
+
+    def test_run_one(self, capsys):
+        assert main(["experiments", "E11"]) == 0
+        out = capsys.readouterr().out
+        assert "E11:" in out
+        assert "PASS" in out
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "E99"])
+
+
+class TestCorpusCommand:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        code = main(
+            [
+                "corpus", str(tmp_path), "--start-year", "2024",
+                "--end-year", "2024", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        for name in ("venues", "authors", "papers", "ground_truth"):
+            assert (tmp_path / f"{name}.jsonl").exists()
+        first = json.loads(
+            (tmp_path / "papers.jsonl").read_text().splitlines()[0]
+        )
+        assert "abstract" in first
+
+
+class TestDetectCommand:
+    def test_detects(self, tmp_path, capsys):
+        path = tmp_path / "abstract.txt"
+        path.write_text(
+            "We conducted semi-structured interviews on our testbed."
+        )
+        assert main(["detect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "interviews" in out
+        assert "testbed" in out
+
+    def test_no_mentions(self, tmp_path, capsys):
+        path = tmp_path / "plain.txt"
+        path.write_text("Nothing methodological here.")
+        assert main(["detect", str(path)]) == 0
+        assert "no method mentions" in capsys.readouterr().out
+
+
+class TestAuditCommand:
+    def test_audit_passes(self, tmp_path, capsys):
+        path = tmp_path / "project.json"
+        path.write_text(json.dumps(PROJECT_RECORD))
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "overall" in out
+        assert "APPROVED" in out
+
+    def test_threshold_gates_exit_code(self, tmp_path):
+        record = dict(PROJECT_RECORD, positionality=[], conversations=[])
+        path = tmp_path / "project.json"
+        path.write_text(json.dumps(record))
+        assert main(["audit", str(path), "--threshold", "0.9"]) == 1
+
+    def test_missing_ethics_plan_skipped(self, tmp_path, capsys):
+        record = {k: v for k, v in PROJECT_RECORD.items() if k != "ethics_plan"}
+        path = tmp_path / "project.json"
+        path.write_text(json.dumps(record))
+        assert main(["audit", str(path)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,166 @@
+"""Tests for repro.netsim.community.congestion."""
+
+import pytest
+
+from repro.netsim.community.congestion import (
+    CprAllocator,
+    allocate_fifo,
+    allocate_maxmin,
+    allocate_static_cap,
+    jain_fairness,
+    run_congestion_study,
+)
+
+
+class TestJain:
+    def test_equal_is_one(self):
+        assert jain_fairness([2, 2, 2]) == pytest.approx(1.0)
+
+    def test_monopoly_is_one_over_n(self):
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_all_zero_fair(self):
+        assert jain_fairness([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+
+class TestFifo:
+    def test_early_arrivals_take_all(self):
+        result = allocate_fifo([6, 6, 6], 10, arrival_order=[0, 1, 2])
+        assert result.allocations == (6, 4, 0)
+
+    def test_arrival_order_matters(self):
+        result = allocate_fifo([6, 6, 6], 10, arrival_order=[2, 1, 0])
+        assert result.allocations == (0, 4, 6)
+
+    def test_under_capacity_everyone_satisfied(self):
+        result = allocate_fifo([2, 3], 10)
+        assert result.allocations == (2, 3)
+        assert result.mean_satisfaction == 1.0
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_fifo([1, 2], 10, arrival_order=[0, 0])
+
+    def test_starved_count(self):
+        result = allocate_fifo([10, 10], 10, arrival_order=[0, 1])
+        assert result.starved_count == 1
+
+
+class TestStaticCap:
+    def test_caps_at_equal_share(self):
+        result = allocate_static_cap([10, 1], 10)
+        assert result.allocations == (5, 1)
+
+    def test_wastes_unused_headroom(self):
+        result = allocate_static_cap([10, 1], 10)
+        assert result.utilization < 1.0
+
+    def test_empty_members(self):
+        result = allocate_static_cap([], 10)
+        assert result.allocations == ()
+
+
+class TestMaxMin:
+    def test_waterfilling_redistributes(self):
+        result = allocate_maxmin([2, 10, 10], 12)
+        assert result.allocations == pytest.approx((2, 5, 5))
+
+    def test_under_capacity_full_satisfaction(self):
+        result = allocate_maxmin([1, 2, 3], 100)
+        assert result.allocations == pytest.approx((1, 2, 3))
+
+    def test_weights_shift_shares(self):
+        result = allocate_maxmin([10, 10], 10, weights=[3, 1])
+        assert result.allocations == pytest.approx((7.5, 2.5))
+
+    def test_full_capacity_used_under_overload(self):
+        result = allocate_maxmin([10, 10, 10], 15)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_zero_weight_gets_nothing(self):
+        result = allocate_maxmin([5, 5], 10, weights=[1, 0])
+        assert result.allocations[1] == 0.0
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_maxmin([1], 10, weights=[1, 2])
+        with pytest.raises(ValueError):
+            allocate_maxmin([1], 10, weights=[-1])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_maxmin([1], -1)
+
+
+class TestCpr:
+    def test_overuser_sanctioned(self):
+        cpr = CprAllocator(overuse_factor=2.0)
+        demands = [20.0, 1.0, 1.0, 1.0]  # equal share 2.5; 20 > 5
+        cpr.allocate(demands, 10.0)
+        assert cpr.sanction_level(0) == 1
+        assert cpr.sanction_level(1) == 0
+
+    def test_sanction_reduces_allocation(self):
+        cpr = CprAllocator(sanction_factor=0.5)
+        demands = [20.0, 20.0]
+        first = cpr.allocate(demands, 10.0)
+        # After round 1 member 0 and 1 are both sanctioned equally.
+        assert first.allocations[0] == pytest.approx(first.allocations[1])
+        # Sanction one member harder by feeding asymmetric demands.
+        cpr2 = CprAllocator(sanction_factor=0.5)
+        cpr2.allocate([20.0, 1.0], 10.0)
+        second = cpr2.allocate([20.0, 20.0], 10.0)
+        assert second.allocations[0] < second.allocations[1]
+
+    def test_sanctions_cap_at_max_level(self):
+        cpr = CprAllocator(max_level=2)
+        for _ in range(10):
+            cpr.allocate([100.0, 1.0], 10.0)
+        assert cpr.sanction_level(0) == 2
+
+    def test_forgiveness_decays_sanctions(self):
+        cpr = CprAllocator(forgiveness_rounds=2)
+        cpr.allocate([100.0, 1.0], 10.0)
+        assert cpr.sanction_level(0) == 1
+        for _ in range(4):
+            cpr.allocate([1.0, 1.0], 10.0)
+        assert cpr.sanction_level(0) == 0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CprAllocator(sanction_factor=1.5)
+        with pytest.raises(ValueError):
+            CprAllocator(overuse_factor=0.5)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_congestion_study(n_rounds=80, seed=0)
+
+    def test_all_policies_reported(self, study):
+        assert set(study) == {"fifo", "static_cap", "maxmin", "cpr"}
+
+    def test_cpr_fairer_than_fifo(self, study):
+        assert study["cpr"]["mean_jain"] > study["fifo"]["mean_jain"]
+
+    def test_fifo_starves_most(self, study):
+        assert (
+            study["fifo"]["starved_rounds_share"]
+            > study["cpr"]["starved_rounds_share"]
+        )
+
+    def test_static_cap_wastes_capacity(self, study):
+        assert (
+            study["static_cap"]["mean_utilization"]
+            < study["maxmin"]["mean_utilization"]
+        )
+
+    def test_deterministic(self):
+        a = run_congestion_study(n_rounds=30, seed=5)
+        b = run_congestion_study(n_rounds=30, seed=5)
+        assert a == b

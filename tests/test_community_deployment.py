@@ -1,0 +1,76 @@
+"""Tests for repro.netsim.community.deployment."""
+
+import pytest
+
+from repro.netsim.community.deployment import (
+    DeploymentConfig,
+    run_deployment_study,
+    simulate_deployment,
+)
+
+
+class TestConfigPresets:
+    def test_par_preset(self):
+        config = DeploymentConfig.par()
+        assert config.community_siting
+        assert config.local_maintenance
+        assert config.feedback_iteration
+
+    def test_top_down_preset(self):
+        config = DeploymentConfig.top_down()
+        assert not config.community_siting
+        assert not config.local_maintenance
+        assert not config.feedback_iteration
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def par_outcome(self):
+        return simulate_deployment(DeploymentConfig.par(months=12, seed=0))
+
+    @pytest.fixture(scope="class")
+    def top_outcome(self):
+        return simulate_deployment(DeploymentConfig.top_down(months=12, seed=0))
+
+    def test_deterministic(self):
+        a = simulate_deployment(DeploymentConfig.par(months=6, seed=3))
+        b = simulate_deployment(DeploymentConfig.par(months=6, seed=3))
+        assert a == b
+
+    def test_outcome_ranges(self, par_outcome):
+        assert 0.0 <= par_outcome.mean_uptime <= 1.0
+        assert 0.0 <= par_outcome.mean_coverage <= 1.0
+        assert 0.0 <= par_outcome.retention <= 1.0
+        assert par_outcome.median_repair_days >= 0.25
+
+    def test_monthly_series_length(self, par_outcome):
+        assert len(par_outcome.monthly_quality) == 12
+
+    def test_par_repairs_faster(self, par_outcome, top_outcome):
+        assert par_outcome.median_repair_days < top_outcome.median_repair_days
+
+    def test_par_retains_more_volunteers(self, par_outcome, top_outcome):
+        assert par_outcome.final_volunteers >= top_outcome.final_volunteers
+
+    def test_failures_happen(self, par_outcome):
+        assert par_outcome.n_failures > 0
+
+
+class TestStudy:
+    def test_policies_present_with_ablations(self):
+        results = run_deployment_study(n_seeds=2, months=8, ablations=True)
+        assert set(results) == {
+            "par", "top_down", "siting_only", "maintenance_only",
+            "iteration_only",
+        }
+
+    def test_par_beats_top_down_on_retention(self):
+        results = run_deployment_study(n_seeds=3, months=12)
+        assert results["par"]["retention"] > results["top_down"]["retention"]
+
+    def test_par_beats_top_down_on_repair(self):
+        results = run_deployment_study(n_seeds=3, months=12)
+        assert (
+            results["par"]["median_repair_days"]
+            < results["top_down"]["median_repair_days"]
+        )

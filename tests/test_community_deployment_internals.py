@@ -1,0 +1,137 @@
+"""Focused tests for deployment internals: siting, re-siting, weather."""
+
+import random
+
+import pytest
+
+from repro.netsim.community.deployment import (
+    DeploymentConfig,
+    _clustered_locations,
+    _resite_worst_relay,
+    _seasonal_weather,
+    _site_nodes,
+)
+from repro.netsim.community.members import Member, MemberPool
+from repro.netsim.topology import Location, distance_km
+
+
+def member_locations(seed=0, n=40):
+    return _clustered_locations(n, random.Random(seed))
+
+
+class TestClusteredLocations:
+    def test_count(self):
+        assert len(member_locations(n=25)) == 25
+
+    def test_clustered_not_uniform(self):
+        locations = member_locations(n=60)
+        # Mean nearest-neighbor distance in clusters is far below the
+        # ~1.3 km expected for 60 uniform points on 10x10 km.
+        nearest = []
+        for i, a in enumerate(locations):
+            nearest.append(
+                min(
+                    distance_km(a, b)
+                    for j, b in enumerate(locations)
+                    if i != j
+                )
+            )
+        assert sum(nearest) / len(nearest) < 0.8
+
+
+class TestSiting:
+    def _connected_share(self, network):
+        return len(network.connected_node_ids()) / max(
+            1, len(network.nodes())
+        )
+
+    def test_both_policies_build_connected_meshes(self):
+        locations = member_locations()
+        for community in (True, False):
+            config = DeploymentConfig(
+                community_siting=community,
+                local_maintenance=False,
+                feedback_iteration=False,
+            )
+            network = _site_nodes(config, locations, random.Random(0))
+            assert self._connected_share(network) == 1.0
+
+    def test_relay_budget_respected(self):
+        locations = member_locations()
+        config = DeploymentConfig(
+            community_siting=True, local_maintenance=False,
+            feedback_iteration=False, n_relays=5,
+        )
+        network = _site_nodes(config, locations, random.Random(0))
+        assert len(network.nodes(kind="relay")) <= 5
+        assert len(network.nodes(kind="gateway")) == 1
+
+    def test_community_siting_covers_more_members(self):
+        shares = {}
+        for community in (True, False):
+            total = 0.0
+            for seed in range(4):
+                locations = member_locations(seed=seed)
+                config = DeploymentConfig(
+                    community_siting=community,
+                    local_maintenance=False,
+                    feedback_iteration=False,
+                )
+                network = _site_nodes(config, locations, random.Random(seed))
+                total += network.coverage_share(locations)
+            shares[community] = total / 4
+        assert shares[True] >= shares[False]
+
+
+class TestResite:
+    def test_moves_relay_toward_uncovered(self):
+        config = DeploymentConfig(
+            community_siting=True, local_maintenance=True,
+            feedback_iteration=True, n_relays=3,
+        )
+        locations = [Location(0, 0), Location(0.5, 0), Location(0.4, 0.3)]
+        network = _site_nodes(config, locations, random.Random(0))
+        # A new hamlet appears far away.
+        members = MemberPool(
+            [
+                Member(f"m{i}", loc)
+                for i, loc in enumerate(locations + [Location(3.0, 3.0)])
+            ]
+        )
+        before = network.coverage_share([m.location for m in members])
+        for _ in range(4):  # a few feedback iterations
+            _resite_worst_relay(network, members, config.radio_range_km)
+        after = network.coverage_share([m.location for m in members])
+        assert after >= before
+
+    def test_noop_when_everyone_covered(self):
+        config = DeploymentConfig(
+            community_siting=True, local_maintenance=True,
+            feedback_iteration=True, n_relays=2,
+        )
+        locations = [Location(0, 0), Location(0.4, 0)]
+        network = _site_nodes(config, locations, random.Random(0))
+        members = MemberPool(
+            [Member(f"m{i}", loc) for i, loc in enumerate(locations)]
+        )
+        positions_before = {
+            n.node_id: (n.location.x, n.location.y) for n in network.nodes()
+        }
+        _resite_worst_relay(network, members, config.radio_range_km)
+        positions_after = {
+            n.node_id: (n.location.x, n.location.y) for n in network.nodes()
+        }
+        assert positions_before == positions_after
+
+
+class TestWeather:
+    def test_storm_season(self):
+        assert _seasonal_weather(9) == 2.0
+        assert _seasonal_weather(11) == 2.0
+
+    def test_calm_season(self):
+        assert _seasonal_weather(0) == 1.0
+        assert _seasonal_weather(8) == 1.0
+
+    def test_periodic(self):
+        assert _seasonal_weather(21) == _seasonal_weather(9)

@@ -1,0 +1,90 @@
+"""Tests for repro.netsim.community.economics."""
+
+import pytest
+
+from repro.netsim.community.economics import (
+    CostModel,
+    FeePolicy,
+    fee_sweep,
+    simulate_finances,
+)
+
+
+class TestCostModel:
+    def test_monthly_cost_components(self):
+        model = CostModel(
+            backhaul_fixed=100, backhaul_per_mbps=2,
+            power_per_node=5, parts_per_failure=50,
+        )
+        assert model.monthly_cost(10, 4, 2) == 100 + 20 + 20 + 100
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().monthly_cost(-1, 0, 0)
+
+
+class TestFeePolicy:
+    def test_flat_fee_ignores_income(self):
+        policy = FeePolicy(base_fee=10, income_scaled=False)
+        assert policy.fee_for(0.5) == 10
+        assert policy.fee_for(3.0) == 10
+
+    def test_scaled_fee_tracks_income(self):
+        policy = FeePolicy(base_fee=10, income_scaled=True)
+        assert policy.fee_for(0.5) == 5.0
+        assert policy.fee_for(2.0) == 20.0
+
+    def test_bad_income_rejected(self):
+        with pytest.raises(ValueError):
+            FeePolicy().fee_for(0)
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        a = simulate_finances(FeePolicy(base_fee=12), seed=5)
+        b = simulate_finances(FeePolicy(base_fee=12), seed=5)
+        assert a == b
+
+    def test_too_low_fee_insolvent(self):
+        outcome = simulate_finances(FeePolicy(base_fee=2), seed=0)
+        assert not outcome.solvent
+        assert outcome.months_survived < 36
+
+    def test_moderate_fee_solvent(self):
+        outcome = simulate_finances(FeePolicy(base_fee=12), seed=0)
+        assert outcome.solvent
+        assert outcome.months_survived == 36
+        assert outcome.final_reserve > 0
+
+    def test_extortionate_fee_empties_membership(self):
+        outcome = simulate_finances(FeePolicy(base_fee=100), seed=0, months=24)
+        assert not outcome.solvent
+        assert outcome.final_members <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_finances(FeePolicy(), months=0)
+        with pytest.raises(ValueError):
+            simulate_finances(FeePolicy(), n_members=0)
+
+
+class TestFeeSweep:
+    def test_inverted_u_flat(self):
+        records = fee_sweep(income_scaled=False, seed=1)
+        solvency = [r["solvent"] for r in records]
+        # Insolvent at the cheap end, solvent in the middle, insolvent
+        # at the expensive end.
+        assert solvency[0] is False
+        assert any(solvency[1:4])
+        assert solvency[-1] is False
+
+    def test_income_scaling_retains_members_in_window(self):
+        flat = {r["fee"]: r for r in fee_sweep(income_scaled=False, seed=1)}
+        scaled = {r["fee"]: r for r in fee_sweep(income_scaled=True, seed=1)}
+        # Inside the shared solvent window, scaling prices nobody out.
+        assert scaled[12.0]["solvent"] and flat[12.0]["solvent"]
+        assert scaled[12.0]["final_members"] > flat[12.0]["final_members"]
+
+    def test_scaled_fee_above_willingness_cap_collapses(self):
+        records = {r["fee"]: r for r in fee_sweep(income_scaled=True, seed=1)}
+        assert not records[16.0]["solvent"]

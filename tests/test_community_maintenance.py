@@ -1,0 +1,108 @@
+"""Tests for repro.netsim.community.maintenance."""
+
+import random
+
+import pytest
+
+from repro.netsim.community.maintenance import (
+    VolunteerPool,
+    repair_time_days,
+    sample_failures,
+)
+from repro.netsim.community.members import Member, MemberPool
+from repro.netsim.topology import Location
+
+
+class TestVolunteerPool:
+    def test_from_members(self):
+        pool = MemberPool(
+            [
+                Member("a", Location(0, 0), is_volunteer=True, skill=0.8),
+                Member("b", Location(0, 0), is_volunteer=True, skill=0.4),
+                Member("c", Location(0, 0), is_volunteer=False, skill=0.9),
+            ]
+        )
+        volunteers = VolunteerPool.from_members(pool)
+        assert volunteers.n_volunteers == 2
+        assert volunteers.mean_skill == pytest.approx(0.6)
+        assert volunteers.local
+
+    def test_empty_pool(self):
+        volunteers = VolunteerPool.from_members(MemberPool())
+        assert volunteers.n_volunteers == 0
+
+
+class TestRepairTime:
+    def test_local_detection_faster_than_remote(self):
+        rng_a, rng_b = random.Random(0), random.Random(0)
+        local = VolunteerPool(5, 0.6, local=True)
+        remote = VolunteerPool(5, 0.6, local=False)
+        local_days = sum(
+            repair_time_days(local, 0, 0, random.Random(s)) for s in range(50)
+        )
+        remote_days = sum(
+            repair_time_days(remote, 0, 0, random.Random(s)) for s in range(50)
+        )
+        assert local_days < remote_days
+
+    def test_backlog_slows_repairs(self):
+        pool = VolunteerPool(2, 0.6, local=True)
+        quiet = sum(
+            repair_time_days(pool, 0, 0, random.Random(s)) for s in range(30)
+        )
+        swamped = sum(
+            repair_time_days(pool, 20, 0, random.Random(s)) for s in range(30)
+        )
+        assert swamped > quiet
+
+    def test_no_volunteers_means_very_slow(self):
+        empty = VolunteerPool(0, 0.0, local=True)
+        staffed = VolunteerPool(5, 0.6, local=True)
+        empty_days = sum(
+            repair_time_days(empty, 2, 0, random.Random(s)) for s in range(30)
+        )
+        staffed_days = sum(
+            repair_time_days(staffed, 2, 0, random.Random(s)) for s in range(30)
+        )
+        assert empty_days > 3 * staffed_days
+
+    def test_minimum_quarter_day(self):
+        pool = VolunteerPool(100, 1.0, local=True)
+        assert repair_time_days(pool, 0, 0, random.Random(0)) >= 0.25
+
+    def test_negative_inputs_rejected(self):
+        pool = VolunteerPool(1, 0.5, local=True)
+        with pytest.raises(ValueError):
+            repair_time_days(pool, -1, 0, random.Random(0))
+        with pytest.raises(ValueError):
+            repair_time_days(pool, 0, -1, random.Random(0))
+
+
+class TestFailures:
+    def test_rate_zero_no_failures(self):
+        assert sample_failures(["a", "b"], 0, random.Random(0), base_rate=0.0) == []
+
+    def test_rate_one_all_fail(self):
+        failures = sample_failures(
+            ["a", "b", "c"], 2, random.Random(0), base_rate=1.0
+        )
+        assert [f.node_id for f in failures] == ["a", "b", "c"]
+        assert all(f.month == 2 for f in failures)
+
+    def test_weather_multiplies(self):
+        calm = sum(
+            len(sample_failures([str(i) for i in range(100)], 0,
+                                random.Random(s), base_rate=0.1))
+            for s in range(20)
+        )
+        stormy = sum(
+            len(sample_failures([str(i) for i in range(100)], 0,
+                                random.Random(s), base_rate=0.1,
+                                weather_multiplier=3.0))
+            for s in range(20)
+        )
+        assert stormy > 2 * calm
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            sample_failures(["a"], 0, random.Random(0), base_rate=-0.1)

@@ -1,0 +1,83 @@
+"""Tests for repro.netsim.community.members."""
+
+import random
+
+import pytest
+
+from repro.netsim.community.members import Member, MemberPool
+from repro.netsim.topology import Location
+
+
+def make_member(member_id="m1", satisfaction=0.7, volunteer=False):
+    return Member(
+        member_id=member_id,
+        location=Location(0, 0),
+        satisfaction=satisfaction,
+        is_volunteer=volunteer,
+    )
+
+
+class TestMember:
+    def test_satisfaction_blends(self):
+        member = make_member(satisfaction=1.0)
+        member.update_satisfaction(0.0, inertia=0.7)
+        assert member.satisfaction == pytest.approx(0.7)
+
+    def test_bad_quality_rejected(self):
+        with pytest.raises(ValueError):
+            make_member().update_satisfaction(1.5)
+
+
+class TestPool:
+    def test_duplicate_rejected(self):
+        pool = MemberPool([make_member()])
+        with pytest.raises(ValueError):
+            pool.add(make_member())
+
+    def test_volunteers_filter(self):
+        pool = MemberPool(
+            [make_member("a", volunteer=True), make_member("b")]
+        )
+        assert [m.member_id for m in pool.volunteers()] == ["a"]
+
+    def test_retention_empty_pool(self):
+        assert MemberPool().retention() == 1.0
+
+
+class TestChurn:
+    def test_low_satisfaction_members_leave(self):
+        pool = MemberPool([make_member(f"m{i}", satisfaction=0.1) for i in range(50)])
+        left = pool.apply_churn(3, random.Random(0), churn_probability=1.0)
+        assert len(left) == 50
+        assert pool.retention() == 0.0
+        assert all(pool.get(mid).left_month == 3 for mid in left)
+
+    def test_satisfied_members_stay(self):
+        pool = MemberPool([make_member(f"m{i}", satisfaction=0.9) for i in range(20)])
+        assert pool.apply_churn(0, random.Random(0)) == []
+
+    def test_churned_members_do_not_rechurn(self):
+        pool = MemberPool([make_member("m", satisfaction=0.1)])
+        pool.apply_churn(0, random.Random(0), churn_probability=1.0)
+        assert pool.apply_churn(1, random.Random(0), churn_probability=1.0) == []
+
+
+class TestRecruitment:
+    def test_satisfied_members_recruit(self):
+        pool = MemberPool([make_member(f"m{i}", satisfaction=0.9) for i in range(30)])
+        recruits = pool.recruit(5, random.Random(0), base_rate=1.0, volunteer_rate=0.5)
+        assert len(recruits) == 30
+        assert len(pool) == 60
+        assert all(r.joined_month == 5 for r in recruits)
+
+    def test_dissatisfied_members_do_not_recruit(self):
+        pool = MemberPool([make_member("m", satisfaction=0.3)])
+        assert pool.recruit(0, random.Random(0), base_rate=1.0, volunteer_rate=0) == []
+
+    def test_recruits_land_near_recruiters(self):
+        pool = MemberPool([make_member("m", satisfaction=0.9)])
+        recruits = pool.recruit(
+            0, random.Random(0), base_rate=1.0, volunteer_rate=0.0, spread_km=1.0
+        )
+        assert abs(recruits[0].location.x) <= 1.0
+        assert abs(recruits[0].location.y) <= 1.0

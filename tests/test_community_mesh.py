@@ -1,0 +1,82 @@
+"""Tests for repro.netsim.community.mesh."""
+
+import pytest
+
+from repro.netsim.community.mesh import MeshNetwork, MeshNode
+from repro.netsim.topology import Location
+
+
+@pytest.fixture
+def network():
+    net = MeshNetwork(radio_range_km=1.0)
+    net.add_node(MeshNode("gw", Location(0, 0), kind="gateway"))
+    net.add_node(MeshNode("r1", Location(0.8, 0), kind="relay"))
+    net.add_node(MeshNode("r2", Location(1.6, 0), kind="relay"))
+    net.add_node(MeshNode("far", Location(9, 9), kind="relay"))
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_node(MeshNode("gw", Location(0, 0)))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MeshNode("x", Location(0, 0), kind="satellite")
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(radio_range_km=0)
+
+
+class TestConnectivity:
+    def test_chain_connects_to_gateway(self, network):
+        assert network.has_service("r2")  # via r1
+
+    def test_isolated_node_unserved(self, network):
+        assert not network.has_service("far")
+
+    def test_down_intermediate_breaks_chain(self, network):
+        network.node("r1").up = False
+        assert not network.has_service("r2")
+
+    def test_down_gateway_kills_everything(self, network):
+        network.node("gw").up = False
+        assert network.connected_node_ids() == set()
+
+    def test_service_share(self, network):
+        assert network.service_share() == pytest.approx(3 / 4)
+
+    def test_neighbors_respect_up_flag(self, network):
+        network.node("r1").up = False
+        assert "r1" not in network.neighbors("gw")
+        assert "r1" in network.neighbors("gw", up_only=False)
+
+
+class TestCoverage:
+    def test_covers_location_near_serving_node(self, network):
+        assert network.covers(Location(0.5, 0.5))
+
+    def test_does_not_cover_near_disconnected_node(self, network):
+        assert not network.covers(Location(9, 8.5))
+
+    def test_coverage_share(self, network):
+        locations = [Location(0.1, 0), Location(9, 9), Location(1.5, 0.2)]
+        assert network.coverage_share(locations) == pytest.approx(2 / 3)
+
+    def test_empty_locations_full_coverage(self, network):
+        assert network.coverage_share([]) == 1.0
+
+
+class TestArticulation:
+    def test_chain_midpoint_is_critical(self, network):
+        critical = network.articulation_nodes()
+        assert "r1" in critical
+
+    def test_leaf_not_critical(self, network):
+        assert "r2" not in network.articulation_nodes()
+
+    def test_articulation_restores_state(self, network):
+        network.articulation_nodes()
+        assert all(n.up for n in network.nodes() if n.node_id != "far")

@@ -1,0 +1,83 @@
+"""Tests for repro.core.casestudy."""
+
+import pytest
+
+from repro.core.casestudy import CaseStudy, Claim, EvidenceRef
+
+
+@pytest.fixture
+def study():
+    s = CaseStudy("ixp-study")
+    s.add_claim(Claim("c1", "Incumbent evades the mandate", central=True))
+    s.add_claim(Claim("c2", "Operators distrust the regulator"))
+    s.add_claim(Claim("c3", "Local traffic share fell", central=True))
+    s.attach_evidence("c1", EvidenceRef("interview", "i-07"))
+    s.attach_evidence("c1", EvidenceRef("measurement", "bgp-dump-3"))
+    s.attach_evidence("c2", EvidenceRef("interview", "i-02"))
+    s.attach_evidence("c2", EvidenceRef("interview", "i-05"))
+    return s
+
+
+class TestEvidence:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EvidenceRef("rumor", "x")
+
+    def test_empty_ref_rejected(self):
+        with pytest.raises(ValueError):
+            EvidenceRef("interview", "")
+
+    def test_triangulation_needs_distinct_kinds(self, study):
+        assert study.claim("c1").triangulated
+        # Two interviews are one *kind* of evidence.
+        assert not study.claim("c2").triangulated
+
+
+class TestCaseStudy:
+    def test_duplicate_claim_rejected(self, study):
+        with pytest.raises(ValueError):
+            study.add_claim(Claim("c1", "dup"))
+
+    def test_attach_to_unknown_claim(self, study):
+        with pytest.raises(KeyError):
+            study.attach_evidence("ghost", EvidenceRef("interview", "i"))
+
+    def test_central_filter(self, study):
+        assert [c.claim_id for c in study.claims(central_only=True)] == [
+            "c1", "c3",
+        ]
+
+
+class TestReport:
+    def test_unsupported_flagged(self, study):
+        report = study.triangulation_report()
+        assert report["unsupported"] == ["c3"]
+
+    def test_single_source_flagged(self, study):
+        report = study.triangulation_report()
+        assert report["single_source"] == ["c2"]
+
+    def test_central_untriangulated(self, study):
+        report = study.triangulation_report()
+        assert report["central_untriangulated"] == ["c3"]
+
+    def test_triangulated_share(self, study):
+        assert study.triangulation_report()["triangulated_share"] == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_kind_usage(self, study):
+        report = study.triangulation_report()
+        assert report["kind_usage"] == {"interview": 2, "measurement": 1}
+
+    def test_fixing_the_finding(self, study):
+        study.attach_evidence("c3", EvidenceRef("measurement", "flows-9"))
+        study.attach_evidence("c3", EvidenceRef("fieldnote", "fn-12"))
+        report = study.triangulation_report()
+        assert report["central_untriangulated"] == []
+        assert report["unsupported"] == []
+
+    def test_empty_study(self):
+        report = CaseStudy("empty").triangulation_report()
+        assert report["triangulated_share"] == 1.0
+        assert report["unsupported"] == []

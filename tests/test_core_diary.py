@@ -1,0 +1,150 @@
+"""Tests for repro.core.diary."""
+
+import pytest
+
+from repro.core.diary import (
+    DiaryEntry,
+    DiaryStudy,
+    ProbeLog,
+    simulate_diary_study,
+    triangulate,
+)
+
+
+@pytest.fixture
+def study():
+    s = DiaryStudy("s", duration_days=10, participant_ids=["p1", "p2"])
+    s.record(DiaryEntry("p1", 0, "used the network a lot", reported_usage=True))
+    s.record(DiaryEntry("p1", 1, "short note"))
+    s.record(DiaryEntry("p2", 0, "quiet day"))
+    return s
+
+
+class TestStudy:
+    def test_validation(self, study):
+        with pytest.raises(KeyError):
+            study.record(DiaryEntry("ghost", 0, "x"))
+        with pytest.raises(ValueError):
+            study.record(DiaryEntry("p1", 10, "out of range"))
+        with pytest.raises(ValueError):
+            DiaryEntry("p", -1, "x")
+        with pytest.raises(ValueError):
+            DiaryStudy("s", 0, ["p"])
+        with pytest.raises(ValueError):
+            DiaryStudy("s", 5, ["p", "p"])
+
+    def test_compliance_rate(self, study):
+        assert study.compliance_rate("p1") == pytest.approx(0.2)
+        assert study.compliance_rate("p2") == pytest.approx(0.1)
+
+    def test_fatigue_curve(self, study):
+        curve = study.fatigue_curve()
+        assert len(curve) == 10
+        assert curve[0] == 1.0  # both wrote on day 0
+        assert curve[1] == 0.5
+        assert curve[9] == 0.0
+
+    def test_entries_filters(self, study):
+        assert len(study.entries(participant_id="p1")) == 2
+        assert len(study.entries(day=0)) == 2
+
+    def test_documents(self, study):
+        docs = study.documents()
+        assert len(docs) == 3
+        assert docs[0].kind == "diary"
+
+    def test_mean_entry_length_halves(self):
+        s = DiaryStudy("s", duration_days=4, participant_ids=["p"])
+        s.record(DiaryEntry("p", 0, "one two three four"))
+        s.record(DiaryEntry("p", 3, "one"))
+        assert s.mean_entry_length("first") == 4.0
+        assert s.mean_entry_length("second") == 1.0
+        with pytest.raises(ValueError):
+            s.mean_entry_length("third")
+
+
+class TestFatigueSlope:
+    def test_flat_study_zero_slope(self):
+        s = DiaryStudy("s", duration_days=5, participant_ids=["p"])
+        for day in range(5):
+            s.record(DiaryEntry("p", day, "steady"))
+        assert s.fatigue_slope() == pytest.approx(0.0)
+
+    def test_decaying_study_negative_slope(self):
+        s = DiaryStudy("s", duration_days=6, participant_ids=["p1", "p2"])
+        for day in range(6):
+            s.record(DiaryEntry("p1", day, "x"))
+        for day in range(2):
+            s.record(DiaryEntry("p2", day, "x"))
+        assert s.fatigue_slope() < 0
+
+
+class TestTriangulation:
+    def test_perfect_recall(self):
+        s = DiaryStudy("s", duration_days=3, participant_ids=["p"])
+        probe = ProbeLog()
+        for day in range(3):
+            probe.log("p", day)
+            s.record(DiaryEntry("p", day, "used it", reported_usage=True))
+        result = triangulate(s, probe)
+        assert result["mean_recall"] == 1.0
+        assert result["underreporting_rate"] == 0.0
+
+    def test_underreporting_detected(self):
+        s = DiaryStudy("s", duration_days=4, participant_ids=["p"])
+        probe = ProbeLog()
+        for day in range(4):
+            probe.log("p", day)
+        s.record(DiaryEntry("p", 0, "used it", reported_usage=True))
+        result = triangulate(s, probe)
+        assert result["underreporting_rate"] == pytest.approx(0.75)
+        assert result["per_participant"]["p"]["underreported"] == 3
+
+    def test_overreporting_detected(self):
+        s = DiaryStudy("s", duration_days=2, participant_ids=["p"])
+        s.record(DiaryEntry("p", 0, "used it (allegedly)", reported_usage=True))
+        result = triangulate(s, ProbeLog())
+        assert result["per_participant"]["p"]["overreported"] == 1
+        # No observed usage -> recall defined as 1.0.
+        assert result["per_participant"]["p"]["recall"] == 1.0
+
+    def test_probe_events_outside_window_ignored(self):
+        s = DiaryStudy("s", duration_days=2, participant_ids=["p"])
+        probe = ProbeLog()
+        probe.log("p", 50)
+        result = triangulate(s, probe)
+        assert result["per_participant"]["p"]["observed_days"] == 0
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        a = simulate_diary_study(seed=4)
+        b = simulate_diary_study(seed=4)
+        assert len(a[0].entries()) == len(b[0].entries())
+        assert a[1].events == b[1].events
+
+    def test_planted_fatigue_recovered(self):
+        study, _ = simulate_diary_study(
+            n_participants=30, duration_days=28,
+            compliance_decay_per_day=0.02, seed=1,
+        )
+        assert study.fatigue_slope() < -0.005
+
+    def test_planted_recall_error_recovered(self):
+        study, probe = simulate_diary_study(
+            n_participants=40, duration_days=28, recall_error=0.3,
+            compliance_decay_per_day=0.0, initial_compliance=1.0, seed=2,
+        )
+        result = triangulate(study, probe)
+        assert result["underreporting_rate"] == pytest.approx(0.3, abs=0.05)
+
+    def test_entry_length_decays_with_compliance(self):
+        study, _ = simulate_diary_study(
+            n_participants=30, duration_days=28,
+            compliance_decay_per_day=0.02, seed=3,
+        )
+        assert study.mean_entry_length("second") < study.mean_entry_length("first")
+
+    def test_bad_recall_error_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_diary_study(recall_error=1.5)

@@ -1,0 +1,95 @@
+"""Tests for repro.core.ethnography."""
+
+import pytest
+
+from repro.core.ethnography import (
+    FieldNote,
+    FieldSite,
+    FieldworkPlan,
+    fieldwork_depth,
+    patchwork_schedule,
+)
+
+
+@pytest.fixture
+def plan():
+    p = FieldworkPlan("ixp-study")
+    p.add_site(FieldSite("ix-1", "the exchange", "access via operator intro"))
+    p.add_site(FieldSite("noc", "the operator NOC"))
+    p.schedule_visit("ix-1", 0, 9)
+    p.schedule_visit("noc", 30, 34)
+    return p
+
+
+class TestPlan:
+    def test_duplicate_site_rejected(self, plan):
+        with pytest.raises(ValueError):
+            plan.add_site(FieldSite("ix-1"))
+
+    def test_visit_to_unknown_site_rejected(self, plan):
+        with pytest.raises(KeyError):
+            plan.schedule_visit("ghost", 0, 1)
+
+    def test_bad_window_rejected(self, plan):
+        with pytest.raises(ValueError):
+            plan.schedule_visit("ix-1", 5, 3)
+
+    def test_note_must_fall_in_visit(self, plan):
+        plan.record_note(FieldNote("n1", "ix-1", 3, "observed peering talks"))
+        with pytest.raises(ValueError):
+            plan.record_note(FieldNote("n2", "ix-1", 20, "outside window"))
+
+    def test_field_days_deduplicated(self, plan):
+        plan.schedule_visit("ix-1", 5, 12)  # overlaps 5..9
+        assert plan.field_days() == 13 + 5  # ix-1 days 0..12, noc 30..34
+
+    def test_notes_become_documents(self, plan):
+        plan.record_note(FieldNote("n1", "ix-1", 0, "text", reflexive=True))
+        docs = plan.documents()
+        assert docs[0].kind == "fieldnote"
+        assert docs[0].metadata["reflexive"] is True
+
+
+class TestPatchwork:
+    def test_budget_conserved(self):
+        windows = patchwork_schedule(["a", "b"], 20, 4, gap_days=10)
+        total = sum(end - start + 1 for _, start, end in windows)
+        assert total == 20
+
+    def test_gaps_inserted(self):
+        windows = patchwork_schedule(["a"], 10, 2, gap_days=5)
+        assert windows == [("a", 0, 4), ("a", 10, 14)]
+
+    def test_sites_cycled(self):
+        windows = patchwork_schedule(["a", "b"], 9, 3)
+        assert [w[0] for w in windows] == ["a", "b", "a"]
+
+    def test_remainder_distributed(self):
+        windows = patchwork_schedule(["a"], 7, 3, gap_days=0)
+        lengths = [end - start + 1 for _, start, end in windows]
+        assert sorted(lengths, reverse=True) == [3, 2, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patchwork_schedule(["a"], 0, 1)
+        with pytest.raises(ValueError):
+            patchwork_schedule(["a"], 2, 5)
+        with pytest.raises(ValueError):
+            patchwork_schedule([], 5, 2)
+
+
+class TestDepth:
+    def test_metrics(self, plan):
+        plan.record_note(FieldNote("n1", "ix-1", 0, "x"))
+        plan.record_note(FieldNote("n2", "ix-1", 1, "y", reflexive=True))
+        depth = fieldwork_depth(plan)
+        assert depth["field_days"] == 15
+        assert depth["n_sites_visited"] == 2
+        assert depth["n_notes"] == 2
+        assert depth["reflexive_share"] == 0.5
+        assert depth["elapsed_days"] == 35
+
+    def test_empty_plan(self):
+        depth = fieldwork_depth(FieldworkPlan("empty"))
+        assert depth["field_days"] == 0
+        assert depth["elapsed_days"] == 0

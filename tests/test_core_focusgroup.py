@@ -1,0 +1,82 @@
+"""Tests for repro.core.focusgroup."""
+
+import pytest
+
+from repro.core.focusgroup import FocusGroup, Turn
+
+
+@pytest.fixture
+def group():
+    g = FocusGroup("fg-1", participant_ids=["ana", "ben", "chi"])
+    g.add_turn(Turn("mod", "What breaks most often?", is_facilitator=True))
+    g.add_turn(Turn("ana", "The backhaul link, every storm, without fail."))
+    g.add_turn(Turn("ben", "Power at the tower."))
+    g.add_turn(Turn("mod", "Say more?", is_facilitator=True))
+    g.add_turn(Turn("ana", "We lose the radio when the grid browns out, "
+                           "and the spare batteries are dead."))
+    return g
+
+
+class TestConstruction:
+    def test_unknown_speaker_rejected(self, group):
+        with pytest.raises(KeyError):
+            group.add_turn(Turn("ghost", "hi"))
+
+    def test_facilitator_needs_no_registration(self, group):
+        group.add_turn(Turn("another-mod", "ok", is_facilitator=True))
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ValueError):
+            FocusGroup("x", [])
+
+    def test_duplicate_participants_rejected(self):
+        with pytest.raises(ValueError):
+            FocusGroup("x", ["a", "a"])
+
+
+class TestBalance:
+    def test_speaking_shares_sum_to_one(self, group):
+        shares = group.speaking_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["chi"] == 0.0
+
+    def test_silent_participants(self, group):
+        assert group.silent_participants() == ["chi"]
+
+    def test_dominance_gini_positive_when_unbalanced(self, group):
+        assert group.dominance_gini() > 0.3
+
+    def test_balanced_group_low_gini(self):
+        g = FocusGroup("fg", ["a", "b"])
+        g.add_turn(Turn("a", "same length here now"))
+        g.add_turn(Turn("b", "same length here too"))
+        assert g.dominance_gini() == pytest.approx(0.0)
+
+    def test_facilitator_share(self, group):
+        share = group.facilitator_share()
+        assert 0.0 < share < 0.5
+
+    def test_empty_session(self):
+        g = FocusGroup("fg", ["a"])
+        assert g.facilitator_share() == 0.0
+        assert g.speaking_shares() == {"a": 0.0}
+
+    def test_balance_report_keys(self, group):
+        report = group.balance_report()
+        assert set(report) == {
+            "speaking_shares", "dominance_gini", "silent_participants",
+            "facilitator_share", "n_turns",
+        }
+
+
+class TestTranscript:
+    def test_as_document(self, group):
+        doc = group.as_document()
+        assert doc.kind == "focus-group"
+        assert "ana:" in doc.text
+        assert "[facilitator]" in doc.text
+        assert doc.metadata["participants"] == ["ana", "ben", "chi"]
+
+    def test_turns_filter(self, group):
+        assert len(group.turns()) == 5
+        assert len(group.turns(include_facilitator=False)) == 3

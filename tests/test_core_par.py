@@ -1,0 +1,114 @@
+"""Tests for repro.core.par and repro.core.stages."""
+
+import pytest
+
+from repro.core.par import (
+    PARTICIPATION_LADDER,
+    EngagementEvent,
+    EngagementKind,
+    EngagementLedger,
+)
+from repro.core.stages import STAGE_ORDER, ResearchStage
+
+
+def event(stage, kind, month=0, partner="p", fed_back=False):
+    return EngagementEvent(month, stage, partner, kind,
+                           fed_back_into_design=fed_back)
+
+
+class TestLadder:
+    def test_monotone(self):
+        rungs = [
+            PARTICIPATION_LADDER[k]
+            for k in (
+                EngagementKind.INFORMED, EngagementKind.CONSULTED,
+                EngagementKind.INVOLVED, EngagementKind.COLLABORATED,
+                EngagementKind.LED,
+            )
+        ]
+        assert rungs == sorted(rungs)
+        assert len(set(rungs)) == 5
+
+
+class TestEvents:
+    def test_negative_month_rejected(self):
+        with pytest.raises(ValueError):
+            event(ResearchStage.DESIGN, EngagementKind.INFORMED, month=-1)
+
+    def test_stage_order_complete(self):
+        assert len(STAGE_ORDER) == len(ResearchStage)
+
+
+class TestLedger:
+    def test_stage_coverage(self):
+        ledger = EngagementLedger()
+        assert ledger.stage_coverage() == 0.0
+        ledger.record(event(ResearchStage.DESIGN, EngagementKind.CONSULTED))
+        assert ledger.stage_coverage() == pytest.approx(0.2)
+        for stage in STAGE_ORDER:
+            ledger.record(event(stage, EngagementKind.INFORMED))
+        assert ledger.stage_coverage() == 1.0
+
+    def test_problem_formation_rung(self):
+        ledger = EngagementLedger()
+        assert ledger.problem_formation_rung() == 0
+        ledger.record(
+            event(ResearchStage.PROBLEM_FORMATION, EngagementKind.CONSULTED)
+        )
+        ledger.record(
+            event(ResearchStage.PROBLEM_FORMATION, EngagementKind.LED)
+        )
+        assert ledger.problem_formation_rung() == 5
+
+    def test_mean_rung(self):
+        ledger = EngagementLedger(
+            [
+                event(ResearchStage.DESIGN, EngagementKind.INFORMED),
+                event(ResearchStage.DESIGN, EngagementKind.LED),
+            ]
+        )
+        assert ledger.mean_rung() == pytest.approx(3.0)
+
+    def test_iteration_count(self):
+        ledger = EngagementLedger(
+            [
+                event(ResearchStage.DESIGN, EngagementKind.CONSULTED, fed_back=True),
+                event(ResearchStage.EVALUATION, EngagementKind.CONSULTED),
+            ]
+        )
+        assert ledger.iteration_count() == 1
+
+    def test_filters(self):
+        ledger = EngagementLedger(
+            [
+                event(ResearchStage.DESIGN, EngagementKind.CONSULTED, partner="a"),
+                event(ResearchStage.DESIGN, EngagementKind.CONSULTED, partner="b"),
+                event(ResearchStage.EVALUATION, EngagementKind.INVOLVED, partner="a"),
+            ]
+        )
+        assert len(ledger.events(stage=ResearchStage.DESIGN)) == 2
+        assert len(ledger.events(partner_id="a")) == 2
+        assert ledger.partners_engaged() == ["a", "b"]
+
+    def test_participation_score_bounds(self):
+        empty = EngagementLedger()
+        assert empty.participation_score() == 0.0
+        full = EngagementLedger(
+            [
+                event(stage, EngagementKind.LED, fed_back=True)
+                for stage in STAGE_ORDER
+            ]
+        )
+        assert full.participation_score() == pytest.approx(1.0)
+
+    def test_score_monotone_in_engagement(self):
+        weak = EngagementLedger(
+            [event(ResearchStage.EVALUATION, EngagementKind.INFORMED)]
+        )
+        strong = EngagementLedger(
+            [
+                event(ResearchStage.PROBLEM_FORMATION, EngagementKind.LED),
+                event(ResearchStage.EVALUATION, EngagementKind.LED, fed_back=True),
+            ]
+        )
+        assert strong.participation_score() > weak.participation_score()

@@ -1,0 +1,103 @@
+"""Tests for repro.core.positionality."""
+
+from repro.core.positionality import (
+    FACETS,
+    PositionalityStatement,
+    disclosure_score,
+    extract_statements,
+    has_positionality_statement,
+)
+
+FULL = PositionalityStatement(
+    identity="network engineers",
+    location="the Global North",
+    beliefs="a feminist, community-based lens",
+    affiliations="a public university with industry funding",
+    community_ties="ties to rural cooperative ISPs",
+    relevance="this standpoint shaped which questions we prioritized",
+)
+
+
+class TestStatement:
+    def test_disclosed_facets_in_schema_order(self):
+        assert FULL.disclosed_facets() == FACETS
+
+    def test_empty_statement_discloses_nothing(self):
+        assert PositionalityStatement().disclosed_facets() == ()
+
+    def test_render_includes_disclosures(self):
+        text = FULL.render()
+        assert text.startswith("Positionality.")
+        assert "network engineers" in text
+        assert "Global North" in text
+
+    def test_disclosure_score(self):
+        assert disclosure_score(FULL) == 1.0
+        assert disclosure_score(PositionalityStatement()) == 0.0
+        half = PositionalityStatement(
+            identity="x", location="y", beliefs="z"
+        )
+        assert disclosure_score(half) == 0.5
+
+
+PAPER_WITH_SECTION = """1 Introduction
+We study meshes.
+
+Positionality
+We write as practitioners embedded in this community. We are situated
+in the Global South. This standpoint shaped which questions we asked.
+
+2 Methods
+Interviews were conducted.
+"""
+
+PAPER_WITH_INLINE = (
+    "Abstract text here. The authors situate themselves as researchers "
+    "who grew up in the studied regions; this standpoint shaped the "
+    "framing of results. More text follows."
+)
+
+PAPER_WITHOUT = """1 Introduction
+We present a congestion control algorithm. We measure it at scale.
+"""
+
+
+class TestExtraction:
+    def test_section_statement_found(self):
+        statements = extract_statements(PAPER_WITH_SECTION)
+        assert len(statements) == 1
+        assert statements[0].identity
+        assert statements[0].location
+        assert statements[0].relevance
+
+    def test_inline_statement_found(self):
+        statements = extract_statements(PAPER_WITH_INLINE)
+        assert len(statements) == 1
+        assert statements[0].identity or statements[0].community_ties
+
+    def test_plain_paper_yields_nothing(self):
+        assert extract_statements(PAPER_WITHOUT) == []
+
+    def test_source_text_preserved(self):
+        statements = extract_statements(PAPER_WITH_SECTION)
+        assert "Global South" in statements[0].source_text
+
+
+class TestHasStatement:
+    def test_true_for_real_statements(self):
+        assert has_positionality_statement(PAPER_WITH_SECTION)
+        assert has_positionality_statement(PAPER_WITH_INLINE)
+
+    def test_false_for_plain_papers(self):
+        assert not has_positionality_statement(PAPER_WITHOUT)
+
+    def test_citation_alone_does_not_count(self):
+        citing = (
+            "Prior work discusses positionality [12] in HCI venues. "
+            "We measure BGP tables."
+        )
+        assert not has_positionality_statement(citing)
+
+    def test_rendered_statement_roundtrips(self):
+        text = "1 Introduction\nIntro text.\n\nPositionality\n" + FULL.render()
+        assert has_positionality_statement(text)

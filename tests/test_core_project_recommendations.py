@@ -1,0 +1,95 @@
+"""Tests for repro.core.project and repro.core.recommendations."""
+
+import pytest
+
+from repro.core.par import EngagementEvent, EngagementKind, EngagementLedger
+from repro.core.positionality import PositionalityStatement
+from repro.core.project import ConversationRecord, Partner, ResearchProject
+from repro.core.recommendations import audit_project
+from repro.core.stages import ResearchStage
+from repro.experiments.e11_recommendations_audit import build_reference_project
+
+
+class TestProject:
+    def test_duplicate_partner_rejected(self):
+        project = ResearchProject("x")
+        project.add_partner(Partner("p", "P"))
+        with pytest.raises(ValueError):
+            project.add_partner(Partner("p", "P2"))
+
+    def test_conversation_requires_known_partner(self):
+        project = ResearchProject("x")
+        with pytest.raises(KeyError):
+            project.record_conversation(
+                ConversationRecord("c1", "ghost", 0)
+            )
+
+    def test_documented_origin_filter(self):
+        project = ResearchProject("x")
+        project.add_partner(Partner("a", "A", relationship_origin="met at IETF"))
+        project.add_partner(Partner("b", "B"))
+        assert [p.partner_id for p in project.partners_with_documented_origin()] == ["a"]
+
+    def test_conversations_with(self):
+        project = build_reference_project()
+        assert len(project.conversations_with("coop")) == 2
+
+
+class TestAudit:
+    def test_reference_project_near_perfect(self):
+        audit = audit_project(build_reference_project())
+        assert audit.overall >= 0.95
+        assert audit.all_findings() == ()
+
+    def test_empty_project_scores_zero(self):
+        audit = audit_project(ResearchProject("empty"))
+        assert audit.partnerships.score == 0.0
+        assert audit.conversations.score == 0.0
+        assert audit.positionality.score == 0.0
+        assert len(audit.all_findings()) >= 3
+
+    def test_partial_conversation_documentation(self):
+        project = build_reference_project()
+        project.conversations.append(
+            ConversationRecord("c3", "coop", 7, summary="undocumented chat")
+        )
+        audit = audit_project(project)
+        assert 0.0 < audit.conversations.score < 1.0
+        assert any("how it informed" in f for f in audit.conversations.findings)
+
+    def test_positionality_half_credit_for_thin_statement(self):
+        project = build_reference_project()
+        project.positionality = [PositionalityStatement(identity="engineers")]
+        audit = audit_project(project)
+        assert 0.5 < audit.positionality.score < 1.0
+        assert audit.positionality.findings  # coverage warning
+
+    def test_missing_evaluation_engagement_flagged(self):
+        project = build_reference_project()
+        project.ledger = EngagementLedger(
+            [
+                EngagementEvent(
+                    0, ResearchStage.PROBLEM_FORMATION, "coop",
+                    EngagementKind.LED,
+                )
+            ]
+        )
+        audit = audit_project(project)
+        assert any("evaluation" in f for f in audit.partnerships.findings)
+
+    def test_informed_only_problem_formation_insufficient(self):
+        project = build_reference_project()
+        project.ledger = EngagementLedger(
+            [
+                EngagementEvent(
+                    0, ResearchStage.PROBLEM_FORMATION, "coop",
+                    EngagementKind.INFORMED,
+                ),
+                EngagementEvent(
+                    9, ResearchStage.EVALUATION, "coop",
+                    EngagementKind.COLLABORATED,
+                ),
+            ]
+        )
+        audit = audit_project(project)
+        assert any("problem formation" in f for f in audit.partnerships.findings)

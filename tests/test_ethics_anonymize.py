@@ -1,0 +1,77 @@
+"""Tests for repro.ethics.anonymize."""
+
+import pytest
+
+from repro.ethics.anonymize import Pseudonymizer, scrub_quasi_identifiers
+
+
+class TestPseudonymizer:
+    def test_stable_within_study(self):
+        p = Pseudonymizer("study-a")
+        assert p.pseudonym("Esther") == p.pseudonym("Esther")
+
+    def test_unlinkable_across_studies(self):
+        a = Pseudonymizer("study-a").pseudonym("Esther")
+        b = Pseudonymizer("study-b").pseudonym("Esther")
+        assert a != b
+
+    def test_different_names_differ(self):
+        p = Pseudonymizer("s")
+        names = {p.pseudonym(f"Person {i}") for i in range(50)}
+        assert len(names) == 50
+
+    def test_apply_replaces_longest_first(self):
+        p = Pseudonymizer("s")
+        text = "Esther Jang led; Jang also coded."
+        result = p.apply(text, ["Jang", "Esther Jang"])
+        assert "Jang" not in result
+        assert "Esther" not in result
+
+    def test_apply_leaves_other_text(self):
+        p = Pseudonymizer("s")
+        assert p.apply("the mesh stayed up", ["Nobody"]) == "the mesh stayed up"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Pseudonymizer("")
+
+    def test_mapping_returned_copy(self):
+        p = Pseudonymizer("s")
+        p.pseudonym("A")
+        mapping = p.mapping()
+        mapping["B"] = "X"
+        assert "B" not in p.mapping()
+
+
+class TestScrub:
+    def test_email(self):
+        assert scrub_quasi_identifiers("mail op@example.net now") == (
+            "mail [EMAIL] now"
+        )
+
+    def test_ipv4(self):
+        assert "[IP]" in scrub_quasi_identifiers("peer at 203.0.113.7 port 179")
+
+    def test_phone(self):
+        assert "[PHONE]" in scrub_quasi_identifiers("call +52 55 1234 5678 today")
+
+    def test_asn(self):
+        assert scrub_quasi_identifiers("AS64500 split off") == "[ASN] split off"
+
+    def test_asn_preserved_when_disabled(self):
+        result = scrub_quasi_identifiers("AS64500 split", scrub_asns=False)
+        assert "AS64500" in result
+
+    def test_blank_style(self):
+        result = scrub_quasi_identifiers(
+            "mail op@example.net", placeholder_style="blank"
+        )
+        assert result == "mail "
+
+    def test_bad_style_rejected(self):
+        with pytest.raises(ValueError):
+            scrub_quasi_identifiers("x", placeholder_style="emoji")
+
+    def test_plain_text_untouched(self):
+        text = "the operators met at the exchange"
+        assert scrub_quasi_identifiers(text) == text

@@ -1,0 +1,89 @@
+"""Tests for repro.ethics.consent."""
+
+import pytest
+
+from repro.ethics.consent import ConsentError, ConsentRegistry
+
+
+@pytest.fixture
+def registry():
+    r = ConsentRegistry()
+    r.grant("p1", {"interview", "recording"}, now=0)
+    r.grant("p2", {"interview"}, now=0, expires_at=5)
+    return r
+
+
+class TestGrant:
+    def test_check_covers_scope(self, registry):
+        assert registry.check("p1", "interview", now=1)
+        assert registry.check("p1", "recording", now=1)
+
+    def test_uncovered_scope_fails(self, registry):
+        assert not registry.check("p1", "publication-quote", now=1)
+
+    def test_unknown_participant_fails(self, registry):
+        assert not registry.check("ghost", "interview", now=1)
+
+    def test_not_yet_granted(self, registry):
+        registry.grant("p3", {"interview"}, now=10)
+        assert not registry.check("p3", "interview", now=5)
+
+    def test_empty_scopes_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.grant("p4", set(), now=0)
+
+    def test_expiry_before_grant_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.grant("p4", {"x"}, now=5, expires_at=3)
+
+    def test_grants_accumulate(self, registry):
+        registry.grant("p1", {"publication-quote"}, now=2)
+        assert registry.check("p1", "publication-quote", now=3)
+        assert registry.check("p1", "interview", now=3)
+
+
+class TestExpiry:
+    def test_expires(self, registry):
+        assert registry.check("p2", "interview", now=5)
+        assert not registry.check("p2", "interview", now=6)
+
+
+class TestWithdrawal:
+    def test_withdrawal_kills_all_scopes(self, registry):
+        registry.withdraw("p1", now=3)
+        assert not registry.check("p1", "interview", now=3)
+        assert not registry.check("p1", "recording", now=4)
+
+    def test_check_before_withdrawal_time(self, registry):
+        registry.withdraw("p1", now=3)
+        assert registry.check("p1", "interview", now=2)
+
+    def test_withdraw_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.withdraw("ghost", now=0)
+
+    def test_withdraw_returns_count(self, registry):
+        registry.grant("p1", {"survey"}, now=1)
+        assert registry.withdraw("p1", now=2) == 2
+
+
+class TestRequire:
+    def test_passes_in_force(self, registry):
+        registry.require("p1", "interview", now=1)
+
+    def test_raises_otherwise(self, registry):
+        with pytest.raises(ConsentError):
+            registry.require("p1", "survey", now=1)
+
+
+class TestAudit:
+    def test_snapshot(self, registry):
+        registry.withdraw("p1", now=2)
+        audit = registry.audit(now=10)
+        assert audit["p1"]["withdrawn_records"] == 1
+        assert audit["p1"]["live_scopes"] == []
+        assert audit["p2"]["expired_records"] == 1
+
+    def test_usable_participants(self, registry):
+        assert registry.usable_participants("interview", now=1) == ["p1", "p2"]
+        assert registry.usable_participants("interview", now=7) == ["p1"]

@@ -1,0 +1,127 @@
+"""Tests for repro.ethics.power and repro.ethics.irb."""
+
+import pytest
+
+from repro.ethics.irb import ChecklistItem, ProtocolChecklist, default_checklist
+from repro.ethics.power import assess_power_dynamics
+
+ALL_DIMS = (
+    "resource_dependence", "institutional_gap", "historical_harm",
+    "exit_cost", "representation_gap",
+)
+
+
+def dims(value):
+    return {k: value for k in ALL_DIMS}
+
+
+class TestPower:
+    def test_low_band(self):
+        assert assess_power_dynamics(dims(0.1)).band == "low"
+
+    def test_moderate_band(self):
+        assert assess_power_dynamics(dims(0.45)).band == "moderate"
+
+    def test_high_band(self):
+        assert assess_power_dynamics(dims(0.9)).band == "high"
+
+    def test_score_is_weighted_mean(self):
+        assert assess_power_dynamics(dims(0.5)).score == pytest.approx(0.5)
+
+    def test_drivers_identified(self):
+        d = dims(0.1)
+        d["historical_harm"] = 0.9
+        assessment = assess_power_dynamics(d)
+        assert assessment.drivers == ("historical_harm",)
+        assert len(assessment.mitigations) == 1
+        assert "sovereignty" in assessment.mitigations[0]
+
+    def test_missing_dimension_rejected(self):
+        incomplete = dims(0.5)
+        del incomplete["exit_cost"]
+        with pytest.raises(ValueError):
+            assess_power_dynamics(incomplete)
+
+    def test_unknown_dimension_rejected(self):
+        extra = dims(0.5)
+        extra["vibes"] = 0.5
+        with pytest.raises(ValueError):
+            assess_power_dynamics(extra)
+
+    def test_out_of_range_rejected(self):
+        bad = dims(0.5)
+        bad["exit_cost"] = 1.5
+        with pytest.raises(ValueError):
+            assess_power_dynamics(bad)
+
+
+GOOD_PLAN = {
+    "consent_process": "written consent at intake, revisited quarterly",
+    "consent_withdrawal_supported": True,
+    "data_anonymized": True,
+    "power_risk_band": "moderate",
+    "power_mitigations_planned": True,
+    "community_in_problem_formation": True,
+    "partnerships_documented": True,
+    "positionality_statement": "we write as outside engineers",
+    "works_with_indigenous_communities": True,
+    "data_sovereignty_plan": "data stays on tribal servers",
+}
+
+
+class TestChecklist:
+    def test_good_plan_approved(self):
+        result = default_checklist().evaluate(GOOD_PLAN)
+        assert result.approved
+        assert result.failed == []
+        assert result.unaddressed == []
+
+    def test_missing_consent_fails(self):
+        plan = dict(GOOD_PLAN, consent_process="")
+        result = default_checklist().evaluate(plan)
+        assert not result.approved
+        assert "consent-documented" in result.failed
+
+    def test_unaddressed_required_key_blocks_approval(self):
+        plan = dict(GOOD_PLAN)
+        del plan["data_anonymized"]
+        result = default_checklist().evaluate(plan)
+        assert not result.approved
+        assert "anonymization" in result.unaddressed
+
+    def test_recommended_failures_do_not_block(self):
+        plan = dict(GOOD_PLAN, positionality_statement="",
+                    partnerships_documented=False,
+                    community_in_problem_formation=False)
+        result = default_checklist().evaluate(plan)
+        assert result.approved
+        assert len(result.failed) == 3
+
+    def test_indigenous_work_requires_sovereignty_plan(self):
+        plan = dict(GOOD_PLAN, data_sovereignty_plan="")
+        result = default_checklist().evaluate(plan)
+        assert not result.approved
+        plan_na = dict(GOOD_PLAN, works_with_indigenous_communities=False,
+                       data_sovereignty_plan="")
+        assert default_checklist().evaluate(plan_na).approved
+
+    def test_low_power_risk_needs_no_mitigations(self):
+        plan = dict(GOOD_PLAN, power_risk_band="low",
+                    power_mitigations_planned=False)
+        assert default_checklist().evaluate(plan).approved
+
+    def test_high_power_risk_needs_mitigations(self):
+        plan = dict(GOOD_PLAN, power_risk_band="high",
+                    power_mitigations_planned=False)
+        assert not default_checklist().evaluate(plan).approved
+
+    def test_duplicate_item_rejected(self):
+        checklist = ProtocolChecklist("x")
+        item = ChecklistItem("a", "d", ("k",), lambda p: True)
+        checklist.add(item)
+        with pytest.raises(ValueError):
+            checklist.add(item)
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            ChecklistItem("a", "d", ("k",), lambda p: True, severity="vital")

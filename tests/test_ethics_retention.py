@@ -1,0 +1,133 @@
+"""Tests for repro.ethics.retention."""
+
+import pytest
+
+from repro.ethics.consent import ConsentRegistry
+from repro.ethics.retention import (
+    DataRecord,
+    RetentionManager,
+    RetentionRule,
+)
+
+
+@pytest.fixture
+def manager():
+    registry = ConsentRegistry()
+    registry.grant("p1", {"interview", "recording"}, now=0)
+    registry.grant("p2", {"interview"}, now=0)
+    rules = [
+        RetentionRule("recording", max_age=10),
+        RetentionRule("transcript", max_age=None),
+        RetentionRule("fieldnote", max_age=100, destroy_on_withdrawal=False),
+    ]
+    m = RetentionManager(rules, registry)
+    m.collect("rec1", "p1", "recording", now=0)
+    m.collect("tr1", "p1", "transcript", now=1)
+    m.collect("fn1", "p2", "fieldnote", now=2)
+    return m, registry
+
+
+class TestRules:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionRule("x", max_age=-1)
+        with pytest.raises(ValueError):
+            RetentionRule("x", withdrawal_grace=-1)
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionManager(
+                [RetentionRule("a"), RetentionRule("a")], ConsentRegistry()
+            )
+
+
+class TestCollection:
+    def test_ungoverned_category_rejected(self, manager):
+        m, _ = manager
+        with pytest.raises(KeyError):
+            m.collect("x", "p1", "blood-sample", now=0)
+
+    def test_duplicate_record_rejected(self, manager):
+        m, _ = manager
+        with pytest.raises(ValueError):
+            m.collect("rec1", "p1", "recording", now=5)
+
+
+class TestAgeRetention:
+    def test_not_due_within_window(self, manager):
+        m, _ = manager
+        assert m.due_for_destruction(now=5) == []
+
+    def test_due_after_max_age(self, manager):
+        m, _ = manager
+        assert m.due_for_destruction(now=11) == ["rec1"]
+
+    def test_no_age_limit_never_age_due(self, manager):
+        m, _ = manager
+        assert "tr1" not in m.due_for_destruction(now=10_000)
+
+
+class TestWithdrawal:
+    def test_withdrawal_makes_records_due(self, manager):
+        m, registry = manager
+        registry.withdraw("p1", now=3)
+        m.note_withdrawal("p1", now=3)
+        due = m.due_for_destruction(now=3)
+        assert "rec1" in due
+        assert "tr1" in due
+
+    def test_non_withdrawal_categories_exempt(self, manager):
+        m, registry = manager
+        registry.withdraw("p2", now=3)
+        m.note_withdrawal("p2", now=3)
+        assert "fn1" not in m.due_for_destruction(now=3)
+
+
+class TestDestroy:
+    def test_destroy_clears_due(self, manager):
+        m, _ = manager
+        m.destroy("rec1", now=11)
+        assert m.due_for_destruction(now=12) == []
+        assert not m.records()[0].held or m.records()[0].record_id != "rec1"
+
+    def test_double_destroy_rejected(self, manager):
+        m, _ = manager
+        m.destroy("rec1", now=5)
+        with pytest.raises(ValueError):
+            m.destroy("rec1", now=6)
+
+
+class TestAudit:
+    def test_clean_study(self, manager):
+        m, _ = manager
+        audit = m.audit(now=5)
+        assert audit["clean"]
+        assert audit["held_records"] == 3
+
+    def test_age_finding(self, manager):
+        m, _ = manager
+        audit = m.audit(now=20)
+        assert not audit["clean"]
+        assert audit["overdue_age"] == ["rec1"]
+
+    def test_withdrawal_finding_after_grace(self, manager):
+        m, _ = manager
+        m.note_withdrawal("p1", now=3)
+        within_grace = m.audit(now=4)
+        assert "rec1" not in within_grace["overdue_withdrawal"]
+        after_grace = m.audit(now=6)
+        assert set(after_grace["overdue_withdrawal"]) == {"rec1", "tr1"}
+
+    def test_destruction_resolves_findings(self, manager):
+        m, _ = manager
+        m.note_withdrawal("p1", now=3)
+        m.destroy("rec1", now=4)
+        m.destroy("tr1", now=4)
+        assert m.audit(now=10)["clean"]
+
+
+def test_record_held_property():
+    record = DataRecord("r", "p", "transcript", 0)
+    assert record.held
+    record.destroyed_at = 5
+    assert not record.held

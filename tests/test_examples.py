@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Examples are the first thing a new user executes; a broken example is a
+broken front door.  Each runs in a subprocess with the repo's src/ on
+the path and must exit 0 with non-trivial output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert len(result.stdout) > 200, f"{script.name} produced little output"
+    assert "Traceback" not in result.stderr

@@ -1,0 +1,68 @@
+"""Tests for the E1-E12 experiment suite.
+
+Each experiment's shape-checks ARE its assertions — they encode the
+"expected shape" column of DESIGN.md.  These tests run every experiment
+in fast mode and require every check to pass, plus registry behaviour.
+"""
+
+import pytest
+
+from repro.experiments.registry import (
+    all_experiments,
+    describe,
+    get_experiment,
+    make_result,
+)
+
+EXPERIMENT_IDS = all_experiments()
+
+
+def test_registry_lists_thirteen():
+    assert EXPERIMENT_IDS == [f"E{i}" for i in range(1, 14)]
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        get_experiment("E99")
+
+
+def test_describe_returns_title_and_claim():
+    title, claim = describe("E6")
+    assert "peering" in title.lower()
+    assert claim
+
+
+def test_make_result_prefills_metadata():
+    result = make_result("E1")
+    assert result.experiment_id == "E1"
+    assert result.title
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_shape_holds(experiment_id):
+    result = get_experiment(experiment_id)(seed=0, fast=True)
+    failing = {name for name, ok in result.checks.items() if not ok}
+    assert not failing, f"{experiment_id} failed shape checks: {failing}"
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_produces_tables(experiment_id):
+    result = get_experiment(experiment_id)(seed=0, fast=True)
+    assert result.tables
+    for table in result.tables:
+        assert table.rows
+        rendered = table.render()
+        assert rendered.strip()
+
+
+def test_experiments_deterministic():
+    a = get_experiment("E6")(seed=0, fast=True)
+    b = get_experiment("E6")(seed=0, fast=True)
+    assert [t.rows for t in a.tables] == [t.rows for t in b.tables]
+
+
+def test_render_includes_checks():
+    result = get_experiment("E11")(seed=0, fast=True)
+    text = result.render()
+    assert "E11" in text
+    assert "PASS" in text

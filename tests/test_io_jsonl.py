@@ -1,0 +1,54 @@
+"""Tests for repro.io.jsonl."""
+
+import json
+
+import pytest
+
+from repro.io.jsonl import append_jsonl, read_jsonl, write_jsonl
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "data.jsonl"
+    records = [{"a": 1}, {"b": [1, 2]}, {"c": "unicode ✓"}]
+    assert write_jsonl(path, records) == 3
+    assert list(read_jsonl(path)) == records
+
+
+def test_write_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "data.jsonl"
+    write_jsonl(path, [{"x": 1}])
+    assert path.exists()
+
+
+def test_write_overwrites(tmp_path):
+    path = tmp_path / "data.jsonl"
+    write_jsonl(path, [{"a": 1}, {"a": 2}])
+    write_jsonl(path, [{"b": 3}])
+    assert list(read_jsonl(path)) == [{"b": 3}]
+
+
+def test_append_accumulates(tmp_path):
+    path = tmp_path / "data.jsonl"
+    append_jsonl(path, [{"a": 1}])
+    append_jsonl(path, [{"a": 2}])
+    assert [r["a"] for r in read_jsonl(path)] == [1, 2]
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "data.jsonl"
+    path.write_text('{"a": 1}\n\n{"a": 2}\n')
+    assert len(list(read_jsonl(path))) == 2
+
+
+def test_malformed_line_raises_with_location(tmp_path):
+    path = tmp_path / "data.jsonl"
+    path.write_text('{"a": 1}\nnot json\n')
+    with pytest.raises(json.JSONDecodeError) as excinfo:
+        list(read_jsonl(path))
+    assert ":2:" in str(excinfo.value)
+
+
+def test_keys_sorted_for_stable_diffs(tmp_path):
+    path = tmp_path / "data.jsonl"
+    write_jsonl(path, [{"z": 1, "a": 2}])
+    assert path.read_text().startswith('{"a": 2')

@@ -1,0 +1,54 @@
+"""Tests for repro.io.tables."""
+
+import pytest
+
+from repro.io.tables import Table, render_table
+
+
+def test_row_length_validated():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_render_contains_all_cells():
+    table = Table(["venue", "share"], title="Adoption")
+    table.add_row(["sigcomm-like", 0.0415])
+    text = table.render()
+    assert "Adoption" in text
+    assert "sigcomm-like" in text
+    assert "0.042" in text  # default precision 3, rounded
+
+
+def test_float_precision_configurable():
+    table = Table(["x"], precision=1)
+    table.add_row([0.25])
+    assert "0.2" in table.render() or "0.3" in table.render()
+
+
+def test_bool_rendering():
+    text = render_table(["ok"], [[True], [False]])
+    assert "yes" in text
+    assert "no" in text
+
+
+def test_columns_aligned():
+    text = render_table(["col", "value"], [["longer-cell", 1], ["x", 22]])
+    lines = text.splitlines()
+    # Every row pads the first column to the same width, so the second
+    # column starts at a fixed offset.
+    first_width = len("longer-cell") + 2
+    assert lines[1].startswith("-" * len("longer-cell"))
+    assert lines[2][:first_width] == "longer-cell  "
+    assert lines[3][:first_width] == "x" + " " * (first_width - 1)
+
+
+def test_to_records():
+    table = Table(["a", "b"])
+    table.add_row([1, 2])
+    assert table.to_records() == [{"a": 1, "b": 2}]
+
+
+def test_empty_table_renders_header_only():
+    text = render_table(["a"], [])
+    assert "a" in text

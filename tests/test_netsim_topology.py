@@ -1,0 +1,33 @@
+"""Tests for repro.netsim.topology."""
+
+import pytest
+
+from repro.netsim.topology import Location, distance_km, gravity_weight
+
+
+def test_distance_euclidean():
+    assert distance_km(Location(0, 0), Location(3, 4)) == 5.0
+
+
+def test_distance_symmetric():
+    a, b = Location(1, 2), Location(5, 7)
+    assert distance_km(a, b) == distance_km(b, a)
+
+
+def test_gravity_grows_with_mass():
+    assert gravity_weight(10, 10, 1) > gravity_weight(1, 1, 1)
+
+
+def test_gravity_shrinks_with_distance():
+    assert gravity_weight(5, 5, 0) > gravity_weight(5, 5, 100)
+
+
+def test_zero_decay_ignores_distance():
+    assert gravity_weight(2, 3, 0, decay=0.0) == gravity_weight(2, 3, 999, decay=0.0)
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        gravity_weight(-1, 1, 1)
+    with pytest.raises(ValueError):
+        gravity_weight(1, 1, -1)

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bibliometrics.metrics import gini, hhi, lorenz_curve, top_k_share
+from repro.netsim.community.congestion import (
+    allocate_fifo,
+    allocate_maxmin,
+    allocate_static_cap,
+    jain_fairness,
+)
+from repro.qualcoding.agreement import (
+    cohens_kappa,
+    krippendorff_alpha,
+    percent_agreement,
+)
+from repro.textmine.similarity import jaccard_similarity
+from repro.textmine.tokenize import ngrams, sentences, word_tokens
+
+nonneg_values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=50,
+)
+positive_values = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=50,
+)
+labels = st.lists(st.sampled_from("abc"), min_size=1, max_size=100)
+
+
+class TestMetricsProperties:
+    @given(nonneg_values)
+    def test_gini_bounded(self, values):
+        assert -1e-9 <= gini(values) <= 1.0
+
+    @given(positive_values, st.floats(min_value=1.1, max_value=10.0))
+    def test_gini_scale_invariant(self, values, scale):
+        assert math.isclose(
+            gini(values), gini([v * scale for v in values]),
+            rel_tol=1e-6, abs_tol=1e-9,
+        )
+
+    @given(nonneg_values)
+    def test_lorenz_endpoints_and_monotone(self, values):
+        points = lorenz_curve(values)
+        assert points[0] == (0.0, 0.0)
+        assert math.isclose(points[-1][0], 1.0)
+        assert math.isclose(points[-1][1], 1.0)
+        shares = [s for _, s in points]
+        assert all(a <= b + 1e-9 for a, b in zip(shares, shares[1:]))
+
+    @given(nonneg_values)
+    def test_hhi_bounded(self, values):
+        value = hhi(values)
+        assert 1.0 / len(values) - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(nonneg_values, st.integers(min_value=1, max_value=60))
+    def test_top_k_share_monotone_in_k(self, values, k):
+        assert top_k_share(values, k) <= top_k_share(values, k + 1) + 1e-12
+
+    @given(nonneg_values)
+    def test_jain_bounded(self, values):
+        value = jain_fairness(values)
+        assert 1.0 / len(values) - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestAgreementProperties:
+    @given(labels)
+    def test_self_agreement_perfect(self, ratings):
+        assert percent_agreement(ratings, ratings) == 1.0
+        assert cohens_kappa(ratings, ratings) == 1.0
+
+    @given(labels, labels)
+    def test_kappa_never_exceeds_one(self, a, b):
+        n = min(len(a), len(b))
+        kappa = cohens_kappa(a[:n], b[:n])
+        assert kappa <= 1.0 + 1e-12
+
+    @given(labels)
+    def test_alpha_perfect_on_duplicated_raters(self, ratings):
+        rows = [(label, label) for label in ratings]
+        assert krippendorff_alpha(rows) == 1.0
+
+    @given(labels, labels)
+    def test_kappa_symmetric(self, a, b):
+        n = min(len(a), len(b))
+        assert math.isclose(
+            cohens_kappa(a[:n], b[:n]), cohens_kappa(b[:n], a[:n]),
+            abs_tol=1e-12,
+        )
+
+
+demand_lists = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=30,
+)
+capacities = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+
+class TestAllocatorProperties:
+    @given(demand_lists, capacities)
+    def test_fifo_feasible(self, demands, capacity):
+        result = allocate_fifo(demands, capacity)
+        assert sum(result.allocations) <= capacity + 1e-6
+        for alloc, demand in zip(result.allocations, demands):
+            assert -1e-9 <= alloc <= demand + 1e-9
+
+    @given(demand_lists, capacities)
+    def test_static_cap_feasible(self, demands, capacity):
+        result = allocate_static_cap(demands, capacity)
+        assert sum(result.allocations) <= capacity + 1e-6
+        cap = capacity / len(demands)
+        assert all(a <= cap + 1e-9 for a in result.allocations)
+
+    @given(demand_lists, capacities)
+    def test_maxmin_feasible_and_work_conserving(self, demands, capacity):
+        result = allocate_maxmin(demands, capacity)
+        total = sum(result.allocations)
+        assert total <= capacity + 1e-6
+        for alloc, demand in zip(result.allocations, demands):
+            assert -1e-9 <= alloc <= demand + 1e-9
+        # Work conserving: either all demand met or capacity exhausted.
+        total_demand = sum(demands)
+        assert (
+            math.isclose(total, min(total_demand, capacity), abs_tol=1e-5)
+        )
+
+    @given(demand_lists, capacities)
+    def test_maxmin_no_envy_for_unsatisfied(self, demands, capacity):
+        # Any member whose demand is unmet receives at least as much as
+        # every member with a smaller allocation... i.e. the unmet
+        # members all sit at the common water level.
+        result = allocate_maxmin(demands, capacity)
+        unmet = [
+            alloc
+            for alloc, demand in zip(result.allocations, demands)
+            if alloc < demand - 1e-6
+        ]
+        if unmet:
+            assert max(unmet) - min(unmet) < 1e-5
+
+
+class TestTextProperties:
+    @given(st.text(max_size=300))
+    def test_sentences_cover_words(self, text):
+        original_words = word_tokens(text)
+        recovered = [
+            w for sentence in sentences(text) for w in word_tokens(sentence)
+        ]
+        assert recovered == original_words
+
+    @given(
+        st.lists(st.text(alphabet="abc", min_size=1, max_size=4), max_size=20),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_ngram_count(self, words, n):
+        grams = ngrams(words, n)
+        assert len(grams) == max(0, len(words) - n + 1)
+
+    @given(
+        st.sets(st.text(alphabet="abcde", min_size=1, max_size=3), max_size=10),
+        st.sets(st.text(alphabet="abcde", min_size=1, max_size=3), max_size=10),
+    )
+    def test_jaccard_bounded_and_symmetric(self, a, b):
+        value = jaccard_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_similarity(b, a)
+
+
+class TestConsentProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),  # grant time
+                st.integers(min_value=0, max_value=20),  # check offset
+            ),
+            min_size=1, max_size=10,
+        ),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_withdrawal_is_final(self, grants, withdraw_time):
+        from repro.ethics.consent import ConsentRegistry
+        registry = ConsentRegistry()
+        for granted_at, _ in grants:
+            registry.grant("p", {"interview"}, now=granted_at)
+        registry.withdraw("p", now=withdraw_time)
+        for t in range(withdraw_time, withdraw_time + 25):
+            assert not registry.check("p", "interview", now=t)

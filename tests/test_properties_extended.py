@@ -1,0 +1,126 @@
+"""Property-based tests for the later-phase modules."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.transport.flows import TahoeSender
+from repro.netsim.transport.link import Link, interleave
+from repro.qualcoding.ordinal import weighted_kappa
+from repro.surveys.weighting import post_stratification_weights, weighted_mean
+from repro.textmine.collocations import collocations
+
+ordinal_labels = st.lists(
+    st.integers(min_value=1, max_value=5), min_size=1, max_size=80
+)
+
+
+class TestWeightedKappaProperties:
+    @given(ordinal_labels)
+    def test_self_agreement_perfect(self, ratings):
+        assert weighted_kappa(ratings, ratings, [1, 2, 3, 4, 5]) == 1.0
+
+    @given(ordinal_labels, ordinal_labels)
+    def test_bounded_above(self, a, b):
+        n = min(len(a), len(b))
+        kappa = weighted_kappa(a[:n], b[:n], [1, 2, 3, 4, 5])
+        assert kappa <= 1.0 + 1e-9
+
+    @given(ordinal_labels, ordinal_labels, st.sampled_from(["linear", "quadratic"]))
+    def test_symmetric(self, a, b, weights):
+        n = min(len(a), len(b))
+        left = weighted_kappa(a[:n], b[:n], [1, 2, 3, 4, 5], weights=weights)
+        right = weighted_kappa(b[:n], a[:n], [1, 2, 3, 4, 5], weights=weights)
+        assert math.isclose(left, right, abs_tol=1e-10)
+
+
+strata_samples = st.lists(
+    st.sampled_from(["a", "b", "c"]), min_size=1, max_size=60
+)
+
+
+class TestWeightingProperties:
+    @given(strata_samples)
+    def test_weights_average_to_covered_share(self, sample):
+        shares = {"a": 0.5, "b": 0.3, "c": 0.2}
+        weights = post_stratification_weights(sample, shares)
+        covered = sum(shares[s] for s in set(sample))
+        assert math.isclose(sum(weights) / len(weights), covered,
+                            rel_tol=1e-9)
+
+    @given(strata_samples)
+    def test_weighted_mean_of_constant_is_constant(self, sample):
+        shares = {"a": 0.5, "b": 0.3, "c": 0.2}
+        weights = post_stratification_weights(sample, shares)
+        values = [7.0] * len(sample)
+        assert math.isclose(weighted_mean(values, weights), 7.0)
+
+
+packet_batches = st.lists(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=12),
+    min_size=1, max_size=4,
+)
+
+
+class TestLinkProperties:
+    @given(packet_batches, st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10))
+    def test_conservation(self, batches, capacity, buffer_size):
+        """Packets in == served + dropped + still queued, every tick."""
+        link = Link(capacity=capacity, buffer_size=buffer_size)
+        per_flow = [
+            [(flow, seq) for seq in seqs] for flow, seqs in enumerate(batches)
+        ]
+        offered = sum(len(p) for p in per_flow)
+        served, dropped = link.tick(per_flow)
+        assert len(served) + len(dropped) + link.queue == offered
+
+    @given(packet_batches, st.integers(min_value=1, max_value=8))
+    def test_service_bounded_by_capacity(self, batches, capacity):
+        link = Link(capacity=capacity, buffer_size=100)
+        per_flow = [
+            [(flow, seq) for seq in seqs] for flow, seqs in enumerate(batches)
+        ]
+        served, _ = link.tick(per_flow)
+        assert len(served) <= capacity
+
+    @given(packet_batches)
+    def test_interleave_preserves_multiset(self, batches):
+        per_flow = [
+            [(flow, seq) for seq in seqs] for flow, seqs in enumerate(batches)
+        ]
+        flat = interleave(per_flow)
+        assert sorted(flat) == sorted(p for flow in per_flow for p in flow)
+
+
+class TestSenderProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_transmissions_bounded_by_window(self, ack_pattern):
+        # A window reduction cannot recall packets already in flight
+        # (as in real TCP), but each tick's *transmissions* respect the
+        # window in force, and in-flight never exceeds the max window.
+        sender = TahoeSender("f", demand_per_tick=100, max_window=64)
+        for tick, ack_all in enumerate(ack_pattern):
+            window_before = max(1, sender.window())
+            sends = sender.transmit(tick)
+            assert len(sends) <= window_before
+            assert len(sender._in_flight) <= 64
+            sender.deliver_acks(sends if ack_all else [], tick)
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_acked_never_exceeds_transmitted(self, ticks):
+        sender = TahoeSender("f", demand_per_tick=3)
+        for tick in range(ticks):
+            sends = sender.transmit(tick)
+            sender.deliver_acks(sends, tick)
+        assert sender.stats.acked <= sender.stats.transmitted
+
+
+class TestCollocationProperties:
+    @given(st.lists(
+        st.text(alphabet="abcd ", min_size=0, max_size=40), max_size=8,
+    ))
+    def test_counts_at_least_min_count(self, documents):
+        for collocation in collocations(documents, min_count=2, top_k=50):
+            assert collocation.count >= 2

@@ -1,0 +1,167 @@
+"""Tests for repro.qualcoding.agreement."""
+
+import random
+
+import pytest
+
+from repro.qualcoding.agreement import (
+    cohens_kappa,
+    compare_raters,
+    fleiss_kappa,
+    kappa_interpretation,
+    krippendorff_alpha,
+    percent_agreement,
+)
+from repro.qualcoding.codebook import Codebook
+from repro.qualcoding.segments import CodingSession, Document
+
+
+class TestPercentAgreement:
+    def test_perfect(self):
+        assert percent_agreement(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_none(self):
+        assert percent_agreement(["a", "b"], ["b", "a"]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            percent_agreement(["a"], ["a", "b"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percent_agreement([], [])
+
+
+class TestCohensKappa:
+    def test_perfect_agreement(self):
+        assert cohens_kappa([1, 0, 1, 0], [1, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_chance_level_is_zero(self):
+        # Independent raters with 50/50 marginals over many units.
+        rng = random.Random(0)
+        a = [rng.random() < 0.5 for _ in range(20000)]
+        b = [rng.random() < 0.5 for _ in range(20000)]
+        assert abs(cohens_kappa(a, b)) < 0.05
+
+    def test_textbook_value(self):
+        # Classic 2x2 example: 20 units, observed .70, expected .50 -> k=.40
+        a = ["y"] * 10 + ["n"] * 10
+        b = ["y"] * 7 + ["n"] * 3 + ["y"] * 3 + ["n"] * 7
+        assert cohens_kappa(a, b) == pytest.approx(0.4)
+
+    def test_degenerate_single_category(self):
+        assert cohens_kappa(["x", "x"], ["x", "x"]) == 1.0
+
+    def test_worse_than_chance_is_negative(self):
+        assert cohens_kappa([1, 0, 1, 0], [0, 1, 0, 1]) < 0
+
+
+class TestFleissKappa:
+    def test_perfect(self):
+        ratings = [["a", "a", "a"], ["b", "b", "b"]]
+        assert fleiss_kappa(ratings) == pytest.approx(1.0)
+
+    def test_single_category_degenerate(self):
+        assert fleiss_kappa([["a", "a"], ["a", "a"]]) == 1.0
+
+    def test_matches_cohen_for_two_raters_roughly(self):
+        rng = random.Random(1)
+        truth = [rng.random() < 0.5 for _ in range(2000)]
+        a = [t if rng.random() > 0.1 else not t for t in truth]
+        b = [t if rng.random() > 0.1 else not t for t in truth]
+        fleiss = fleiss_kappa(list(zip(a, b)))
+        cohen = cohens_kappa(a, b)
+        assert fleiss == pytest.approx(cohen, abs=0.02)
+
+    def test_needs_two_raters(self):
+        with pytest.raises(ValueError):
+            fleiss_kappa([["a"]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            fleiss_kappa([["a", "b"], ["a"]])
+
+
+class TestKrippendorffAlpha:
+    def test_perfect(self):
+        assert krippendorff_alpha([["a", "a"], ["b", "b"]]) == pytest.approx(1.0)
+
+    def test_handles_missing(self):
+        ratings = [["a", "a", None], ["b", None, "b"], ["a", "a", "a"]]
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_drops_single_rating_units(self):
+        ratings = [["a", None], ["b", "b"], ["c", "c"]]
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_all_units_unpairable_raises(self):
+        with pytest.raises(ValueError):
+            krippendorff_alpha([["a", None], [None, "b"]])
+
+    def test_known_value(self):
+        # Krippendorff's canonical nominal example (2 observers):
+        # values from the literature: alpha = 0.095 for this layout.
+        a = ["a", "a", "b", "b", "d", "c", "c", "c", "e", "d", "d", "a"]
+        b = ["b", "a", "b", "b", "b", "c", "c", "c", "e", "d", "d", "d"]
+        alpha = krippendorff_alpha(list(zip(a, b)))
+        assert 0.6 < alpha < 0.8  # substantial but imperfect
+
+    def test_chance_near_zero(self):
+        rng = random.Random(2)
+        ratings = [
+            [rng.choice("ab"), rng.choice("ab")] for _ in range(20000)
+        ]
+        assert abs(krippendorff_alpha(ratings)) < 0.05
+
+
+class TestInterpretation:
+    @pytest.mark.parametrize(
+        "value,band",
+        [
+            (-0.2, "poor"),
+            (0.1, "slight"),
+            (0.3, "fair"),
+            (0.5, "moderate"),
+            (0.7, "substantial"),
+            (0.95, "almost perfect"),
+        ],
+    )
+    def test_bands(self, value, band):
+        assert kappa_interpretation(value) == band
+
+
+class TestCompareRaters:
+    @pytest.fixture
+    def session(self):
+        book = Codebook("s")
+        book.add("c1")
+        book.add("c2")
+        session = CodingSession(book)
+        for i in range(6):
+            session.add_document(Document(f"d{i}", "text " * 10))
+        # r1 and r2 agree on c1 everywhere, disagree on c2 on half.
+        for i in range(6):
+            session.code(f"d{i}", "c1", 0, 4, rater="r1")
+            session.code(f"d{i}", "c1", 0, 4, rater="r2")
+        for i in range(3):
+            session.code(f"d{i}", "c2", 0, 4, rater="r1")
+        return session
+
+    def test_reports_per_code(self, session):
+        reports = {r.code: r for r in compare_raters(session)}
+        assert reports["c1"].percent == 1.0
+        assert reports["c2"].percent == 0.5
+
+    def test_needs_two_raters(self, session):
+        with pytest.raises(ValueError):
+            compare_raters(session, raters=["r1"])
+
+    def test_interpretation_property(self, session):
+        reports = {r.code: r for r in compare_raters(session)}
+        assert reports["c1"].interpretation == "almost perfect"
+
+    def test_three_raters_uses_fleiss(self, session):
+        for i in range(6):
+            session.code(f"d{i}", "c1", 0, 4, rater="r3")
+        reports = {r.code: r for r in compare_raters(session)}
+        assert reports["c1"].kappa == pytest.approx(1.0)

@@ -1,0 +1,114 @@
+"""Tests for repro.qualcoding.codebook."""
+
+import pytest
+
+from repro.qualcoding.codebook import Code, Codebook
+
+
+@pytest.fixture
+def book():
+    b = Codebook("study")
+    b.add("barriers", "Obstacles to adoption")
+    b.add("barriers/cost", "Monetary obstacles", parent="barriers")
+    b.add("barriers/skills", "Skill obstacles", parent="barriers")
+    b.add("trust", "Trust in operators")
+    return b
+
+
+class TestConstruction:
+    def test_len_and_contains(self, book):
+        assert len(book) == 4
+        assert "trust" in book
+        assert "missing" not in book
+
+    def test_duplicate_rejected(self, book):
+        with pytest.raises(ValueError):
+            book.add("trust")
+
+    def test_unknown_parent_rejected(self, book):
+        with pytest.raises(ValueError):
+            book.add("x", parent="nope")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Code("   ")
+
+    def test_iteration_sorted(self, book):
+        names = [c.name for c in book]
+        assert names == sorted(names)
+
+
+class TestHierarchy:
+    def test_roots(self, book):
+        assert [c.name for c in book.roots()] == ["barriers", "trust"]
+
+    def test_children(self, book):
+        assert [c.name for c in book.children("barriers")] == [
+            "barriers/cost", "barriers/skills",
+        ]
+
+    def test_children_unknown_raises(self, book):
+        with pytest.raises(KeyError):
+            book.children("nope")
+
+    def test_descendants(self, book):
+        book.add("barriers/cost/equipment", parent="barriers/cost")
+        names = [c.name for c in book.descendants("barriers")]
+        assert "barriers/cost/equipment" in names
+        assert len(names) == 3
+
+    def test_ancestry(self, book):
+        assert book.ancestry("barriers/cost") == ["barriers", "barriers/cost"]
+
+
+class TestMerge:
+    def test_merge_removes_source(self, book):
+        book.merge("barriers/skills", "barriers/cost")
+        assert "barriers/skills" not in book
+
+    def test_merge_moves_examples(self, book):
+        book.get("barriers/skills").examples.append("no one can solder")
+        book.merge("barriers/skills", "barriers/cost")
+        assert "no one can solder" in book.get("barriers/cost").examples
+
+    def test_merge_reparents_children(self, book):
+        book.add("barriers/skills/rf", parent="barriers/skills")
+        book.merge("barriers/skills", "trust")
+        assert book.get("barriers/skills/rf").parent == "trust"
+
+    def test_merge_into_self_rejected(self, book):
+        with pytest.raises(ValueError):
+            book.merge("trust", "trust")
+
+    def test_resolve_follows_chain(self, book):
+        book.merge("barriers/skills", "barriers/cost")
+        book.merge("barriers/cost", "trust")
+        assert book.resolve("barriers/skills") == "trust"
+        assert book.resolve("trust") == "trust"
+
+    def test_merge_history_recorded(self, book):
+        book.merge("barriers/skills", "trust")
+        assert book.merge_history() == [("barriers/skills", "trust")]
+
+
+class TestSerialization:
+    def test_roundtrip(self, book):
+        clone = Codebook.from_dict(book.to_dict())
+        assert clone.names() == book.names()
+        assert clone.get("barriers/cost").parent == "barriers"
+
+    def test_roundtrip_out_of_order_parents(self):
+        payload = {
+            "name": "x",
+            "codes": [
+                {"name": "child", "parent": "root"},
+                {"name": "root", "parent": None},
+            ],
+        }
+        book = Codebook.from_dict(payload)
+        assert book.get("child").parent == "root"
+
+    def test_unresolvable_parent_raises(self):
+        payload = {"name": "x", "codes": [{"name": "a", "parent": "ghost"}]}
+        with pytest.raises(ValueError):
+            Codebook.from_dict(payload)

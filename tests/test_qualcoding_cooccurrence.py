@@ -1,0 +1,72 @@
+"""Tests for repro.qualcoding.cooccurrence."""
+
+import numpy as np
+import pytest
+
+from repro.qualcoding.codebook import Codebook
+from repro.qualcoding.cooccurrence import cooccurrence_graph, cooccurrence_matrix
+from repro.qualcoding.segments import CodingSession, Document
+
+
+@pytest.fixture
+def session():
+    book = Codebook("s")
+    for name in ("cost", "maintenance", "trust"):
+        book.add(name)
+    session = CodingSession(book)
+    session.add_document(Document("d1", "x" * 100))
+    session.add_document(Document("d2", "y" * 100))
+    # d1: cost+maintenance (overlapping spans); d2: cost only.
+    session.code("d1", "cost", 0, 50, rater="r1")
+    session.code("d1", "maintenance", 25, 75, rater="r1")
+    session.code("d2", "cost", 0, 10, rater="r1")
+    return session
+
+
+class TestMatrix:
+    def test_document_level_counts(self, session):
+        codes, matrix = cooccurrence_matrix(session)
+        i = {c: k for k, c in enumerate(codes)}
+        assert matrix[i["cost"], i["maintenance"]] == 1
+        assert matrix[i["cost"], i["cost"]] == 2  # appears in 2 docs
+        assert matrix[i["trust"], i["trust"]] == 0
+
+    def test_symmetric(self, session):
+        _, matrix = cooccurrence_matrix(session)
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_span_level_requires_overlap(self, session):
+        # Add a second, non-overlapping pair in d2.
+        session.code("d2", "maintenance", 50, 60, rater="r1")
+        codes, matrix = cooccurrence_matrix(session, level="span")
+        i = {c: k for k, c in enumerate(codes)}
+        # d1 spans overlap; d2 spans (0-10 vs 50-60) do not.
+        assert matrix[i["cost"], i["maintenance"]] == 1
+
+    def test_bad_level_rejected(self, session):
+        with pytest.raises(ValueError):
+            cooccurrence_matrix(session, level="paragraph")
+
+    def test_rater_filter(self, session):
+        session.code("d2", "trust", 0, 10, rater="r2")
+        codes, matrix = cooccurrence_matrix(session, rater="r2")
+        i = {c: k for k, c in enumerate(codes)}
+        assert matrix[i["trust"], i["trust"]] == 1
+        assert matrix[i["cost"], i["cost"]] == 0
+
+
+class TestGraph:
+    def test_nodes_carry_counts(self, session):
+        graph = cooccurrence_graph(session)
+        assert graph.nodes["cost"]["count"] == 2
+
+    def test_edge_weight_and_jaccard(self, session):
+        graph = cooccurrence_graph(session)
+        edge = graph["cost"]["maintenance"]
+        assert edge["weight"] == 1
+        # union = 2 + 1 - 1 = 2 -> jaccard 0.5
+        assert edge["jaccard"] == pytest.approx(0.5)
+
+    def test_min_weight_prunes(self, session):
+        graph = cooccurrence_graph(session, min_weight=2)
+        assert graph.number_of_edges() == 0

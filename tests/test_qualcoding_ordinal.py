@@ -1,0 +1,90 @@
+"""Tests for repro.qualcoding.ordinal."""
+
+import numpy as np
+import pytest
+
+from repro.qualcoding.ordinal import (
+    confusion_matrix,
+    disagreement_pairs,
+    weighted_kappa,
+)
+
+CATS = [1, 2, 3, 4, 5]
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([1, 1, 2], [1, 2, 2], [1, 2])
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1], [1, 2], [1, 2])
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([9], [1], [1, 2])
+
+    def test_duplicate_categories(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1], [1], [1, 1])
+
+
+class TestWeightedKappa:
+    def test_perfect_agreement(self):
+        assert weighted_kappa([1, 3, 5], [1, 3, 5], CATS) == 1.0
+
+    def test_near_misses_beat_far_misses(self):
+        a = [1, 2, 3, 4, 5] * 10
+        near = [2, 3, 4, 5, 4] * 10  # off by one
+        far = [5, 5, 5, 1, 1] * 10   # off by a lot
+        assert weighted_kappa(a, near, CATS) > weighted_kappa(a, far, CATS)
+
+    def test_quadratic_more_forgiving_of_small_errors(self):
+        a = [1, 2, 3, 4, 5] * 20
+        near = [2, 3, 4, 5, 4] * 20
+        quadratic = weighted_kappa(a, near, CATS, weights="quadratic")
+        linear = weighted_kappa(a, near, CATS, weights="linear")
+        assert quadratic > linear
+
+    def test_nominal_equivalence_for_two_categories(self):
+        # With two categories, linear weighted kappa equals Cohen's kappa.
+        from repro.qualcoding.agreement import cohens_kappa
+        a = ["x", "y", "x", "x", "y", "y", "x", "y"]
+        b = ["x", "y", "y", "x", "y", "x", "x", "y"]
+        weighted = weighted_kappa(a, b, ["x", "y"], weights="linear")
+        assert weighted == pytest.approx(cohens_kappa(a, b))
+
+    def test_single_category_degenerate(self):
+        assert weighted_kappa(["a", "a"], ["a", "a"], ["a"]) == 1.0
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_kappa([1], [1], CATS, weights="cubic")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_kappa([], [], CATS)
+
+    def test_chance_level_near_zero(self):
+        import random
+        rng = random.Random(0)
+        a = [rng.choice(CATS) for _ in range(20000)]
+        b = [rng.choice(CATS) for _ in range(20000)]
+        assert abs(weighted_kappa(a, b, CATS)) < 0.05
+
+
+class TestDisagreementPairs:
+    def test_lists_only_disagreements(self):
+        pairs = disagreement_pairs([1, 2, 3], [1, 5, 3], ["u0", "u1", "u2"])
+        assert pairs == [("u1", 2, 5)]
+
+    def test_default_ids(self):
+        pairs = disagreement_pairs([1, 2], [2, 2])
+        assert pairs == [("0", 1, 2)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            disagreement_pairs([1], [1, 2])
+        with pytest.raises(ValueError):
+            disagreement_pairs([1], [1], unit_ids=["a", "b"])

@@ -1,0 +1,100 @@
+"""Tests for repro.qualcoding.saturation."""
+
+import pytest
+
+from repro.qualcoding.codebook import Codebook
+from repro.qualcoding.saturation import (
+    SaturationCurve,
+    bootstrap_saturation,
+    saturation_curve,
+    saturation_point,
+)
+from repro.qualcoding.segments import CodingSession, Document
+
+
+def make_session(code_sets):
+    """Session with one document per entry; entry = set of codes."""
+    book = Codebook("s")
+    all_codes = sorted({c for codes in code_sets for c in codes})
+    for code in all_codes:
+        book.add(code)
+    session = CodingSession(book)
+    for i, codes in enumerate(code_sets):
+        doc_id = f"d{i:02d}"
+        session.add_document(Document(doc_id, "x" * 50))
+        for j, code in enumerate(sorted(codes)):
+            session.code(doc_id, code, j, j + 2, rater="r1")
+    return session
+
+
+class TestCurve:
+    def test_cumulative_counts(self):
+        session = make_session([{"a", "b"}, {"b"}, {"c"}])
+        curve = saturation_curve(session)
+        assert curve.cumulative_codes == (2, 2, 3)
+        assert curve.new_codes_per_doc == (2, 0, 1)
+
+    def test_order_respected(self):
+        session = make_session([{"a"}, {"b"}])
+        curve = saturation_curve(session, order=["d01", "d00"])
+        assert curve.doc_ids == ("d01", "d00")
+
+    def test_unknown_order_id_raises(self):
+        session = make_session([{"a"}])
+        with pytest.raises(KeyError):
+            saturation_curve(session, order=["ghost"])
+
+    def test_coverage_at(self):
+        session = make_session([{"a", "b"}, {"c"}, {"d"}])
+        curve = saturation_curve(session)
+        assert curve.coverage_at(1) == pytest.approx(0.5)
+        assert curve.coverage_at(3) == 1.0
+        assert curve.coverage_at(0) == 0.0
+        assert curve.coverage_at(99) == 1.0
+
+
+class TestSaturationPoint:
+    def test_finds_quiet_window(self):
+        curve = SaturationCurve(
+            ("a", "b", "c", "d", "e"), (3, 5, 5, 5, 5), (3, 2, 0, 0, 0)
+        )
+        assert saturation_point(curve, window=3) == 2
+
+    def test_none_when_never_saturates(self):
+        curve = SaturationCurve(("a", "b"), (1, 2), (1, 1))
+        assert saturation_point(curve, window=2) is None
+
+    def test_threshold_relaxes_rule(self):
+        curve = SaturationCurve(("a", "b", "c"), (3, 4, 5), (3, 1, 1))
+        assert saturation_point(curve, window=2, threshold=1) == 1
+
+    def test_bad_window_rejected(self):
+        curve = SaturationCurve(("a",), (1,), (1,))
+        with pytest.raises(ValueError):
+            saturation_point(curve, window=0)
+
+
+class TestBootstrap:
+    def test_mean_curve_is_monotone(self):
+        session = make_session(
+            [{"a", "b"}, {"a"}, {"b", "c"}, {"c"}, {"d"}, {"a"}]
+        )
+        boot = bootstrap_saturation(session, n_orderings=20, seed=1)
+        curve = boot["mean_curve"]
+        assert all(x <= y + 1e-9 for x, y in zip(curve, curve[1:]))
+
+    def test_deterministic_for_seed(self):
+        session = make_session([{"a"}, {"b"}, {"a", "c"}])
+        a = bootstrap_saturation(session, n_orderings=10, seed=7)
+        b = bootstrap_saturation(session, n_orderings=10, seed=7)
+        assert a == b
+
+    def test_empty_session_raises(self):
+        session = make_session([])
+        with pytest.raises(ValueError):
+            bootstrap_saturation(session)
+
+    def test_bad_n_orderings(self):
+        session = make_session([{"a"}])
+        with pytest.raises(ValueError):
+            bootstrap_saturation(session, n_orderings=0)

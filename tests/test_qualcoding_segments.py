@@ -1,0 +1,124 @@
+"""Tests for repro.qualcoding.segments."""
+
+import pytest
+
+from repro.qualcoding.codebook import Codebook
+from repro.qualcoding.segments import CodedSegment, CodingSession, Document
+
+
+@pytest.fixture
+def session():
+    book = Codebook("study")
+    book.add("trust")
+    book.add("cost")
+    s = CodingSession(book)
+    s.add_document(Document("i1", "I trust the local operator completely."))
+    s.add_document(Document("i2", "Costs are too high for households."))
+    return s
+
+
+class TestDocuments:
+    def test_duplicate_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.add_document(Document("i1", "dup"))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Document("", "text")
+
+    def test_documents_sorted(self, session):
+        assert [d.doc_id for d in session.documents()] == ["i1", "i2"]
+
+
+class TestCoding:
+    def test_code_returns_segment(self, session):
+        segment = session.code("i1", "trust", 2, 7, rater="r1")
+        assert segment.text_in(session.document("i1")) == "trust"
+
+    def test_unknown_document_rejected(self, session):
+        with pytest.raises(KeyError):
+            session.code("nope", "trust", 0, 3, rater="r1")
+
+    def test_unknown_code_rejected(self, session):
+        with pytest.raises(KeyError):
+            session.code("i1", "nope", 0, 3, rater="r1")
+
+    def test_span_beyond_document_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.code("i1", "trust", 0, 10_000, rater="r1")
+
+    def test_empty_span_rejected(self):
+        with pytest.raises(ValueError):
+            CodedSegment("d", "c", 5, 5, "r")
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            CodedSegment("d", "c", -1, 3, "r")
+
+
+class TestOverlap:
+    def test_overlapping_same_doc(self):
+        a = CodedSegment("d", "c1", 0, 10, "r")
+        b = CodedSegment("d", "c2", 5, 15, "r")
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_adjacent_do_not_overlap(self):
+        a = CodedSegment("d", "c1", 0, 5, "r")
+        b = CodedSegment("d", "c2", 5, 10, "r")
+        assert not a.overlaps(b)
+
+    def test_different_docs_never_overlap(self):
+        a = CodedSegment("d1", "c", 0, 5, "r")
+        b = CodedSegment("d2", "c", 0, 5, "r")
+        assert not a.overlaps(b)
+
+    def test_text_in_wrong_document_raises(self, session):
+        segment = session.code("i1", "trust", 0, 3, rater="r1")
+        with pytest.raises(ValueError):
+            segment.text_in(session.document("i2"))
+
+
+class TestQueries:
+    def test_filters(self, session):
+        session.code("i1", "trust", 0, 5, rater="r1")
+        session.code("i1", "cost", 0, 5, rater="r2")
+        session.code("i2", "cost", 0, 5, rater="r1")
+        assert len(session.segments(doc_id="i1")) == 2
+        assert len(session.segments(code="cost")) == 2
+        assert len(session.segments(rater="r1")) == 2
+        assert len(session.segments(doc_id="i1", rater="r1", code="trust")) == 1
+
+    def test_raters_sorted(self, session):
+        session.code("i1", "trust", 0, 5, rater="zed")
+        session.code("i1", "trust", 0, 5, rater="amy")
+        assert session.raters() == ["amy", "zed"]
+
+    def test_code_frequencies_include_zeros(self, session):
+        session.code("i1", "trust", 0, 5, rater="r1")
+        freqs = session.code_frequencies()
+        assert freqs == {"trust": 1, "cost": 0}
+
+    def test_document_code_matrix(self, session):
+        session.code("i1", "trust", 0, 5, rater="r1")
+        matrix = session.document_code_matrix()
+        assert matrix == {"i1": {"trust"}, "i2": set()}
+
+    def test_quotes(self, session):
+        session.code("i2", "cost", 0, 5, rater="r1")
+        assert session.quotes("cost") == ["Costs"]
+
+    def test_iter_units(self, session):
+        session.code("i1", "trust", 0, 5, rater="r1")
+        session.code("i1", "cost", 0, 5, rater="r2")
+        units = dict(session.iter_units(["r1", "r2"]))
+        assert units["i1"] == {"r1": {"trust"}, "r2": {"cost"}}
+        assert units["i2"] == {"r1": set(), "r2": set()}
+
+
+class TestMergeRemap:
+    def test_remap_after_merge(self, session):
+        session.code("i1", "cost", 0, 5, rater="r1")
+        session.codebook.merge("cost", "trust")
+        rewritten = session.remap_merged_codes()
+        assert rewritten == 1
+        assert session.codes_for_document("i1") == ["trust"]

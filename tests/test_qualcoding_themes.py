@@ -1,0 +1,67 @@
+"""Tests for repro.qualcoding.themes."""
+
+import pytest
+
+from repro.qualcoding.codebook import Codebook
+from repro.qualcoding.segments import CodingSession, Document
+from repro.qualcoding.themes import extract_themes
+
+
+@pytest.fixture
+def session():
+    """Two clearly separated code clusters across 8 documents."""
+    book = Codebook("s")
+    for name in ("cost", "maintenance", "parts", "trust", "privacy"):
+        book.add(name)
+    session = CodingSession(book)
+    cluster_a = {"cost", "maintenance", "parts"}
+    cluster_b = {"trust", "privacy"}
+    for i in range(4):
+        doc = f"a{i}"
+        session.add_document(Document(doc, "x" * 60))
+        for j, code in enumerate(sorted(cluster_a)):
+            session.code(doc, code, j * 3, j * 3 + 2, rater="r1")
+    for i in range(4):
+        doc = f"b{i}"
+        session.add_document(Document(doc, "y" * 60))
+        for j, code in enumerate(sorted(cluster_b)):
+            session.code(doc, code, j * 3, j * 3 + 2, rater="r1")
+    return session
+
+
+def test_finds_two_themes(session):
+    themes = extract_themes(session, min_cooccurrence=2)
+    assert len(themes) == 2
+    code_sets = [set(t.codes) for t in themes]
+    assert {"cost", "maintenance", "parts"} in code_sets
+    assert {"privacy", "trust"} in code_sets
+
+
+def test_theme_named_by_central_code(session):
+    themes = extract_themes(session, min_cooccurrence=2)
+    for theme in themes:
+        assert theme.name in theme.codes
+
+
+def test_quotes_attached(session):
+    themes = extract_themes(session, quotes_per_theme=2, min_cooccurrence=2)
+    assert all(len(t.quotes) == 2 for t in themes)
+
+
+def test_min_size_filters_small_themes(session):
+    themes = extract_themes(session, min_cooccurrence=2, min_size=3)
+    assert len(themes) == 1
+    assert themes[0].size == 3
+
+
+def test_empty_session_yields_no_themes():
+    book = Codebook("s")
+    book.add("lonely")
+    session = CodingSession(book)
+    assert extract_themes(session) == []
+
+
+def test_sorted_by_weight(session):
+    themes = extract_themes(session, min_cooccurrence=2)
+    weights = [t.weight for t in themes]
+    assert weights == sorted(weights, reverse=True)

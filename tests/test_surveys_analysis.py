@@ -1,0 +1,97 @@
+"""Tests for repro.surveys.analysis."""
+
+import pytest
+
+from repro.surveys.analysis import (
+    cronbach_alpha,
+    crosstab,
+    response_rate_by,
+    summarize_numeric,
+)
+from repro.surveys.instrument import Instrument, Question, Response
+
+
+def make_responses(rows, item_ids=("q1", "q2", "q3"), strata=None):
+    inst = Instrument("s", [Question(qid, qid) for qid in item_ids])
+    responses = []
+    for i, row in enumerate(rows):
+        answers = dict(zip(item_ids, row))
+        metadata = {"stratum": strata[i]} if strata else {}
+        responses.append(Response.create(f"r{i}", inst, answers, metadata))
+    return responses
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize_numeric([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["n"] == 4
+
+    def test_single_value_sd_zero(self):
+        assert summarize_numeric([5.0])["sd"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_numeric([])
+
+
+class TestCronbach:
+    def test_perfectly_correlated_items_near_one(self):
+        rows = [(1, 1, 1), (2, 2, 2), (3, 3, 3), (4, 4, 4), (5, 5, 5)]
+        assert cronbach_alpha(make_responses(rows), ("q1", "q2", "q3")) == (
+            pytest.approx(1.0)
+        )
+
+    def test_uncorrelated_items_low(self):
+        import random
+        rng = random.Random(0)
+        rows = [
+            (rng.randint(1, 5), rng.randint(1, 5), rng.randint(1, 5))
+            for _ in range(200)
+        ]
+        alpha = cronbach_alpha(make_responses(rows), ("q1", "q2", "q3"))
+        assert alpha < 0.3
+
+    def test_needs_two_items(self):
+        with pytest.raises(ValueError):
+            cronbach_alpha(make_responses([(1, 2, 3)]), ("q1",))
+
+    def test_needs_two_respondents(self):
+        with pytest.raises(ValueError):
+            cronbach_alpha(make_responses([(1, 2, 3)]), ("q1", "q2"))
+
+    def test_zero_variance_rejected(self):
+        rows = [(3, 3, 3), (3, 3, 3)]
+        with pytest.raises(ValueError):
+            cronbach_alpha(make_responses(rows), ("q1", "q2", "q3"))
+
+
+class TestCrosstab:
+    def test_counts(self):
+        responses = make_responses(
+            [(1, 1, 1), (5, 1, 1), (5, 1, 1)],
+            strata=["rural", "urban", "urban"],
+        )
+        table = crosstab(responses, "stratum", "q1")
+        assert table[("urban", 5)] == 2
+        assert table[("rural", 1)] == 1
+
+    def test_missing_metadata_skipped(self):
+        responses = make_responses([(1, 1, 1)])
+        assert crosstab(responses, "stratum", "q1") == {}
+
+
+class TestResponseRate:
+    def test_rates(self):
+        responses = make_responses(
+            [(1, 1, 1), (2, 2, 2)], strata=["a", "a"]
+        )
+        rates = response_rate_by(responses, {"a": 4, "b": 10})
+        assert rates == {"a": 0.5, "b": 0.0}
+
+    def test_zero_population_skipped(self):
+        rates = response_rate_by([], {"a": 0})
+        assert rates == {}

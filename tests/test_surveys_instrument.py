@@ -1,0 +1,115 @@
+"""Tests for repro.surveys.instrument."""
+
+import pytest
+
+from repro.surveys.instrument import Instrument, LikertScale, Question, Response
+
+
+class TestLikertScale:
+    def test_validate_accepts_range(self):
+        scale = LikertScale(points=5)
+        assert scale.validate(3) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LikertScale(points=5).validate(6)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            LikertScale().validate(3.5)
+        with pytest.raises(ValueError):
+            LikertScale().validate(True)
+
+    def test_midpoint(self):
+        assert LikertScale(points=7).midpoint == 4.0
+
+    def test_labels_must_match_points(self):
+        with pytest.raises(ValueError):
+            LikertScale(points=3, labels=("a", "b"))
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            LikertScale(points=1)
+
+
+class TestQuestion:
+    def test_likert_gets_default_scale(self):
+        question = Question("q1", "Prompt")
+        assert question.scale is not None
+
+    def test_choice_requires_choices(self):
+        with pytest.raises(ValueError):
+            Question("q1", "Prompt", kind="single_choice")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Question("q1", "Prompt", kind="essay")
+
+    def test_single_choice_validation(self):
+        question = Question("q", "p", kind="single_choice", choices=("a", "b"))
+        assert question.validate("a") == "a"
+        with pytest.raises(ValueError):
+            question.validate("c")
+
+    def test_multi_choice_normalizes(self):
+        question = Question("q", "p", kind="multi_choice", choices=("a", "b", "c"))
+        assert question.validate(["c", "a", "c"]) == ("a", "c")
+        with pytest.raises(ValueError):
+            question.validate(["z"])
+        with pytest.raises(ValueError):
+            question.validate("a")  # not a collection
+
+    def test_numeric_validation(self):
+        question = Question("q", "p", kind="numeric")
+        assert question.validate(3) == 3.0
+        with pytest.raises(ValueError):
+            question.validate("3")
+
+    def test_free_text_validation(self):
+        question = Question("q", "p", kind="free_text")
+        assert question.validate("hello") == "hello"
+        with pytest.raises(ValueError):
+            question.validate(42)
+
+
+class TestInstrument:
+    @pytest.fixture
+    def instrument(self):
+        inst = Instrument("ops")
+        inst.add(Question("q1", "Likert prompt"))
+        inst.add(Question("q2", "Optional", kind="free_text", required=False))
+        return inst
+
+    def test_duplicate_question_rejected(self, instrument):
+        with pytest.raises(ValueError):
+            instrument.add(Question("q1", "dup"))
+
+    def test_order_preserved(self, instrument):
+        assert instrument.question_ids() == ["q1", "q2"]
+
+    def test_likert_ids(self, instrument):
+        assert instrument.likert_ids() == ["q1"]
+
+    def test_missing_required_rejected(self, instrument):
+        with pytest.raises(ValueError):
+            instrument.validate_response({"q2": "x"})
+
+    def test_optional_may_be_omitted(self, instrument):
+        assert instrument.validate_response({"q1": 4}) == {"q1": 4}
+
+    def test_unknown_question_rejected(self, instrument):
+        with pytest.raises(ValueError):
+            instrument.validate_response({"q1": 4, "zz": 1})
+
+
+class TestResponse:
+    def test_create_validates(self):
+        inst = Instrument("s", [Question("q1", "p")])
+        response = Response.create("r1", inst, {"q1": 5}, {"stratum": "x"})
+        assert response.answer("q1") == 5
+        assert response.metadata["stratum"] == "x"
+
+    def test_answer_default(self):
+        inst = Instrument("s", [Question("q1", "p")])
+        response = Response.create("r1", inst, {"q1": 1})
+        assert response.answer("missing", default=-1) == -1

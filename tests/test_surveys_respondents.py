@@ -1,0 +1,128 @@
+"""Tests for repro.surveys.respondents."""
+
+import pytest
+
+from repro.surveys.instrument import Instrument, Question
+from repro.surveys.respondents import (
+    DEFAULT_STRATA,
+    PROBLEM_CATALOG,
+    ResponseStyle,
+    Stakeholder,
+    StakeholderPopulation,
+    default_population,
+    simulate_responses,
+)
+
+
+class TestPopulation:
+    def test_default_population_size(self):
+        population = default_population(size=200, seed=0)
+        assert len(population) == 200
+
+    def test_deterministic(self):
+        a = default_population(size=100, seed=5)
+        b = default_population(size=100, seed=5)
+        assert [m.stakeholder_id for m in a] == [m.stakeholder_id for m in b]
+        assert [m.problems for m in a] == [m.problems for m in b]
+
+    def test_all_strata_present_at_scale(self):
+        population = default_population(size=1000, seed=0)
+        assert set(population.strata()) == set(DEFAULT_STRATA)
+
+    def test_members_experience_stratum_problems(self):
+        population = default_population(size=300, seed=1)
+        for member in population:
+            for problem in member.problems:
+                assert member.stratum in PROBLEM_CATALOG[problem]["strata"]
+
+    def test_referrals_exclude_self(self):
+        population = default_population(size=100, seed=2)
+        for member in population:
+            assert member.stakeholder_id not in member.referrals
+
+    def test_duplicate_rejected(self):
+        population = StakeholderPopulation()
+        s = Stakeholder("s1", "rural-user", 0.1)
+        population.add(s)
+        with pytest.raises(ValueError):
+            population.add(s)
+
+    def test_problems_by_stratum(self):
+        population = default_population(size=500, seed=0)
+        by_stratum = population.problems_by_stratum()
+        assert "dc-incast" in by_stratum.get("hyperscaler-engineer", set())
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            default_population(size=0)
+
+
+class TestSimulateResponses:
+    @pytest.fixture
+    def instrument(self):
+        inst = Instrument("study")
+        inst.add(Question("problem:power-instability", "Power outages affect me"))
+        inst.add(Question("problem:dc-incast", "Incast affects me"))
+        inst.add(
+            Question(
+                "problems_experienced",
+                "Which problems do you face?",
+                kind="multi_choice",
+                choices=tuple(sorted(PROBLEM_CATALOG)),
+            )
+        )
+        inst.add(
+            Question(
+                "stratum", "Your role", kind="single_choice",
+                choices=tuple(sorted(DEFAULT_STRATA)),
+            )
+        )
+        return inst
+
+    def test_one_response_per_stakeholder(self, instrument):
+        population = default_population(size=50, seed=3)
+        responses = simulate_responses(list(population), instrument, seed=0)
+        assert len(responses) == 50
+
+    def test_problem_likert_reflects_ground_truth(self, instrument):
+        population = default_population(size=400, seed=3)
+        responses = simulate_responses(list(population), instrument, seed=0)
+        experiencing = []
+        not_experiencing = []
+        for member, response in zip(population, responses):
+            answer = response.answer("problem:power-instability")
+            if "power-instability" in member.problems:
+                experiencing.append(answer)
+            else:
+                not_experiencing.append(answer)
+        assert sum(experiencing) / len(experiencing) > (
+            sum(not_experiencing) / len(not_experiencing) + 1.0
+        )
+
+    def test_multi_choice_returns_true_problems(self, instrument):
+        population = default_population(size=30, seed=4)
+        responses = simulate_responses(list(population), instrument, seed=0)
+        for member, response in zip(population, responses):
+            assert response.answer("problems_experienced") == member.problems
+
+    def test_stratum_reported(self, instrument):
+        population = default_population(size=30, seed=4)
+        responses = simulate_responses(list(population), instrument, seed=0)
+        for member, response in zip(population, responses):
+            assert response.answer("stratum") == member.stratum
+            assert response.metadata["stratum"] == member.stratum
+
+    def test_acquiescence_shifts_answers_up(self):
+        inst = Instrument("s", [Question("q", "p")])
+        neutral = Stakeholder("n", "x", 0.5, style=ResponseStyle(0.0, 1.0, 0.3))
+        agreeer = Stakeholder("y", "x", 0.5, style=ResponseStyle(1.5, 1.0, 0.3))
+        # Average over many seeds for a stable comparison.
+        n_vals = [
+            simulate_responses([neutral], inst, seed=s)[0].answer("q")
+            for s in range(60)
+        ]
+        a_vals = [
+            simulate_responses([agreeer], inst, seed=s)[0].answer("q")
+            for s in range(60)
+        ]
+        assert sum(a_vals) / 60 > sum(n_vals) / 60 + 0.5

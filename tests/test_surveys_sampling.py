@@ -1,0 +1,100 @@
+"""Tests for repro.surveys.sampling."""
+
+import pytest
+
+from repro.surveys.respondents import default_population
+from repro.surveys.sampling import (
+    chain_referral_sample,
+    convenience_sample,
+    coverage_report,
+    quota_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return default_population(size=600, seed=0)
+
+
+class TestConvenience:
+    def test_hits_target_when_possible(self, population):
+        report = convenience_sample(population, 50, seed=1)
+        assert report.n_sampled == 50
+
+    def test_no_duplicate_recruits(self, population):
+        report = convenience_sample(population, 80, seed=1)
+        assert len(set(report.sampled_ids)) == len(report.sampled_ids)
+
+    def test_deterministic(self, population):
+        a = convenience_sample(population, 40, seed=9)
+        b = convenience_sample(population, 40, seed=9)
+        assert a.sampled_ids == b.sampled_ids
+
+    def test_overrepresents_reachable_strata(self, population):
+        report = convenience_sample(population, 120, seed=2)
+        coverage = coverage_report(population, report)
+        representation = coverage["stratum_representation"]
+        assert representation["hyperscaler-engineer"] > representation["rural-user"]
+
+    def test_attempt_cap_respected(self, population):
+        report = convenience_sample(population, 50, seed=1, max_attempts=10)
+        assert report.attempts <= 10
+
+    def test_bad_target(self, population):
+        with pytest.raises(ValueError):
+            convenience_sample(population, 0)
+
+
+class TestQuota:
+    def test_fills_quotas(self, population):
+        report = quota_sample(population, per_stratum=5, seed=3)
+        assert all(v == 5 for v in report.stratum_counts.values())
+        assert set(report.stratum_counts) == set(population.strata())
+
+    def test_costs_more_attempts_than_convenience(self, population):
+        quota = quota_sample(population, per_stratum=8, seed=3)
+        convenience = convenience_sample(
+            population, quota.n_sampled, seed=3
+        )
+        assert quota.attempts > convenience.attempts
+
+
+class TestChainReferral:
+    def test_reaches_low_reachability_strata(self, population):
+        report = chain_referral_sample(population, 120, seed=4)
+        assert report.stratum_counts.get("rural-user", 0) > 0
+
+    def test_yield_beats_convenience_for_same_target(self, population):
+        referral = chain_referral_sample(population, 100, seed=5)
+        convenience = convenience_sample(population, 100, seed=5)
+        assert referral.yield_rate > convenience.yield_rate * 0.8
+
+    def test_deterministic(self, population):
+        a = chain_referral_sample(population, 60, seed=6)
+        b = chain_referral_sample(population, 60, seed=6)
+        assert a.sampled_ids == b.sampled_ids
+
+
+class TestCoverageReport:
+    def test_full_sample_full_coverage(self, population):
+        ids = tuple(m.stakeholder_id for m in population)
+        from repro.surveys.sampling import SamplingReport
+        report = SamplingReport("all", ids, len(ids), {})
+        coverage = coverage_report(population, report)
+        assert coverage["problem_coverage"] == 1.0
+        assert coverage["missed_problems"] == []
+        assert coverage["low_reach_problem_coverage"] == 1.0
+
+    def test_empty_sample_zero_coverage(self, population):
+        from repro.surveys.sampling import SamplingReport
+        report = SamplingReport("none", (), 10, {})
+        coverage = coverage_report(population, report)
+        assert coverage["problem_coverage"] == 0.0
+        assert len(coverage["missed_problems"]) > 0
+
+    def test_low_reach_problems_subset(self, population):
+        from repro.surveys.sampling import SamplingReport
+        report = SamplingReport("none", (), 1, {})
+        coverage = coverage_report(population, report)
+        # With nothing sampled, low-reach coverage is also zero.
+        assert coverage["low_reach_problem_coverage"] == 0.0

@@ -1,0 +1,97 @@
+"""Tests for repro.surveys.weighting."""
+
+import pytest
+
+from repro.surveys.instrument import Instrument, Question, Response
+from repro.surveys.weighting import (
+    coverage_deficit,
+    post_stratification_weights,
+    weighted_likert_mean,
+    weighted_mean,
+)
+
+SHARES = {"hyperscaler": 0.2, "rural": 0.5, "regulator": 0.3}
+
+
+class TestWeights:
+    def test_balanced_sample_unit_weights(self):
+        sample = ["hyperscaler"] * 2 + ["rural"] * 5 + ["regulator"] * 3
+        weights = post_stratification_weights(sample, SHARES)
+        assert all(w == pytest.approx(1.0) for w in weights)
+
+    def test_overrepresented_stratum_downweighted(self):
+        sample = ["hyperscaler"] * 8 + ["rural"] * 2
+        weights = post_stratification_weights(
+            sample, {"hyperscaler": 0.2, "rural": 0.8}
+        )
+        assert weights[0] == pytest.approx(0.25)
+        assert weights[-1] == pytest.approx(4.0)
+
+    def test_missing_share_rejected(self):
+        with pytest.raises(ValueError):
+            post_stratification_weights(["ghost"], SHARES)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            post_stratification_weights([], SHARES)
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == 2.0
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+
+def make_responses(stratum_answers):
+    inst = Instrument("s", [Question("q", "prompt")])
+    return [
+        Response.create(f"r{i}", inst, {"q": answer}, {"stratum": stratum})
+        for i, (stratum, answer) in enumerate(stratum_answers)
+    ]
+
+
+class TestWeightedLikert:
+    def test_reweighting_corrects_bias(self):
+        # Rural members answer 5, hyperscalers 1; sample is hyperscaler-
+        # heavy while the population is rural-heavy.
+        responses = make_responses(
+            [("hyperscaler", 1)] * 8 + [("rural", 5)] * 2
+        )
+        result = weighted_likert_mean(
+            responses, "q", {"hyperscaler": 0.2, "rural": 0.8}
+        )
+        assert result["raw_mean"] == pytest.approx(1.8)
+        assert result["weighted_mean"] == pytest.approx(0.2 * 1 + 0.8 * 5)
+        assert result["covered_population_share"] == pytest.approx(1.0)
+
+    def test_unseen_stratum_reduces_coverage(self):
+        responses = make_responses([("hyperscaler", 1)] * 5)
+        result = weighted_likert_mean(
+            responses, "q", {"hyperscaler": 0.3, "rural": 0.7}
+        )
+        # Weighting "succeeds" numerically but only speaks for 30%.
+        assert result["covered_population_share"] == pytest.approx(0.3)
+
+    def test_no_answers_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_likert_mean([], "q", SHARES)
+
+
+class TestCoverageDeficit:
+    def test_unseen_strata_reported(self):
+        deficit = coverage_deficit(["hyperscaler"], SHARES)
+        assert deficit["unseen_strata"] == ["regulator", "rural"]
+        assert deficit["unrepresentable_share"] == pytest.approx(0.8)
+
+    def test_full_coverage(self):
+        deficit = coverage_deficit(
+            ["hyperscaler", "rural", "regulator"], SHARES
+        )
+        assert deficit["unseen_strata"] == []
+        assert deficit["unrepresentable_share"] == 0.0

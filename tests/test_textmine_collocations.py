@@ -1,0 +1,79 @@
+"""Tests for repro.textmine.collocations."""
+
+import pytest
+
+from repro.textmine.collocations import collocations
+
+DOCS = [
+    "the community network held up during the storm",
+    "community network volunteers repaired the tower",
+    "a community network is maintained by its members",
+    "the route server at the exchange failed",
+    "route server policies differ at every exchange",
+    "route server maintenance happens monthly",
+]
+
+
+def test_finds_recurring_phrases():
+    result = collocations(DOCS, min_count=3, top_k=5)
+    phrases = {c.text for c in result}
+    assert "community network" in phrases
+    assert "route server" in phrases
+
+
+def test_counts_recorded():
+    result = {c.text: c for c in collocations(DOCS, min_count=3)}
+    assert result["community network"].count == 3
+
+
+def test_stopwords_do_not_dominate():
+    result = collocations(DOCS, min_count=2, top_k=20)
+    for collocation in result:
+        assert "the" not in collocation.bigram
+
+
+def test_min_count_filters():
+    # "held up" appears once -> excluded at min_count=2.
+    phrases = {c.text for c in collocations(DOCS, min_count=2, top_k=50)}
+    assert "held up" not in phrases
+
+
+def test_sorted_by_pmi():
+    result = collocations(DOCS, min_count=2, top_k=50)
+    pmis = [c.pmi for c in result]
+    assert pmis == sorted(pmis, reverse=True)
+
+
+def test_empty_corpus():
+    assert collocations([], min_count=1) == []
+
+
+def test_bad_min_count():
+    with pytest.raises(ValueError):
+        collocations(DOCS, min_count=0)
+
+
+def test_discount_shrinks_hapax_pmi_below_raw():
+    # Raw PMI of a hapax pair of two hapax words is log2(N); the
+    # Pantel-Lin discount (x 1/2 x 1/2) must land well below it.
+    import math
+    docs = DOCS + ["xylophone quibble"]
+    result = {c.text: c for c in collocations(docs, min_count=1, top_k=100)}
+    hapax = result["xylophone quibble"]
+    from repro.textmine.stopwords import remove_stopwords
+    from repro.textmine.tokenize import word_tokens
+    total = sum(len(remove_stopwords(word_tokens(d))) for d in docs)
+    assert hapax.pmi == pytest.approx(math.log2(total) * 0.25)
+
+
+def test_recurring_phrase_outranks_hapax():
+    docs = DOCS + ["xylophone quibble"]
+    result = {c.text: c for c in collocations(docs, min_count=1, top_k=100)}
+    assert result["community network"].pmi > result["xylophone quibble"].pmi
+
+
+def test_default_min_count_excludes_hapax_entirely():
+    docs = DOCS + ["xylophone quibble"]
+    phrases = {c.text for c in collocations(docs, top_k=100)}
+    assert "xylophone quibble" not in phrases
+    assert "community network" in phrases

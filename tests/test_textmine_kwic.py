@@ -1,0 +1,55 @@
+"""Tests for repro.textmine.kwic."""
+
+import pytest
+
+from repro.textmine.kwic import kwic
+
+DOCS = [
+    "We discussed peering at the exchange. Peering was contentious.",
+    "No relevant terms here.",
+    "Mandatory peering by law.",
+]
+
+
+def test_finds_all_occurrences():
+    hits = kwic(DOCS, "peering")
+    assert len(hits) == 3
+
+
+def test_case_insensitive_by_default():
+    hits = kwic(DOCS, "peering")
+    assert {h.keyword for h in hits} == {"peering", "Peering"}
+
+
+def test_case_sensitive_mode():
+    hits = kwic(DOCS, "Peering", case_sensitive=True)
+    assert len(hits) == 1
+
+
+def test_doc_ids_recorded():
+    hits = kwic(DOCS, "peering")
+    assert [h.doc_id for h in hits] == [0, 0, 2]
+
+
+def test_context_windows():
+    hits = kwic(["abc peering xyz"], "peering", window=4)
+    assert hits[0].left == "abc "
+    assert hits[0].right == " xyz"
+
+
+def test_whole_word_excludes_substrings():
+    assert kwic(["unpeering networks"], "peering") == []
+    assert len(kwic(["unpeering networks"], "peering", whole_word=False)) == 1
+
+
+def test_line_rendering_fixed_width():
+    hits = kwic(DOCS, "peering")
+    line = hits[0].line(width=10)
+    assert "[peering]" in line
+    # left(10) + " [" + keyword + "] " + right(10)
+    assert len(line) == 10 + 2 + len(hits[0].keyword) + 2 + 10
+
+
+def test_empty_keyword_rejected():
+    with pytest.raises(ValueError):
+        kwic(DOCS, "")

@@ -1,0 +1,79 @@
+"""Tests for repro.textmine.sections."""
+
+from repro.textmine.sections import Section, find_section, split_sections
+
+PAPER = """Human Networks Paper
+
+Abstract
+We study the humans of networks.
+
+1 Introduction
+Networks are operated by people.
+
+2 Methods
+We did fieldwork.
+
+2.1 Ethnography
+Twelve weeks at the exchange.
+
+Positionality
+We write as engineers.
+
+References
+[1] Something.
+"""
+
+
+def test_front_matter_captured():
+    sections = split_sections(PAPER)
+    assert sections[0].title == "(front matter)"
+    assert "Human Networks Paper" in sections[0].body
+
+
+def test_numbered_headers_found():
+    sections = split_sections(PAPER)
+    numbers = [s.number for s in sections if s.number]
+    assert numbers == ["1", "2", "2.1"]
+
+
+def test_unnumbered_known_headers_found():
+    sections = split_sections(PAPER)
+    titles = {s.title.lower() for s in sections}
+    assert "abstract" in titles
+    assert "positionality" in titles
+    assert "references" in titles
+
+
+def test_bodies_attached_to_right_headers():
+    sections = split_sections(PAPER)
+    methods = find_section(sections, "Methods")
+    assert methods is not None
+    assert "fieldwork" in methods.body
+
+
+def test_depth():
+    assert Section("2.1", "x", "").depth == 2
+    assert Section("3", "x", "").depth == 1
+    assert Section("", "Abstract", "").depth == 1
+
+
+def test_find_section_case_insensitive():
+    sections = split_sections(PAPER)
+    assert find_section(sections, "positionality") is not None
+    assert find_section(sections, "POSITIONALITY") is not None
+
+
+def test_find_section_missing_returns_none():
+    assert find_section(split_sections(PAPER), "appendix z") is None
+
+
+def test_prose_sentences_not_mistaken_for_headers():
+    text = "1 Introduction\nThis is a long prose sentence that ends with a period.\nAnother line."
+    sections = split_sections(text)
+    assert len([s for s in sections if s.number]) == 1
+
+
+def test_markdown_headers_recognized():
+    sections = split_sections("# 3 Results\nbody text")
+    assert sections[0].number == "3"
+    assert sections[0].title == "Results"

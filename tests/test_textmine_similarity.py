@@ -1,0 +1,68 @@
+"""Tests for repro.textmine.similarity."""
+
+import numpy as np
+import pytest
+
+from repro.textmine.similarity import (
+    cosine_similarity,
+    jaccard_similarity,
+    most_similar,
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_zero_vector_yields_zero(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+    def test_opposite_vectors(self):
+        assert cosine_similarity([1, 1], [-1, -1]) == pytest.approx(-1.0)
+
+
+class TestJaccard:
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_identical_sets(self):
+        assert jaccard_similarity({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_accepts_sequences(self):
+        assert jaccard_similarity(["a", "a", "b"], ["b"]) == pytest.approx(0.5)
+
+
+class TestMostSimilar:
+    def test_ranks_by_similarity(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0], [0.7, 0.7]])
+        result = most_similar(np.array([1.0, 0.0]), matrix, k=3)
+        assert result[0][0] == 0
+        assert result[1][0] == 2
+        assert result[2][0] == 1
+
+    def test_k_limits_results(self):
+        matrix = np.eye(5)
+        assert len(most_similar(np.ones(5), matrix, k=2)) == 2
+
+    def test_zero_rows_score_zero(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 0.0]])
+        result = dict(most_similar(np.array([1.0, 0.0]), matrix, k=2))
+        assert result[0] == 0.0
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            most_similar(np.ones(3), np.eye(2), k=1)

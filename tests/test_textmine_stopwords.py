@@ -1,0 +1,32 @@
+"""Tests for repro.textmine.stopwords."""
+
+from repro.textmine.stopwords import STOPWORDS, is_stopword, remove_stopwords
+
+
+def test_common_words_are_stopwords():
+    for word in ("the", "and", "of", "with"):
+        assert is_stopword(word)
+
+
+def test_domain_words_are_not_stopwords():
+    for word in ("network", "community", "measurement", "peering"):
+        assert not is_stopword(word)
+
+
+def test_case_insensitive():
+    assert is_stopword("The")
+    assert is_stopword("AND")
+
+
+def test_remove_stopwords_preserves_order():
+    assert remove_stopwords(["the", "community", "ran", "the", "network"]) == [
+        "community", "ran", "network",
+    ]
+
+
+def test_remove_stopwords_empty():
+    assert remove_stopwords([]) == []
+
+
+def test_stopword_set_is_frozen():
+    assert isinstance(STOPWORDS, frozenset)

@@ -1,0 +1,84 @@
+"""Tests for repro.textmine.tfidf."""
+
+import numpy as np
+import pytest
+
+from repro.textmine.tfidf import TfidfVectorizer
+
+DOCS = [
+    "mesh community network community",
+    "datacenter fabric congestion",
+    "community network governance",
+]
+
+
+class TestBuildMatrix:
+    def test_counts(self):
+        matrix = TfidfVectorizer().build_matrix(DOCS)
+        assert matrix.term_frequency("community", 0) == 2
+        assert matrix.term_frequency("community", 1) == 0
+
+    def test_document_frequency(self):
+        matrix = TfidfVectorizer().build_matrix(DOCS)
+        assert matrix.document_frequency("community") == 2
+        assert matrix.document_frequency("datacenter") == 1
+        assert matrix.document_frequency("unknown") == 0
+
+    def test_shape_properties(self):
+        matrix = TfidfVectorizer().build_matrix(DOCS)
+        assert matrix.n_docs == 3
+        assert matrix.n_terms == len(matrix.vocabulary)
+
+    def test_top_terms(self):
+        matrix = TfidfVectorizer().build_matrix(DOCS)
+        top = matrix.top_terms(0, k=1)
+        assert top == [("community", 2)]
+
+    def test_min_df_filters_rare_terms(self):
+        matrix = TfidfVectorizer(min_df=2).build_matrix(DOCS)
+        assert "community" in matrix.vocabulary
+        assert "datacenter" not in matrix.vocabulary
+
+    def test_max_vocabulary_caps_terms(self):
+        vectorizer = TfidfVectorizer(max_vocabulary=2)
+        matrix = vectorizer.build_matrix(DOCS)
+        assert matrix.n_terms == 2
+        # Highest-df terms survive.
+        assert "community" in matrix.vocabulary
+
+
+class TestTfidf:
+    def test_rows_l2_normalized(self):
+        weights = TfidfVectorizer().fit_transform(DOCS)
+        norms = np.linalg.norm(weights, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(DOCS)
+
+    def test_unseen_terms_ignored(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(DOCS)
+        row = vectorizer.transform(["zebra quark"])
+        assert np.allclose(row, 0.0)
+
+    def test_rare_term_outweighs_common_term(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(DOCS)
+        row = vectorizer.transform(["datacenter community"])[0]
+        names = vectorizer.feature_names()
+        dc = row[names.index("datacenter")]
+        community = row[names.index("community")]
+        assert dc > community
+
+    def test_deterministic(self):
+        a = TfidfVectorizer().fit_transform(DOCS)
+        b = TfidfVectorizer().fit_transform(DOCS)
+        assert np.array_equal(a, b)
+
+    def test_feature_names_ordered_by_column(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(DOCS)
+        names = vectorizer.feature_names()
+        assert names == sorted(names)

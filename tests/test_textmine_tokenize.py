@@ -1,0 +1,106 @@
+"""Tests for repro.textmine.tokenize."""
+
+import pytest
+
+from repro.textmine.tokenize import (
+    Token,
+    ngrams,
+    normalize,
+    sentences,
+    tokens,
+    word_tokens,
+)
+
+
+class TestNormalize:
+    def test_collapses_whitespace(self):
+        assert normalize("a  b\t c\n d") == "a b c d"
+
+    def test_unifies_curly_quotes(self):
+        assert normalize("‘a’ “b”") == "'a' \"b\""
+
+    def test_unifies_dashes(self):
+        assert normalize("a–b—c") == "a-b-c"
+
+    def test_strips_edges(self):
+        assert normalize("  hello  ") == "hello"
+
+    def test_empty_string(self):
+        assert normalize("") == ""
+
+
+class TestSentences:
+    def test_basic_split(self):
+        assert sentences("We met operators. They ran IXPs.") == [
+            "We met operators.",
+            "They ran IXPs.",
+        ]
+
+    def test_keeps_abbreviations_together(self):
+        result = sentences("See Rosa et al. 2021 for details. It is good.")
+        assert len(result) == 2
+        assert "et al." in result[0]
+
+    def test_question_and_exclamation(self):
+        result = sentences("Why peer? Because it is cheaper! Indeed.")
+        assert len(result) == 3
+
+    def test_single_sentence_no_terminal(self):
+        assert sentences("no terminal punctuation") == [
+            "no terminal punctuation"
+        ]
+
+    def test_empty_text(self):
+        assert sentences("") == []
+
+    def test_numbers_can_start_sentences(self):
+        result = sentences("We saw growth. 40 ISPs joined.")
+        assert result[1].startswith("40")
+
+
+class TestTokens:
+    def test_spans_recover_surface(self):
+        text = "peering, at IXPs!"
+        for token in tokens(text):
+            assert text[token.start:token.end] == token.text
+
+    def test_word_flag(self):
+        token_list = list(tokens("hi!"))
+        assert token_list[0].is_word
+        assert not token_list[1].is_word
+
+    def test_token_lower(self):
+        assert Token("BGP", 0, 3).lower() == "bgp"
+
+
+class TestWordTokens:
+    def test_drops_punctuation(self):
+        assert word_tokens("Mesh networks, community-run!") == [
+            "mesh", "networks", "community-run",
+        ]
+
+    def test_case_preserved_when_requested(self):
+        assert word_tokens("BGP table", lowercase=False) == ["BGP", "table"]
+
+    def test_apostrophes_stay_joined(self):
+        assert word_tokens("don't stop") == ["don't", "stop"]
+
+    def test_numbers_included(self):
+        assert word_tokens("AS64500 announced 3 prefixes") == [
+            "as64500", "announced", "3", "prefixes",
+        ]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_unigrams(self):
+        assert ngrams(["x", "y"], 1) == [("x",), ("y",)]
+
+    def test_n_longer_than_sequence(self):
+        assert ngrams(["a"], 3) == []
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)

@@ -1,0 +1,131 @@
+"""Tests for repro.netsim.transport.flows."""
+
+import pytest
+
+from repro.netsim.transport.flows import (
+    FixedWindowSender,
+    RenoSender,
+    TahoeSender,
+    make_sender,
+)
+
+
+class TestFixedWindow:
+    def test_sends_up_to_window(self):
+        sender = FixedWindowSender("f", demand_per_tick=10, window_size=4)
+        assert len(sender.transmit(0)) == 4
+
+    def test_acks_free_window(self):
+        sender = FixedWindowSender("f", demand_per_tick=4, window_size=4)
+        sends = sender.transmit(0)
+        sender.deliver_acks(sends, 0)
+        assert len(sender.transmit(1)) == 4
+        assert sender.stats.acked == 4
+
+    def test_timeout_retransmits(self):
+        sender = FixedWindowSender(
+            "f", demand_per_tick=2, window_size=4, static_timeout=2
+        )
+        first = sender.transmit(0)
+        sender.deliver_acks([], 0)  # nothing came back
+        sender.transmit(1)
+        sender.deliver_acks([], 1)
+        third = sender.transmit(2)  # 2 ticks later: timeout
+        assert set(first) <= set(third)
+        assert sender.stats.retransmissions >= len(first)
+
+    def test_window_never_adapts(self):
+        sender = FixedWindowSender("f", demand_per_tick=8, window_size=8)
+        for tick in range(5):
+            sender.transmit(tick)
+            sender.deliver_acks([], tick)
+        assert sender.window() == 8
+
+    def test_spurious_ack_counted(self):
+        sender = FixedWindowSender("f", demand_per_tick=1, window_size=2)
+        sends = sender.transmit(0)
+        fresh, spurious = sender.deliver_acks(sends + sends, 0)
+        assert fresh == len(sends)
+        assert spurious == len(sends)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedWindowSender("f", -1, 4)
+        with pytest.raises(ValueError):
+            FixedWindowSender("f", 1, 0)
+        with pytest.raises(ValueError):
+            FixedWindowSender("f", 1, 4, static_timeout=0)
+
+
+class TestTahoe:
+    def test_slow_start_doubles(self):
+        sender = TahoeSender("f", demand_per_tick=100)
+        windows = []
+        for tick in range(5):
+            sends = sender.transmit(tick)
+            windows.append(sender.window())
+            sender.deliver_acks(sends, tick)
+        assert windows == [1, 2, 4, 8, 16]
+
+    def test_loss_resets_to_one(self):
+        sender = TahoeSender("f", demand_per_tick=100)
+        for tick in range(4):
+            sends = sender.transmit(tick)
+            sender.deliver_acks(sends, tick)
+        assert sender.window() > 4
+        # Starve ACKs until a timeout fires.
+        tick = 4
+        while sender.stats.retransmissions == 0:
+            sender.transmit(tick)
+            sender.deliver_acks([], tick)
+            tick += 1
+        assert sender.window() == 1
+
+    def test_congestion_avoidance_linear(self):
+        sender = TahoeSender("f", demand_per_tick=100)
+        sender.cwnd = 8.0
+        sender.ssthresh = 8.0
+        sends = sender.transmit(0)
+        sender.deliver_acks(sends, 0)
+        assert sender.cwnd == pytest.approx(9.0)
+
+    def test_adaptive_timeout_tracks_rtt(self):
+        sender = TahoeSender("f", demand_per_tick=1)
+        base = sender.timeout_ticks(0)
+        for _ in range(30):
+            sender.record_rtt(10.0)
+        assert sender.timeout_ticks(0) > base
+
+
+class TestReno:
+    def test_partial_loss_halves_instead_of_reset(self):
+        sender = RenoSender("f", demand_per_tick=100)
+        for tick in range(4):
+            sends = sender.transmit(tick)
+            sender.deliver_acks(sends, tick)
+        before = sender.cwnd
+        # Simulate a tick with both a timeout retransmission and an ACK.
+        sender._timeouts_this_tick = 1
+        sender.on_tick_feedback(acked=3, spurious_acks=0, timeouts=1, now=5)
+        assert sender.cwnd == pytest.approx(max(2.0, before / 2.0))
+        assert sender.cwnd > 1.0
+
+    def test_total_loss_resets(self):
+        sender = RenoSender("f", demand_per_tick=100)
+        sender.cwnd = 16.0
+        sender.on_tick_feedback(acked=0, spurious_acks=0, timeouts=2, now=5)
+        assert sender.cwnd == 1.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("protocol,cls", [
+        ("fixed", FixedWindowSender),
+        ("tahoe", TahoeSender),
+        ("reno", RenoSender),
+    ])
+    def test_factory(self, protocol, cls):
+        assert isinstance(make_sender(protocol, "f", 1), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_sender("cubic", "f", 1)

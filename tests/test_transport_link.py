@@ -1,0 +1,74 @@
+"""Tests for repro.netsim.transport.link."""
+
+import pytest
+
+from repro.netsim.transport.link import Link, interleave
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        assert interleave([[(0, 1), (0, 2)], [(1, 9)]]) == [
+            (0, 1), (1, 9), (0, 2),
+        ]
+
+    def test_empty(self):
+        assert interleave([[], []]) == []
+
+    def test_single_flow(self):
+        assert interleave([[(0, 1), (0, 2)]]) == [(0, 1), (0, 2)]
+
+
+class TestLink:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(capacity=0, buffer_size=10)
+        with pytest.raises(ValueError):
+            Link(capacity=1, buffer_size=-1)
+
+    def test_under_capacity_all_served(self):
+        link = Link(capacity=10, buffer_size=10)
+        served, dropped = link.tick([[(0, i) for i in range(5)]])
+        assert len(served) == 5
+        assert dropped == []
+        assert link.queue == 0
+
+    def test_over_capacity_queues(self):
+        link = Link(capacity=4, buffer_size=10)
+        served, dropped = link.tick([[(0, i) for i in range(8)]])
+        assert len(served) == 4
+        assert dropped == []
+        assert link.queue == 4
+
+    def test_drop_tail_beyond_buffer(self):
+        link = Link(capacity=2, buffer_size=3)
+        served, dropped = link.tick([[(0, i) for i in range(10)]])
+        # room = 3 + 2 = 5 admitted; 2 served; 3 queued; 5 dropped.
+        assert len(served) == 2
+        assert len(dropped) == 5
+        assert link.queue == 3
+
+    def test_fifo_order(self):
+        link = Link(capacity=2, buffer_size=10)
+        link.tick([[(0, 0), (0, 1), (0, 2), (0, 3)]])
+        served, _ = link.tick([[]])
+        assert served == [(0, 2), (0, 3)]
+
+    def test_interleaving_shares_admission(self):
+        link = Link(capacity=2, buffer_size=0)
+        served, dropped = link.tick(
+            [[(0, 0), (0, 1)], [(1, 0), (1, 1)]]
+        )
+        # Only 2 admitted, round-robin: one from each flow.
+        flows_served = {flow for flow, _ in served}
+        assert flows_served == {0, 1}
+
+    def test_queue_delay(self):
+        link = Link(capacity=4, buffer_size=100)
+        link.tick([[(0, i) for i in range(12)]])
+        assert link.queue_delay_ticks == pytest.approx(2.0)
+
+    def test_reset(self):
+        link = Link(capacity=1, buffer_size=5)
+        link.tick([[(0, 0), (0, 1)]])
+        link.reset()
+        assert link.queue == 0

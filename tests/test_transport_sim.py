@@ -1,0 +1,82 @@
+"""Tests for repro.netsim.transport.sim."""
+
+import pytest
+
+from repro.netsim.transport.sim import run_collapse_study, simulate_shared_link
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        a = simulate_shared_link("tahoe", ticks=150)
+        b = simulate_shared_link("tahoe", ticks=150)
+        assert a == b
+
+    def test_underload_is_clean(self):
+        result = simulate_shared_link(
+            "fixed", n_flows=4, demand_per_flow=2, capacity=16, ticks=150
+        )
+        assert result.goodput == pytest.approx(0.5, abs=0.05)
+        assert result.loss_rate == 0.0
+        assert result.duplicate_share == 0.0
+
+    def test_goodput_never_exceeds_capacity(self):
+        for protocol in ("fixed", "tahoe", "reno"):
+            result = simulate_shared_link(
+                protocol, demand_per_flow=16, ticks=150
+            )
+            assert result.goodput <= 1.0 + 1e-9
+
+    def test_overloaded_fixed_produces_duplicates(self):
+        result = simulate_shared_link(
+            "fixed", n_flows=8, demand_per_flow=8, capacity=16,
+            window_size=24, ticks=200,
+        )
+        assert result.duplicate_share > 0.2
+        assert result.goodput < 0.8
+
+    def test_overloaded_tahoe_clean_goodput(self):
+        result = simulate_shared_link(
+            "tahoe", n_flows=8, demand_per_flow=8, capacity=16,
+            window_size=1 << 10, ticks=300,
+        )
+        assert result.duplicate_share < 0.05
+        assert result.goodput > 0.7
+
+    def test_fairness_reported(self):
+        result = simulate_shared_link("reno", ticks=200)
+        assert 0.0 < result.fairness <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_shared_link("tahoe", n_flows=0)
+        with pytest.raises(ValueError):
+            simulate_shared_link("tahoe", ticks=10, warmup=10)
+
+
+class TestCollapseStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_collapse_study(ticks=250)
+
+    def test_grid_complete(self, results):
+        assert len(results) == 15  # 3 protocols x 5 loads
+
+    def test_collapse_shape(self, results):
+        fixed = [r for r in results if r.protocol == "fixed"]
+        at_capacity = next(r for r in fixed if r.offered_load == 1.0)
+        overloaded = [r for r in fixed if r.offered_load > 1.0]
+        assert all(r.goodput < at_capacity.goodput - 0.2 for r in overloaded)
+
+    def test_aimd_plateau(self, results):
+        for protocol in ("tahoe", "reno"):
+            rows = [
+                r for r in results
+                if r.protocol == protocol and r.offered_load > 1.0
+            ]
+            assert all(r.goodput >= 0.7 for r in rows)
+
+    def test_reno_dominates_tahoe(self, results):
+        tahoe = {r.offered_load: r for r in results if r.protocol == "tahoe"}
+        reno = {r.offered_load: r for r in results if r.protocol == "reno"}
+        for load, reno_row in reno.items():
+            assert reno_row.goodput >= tahoe[load].goodput - 0.02
