@@ -19,8 +19,12 @@ those arguments (see DESIGN.md for the substitution map):
   (Seattle Community Network material).
 - :mod:`repro.ethics` -- consent, anonymization, power dynamics, IRB
   checklists.
-- :mod:`repro.experiments` -- the E1-E12 experiment suite EXPERIMENTS.md
+- :mod:`repro.experiments` -- the E1-E13 experiment suite EXPERIMENTS.md
   reports on.
+- :mod:`repro.runtime` -- fault-tolerant suite runner (isolation,
+  retries, deadlines, checkpoint/resume) and the deterministic
+  fault-injection harness.
+- :mod:`repro.errors` -- the toolkit-wide error taxonomy.
 
 Quickstart: see ``examples/quickstart.py``.
 """

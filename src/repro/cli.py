@@ -24,11 +24,8 @@ from repro import __version__
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.registry import (
-        all_experiments,
-        describe,
-        get_experiment,
-    )
+    from repro.experiments.registry import all_experiments, describe
+    from repro.runtime.runner import SuiteRunner
 
     if args.list:
         for experiment_id in all_experiments():
@@ -37,15 +34,40 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             print(f"     {claim}")
         return 0
 
-    ids = args.ids or all_experiments()
-    exit_code = 0
-    for experiment_id in ids:
-        result = get_experiment(experiment_id)(seed=args.seed, fast=not args.full)
-        print(result.render())
+    runner = SuiteRunner(
+        retries=args.retries,
+        timeout=args.timeout,
+        keep_going=args.keep_going,
+        checkpoint=args.checkpoint,
+        seed=args.seed,
+    )
+    report = runner.run_all(
+        args.ids or None, seed=args.seed, fast=not args.full
+    )
+    for record in report:
+        if record.result is not None:
+            print(record.result.render())
+        elif record.from_checkpoint:
+            shape = "shapes hold" if record.shape_holds else "shape FAIL"
+            print(
+                f"{record.experiment_id}: replayed from checkpoint "
+                f"({record.status}, {shape})"
+            )
+        else:
+            print(
+                f"{record.experiment_id}: {record.status.upper()} "
+                f"({record.error_type}) after {record.attempts} attempt(s): "
+                f"{record.error}"
+            )
         print()
-        if not result.shape_holds:
-            exit_code = 1
-    return exit_code
+
+    if args.json_summary:
+        payload = json.dumps(report.summary(), indent=2, sort_keys=True)
+        if args.json_summary == "-":
+            print(payload)
+        else:
+            Path(args.json_summary).write_text(payload + "\n", encoding="utf-8")
+    return 0 if report.ok else 1
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -190,6 +212,26 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--seed", type=int, default=0)
     experiments.add_argument(
         "--full", action="store_true", help="full problem sizes (slower)"
+    )
+    experiments.add_argument(
+        "--keep-going", action="store_true",
+        help="record a crashing experiment and run the rest (exit non-zero)",
+    )
+    experiments.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed experiment up to N times with backoff",
+    )
+    experiments.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock deadline across its attempts",
+    )
+    experiments.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="JSONL checkpoint file; completed experiments are skipped on rerun",
+    )
+    experiments.add_argument(
+        "--json-summary", metavar="PATH",
+        help="write a machine-readable run summary ('-' for stdout)",
     )
     experiments.set_defaults(func=_cmd_experiments)
 

@@ -1,0 +1,159 @@
+"""Error taxonomy for the toolkit.
+
+Every failure the library can surface descends from :class:`ReproError`,
+so callers that orchestrate many experiments (``repro.runtime``) or many
+files (``repro.io``) can catch one base class and still tell failure
+modes apart.  Each error carries *where it happened* — experiment id,
+seed, and pipeline stage — because in a 13-experiment suite a bare
+traceback is not enough to reproduce a crash.
+
+Hierarchy::
+
+    ReproError
+    ├── ExperimentError          an experiment run failed
+    │   └── UnknownExperimentError   (also a KeyError, for back-compat)
+    ├── CheckFailure             shape-checks evaluated false
+    ├── DataFormatError          persisted data is malformed (also ValueError)
+    │   └── JsonlDecodeError         (also json.JSONDecodeError)
+    │       └── TruncatedFileError       torn final line — likely a killed writer
+    └── BudgetExceeded           a wall-clock / resource budget ran out
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class ReproError(Exception):
+    """Base class for every error the toolkit raises on purpose.
+
+    Attributes:
+        experiment_id: The experiment being run ("E1".."E13"), when known.
+        seed: The RNG seed of the failing run, when known.
+        stage: Pipeline stage ("run", "read", "write", "check", ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        experiment_id: str | None = None,
+        seed: int | None = None,
+        stage: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.experiment_id = experiment_id
+        self.seed = seed
+        self.stage = stage
+
+    def context(self) -> dict:
+        """The non-empty context fields, for structured logging."""
+        fields = {
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "stage": self.stage,
+        }
+        return {k: v for k, v in fields.items() if v is not None}
+
+    def __str__(self) -> str:
+        # Exception.__str__ directly: KeyError subclasses would otherwise
+        # repr() the message.
+        base = Exception.__str__(self)
+        ctx = self.context()
+        if not ctx:
+            return base
+        tagged = " ".join(f"{k}={v}" for k, v in sorted(ctx.items()))
+        return f"{base} [{tagged}]"
+
+
+class ExperimentError(ReproError):
+    """An experiment run raised, or could not be started."""
+
+
+class UnknownExperimentError(ExperimentError, KeyError):
+    """An experiment id is not in the registry.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working.
+    """
+
+
+class CheckFailure(ReproError):
+    """One or more shape-checks evaluated false.
+
+    Attributes:
+        failed_checks: Names of the checks that failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed_checks: tuple[str, ...] = (),
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.failed_checks = tuple(failed_checks)
+
+
+class DataFormatError(ReproError, ValueError):
+    """Persisted or exchanged data does not match its declared format."""
+
+
+class JsonlDecodeError(DataFormatError, json.JSONDecodeError):
+    """A JSONL line failed to parse.
+
+    Also a :class:`json.JSONDecodeError`, so pre-taxonomy callers that
+    catch that keep working.
+
+    Attributes:
+        path: The file being read, as a string.
+        line_number: 1-based line of the bad record.
+    """
+
+    def __init__(
+        self,
+        msg: str,
+        doc: str = "",
+        pos: int = 0,
+        *,
+        path: str | None = None,
+        line_number: int | None = None,
+        **context,
+    ) -> None:
+        json.JSONDecodeError.__init__(self, msg, doc, pos)
+        self.path = path
+        self.line_number = line_number
+        self.experiment_id = context.get("experiment_id")
+        self.seed = context.get("seed")
+        self.stage = context.get("stage", "read")
+
+
+class TruncatedFileError(JsonlDecodeError):
+    """The final line of a JSONL file is torn (no newline, invalid JSON).
+
+    Distinct from :class:`JsonlDecodeError` on an interior line: a torn
+    tail almost always means the writing process was killed mid-write,
+    and everything before the tail is salvageable.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """A wall-clock or resource budget ran out before the work finished.
+
+    Attributes:
+        budget: The limit that was exceeded (seconds for wall-clock).
+        spent: How much was actually consumed, when measurable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: float | None = None,
+        spent: float | None = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.budget = budget
+        self.spent = spent

@@ -6,6 +6,7 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import CheckFailure, UnknownExperimentError
 from repro.io.tables import Table
 
 #: Experiment id -> (module name, title, paper claim).
@@ -113,26 +114,42 @@ class ExperimentResult:
             parts.append(f"check {name}: {'PASS' if ok else 'FAIL'}")
         return "\n\n".join(parts)
 
+    def require(self) -> None:
+        """Raise :class:`repro.errors.CheckFailure` if any check failed."""
+        failed = tuple(name for name, ok in sorted(self.checks.items()) if not ok)
+        if failed:
+            raise CheckFailure(
+                f"shape checks failed: {', '.join(failed)}",
+                failed_checks=failed,
+                experiment_id=self.experiment_id,
+                stage="check",
+            )
+
 
 def all_experiments() -> list[str]:
     """Experiment ids in suite order."""
     return sorted(_EXPERIMENTS, key=lambda k: int(k[1:]))
 
 
-def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    """The runner for ``experiment_id`` (signature: ``run(seed=0, fast=False)``)."""
+def _lookup(experiment_id: str) -> tuple[str, str, str]:
+    """The registry row for ``experiment_id``, validated."""
     if experiment_id not in _EXPERIMENTS:
-        raise KeyError(
+        raise UnknownExperimentError(
             f"unknown experiment {experiment_id!r}; known: {all_experiments()}"
         )
-    module_name, _, _ = _EXPERIMENTS[experiment_id]
+    return _EXPERIMENTS[experiment_id]
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The runner for ``experiment_id`` (signature: ``run(seed=0, fast=False)``)."""
+    module_name, _, _ = _lookup(experiment_id)
     module = importlib.import_module(module_name)
     return module.run
 
 
 def describe(experiment_id: str) -> tuple[str, str]:
     """``(title, claim)`` for ``experiment_id``."""
-    _, title, claim = _EXPERIMENTS[experiment_id]
+    _, title, claim = _lookup(experiment_id)
     return title, claim
 
 
@@ -143,7 +160,14 @@ def make_result(experiment_id: str) -> ExperimentResult:
 
 
 def run_all(seed: int = 0, fast: bool = True) -> list[ExperimentResult]:
-    """Run every experiment; returns results in suite order."""
-    return [
-        get_experiment(eid)(seed=seed, fast=fast) for eid in all_experiments()
-    ]
+    """Run every experiment; returns results in suite order.
+
+    Strict mode: the first crash propagates.  For per-experiment
+    isolation, retries, deadlines, and checkpoint/resume use
+    :class:`repro.runtime.SuiteRunner` directly.
+    """
+    # Imported lazily: repro.runtime depends on this module.
+    from repro.runtime.runner import SuiteRunner
+
+    report = SuiteRunner(keep_going=False).run_all(seed=seed, fast=fast)
+    return [record.result for record in report]

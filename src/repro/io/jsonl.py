@@ -2,54 +2,111 @@
 
 JSONL is the interchange format for every dataset this library produces:
 one JSON object per line, UTF-8, no trailing commas to corrupt, and
-streamable.  Readers tolerate (and report) blank lines.
+streamable.  Readers tolerate (and report) blank lines and a leading
+UTF-8 BOM, and can distinguish a *torn final line* (a writer killed
+mid-record) from interior corruption.  Writers are crash-safe:
+``write_jsonl`` lands atomically (write ``path.tmp``, fsync, rename),
+so a killed process leaves either the old file or the complete new one
+on disk — never a half-written dataset.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterable, Iterator
+
+from repro.errors import JsonlDecodeError, TruncatedFileError
+
+#: Valid ``on_error`` modes for :func:`read_jsonl`.
+ON_ERROR_MODES = ("raise", "skip", "collect")
+
+
+def _dump_lines(handle, records: Iterable[dict]) -> int:
+    count = 0
+    for record in records:
+        handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True))
+        handle.write("\n")
+        count += 1
+    return count
 
 
 def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
     """Write ``records`` to ``path``, one JSON object per line.
 
     Returns the number of records written.  Parent directories are
-    created as needed; an existing file is overwritten.
+    created as needed; an existing file is overwritten.  The write is
+    atomic: records land in ``<path>.tmp`` which is fsynced and renamed
+    over ``path``, so readers (and crashes — including a mid-write
+    ``kill -9``) never observe a torn file.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    count = 0
-    with path.open("w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True))
-            handle.write("\n")
-            count += 1
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            count = _dump_lines(handle, records)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return count
 
 
 def append_jsonl(path: str | Path, records: Iterable[dict]) -> int:
-    """Append ``records`` to ``path``; creates the file when absent."""
+    """Append ``records`` to ``path``; creates the file when absent.
+
+    Appends keep append semantics (no rewrite of earlier data) but the
+    batch is flushed and fsynced before returning, so a crash *after*
+    the call never loses it; a crash *during* the call can tear at
+    most the final line, which :func:`read_jsonl` detects and can
+    salvage around.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    count = 0
     with path.open("a", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True))
-            handle.write("\n")
-            count += 1
+        count = _dump_lines(handle, records)
+        handle.flush()
+        os.fsync(handle.fileno())
     return count
 
 
-def read_jsonl(path: str | Path) -> Iterator[dict]:
+def read_jsonl(
+    path: str | Path,
+    on_error: str = "raise",
+    errors: list | None = None,
+) -> Iterator[dict]:
     """Yield the records of a JSONL file, skipping blank lines.
 
-    Raises ``json.JSONDecodeError`` (annotated with the line number) on
-    malformed lines rather than silently dropping data.
+    A UTF-8 BOM on the first line is tolerated.  A malformed line
+    raises :class:`repro.errors.JsonlDecodeError` (a
+    ``json.JSONDecodeError`` subclass, annotated with path and line
+    number); a final line that is both unterminated and invalid raises
+    :class:`repro.errors.TruncatedFileError` instead, since that
+    signature means the writer was killed mid-record and everything
+    before it is salvageable.
+
+    Args:
+        path: The file to read.
+        on_error: ``"raise"`` (default) stops at the first bad line;
+            ``"skip"`` silently drops bad lines; ``"collect"`` drops
+            them but appends the exception to ``errors`` for a salvage
+            report.
+        errors: Target list for ``on_error="collect"``.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"unknown on_error mode {on_error!r}; known: {ON_ERROR_MODES}"
+        )
+    if on_error == "collect" and errors is None:
+        raise ValueError('on_error="collect" needs an errors list to fill')
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
+    # utf-8-sig strips a leading BOM when present, reads plain UTF-8
+    # unchanged otherwise.
+    with path.open("r", encoding="utf-8-sig") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped:
@@ -57,6 +114,18 @@ def read_jsonl(path: str | Path) -> Iterator[dict]:
             try:
                 yield json.loads(stripped)
             except json.JSONDecodeError as exc:
-                raise json.JSONDecodeError(
-                    f"{path}:{line_number}: {exc.msg}", exc.doc, exc.pos
-                ) from exc
+                truncated = not line.endswith("\n")
+                error_cls = TruncatedFileError if truncated else JsonlDecodeError
+                prefix = "truncated final line (writer killed mid-record?)"
+                detail = f"{prefix}: {exc.msg}" if truncated else exc.msg
+                wrapped = error_cls(
+                    f"{path}:{line_number}: {detail}",
+                    exc.doc,
+                    exc.pos,
+                    path=str(path),
+                    line_number=line_number,
+                )
+                if on_error == "raise":
+                    raise wrapped from exc
+                if on_error == "collect":
+                    errors.append(wrapped)

@@ -1,0 +1,27 @@
+"""Fault-tolerant experiment runtime.
+
+- :mod:`repro.runtime.runner` -- :class:`SuiteRunner`: per-experiment
+  isolation, retries with exponential backoff, wall-clock deadlines,
+  and JSONL checkpoint/resume for the E1-E13 suite.
+- :mod:`repro.runtime.faultinject` -- :class:`FaultInjector`: a
+  deterministic, seeded harness that makes registered call sites raise,
+  hang, or corrupt their return value — used to test the runner and
+  available for netsim resilience studies.
+"""
+
+from repro.runtime.faultinject import FaultInjector, FaultSpec
+from repro.runtime.runner import (
+    RetryPolicy,
+    RunRecord,
+    SuiteReport,
+    SuiteRunner,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "RunRecord",
+    "SuiteReport",
+    "SuiteRunner",
+]

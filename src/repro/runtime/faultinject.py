@@ -1,0 +1,188 @@
+"""Deterministic fault injection.
+
+A :class:`FaultInjector` owns a set of *injection points* — string
+names for call sites (``"experiment:E6"``, ``"link:cdmx-gdl"``).  Code
+under test routes calls through :meth:`FaultInjector.call`; the
+injector then decides, deterministically from its seed, whether to let
+the call through, raise, hang, or corrupt the return value.
+
+Determinism is the point: the decision sequence for a point depends
+only on ``(seed, point)``, so a failing schedule reproduces exactly,
+and two injectors with the same seed fire identically.  This serves
+two masters:
+
+- the :class:`repro.runtime.runner.SuiteRunner` tests, which need
+  "crash E6 twice, then succeed" to be a one-liner, and
+- netsim resilience studies, where "links fail with probability p"
+  must replay bit-for-bit across sweeps.
+
+Example:
+    >>> from repro.runtime.faultinject import FaultInjector
+    >>> inj = FaultInjector(seed=0)
+    >>> spec = inj.register("double", mode="raise", times=2)
+    >>> def work():
+    ...     return "ok"
+    >>> for _ in range(2):
+    ...     try:
+    ...         inj.call("double", work)
+    ...     except RuntimeError:
+    ...         pass
+    >>> inj.call("double", work)  # third call: fault budget spent
+    'ok'
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["FaultInjector", "FaultSpec", "InjectedFault"]
+
+#: Supported fault modes.
+MODES = ("raise", "hang", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """Default exception raised by a ``mode="raise"`` injection point."""
+
+
+@dataclass
+class FaultSpec:
+    """Configuration of one injection point.
+
+    Attributes:
+        point: Injection-point name.
+        mode: ``"raise"``, ``"hang"``, or ``"corrupt"``.
+        probability: Chance each call trips the fault (1.0 = always).
+        times: Stop firing after this many faults (None = unlimited).
+        exception: Factory for the exception ``mode="raise"`` raises.
+        hang_seconds: How long ``mode="hang"`` blocks before returning
+            normally (a runner deadline should expire first).
+        corrupt: Maps the true return value to the corrupted one for
+            ``mode="corrupt"``; default replaces it with None.
+        fired: How many faults this point has injected so far.
+        calls: How many times this point has been reached.
+    """
+
+    point: str
+    mode: str = "raise"
+    probability: float = 1.0
+    times: int | None = None
+    exception: Callable[[], BaseException] = field(
+        default=lambda: InjectedFault("injected fault")
+    )
+    hang_seconds: float = 60.0
+    corrupt: Callable[[object], object] = field(default=lambda value: None)
+    fired: int = 0
+    calls: int = 0
+
+
+class FaultInjector:
+    """A seeded registry of injection points.
+
+    Args:
+        seed: Root seed.  Each point draws from its own
+            ``random.Random`` stream keyed by ``(seed, point)``, so
+            registration order and cross-point interleaving never
+            change a point's decision sequence.
+        sleep: Sleep function ``mode="hang"`` uses (injectable so tests
+            can hang on a fake clock).
+    """
+
+    def __init__(
+        self, seed: int = 0, *, sleep: Callable[[float], None] = time.sleep
+    ) -> None:
+        self.seed = seed
+        self._sleep = sleep
+        self._specs: dict[str, FaultSpec] = {}
+        self._rngs: dict[str, random.Random] = {}
+
+    def register(
+        self,
+        point: str,
+        *,
+        mode: str = "raise",
+        probability: float = 1.0,
+        times: int | None = None,
+        exception: Callable[[], BaseException] | None = None,
+        hang_seconds: float = 60.0,
+        corrupt: Callable[[object], object] | None = None,
+    ) -> FaultSpec:
+        """Arm ``point`` with a fault; returns the live :class:`FaultSpec`."""
+        if mode not in MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; known: {MODES}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        spec = FaultSpec(
+            point=point,
+            mode=mode,
+            probability=probability,
+            times=times,
+            hang_seconds=hang_seconds,
+        )
+        if exception is not None:
+            spec.exception = exception
+        if corrupt is not None:
+            spec.corrupt = corrupt
+        self._specs[point] = spec
+        self._rngs[point] = random.Random(f"{self.seed}:{point}")
+        return spec
+
+    def clear(self, point: str | None = None) -> None:
+        """Disarm one point, or every point when ``point`` is None."""
+        if point is None:
+            self._specs.clear()
+            self._rngs.clear()
+        else:
+            self._specs.pop(point, None)
+            self._rngs.pop(point, None)
+
+    def spec(self, point: str) -> FaultSpec | None:
+        """The armed spec for ``point``, or None."""
+        return self._specs.get(point)
+
+    def should_fire(self, point: str) -> bool:
+        """Decide (and record) whether ``point`` faults on this call.
+
+        Advances the point's RNG stream, so calling it is part of the
+        deterministic schedule — route real calls through
+        :meth:`call` instead of probing separately.
+        """
+        spec = self._specs.get(point)
+        if spec is None:
+            return False
+        spec.calls += 1
+        if spec.times is not None and spec.fired >= spec.times:
+            return False
+        if spec.probability < 1.0:
+            if self._rngs[point].random() >= spec.probability:
+                return False
+        spec.fired += 1
+        return True
+
+    def call(self, point: str, fn: Callable, *args, **kwargs):
+        """Call ``fn(*args, **kwargs)`` through injection point ``point``.
+
+        Depending on the armed spec this may raise, sleep past a
+        runner deadline, or return a corrupted value; an unarmed point
+        is a transparent passthrough.
+        """
+        if not self.should_fire(point):
+            return fn(*args, **kwargs)
+        spec = self._specs[point]
+        if spec.mode == "raise":
+            raise spec.exception()
+        if spec.mode == "hang":
+            self._sleep(spec.hang_seconds)
+            return fn(*args, **kwargs)
+        # mode == "corrupt": run the real call, then damage the result.
+        return spec.corrupt(fn(*args, **kwargs))
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-point ``{"calls": n, "fired": m}`` counters."""
+        return {
+            point: {"calls": spec.calls, "fired": spec.fired}
+            for point, spec in sorted(self._specs.items())
+        }

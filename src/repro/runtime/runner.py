@@ -1,0 +1,426 @@
+"""Fault-tolerant suite runner.
+
+``registry.run_all`` executes 13 experiments back-to-back; before this
+module existed, one crash aborted the whole suite and an interrupted
+run restarted from zero.  :class:`SuiteRunner` adds the three
+properties a long campaign needs:
+
+- **Isolation** — an experiment that raises becomes a recorded
+  ``status="error"`` :class:`RunRecord`; the rest of the suite runs.
+- **Retries** — a configurable :class:`RetryPolicy` with exponential
+  backoff, deterministic jitter, and a per-experiment wall-clock
+  deadline (enforced with a worker thread, surfaced as
+  :class:`repro.errors.BudgetExceeded`).
+- **Checkpoint/resume** — each completed experiment appends one JSONL
+  record; pointing a new runner at the same checkpoint file skips
+  experiments that already succeeded with the same ``(seed, fast)``.
+
+The clock and sleep functions are injectable so retry timing is
+testable with a fake clock, and a
+:class:`repro.runtime.faultinject.FaultInjector` can be attached to
+exercise every failure path deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import (
+    BudgetExceeded,
+    CheckFailure,
+    ExperimentError,
+    UnknownExperimentError,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+)
+from repro.io.jsonl import append_jsonl, read_jsonl
+
+__all__ = ["RetryPolicy", "RunRecord", "SuiteReport", "SuiteRunner"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how often) a failed experiment is retried.
+
+    Attributes:
+        retries: Extra attempts after the first (0 = fail fast).
+        backoff_base: Delay before the first retry, in seconds.
+        backoff_factor: Multiplier applied per subsequent retry.
+        max_backoff: Ceiling on any single delay.
+        jitter: Fraction of the delay drawn uniformly at random and
+            added, from a seeded stream (0.1 = up to +10%).
+    """
+
+    retries: int = 0
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    max_backoff: float = 30.0
+    jitter: float = 0.1
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """Backoff before retry ``retry_index`` (0-based), jitter included."""
+        base = min(
+            self.backoff_base * self.backoff_factor**retry_index,
+            self.max_backoff,
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one experiment under the runner.
+
+    Attributes:
+        experiment_id: "E1".."E13".
+        status: ``"ok"``, ``"error"``, or ``"timeout"``.
+        seed: Seed the experiment ran with.
+        fast: Whether fast problem sizes were used.
+        attempts: Attempts consumed (1 = no retry needed).
+        duration: Wall-clock seconds across all attempts.
+        checks: Shape-check outcomes (empty unless status is "ok").
+        error: Stringified exception for failed runs.
+        error_type: Exception class name for failed runs.
+        from_checkpoint: True when replayed from a checkpoint file
+            rather than executed.
+        result: The live :class:`ExperimentResult` (None when replayed).
+    """
+
+    experiment_id: str
+    status: str
+    seed: int
+    fast: bool
+    attempts: int = 1
+    duration: float = 0.0
+    checks: dict[str, bool] = field(default_factory=dict)
+    error: str | None = None
+    error_type: str | None = None
+    from_checkpoint: bool = False
+    result: ExperimentResult | None = None
+
+    @property
+    def shape_holds(self) -> bool:
+        """True when the run succeeded and every shape-check passed."""
+        return self.status == "ok" and all(self.checks.values())
+
+    def to_record(self) -> dict:
+        """The JSONL checkpoint representation (no live result)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "status": self.status,
+            "seed": self.seed,
+            "fast": self.fast,
+            "attempts": self.attempts,
+            "duration": round(self.duration, 6),
+            "checks": self.checks,
+            "shape_holds": self.shape_holds,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunRecord":
+        """Rebuild a (checkpoint-flagged) record from its JSONL form."""
+        return cls(
+            experiment_id=record["experiment_id"],
+            status=record["status"],
+            seed=record["seed"],
+            fast=record["fast"],
+            attempts=record.get("attempts", 1),
+            duration=record.get("duration", 0.0),
+            checks=record.get("checks", {}),
+            error=record.get("error"),
+            error_type=record.get("error_type"),
+            from_checkpoint=True,
+        )
+
+
+@dataclass
+class SuiteReport:
+    """All records from one :meth:`SuiteRunner.run_all` invocation."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def ok(self) -> bool:
+        """True when every record succeeded and every shape held."""
+        return all(r.shape_holds for r in self.records)
+
+    @property
+    def errors(self) -> list[RunRecord]:
+        """Records that did not reach ``status="ok"``."""
+        return [r for r in self.records if r.status != "ok"]
+
+    def summary(self) -> dict:
+        """A machine-readable summary (the ``--json-summary`` payload)."""
+        return {
+            "total": len(self.records),
+            "ok": sum(r.status == "ok" for r in self.records),
+            "error": sum(r.status == "error" for r in self.records),
+            "timeout": sum(r.status == "timeout" for r in self.records),
+            "shapes_hold": sum(r.shape_holds for r in self.records),
+            "from_checkpoint": sum(r.from_checkpoint for r in self.records),
+            "all_ok": self.ok,
+            "records": [r.to_record() for r in self.records],
+        }
+
+
+class SuiteRunner:
+    """Run experiments with isolation, retries, deadlines, checkpoints.
+
+    Args:
+        retries: Extra attempts per experiment (shorthand for
+            ``policy=RetryPolicy(retries=...)``).
+        policy: Full retry policy; overrides ``retries`` when given.
+        timeout: Per-experiment wall-clock deadline in seconds,
+            spanning all of its attempts (None = no deadline).
+        keep_going: When True, a failed experiment is recorded and the
+            suite continues; when False the failure re-raises after
+            its retries are exhausted.
+        checkpoint: JSONL path for checkpoint/resume (None = off).
+        strict_checks: Treat failing shape-checks as a
+            :class:`repro.errors.CheckFailure` (retryable) instead of
+            a successful run with failing checks.
+        seed: Seed for the deterministic retry jitter stream.
+        fault_injector: Optional
+            :class:`repro.runtime.faultinject.FaultInjector`; each
+            experiment call is routed through the injection point
+            ``"experiment:<id>"``.
+        clock: Monotonic clock (injectable for tests).
+        sleep: Sleep function used for backoff (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        retries: int = 0,
+        policy: RetryPolicy | None = None,
+        timeout: float | None = None,
+        keep_going: bool = True,
+        checkpoint: str | None = None,
+        strict_checks: bool = False,
+        seed: int = 0,
+        fault_injector=None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy(retries=retries)
+        self.timeout = timeout
+        self.keep_going = keep_going
+        self.checkpoint = checkpoint
+        self.strict_checks = strict_checks
+        self.fault_injector = fault_injector
+        self._clock = clock
+        self._sleep = sleep
+        self._jitter_seed = seed
+
+    # -- checkpointing -------------------------------------------------
+
+    def _load_checkpoint(self) -> dict[tuple[str, int, bool], RunRecord]:
+        """Completed records keyed by (experiment_id, seed, fast)."""
+        if self.checkpoint is None:
+            return {}
+        completed: dict[tuple[str, int, bool], RunRecord] = {}
+        try:
+            rows = list(read_jsonl(self.checkpoint, on_error="skip"))
+        except FileNotFoundError:
+            return {}
+        for row in rows:
+            if row.get("status") != "ok":
+                continue  # failed runs are retried on resume
+            record = RunRecord.from_record(row)
+            completed[(record.experiment_id, record.seed, record.fast)] = record
+        return completed
+
+    def _append_checkpoint(self, record: RunRecord) -> None:
+        if self.checkpoint is not None:
+            append_jsonl(self.checkpoint, [record.to_record()])
+
+    # -- execution -----------------------------------------------------
+
+    def _call_experiment(
+        self,
+        run_fn: Callable[..., ExperimentResult],
+        experiment_id: str,
+        seed: int,
+        fast: bool,
+    ) -> ExperimentResult:
+        if self.fault_injector is not None:
+            return self.fault_injector.call(
+                f"experiment:{experiment_id}", run_fn, seed=seed, fast=fast
+            )
+        return run_fn(seed=seed, fast=fast)
+
+    def _attempt(
+        self,
+        run_fn: Callable[..., ExperimentResult],
+        experiment_id: str,
+        seed: int,
+        fast: bool,
+        deadline: float | None,
+    ) -> ExperimentResult:
+        """One attempt, deadline-enforced when a timeout is set."""
+        if deadline is None:
+            return self._call_experiment(run_fn, experiment_id, seed, fast)
+        remaining = deadline - self._clock()
+        if remaining <= 0:
+            raise BudgetExceeded(
+                "deadline exhausted before attempt started",
+                budget=self.timeout,
+                experiment_id=experiment_id,
+                seed=seed,
+                stage="run",
+            )
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-{experiment_id}"
+        )
+        try:
+            future = executor.submit(
+                self._call_experiment, run_fn, experiment_id, seed, fast
+            )
+            try:
+                return future.result(timeout=remaining)
+            except FutureTimeoutError:
+                future.cancel()
+                raise BudgetExceeded(
+                    f"experiment exceeded its {self.timeout}s deadline",
+                    budget=self.timeout,
+                    spent=self.timeout,
+                    experiment_id=experiment_id,
+                    seed=seed,
+                    stage="run",
+                ) from None
+        finally:
+            # Do not wait: a hung experiment thread must not block the
+            # suite.  The thread finishes (or dies with the process) on
+            # its own.
+            executor.shutdown(wait=False)
+
+    def run_one(
+        self, experiment_id: str, seed: int = 0, fast: bool = True
+    ) -> RunRecord:
+        """Run one experiment under the full retry/deadline policy.
+
+        Never raises when ``keep_going`` is True; the failure is
+        captured in the returned record.
+        """
+        started = self._clock()
+        try:
+            run_fn = get_experiment(experiment_id)
+        except UnknownExperimentError as exc:
+            record = RunRecord(
+                experiment_id=experiment_id,
+                status="error",
+                seed=seed,
+                fast=fast,
+                attempts=0,
+                duration=self._clock() - started,
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+            if not self.keep_going:
+                raise
+            return record
+
+        deadline = None if self.timeout is None else started + self.timeout
+        rng = random.Random(f"{self._jitter_seed}:retry:{experiment_id}")
+        last_exc: BaseException | None = None
+        attempts = 0
+        retries = max(0, self.policy.retries)  # a negative count means "none"
+        for attempt in range(retries + 1):
+            attempts = attempt + 1
+            try:
+                result = self._attempt(run_fn, experiment_id, seed, fast, deadline)
+                if not isinstance(result, ExperimentResult):
+                    raise ExperimentError(
+                        f"experiment returned {type(result).__name__}, "
+                        "expected ExperimentResult",
+                        experiment_id=experiment_id,
+                        seed=seed,
+                        stage="run",
+                    )
+                if self.strict_checks and not result.shape_holds:
+                    failed = tuple(
+                        name for name, ok in sorted(result.checks.items()) if not ok
+                    )
+                    raise CheckFailure(
+                        f"shape checks failed: {', '.join(failed)}",
+                        failed_checks=failed,
+                        experiment_id=experiment_id,
+                        seed=seed,
+                        stage="check",
+                    )
+                return RunRecord(
+                    experiment_id=experiment_id,
+                    status="ok",
+                    seed=seed,
+                    fast=fast,
+                    attempts=attempts,
+                    duration=self._clock() - started,
+                    checks=dict(result.checks),
+                    result=result,
+                )
+            except BudgetExceeded as exc:
+                # The wall-clock budget spans attempts: no retry helps.
+                last_exc = exc
+                break
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                last_exc = exc
+                if attempt < retries:
+                    self._sleep(self.policy.delay(attempt, rng))
+
+        status = "timeout" if isinstance(last_exc, BudgetExceeded) else "error"
+        record = RunRecord(
+            experiment_id=experiment_id,
+            status=status,
+            seed=seed,
+            fast=fast,
+            attempts=attempts,
+            duration=self._clock() - started,
+            error=str(last_exc),
+            error_type=type(last_exc).__name__,
+        )
+        if not self.keep_going:
+            assert last_exc is not None
+            raise last_exc
+        return record
+
+    def run_all(
+        self,
+        ids: Iterable[str] | None = None,
+        seed: int = 0,
+        fast: bool = True,
+    ) -> SuiteReport:
+        """Run the suite (or ``ids``) under isolation; returns a report.
+
+        With a checkpoint configured, experiments that already
+        completed with the same ``(seed, fast)`` are replayed from the
+        file instead of re-executed, and every fresh outcome is
+        appended as soon as it is known — a killed run resumes from
+        the last completed experiment.
+        """
+        experiment_ids = list(ids) if ids is not None else all_experiments()
+        completed = self._load_checkpoint()
+        report = SuiteReport()
+        for experiment_id in experiment_ids:
+            key = (experiment_id, seed, fast)
+            if key in completed:
+                report.records.append(completed[key])
+                continue
+            record = self.run_one(experiment_id, seed=seed, fast=fast)
+            self._append_checkpoint(record)
+            report.records.append(record)
+        return report

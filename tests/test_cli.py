@@ -142,3 +142,56 @@ def test_version_flag(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
+
+
+class TestExperimentsRuntimeFlags:
+    def test_keep_going_records_error_and_runs_rest(self, capsys):
+        # E99 cannot run; with --keep-going the rest of the ids still do
+        # and the exit code is non-zero.
+        code = main(["experiments", "E99", "E11", "--keep-going"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "E99: ERROR" in out
+        assert "UnknownExperimentError" in out
+        assert "E11:" in out
+        assert "PASS" in out
+
+    def test_without_keep_going_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "E99", "E11"])
+
+    def test_checkpoint_resume_skips_completed(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        assert main(["experiments", "E11", "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(["experiments", "E11", "--checkpoint", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "replayed from checkpoint" in out
+
+    def test_json_summary_to_file(self, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        code = main(
+            ["experiments", "E11", "--json-summary", str(summary_path)]
+        )
+        assert code == 0
+        payload = json.loads(summary_path.read_text())
+        assert payload["total"] == 1
+        assert payload["all_ok"] is True
+        assert payload["records"][0]["experiment_id"] == "E11"
+
+    def test_json_summary_to_stdout(self, capsys):
+        assert main(["experiments", "E11", "--json-summary", "-"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{\n")
+        payload = json.loads(out[start:])
+        assert payload["ok"] == 1
+
+    def test_retries_and_timeout_flags_accepted(self, capsys):
+        code = main(
+            ["experiments", "E11", "--retries", "2", "--timeout", "60"]
+        )
+        assert code == 0
+        assert "E11:" in capsys.readouterr().out
+
+    def test_keep_going_all_ok_exits_zero(self, capsys):
+        assert main(["experiments", "E11", "--keep-going"]) == 0

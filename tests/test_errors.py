@@ -1,0 +1,77 @@
+"""Tests for the repro.errors taxonomy."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    CheckFailure,
+    DataFormatError,
+    ExperimentError,
+    JsonlDecodeError,
+    ReproError,
+    TruncatedFileError,
+    UnknownExperimentError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(ExperimentError, ReproError)
+    assert issubclass(UnknownExperimentError, ExperimentError)
+    assert issubclass(CheckFailure, ReproError)
+    assert issubclass(DataFormatError, ReproError)
+    assert issubclass(JsonlDecodeError, DataFormatError)
+    assert issubclass(TruncatedFileError, JsonlDecodeError)
+    assert issubclass(BudgetExceeded, ReproError)
+
+
+def test_backward_compatible_bases():
+    # Pre-taxonomy callers catch these stdlib types; they must keep working.
+    assert issubclass(UnknownExperimentError, KeyError)
+    assert issubclass(DataFormatError, ValueError)
+    assert issubclass(JsonlDecodeError, json.JSONDecodeError)
+
+
+def test_context_carried_and_rendered():
+    exc = ExperimentError("boom", experiment_id="E6", seed=3, stage="run")
+    assert exc.context() == {"experiment_id": "E6", "seed": 3, "stage": "run"}
+    text = str(exc)
+    assert "boom" in text
+    assert "experiment_id=E6" in text
+    assert "seed=3" in text
+
+
+def test_context_omitted_when_absent():
+    exc = ReproError("plain")
+    assert exc.context() == {}
+    assert str(exc) == "plain"
+
+
+def test_unknown_experiment_str_is_not_keyerror_repr():
+    exc = UnknownExperimentError("unknown experiment 'E99'")
+    assert str(exc) == "unknown experiment 'E99'"  # no KeyError quoting
+
+
+def test_check_failure_lists_checks():
+    exc = CheckFailure(
+        "shape checks failed", failed_checks=("a", "b"), experiment_id="E1"
+    )
+    assert exc.failed_checks == ("a", "b")
+    assert exc.experiment_id == "E1"
+
+
+def test_jsonl_decode_error_location():
+    exc = JsonlDecodeError("x.jsonl:3: bad", "bad", 0, path="x.jsonl", line_number=3)
+    assert exc.path == "x.jsonl"
+    assert exc.line_number == 3
+    assert exc.stage == "read"
+    with pytest.raises(json.JSONDecodeError):
+        raise exc
+
+
+def test_budget_exceeded_carries_amounts():
+    exc = BudgetExceeded("too slow", budget=5.0, spent=7.2, experiment_id="E13")
+    assert exc.budget == 5.0
+    assert exc.spent == 7.2
+    assert isinstance(exc, ReproError)

@@ -66,3 +66,21 @@ def test_render_includes_checks():
     text = result.render()
     assert "E11" in text
     assert "PASS" in text
+
+
+def test_describe_unknown_id_helpful_message():
+    # Satellite fix: describe() used to raise a bare KeyError.
+    with pytest.raises(KeyError) as excinfo:
+        describe("E99")
+    assert "unknown experiment" in str(excinfo.value)
+    assert "E13" in str(excinfo.value)
+
+
+def test_unknown_ids_raise_taxonomy_error():
+    from repro.errors import ExperimentError, UnknownExperimentError
+
+    for lookup in (describe, get_experiment):
+        with pytest.raises(UnknownExperimentError) as excinfo:
+            lookup("nope")
+        assert isinstance(excinfo.value, ExperimentError)
+        assert isinstance(excinfo.value, KeyError)

@@ -52,3 +52,102 @@ def test_keys_sorted_for_stable_diffs(tmp_path):
     path = tmp_path / "data.jsonl"
     write_jsonl(path, [{"z": 1, "a": 2}])
     assert path.read_text().startswith('{"a": 2')
+
+
+class TestHardenedReads:
+    def test_utf8_bom_tolerated(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_bytes(b'\xef\xbb\xbf{"a": 1}\n{"b": 2}\n')
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_truncated_final_line_reported_distinctly(self, tmp_path):
+        from repro.errors import JsonlDecodeError, TruncatedFileError
+
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\n{"b": ')  # writer killed mid-record
+        with pytest.raises(TruncatedFileError) as excinfo:
+            list(read_jsonl(path))
+        assert "truncated" in str(excinfo.value)
+        assert excinfo.value.line_number == 2
+
+        # Interior corruption is NOT a truncation.
+        path.write_text('not json\n{"a": 1}\n')
+        with pytest.raises(JsonlDecodeError) as excinfo:
+            list(read_jsonl(path))
+        assert not isinstance(excinfo.value, TruncatedFileError)
+
+    def test_errors_are_json_decode_errors_for_old_callers(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('garbage\n')
+        with pytest.raises(json.JSONDecodeError):
+            list(read_jsonl(path))
+
+    def test_on_error_skip_salvages_good_lines(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\ngarbage\n{"b": 2}\n{"c": ')
+        assert list(read_jsonl(path, on_error="skip")) == [{"a": 1}, {"b": 2}]
+
+    def test_on_error_collect_reports_each_bad_line(self, tmp_path):
+        from repro.errors import TruncatedFileError
+
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\ngarbage\n{"b": ')
+        errors = []
+        records = list(read_jsonl(path, on_error="collect", errors=errors))
+        assert records == [{"a": 1}]
+        assert [e.line_number for e in errors] == [2, 3]
+        assert isinstance(errors[1], TruncatedFileError)
+
+    def test_on_error_validation(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\n')
+        with pytest.raises(ValueError, match="on_error"):
+            list(read_jsonl(path, on_error="ignore"))
+        with pytest.raises(ValueError, match="errors list"):
+            list(read_jsonl(path, on_error="collect"))
+
+
+class TestAtomicWrites:
+    def test_crash_mid_write_keeps_old_file_intact(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, [{"old": 1}, {"old": 2}])
+
+        def torn_records():
+            yield {"new": 1}
+            raise RuntimeError("simulated kill -9 mid-write")
+
+        with pytest.raises(RuntimeError):
+            write_jsonl(path, torn_records())
+        # Old file untouched, no temp debris: never a torn dataset.
+        assert list(read_jsonl(path)) == [{"old": 1}, {"old": 2}]
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_crash_on_first_write_leaves_nothing(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+
+        def bad():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError):
+            write_jsonl(path, bad())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_write_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_append_preserves_existing_on_crash(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, [{"old": 1}])
+
+        def torn_records():
+            yield {"new": 1}
+            raise RuntimeError("killed")
+
+        with pytest.raises(RuntimeError):
+            append_jsonl(path, torn_records())
+        # Appends can tear only the tail; salvage mode recovers the rest.
+        salvaged = list(read_jsonl(path, on_error="skip"))
+        assert salvaged[0] == {"old": 1}

@@ -1,0 +1,133 @@
+"""Tests for repro.runtime.faultinject."""
+
+import pytest
+
+from repro.runtime.faultinject import FaultInjector, FaultSpec, InjectedFault
+
+
+def fire_sequence(injector, point, n=40):
+    """Whether each of ``n`` calls through ``point`` faulted."""
+    outcomes = []
+    for _ in range(n):
+        try:
+            injector.call(point, lambda: "ok")
+            outcomes.append(False)
+        except InjectedFault:
+            outcomes.append(True)
+    return outcomes
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(seed=7)
+        b = FaultInjector(seed=7)
+        for injector in (a, b):
+            injector.register("p", probability=0.3)
+        assert fire_sequence(a, "p") == fire_sequence(b, "p")
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(seed=0)
+        b = FaultInjector(seed=1)
+        for injector in (a, b):
+            injector.register("p", probability=0.5)
+        assert fire_sequence(a, "p") != fire_sequence(b, "p")
+
+    def test_points_have_independent_streams(self):
+        # Interleaving calls to another point must not shift p's schedule.
+        a = FaultInjector(seed=3)
+        a.register("p", probability=0.5)
+        solo = fire_sequence(a, "p")
+
+        b = FaultInjector(seed=3)
+        b.register("p", probability=0.5)
+        b.register("q", probability=0.5)
+        interleaved = []
+        for _ in range(40):
+            try:
+                b.call("p", lambda: "ok")
+                interleaved.append(False)
+            except InjectedFault:
+                interleaved.append(True)
+            b.should_fire("q")  # advance q's stream between p calls
+        assert interleaved == solo
+
+
+class TestModes:
+    def test_raise_mode_default_exception(self):
+        injector = FaultInjector()
+        injector.register("p")
+        with pytest.raises(InjectedFault):
+            injector.call("p", lambda: "ok")
+
+    def test_raise_mode_custom_exception(self):
+        injector = FaultInjector()
+        injector.register("p", exception=lambda: OSError("disk gone"))
+        with pytest.raises(OSError, match="disk gone"):
+            injector.call("p", lambda: "ok")
+
+    def test_times_budget_then_passthrough(self):
+        injector = FaultInjector()
+        injector.register("p", times=2)
+        assert fire_sequence(injector, "p", n=5) == [
+            True, True, False, False, False,
+        ]
+
+    def test_corrupt_mode_damages_return_value(self):
+        injector = FaultInjector()
+        injector.register("p", mode="corrupt", times=1)
+        assert injector.call("p", lambda: [1, 2]) is None  # default: None
+        assert injector.call("p", lambda: [1, 2]) == [1, 2]
+
+    def test_corrupt_mode_custom_function(self):
+        injector = FaultInjector()
+        injector.register(
+            "p", mode="corrupt", corrupt=lambda value: value[::-1]
+        )
+        assert injector.call("p", lambda: [1, 2, 3]) == [3, 2, 1]
+
+    def test_hang_mode_sleeps_then_returns(self):
+        slept = []
+        injector = FaultInjector(sleep=slept.append)
+        injector.register("p", mode="hang", hang_seconds=12.5, times=1)
+        assert injector.call("p", lambda: "ok") == "ok"
+        assert slept == [12.5]
+
+    def test_unregistered_point_is_passthrough(self):
+        injector = FaultInjector()
+        assert injector.call("nope", lambda: 41 + 1) == 42
+
+
+class TestApi:
+    def test_register_validates_mode_and_probability(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="mode"):
+            injector.register("p", mode="explode")
+        with pytest.raises(ValueError, match="probability"):
+            injector.register("p", probability=1.5)
+
+    def test_register_returns_live_spec(self):
+        injector = FaultInjector()
+        spec = injector.register("p", times=1)
+        assert isinstance(spec, FaultSpec)
+        with pytest.raises(InjectedFault):
+            injector.call("p", lambda: "ok")
+        assert spec.fired == 1
+        assert spec.calls == 1
+
+    def test_stats_and_clear(self):
+        injector = FaultInjector()
+        injector.register("p", times=1)
+        injector.register("q", times=0)
+        fire_sequence(injector, "p", n=3)
+        assert injector.stats() == {
+            "p": {"calls": 3, "fired": 1},
+            "q": {"calls": 0, "fired": 0},
+        }
+        injector.clear("p")
+        assert injector.spec("p") is None
+        injector.clear()
+        assert injector.stats() == {}
+
+    def test_args_forwarded(self):
+        injector = FaultInjector()
+        assert injector.call("p", lambda a, b=0: a + b, 40, b=2) == 42
