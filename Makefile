@@ -20,8 +20,18 @@ check:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro experiments E1 E13 --seed 0 --retries 1 --json-summary -
 
+# One fast experiment with tracing + metrics on; `obs report` re-parses
+# the trace and fails on a malformed span, so this asserts the whole
+# export -> parse -> render path.
+obs-smoke:
+	rm -rf .obs-smoke && mkdir -p .obs-smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro run E11 \
+		--trace-out .obs-smoke/trace.jsonl --metrics-out .obs-smoke/metrics.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro obs report .obs-smoke/trace.jsonl
+	rm -rf .obs-smoke
+
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench examples experiments experiments-full check outputs
+.PHONY: install test bench examples experiments experiments-full check obs-smoke outputs

@@ -2,9 +2,15 @@
 
 Each ``bench_eXX_*.py`` file wraps one experiment from
 :mod:`repro.experiments` in pytest-benchmark, asserts the experiment's
-shape checks (the DESIGN.md "expected shape" column), and writes the
-rendered result tables to ``benchmarks/results/eXX.txt`` so EXPERIMENTS.md
-rows can be pasted from a run.
+shape checks (the DESIGN.md "expected shape" column), and persists two
+artifacts under ``benchmarks/results/``:
+
+- ``eXX.txt`` — the rendered result tables, pasted into EXPERIMENTS.md;
+- ``eXX.json`` — per-round stage timings captured by the
+  :mod:`repro.obs` tracer, the baseline every perf PR compares against.
+
+Nothing is persisted when a shape check fails: a broken run must not
+overwrite a good baseline.
 
 Benchmarks run each experiment once per round (``pedantic``): the
 experiments are deterministic whole-system runs, not microbenchmarks,
@@ -13,9 +19,11 @@ so statistical repetition buys nothing but wall-clock.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.experiments.registry import ExperimentResult, get_experiment
+from repro.obs import Tracer, use_tracer
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,14 +35,43 @@ def run_and_record(
     fast: bool = True,
     rounds: int = 3,
 ) -> ExperimentResult:
-    """Benchmark one experiment, persist its tables, assert its shape."""
+    """Benchmark one experiment, assert its shape, persist its artifacts."""
     runner = get_experiment(experiment_id)
-    result = benchmark.pedantic(
-        runner, kwargs={"seed": seed, "fast": fast}, rounds=rounds, iterations=1
-    )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = benchmark.pedantic(
+            runner, kwargs={"seed": seed, "fast": fast}, rounds=rounds,
+            iterations=1,
+        )
+
+    # Assert before persisting: a failing shape must not replace the
+    # last good baseline on disk.
+    failing = {name for name, ok in result.checks.items() if not ok}
+    assert not failing, f"{experiment_id} shape checks failed: {failing}"
+
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     out_path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
     out_path.write_text(result.render() + "\n", encoding="utf-8")
-    failing = {name for name, ok in result.checks.items() if not ok}
-    assert not failing, f"{experiment_id} shape checks failed: {failing}"
+
+    stages = [
+        {"name": span.name, "round": index, "duration": span.duration}
+        for index, span in enumerate(tracer.finished)
+    ]
+    durations = [stage["duration"] for stage in stages]
+    timings = {
+        "experiment_id": experiment_id,
+        "seed": seed,
+        "fast": fast,
+        "rounds": len(durations),
+        "stages": stages,
+        "mean_run_seconds": (
+            sum(durations) / len(durations) if durations else 0.0
+        ),
+        "min_run_seconds": min(durations, default=0.0),
+        "max_run_seconds": max(durations, default=0.0),
+    }
+    timings_path = RESULTS_DIR / f"{experiment_id.lower()}.json"
+    timings_path.write_text(
+        json.dumps(timings, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return result

@@ -24,6 +24,9 @@ those arguments (see DESIGN.md for the substitution map):
 - :mod:`repro.runtime` -- fault-tolerant suite runner (isolation,
   retries, deadlines, checkpoint/resume) and the deterministic
   fault-injection harness.
+- :mod:`repro.obs` -- observability: hierarchical tracing, a metrics
+  registry, per-experiment profiling, and trace reports
+  (``repro obs report``).
 - :mod:`repro.errors` -- the toolkit-wide error taxonomy.
 
 Quickstart: see ``examples/quickstart.py``.

@@ -1,10 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the workflows a downstream user reaches for
+Five subcommands cover the workflows a downstream user reaches for
 first:
 
-- ``experiments``: list the E1-E12 suite or run selected experiments
-  and print their result tables.
+- ``experiments`` (alias: ``run``): list the E1-E13 suite or run
+  selected experiments and print their result tables; ``--trace-out``,
+  ``--metrics-out``, and ``--profile-out`` switch on the
+  :mod:`repro.obs` observability layer for the run.
+- ``obs``: observability reports — ``obs report TRACE`` renders the
+  per-experiment stage-time breakdown from an exported trace.
 - ``corpus``: generate the synthetic venue corpus to JSONL files.
 - ``detect``: run method-mention detection over a text file.
 - ``audit``: evaluate a research-project record (JSON) against the
@@ -24,26 +28,42 @@ from repro import __version__
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.registry import all_experiments, describe
+    from contextlib import ExitStack
+
+    from repro.experiments.registry import describe_table
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
     from repro.runtime.runner import SuiteRunner
 
     if args.list:
-        for experiment_id in all_experiments():
-            title, claim = describe(experiment_id)
-            print(f"{experiment_id:4s} {title}")
-            print(f"     {claim}")
+        print(describe_table().render())
         return 0
 
-    runner = SuiteRunner(
-        retries=args.retries,
-        timeout=args.timeout,
-        keep_going=args.keep_going,
-        checkpoint=args.checkpoint,
-        seed=args.seed,
-    )
-    report = runner.run_all(
-        args.ids or None, seed=args.seed, fast=not args.full
-    )
+    # --trace-out / --metrics-out install real collectors process-wide
+    # for the run, so the registry's stage spans and the JSONL row
+    # counters land in the same trace/snapshot as the runner's own.
+    tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if metrics is not None:
+            stack.enter_context(use_metrics(metrics))
+        runner = SuiteRunner(
+            retries=args.retries,
+            timeout=args.timeout,
+            keep_going=args.keep_going,
+            checkpoint=args.checkpoint,
+            seed=args.seed,
+            profile_dir=args.profile_out,
+        )
+        ids = None if args.all else (args.ids or None)
+        report = runner.run_all(ids, seed=args.seed, fast=not args.full)
+    if tracer is not None:
+        count = tracer.export(args.trace_out)
+        print(f"wrote {count} spans -> {args.trace_out}", file=sys.stderr)
+    if metrics is not None:
+        metrics.write(args.metrics_out)
+        print(f"wrote metrics -> {args.metrics_out}", file=sys.stderr)
     for record in report:
         if record.result is not None:
             print(record.result.render())
@@ -68,6 +88,18 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         else:
             Path(args.json_summary).write_text(payload + "\n", encoding="utf-8")
     return 0 if report.ok else 1
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import build_report, load_trace, render_report
+
+    spans = load_trace(args.trace)
+    if args.json:
+        print(json.dumps(build_report(spans, top=args.top), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_report(spans, top=args.top))
+    return 0
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -205,10 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     experiments = subparsers.add_parser(
-        "experiments", help="list or run the E1-E12 experiment suite"
+        "experiments",
+        aliases=["run"],
+        help="list or run the E1-E13 experiment suite",
     )
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     experiments.add_argument("--list", action="store_true", help="list and exit")
+    experiments.add_argument(
+        "--all", action="store_true",
+        help="run the whole suite (explicit form of passing no ids)",
+    )
     experiments.add_argument("--seed", type=int, default=0)
     experiments.add_argument(
         "--full", action="store_true", help="full problem sizes (slower)"
@@ -233,7 +271,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-summary", metavar="PATH",
         help="write a machine-readable run summary ('-' for stdout)",
     )
+    experiments.add_argument(
+        "--trace-out", metavar="PATH",
+        help="export a JSONL trace of suite/experiment/attempt/stage spans",
+    )
+    experiments.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write runner and I/O metrics (counters/gauges/histograms) as JSON",
+    )
+    experiments.add_argument(
+        "--profile-out", metavar="DIR",
+        help="dump a cProfile capture per experiment into DIR (<id>.pstats)",
+    )
     experiments.set_defaults(func=_cmd_experiments)
+
+    obs = subparsers.add_parser(
+        "obs", help="observability reports over exported traces"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="per-experiment stage-time breakdown from a --trace-out file",
+    )
+    obs_report.add_argument("trace", help="trace file written by --trace-out")
+    obs_report.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many slowest stages to show",
+    )
+    obs_report.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of tables",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     corpus = subparsers.add_parser(
         "corpus", help="generate the synthetic venue corpus to JSONL"

@@ -7,6 +7,13 @@
 """
 
 from repro.io.jsonl import read_jsonl, write_jsonl, append_jsonl
-from repro.io.tables import Table, render_table
+from repro.io.tables import Table, render_kv, render_table
 
-__all__ = ["read_jsonl", "write_jsonl", "append_jsonl", "Table", "render_table"]
+__all__ = [
+    "read_jsonl",
+    "write_jsonl",
+    "append_jsonl",
+    "Table",
+    "render_kv",
+    "render_table",
+]

@@ -23,6 +23,18 @@ from repro.errors import JsonlDecodeError, TruncatedFileError
 ON_ERROR_MODES = ("raise", "skip", "collect")
 
 
+def _metrics():
+    """The active metrics registry (a no-op sink unless one is installed).
+
+    Imported lazily at call time: :mod:`repro.obs` exports trace files
+    through this module, so a top-level import would be circular.  The
+    per-call cost is one ``sys.modules`` lookup.
+    """
+    from repro.obs.metrics import current_metrics
+
+    return current_metrics()
+
+
 def _dump_lines(handle, records: Iterable[dict]) -> int:
     count = 0
     for record in records:
@@ -53,6 +65,7 @@ def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+    _metrics().count("io.jsonl.rows_written", count)
     return count
 
 
@@ -71,6 +84,7 @@ def append_jsonl(path: str | Path, records: Iterable[dict]) -> int:
         count = _dump_lines(handle, records)
         handle.flush()
         os.fsync(handle.fileno())
+    _metrics().count("io.jsonl.rows_written", count)
     return count
 
 
@@ -104,28 +118,43 @@ def read_jsonl(
     if on_error == "collect" and errors is None:
         raise ValueError('on_error="collect" needs an errors list to fill')
     path = Path(path)
+    rows_read = 0
+    salvaged = 0
     # utf-8-sig strips a leading BOM when present, reads plain UTF-8
     # unchanged otherwise.
-    with path.open("r", encoding="utf-8-sig") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                yield json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                truncated = not line.endswith("\n")
-                error_cls = TruncatedFileError if truncated else JsonlDecodeError
-                prefix = "truncated final line (writer killed mid-record?)"
-                detail = f"{prefix}: {exc.msg}" if truncated else exc.msg
-                wrapped = error_cls(
-                    f"{path}:{line_number}: {detail}",
-                    exc.doc,
-                    exc.pos,
-                    path=str(path),
-                    line_number=line_number,
-                )
-                if on_error == "raise":
-                    raise wrapped from exc
-                if on_error == "collect":
-                    errors.append(wrapped)
+    try:
+        with path.open("r", encoding="utf-8-sig") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    truncated = not line.endswith("\n")
+                    error_cls = (
+                        TruncatedFileError if truncated else JsonlDecodeError
+                    )
+                    prefix = "truncated final line (writer killed mid-record?)"
+                    detail = f"{prefix}: {exc.msg}" if truncated else exc.msg
+                    wrapped = error_cls(
+                        f"{path}:{line_number}: {detail}",
+                        exc.doc,
+                        exc.pos,
+                        path=str(path),
+                        line_number=line_number,
+                    )
+                    if on_error == "raise":
+                        raise wrapped from exc
+                    salvaged += 1
+                    if on_error == "collect":
+                        errors.append(wrapped)
+                    continue
+                rows_read += 1
+                yield record
+    finally:
+        # Counted in a finally so a partially consumed generator still
+        # reports the rows it produced and the lines it skipped around.
+        metrics = _metrics()
+        metrics.count("io.jsonl.rows_read", rows_read)
+        metrics.count("io.jsonl.salvaged_lines", salvaged)

@@ -1,7 +1,10 @@
 """Plain-text table rendering.
 
 Every benchmark prints its result rows as an aligned plain-text table so
-EXPERIMENTS.md entries can be pasted straight from a run's output.
+EXPERIMENTS.md entries can be pasted straight from a run's output.  The
+registry listing (``repro experiments --list``), the metrics renderer,
+and ``repro obs report`` all format through this one module — tables
+via :func:`render_table`, key/value blocks via :func:`render_kv`.
 """
 
 from __future__ import annotations
@@ -50,6 +53,24 @@ class Table:
     def to_records(self) -> list[dict]:
         """Rows as dicts keyed by column name (for JSONL persistence)."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def render_kv(
+    pairs: Sequence[tuple[str, object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render ``(key, value)`` pairs as an aligned two-column block.
+
+    The key/value sections of reports (``repro obs report`` summaries,
+    metrics dumps) share this one formatter so every surface aligns the
+    same way.
+    """
+    width = max((len(key) for key, _ in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"{key.ljust(width)}  {_format_cell(value, precision)}")
+    return "\n".join(lines)
 
 
 def render_table(

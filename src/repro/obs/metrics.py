@@ -1,0 +1,337 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named instruments, snapshots to a
+plain dict, and merges snapshots associatively — so per-shard (or
+per-process) registries can be combined in any grouping and produce the
+same totals.  Rendering goes through :mod:`repro.io.tables`, the same
+renderer every other report in the toolkit uses.
+
+The process-wide default is a :class:`NullMetrics` whose every method
+is a no-op, so instrumented hot paths (``read_jsonl`` row counting, the
+suite runner's retry accounting) cost one lookup and one call until a
+real registry is installed with :func:`use_metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.io.tables import render_table
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "current_metrics",
+    "merge_snapshots",
+    "set_metrics",
+    "use_metrics",
+]
+
+#: Default histogram bucket upper edges, in seconds — spans the
+#: microbenchmark-to-suite range the experiment runtime produces.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter; negative amounts are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A named last-written value (None until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``value <= edge`` bucket semantics.
+
+    A value lands in the first bucket whose upper edge is >= the value
+    (so a value exactly on an edge belongs to that edge's bucket), or
+    in the overflow bucket past the last edge.  ``counts`` therefore
+    has ``len(buckets) + 1`` cells.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        edges = tuple(buckets)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs >= 1 bucket edge")
+        if any(a >= b for a, b in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram {name!r} bucket edges must be strictly increasing: "
+                f"{edges}"
+            )
+        self.name = name
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments with a snapshot/merge API and two renderers.
+
+    Thread-safe for the suite runner's worker threads: instrument
+    creation is locked, and instrument updates are single bytecode-level
+    mutations on plain ints/floats.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        The bucket edges are fixed at creation; a later caller passing
+        different edges gets the original instrument unchanged.
+        """
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, buckets)
+            return self._histograms[name]
+
+    # -- one-shot conveniences (the instrumentation-site API) ----------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Shorthand: increment counter ``name``."""
+        self.counter(name).add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Shorthand: set gauge ``name``."""
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Shorthand: record ``value`` into histogram ``name``."""
+        self.histogram(name, buckets).observe(value)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-serializable copy of every instrument."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "buckets": list(h.buckets),
+                        "counts": list(h.counts),
+                        "count": h.count,
+                        "sum": h.sum,
+                    }
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram cells add; gauges take the incoming
+        value when it is set (last-write-wins, which is associative).
+        Histograms with the same name must share bucket edges.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, data["buckets"])
+            if list(histogram.buckets) != list(data["buckets"]):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket edges differ "
+                    f"({list(histogram.buckets)} vs {list(data['buckets'])})"
+                )
+            for i, cell in enumerate(data["counts"]):
+                histogram.counts[i] += cell
+            histogram.count += data["count"]
+            histogram.sum += data["sum"]
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self) -> str:
+        """All instruments as aligned plain-text tables."""
+        snapshot = self.snapshot()
+        parts = []
+        if snapshot["counters"]:
+            parts.append(render_table(
+                ["counter", "value"],
+                sorted(snapshot["counters"].items()),
+                title="counters",
+            ))
+        if snapshot["gauges"]:
+            parts.append(render_table(
+                ["gauge", "value"],
+                sorted(snapshot["gauges"].items()),
+                title="gauges",
+            ))
+        if snapshot["histograms"]:
+            rows = [
+                [name, data["count"], data["sum"],
+                 data["sum"] / data["count"] if data["count"] else 0.0]
+                for name, data in sorted(snapshot["histograms"].items())
+            ]
+            parts.append(render_table(
+                ["histogram", "count", "sum", "mean"], rows, title="histograms",
+            ))
+        if not parts:
+            return "(no metrics recorded)"
+        return "\n\n".join(parts)
+
+    def render_json(self) -> str:
+        """The snapshot as a stable, indented JSON document."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def write(self, path) -> None:
+        """Write :meth:`render_json` to ``path`` (parents created)."""
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render_json() + "\n", encoding="utf-8")
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge snapshot dicts left-to-right; associative by construction."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged.snapshot()
+
+
+class NullMetrics:
+    """The do-nothing default registry.
+
+    Instrumented call sites hit these no-ops until a real registry is
+    installed, so always-on counting in hot paths stays free.
+    """
+
+    enabled = False
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The process-wide registry instrumented call sites consult.
+_metrics: MetricsRegistry | NullMetrics = NullMetrics()
+
+
+def current_metrics() -> MetricsRegistry | NullMetrics:
+    """The active process-wide registry (:class:`NullMetrics` by default)."""
+    return _metrics
+
+
+def set_metrics(
+    metrics: MetricsRegistry | NullMetrics | None,
+) -> MetricsRegistry | NullMetrics:
+    """Install ``metrics`` globally (None restores the null registry).
+
+    Returns the previously installed registry; prefer
+    :func:`use_metrics`, which restores it automatically.
+    """
+    global _metrics
+    previous = _metrics
+    _metrics = metrics if metrics is not None else NullMetrics()
+    return previous
+
+
+@contextmanager
+def use_metrics(
+    metrics: MetricsRegistry | NullMetrics,
+) -> Iterator[MetricsRegistry | NullMetrics]:
+    """Install ``metrics`` for the duration of the ``with`` block."""
+    previous = set_metrics(metrics)
+    try:
+        yield metrics
+    finally:
+        set_metrics(previous)

@@ -1,0 +1,49 @@
+"""Opt-in ``cProfile`` capture for experiment runs.
+
+The suite runner calls :func:`profile_call` around each experiment when
+``--profile-out DIR`` is given, dumping one ``pstats`` file per
+experiment attempt.  Inspect a dump with the stdlib::
+
+    python -m pstats out/E7.pstats
+    % sort cumtime
+    % stats 20
+
+Profiling is per-call and opt-in: nothing in the toolkit imports
+``cProfile`` until a profile path is requested.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["profile_call", "profile_to"]
+
+T = TypeVar("T")
+
+
+@contextmanager
+def profile_to(path: str | Path) -> Iterator[cProfile.Profile]:
+    """Profile the ``with`` block, dumping stats to ``path`` on exit.
+
+    The dump happens even when the block raises, so a crashing
+    experiment still leaves its profile behind.  Parent directories are
+    created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(path))
+
+
+def profile_call(fn: Callable[..., T], path: str | Path, *args, **kwargs) -> T:
+    """Run ``fn(*args, **kwargs)`` under cProfile; dump stats to ``path``."""
+    with profile_to(path):
+        return fn(*args, **kwargs)

@@ -1,0 +1,198 @@
+"""Trace-file analysis: the ``repro obs report`` backend.
+
+Takes the JSONL a :class:`repro.obs.tracing.Tracer` exported and turns
+it into the answers a perf investigation starts from:
+
+- per-experiment stage-time breakdown (total, in-experiment run time,
+  runner overhead, share of the suite wall clock);
+- the critical path (the longest root-to-leaf chain of spans);
+- the slowest individual stage spans;
+- a retry histogram (attempts consumed per experiment).
+
+All tables render through :mod:`repro.io.tables` — the same renderer
+the registry listing and the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import DataFormatError
+from repro.io.jsonl import read_jsonl
+from repro.io.tables import render_kv, render_table
+
+__all__ = ["build_report", "load_trace", "render_report"]
+
+#: Keys every exported span record must carry.
+_REQUIRED_KEYS = ("span_id", "name", "start", "end", "duration", "status")
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Read and validate a trace file; returns its span records.
+
+    Raises :class:`repro.errors.DataFormatError` when a record is
+    missing the span fields, so ``repro obs report`` (and the
+    ``obs-smoke`` CI target) fails loudly on a malformed trace instead
+    of rendering an empty report.
+    """
+    spans = list(read_jsonl(path))
+    if not spans:
+        raise DataFormatError(f"{path}: trace file contains no spans", stage="read")
+    for index, span in enumerate(spans):
+        missing = [key for key in _REQUIRED_KEYS if key not in span]
+        if missing:
+            raise DataFormatError(
+                f"{path}: span {index} is missing {missing}; not a trace file?",
+                stage="read",
+            )
+    return spans
+
+
+def _children(spans: list[dict]) -> dict[int | None, list[dict]]:
+    by_parent: dict[int | None, list[dict]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+    return by_parent
+
+
+def _critical_path(spans: list[dict]) -> list[dict]:
+    """The chain of longest spans from the longest root down to a leaf."""
+    by_parent = _children(spans)
+    roots = by_parent.get(None, [])
+    if not roots:
+        return []
+    path = []
+    span = max(roots, key=lambda s: s["duration"])
+    while span is not None:
+        path.append(span)
+        children = by_parent.get(span["span_id"], [])
+        span = max(children, key=lambda s: s["duration"]) if children else None
+    return path
+
+
+def build_report(spans: list[dict], top: int = 5) -> dict:
+    """Aggregate span records into the report's machine-readable form."""
+    experiment_spans = [s for s in spans if s["name"] == "experiment"]
+    stage_spans = [s for s in spans if s.get("attributes", {}).get("stage")]
+    suite_spans = [s for s in spans if s["name"] == "suite"]
+    suite_duration = (
+        sum(s["duration"] for s in suite_spans)
+        if suite_spans
+        else sum(s["duration"] for s in experiment_spans)
+    )
+
+    experiments = []
+    for span in experiment_spans:
+        attrs = span.get("attributes", {})
+        experiment_id = attrs.get("experiment_id", "?")
+        run_time = sum(
+            s["duration"]
+            for s in stage_spans
+            if s.get("attributes", {}).get("experiment_id") == experiment_id
+        )
+        experiments.append(
+            {
+                "experiment_id": experiment_id,
+                "status": attrs.get("status", span["status"]),
+                "attempts": attrs.get("attempts", 1),
+                "duration": span["duration"],
+                "run_time": run_time,
+                "overhead": max(0.0, span["duration"] - run_time),
+                "share": (
+                    span["duration"] / suite_duration if suite_duration else 0.0
+                ),
+            }
+        )
+    experiments.sort(key=lambda e: e["duration"], reverse=True)
+
+    slowest_stages = [
+        {
+            "name": s["name"],
+            "experiment_id": s.get("attributes", {}).get("experiment_id", "?"),
+            "duration": s["duration"],
+            "status": s["status"],
+        }
+        for s in sorted(stage_spans, key=lambda s: s["duration"], reverse=True)
+    ][:top]
+
+    retry_histogram: dict[int, int] = {}
+    for experiment in experiments:
+        attempts = int(experiment["attempts"])
+        retry_histogram[attempts] = retry_histogram.get(attempts, 0) + 1
+
+    critical_path = [
+        {
+            "name": s["name"],
+            "experiment_id": s.get("attributes", {}).get("experiment_id"),
+            "duration": s["duration"],
+        }
+        for s in _critical_path(spans)
+    ]
+
+    return {
+        "suite_duration": suite_duration,
+        "span_count": len(spans),
+        "experiments": experiments,
+        "slowest_stages": slowest_stages,
+        "retry_histogram": retry_histogram,
+        "critical_path": critical_path,
+    }
+
+
+def render_report(spans: list[dict], top: int = 5) -> str:
+    """Render the full plain-text report for ``repro obs report``."""
+    report = build_report(spans, top=top)
+    parts = [
+        render_kv(
+            [
+                ("suite wall clock (s)", report["suite_duration"]),
+                ("spans", report["span_count"]),
+                ("experiments", len(report["experiments"])),
+            ],
+            title="trace summary",
+        )
+    ]
+
+    if report["experiments"]:
+        parts.append(render_table(
+            ["experiment", "status", "attempts", "total_s", "run_s",
+             "overhead_s", "share"],
+            [
+                [e["experiment_id"], e["status"], e["attempts"], e["duration"],
+                 e["run_time"], e["overhead"], e["share"]]
+                for e in report["experiments"]
+            ],
+            title="per-experiment stage-time breakdown (slowest first)",
+            precision=4,
+        ))
+
+    if report["critical_path"]:
+        parts.append(render_table(
+            ["span", "experiment", "duration_s"],
+            [
+                [step["name"], step["experiment_id"] or "-", step["duration"]]
+                for step in report["critical_path"]
+            ],
+            title="critical path (longest chain, root to leaf)",
+            precision=4,
+        ))
+
+    if report["slowest_stages"]:
+        parts.append(render_table(
+            ["stage", "experiment", "duration_s", "status"],
+            [
+                [s["name"], s["experiment_id"], s["duration"], s["status"]]
+                for s in report["slowest_stages"]
+            ],
+            title=f"slowest stages (top {top})",
+            precision=4,
+        ))
+
+    if report["retry_histogram"]:
+        parts.append(render_table(
+            ["attempts", "experiments"],
+            sorted(report["retry_histogram"].items()),
+            title="retry histogram",
+        ))
+
+    return "\n\n".join(parts)

@@ -19,15 +19,22 @@ The clock and sleep functions are injectable so retry timing is
 testable with a fake clock, and a
 :class:`repro.runtime.faultinject.FaultInjector` can be attached to
 exercise every failure path deterministically.
+
+The runner is fully instrumented against :mod:`repro.obs`: it opens a
+span per suite / experiment / attempt, counts retries, timeouts,
+checkpoint hits, and leaked deadline-worker threads, and can dump a
+``cProfile`` capture per experiment (``profile_dir=``).  With the
+default null tracer and null metrics installed all of that costs a few
+attribute lookups per experiment.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.errors import (
@@ -42,6 +49,8 @@ from repro.experiments.registry import (
     get_experiment,
 )
 from repro.io.jsonl import append_jsonl, read_jsonl
+from repro.obs.metrics import current_metrics
+from repro.obs.tracing import current_tracer
 
 __all__ = ["RetryPolicy", "RunRecord", "SuiteReport", "SuiteRunner"]
 
@@ -201,6 +210,15 @@ class SuiteRunner:
             ``"experiment:<id>"``.
         clock: Monotonic clock (injectable for tests).
         sleep: Sleep function used for backoff (injectable for tests).
+        tracer: Tracer for suite/experiment/attempt spans.  None (the
+            default) consults :func:`repro.obs.tracing.current_tracer`
+            at run time — a no-op unless one was installed.
+        metrics: Metrics registry for retry/timeout/checkpoint/leak
+            counters; None consults
+            :func:`repro.obs.metrics.current_metrics` at run time.
+        profile_dir: When set, each experiment attempt runs under
+            ``cProfile`` and dumps ``<dir>/<id>.pstats`` (later
+            attempts overwrite earlier ones).
     """
 
     def __init__(
@@ -216,6 +234,9 @@ class SuiteRunner:
         fault_injector=None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        tracer=None,
+        metrics=None,
+        profile_dir: str | None = None,
     ) -> None:
         self.policy = policy if policy is not None else RetryPolicy(retries=retries)
         self.timeout = timeout
@@ -223,9 +244,22 @@ class SuiteRunner:
         self.checkpoint = checkpoint
         self.strict_checks = strict_checks
         self.fault_injector = fault_injector
+        self.profile_dir = profile_dir
         self._clock = clock
         self._sleep = sleep
         self._jitter_seed = seed
+        self._tracer = tracer
+        self._metrics = metrics
+
+    @property
+    def tracer(self):
+        """The tracer in effect (explicit, else the process-wide one)."""
+        return self._tracer if self._tracer is not None else current_tracer()
+
+    @property
+    def metrics(self):
+        """The metrics registry in effect (explicit, else process-wide)."""
+        return self._metrics if self._metrics is not None else current_metrics()
 
     # -- checkpointing -------------------------------------------------
 
@@ -258,6 +292,28 @@ class SuiteRunner:
         seed: int,
         fast: bool,
     ) -> ExperimentResult:
+        if self.profile_dir is not None:
+            # Imported lazily: profiling is opt-in and cProfile should
+            # not load for ordinary runs.
+            from repro.obs.profiler import profile_call
+
+            return profile_call(
+                self._call_experiment_inner,
+                Path(self.profile_dir) / f"{experiment_id}.pstats",
+                run_fn,
+                experiment_id,
+                seed,
+                fast,
+            )
+        return self._call_experiment_inner(run_fn, experiment_id, seed, fast)
+
+    def _call_experiment_inner(
+        self,
+        run_fn: Callable[..., ExperimentResult],
+        experiment_id: str,
+        seed: int,
+        fast: bool,
+    ) -> ExperimentResult:
         if self.fault_injector is not None:
             return self.fault_injector.call(
                 f"experiment:{experiment_id}", run_fn, seed=seed, fast=fast
@@ -284,30 +340,40 @@ class SuiteRunner:
                 seed=seed,
                 stage="run",
             )
-        executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"repro-{experiment_id}"
-        )
-        try:
-            future = executor.submit(
-                self._call_experiment, run_fn, experiment_id, seed, fast
-            )
+        outcome: dict[str, object] = {}
+
+        def worker() -> None:
             try:
-                return future.result(timeout=remaining)
-            except FutureTimeoutError:
-                future.cancel()
-                raise BudgetExceeded(
-                    f"experiment exceeded its {self.timeout}s deadline",
-                    budget=self.timeout,
-                    spent=self.timeout,
-                    experiment_id=experiment_id,
-                    seed=seed,
-                    stage="run",
-                ) from None
-        finally:
-            # Do not wait: a hung experiment thread must not block the
-            # suite.  The thread finishes (or dies with the process) on
-            # its own.
-            executor.shutdown(wait=False)
+                outcome["result"] = self._call_experiment(
+                    run_fn, experiment_id, seed, fast
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                outcome["error"] = exc
+
+        # A daemon thread, not a ThreadPoolExecutor: pool threads are
+        # non-daemon, so a hung experiment would keep the interpreter
+        # alive at exit even though the suite long since timed out.
+        thread = threading.Thread(
+            target=worker, name=f"repro-{experiment_id}", daemon=True
+        )
+        thread.start()
+        thread.join(timeout=remaining)
+        if thread.is_alive():
+            # The worker is stuck inside the experiment; it dies with
+            # the process (daemon), but surface the leak so a campaign
+            # can see how many zombies it is carrying.
+            self.metrics.count("runner.leaked_threads")
+            raise BudgetExceeded(
+                f"experiment exceeded its {self.timeout}s deadline",
+                budget=self.timeout,
+                spent=self.timeout,
+                experiment_id=experiment_id,
+                seed=seed,
+                stage="run",
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["result"]
 
     def run_one(
         self, experiment_id: str, seed: int = 0, fast: bool = True
@@ -315,8 +381,24 @@ class SuiteRunner:
         """Run one experiment under the full retry/deadline policy.
 
         Never raises when ``keep_going`` is True; the failure is
-        captured in the returned record.
+        captured in the returned record.  The run is wrapped in an
+        ``experiment`` span with one ``attempt`` span per attempt, and
+        the outcome lands in the ``runner.*`` counters.
         """
+        with self.tracer.span(
+            "experiment", experiment_id=experiment_id, seed=seed, fast=fast
+        ) as span:
+            record = self._run_one_instrumented(experiment_id, seed, fast)
+            span.set_attribute("status", record.status)
+            span.set_attribute("attempts", record.attempts)
+            self.metrics.count(f"runner.status.{record.status}")
+            if record.status == "timeout":
+                self.metrics.count("runner.timeouts")
+            return record
+
+    def _run_one_instrumented(
+        self, experiment_id: str, seed: int, fast: bool
+    ) -> RunRecord:
         started = self._clock()
         try:
             run_fn = get_experiment(experiment_id)
@@ -343,7 +425,16 @@ class SuiteRunner:
         for attempt in range(retries + 1):
             attempts = attempt + 1
             try:
-                result = self._attempt(run_fn, experiment_id, seed, fast, deadline)
+                attempt_started = self._clock()
+                with self.tracer.span(
+                    "attempt", experiment_id=experiment_id, attempt=attempts
+                ):
+                    result = self._attempt(
+                        run_fn, experiment_id, seed, fast, deadline
+                    )
+                self.metrics.observe(
+                    "runner.attempt_seconds", self._clock() - attempt_started
+                )
                 if not isinstance(result, ExperimentResult):
                     raise ExperimentError(
                         f"experiment returned {type(result).__name__}, "
@@ -380,6 +471,7 @@ class SuiteRunner:
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 last_exc = exc
                 if attempt < retries:
+                    self.metrics.count("runner.retries")
                     self._sleep(self.policy.delay(attempt, rng))
 
         status = "timeout" if isinstance(last_exc, BudgetExceeded) else "error"
@@ -413,14 +505,19 @@ class SuiteRunner:
         the last completed experiment.
         """
         experiment_ids = list(ids) if ids is not None else all_experiments()
-        completed = self._load_checkpoint()
-        report = SuiteReport()
-        for experiment_id in experiment_ids:
-            key = (experiment_id, seed, fast)
-            if key in completed:
-                report.records.append(completed[key])
-                continue
-            record = self.run_one(experiment_id, seed=seed, fast=fast)
-            self._append_checkpoint(record)
-            report.records.append(record)
+        with self.tracer.span(
+            "suite", seed=seed, fast=fast, experiments=len(experiment_ids)
+        ) as span:
+            completed = self._load_checkpoint()
+            report = SuiteReport()
+            for experiment_id in experiment_ids:
+                key = (experiment_id, seed, fast)
+                if key in completed:
+                    self.metrics.count("runner.checkpoint_hits")
+                    report.records.append(completed[key])
+                    continue
+                record = self.run_one(experiment_id, seed=seed, fast=fast)
+                self._append_checkpoint(record)
+                report.records.append(record)
+            span.set_attribute("ok", report.ok)
         return report

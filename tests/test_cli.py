@@ -195,3 +195,117 @@ class TestExperimentsRuntimeFlags:
 
     def test_keep_going_all_ok_exits_zero(self, capsys):
         assert main(["experiments", "E11", "--keep-going"]) == 0
+
+
+class TestObservabilityFlags:
+    def test_run_alias_with_trace_and_metrics(self, tmp_path, capsys):
+        from repro.io.jsonl import read_jsonl
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "run", "E11", "E4",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        spans = list(read_jsonl(trace))
+        names = [s["name"] for s in spans]
+        assert names.count("experiment") == 2
+        assert "suite" in names
+        assert "e11.run" in names
+        assert "e04.run" in names
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["runner.status.ok"] == 2
+        assert "runner.attempt_seconds" in payload["histograms"]
+
+    def test_all_flag_runs_whole_suite(self, tmp_path):
+        from repro.io.jsonl import read_jsonl
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "--all", "--trace-out", str(trace)]) == 0
+        spans = list(read_jsonl(trace))
+        experiment_ids = {
+            s["attributes"]["experiment_id"]
+            for s in spans
+            if s["name"] == "experiment"
+        }
+        assert len(experiment_ids) == 13
+
+    def test_trace_durations_sum_to_suite_wall_clock(self, tmp_path):
+        """Acceptance: experiment spans tile the suite span (±5%)."""
+        from repro.io.jsonl import read_jsonl
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "--all", "--trace-out", str(trace)]) == 0
+        spans = list(read_jsonl(trace))
+        suite = next(s for s in spans if s["name"] == "suite")
+        total = sum(
+            s["duration"] for s in spans if s["name"] == "experiment"
+        )
+        assert total == pytest.approx(suite["duration"], rel=0.05)
+
+    def test_metrics_count_checkpoint_io_rows(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        metrics = tmp_path / "m.json"
+        assert main(["run", "E11", "--checkpoint", ckpt]) == 0
+        code = main(
+            [
+                "run", "E11", "--checkpoint", ckpt,
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["runner.checkpoint_hits"] == 1
+        assert counters["io.jsonl.rows_read"] >= 1
+
+    def test_profile_out_writes_pstats(self, tmp_path):
+        out = tmp_path / "prof"
+        assert main(["run", "E11", "--profile-out", str(out)]) == 0
+        assert (out / "E11.pstats").exists()
+
+
+class TestObsReportCommand:
+    def trace_path(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "E11", "E4", "--trace-out", str(trace)]) == 0
+        return trace
+
+    def test_report_renders_breakdown(self, tmp_path, capsys):
+        trace = self.trace_path(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-experiment stage-time breakdown" in out
+        assert "critical path" in out
+        assert "retry histogram" in out
+        assert "E11" in out
+        assert "E4" in out
+
+    def test_report_json_mode(self, tmp_path, capsys):
+        trace = self.trace_path(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["experiments"]) == 2
+        assert payload["span_count"] >= 7
+
+    def test_report_rejects_non_trace_file(self, tmp_path):
+        from repro.errors import DataFormatError
+        from repro.io.jsonl import write_jsonl
+
+        path = tmp_path / "not_a_trace.jsonl"
+        write_jsonl(path, [{"foo": "bar"}])
+        with pytest.raises(DataFormatError):
+            main(["obs", "report", str(path)])
+
+    def test_list_uses_shared_table_renderer(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        # The registry table has the shared renderer's header/rule rows.
+        assert "id" in out.splitlines()[0]
+        assert set(out.splitlines()[1]) <= {"-", " "}
+        assert "E13" in out

@@ -1,0 +1,242 @@
+"""Tests for repro.obs.metrics.
+
+Bucket-edge placement and merge associativity are checked
+property-style with hypothesis, as DESIGN.md's conventions require for
+algebraic claims.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    current_metrics,
+    merge_snapshots,
+    use_metrics,
+)
+
+EDGES = (1.0, 2.0, 5.0)
+
+
+class TestHistogramBuckets:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        histogram = Histogram("h", buckets=EDGES)
+        for edge in EDGES:
+            histogram.observe(edge)
+        assert histogram.counts == [1, 1, 1, 0]
+
+    def test_overflow_bucket(self):
+        histogram = Histogram("h", buckets=EDGES)
+        histogram.observe(5.000001)
+        assert histogram.counts == [0, 0, 0, 1]
+
+    def test_underflow_goes_to_first_bucket(self):
+        histogram = Histogram("h", buckets=EDGES)
+        histogram.observe(-100.0)
+        assert histogram.counts == [1, 0, 0, 0]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), max_size=50))
+    def test_counts_partition_observations(self, values):
+        """Every observation lands in exactly one bucket."""
+        histogram = Histogram("h", buckets=EDGES)
+        for value in values:
+            histogram.observe(value)
+        assert sum(histogram.counts) == len(values)
+        assert histogram.count == len(values)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_bucket_placement_respects_le_semantics(self, value):
+        histogram = Histogram("h", buckets=EDGES)
+        histogram.observe(value)
+        index = histogram.counts.index(1)
+        if index < len(EDGES):
+            assert value <= EDGES[index]
+        if index > 0:
+            assert value > EDGES[index - 1]
+
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_mean(self):
+        histogram = Histogram("h", buckets=EDGES)
+        assert histogram.mean == 0.0
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        assert histogram.mean == pytest.approx(2.0)
+
+
+def _snapshot_strategy():
+    names = st.sampled_from(["a", "b", "c"])
+    counters = st.dictionaries(names, st.integers(min_value=0, max_value=100))
+    gauges = st.dictionaries(
+        names, st.floats(min_value=-10, max_value=10, allow_nan=False)
+    )
+    histograms = st.dictionaries(
+        names,
+        st.lists(
+            st.floats(min_value=0, max_value=10, allow_nan=False), max_size=8
+        ),
+    )
+    return st.tuples(counters, gauges, histograms)
+
+
+def _build_snapshot(parts):
+    counters, gauges, histograms = parts
+    registry = MetricsRegistry()
+    for name, value in counters.items():
+        registry.count(name, value)
+    for name, value in gauges.items():
+        registry.set_gauge(name, value)
+    for name, values in histograms.items():
+        for value in values:
+            registry.observe(f"hist.{name}", value, buckets=EDGES)
+    return registry.snapshot()
+
+
+class TestMerge:
+    @given(_snapshot_strategy(), _snapshot_strategy(), _snapshot_strategy())
+    def test_merge_is_associative(self, a, b, c):
+        x, y, z = _build_snapshot(a), _build_snapshot(b), _build_snapshot(c)
+        left = merge_snapshots(merge_snapshots(x, y), z)
+        right = merge_snapshots(x, merge_snapshots(y, z))
+        # Counters, gauges, and histogram cell counts are integers or
+        # copied floats: exactly associative.  Histogram sums are float
+        # accumulations, associative only up to rounding.
+        assert left["counters"] == right["counters"]
+        assert left["gauges"] == right["gauges"]
+        assert left["histograms"].keys() == right["histograms"].keys()
+        for name, data in left["histograms"].items():
+            other = right["histograms"][name]
+            assert data["buckets"] == other["buckets"]
+            assert data["counts"] == other["counts"]
+            assert data["count"] == other["count"]
+            assert data["sum"] == pytest.approx(other["sum"])
+
+    @given(_snapshot_strategy(), _snapshot_strategy())
+    def test_counters_and_histograms_merge_commutatively(self, a, b):
+        x, y = _build_snapshot(a), _build_snapshot(b)
+        forward = merge_snapshots(x, y)
+        backward = merge_snapshots(y, x)
+        assert forward["counters"] == backward["counters"]
+        assert forward["histograms"].keys() == backward["histograms"].keys()
+        for name, data in forward["histograms"].items():
+            other = backward["histograms"][name]
+            assert data["counts"] == other["counts"]
+            assert data["sum"] == pytest.approx(other["sum"])
+
+    def test_counter_values_add(self):
+        a = MetricsRegistry()
+        a.count("x", 2)
+        b = MetricsRegistry()
+        b.count("x", 3)
+        b.count("y", 1)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"] == {"x": 5, "y": 1}
+
+    def test_histogram_cells_add(self):
+        a = MetricsRegistry()
+        a.observe("h", 1.0, buckets=EDGES)
+        b = MetricsRegistry()
+        b.observe("h", 10.0, buckets=EDGES)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["histograms"]["h"]["counts"] == [1, 0, 0, 1]
+        assert merged["histograms"]["h"]["count"] == 2
+
+    def test_mismatched_bucket_edges_rejected(self):
+        a = MetricsRegistry()
+        a.observe("h", 1.0, buckets=EDGES)
+        b = MetricsRegistry()
+        b.observe("h", 1.0, buckets=(7.0, 8.0))
+        with pytest.raises(ValueError):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    def test_gauge_last_write_wins(self):
+        a = MetricsRegistry()
+        a.set_gauge("g", 1.0)
+        b = MetricsRegistry()
+        b.set_gauge("g", 2.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["gauges"]["g"] == 2.0
+
+
+class TestRegistry:
+    def test_counter_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.count("x", -1)
+
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.count("c")
+        registry.set_gauge("g", 7.5)
+        registry.observe("h", 0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 7.5}
+        assert snapshot["histograms"]["h"]["buckets"] == list(DEFAULT_BUCKETS)
+
+    def test_histogram_keeps_first_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0, buckets=EDGES)
+        again = registry.histogram("h", buckets=(99.0,))
+        assert again.buckets == EDGES
+
+    def test_render_text_lists_instruments(self):
+        registry = MetricsRegistry()
+        registry.count("runner.retries", 3)
+        registry.set_gauge("pool.size", 4)
+        registry.observe("latency", 0.02)
+        text = registry.render_text()
+        assert "runner.retries" in text
+        assert "pool.size" in text
+        assert "latency" in text
+
+    def test_render_text_empty(self):
+        assert "no metrics" in MetricsRegistry().render_text()
+
+    def test_render_json_parses(self):
+        registry = MetricsRegistry()
+        registry.count("x")
+        payload = json.loads(registry.render_json())
+        assert payload["counters"] == {"x": 1}
+
+    def test_write(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.count("x", 2)
+        path = tmp_path / "sub" / "metrics.json"
+        registry.write(path)
+        assert json.loads(path.read_text())["counters"] == {"x": 2}
+
+
+class TestNullMetrics:
+    def test_default_registry_is_null(self):
+        assert isinstance(current_metrics(), NullMetrics)
+        assert current_metrics().enabled is False
+
+    def test_noops_record_nothing(self):
+        null = NullMetrics()
+        null.count("x")
+        null.set_gauge("g", 1.0)
+        null.observe("h", 0.5)
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_use_metrics_restores_previous(self):
+        registry = MetricsRegistry()
+        before = current_metrics()
+        with use_metrics(registry):
+            assert current_metrics() is registry
+            current_metrics().count("seen")
+        assert current_metrics() is before
+        assert registry.snapshot()["counters"] == {"seen": 1}

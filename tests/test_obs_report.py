@@ -1,0 +1,126 @@
+"""Tests for repro.obs.report (the ``repro obs report`` backend)."""
+
+import pytest
+
+from repro.errors import DataFormatError
+from repro.io.jsonl import write_jsonl
+from repro.obs.report import build_report, load_trace, render_report
+from repro.obs.tracing import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def synthetic_suite_trace(tmp_path):
+    """A trace shaped like the runner's: suite > experiment > attempt > stage.
+
+    E1 succeeds on attempt 1 (2s of stage time); E2 fails once and
+    succeeds on its second attempt.
+    """
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("suite", seed=0, fast=True, experiments=2):
+        with tracer.span("experiment", experiment_id="E1") as e1:
+            with tracer.span("attempt", experiment_id="E1", attempt=1):
+                with tracer.span(
+                    "e01.run", experiment_id="E1", stage="run"
+                ):
+                    clock.advance(2.0)
+            e1.set_attribute("status", "ok")
+            e1.set_attribute("attempts", 1)
+        with tracer.span("experiment", experiment_id="E2") as e2:
+            with pytest.raises(RuntimeError):
+                with tracer.span("attempt", experiment_id="E2", attempt=1):
+                    with tracer.span(
+                        "e02.run", experiment_id="E2", stage="run"
+                    ):
+                        clock.advance(1.0)
+                        raise RuntimeError("flaky")
+            clock.advance(0.5)  # backoff
+            with tracer.span("attempt", experiment_id="E2", attempt=2):
+                with tracer.span(
+                    "e02.run", experiment_id="E2", stage="run"
+                ):
+                    clock.advance(1.0)
+            e2.set_attribute("status", "ok")
+            e2.set_attribute("attempts", 2)
+    path = tmp_path / "trace.jsonl"
+    tracer.export(path)
+    return path
+
+
+class TestLoadTrace:
+    def test_roundtrip(self, tmp_path):
+        path = synthetic_suite_trace(tmp_path)
+        spans = load_trace(path)
+        assert len(spans) == 9  # 1 suite + 2 experiments + 3 attempts + 3 runs
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DataFormatError):
+            load_trace(path)
+
+    def test_non_trace_records_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        write_jsonl(path, [{"some": "record"}])
+        with pytest.raises(DataFormatError):
+            load_trace(path)
+
+
+class TestBuildReport:
+    def test_suite_duration_and_experiments(self, tmp_path):
+        report = build_report(load_trace(synthetic_suite_trace(tmp_path)))
+        assert report["suite_duration"] == pytest.approx(4.5)
+        assert len(report["experiments"]) == 2
+        by_id = {e["experiment_id"]: e for e in report["experiments"]}
+        # E2: two 1s attempts + 0.5s backoff.
+        assert by_id["E2"]["duration"] == pytest.approx(2.5)
+        assert by_id["E2"]["run_time"] == pytest.approx(2.0)
+        assert by_id["E2"]["overhead"] == pytest.approx(0.5)
+        assert by_id["E2"]["attempts"] == 2
+        assert by_id["E1"]["share"] == pytest.approx(2.0 / 4.5)
+
+    def test_experiment_durations_sum_to_suite(self, tmp_path):
+        """The acceptance identity: experiment spans tile the suite span."""
+        report = build_report(load_trace(synthetic_suite_trace(tmp_path)))
+        total = sum(e["duration"] for e in report["experiments"])
+        assert total == pytest.approx(report["suite_duration"], rel=0.05)
+
+    def test_retry_histogram(self, tmp_path):
+        report = build_report(load_trace(synthetic_suite_trace(tmp_path)))
+        assert report["retry_histogram"] == {1: 1, 2: 1}
+
+    def test_critical_path_descends_longest_chain(self, tmp_path):
+        report = build_report(load_trace(synthetic_suite_trace(tmp_path)))
+        names = [step["name"] for step in report["critical_path"]]
+        assert names == ["suite", "experiment", "attempt", "e02.run"]
+        assert report["critical_path"][1]["experiment_id"] == "E2"
+
+    def test_slowest_stages_sorted_and_capped(self, tmp_path):
+        report = build_report(
+            load_trace(synthetic_suite_trace(tmp_path)), top=2
+        )
+        durations = [s["duration"] for s in report["slowest_stages"]]
+        assert len(durations) == 2
+        assert durations == sorted(durations, reverse=True)
+
+
+class TestRenderReport:
+    def test_renders_all_sections(self, tmp_path):
+        text = render_report(load_trace(synthetic_suite_trace(tmp_path)))
+        assert "trace summary" in text
+        assert "per-experiment stage-time breakdown" in text
+        assert "critical path" in text
+        assert "slowest stages" in text
+        assert "retry histogram" in text
+        assert "E1" in text
+        assert "E2" in text

@@ -348,6 +348,132 @@ def test_experiment_result_require_raises_check_failure():
     ok.require()  # no checks -> no failure
 
 
+class TestObservability:
+    def test_span_tree_per_experiment_and_attempt(self, monkeypatch):
+        from repro.obs.tracing import Tracer
+
+        failures = iter([True, False])
+
+        def flaky(seed=0, fast=True):
+            if next(failures):
+                raise RuntimeError("transient")
+            return ok_result()
+
+        patch_experiment(monkeypatch, flaky)
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        runner = SuiteRunner(
+            retries=1, tracer=tracer, clock=clock, sleep=clock.sleep
+        )
+        report = runner.run_all(["E1"])
+        assert report.ok
+
+        by_name = {}
+        for span in tracer.finished:
+            by_name.setdefault(span.name, []).append(span)
+        assert len(by_name["suite"]) == 1
+        assert len(by_name["experiment"]) == 1
+        assert len(by_name["attempt"]) == 2
+        experiment = by_name["experiment"][0]
+        assert experiment.parent_id == by_name["suite"][0].span_id
+        assert all(
+            a.parent_id == experiment.span_id for a in by_name["attempt"]
+        )
+        assert by_name["attempt"][0].status == "error"
+        assert by_name["attempt"][1].status == "ok"
+        assert experiment.attributes["status"] == "ok"
+        assert experiment.attributes["attempts"] == 2
+
+    def test_registry_stage_span_nests_under_attempt(self):
+        """The one-decorator stage span wraps the real experiment body."""
+        from repro.obs.tracing import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = SuiteRunner(tracer=tracer).run_all(["E11"])
+        assert report.ok
+        stage = next(s for s in tracer.finished if s.name == "e11.run")
+        attempt = next(s for s in tracer.finished if s.name == "attempt")
+        assert stage.parent_id == attempt.span_id
+        assert stage.attributes["experiment_id"] == "E11"
+        assert stage.attributes["stage"] == "run"
+
+    def test_retry_and_status_counters(self, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+
+        failures = iter([True, True, False])
+
+        def flaky(seed=0, fast=True):
+            if next(failures):
+                raise RuntimeError("transient")
+            return ok_result()
+
+        patch_experiment(monkeypatch, flaky)
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        runner = SuiteRunner(
+            retries=3, metrics=metrics, clock=clock, sleep=clock.sleep
+        )
+        assert runner.run_one("E1").status == "ok"
+        counters = metrics.snapshot()["counters"]
+        assert counters["runner.retries"] == 2
+        assert counters["runner.status.ok"] == 1
+
+    def test_checkpoint_hit_counter(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        path = str(tmp_path / "ckpt.jsonl")
+        SuiteRunner(checkpoint=path).run_all(["E11"])
+        metrics = MetricsRegistry()
+        SuiteRunner(checkpoint=path, metrics=metrics).run_all(["E11"])
+        assert metrics.snapshot()["counters"]["runner.checkpoint_hits"] == 1
+
+    def test_timeout_marks_leak_and_worker_is_daemon(self):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        injector = FaultInjector()
+        injector.register(
+            "experiment:E11", mode="hang", hang_seconds=0.5, times=1
+        )
+        metrics = MetricsRegistry()
+        runner = SuiteRunner(
+            timeout=0.05, fault_injector=injector, metrics=metrics
+        )
+        record = runner.run_one("E11")
+        assert record.status == "timeout"
+        counters = metrics.snapshot()["counters"]
+        assert counters["runner.leaked_threads"] == 1
+        assert counters["runner.timeouts"] == 1
+        # The abandoned worker must not keep the interpreter alive.
+        workers = [
+            t for t in threading.enumerate() if t.name == "repro-E11"
+        ]
+        assert all(t.daemon for t in workers)
+
+    def test_profile_out_dumps_pstats(self, tmp_path):
+        import pstats
+
+        runner = SuiteRunner(profile_dir=str(tmp_path))
+        assert runner.run_one("E11").status == "ok"
+        dump = tmp_path / "E11.pstats"
+        assert dump.exists()
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
+
+    def test_untraced_run_allocates_no_spans(self):
+        """Default runner (null tracer/metrics) must record nothing."""
+        from repro.obs.metrics import NullMetrics
+        from repro.obs.tracing import NullTracer
+
+        runner = SuiteRunner()
+        assert isinstance(runner.tracer, NullTracer)
+        assert isinstance(runner.metrics, NullMetrics)
+        assert runner.run_one("E11").status == "ok"
+        assert not hasattr(runner.tracer, "finished")
+
+
 def test_negative_retries_treated_as_zero(monkeypatch):
     monkeypatch.setattr(
         "repro.runtime.runner.get_experiment",
