@@ -18,7 +18,7 @@ experiments-full:
 
 check:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro experiments E1 E13 --seed 0 --retries 1 --json-summary -
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro experiments E1 E13 --seed 0 --retries 1 --workers 2 --json-summary -
 
 # One fast experiment with tracing + metrics on; `obs report` re-parses
 # the trace and fails on a malformed span, so this asserts the whole

@@ -28,15 +28,56 @@ from repro.obs import Tracer, use_tracer
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _make_runner(experiment_id: str, workers: int):
+    """A callable running the experiment at the requested worker count.
+
+    ``workers == 1`` calls the experiment directly (the historical
+    baseline path); ``workers > 1`` routes through the suite runner so
+    the measurement includes pool dispatch and shard merging.
+    """
+    if workers == 1:
+        return get_experiment(experiment_id)
+
+    def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+        from repro.runtime.runner import SuiteRunner
+
+        report = SuiteRunner(workers=workers).run_all(
+            [experiment_id], seed=seed, fast=fast
+        )
+        record = report.records[0]
+        if record.result is None:
+            raise AssertionError(
+                f"{experiment_id} failed under workers={workers}: "
+                f"{record.error_type}: {record.error}"
+            )
+        return record.result
+
+    return run
+
+
+def _sequential_mean(timings_path: Path) -> float | None:
+    """The last recorded workers=1 mean for this experiment, if any."""
+    if not timings_path.exists():
+        return None
+    try:
+        previous = json.loads(timings_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if previous.get("workers", 1) != 1:
+        return previous.get("sequential_mean_run_seconds")
+    return previous.get("mean_run_seconds")
+
+
 def run_and_record(
     experiment_id: str,
     benchmark,
     seed: int = 0,
     fast: bool = True,
     rounds: int = 3,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Benchmark one experiment, assert its shape, persist its artifacts."""
-    runner = get_experiment(experiment_id)
+    runner = _make_runner(experiment_id, workers)
     tracer = Tracer()
     with use_tracer(tracer):
         result = benchmark.pedantic(
@@ -58,19 +99,26 @@ def run_and_record(
         for index, span in enumerate(tracer.finished)
     ]
     durations = [stage["duration"] for stage in stages]
+    mean = sum(durations) / len(durations) if durations else 0.0
+    timings_path = RESULTS_DIR / f"{experiment_id.lower()}.json"
+    sequential_mean = mean if workers == 1 else _sequential_mean(timings_path)
     timings = {
         "experiment_id": experiment_id,
         "seed": seed,
         "fast": fast,
         "rounds": len(durations),
+        "workers": workers,
         "stages": stages,
-        "mean_run_seconds": (
-            sum(durations) / len(durations) if durations else 0.0
-        ),
+        "mean_run_seconds": mean,
         "min_run_seconds": min(durations, default=0.0),
         "max_run_seconds": max(durations, default=0.0),
+        # Speedup over the last recorded workers=1 mean; 1.0 by
+        # definition for a sequential run, null when no baseline exists.
+        "sequential_mean_run_seconds": sequential_mean,
+        "speedup_vs_sequential": (
+            sequential_mean / mean if sequential_mean and mean else None
+        ),
     }
-    timings_path = RESULTS_DIR / f"{experiment_id.lower()}.json"
     timings_path.write_text(
         json.dumps(timings, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

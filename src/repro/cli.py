@@ -55,6 +55,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             seed=args.seed,
             profile_dir=args.profile_out,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
         )
         ids = None if args.all else (args.ids or None)
         report = runner.run_all(ids, seed=args.seed, fast=not args.full)
@@ -282,6 +284,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--profile-out", metavar="DIR",
         help="dump a cProfile capture per experiment into DIR (<id>.pstats)",
+    )
+    experiments.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run experiments on N worker processes (1 = in-process); "
+        "output is deterministic and identical to a sequential run",
+    )
+    experiments.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk artifact cache shared by workers and across runs "
+        "(default: a throwaway directory when --workers > 1)",
     )
     experiments.set_defaults(func=_cmd_experiments)
 

@@ -2,12 +2,26 @@
 
 Generating and scanning the corpus dominates those experiments' cost,
 and they test different claims on the *same* data — so the corpus is
-built once per ``(seed, fast)`` and cached.
+built once per ``(seed, fast)`` and cached at two levels:
+
+- **In memory** — a small explicit LRU (the ``lru_cache`` it replaces
+  pinned corpora for interpreter lifetime with no way to release
+  them); :func:`clear_corpus_cache` empties it.
+- **On disk** — when a cache directory is configured
+  (:func:`configure_corpus_cache`, the ``REPRO_CACHE_DIR`` environment
+  variable, or ``SuiteRunner(cache_dir=...)``), the corpus is stored
+  in a :class:`repro.io.artifacts.ArtifactCache` keyed by the full
+  generator config.  Parallel suite workers and *subsequent processes*
+  then load the JSONL entry instead of regenerating; a per-key file
+  lock ensures racing workers generate at most once.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import asdict
 
 from repro.bibliometrics.corpus import Corpus
 from repro.bibliometrics.synthgen import (
@@ -15,15 +29,139 @@ from repro.bibliometrics.synthgen import (
     SyntheticCorpusConfig,
     generate_corpus,
 )
+from repro.io.artifacts import ArtifactCache
+
+#: Artifact-cache kind for the shared corpus entries.
+CORPUS_ARTIFACT_KIND = "shared-corpus"
+
+#: Bump when the generator or serialization changes shape; existing
+#: disk entries become unreachable and are regenerated on demand.
+CORPUS_SCHEMA_VERSION = 1
+
+#: How many (seed, fast) corpora to keep in memory at once.
+_MEMORY_SLOTS = 4
+
+_lock = threading.Lock()
+_memory: OrderedDict[tuple[int, bool], tuple[Corpus, GroundTruth]] = OrderedDict()
+_cache_dir: str | None = os.environ.get("REPRO_CACHE_DIR") or None
 
 
-@lru_cache(maxsize=4)
-def shared_corpus(seed: int = 0, fast: bool = True) -> tuple[Corpus, GroundTruth]:
-    """The E1-E3/E12 corpus: 2000-2025 full, 2016-2025 in fast mode."""
-    config = SyntheticCorpusConfig(
+def corpus_config(seed: int = 0, fast: bool = True) -> SyntheticCorpusConfig:
+    """The generator config behind ``shared_corpus(seed, fast)``."""
+    return SyntheticCorpusConfig(
         start_year=2016 if fast else 2000,
         end_year=2025,
         seed=seed,
         authors_per_venue_pool=60 if fast else 120,
     )
-    return generate_corpus(config)
+
+
+def configure_corpus_cache(cache_dir: str | None) -> str | None:
+    """Point the on-disk corpus cache at ``cache_dir`` (None disables).
+
+    Returns the previous setting so callers can restore it.  The
+    in-memory cache is unaffected.
+    """
+    global _cache_dir
+    previous = _cache_dir
+    _cache_dir = str(cache_dir) if cache_dir is not None else None
+    return previous
+
+
+def corpus_cache_dir() -> str | None:
+    """The currently configured on-disk cache directory (or None)."""
+    return _cache_dir
+
+
+def clear_corpus_cache(disk: bool = False) -> None:
+    """Drop every cached corpus from memory (and optionally disk).
+
+    Args:
+        disk: Also invalidate the configured artifact cache's
+            ``shared-corpus`` entries, forcing regeneration in every
+            process — the invalidation hook tests and campaign tooling
+            use after a generator change.
+    """
+    with _lock:
+        _memory.clear()
+    if disk and _cache_dir is not None:
+        ArtifactCache(_cache_dir).invalidate(CORPUS_ARTIFACT_KIND)
+
+
+def _serialize(corpus: Corpus, truth: GroundTruth) -> list[dict]:
+    """Flatten ``(corpus, truth)`` into one JSONL-ready record stream."""
+    records: list[dict] = []
+    tables = corpus.to_records()
+    for name in ("venues", "authors", "papers"):
+        for row in tables[name]:
+            records.append({"table": name, "row": row})
+    for paper_id, families in sorted(truth.human_methods.items()):
+        records.append({
+            "table": "truth_methods",
+            "row": {"paper_id": paper_id, "families": list(families)},
+        })
+    for paper_id in sorted(truth.positionality):
+        records.append({
+            "table": "truth_positionality",
+            "row": {"paper_id": paper_id},
+        })
+    return records
+
+
+def _deserialize(records: list[dict]) -> tuple[Corpus, GroundTruth]:
+    """Inverse of :func:`_serialize`."""
+    tables: dict[str, list[dict]] = {"venues": [], "authors": [], "papers": []}
+    truth = GroundTruth()
+    for record in records:
+        table, row = record["table"], record["row"]
+        if table in tables:
+            tables[table].append(row)
+        elif table == "truth_methods":
+            truth.human_methods[row["paper_id"]] = tuple(row["families"])
+        elif table == "truth_positionality":
+            truth.positionality.add(row["paper_id"])
+        else:
+            raise ValueError(f"unknown corpus cache table {table!r}")
+    return Corpus.from_records(tables), truth
+
+
+def _remember(key: tuple[int, bool], value: tuple[Corpus, GroundTruth]) -> None:
+    """Insert into the in-memory LRU, evicting the oldest past capacity."""
+    with _lock:
+        _memory[key] = value
+        _memory.move_to_end(key)
+        while len(_memory) > _MEMORY_SLOTS:
+            _memory.popitem(last=False)
+
+
+def shared_corpus(seed: int = 0, fast: bool = True) -> tuple[Corpus, GroundTruth]:
+    """The E1-E3/E12 corpus: 2000-2025 full, 2016-2025 in fast mode.
+
+    Resolution order: in-memory LRU, then the configured on-disk
+    artifact cache (corrupt entries fall back to regeneration), then
+    :func:`repro.bibliometrics.synthgen.generate_corpus` — whose output
+    is written back to both layers.
+    """
+    key = (seed, fast)
+    with _lock:
+        if key in _memory:
+            _memory.move_to_end(key)
+            return _memory[key]
+    config = corpus_config(seed=seed, fast=fast)
+    if _cache_dir is not None:
+        cache = ArtifactCache(_cache_dir, version=CORPUS_SCHEMA_VERSION)
+
+        def factory() -> list[dict]:
+            return _serialize(*generate_corpus(config))
+
+        records = cache.get_or_create(
+            CORPUS_ARTIFACT_KIND, asdict(config), factory
+        )
+        # Even the generating process uses the deserialized form, so
+        # every worker — generator or loader — computes on identical
+        # objects (roundtrip fidelity is additionally test-enforced).
+        value = _deserialize(records)
+    else:
+        value = generate_corpus(config)
+    _remember(key, value)
+    return value

@@ -2,14 +2,20 @@
 
 - :mod:`repro.io.jsonl` -- line-delimited JSON read/write for corpora,
   coded sessions, and experiment outputs.
+- :mod:`repro.io.artifacts` -- content-addressed on-disk cache for
+  expensive derived datasets, shared across processes and runs.
 - :mod:`repro.io.tables` -- plain-text table rendering for benchmark
   reports (the rows EXPERIMENTS.md records).
 """
 
+from repro.io.artifacts import ARTIFACT_FORMAT_VERSION, ArtifactCache, artifact_key
 from repro.io.jsonl import read_jsonl, write_jsonl, append_jsonl
 from repro.io.tables import Table, render_kv, render_table
 
 __all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactCache",
+    "artifact_key",
     "read_jsonl",
     "write_jsonl",
     "append_jsonl",

@@ -1,0 +1,228 @@
+"""Content-addressed on-disk artifact cache.
+
+Expensive derived datasets (the synthetic experiment corpus above all)
+are pure functions of a small config — so they are cached on disk,
+keyed by a hash of that config, and shared by every process that asks
+for the same one.  The cache is what lets a multi-worker suite build
+the corpus once instead of once per worker, and what lets the *next*
+run skip the build entirely.
+
+Design points:
+
+- **Content-addressed keys.**  The file name is a SHA-256 over the
+  canonical JSON of ``(kind, config, version)``.  Any config change —
+  or a format-version bump — lands on a different key, so invalidation
+  is automatic and old entries are simply unreachable.
+- **Pickle-free.**  Entries are JSONL through the same atomic
+  :func:`repro.io.jsonl.write_jsonl` path every other dataset uses: a
+  header line carrying ``kind``/``version``/``config``/``count``, then
+  one record per line.  A cache file is inspectable with ``head`` and
+  survives interpreter upgrades.
+- **Corruption is a miss, never a crash.**  A truncated, torn, or
+  header-mismatched file makes :meth:`ArtifactCache.get` return None
+  (counted as ``artifacts.corrupt``); the caller regenerates and the
+  next :meth:`ArtifactCache.put` atomically replaces the bad entry.
+- **Safe under racing writers.**  Writes go to a private temp file and
+  are renamed over the destination, so two processes racing on one key
+  both produce valid files and the last rename wins.
+  :meth:`ArtifactCache.get_or_create` additionally takes an advisory
+  ``flock`` per key so only one process pays the generation cost while
+  the others wait and then read the finished entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.io.jsonl import read_jsonl, write_jsonl
+
+try:  # pragma: no cover - fcntl is always present on the POSIX targets
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+__all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactCache", "artifact_key"]
+
+#: Bump to invalidate every existing cache entry (serialization change).
+ARTIFACT_FORMAT_VERSION = 1
+
+
+def artifact_key(kind: str, config: dict, version: int) -> str:
+    """The content address for ``(kind, config, version)``.
+
+    A SHA-256 hex digest over canonical JSON, so key equality is exactly
+    config equality and any drift (including a version bump) misses.
+    """
+    payload = json.dumps(
+        {"kind": kind, "config": config, "version": version},
+        sort_keys=True,
+        ensure_ascii=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _metrics():
+    """The active metrics registry (lazy import; see repro.io.jsonl)."""
+    from repro.obs.metrics import current_metrics
+
+    return current_metrics()
+
+
+class ArtifactCache:
+    """A directory of content-addressed JSONL artifacts.
+
+    Args:
+        root: Cache directory (created on first write).
+        version: Format version baked into every key; bumping it
+            orphans all previous entries (see
+            :data:`ARTIFACT_FORMAT_VERSION`).
+
+    Example:
+        >>> import tempfile
+        >>> cache = ArtifactCache(tempfile.mkdtemp())
+        >>> cache.get("squares", {"n": 3}) is None
+        True
+        >>> _ = cache.put("squares", {"n": 3}, [{"i": i, "sq": i * i} for i in range(3)])
+        >>> [r["sq"] for r in cache.get("squares", {"n": 3})]
+        [0, 1, 4]
+    """
+
+    def __init__(
+        self, root: str | Path, *, version: int = ARTIFACT_FORMAT_VERSION
+    ) -> None:
+        self.root = Path(root)
+        self.version = version
+
+    def path_for(self, kind: str, config: dict) -> Path:
+        """Where the entry for ``(kind, config)`` lives (may not exist)."""
+        return self.root / kind / f"{artifact_key(kind, config, self.version)}.jsonl"
+
+    # -- read ----------------------------------------------------------
+
+    def get(self, kind: str, config: dict) -> list[dict] | None:
+        """The cached records for ``(kind, config)``, or None on a miss.
+
+        Every failure mode — absent file, torn final line, malformed
+        JSON, header mismatch, wrong record count — is a miss: the
+        caller regenerates and overwrites.  An invalid *existing* file
+        is additionally counted as ``artifacts.corrupt``.
+        """
+        path = self.path_for(kind, config)
+        try:
+            rows = list(read_jsonl(path))
+        except FileNotFoundError:
+            _metrics().count("artifacts.misses")
+            return None
+        except Exception:  # noqa: BLE001 - any decode failure is a miss
+            _metrics().count("artifacts.misses")
+            _metrics().count("artifacts.corrupt")
+            return None
+        if not rows:
+            _metrics().count("artifacts.misses")
+            _metrics().count("artifacts.corrupt")
+            return None
+        header, records = rows[0], rows[1:]
+        if (
+            header.get("artifact") != kind
+            or header.get("version") != self.version
+            or header.get("config") != config
+            or header.get("count") != len(records)
+        ):
+            _metrics().count("artifacts.misses")
+            _metrics().count("artifacts.corrupt")
+            return None
+        _metrics().count("artifacts.hits")
+        return records
+
+    # -- write ---------------------------------------------------------
+
+    def put(self, kind: str, config: dict, records: Iterable[dict]) -> Path:
+        """Store ``records`` for ``(kind, config)``; returns the path.
+
+        The write is atomic (private temp file + rename), so concurrent
+        writers on the same key each land a complete file and readers
+        never observe a torn one.
+        """
+        body = list(records)
+        header = {
+            "artifact": kind,
+            "version": self.version,
+            "config": config,
+            "count": len(body),
+        }
+        path = self.path_for(kind, config)
+        write_jsonl(path, [header] + body)
+        _metrics().count("artifacts.writes")
+        return path
+
+    def get_or_create(
+        self,
+        kind: str,
+        config: dict,
+        factory: Callable[[], Iterable[dict]],
+    ) -> list[dict]:
+        """The cached records, generating (once) on a miss.
+
+        Misses serialize through a per-key advisory file lock, so when
+        several processes race on the same key only the first runs
+        ``factory``; the rest block briefly and then read its output.
+        """
+        records = self.get(kind, config)
+        if records is not None:
+            return records
+        with self._key_lock(kind, config):
+            # Re-check under the lock: another process may have
+            # generated the entry while this one waited.
+            records = self.get(kind, config)
+            if records is not None:
+                return records
+            records = list(factory())
+            self.put(kind, config, records)
+            return records
+
+    # -- invalidation --------------------------------------------------
+
+    def invalidate(self, kind: str | None = None) -> int:
+        """Delete cached entries (all kinds when ``kind`` is None).
+
+        Returns the number of entries removed.  Lock files are removed
+        alongside their entries.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        kinds = [kind] if kind is not None else [
+            p.name for p in self.root.iterdir() if p.is_dir()
+        ]
+        for name in kinds:
+            directory = self.root / name
+            if not directory.is_dir():
+                continue
+            for path in directory.iterdir():
+                if path.suffix == ".jsonl":
+                    removed += 1
+                path.unlink(missing_ok=True)
+        _metrics().count("artifacts.invalidated", removed)
+        return removed
+
+    # -- locking -------------------------------------------------------
+
+    @contextmanager
+    def _key_lock(self, kind: str, config: dict) -> Iterator[None]:
+        """An advisory exclusive lock scoped to one cache key."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        path = self.path_for(kind, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = path.with_suffix(".lock")
+        with lock_path.open("a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -49,15 +50,21 @@ def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
 
     Returns the number of records written.  Parent directories are
     created as needed; an existing file is overwritten.  The write is
-    atomic: records land in ``<path>.tmp`` which is fsynced and renamed
-    over ``path``, so readers (and crashes — including a mid-write
-    ``kill -9``) never observe a torn file.
+    atomic: records land in a private ``<path>.<random>.tmp`` which is
+    fsynced and renamed over ``path``, so readers (and crashes —
+    including a mid-write ``kill -9``) never observe a torn file.  The
+    temp name is unique per writer, so concurrent writers racing on the
+    same destination each land a complete file (last rename wins)
+    instead of interleaving into a shared scratch file.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
     try:
-        with tmp.open("w", encoding="utf-8") as handle:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             count = _dump_lines(handle, records)
             handle.flush()
             os.fsync(handle.fileno())

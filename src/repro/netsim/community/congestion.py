@@ -88,10 +88,17 @@ def jain_fairness(values: Sequence[float]) -> float:
     array = np.asarray(list(values), dtype=float)
     if array.size == 0:
         raise ValueError("need at least one value")
-    denominator = array.size * float(np.sum(array**2))
+    # The index is scale-invariant, so normalize by the peak first:
+    # squaring tiny values (e.g. 1e-162) directly underflows to
+    # denormals and breaks the [1/n, 1] bounds.
+    peak = float(np.max(array))
+    if peak == 0:
+        return 1.0
+    scaled = array / peak
+    denominator = array.size * float(np.sum(scaled**2))
     if denominator == 0:
         return 1.0
-    return float(np.sum(array)) ** 2 / denominator
+    return float(np.sum(scaled)) ** 2 / denominator
 
 
 def allocate_fifo(

@@ -301,6 +301,10 @@ class NullMetrics:
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
+    def merge(self, snapshot: dict) -> None:
+        """Discard ``snapshot`` — worker shards merge into nothing when
+        metrics were never requested."""
+
 
 #: The process-wide registry instrumented call sites consult.
 _metrics: MetricsRegistry | NullMetrics = NullMetrics()

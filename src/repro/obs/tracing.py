@@ -166,6 +166,37 @@ class Tracer:
                 del self._stack[index:]
             self.finished.append(span)
 
+    def adopt(self, records: list[dict], parent_id: int | None = None) -> int:
+        """Graft exported span records from another tracer into this one.
+
+        The suite runner uses this to re-parent a worker process's span
+        shard under the parent's suite span: every record gets a fresh
+        id from this tracer's sequence, parent links *within* the shard
+        are remapped to the new ids, and the shard's roots are attached
+        to ``parent_id``.  Records are adopted in order, so adopting the
+        same shards in the same order yields the same ids.
+
+        Returns the number of spans adopted.
+        """
+        with self._lock:
+            id_map: dict[int, int] = {}
+            for record in records:
+                id_map[record["span_id"]] = self._next_id
+                self._next_id += 1
+        for record in records:
+            span = Span(self, record["name"], dict(record["attributes"]))
+            span.span_id = id_map[record["span_id"]]
+            old_parent = record["parent_id"]
+            span.parent_id = id_map.get(old_parent, parent_id)
+            span.start = record["start"]
+            span.end = record["end"]
+            span.status = record["status"]
+            span.error = record["error"]
+            span.error_type = record["error_type"]
+            with self._lock:
+                self.finished.append(span)
+        return len(records)
+
     def export(self, path) -> int:
         """Write finished spans to ``path`` as JSONL; returns the count.
 
@@ -210,6 +241,10 @@ class NullTracer:
 
     def span(self, name: str, **attributes) -> _NullSpan:
         return _NULL_SPAN
+
+    def adopt(self, records: list[dict], parent_id: int | None = None) -> int:
+        """Discard ``records`` — nothing collects spans nobody asked for."""
+        return 0
 
 
 #: The process-wide tracer instrumented call sites consult.

@@ -7,6 +7,9 @@
   deterministic, seeded harness that makes registered call sites raise,
   hang, or corrupt their return value — used to test the runner and
   available for netsim resilience studies.
+- :mod:`repro.runtime.parallel` -- the process-pool worker behind
+  ``SuiteRunner(workers=N)``: runs one experiment per task and streams
+  back its record plus an observability shard.
 """
 
 from repro.runtime.faultinject import FaultInjector, FaultSpec

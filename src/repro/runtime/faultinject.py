@@ -180,6 +180,59 @@ class FaultInjector:
         # mode == "corrupt": run the real call, then damage the result.
         return spec.corrupt(fn(*args, **kwargs))
 
+    def export_specs(self) -> list[dict]:
+        """The armed points as plain JSON-safe dicts.
+
+        Used to carry an injector across process boundaries (the
+        injector itself holds lambdas and is not picklable).  Custom
+        ``exception`` and ``corrupt`` callables cannot travel: points
+        using them are exported with defaults, so a rebuilt injector
+        raises :class:`InjectedFault` / corrupts to None instead.
+        ``fired``/``calls`` progress is included so a point's remaining
+        fault budget survives the hop.
+        """
+        return [
+            {
+                "point": spec.point,
+                "mode": spec.mode,
+                "probability": spec.probability,
+                "times": spec.times,
+                "hang_seconds": spec.hang_seconds,
+                "fired": spec.fired,
+                "calls": spec.calls,
+            }
+            for _, spec in sorted(self._specs.items())
+        ]
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: list[dict],
+        seed: int = 0,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "FaultInjector":
+        """Rebuild an injector from :meth:`export_specs` output.
+
+        The RNG streams restart from ``(seed, point)``; combined with
+        the carried ``fired``/``calls`` counters this reproduces the
+        exported injector's *budget*, which is what the parallel suite
+        runner needs (each worker gets a fresh injector for its own
+        experiment anyway).
+        """
+        injector = cls(seed=seed, sleep=sleep)
+        for data in specs:
+            spec = injector.register(
+                data["point"],
+                mode=data["mode"],
+                probability=data["probability"],
+                times=data["times"],
+                hang_seconds=data["hang_seconds"],
+            )
+            spec.fired = data.get("fired", 0)
+            spec.calls = data.get("calls", 0)
+        return injector
+
     def stats(self) -> dict[str, dict[str, int]]:
         """Per-point ``{"calls": n, "fired": m}`` counters."""
         return {

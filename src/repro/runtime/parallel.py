@@ -1,0 +1,142 @@
+"""Worker-process side of parallel suite execution.
+
+:meth:`repro.runtime.runner.SuiteRunner.run_all` with ``workers > 1``
+dispatches one task per experiment to a process pool.  This module is
+what runs inside the pool: a picklable task description goes in, and an
+*observation shard* comes out — the experiment's checkpoint-shaped
+record, its live :class:`~repro.experiments.registry.ExperimentResult`,
+the span records of a worker-local tracer, and a worker-local metrics
+snapshot.  The parent merges the shards deterministically (metrics via
+the associative :meth:`~repro.obs.metrics.MetricsRegistry.merge`, spans
+via :meth:`~repro.obs.tracing.Tracer.adopt`) in suite order, so the
+combined observability output does not depend on completion order.
+
+Workers always run with ``keep_going=True`` and no checkpoint: failure
+handling and checkpoint appends are the parent's job (single writer).
+Injectable clocks and sleeps do not cross the process boundary — a
+worker uses real time — and a :class:`FaultInjector` travels as its
+:meth:`~repro.runtime.faultinject.FaultInjector.export_specs` form, so
+custom exception/corrupt callables are replaced by the defaults.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runner import RunRecord, SuiteRunner
+
+
+def make_task(runner: "SuiteRunner", experiment_id: str, seed: int, fast: bool,
+              cache_dir: str | None) -> dict:
+    """The picklable task for running ``experiment_id`` in a worker."""
+    policy = runner.policy
+    fault = None
+    if runner.fault_injector is not None:
+        fault = {
+            "seed": runner.fault_injector.seed,
+            "specs": runner.fault_injector.export_specs(),
+        }
+    return {
+        "experiment_id": experiment_id,
+        "seed": seed,
+        "fast": fast,
+        "timeout": runner.timeout,
+        "strict_checks": runner.strict_checks,
+        "profile_dir": runner.profile_dir,
+        "jitter_seed": runner._jitter_seed,
+        "policy": {
+            "retries": policy.retries,
+            "backoff_base": policy.backoff_base,
+            "backoff_factor": policy.backoff_factor,
+            "max_backoff": policy.max_backoff,
+            "jitter": policy.jitter,
+        },
+        "fault": fault,
+        "cache_dir": cache_dir,
+    }
+
+
+def run_experiment_task(task: dict) -> dict:
+    """Run one experiment in a pool worker; returns its shard.
+
+    The shard is ``{"record", "result", "spans", "metrics"}`` where
+    ``record`` is the :meth:`RunRecord.to_record` dict, ``result`` is
+    the live (picklable) ExperimentResult or None, ``spans`` are the
+    worker tracer's finished span records (the ``experiment`` span is
+    the shard's root), and ``metrics`` is the worker registry snapshot.
+    """
+    # Imported here, not at module top: the pool pickles this function
+    # by reference, and keeping the import local means a spawn-context
+    # worker pays it once per process, after interpreter startup.
+    from repro.experiments._corpus import configure_corpus_cache
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+    from repro.obs.tracing import Tracer, use_tracer
+    from repro.runtime.faultinject import FaultInjector
+    from repro.runtime.runner import RetryPolicy, SuiteRunner
+
+    if task["cache_dir"] is not None:
+        configure_corpus_cache(task["cache_dir"])
+    fault_injector = None
+    if task["fault"] is not None:
+        fault_injector = FaultInjector.from_specs(
+            task["fault"]["specs"], seed=task["fault"]["seed"]
+        )
+    runner = SuiteRunner(
+        policy=RetryPolicy(**task["policy"]),
+        timeout=task["timeout"],
+        keep_going=True,
+        checkpoint=None,
+        strict_checks=task["strict_checks"],
+        seed=task["jitter_seed"],
+        fault_injector=fault_injector,
+        profile_dir=task["profile_dir"],
+    )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        record = runner.run_one(
+            task["experiment_id"], seed=task["seed"], fast=task["fast"]
+        )
+    return {
+        "record": record.to_record(),
+        "result": record.result,
+        "spans": [span.to_record() for span in tracer.finished],
+        "metrics": metrics.snapshot(),
+    }
+
+
+def record_from_payload(payload: dict) -> "RunRecord":
+    """Rebuild the parent-side :class:`RunRecord` from a worker shard."""
+    from repro.runtime.runner import RunRecord
+
+    record = RunRecord.from_record(payload["record"])
+    record.from_checkpoint = False
+    record.result = payload.get("result")
+    return record
+
+
+def failure_payload(exc: BaseException, experiment_id: str, seed: int,
+                    fast: bool) -> dict:
+    """A shard for a worker that died instead of returning one.
+
+    A hard crash (e.g. ``BrokenProcessPool`` after a segfault or OOM
+    kill) never produces a record, so the parent synthesizes an error
+    record to keep the suite's isolation guarantee.
+    """
+    return {
+        "record": {
+            "experiment_id": experiment_id,
+            "status": "error",
+            "seed": seed,
+            "fast": fast,
+            "attempts": 0,
+            "duration": 0.0,
+            "checks": {},
+            "error": f"worker process failed: {exc}",
+            "error_type": type(exc).__name__,
+        },
+        "result": None,
+        "spans": [],
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    }

@@ -14,6 +14,18 @@ properties a long campaign needs:
 - **Checkpoint/resume** — each completed experiment appends one JSONL
   record; pointing a new runner at the same checkpoint file skips
   experiments that already succeeded with the same ``(seed, fast)``.
+- **Parallelism** — ``workers=N`` fans the suite out over a process
+  pool, one task per experiment (see :mod:`repro.runtime.parallel`).
+  Workers stream back their record plus an observability shard; the
+  parent merges metrics associatively, re-parents worker spans under
+  the suite span, and funnels every checkpoint append through itself —
+  all in suite order, so a parallel run's records, checkpoint file,
+  trace and metrics are deterministic and semantically identical to a
+  sequential run of the same ``(seed, fast)``
+  (:meth:`SuiteReport.fingerprint` is the equality tests use).
+  Workers share expensive inputs through a
+  :class:`repro.io.artifacts.ArtifactCache` (``cache_dir=``; a
+  throwaway directory is used when none is configured).
 
 The clock and sleep functions are injectable so retry timing is
 testable with a fake clock, and a
@@ -30,7 +42,10 @@ attribute lookups per experiment.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -173,6 +188,23 @@ class SuiteReport:
         """Records that did not reach ``status="ok"``."""
         return [r for r in self.records if r.status != "ok"]
 
+    def fingerprint(self) -> str:
+        """A digest of the report's semantic content.
+
+        Durations are zeroed first — wall-clock can never byte-match
+        across runs — so two runs of the same suite with the same
+        ``(seed, fast)`` fingerprint identically regardless of worker
+        count.  This is the equality the parallel determinism tests
+        assert.
+        """
+        payload = []
+        for record in self.records:
+            row = record.to_record()
+            row["duration"] = 0.0
+            payload.append(row)
+        canonical = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def summary(self) -> dict:
         """A machine-readable summary (the ``--json-summary`` payload)."""
         return {
@@ -219,6 +251,16 @@ class SuiteRunner:
         profile_dir: When set, each experiment attempt runs under
             ``cProfile`` and dumps ``<dir>/<id>.pstats`` (later
             attempts overwrite earlier ones).
+        workers: Default worker count for :meth:`run_all`.  1 runs the
+            suite in-process; N > 1 fans experiments out over a process
+            pool.  Injectable ``clock``/``sleep`` and custom fault
+            callables do not cross the process boundary — parallel
+            workers use real time and the default fault behaviors.
+        cache_dir: Directory for the cross-process
+            :class:`repro.io.artifacts.ArtifactCache` that shares the
+            experiment corpus between workers and across runs.  None
+            uses a throwaway temp directory when ``workers > 1`` (and
+            no disk cache at all sequentially).
     """
 
     def __init__(
@@ -237,7 +279,11 @@ class SuiteRunner:
         tracer=None,
         metrics=None,
         profile_dir: str | None = None,
+        workers: int = 1,
+        cache_dir: str | None = None,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.policy = policy if policy is not None else RetryPolicy(retries=retries)
         self.timeout = timeout
         self.keep_going = keep_going
@@ -245,6 +291,8 @@ class SuiteRunner:
         self.strict_checks = strict_checks
         self.fault_injector = fault_injector
         self.profile_dir = profile_dir
+        self.workers = workers
+        self.cache_dir = cache_dir
         self._clock = clock
         self._sleep = sleep
         self._jitter_seed = seed
@@ -495,6 +543,7 @@ class SuiteRunner:
         ids: Iterable[str] | None = None,
         seed: int = 0,
         fast: bool = True,
+        workers: int | None = None,
     ) -> SuiteReport:
         """Run the suite (or ``ids``) under isolation; returns a report.
 
@@ -502,22 +551,175 @@ class SuiteRunner:
         completed with the same ``(seed, fast)`` are replayed from the
         file instead of re-executed, and every fresh outcome is
         appended as soon as it is known — a killed run resumes from
-        the last completed experiment.
+        the last completed experiment.  Resume filtering happens
+        *before* dispatch, so a parallel resume never re-executes (or
+        even schedules) completed experiments.
+
+        ``workers`` overrides the runner's configured worker count for
+        this call.  Parallel runs produce the same records, checkpoint
+        contents, merged metrics, and (re-parented) trace structure as
+        sequential ones — completions are buffered and flushed strictly
+        in suite order.
         """
+        from repro.experiments._corpus import configure_corpus_cache
+
         experiment_ids = list(ids) if ids is not None else all_experiments()
-        with self.tracer.span(
-            "suite", seed=seed, fast=fast, experiments=len(experiment_ids)
-        ) as span:
-            completed = self._load_checkpoint()
-            report = SuiteReport()
-            for experiment_id in experiment_ids:
-                key = (experiment_id, seed, fast)
-                if key in completed:
-                    self.metrics.count("runner.checkpoint_hits")
-                    report.records.append(completed[key])
-                    continue
-                record = self.run_one(experiment_id, seed=seed, fast=fast)
-                self._append_checkpoint(record)
-                report.records.append(record)
-            span.set_attribute("ok", report.ok)
+        workers = self.workers if workers is None else workers
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        cache_dir = self.cache_dir
+        temp_cache = None
+        if workers > 1 and cache_dir is None:
+            # Workers still need a rendezvous to build shared inputs
+            # once; give them a throwaway cache for this run.
+            temp_cache = tempfile.TemporaryDirectory(prefix="repro-cache-")
+            cache_dir = temp_cache.name
+        previous_cache = (
+            configure_corpus_cache(cache_dir) if cache_dir is not None else None
+        )
+        try:
+            with self.tracer.span(
+                "suite",
+                seed=seed,
+                fast=fast,
+                experiments=len(experiment_ids),
+                workers=workers,
+            ) as span:
+                completed = self._load_checkpoint()
+                if workers == 1:
+                    report = self._run_all_sequential(
+                        experiment_ids, seed, fast, completed
+                    )
+                else:
+                    report = self._run_all_parallel(
+                        experiment_ids, seed, fast, completed, workers,
+                        cache_dir, span,
+                    )
+                span.set_attribute("ok", report.ok)
+            return report
+        finally:
+            if cache_dir is not None:
+                configure_corpus_cache(previous_cache)
+            if temp_cache is not None:
+                temp_cache.cleanup()
+
+    def _run_all_sequential(
+        self,
+        experiment_ids: list[str],
+        seed: int,
+        fast: bool,
+        completed: dict[tuple[str, int, bool], RunRecord],
+    ) -> SuiteReport:
+        report = SuiteReport()
+        for experiment_id in experiment_ids:
+            key = (experiment_id, seed, fast)
+            if key in completed:
+                self.metrics.count("runner.checkpoint_hits")
+                report.records.append(completed[key])
+                continue
+            record = self.run_one(experiment_id, seed=seed, fast=fast)
+            self._append_checkpoint(record)
+            report.records.append(record)
+        return report
+
+    def _run_all_parallel(
+        self,
+        experiment_ids: list[str],
+        seed: int,
+        fast: bool,
+        completed: dict[tuple[str, int, bool], RunRecord],
+        workers: int,
+        cache_dir: str | None,
+        suite_span,
+    ) -> SuiteReport:
+        """Fan experiments out to a process pool; merge in suite order.
+
+        Every completion is buffered and flushed in suite position
+        order: checkpoint appends (single writer — this process),
+        metrics merges, and span adoption all happen at flush time, so
+        their outcome is independent of which worker finished first.
+        """
+        import concurrent.futures
+        import multiprocessing
+
+        from repro.errors import ExperimentError as SuiteExperimentError
+        from repro.runtime.parallel import (
+            failure_payload,
+            make_task,
+            record_from_payload,
+            run_experiment_task,
+        )
+
+        report = SuiteReport()
+        replayed: dict[int, RunRecord] = {}
+        pending: list[int] = []
+        for index, experiment_id in enumerate(experiment_ids):
+            if (experiment_id, seed, fast) in completed:
+                self.metrics.count("runner.checkpoint_hits")
+                replayed[index] = completed[(experiment_id, seed, fast)]
+            else:
+                pending.append(index)
+        suite_span_id = getattr(suite_span, "span_id", None)
+        payloads: dict[int, dict] = {}
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        flushed = 0
+
+        def flush_ready() -> None:
+            """Emit records for every suite position that is ready."""
+            nonlocal flushed
+            while flushed < len(experiment_ids):
+                index = flushed
+                if index in replayed:
+                    report.records.append(replayed[index])
+                elif index in payloads:
+                    payload = payloads.pop(index)
+                    record = record_from_payload(payload)
+                    self.metrics.merge(payload["metrics"])
+                    self.tracer.adopt(payload["spans"], parent_id=suite_span_id)
+                    if not self.keep_going and record.status != "ok":
+                        # Mirror sequential keep_going=False: the
+                        # failing experiment is not checkpointed and
+                        # the suite aborts.  The original exception
+                        # object stayed in the worker; raise its
+                        # recorded identity.
+                        raise SuiteExperimentError(
+                            f"{record.error_type}: {record.error}",
+                            experiment_id=record.experiment_id,
+                            seed=record.seed,
+                            stage="run",
+                        )
+                    self._append_checkpoint(record)
+                    report.records.append(record)
+                else:
+                    return
+                flushed += 1
+
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, max(len(pending), 1)),
+            mp_context=context,
+        )
+        try:
+            futures = {
+                executor.submit(
+                    run_experiment_task,
+                    make_task(self, experiment_ids[index], seed, fast, cache_dir),
+                ): index
+                for index in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                try:
+                    payloads[index] = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker died hard
+                    self.metrics.count("runner.worker_failures")
+                    payloads[index] = failure_payload(
+                        exc, experiment_ids[index], seed, fast
+                    )
+                flush_ready()
+            flush_ready()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
         return report

@@ -7,7 +7,6 @@ are comparable to the wider ecosystem, without depending on it.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -92,54 +91,108 @@ class TfidfVectorizer:
     vocabulary_: dict[str, int] = field(default_factory=dict, init=False)
     idf_: np.ndarray = field(default_factory=lambda: np.empty(0), init=False)
 
-    def build_matrix(self, documents: Sequence[str]) -> TermDocumentMatrix:
-        """Tokenize ``documents`` and build a raw count matrix."""
+    def _tokenize_flat(
+        self, documents: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tokenize ``documents`` into one flat token array plus the
+        row index of every token."""
         tokenized = [self.tokenizer(doc) for doc in documents]
-        df_counter: Counter[str] = Counter()
-        for doc_tokens in tokenized:
-            df_counter.update(set(doc_tokens))
-        terms = sorted(t for t, df in df_counter.items() if df >= self.min_df)
-        if self.max_vocabulary is not None and len(terms) > self.max_vocabulary:
-            terms = sorted(
-                terms, key=lambda t: (-df_counter[t], t)
-            )[: self.max_vocabulary]
-            terms.sort()
-        vocabulary = {term: i for i, term in enumerate(terms)}
-        counts = np.zeros((len(documents), len(terms)), dtype=np.int64)
-        for row, doc_tokens in enumerate(tokenized):
-            for term, count in Counter(doc_tokens).items():
-                column = vocabulary.get(term)
-                if column is not None:
-                    counts[row, column] = count
-        return TermDocumentMatrix(vocabulary=vocabulary, counts=counts)
+        lengths = [len(tokens) for tokens in tokenized]
+        flat = [token for tokens in tokenized for token in tokens]
+        rows = np.repeat(np.arange(len(tokenized), dtype=np.int64), lengths)
+        return np.asarray(flat, dtype=str), rows
 
-    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
-        """Learn the vocabulary and IDF weights from ``documents``."""
-        matrix = self.build_matrix(documents)
+    def build_matrix(self, documents: Sequence[str]) -> TermDocumentMatrix:
+        """Tokenize ``documents`` and build a raw count matrix.
+
+        Assembly is vectorized: the corpus is flattened to one token
+        array, ``np.unique(return_inverse=True)`` yields the sorted term
+        set and per-token term ids, document frequencies come from the
+        unique ``(row, term)`` pairs, and the count matrix is one
+        ``np.bincount`` over linearized ``row * n_terms + column``
+        indices — no per-token Python dictionary loop.
+        """
+        n_docs = len(documents)
+        flat, rows = self._tokenize_flat(documents)
+        if flat.size == 0:
+            return TermDocumentMatrix(
+                vocabulary={}, counts=np.zeros((n_docs, 0), dtype=np.int64)
+            )
+        terms, inverse = np.unique(flat, return_inverse=True)
+        # Document frequency: count each (row, term) pair once.
+        pairs = np.unique(rows * np.int64(terms.size) + inverse)
+        df = np.bincount(pairs % terms.size, minlength=terms.size)
+        selected = np.flatnonzero(df >= self.min_df)
+        if self.max_vocabulary is not None and selected.size > self.max_vocabulary:
+            # Keep the highest-df terms, ties alphabetical (lexsort's
+            # primary key is the last one), then restore column order.
+            order = np.lexsort((terms[selected], -df[selected]))
+            selected = np.sort(selected[order[: self.max_vocabulary]])
+        vocabulary = {str(terms[i]): col for col, i in enumerate(selected)}
+        column_of = np.full(terms.size, -1, dtype=np.int64)
+        column_of[selected] = np.arange(selected.size, dtype=np.int64)
+        columns = column_of[inverse]
+        keep = columns >= 0
+        linear = rows[keep] * np.int64(selected.size) + columns[keep]
+        counts = np.bincount(linear, minlength=n_docs * selected.size)
+        return TermDocumentMatrix(
+            vocabulary=vocabulary,
+            counts=counts.reshape(n_docs, selected.size).astype(np.int64),
+        )
+
+    def _fit_matrix(self, matrix: TermDocumentMatrix) -> None:
         self.vocabulary_ = matrix.vocabulary
         n_docs = max(matrix.n_docs, 1)
         df = (matrix.counts > 0).sum(axis=0)
         self.idf_ = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
-        return self
 
-    def transform(self, documents: Sequence[str]) -> np.ndarray:
-        """Map ``documents`` into the fitted TF-IDF space (L2-normalized)."""
-        if not self.vocabulary_:
-            raise RuntimeError("vectorizer is not fitted; call fit() first")
-        rows = np.zeros((len(documents), len(self.vocabulary_)))
-        for row, doc in enumerate(documents):
-            for term, count in Counter(self.tokenizer(doc)).items():
-                column = self.vocabulary_.get(term)
-                if column is not None:
-                    rows[row, column] = count
-        weighted = rows * self.idf_
+    def _weight(self, counts: np.ndarray) -> np.ndarray:
+        """Apply IDF weights and L2-normalize rows of ``counts``."""
+        weighted = counts * self.idf_
         norms = np.linalg.norm(weighted, axis=1, keepdims=True)
         norms[norms == 0] = 1.0
         return weighted / norms
 
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and IDF weights from ``documents``."""
+        self._fit_matrix(self.build_matrix(documents))
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Map ``documents`` into the fitted TF-IDF space (L2-normalized).
+
+        Counting is vectorized: tokens are mapped to columns with one
+        ``np.searchsorted`` against the sorted vocabulary and counted
+        with one ``np.bincount``; out-of-vocabulary tokens are dropped.
+        """
+        if not self.vocabulary_:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        n_terms = len(self.vocabulary_)
+        terms_by_column = np.asarray(self.feature_names(), dtype=str)
+        # fit() assigns columns alphabetically, but vocabulary_ is a
+        # public field — sort defensively so searchsorted stays valid.
+        alpha_order = np.argsort(terms_by_column)
+        sorted_terms = terms_by_column[alpha_order]
+        flat, rows = self._tokenize_flat(documents)
+        counts = np.zeros((len(documents), n_terms))
+        if flat.size:
+            positions = np.minimum(
+                np.searchsorted(sorted_terms, flat), n_terms - 1
+            )
+            keep = sorted_terms[positions] == flat
+            columns = alpha_order[positions[keep]]
+            linear = rows[keep] * np.int64(n_terms) + columns
+            counts = np.bincount(
+                linear, minlength=len(documents) * n_terms
+            ).reshape(len(documents), n_terms).astype(float)
+        return self._weight(counts)
+
     def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
-        """Equivalent to ``fit(documents)`` followed by ``transform(documents)``."""
-        return self.fit(documents).transform(documents)
+        """Equivalent to ``fit(documents)`` followed by ``transform(documents)``
+        but tokenizes and counts the corpus only once."""
+        matrix = self.build_matrix(documents)
+        self._fit_matrix(matrix)
+        return self._weight(matrix.counts)
 
     def feature_names(self) -> list[str]:
         """Vocabulary terms ordered by column index."""

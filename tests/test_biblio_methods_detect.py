@@ -1,4 +1,11 @@
-"""Tests for repro.bibliometrics.methods_detect."""
+"""Tests for repro.bibliometrics.methods_detect.
+
+The single-pass :class:`LexiconScanner` must be *exactly* equivalent to
+the per-family ``finditer`` reference (``detect_multipass``): same
+mentions, same surfaces, same offsets — including on adversarial
+lexicons with cross-family shared prefixes, overlapping matches, stem
+collisions, and non-indexable phrases that force the fallback path.
+"""
 
 import pytest
 
@@ -6,6 +13,7 @@ from repro.bibliometrics.corpus import Paper, Venue, Corpus
 from repro.bibliometrics.methods_detect import (
     HUMAN_METHOD_FAMILIES,
     METHOD_FAMILIES,
+    LexiconScanner,
     classify_paper,
     detect_methods,
     uses_human_methods,
@@ -57,6 +65,87 @@ class TestDetect:
         mentions = detect_methods(text)
         offsets = [m.start for m in mentions]
         assert offsets == sorted(offsets)
+
+
+#: Adversarial (lexicon, text) pairs stressing scanner edge cases.
+EQUIVALENCE_CASES = [
+    # cross-family matches at the same offset, alternation shadowing
+    ({"a": ("foo bar", "foo"), "b": ("foo bar baz", "bar")},
+     "foo bar baz foo bar foo"),
+    # stem vs exact collision on the same token
+    ({"a": ("ab*",), "b": ("abc",)}, "abc abd ab abcd ABC"),
+    # shared common first word across families
+    ({"x": ("we measure*", "we"), "y": ("we measured twice",)},
+     "we measured twice and we measure often we"),
+    # hyphenated first tokens (token index key is the leading word chunk)
+    ({"p": ("co-design",), "q": ("co-located co-design",)},
+     "co-located co-design and co-design again and co-author"),
+    # overlapping phrases within and across families
+    ({"m": ("case study", "case studies"), "n": ("study case",)},
+     "case study case studies study case case study"),
+    # stem family vs multi-word family starting with the stemmed word
+    ({"s": ("ethnograph*",), "t": ("ethnography of networks",)},
+     "ethnography of networks ethnographic ETHNOGRAPHY"),
+    # one family's phrase starts inside another family's match
+    ({"long": ("a b c d",), "short": ("b c",)}, "a b c d b c a b c d"),
+    # non-word leading character: forces the exact fallback scan
+    ({"u": ("-dash start",), "v": ("plain words",)},
+     "a -dash start and plain words here -dash start"),
+    # empty text and no-hit text
+    ({"a": ("anything",)}, ""),
+    ({"a": ("anything",)}, "nothing here matches at all"),
+]
+
+
+class TestSinglePassEquivalence:
+    @pytest.mark.parametrize("lexicon,text", EQUIVALENCE_CASES)
+    def test_adversarial_lexicons(self, lexicon, text):
+        scanner = LexiconScanner(lexicon)
+        assert scanner.detect(text) == scanner.detect_multipass(text)
+
+    @pytest.mark.parametrize("lexicon,text", EQUIVALENCE_CASES)
+    def test_adversarial_lexicons_single_family_selections(self, lexicon, text):
+        scanner = LexiconScanner(lexicon)
+        for family in lexicon:
+            selection = (family,)
+            assert scanner.detect(text, selection) == scanner.detect_multipass(
+                text, selection
+            )
+
+    def test_default_lexicon_on_representative_texts(self):
+        texts = [
+            "We conducted participatory action research and a diary study; "
+            "semi-structured interviews with operators complement passive "
+            "measurements from 12 vantage points and an ns-3 simulation.",
+            "Our ethnographic fieldwork (autoethnography included) informed "
+            "the co-design of the testbed; we surveyed 200 respondents with "
+            "a Likert questionnaire and reflected on our positionality.",
+            "case study CASE STUDIES case study " * 10,
+            "we we we interviewed we surveyed we measure we simulate",
+        ]
+        scanner = LexiconScanner(METHOD_FAMILIES)
+        for text in texts:
+            assert scanner.detect(text) == scanner.detect_multipass(text)
+
+    def test_default_lexicon_on_synthetic_papers(self):
+        from repro.bibliometrics.synthgen import (
+            SyntheticCorpusConfig,
+            generate_corpus,
+        )
+
+        corpus, _ = generate_corpus(
+            SyntheticCorpusConfig(start_year=2022, end_year=2024, seed=3)
+        )
+        scanner = LexiconScanner(METHOD_FAMILIES)
+        assert len(list(corpus)) > 0
+        for paper in corpus:
+            text = paper.full_text
+            assert scanner.detect(text) == scanner.detect_multipass(text)
+
+    def test_detect_methods_uses_the_default_scanner(self):
+        text = "A focus group met; fieldwork followed."
+        scanner = LexiconScanner(METHOD_FAMILIES)
+        assert detect_methods(text) == scanner.detect_multipass(text)
 
 
 class TestClassify:

@@ -1,0 +1,129 @@
+"""Tests for the shared-corpus cache (repro.experiments._corpus).
+
+Covers the explicit two-level cache that replaced ``lru_cache`` corpus
+pinning: in-memory LRU behavior, ``clear_corpus_cache`` (memory and
+disk), the on-disk artifact-cache path, and — critical for parallel
+determinism — serialization roundtrip fidelity: a corpus loaded from
+the cache must be indistinguishable from the one that was generated.
+"""
+
+import json
+
+import pytest
+
+from repro.bibliometrics.synthgen import SyntheticCorpusConfig, generate_corpus
+from repro.experiments import _corpus
+from repro.experiments._corpus import (
+    CORPUS_ARTIFACT_KIND,
+    clear_corpus_cache,
+    configure_corpus_cache,
+    corpus_cache_dir,
+    shared_corpus,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_corpus_state():
+    """Save and restore the module's memory cache and disk setting."""
+    saved_memory = dict(_corpus._memory)
+    saved_dir = corpus_cache_dir()
+    _corpus._memory.clear()
+    yield
+    configure_corpus_cache(saved_dir)
+    _corpus._memory.clear()
+    _corpus._memory.update(saved_memory)
+
+
+@pytest.fixture
+def tiny_generator(monkeypatch):
+    """Replace the real generator with a tiny, counted one."""
+    calls = []
+    tiny_config = SyntheticCorpusConfig(
+        start_year=2023, end_year=2024, seed=1, authors_per_venue_pool=8
+    )
+
+    def fake_generate(config):
+        calls.append(config)
+        return generate_corpus(tiny_config)
+
+    monkeypatch.setattr(_corpus, "generate_corpus", fake_generate)
+    return calls
+
+
+class TestRoundtripFidelity:
+    def test_serialize_deserialize_is_lossless(self):
+        config = SyntheticCorpusConfig(
+            start_year=2022, end_year=2024, seed=5, authors_per_venue_pool=10
+        )
+        corpus, truth = generate_corpus(config)
+        # through JSON, exactly as the artifact cache stores it
+        records = json.loads(json.dumps(_corpus._serialize(corpus, truth)))
+        loaded_corpus, loaded_truth = _corpus._deserialize(records)
+        assert loaded_corpus.to_records() == corpus.to_records()
+        assert loaded_truth.human_methods == truth.human_methods
+        assert loaded_truth.positionality == truth.positionality
+        # iteration order (what experiments consume) is preserved too
+        assert [p.paper_id for p in loaded_corpus] == [
+            p.paper_id for p in corpus
+        ]
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError):
+            _corpus._deserialize([{"table": "nope", "row": {}}])
+
+
+class TestMemoryCache:
+    def test_generated_once_per_key(self, tiny_generator):
+        first = shared_corpus(seed=91, fast=True)
+        second = shared_corpus(seed=91, fast=True)
+        assert len(tiny_generator) == 1
+        assert first is second
+
+    def test_distinct_keys_generate_separately(self, tiny_generator):
+        shared_corpus(seed=91, fast=True)
+        shared_corpus(seed=92, fast=True)
+        assert len(tiny_generator) == 2
+
+    def test_clear_corpus_cache_forces_regeneration(self, tiny_generator):
+        shared_corpus(seed=91, fast=True)
+        clear_corpus_cache()
+        shared_corpus(seed=91, fast=True)
+        assert len(tiny_generator) == 2
+
+    def test_lru_evicts_oldest(self, tiny_generator):
+        for seed in range(91, 91 + _corpus._MEMORY_SLOTS + 1):
+            shared_corpus(seed=seed, fast=True)
+        generated = len(tiny_generator)
+        shared_corpus(seed=91, fast=True)  # evicted -> regenerated
+        assert len(tiny_generator) == generated + 1
+
+
+class TestDiskCache:
+    def test_disk_entry_survives_memory_clear(self, tiny_generator, tmp_path):
+        configure_corpus_cache(str(tmp_path))
+        shared_corpus(seed=91, fast=True)
+        assert len(tiny_generator) == 1
+        assert any((tmp_path / CORPUS_ARTIFACT_KIND).iterdir())
+        clear_corpus_cache()  # memory only
+        shared_corpus(seed=91, fast=True)
+        assert len(tiny_generator) == 1  # loaded from disk, not regenerated
+
+    def test_clear_disk_invalidates_artifacts(self, tiny_generator, tmp_path):
+        configure_corpus_cache(str(tmp_path))
+        shared_corpus(seed=91, fast=True)
+        clear_corpus_cache(disk=True)
+        shared_corpus(seed=91, fast=True)
+        assert len(tiny_generator) == 2
+
+    def test_cached_corpus_equals_generated(self, tiny_generator, tmp_path):
+        configure_corpus_cache(str(tmp_path))
+        generated_corpus, generated_truth = shared_corpus(seed=91, fast=True)
+        clear_corpus_cache()
+        loaded_corpus, loaded_truth = shared_corpus(seed=91, fast=True)
+        assert loaded_corpus.to_records() == generated_corpus.to_records()
+        assert loaded_truth.human_methods == generated_truth.human_methods
+
+    def test_configure_returns_previous(self, tmp_path):
+        previous = configure_corpus_cache(str(tmp_path))
+        assert corpus_cache_dir() == str(tmp_path)
+        assert configure_corpus_cache(previous) == str(tmp_path)

@@ -1,0 +1,226 @@
+"""Tests for repro.io.artifacts.
+
+The artifact cache must treat every corruption mode as a miss (never a
+crash), survive concurrent writers racing on one key, generate at most
+once under get_or_create races, and orphan old entries on a version
+bump.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.io.artifacts import ARTIFACT_FORMAT_VERSION, ArtifactCache, artifact_key
+from repro.obs.metrics import MetricsRegistry, use_metrics
+
+CONFIG = {"n": 3, "name": "squares"}
+
+
+def squares(n=3):
+    return [{"i": i, "sq": i * i} for i in range(n)]
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        assert artifact_key("k", CONFIG, 1) == artifact_key("k", dict(CONFIG), 1)
+
+    def test_key_varies_with_each_component(self):
+        base = artifact_key("k", CONFIG, 1)
+        assert artifact_key("other", CONFIG, 1) != base
+        assert artifact_key("k", {"n": 4, "name": "squares"}, 1) != base
+        assert artifact_key("k", CONFIG, 2) != base
+
+    def test_key_ignores_dict_order(self):
+        assert artifact_key("k", {"a": 1, "b": 2}, 1) == artifact_key(
+            "k", {"b": 2, "a": 1}, 1
+        )
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, tmp_path):
+        assert ArtifactCache(tmp_path).get("squares", CONFIG) is None
+
+    def test_put_then_get_roundtrips(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("squares", CONFIG, squares())
+        assert cache.get("squares", CONFIG) == squares()
+
+    def test_different_config_misses(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("squares", CONFIG, squares())
+        assert cache.get("squares", {"n": 4, "name": "squares"}) is None
+
+    def test_hit_and_miss_counted(self, tmp_path):
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            cache = ArtifactCache(tmp_path)
+            cache.get("squares", CONFIG)
+            cache.put("squares", CONFIG, squares())
+            cache.get("squares", CONFIG)
+        counters = metrics.snapshot()["counters"]
+        assert counters["artifacts.misses"] == 1
+        assert counters["artifacts.hits"] == 1
+        assert counters["artifacts.writes"] == 1
+
+    def test_entry_is_inspectable_jsonl(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("squares", CONFIG, squares())
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["artifact"] == "squares"
+        assert header["count"] == 3
+        assert [json.loads(line) for line in lines[1:]] == squares()
+
+
+class TestCorruption:
+    """A damaged entry is regenerated, never raised."""
+
+    def _put(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        return cache, cache.put("squares", CONFIG, squares())
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        cache, path = self._put(tmp_path)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        assert cache.get("squares", CONFIG) is None
+
+    def test_malformed_json_is_a_miss(self, tmp_path):
+        cache, path = self._put(tmp_path)
+        path.write_text("not json at all\n")
+        assert cache.get("squares", CONFIG) is None
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        cache, path = self._put(tmp_path)
+        path.write_text("")
+        assert cache.get("squares", CONFIG) is None
+
+    def test_header_count_mismatch_is_a_miss(self, tmp_path):
+        cache, path = self._put(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one body row
+        assert cache.get("squares", CONFIG) is None
+
+    def test_header_kind_mismatch_is_a_miss(self, tmp_path):
+        cache, path = self._put(tmp_path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["artifact"] = "cubes"
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        assert cache.get("squares", CONFIG) is None
+
+    def test_corruption_counted(self, tmp_path):
+        cache, path = self._put(tmp_path)
+        path.write_text("garbage\n")
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            assert cache.get("squares", CONFIG) is None
+        assert metrics.snapshot()["counters"]["artifacts.corrupt"] == 1
+
+    def test_regeneration_overwrites_corrupt_entry(self, tmp_path):
+        cache, path = self._put(tmp_path)
+        path.write_text("garbage\n")
+        assert cache.get_or_create("squares", CONFIG, squares) == squares()
+        assert cache.get("squares", CONFIG) == squares()
+
+
+class TestGetOrCreate:
+    def test_factory_called_once(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return squares()
+
+        assert cache.get_or_create("squares", CONFIG, factory) == squares()
+        assert cache.get_or_create("squares", CONFIG, factory) == squares()
+        assert len(calls) == 1
+
+
+class TestVersioning:
+    def test_version_bump_orphans_old_entries(self, tmp_path):
+        old = ArtifactCache(tmp_path, version=ARTIFACT_FORMAT_VERSION)
+        old.put("squares", CONFIG, squares())
+        bumped = ArtifactCache(tmp_path, version=ARTIFACT_FORMAT_VERSION + 1)
+        assert bumped.get("squares", CONFIG) is None
+        # the old reader still sees its entry
+        assert old.get("squares", CONFIG) == squares()
+
+    def test_invalidate_kind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("squares", CONFIG, squares())
+        cache.put("cubes", CONFIG, squares())
+        assert cache.invalidate("squares") == 1
+        assert cache.get("squares", CONFIG) is None
+        assert cache.get("cubes", CONFIG) == squares()
+
+    def test_invalidate_all(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("squares", CONFIG, squares())
+        cache.put("cubes", CONFIG, squares())
+        assert cache.invalidate() == 2
+        assert cache.get("squares", CONFIG) is None
+        assert cache.get("cubes", CONFIG) is None
+
+    def test_invalidate_missing_root_is_zero(self, tmp_path):
+        assert ArtifactCache(tmp_path / "nope").invalidate() == 0
+
+
+def _racing_writer(root, worker_id, barrier, results):
+    cache = ArtifactCache(root)
+    barrier.wait()
+    cache.put("race", CONFIG, [{"worker": worker_id, "i": i} for i in range(50)])
+    results.put(worker_id)
+
+
+def _racing_creator(root, worker_id, barrier, results):
+    cache = ArtifactCache(root)
+    barrier.wait()
+    records = cache.get_or_create(
+        "race", CONFIG, lambda: [{"creator": worker_id, "i": i} for i in range(50)]
+    )
+    results.put(records[0]["creator"])
+
+
+class TestConcurrency:
+    def test_concurrent_writers_leave_a_valid_entry(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(4)
+        results = context.Queue()
+        procs = [
+            context.Process(
+                target=_racing_writer, args=(str(tmp_path), i, barrier, results)
+            )
+            for i in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        records = ArtifactCache(tmp_path).get("race", CONFIG)
+        assert records is not None and len(records) == 50
+        # one writer's file won wholesale — rows are never interleaved
+        winners = {row["worker"] for row in records}
+        assert len(winners) == 1
+
+    def test_racing_get_or_create_generates_once(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(4)
+        results = context.Queue()
+        procs = [
+            context.Process(
+                target=_racing_creator, args=(str(tmp_path), i, barrier, results)
+            )
+            for i in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        creators = {results.get(timeout=30) for _ in procs}
+        for proc in procs:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        # every process observed the same creator's records
+        assert len(creators) == 1

@@ -1,0 +1,285 @@
+"""Tests for parallel suite execution (SuiteRunner workers > 1).
+
+The contract under test: a parallel run is *deterministic* and
+*semantically identical* to a sequential run of the same
+``(seed, fast)`` — same records (fingerprint), same checkpoint file
+contents and order, same merged deterministic metrics, same re-parented
+span structure — including under injected faults.
+
+Workers are forked, so synthetic experiments patched into
+``repro.runtime.runner.get_experiment`` in the parent are inherited by
+the pool processes; no cross-process registry is needed.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import ExperimentResult
+from repro.io.jsonl import read_jsonl
+from repro.io.tables import Table
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracing import Tracer, use_tracer
+from repro.runtime.faultinject import FaultInjector
+from repro.runtime.runner import SuiteRunner
+
+#: Cheap real experiments (no shared corpus, sub-second each).
+CHEAP_IDS = ["E4", "E5", "E6", "E10"]
+
+
+def _deterministic_counters(metrics):
+    """The counters that must match between worker counts.
+
+    Timing histograms and io/artifact counters legitimately differ
+    (cache hits depend on process layout); the run's *semantic*
+    counters must not.
+    """
+    counters = metrics.snapshot()["counters"]
+    return {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("runner.status.", "runner.retries",
+                            "runner.timeouts", "runner.checkpoint_hits"))
+    }
+
+
+def _span_structure(tracer):
+    """Timing-free view of a trace: (name, status, key attrs), sorted."""
+    rows = []
+    for span in tracer.finished:
+        attrs = {
+            key: value
+            for key, value in span.attributes.items()
+            if key in ("experiment_id", "seed", "fast", "status", "attempts",
+                       "stage", "ok", "experiments")
+        }
+        rows.append((span.name, span.status, tuple(sorted(attrs.items()))))
+    return sorted(rows)
+
+
+def _run(ids, workers, **runner_kwargs):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        report = SuiteRunner(workers=workers, **runner_kwargs).run_all(
+            ids, seed=0, fast=True
+        )
+    return report, tracer, metrics
+
+
+class TestDeterminism:
+    def test_parallel_matches_sequential(self):
+        seq, seq_tracer, seq_metrics = _run(CHEAP_IDS, workers=1)
+        par, par_tracer, par_metrics = _run(CHEAP_IDS, workers=4)
+        assert seq.ok and par.ok
+        assert seq.fingerprint() == par.fingerprint()
+        assert _deterministic_counters(seq_metrics) == _deterministic_counters(
+            par_metrics
+        )
+        assert _span_structure(seq_tracer) == _span_structure(par_tracer)
+
+    def test_parallel_is_repeatable(self):
+        first, _, _ = _run(CHEAP_IDS, workers=4)
+        second, _, _ = _run(CHEAP_IDS, workers=4)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_worker_spans_reparented_under_suite(self):
+        _, tracer, _ = _run(CHEAP_IDS, workers=4)
+        suites = [s for s in tracer.finished if s.name == "suite"]
+        assert len(suites) == 1
+        experiments = [s for s in tracer.finished if s.name == "experiment"]
+        assert len(experiments) == len(CHEAP_IDS)
+        assert all(s.parent_id == suites[0].span_id for s in experiments)
+        # ids are unique across the merged trace
+        ids = [s.span_id for s in tracer.finished]
+        assert len(ids) == len(set(ids))
+
+    def test_records_carry_live_results(self):
+        report, _, _ = _run(CHEAP_IDS, workers=4)
+        assert all(isinstance(r.result, ExperimentResult) for r in report)
+        assert [r.experiment_id for r in report] == CHEAP_IDS
+
+
+class TestFullSuiteDeterminism:
+    """The acceptance check: the whole E1-E13 suite, 1 vs 4 workers."""
+
+    def test_full_suite_workers_1_vs_4(self):
+        seq, _, seq_metrics = _run(None, workers=1)
+        par, _, par_metrics = _run(None, workers=4)
+        assert len(seq.records) == 13
+        assert seq.ok and par.ok
+        assert seq.fingerprint() == par.fingerprint()
+        assert _deterministic_counters(seq_metrics) == _deterministic_counters(
+            par_metrics
+        )
+
+
+class TestDeterminismUnderFaults:
+    def _fault_run(self, workers, mode, **fault_kwargs):
+        injector = FaultInjector(seed=7)
+        injector.register("experiment:E5", mode=mode, **fault_kwargs)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(metrics):
+            report = SuiteRunner(
+                workers=workers,
+                retries=2,
+                timeout=5.0,
+                fault_injector=injector,
+            ).run_all(CHEAP_IDS, seed=0, fast=True)
+        return report, metrics
+
+    def test_raise_fault_matches_sequential(self):
+        seq, seq_metrics = self._fault_run(1, "raise", times=2)
+        par, par_metrics = self._fault_run(4, "raise", times=2)
+        # two injected failures, third attempt succeeds — both ways
+        e5 = {r.experiment_id: r for r in seq}["E5"]
+        assert e5.status == "ok" and e5.attempts == 3
+        assert seq.fingerprint() == par.fingerprint()
+        assert _deterministic_counters(seq_metrics) == _deterministic_counters(
+            par_metrics
+        )
+
+    def test_exhausted_raise_fault_matches_sequential(self):
+        seq, _ = self._fault_run(1, "raise")  # unlimited: E5 never passes
+        par, _ = self._fault_run(4, "raise")
+        e5 = {r.experiment_id: r for r in par}["E5"]
+        assert e5.status == "error" and e5.attempts == 3
+        assert e5.error_type == "InjectedFault"
+        assert seq.fingerprint() == par.fingerprint()
+
+    def test_hang_fault_times_out_identically(self):
+        injector = FaultInjector(seed=7)
+        injector.register("experiment:E5", mode="hang", hang_seconds=30.0)
+
+        def run(workers):
+            return SuiteRunner(
+                workers=workers, timeout=0.5, fault_injector=injector
+            ).run_all(CHEAP_IDS, seed=0, fast=True)
+
+        seq, par = run(1), run(4)
+        for report in (seq, par):
+            e5 = {r.experiment_id: r for r in report}["E5"]
+            assert e5.status == "timeout"
+            assert e5.error_type == "BudgetExceeded"
+        assert seq.fingerprint() == par.fingerprint()
+
+
+class TestCheckpointUnderWorkers:
+    def test_checkpoint_rows_follow_suite_order(self, tmp_path):
+        checkpoint = tmp_path / "suite.jsonl"
+        report, _, _ = _run(CHEAP_IDS, workers=4, checkpoint=str(checkpoint))
+        rows = list(read_jsonl(checkpoint))
+        assert [row["experiment_id"] for row in rows] == CHEAP_IDS
+        assert report.ok
+
+    def test_resume_skips_before_dispatch(self, tmp_path, monkeypatch):
+        checkpoint = tmp_path / "suite.jsonl"
+        first, _, first_metrics = _run(
+            CHEAP_IDS, workers=4, checkpoint=str(checkpoint)
+        )
+        assert first.ok
+
+        # If any completed experiment were dispatched again, the broken
+        # get_experiment inherited by the forked workers would fail it.
+        def broken(experiment_id):
+            raise AssertionError(
+                f"completed experiment {experiment_id} was re-dispatched"
+            )
+
+        monkeypatch.setattr("repro.runtime.runner.get_experiment", broken)
+        resumed, _, metrics = _run(
+            CHEAP_IDS, workers=4, checkpoint=str(checkpoint)
+        )
+        assert all(r.from_checkpoint for r in resumed)
+        counters = metrics.snapshot()["counters"]
+        assert counters["runner.checkpoint_hits"] == len(CHEAP_IDS)
+        assert first.fingerprint() == resumed.fingerprint()
+
+    def test_partial_resume_runs_only_the_gap(self, tmp_path, monkeypatch):
+        checkpoint = tmp_path / "suite.jsonl"
+        # Synthetic failing experiment, inherited by forked workers.
+        real_get = __import__(
+            "repro.experiments.registry", fromlist=["get_experiment"]
+        ).get_experiment
+
+        def flaky_get(experiment_id):
+            if experiment_id == "E5":
+                def boom(seed=0, fast=True):
+                    raise RuntimeError("injected first-pass failure")
+                return boom
+            return real_get(experiment_id)
+
+        monkeypatch.setattr("repro.runtime.runner.get_experiment", flaky_get)
+        first, _, _ = _run(CHEAP_IDS, workers=4, checkpoint=str(checkpoint))
+        assert {r.experiment_id for r in first.errors} == {"E5"}
+
+        monkeypatch.setattr("repro.runtime.runner.get_experiment", real_get)
+        resumed, _, metrics = _run(
+            CHEAP_IDS, workers=4, checkpoint=str(checkpoint)
+        )
+        assert resumed.ok
+        by_id = {r.experiment_id: r for r in resumed}
+        assert by_id["E5"].from_checkpoint is False
+        assert all(
+            by_id[eid].from_checkpoint for eid in CHEAP_IDS if eid != "E5"
+        )
+        counters = metrics.snapshot()["counters"]
+        assert counters["runner.checkpoint_hits"] == len(CHEAP_IDS) - 1
+
+
+class TestFailurePolicy:
+    def test_keep_going_false_raises_in_suite_order(self, monkeypatch):
+        real_get = __import__(
+            "repro.experiments.registry", fromlist=["get_experiment"]
+        ).get_experiment
+
+        def flaky_get(experiment_id):
+            if experiment_id in ("E5", "E6"):
+                def boom(seed=0, fast=True):
+                    raise RuntimeError(f"boom in {experiment_id}")
+                return boom
+            return real_get(experiment_id)
+
+        monkeypatch.setattr("repro.runtime.runner.get_experiment", flaky_get)
+        with pytest.raises(ExperimentError) as excinfo:
+            SuiteRunner(workers=4, keep_going=False).run_all(
+                CHEAP_IDS, seed=0, fast=True
+            )
+        # E5 precedes E6 in suite order, regardless of completion order
+        assert excinfo.value.experiment_id == "E5"
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SuiteRunner(workers=0)
+        with pytest.raises(ValueError):
+            SuiteRunner().run_all(CHEAP_IDS, workers=0)
+
+
+class TestSyntheticParallel:
+    """Synthetic experiments exercise pool plumbing without real work."""
+
+    def test_synthetic_results_cross_the_process_boundary(self, monkeypatch):
+        def fake_get(experiment_id):
+            def run(seed=0, fast=True):
+                return ExperimentResult(
+                    experiment_id=experiment_id,
+                    title=f"synthetic {experiment_id}",
+                    claim="pool plumbing carries results intact",
+                    tables=[Table(
+                        title="t",
+                        columns=["k", "v"],
+                        rows=[[experiment_id, seed]],
+                    )],
+                    checks={"present": True},
+                )
+            return run
+
+        monkeypatch.setattr("repro.runtime.runner.get_experiment", fake_get)
+        ids = [f"S{i}" for i in range(8)]
+        report = SuiteRunner(workers=4).run_all(ids, seed=3, fast=True)
+        assert report.ok
+        assert [r.experiment_id for r in report] == ids
+        assert all(r.result.tables[0].rows == [[r.experiment_id, 3]]
+                   for r in report)

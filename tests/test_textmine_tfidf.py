@@ -82,3 +82,101 @@ class TestTfidf:
         vectorizer.fit(DOCS)
         names = vectorizer.feature_names()
         assert names == sorted(names)
+
+
+def reference_build_matrix(vectorizer, documents):
+    """The pre-vectorization per-token dict-loop implementation, kept as
+    the semantic oracle for the np-assembly rewrite."""
+    from collections import Counter
+
+    tokenized = [vectorizer.tokenizer(doc) for doc in documents]
+    df_counter = Counter()
+    for doc_tokens in tokenized:
+        df_counter.update(set(doc_tokens))
+    terms = sorted(t for t, df in df_counter.items() if df >= vectorizer.min_df)
+    if (vectorizer.max_vocabulary is not None
+            and len(terms) > vectorizer.max_vocabulary):
+        terms = sorted(
+            terms, key=lambda t: (-df_counter[t], t)
+        )[: vectorizer.max_vocabulary]
+        terms.sort()
+    vocabulary = {term: i for i, term in enumerate(terms)}
+    counts = np.zeros((len(documents), len(terms)), dtype=np.int64)
+    for row, doc_tokens in enumerate(tokenized):
+        for term, count in Counter(doc_tokens).items():
+            column = vocabulary.get(term)
+            if column is not None:
+                counts[row, column] = count
+    return vocabulary, counts
+
+
+class TestVectorizedEquivalence:
+    """The np-assembly paths must match the dict-loop reference exactly."""
+
+    CORPUS = DOCS + [
+        "",
+        "community community community mesh",
+        "zebra apple apple datacenter",
+        "apple zebra unique-token",
+        "the of and or",  # stopwords only
+    ]
+
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"min_df": 2},
+        {"max_vocabulary": 3},
+        {"min_df": 2, "max_vocabulary": 2},
+        {"max_vocabulary": 1000},
+    ])
+    def test_build_matrix_matches_reference(self, kwargs):
+        vectorizer = TfidfVectorizer(**kwargs)
+        matrix = vectorizer.build_matrix(self.CORPUS)
+        ref_vocab, ref_counts = reference_build_matrix(vectorizer, self.CORPUS)
+        assert matrix.vocabulary == ref_vocab
+        assert np.array_equal(matrix.counts, ref_counts)
+        assert matrix.counts.dtype == np.int64
+
+    @pytest.mark.parametrize("kwargs", [{}, {"min_df": 2}, {"max_vocabulary": 3}])
+    def test_transform_matches_reference_weighting(self, kwargs):
+        from collections import Counter
+
+        vectorizer = TfidfVectorizer(**kwargs).fit(self.CORPUS)
+        unseen = ["mesh zzz-unseen datacenter", "", "apple apple community"]
+        rows = np.zeros((len(unseen), len(vectorizer.vocabulary_)))
+        for row, doc in enumerate(unseen):
+            for term, count in Counter(vectorizer.tokenizer(doc)).items():
+                column = vectorizer.vocabulary_.get(term)
+                if column is not None:
+                    rows[row, column] = count
+        weighted = rows * vectorizer.idf_
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        assert np.allclose(vectorizer.transform(unseen), weighted / norms)
+
+    def test_fit_transform_single_pass_equals_two_pass(self):
+        single = TfidfVectorizer().fit_transform(self.CORPUS)
+        two_pass = TfidfVectorizer().fit(self.CORPUS).transform(self.CORPUS)
+        assert np.allclose(single, two_pass)
+
+    def test_empty_corpus(self):
+        matrix = TfidfVectorizer().build_matrix([])
+        assert matrix.counts.shape == (0, 0)
+        assert matrix.vocabulary == {}
+
+    def test_max_vocabulary_tie_break_is_alphabetical(self):
+        docs = ["bb aa", "aa bb", "cc aa bb"]  # df: aa=3, bb=3, cc=1
+        vectorizer = TfidfVectorizer(max_vocabulary=1)
+        matrix = vectorizer.build_matrix(docs)
+        assert list(matrix.vocabulary) == ["aa"]
+
+    def test_transform_survives_shuffled_vocabulary(self):
+        # vocabulary_ is public; transform must not assume sorted keys
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        names = vectorizer.feature_names()
+        shuffled = {name: i for i, name in enumerate(reversed(names))}
+        vectorizer.vocabulary_ = shuffled
+        row = vectorizer.transform(["community mesh"])[0]
+        hit_terms = {
+            name for name, column in shuffled.items() if row[column] > 0
+        }
+        assert "community" in hit_terms and "mesh" in hit_terms
