@@ -20,6 +20,14 @@ check:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro experiments E1 E13 --seed 0 --retries 1 --workers 2 --json-summary -
 
+# The crash-safety net end to end: the chaos test suite (worker kills,
+# poison-task quarantine, heartbeat escalation, disk faults), then a
+# supervised parallel CLI run with the supervision flags exercised.
+chaos-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest tests/test_runtime_chaos.py -q
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro experiments E4 E5 E6 E10 --seed 0 \
+		--workers 2 --keep-going --max-worker-crashes 2 --json-summary -
+
 # One fast experiment with tracing + metrics on; `obs report` re-parses
 # the trace and fails on a malformed span, so this asserts the whole
 # export -> parse -> render path.
@@ -34,4 +42,4 @@ outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench examples experiments experiments-full check obs-smoke outputs
+.PHONY: install test bench examples experiments experiments-full check chaos-smoke obs-smoke outputs

@@ -57,6 +57,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             profile_dir=args.profile_out,
             workers=args.workers,
             cache_dir=args.cache_dir,
+            max_worker_crashes=args.max_worker_crashes,
+            degrade=not args.no_degrade,
         )
         ids = None if args.all else (args.ids or None)
         report = runner.run_all(ids, seed=args.seed, fast=not args.full)
@@ -294,6 +296,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR",
         help="on-disk artifact cache shared by workers and across runs "
         "(default: a throwaway directory when --workers > 1)",
+    )
+    experiments.add_argument(
+        "--max-worker-crashes", type=int, default=2, metavar="N",
+        help="quarantine an experiment after it kills N consecutive pool "
+        "workers instead of requeueing it again (parallel runs)",
+    )
+    experiments.add_argument(
+        "--no-degrade", action="store_true",
+        help="never fall back to sequential in-process execution when the "
+        "worker pool keeps breaking; keep rebuilding pools instead",
     )
     experiments.set_defaults(func=_cmd_experiments)
 

@@ -11,7 +11,8 @@ Hierarchy::
 
     ReproError
     ├── ExperimentError          an experiment run failed
-    │   └── UnknownExperimentError   (also a KeyError, for back-compat)
+    │   ├── UnknownExperimentError   (also a KeyError, for back-compat)
+    │   └── WorkerCrashError         a pool worker died (signal/OOM/segfault)
     ├── CheckFailure             shape-checks evaluated false
     ├── DataFormatError          persisted data is malformed (also ValueError)
     │   └── JsonlDecodeError         (also json.JSONDecodeError)
@@ -76,6 +77,62 @@ class UnknownExperimentError(ExperimentError, KeyError):
     Subclasses :class:`KeyError` so existing ``except KeyError`` callers
     keep working.
     """
+
+
+class WorkerCrashError(ExperimentError):
+    """A pool worker process died instead of returning a result.
+
+    Raised (and recorded) by the parallel runtime's supervisor when a
+    worker is killed — OOM killer, segfault in an extension, an
+    injected ``kill`` fault — rather than failing in Python.  Unlike a
+    plain :class:`ExperimentError` it carries the *process-level*
+    evidence, so crash causes can be broken down after the fact.
+
+    Attributes:
+        exit_code: The worker's raw exit code when observed (negative
+            values are ``-signum`` per :mod:`multiprocessing`).
+        exit_signal: Name of the killing signal ("SIGKILL", ...) when
+            the exit code maps to one.
+        attempt: How many workers this task has crashed so far (1 =
+            first crash).
+        quarantined: True when the task exhausted its crash budget and
+            was quarantined as a poison task instead of requeued.
+        reason: Human-readable supervisor verdict ("crash budget
+            exhausted", "missed heartbeat", ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        exit_code: int | None = None,
+        exit_signal: str | None = None,
+        attempt: int | None = None,
+        quarantined: bool = False,
+        reason: str | None = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.exit_code = exit_code
+        self.exit_signal = exit_signal
+        self.attempt = attempt
+        self.quarantined = quarantined
+        self.reason = reason
+
+    def crash_info(self) -> dict:
+        """The process-level evidence as a JSON-safe dict.
+
+        This is what lands in the ``crash`` field of a
+        :class:`repro.runtime.runner.RunRecord`, and what
+        ``repro obs report`` uses to break down crash causes.
+        """
+        return {
+            "exit_code": self.exit_code,
+            "exit_signal": self.exit_signal,
+            "attempt": self.attempt,
+            "quarantined": self.quarantined,
+            "reason": self.reason,
+        }
 
 
 class CheckFailure(ReproError):

@@ -28,12 +28,20 @@ Design points:
   :meth:`ArtifactCache.get_or_create` additionally takes an advisory
   ``flock`` per key so only one process pays the generation cost while
   the others wait and then read the finished entry.
+- **Killed writers leave no litter.**  A writer that dies mid-``put``
+  (OOM kill, segfault) strands its private temp file;
+  :meth:`ArtifactCache.sweep_orphans` reaps stale ``*.tmp`` files —
+  automatically on construction, and with zero grace after the
+  parallel runtime detects a worker crash (all pool writers are dead
+  then).  The half-written entry itself was never renamed into place,
+  so readers still see either the old entry or a miss.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -49,6 +57,11 @@ __all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactCache", "artifact_key"]
 
 #: Bump to invalidate every existing cache entry (serialization change).
 ARTIFACT_FORMAT_VERSION = 1
+
+#: Grace period for the construction-time orphan sweep: a ``*.tmp``
+#: younger than this may belong to a live writer in another process and
+#: is left alone; older ones are orphans from killed writers.
+ORPHAN_GRACE_SECONDS = 600.0
 
 
 def artifact_key(kind: str, config: dict, version: int) -> str:
@@ -80,6 +93,9 @@ class ArtifactCache:
         version: Format version baked into every key; bumping it
             orphans all previous entries (see
             :data:`ARTIFACT_FORMAT_VERSION`).
+        sweep: Sweep stale orphaned ``*.tmp`` files (from writers
+            killed mid-:meth:`put`) on construction; see
+            :meth:`sweep_orphans`.
 
     Example:
         >>> import tempfile
@@ -92,10 +108,16 @@ class ArtifactCache:
     """
 
     def __init__(
-        self, root: str | Path, *, version: int = ARTIFACT_FORMAT_VERSION
+        self, root: str | Path, *, version: int = ARTIFACT_FORMAT_VERSION,
+        sweep: bool = True,
     ) -> None:
         self.root = Path(root)
         self.version = version
+        if sweep:
+            # Writers killed mid-put (SIGKILL, OOM) never reach their
+            # cleanup handler and strand a private temp file; sweep
+            # stale ones so a crashy campaign does not leak disk.
+            self.sweep_orphans(max_age_seconds=ORPHAN_GRACE_SECONDS)
 
     def path_for(self, kind: str, config: dict) -> Path:
         """Where the entry for ``(kind, config)`` lives (may not exist)."""
@@ -147,6 +169,8 @@ class ArtifactCache:
         writers on the same key each land a complete file and readers
         never observe a torn one.
         """
+        from repro.io.jsonl import _check_fault
+
         body = list(records)
         header = {
             "artifact": kind,
@@ -155,6 +179,7 @@ class ArtifactCache:
             "count": len(body),
         }
         path = self.path_for(kind, config)
+        _check_fault("artifacts:put")
         write_jsonl(path, [header] + body)
         _metrics().count("artifacts.writes")
         return path
@@ -183,6 +208,34 @@ class ArtifactCache:
             records = list(factory())
             self.put(kind, config, records)
             return records
+
+    # -- crash hygiene -------------------------------------------------
+
+    def sweep_orphans(self, max_age_seconds: float = 0.0) -> int:
+        """Delete orphaned writer temp files; returns how many.
+
+        A ``*.tmp`` under the cache root is a private scratch file from
+        :func:`repro.io.jsonl.write_jsonl`; one that outlives its
+        writer means the writer was killed mid-put.  ``max_age_seconds``
+        spares files younger than that (live writers elsewhere); the
+        supervisor sweeps with 0.0 after a worker crash, when every
+        pool writer is known dead.  Sweeps are counted as
+        ``artifacts.orphans_swept``.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        cutoff = time.time() - max_age_seconds
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except FileNotFoundError:  # pragma: no cover - racing sweeper
+                continue
+        if removed:
+            _metrics().count("artifacts.orphans_swept", removed)
+        return removed
 
     # -- invalidation --------------------------------------------------
 

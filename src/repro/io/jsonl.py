@@ -36,6 +36,21 @@ def _metrics():
     return current_metrics()
 
 
+def _check_fault(point: str) -> None:
+    """Fire the process-wide fault injector at ``point``, if one is armed.
+
+    Lazy import for the same circularity reason as :func:`_metrics`.
+    This is how chaos tests aim ``enospc`` (and friends) at the write
+    paths without the writers carrying an injector argument; with no
+    injector installed the cost is one ``sys.modules`` lookup.
+    """
+    from repro.runtime.faultinject import current_fault_injector
+
+    injector = current_fault_injector()
+    if injector is not None:
+        injector.check(point)
+
+
 def _dump_lines(handle, records: Iterable[dict]) -> int:
     count = 0
     for record in records:
@@ -65,6 +80,10 @@ def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
     tmp = Path(tmp_name)
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            # The injection point sits after the temp file exists, so an
+            # injected ENOSPC exercises the same orphan-cleanup path a
+            # real full disk would.
+            _check_fault("io:write_jsonl")
             count = _dump_lines(handle, records)
             handle.flush()
             os.fsync(handle.fileno())
@@ -88,11 +107,58 @@ def append_jsonl(path: str | Path, records: Iterable[dict]) -> int:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a", encoding="utf-8") as handle:
+        _check_fault("io:append_jsonl")
         count = _dump_lines(handle, records)
         handle.flush()
         os.fsync(handle.fileno())
     _metrics().count("io.jsonl.rows_written", count)
     return count
+
+
+def salvage_jsonl_tail(path: str | Path) -> str | None:
+    """Repair a JSONL file whose final line has no terminating newline.
+
+    A missing final newline means the last writer was killed
+    mid-append.  Left alone it silently corrupts the *next* append —
+    the new record would concatenate onto the torn tail and turn one
+    bad line into two lost records — so resume paths call this before
+    appending again.  Two cases:
+
+    - the tail parses as JSON (the writer died between the record and
+      its newline): the newline is added and the record survives —
+      returns ``"closed"``;
+    - the tail is torn mid-record: the file is truncated back to the
+      last complete line — returns ``"truncated"``.
+
+    Returns None when the file is absent, empty, or already ends in a
+    newline.  Salvage events are counted as ``io.jsonl.tails_closed`` /
+    ``io.jsonl.tails_truncated``.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return None
+    if not data or data.endswith(b"\n"):
+        return None
+    cut = data.rfind(b"\n") + 1  # 0 when the whole file is one torn line
+    tail = data[cut:]
+    try:
+        json.loads(tail.decode("utf-8-sig"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        with path.open("r+b") as handle:
+            handle.truncate(cut)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _metrics().count("io.jsonl.tails_truncated")
+        return "truncated"
+    with path.open("ab") as handle:
+        handle.write(b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    _metrics().count("io.jsonl.tails_closed")
+    return "closed"
 
 
 def read_jsonl(

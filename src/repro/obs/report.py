@@ -7,7 +7,10 @@ it into the answers a perf investigation starts from:
   runner overhead, share of the suite wall clock);
 - the critical path (the longest root-to-leaf chain of spans);
 - the slowest individual stage spans;
-- a retry histogram (attempts consumed per experiment).
+- a retry histogram (attempts consumed per experiment);
+- a worker-crash breakdown (which experiments killed workers, by exit
+  signal and supervisor verdict) when the trace contains the parallel
+  supervisor's ``worker_crash``/``quarantine`` spans.
 
 All tables render through :mod:`repro.io.tables` — the same renderer
 the registry listing and the benchmarks use.
@@ -120,6 +123,8 @@ def build_report(spans: list[dict], top: int = 5) -> dict:
         attempts = int(experiment["attempts"])
         retry_histogram[attempts] = retry_histogram.get(attempts, 0) + 1
 
+    worker_crashes = _crash_breakdown(spans)
+
     critical_path = [
         {
             "name": s["name"],
@@ -136,6 +141,51 @@ def build_report(spans: list[dict], top: int = 5) -> dict:
         "slowest_stages": slowest_stages,
         "retry_histogram": retry_histogram,
         "critical_path": critical_path,
+        "worker_crashes": worker_crashes,
+    }
+
+
+def _crash_breakdown(spans: list[dict]) -> dict:
+    """Summarize the supervisor's crash evidence from a trace.
+
+    Groups ``worker_crash`` spans by (experiment, cause) — the cause is
+    the exit signal when the worker died by one, the raw exit code
+    otherwise — and lists quarantined experiments with their verdicts.
+    Empty lists when the run had no crashes (or ran sequentially).
+    """
+    causes: dict[tuple[str, str], int] = {}
+    for span in spans:
+        if span["name"] != "worker_crash":
+            continue
+        attrs = span.get("attributes", {})
+        cause = attrs.get("exit_signal")
+        if cause is None:
+            exit_code = attrs.get("exit_code")
+            cause = f"exit {exit_code}" if exit_code is not None else "unknown"
+        key = (attrs.get("experiment_id", "?"), cause)
+        causes[key] = causes.get(key, 0) + 1
+    quarantined = [
+        {
+            "experiment_id": attrs.get("experiment_id", "?"),
+            "exit_signal": attrs.get("exit_signal"),
+            "exit_code": attrs.get("exit_code"),
+            "crashes": attrs.get("crashes", 0),
+        }
+        for span in spans
+        if span["name"] == "quarantine"
+        for attrs in (span.get("attributes", {}),)
+    ]
+    return {
+        "events": sum(causes.values()),
+        "causes": [
+            {"experiment_id": experiment_id, "cause": cause, "crashes": count}
+            for (experiment_id, cause), count in sorted(causes.items())
+        ],
+        "quarantined": sorted(
+            quarantined, key=lambda entry: entry["experiment_id"]
+        ),
+        "pool_rebuilds": sum(s["name"] == "pool_rebuild" for s in spans),
+        "degraded": any(s["name"] == "degrade" for s in spans),
     }
 
 
@@ -194,5 +244,32 @@ def render_report(spans: list[dict], top: int = 5) -> str:
             sorted(report["retry_histogram"].items()),
             title="retry histogram",
         ))
+
+    crashes = report["worker_crashes"]
+    if crashes["events"]:
+        parts.append(render_table(
+            ["experiment", "cause", "crashes"],
+            [
+                [row["experiment_id"], row["cause"], row["crashes"]]
+                for row in crashes["causes"]
+            ],
+            title=(
+                f"worker crashes ({crashes['events']} events, "
+                f"{crashes['pool_rebuilds']} pool rebuilds"
+                + (", degraded to in-process)" if crashes["degraded"]
+                   else ")")
+            ),
+        ))
+        if crashes["quarantined"]:
+            parts.append(render_table(
+                ["experiment", "exit_signal", "exit_code", "crashes"],
+                [
+                    [q["experiment_id"], q["exit_signal"] or "-",
+                     q["exit_code"] if q["exit_code"] is not None else "-",
+                     q["crashes"]]
+                    for q in crashes["quarantined"]
+                ],
+                title="quarantined poison tasks",
+            ))
 
     return "\n\n".join(parts)

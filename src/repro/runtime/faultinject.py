@@ -4,7 +4,18 @@ A :class:`FaultInjector` owns a set of *injection points* — string
 names for call sites (``"experiment:E6"``, ``"link:cdmx-gdl"``).  Code
 under test routes calls through :meth:`FaultInjector.call`; the
 injector then decides, deterministically from its seed, whether to let
-the call through, raise, hang, or corrupt the return value.
+the call through, raise, hang, corrupt the return value, or inject a
+process/disk fault: ``kill`` (the process dies by signal, like an OOM
+kill or segfault), ``oom`` (a bounded allocation burst ending in
+MemoryError), or ``enospc`` (``OSError(ENOSPC)``, a full disk).
+
+Process-level faults exist to chaos-test the parallel runtime, so
+``kill`` only fires inside a process marked as a pool worker
+(:func:`mark_worker_process`); everywhere else it passes through.  An
+injector can also be installed process-wide (:func:`use_fault_injector`)
+so the :mod:`repro.io` write points can consult it without carrying an
+injector argument — that is how ``enospc`` reaches the artifact cache
+and checkpoint writes.
 
 Determinism is the point: the decision sequence for a point depends
 only on ``(seed, point)``, so a failing schedule reproduces exactly,
@@ -33,15 +44,87 @@ Example:
 
 from __future__ import annotations
 
+import contextlib
+import errno
+import os
 import random
+import signal
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
-__all__ = ["FaultInjector", "FaultSpec", "InjectedFault"]
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "current_fault_injector",
+    "in_worker_process",
+    "mark_worker_process",
+    "use_fault_injector",
+]
 
-#: Supported fault modes.
-MODES = ("raise", "hang", "corrupt")
+#: Supported fault modes.  The first three are *in-process* faults (an
+#: exception, a stall, a damaged return value); the last three are
+#: *process/disk* faults for chaos testing the parallel runtime:
+#: ``kill`` takes the whole worker process down with a signal, ``oom``
+#: performs a bounded allocation burst and then fails the allocation,
+#: and ``enospc`` raises ``OSError(ENOSPC)`` as a full disk would.
+MODES = ("raise", "hang", "corrupt", "kill", "oom", "enospc")
+
+#: Process-level modes that only fire inside a pool worker process (a
+#: ``kill`` in the coordinating parent would take the suite down with
+#: it, which is the opposite of what chaos testing wants to observe).
+WORKER_ONLY_MODES = ("kill",)
+
+_in_worker_process = False
+
+
+def mark_worker_process() -> None:
+    """Flag this process as a pool worker (set by the worker initializer).
+
+    Worker-only fault modes (``kill``) pass through untouched until
+    this is called, so the same injector config is safe at
+    ``workers=1`` — the determinism tests rely on that to compare a
+    chaos run against its sequential twin.
+    """
+    global _in_worker_process
+    _in_worker_process = True
+
+
+def in_worker_process() -> bool:
+    """True when this process was marked as a pool worker."""
+    return _in_worker_process
+
+
+_active_injector: "FaultInjector | None" = None
+
+
+def current_fault_injector() -> "FaultInjector | None":
+    """The process-wide injector consulted by instrumented write points."""
+    return _active_injector
+
+
+@contextlib.contextmanager
+def use_fault_injector(injector: "FaultInjector | None") -> Iterator[None]:
+    """Install ``injector`` process-wide for the duration of the block.
+
+    Call sites that cannot carry an injector argument — the
+    :mod:`repro.io` write paths above all — consult
+    :func:`current_fault_injector` instead, so disk faults (``enospc``)
+    can reach them without threading an injector through every API.
+    ``None`` is accepted and leaves the previous injector installed,
+    which lets callers wrap unconditionally.
+    """
+    global _active_injector
+    if injector is None:
+        yield
+        return
+    previous = _active_injector
+    _active_injector = injector
+    try:
+        yield
+    finally:
+        _active_injector = previous
 
 
 class InjectedFault(RuntimeError):
@@ -62,6 +145,10 @@ class FaultSpec:
             normally (a runner deadline should expire first).
         corrupt: Maps the true return value to the corrupted one for
             ``mode="corrupt"``; default replaces it with None.
+        kill_signal: Signal ``mode="kill"`` delivers to its own process
+            (default ``SIGKILL`` — uncatchable, like the OOM killer).
+        oom_bytes: Size of the bounded allocation burst ``mode="oom"``
+            performs before failing the allocation with MemoryError.
         fired: How many faults this point has injected so far.
         calls: How many times this point has been reached.
     """
@@ -75,6 +162,8 @@ class FaultSpec:
     )
     hang_seconds: float = 60.0
     corrupt: Callable[[object], object] = field(default=lambda value: None)
+    kill_signal: int = signal.SIGKILL
+    oom_bytes: int = 32 * 1024 * 1024
     fired: int = 0
     calls: int = 0
 
@@ -109,6 +198,8 @@ class FaultInjector:
         exception: Callable[[], BaseException] | None = None,
         hang_seconds: float = 60.0,
         corrupt: Callable[[object], object] | None = None,
+        kill_signal: int = signal.SIGKILL,
+        oom_bytes: int = 32 * 1024 * 1024,
     ) -> FaultSpec:
         """Arm ``point`` with a fault; returns the live :class:`FaultSpec`."""
         if mode not in MODES:
@@ -121,6 +212,8 @@ class FaultInjector:
             probability=probability,
             times=times,
             hang_seconds=hang_seconds,
+            kill_signal=int(kill_signal),
+            oom_bytes=oom_bytes,
         )
         if exception is not None:
             spec.exception = exception
@@ -154,6 +247,11 @@ class FaultInjector:
         if spec is None:
             return False
         spec.calls += 1
+        if spec.mode in WORKER_ONLY_MODES and not in_worker_process():
+            # Process-killing faults target pool workers; in the
+            # coordinating (or sequential) process they pass through so
+            # the same config is comparable across worker counts.
+            return False
         if spec.times is not None and spec.fired >= spec.times:
             return False
         if spec.probability < 1.0:
@@ -177,8 +275,38 @@ class FaultInjector:
         if spec.mode == "hang":
             self._sleep(spec.hang_seconds)
             return fn(*args, **kwargs)
+        if spec.mode == "kill":
+            # The OOM-killer / segfault stand-in: the process dies here,
+            # uncatchably, without unwinding or running cleanup.
+            os.kill(os.getpid(), spec.kill_signal)
+            time.sleep(60.0)  # pragma: no cover - signal delivery race
+            raise InjectedFault("kill signal was not delivered")
+        if spec.mode == "oom":
+            # A bounded allocation burst (so the *host* survives the
+            # test), then the failure an unbounded one would hit.
+            ballast = bytearray(spec.oom_bytes)
+            del ballast
+            raise MemoryError(
+                f"injected oom at {spec.point!r} "
+                f"after a {spec.oom_bytes}-byte burst"
+            )
+        if spec.mode == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"No space left on device (injected at {spec.point!r})",
+            )
         # mode == "corrupt": run the real call, then damage the result.
         return spec.corrupt(fn(*args, **kwargs))
+
+    def check(self, point: str) -> None:
+        """Fire ``point``'s side-effect faults without wrapping a call.
+
+        For write points that only need the *failure* half of
+        :meth:`call` (raise / kill / enospc / oom); ``corrupt`` has no
+        return value to damage here and is a no-op, ``hang`` stalls and
+        then returns.
+        """
+        self.call(point, lambda: None)
 
     def export_specs(self) -> list[dict]:
         """The armed points as plain JSON-safe dicts.
@@ -198,6 +326,8 @@ class FaultInjector:
                 "probability": spec.probability,
                 "times": spec.times,
                 "hang_seconds": spec.hang_seconds,
+                "kill_signal": int(spec.kill_signal),
+                "oom_bytes": spec.oom_bytes,
                 "fired": spec.fired,
                 "calls": spec.calls,
             }
@@ -228,6 +358,8 @@ class FaultInjector:
                 probability=data["probability"],
                 times=data["times"],
                 hang_seconds=data["hang_seconds"],
+                kill_signal=data.get("kill_signal", signal.SIGKILL),
+                oom_bytes=data.get("oom_bytes", 32 * 1024 * 1024),
             )
             spec.fired = data.get("fired", 0)
             spec.calls = data.get("calls", 0)

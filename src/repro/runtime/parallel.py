@@ -27,6 +27,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.runner import RunRecord, SuiteRunner
 
 
+def worker_init() -> None:
+    """Pool-worker initializer (runs once per worker process).
+
+    Marks the process as a worker — arming worker-only fault modes
+    like ``kill`` — and enables :mod:`faulthandler`, so a worker that
+    genuinely hangs or dies on a fatal signal dumps the tracebacks of
+    every thread to stderr instead of vanishing silently.
+    """
+    import faulthandler
+
+    from repro.runtime.faultinject import mark_worker_process
+
+    mark_worker_process()
+    try:
+        faulthandler.enable()
+    except (ValueError, RuntimeError):  # pragma: no cover - odd stderr
+        pass
+
+
 def make_task(runner: "SuiteRunner", experiment_id: str, seed: int, fast: bool,
               cache_dir: str | None) -> dict:
     """The picklable task for running ``experiment_id`` in a worker."""
@@ -54,6 +73,9 @@ def make_task(runner: "SuiteRunner", experiment_id: str, seed: int, fast: bool,
         },
         "fault": fault,
         "cache_dir": cache_dir,
+        # Bumped by the supervisor on requeue: how many workers this
+        # task has already crashed.
+        "worker_crashes": 0,
     }
 
 
@@ -72,7 +94,7 @@ def run_experiment_task(task: dict) -> dict:
     from repro.experiments._corpus import configure_corpus_cache
     from repro.obs.metrics import MetricsRegistry, use_metrics
     from repro.obs.tracing import Tracer, use_tracer
-    from repro.runtime.faultinject import FaultInjector
+    from repro.runtime.faultinject import FaultInjector, use_fault_injector
     from repro.runtime.runner import RetryPolicy, SuiteRunner
 
     if task["cache_dir"] is not None:
@@ -82,6 +104,17 @@ def run_experiment_task(task: dict) -> dict:
         fault_injector = FaultInjector.from_specs(
             task["fault"]["specs"], seed=task["fault"]["seed"]
         )
+        # A kill fault that fired is precisely what crashed the previous
+        # worker(s) for this task, so credit those firings against the
+        # point's budget — a "crash twice, then succeed" schedule then
+        # behaves across requeues exactly like "raise twice" does across
+        # in-process retries.
+        crashes = task.get("worker_crashes", 0)
+        if crashes:
+            for spec in fault_injector._specs.values():
+                if spec.mode == "kill":
+                    spec.fired += crashes
+                    spec.calls += crashes
     runner = SuiteRunner(
         policy=RetryPolicy(**task["policy"]),
         timeout=task["timeout"],
@@ -94,7 +127,8 @@ def run_experiment_task(task: dict) -> dict:
     )
     tracer = Tracer()
     metrics = MetricsRegistry()
-    with use_tracer(tracer), use_metrics(metrics):
+    with use_tracer(tracer), use_metrics(metrics), \
+            use_fault_injector(fault_injector):
         record = runner.run_one(
             task["experiment_id"], seed=task["seed"], fast=task["fast"]
         )
@@ -122,8 +156,21 @@ def failure_payload(exc: BaseException, experiment_id: str, seed: int,
 
     A hard crash (e.g. ``BrokenProcessPool`` after a segfault or OOM
     kill) never produces a record, so the parent synthesizes an error
-    record to keep the suite's isolation guarantee.
+    record to keep the suite's isolation guarantee.  When ``exc`` is a
+    :class:`repro.errors.WorkerCrashError` the record keeps the
+    process-level evidence — exit signal/code, crash count, quarantine
+    verdict — in its ``crash`` field instead of flattening everything
+    to a generic message, so ``repro obs report`` (and anyone reading
+    the checkpoint) can break down crash causes.
     """
+    from repro.errors import WorkerCrashError
+
+    crash = None
+    if isinstance(exc, WorkerCrashError):
+        crash = exc.crash_info()
+        error = str(exc)
+    else:
+        error = f"worker process failed: {exc}"
     return {
         "record": {
             "experiment_id": experiment_id,
@@ -133,8 +180,9 @@ def failure_payload(exc: BaseException, experiment_id: str, seed: int,
             "attempts": 0,
             "duration": 0.0,
             "checks": {},
-            "error": f"worker process failed: {exc}",
+            "error": error,
             "error_type": type(exc).__name__,
+            "crash": crash,
         },
         "result": None,
         "spans": [],

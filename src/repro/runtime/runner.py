@@ -26,6 +26,15 @@ properties a long campaign needs:
   Workers share expensive inputs through a
   :class:`repro.io.artifacts.ArtifactCache` (``cache_dir=``; a
   throwaway directory is used when none is configured).
+- **Supervision** — the pool runs under a
+  :class:`repro.runtime.supervisor.WorkerSupervisor`: a worker killed
+  by the OS (OOM, segfault, SIGKILL) rebuilds the pool and requeues
+  the in-flight experiments under a per-experiment crash budget
+  (``max_worker_crashes``); poison tasks are quarantined with a
+  structured :class:`repro.errors.WorkerCrashError` record, and
+  repeated pool breakage degrades the remainder to sequential
+  in-process execution, so ``keep_going`` runs always finish with a
+  complete report.
 
 The clock and sleep functions are injectable so retry timing is
 testable with a fake clock, and a
@@ -63,7 +72,8 @@ from repro.experiments.registry import (
     all_experiments,
     get_experiment,
 )
-from repro.io.jsonl import append_jsonl, read_jsonl
+from repro.io.jsonl import append_jsonl, read_jsonl, salvage_jsonl_tail
+from repro.runtime.faultinject import use_fault_injector
 from repro.obs.metrics import current_metrics
 from repro.obs.tracing import current_tracer
 
@@ -112,6 +122,10 @@ class RunRecord:
         checks: Shape-check outcomes (empty unless status is "ok").
         error: Stringified exception for failed runs.
         error_type: Exception class name for failed runs.
+        crash: Process-level evidence for runs that died with their
+            worker (exit code/signal, crash count, quarantine verdict —
+            see :meth:`repro.errors.WorkerCrashError.crash_info`); None
+            for runs that failed, or succeeded, in Python.
         from_checkpoint: True when replayed from a checkpoint file
             rather than executed.
         result: The live :class:`ExperimentResult` (None when replayed).
@@ -126,6 +140,7 @@ class RunRecord:
     checks: dict[str, bool] = field(default_factory=dict)
     error: str | None = None
     error_type: str | None = None
+    crash: dict | None = None
     from_checkpoint: bool = False
     result: ExperimentResult | None = None
 
@@ -147,6 +162,7 @@ class RunRecord:
             "shape_holds": self.shape_holds,
             "error": self.error,
             "error_type": self.error_type,
+            "crash": self.crash,
         }
 
     @classmethod
@@ -162,6 +178,7 @@ class RunRecord:
             checks=record.get("checks", {}),
             error=record.get("error"),
             error_type=record.get("error_type"),
+            crash=record.get("crash"),
             from_checkpoint=True,
         )
 
@@ -261,6 +278,20 @@ class SuiteRunner:
             experiment corpus between workers and across runs.  None
             uses a throwaway temp directory when ``workers > 1`` (and
             no disk cache at all sequentially).
+        max_worker_crashes: Per-experiment crash budget for parallel
+            runs: a task that kills this many consecutive pool workers
+            is quarantined with a :class:`repro.errors.WorkerCrashError`
+            record instead of being requeued again (see
+            :class:`repro.runtime.supervisor.WorkerSupervisor`).
+        max_pool_rebuilds: After this many worker-crash events the
+            supervisor degrades the remaining experiments to
+            sequential in-process execution (when ``degrade`` allows).
+        degrade: Allow the degradation ladder.  False keeps rebuilding
+            pools until every experiment completes or is quarantined.
+        heartbeat_timeout: Optional supervisor liveness bound: with no
+            task completion for this many seconds, pool workers are
+            presumed wedged and killed (None disables; in-worker
+            ``timeout`` deadlines already cover ordinary hangs).
     """
 
     def __init__(
@@ -281,6 +312,10 @@ class SuiteRunner:
         profile_dir: str | None = None,
         workers: int = 1,
         cache_dir: str | None = None,
+        max_worker_crashes: int = 2,
+        max_pool_rebuilds: int = 3,
+        degrade: bool = True,
+        heartbeat_timeout: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -293,6 +328,10 @@ class SuiteRunner:
         self.profile_dir = profile_dir
         self.workers = workers
         self.cache_dir = cache_dir
+        self.max_worker_crashes = max_worker_crashes
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.degrade = degrade
+        self.heartbeat_timeout = heartbeat_timeout
         self._clock = clock
         self._sleep = sleep
         self._jitter_seed = seed
@@ -312,9 +351,20 @@ class SuiteRunner:
     # -- checkpointing -------------------------------------------------
 
     def _load_checkpoint(self) -> dict[tuple[str, int, bool], RunRecord]:
-        """Completed records keyed by (experiment_id, seed, fast)."""
+        """Completed records keyed by (experiment_id, seed, fast).
+
+        A checkpoint whose final line was torn by a killed writer is
+        salvaged first (:func:`repro.io.jsonl.salvage_jsonl_tail`):
+        the torn tail is dropped — or, when the record survived and
+        only its newline is missing, closed — so resume keeps every
+        complete record *and* subsequent appends cannot concatenate
+        onto the damage.  Salvage events are counted as
+        ``runner.checkpoint_salvaged``.
+        """
         if self.checkpoint is None:
             return {}
+        if salvage_jsonl_tail(self.checkpoint) is not None:
+            self.metrics.count("runner.checkpoint_salvaged")
         completed: dict[tuple[str, int, bool], RunRecord] = {}
         try:
             rows = list(read_jsonl(self.checkpoint, on_error="skip"))
@@ -411,6 +461,16 @@ class SuiteRunner:
             # the process (daemon), but surface the leak so a campaign
             # can see how many zombies it is carrying.
             self.metrics.count("runner.leaked_threads")
+            from repro.runtime.faultinject import in_worker_process
+
+            if in_worker_process():
+                # In a pool worker there is no debugger to attach:
+                # dump every thread's traceback now, so the campaign
+                # log shows *where* the experiment was stuck.
+                import faulthandler
+                import sys
+
+                faulthandler.dump_traceback(file=sys.stderr)
             raise BudgetExceeded(
                 f"experiment exceeded its {self.timeout}s deadline",
                 budget=self.timeout,
@@ -578,7 +638,10 @@ class SuiteRunner:
             configure_corpus_cache(cache_dir) if cache_dir is not None else None
         )
         try:
-            with self.tracer.span(
+            # Installing the injector process-wide lets disk faults
+            # (enospc at the io/artifact write points) fire in the
+            # sequential path too, not just inside pool workers.
+            with use_fault_injector(self.fault_injector), self.tracer.span(
                 "suite",
                 seed=seed,
                 fast=fast,
@@ -632,23 +695,25 @@ class SuiteRunner:
         cache_dir: str | None,
         suite_span,
     ) -> SuiteReport:
-        """Fan experiments out to a process pool; merge in suite order.
+        """Fan experiments out to a supervised process pool; merge in order.
 
         Every completion is buffered and flushed in suite position
         order: checkpoint appends (single writer — this process),
         metrics merges, and span adoption all happen at flush time, so
         their outcome is independent of which worker finished first.
+        The pool itself runs under a
+        :class:`repro.runtime.supervisor.WorkerSupervisor`: worker
+        death rebuilds the pool and requeues the in-flight
+        experiments, poison tasks are quarantined under the crash
+        budget, and repeated breakage degrades to in-process execution
+        — so a ``keep_going`` run always flushes a complete report.
         """
-        import concurrent.futures
         import multiprocessing
 
         from repro.errors import ExperimentError as SuiteExperimentError
-        from repro.runtime.parallel import (
-            failure_payload,
-            make_task,
-            record_from_payload,
-            run_experiment_task,
-        )
+        from repro.errors import WorkerCrashError
+        from repro.runtime.parallel import make_task, record_from_payload
+        from repro.runtime.supervisor import WorkerSupervisor
 
         report = SuiteReport()
         replayed: dict[int, RunRecord] = {}
@@ -684,7 +749,22 @@ class SuiteRunner:
                         # failing experiment is not checkpointed and
                         # the suite aborts.  The original exception
                         # object stayed in the worker; raise its
-                        # recorded identity.
+                        # recorded identity — with the process-level
+                        # evidence intact when the worker died.
+                        if record.crash is not None:
+                            raise WorkerCrashError(
+                                record.error or "worker process crashed",
+                                exit_code=record.crash.get("exit_code"),
+                                exit_signal=record.crash.get("exit_signal"),
+                                attempt=record.crash.get("attempt"),
+                                quarantined=record.crash.get(
+                                    "quarantined", False
+                                ),
+                                reason=record.crash.get("reason"),
+                                experiment_id=record.experiment_id,
+                                seed=record.seed,
+                                stage="run",
+                            )
                         raise SuiteExperimentError(
                             f"{record.error_type}: {record.error}",
                             experiment_id=record.experiment_id,
@@ -697,29 +777,35 @@ class SuiteRunner:
                     return
                 flushed += 1
 
-        executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, max(len(pending), 1)),
+        on_crash = None
+        if cache_dir is not None:
+            from repro.io.artifacts import ArtifactCache
+
+            cache = ArtifactCache(cache_dir, sweep=False)
+
+            def on_crash() -> None:
+                # Every pool writer is dead once a crash is detected,
+                # so temp files under the cache are orphans regardless
+                # of age.
+                cache.sweep_orphans(max_age_seconds=0.0)
+
+        supervisor = WorkerSupervisor(
+            workers=min(workers, max(len(pending), 1)),
             mp_context=context,
+            max_worker_crashes=self.max_worker_crashes,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+            degrade=self.degrade,
+            heartbeat_timeout=self.heartbeat_timeout,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            on_crash=on_crash,
         )
-        try:
-            futures = {
-                executor.submit(
-                    run_experiment_task,
-                    make_task(self, experiment_ids[index], seed, fast, cache_dir),
-                ): index
-                for index in pending
-            }
-            for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                try:
-                    payloads[index] = future.result()
-                except Exception as exc:  # noqa: BLE001 - worker died hard
-                    self.metrics.count("runner.worker_failures")
-                    payloads[index] = failure_payload(
-                        exc, experiment_ids[index], seed, fast
-                    )
-                flush_ready()
+        tasks = [
+            (index, make_task(self, experiment_ids[index], seed, fast, cache_dir))
+            for index in pending
+        ]
+        for index, payload in supervisor.run(tasks):
+            payloads[index] = payload
             flush_ready()
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+        flush_ready()
         return report

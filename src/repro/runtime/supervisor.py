@@ -1,0 +1,514 @@
+"""Process-level supervision for the parallel suite runtime.
+
+:class:`repro.runtime.runner.SuiteRunner` keeps *in-worker* failures —
+exceptions, deadline overruns — from taking a suite down, but a worker
+that dies outright (OOM killer, a segfault in a C extension, an
+injected ``kill`` fault) never gets to run that machinery: the process
+pool breaks, every in-flight future raises ``BrokenProcessPool``, and
+before this module existed that single event aborted the whole run.
+
+:class:`WorkerSupervisor` sits between the runner and the pool and
+turns worker death into a survivable, *recorded* event:
+
+- **Detection.**  A broken pool, a worker with a nonzero exit code, or
+  (optionally) a missed heartbeat — no task completing within
+  ``heartbeat_timeout`` — all register as a crash event.  Exit codes
+  are harvested from the dying pool before it is torn down, so the
+  record says *how* the worker died (``SIGKILL``, ``SIGSEGV``, ...).
+- **Requeue under a crash budget.**  In-flight tasks are requeued onto
+  a rebuilt pool.  Tasks that have crashed a worker before are run one
+  at a time, so subsequent blame is precise; a task that kills
+  ``max_worker_crashes`` consecutive workers is *quarantined* — it gets
+  a structured :class:`repro.errors.WorkerCrashError` record instead of
+  being retried forever, and the rest of the suite proceeds.  The
+  budget-exhausting crash must be *solo-proven* (exactly one task in
+  flight), so an innocent task that merely shared a pool with a poison
+  one is never quarantined for it.
+- **Degradation ladder.**  When the pool itself keeps breaking
+  (``max_pool_rebuilds`` crash events), the supervisor stops trusting
+  process isolation and finishes the remaining tasks sequentially
+  in-process, so a ``keep_going`` run always ends with a complete
+  :class:`~repro.runtime.runner.SuiteReport`.
+
+Everything is observable: crash events, rebuilds, quarantines, and
+degradation are counted (``runner.worker_crashes``,
+``runner.pool_rebuilds``, ``runner.quarantined``, ``runner.degraded``)
+and emitted as ``worker_crash`` / ``pool_rebuild`` / ``quarantine`` /
+``degrade`` spans carrying the exit evidence, which is what
+``repro obs report`` renders as the crash-cause breakdown.
+
+The supervisor changes nothing about *what* runs: tasks are the same
+picklable dicts :func:`repro.runtime.parallel.make_task` builds, and
+completions stream back to the runner, which still flushes them in
+suite order.  That is why the determinism invariant — same report
+fingerprint at 1 and N workers — holds even while workers are being
+killed mid-run.
+"""
+
+from __future__ import annotations
+
+import signal as signal_module
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    TimeoutError,
+    wait,
+)
+from concurrent.futures.process import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import WorkerCrashError
+from repro.runtime.parallel import (
+    failure_payload,
+    run_experiment_task,
+    worker_init,
+)
+
+__all__ = ["WorkerSupervisor"]
+
+
+def _signal_name(exit_code: int | None) -> str | None:
+    """The signal name behind a negative exit code, when it maps to one."""
+    if exit_code is None or exit_code >= 0:
+        return None
+    try:
+        return signal_module.Signals(-exit_code).name
+    except ValueError:  # pragma: no cover - unnamed signal number
+        return f"signal {-exit_code}"
+
+
+@dataclass
+class _TaskState:
+    """Supervision bookkeeping for one dispatched task."""
+
+    index: int
+    task: dict
+    experiment_id: str
+    crashes: int = 0
+    exit_code: int | None = None
+    exit_signal: str | None = None
+    reason: str | None = None
+
+
+class WorkerSupervisor:
+    """Run pool tasks under crash detection, requeue, and quarantine.
+
+    Args:
+        workers: Pool size ceiling (actual pools are also capped by the
+            number of tasks in the current batch).
+        mp_context: ``multiprocessing`` context for the pool (the
+            runner passes its fork context).
+        max_worker_crashes: Crash budget per task: a task that kills
+            this many consecutive workers is quarantined as a poison
+            task instead of requeued again.  The final crash must have
+            happened with the task alone in flight (suspects run solo,
+            so this is at most one extra requeue), keeping quarantine
+            verdicts precise even at budget 1.
+        max_pool_rebuilds: After this many crash events the supervisor
+            walks down the degradation ladder (see ``degrade``).
+        degrade: When True (default), repeated pool breakage degrades
+            the remaining tasks to sequential in-process execution;
+            when False the supervisor keeps rebuilding pools until
+            every task completes or is quarantined.
+        heartbeat_timeout: Optional liveness bound in seconds: when no
+            task completes for this long, the workers are presumed
+            wedged, killed, and the in-flight tasks treated as a crash
+            event.  None (default) disables the heartbeat — in-worker
+            deadlines already bound runtimes for ordinary hangs.
+        poll_interval: How often the future-wait loop wakes to check
+            worker liveness.
+        tracer: Span sink for crash/rebuild/quarantine/degrade events.
+        metrics: Counter sink for the ``runner.*`` supervision metrics.
+        on_crash: Callback invoked once per crash event after the
+            broken pool is torn down (the runner hooks the artifact
+            cache's orphan sweep here — every pool writer is dead at
+            that point, so a zero-grace sweep is safe).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        mp_context=None,
+        max_worker_crashes: int = 2,
+        max_pool_rebuilds: int = 3,
+        degrade: bool = True,
+        heartbeat_timeout: float | None = None,
+        poll_interval: float = 0.25,
+        tracer=None,
+        metrics=None,
+        on_crash: Callable[[], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_worker_crashes < 1:
+            raise ValueError(
+                f"max_worker_crashes must be >= 1, got {max_worker_crashes}"
+            )
+        self.workers = workers
+        self.max_worker_crashes = max_worker_crashes
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.degrade = degrade
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
+        self._mp_context = mp_context
+        self._tracer = tracer
+        self._metrics = metrics
+        self._on_crash = on_crash
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_rebuilds = 0
+        self._degraded = False
+        # Exit codes observed from dying workers, accumulated every
+        # poll tick: by the time a crash is handled, the executor's own
+        # management thread may already have reaped the corpses out of
+        # its process table, so evidence is collected while it exists.
+        self._exit_codes: list[int] = []
+        self._seen_pids: set[int] = set()
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, tasks: list[tuple[int, dict]]) -> Iterator[tuple[int, dict]]:
+        """Run every task; yields ``(index, shard payload)`` as they finish.
+
+        Every task yields exactly once — with its worker's real shard,
+        a synthesized failure shard for an ordinary worker exception,
+        or a quarantine shard carrying the
+        :class:`~repro.errors.WorkerCrashError` evidence.  Completion
+        order is arbitrary (the runner re-orders at flush time).
+        """
+        queue = [
+            _TaskState(index=index, task=task,
+                       experiment_id=task["experiment_id"])
+            for index, task in tasks
+        ]
+        try:
+            while queue:
+                if self._degraded:
+                    yield from self._run_degraded(queue)
+                    return
+                batch = self._select_batch(queue)
+                finished, crashed, reason = self._run_batch(batch)
+                for state, payload in finished:
+                    queue.remove(state)
+                    yield state.index, payload
+                if crashed:
+                    for state, payload in self._handle_crash(crashed, reason):
+                        if payload is not None:  # quarantined
+                            queue.remove(state)
+                            yield state.index, payload
+        finally:
+            self._shutdown_pool(wait_for_workers=False)
+
+    # -- batching ------------------------------------------------------
+
+    def _select_batch(self, queue: list[_TaskState]) -> list[_TaskState]:
+        """Tasks to dispatch next.
+
+        Clean tasks (never crashed a worker) run together.  Once only
+        suspects remain they run one at a time: a solo crash blames
+        exactly one task, so quarantine verdicts rest on precise
+        evidence rather than on whoever shared the pool with the
+        poison task.
+        """
+        clean = [state for state in queue if state.crashes == 0]
+        if clean:
+            return clean
+        return [queue[0]]
+
+    def _run_batch(
+        self, batch: list[_TaskState]
+    ) -> tuple[list[tuple[_TaskState, dict]], list[_TaskState], str]:
+        """Dispatch one batch; returns (finished, crash-blamed, reason)."""
+        finished: list[tuple[_TaskState, dict]] = []
+        try:
+            executor = self._ensure_pool(len(batch))
+            futures = {
+                executor.submit(run_experiment_task, state.task): state
+                for state in batch
+            }
+        except BrokenExecutor:
+            # The pool broke at submit time (a worker died between
+            # batches).  Nothing from this batch ran; rebuild and blame
+            # no one — the causing task was already handled.
+            self._note_rebuild("pool broke at submit")
+            return finished, [], ""
+        pending = set(futures)
+        completed: set = set()
+        reason = "worker process died"
+        pool_broken = False
+        last_progress = time.monotonic()
+        while pending:
+            self._observe_exit_codes()
+            done, pending = wait(
+                pending, timeout=self.poll_interval,
+                return_when=FIRST_COMPLETED,
+            )
+            if done:
+                last_progress = time.monotonic()
+            for future in done:
+                state = futures[future]
+                try:
+                    payload = future.result()
+                except BrokenExecutor:
+                    pool_broken = True
+                except Exception as exc:  # noqa: BLE001 - worker raised
+                    # The worker survived but the task round-trip failed
+                    # (unpicklable result, protocol bug): an ordinary
+                    # failure record, not a crash.
+                    self._count("runner.worker_failures")
+                    finished.append((state, failure_payload(
+                        exc, state.experiment_id,
+                        state.task["seed"], state.task["fast"],
+                    )))
+                    completed.add(future)
+                else:
+                    finished.append((state, payload))
+                    completed.add(future)
+            if pool_broken:
+                break
+            if (
+                pending
+                and self.heartbeat_timeout is not None
+                and time.monotonic() - last_progress > self.heartbeat_timeout
+            ):
+                # Nothing has completed for a full heartbeat window:
+                # the workers are presumed wedged.  Kill them; the
+                # futures then surface as a broken pool below.
+                reason = (
+                    f"missed heartbeat ({self.heartbeat_timeout}s without "
+                    "progress)"
+                )
+                self._terminate_workers()
+                last_progress = time.monotonic()
+        if not pool_broken:
+            return finished, [], ""
+        # Drain the siblings: a task that finished just before the pool
+        # broke keeps its real result; everything unfinished joins the
+        # blame set.  Blame is deliberately coarse here — the parent
+        # cannot reliably tell which unfinished future was on the dying
+        # worker (the future state machine races the crash) — but a
+        # coarse blame only marks tasks as suspects; suspects run solo,
+        # and only a solo-proven crash can quarantine (see
+        # :meth:`_handle_crash`).  The one case a size-1 blame set
+        # arises from a shared batch is when every sibling finished —
+        # and then the survivor *is* the task the dead worker was
+        # running, so the precision rule stays sound.
+        self._observe_exit_codes()
+        blamed: list[_TaskState] = []
+        for future, state in futures.items():
+            if future in completed:
+                continue
+            try:
+                payload = future.result(timeout=30.0)
+            except (BrokenExecutor, CancelledError, TimeoutError):
+                blamed.append(state)
+            except Exception as exc:  # noqa: BLE001 - worker raised
+                self._count("runner.worker_failures")
+                finished.append((state, failure_payload(
+                    exc, state.experiment_id,
+                    state.task["seed"], state.task["fast"],
+                )))
+            else:
+                finished.append((state, payload))
+        return finished, blamed, reason
+
+    # -- crash handling ------------------------------------------------
+
+    def _handle_crash(
+        self, blamed: list[_TaskState], reason: str
+    ) -> list[tuple[_TaskState, dict | None]]:
+        """Process one crash event; returns (state, quarantine-or-None)."""
+        exit_code = self._harvest_exit_code()
+        exit_signal = _signal_name(exit_code)
+        self._note_rebuild(reason)
+        if self._on_crash is not None:
+            self._on_crash()
+        verdicts: list[tuple[_TaskState, dict | None]] = []
+        # A quarantine verdict needs *precise* blame: only when exactly
+        # one task was in flight is the killer identified beyond doubt.
+        # A batch blame just marks everyone involved as a suspect (and
+        # suspects run solo from then on), so an innocent task that
+        # shared a pool with a poison one is never quarantined for it.
+        precise = len(blamed) == 1
+        for state in blamed:
+            state.crashes += 1
+            state.task["worker_crashes"] = state.crashes
+            state.exit_code = exit_code
+            state.exit_signal = exit_signal
+            state.reason = reason
+            self._count("runner.worker_crashes")
+            with self._span(
+                "worker_crash",
+                experiment_id=state.experiment_id,
+                exit_code=exit_code,
+                exit_signal=exit_signal,
+                crashes=state.crashes,
+                reason=reason,
+            ):
+                pass
+            if precise and state.crashes >= self.max_worker_crashes:
+                verdicts.append((state, self._quarantine(state)))
+            else:
+                verdicts.append((state, None))  # requeued
+        if (
+            self.degrade
+            and not self._degraded
+            and self._pool_rebuilds >= self.max_pool_rebuilds
+        ):
+            self._degraded = True
+            self._count("runner.degraded")
+            with self._span("degrade", pool_rebuilds=self._pool_rebuilds):
+                pass
+        return verdicts
+
+    def _quarantine(self, state: _TaskState) -> dict:
+        """The poison-task verdict: a structured crash record, no requeue."""
+        self._count("runner.quarantined")
+        quarantine_reason = (
+            f"crash budget exhausted: killed {state.crashes} consecutive "
+            f"worker(s) (last: {state.reason})"
+        )
+        error = WorkerCrashError(
+            f"worker crashed running {state.experiment_id}; "
+            f"task quarantined after {state.crashes} worker death(s)",
+            exit_code=state.exit_code,
+            exit_signal=state.exit_signal,
+            attempt=state.crashes,
+            quarantined=True,
+            reason=quarantine_reason,
+            experiment_id=state.experiment_id,
+            seed=state.task["seed"],
+            stage="run",
+        )
+        with self._span(
+            "quarantine",
+            experiment_id=state.experiment_id,
+            exit_code=state.exit_code,
+            exit_signal=state.exit_signal,
+            crashes=state.crashes,
+        ):
+            pass
+        return failure_payload(
+            error, state.experiment_id, state.task["seed"],
+            state.task["fast"],
+        )
+
+    # -- degraded (sequential, in-process) mode ------------------------
+
+    def _run_degraded(
+        self, queue: list[_TaskState]
+    ) -> Iterator[tuple[int, dict]]:
+        """Finish the remaining tasks in-process, in suite order.
+
+        The worker protocol is reused verbatim — the task runs under
+        its own tracer/metrics and returns a shard — so the runner's
+        merge path cannot tell degraded completions from pool ones.
+        Worker-only fault modes (``kill``) do not fire in this process,
+        which is exactly the point of the ladder: an experiment that
+        only dies under process isolation still gets its one honest
+        in-process run before the suite gives up on it.
+        """
+        for state in sorted(queue, key=lambda s: s.index):
+            try:
+                payload = run_experiment_task(state.task)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                payload = failure_payload(
+                    exc, state.experiment_id, state.task["seed"],
+                    state.task["fast"],
+                )
+            yield state.index, payload
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self, batch_size: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, max(batch_size, 1)),
+                mp_context=self._mp_context,
+                initializer=worker_init,
+            )
+        return self._pool
+
+    def _note_rebuild(self, reason: str) -> None:
+        """Tear down the broken pool and account for the rebuild."""
+        self._shutdown_pool(wait_for_workers=False)
+        self._pool_rebuilds += 1
+        self._count("runner.pool_rebuilds")
+        with self._span("pool_rebuild", rebuilds=self._pool_rebuilds,
+                        reason=reason):
+            pass
+
+    def _observe_exit_codes(self) -> None:
+        """Record exit codes of pool workers that have died so far.
+
+        Called every poll tick and again when a break is detected: the
+        executor's management thread reaps dead workers out of its
+        process table on its own schedule, so waiting until crash
+        handling to look would often find the evidence already gone.
+        """
+        processes = getattr(self._pool, "_processes", None) or {}
+        for pid, process in list(processes.items()):
+            if pid in self._seen_pids:
+                continue
+            code = process.exitcode
+            if code not in (None, 0):
+                self._seen_pids.add(pid)
+                self._exit_codes.append(code)
+
+    def _harvest_exit_code(self) -> int | None:
+        """The most telling exit code among this crash event's corpses.
+
+        Signal deaths (negative codes) outrank plain nonzero exits,
+        and among those SIGTERM ranks last: when the pool breaks, the
+        executor's own cleanup reaps innocent siblings with SIGTERM,
+        so any *other* signal is the one that felled the worker.  The
+        observed codes are consumed — the next crash event starts its
+        evidence fresh.
+
+        A freshly dead worker's exit code can lag its future's
+        ``BrokenProcessPool`` by a few milliseconds (the executor's own
+        join races this thread's ``waitpid``), so when nothing has been
+        observed yet the harvest waits briefly — the pool is already
+        broken, so the wait delays only the crash bookkeeping.
+        """
+        deadline = time.monotonic() + 1.0
+        self._observe_exit_codes()
+        while not self._exit_codes and time.monotonic() < deadline:
+            time.sleep(0.05)
+            self._observe_exit_codes()
+        codes, self._exit_codes = self._exit_codes, []
+        signals = [code for code in codes if code < 0]
+        for code in signals:
+            if code != -signal_module.SIGTERM:
+                return code
+        if signals:
+            return signals[0]
+        return codes[0] if codes else None
+
+    def _terminate_workers(self) -> None:
+        """Kill every pool worker (the missed-heartbeat escalation)."""
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            if process.exitcode is None:
+                process.terminate()
+
+    def _shutdown_pool(self, *, wait_for_workers: bool) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait_for_workers, cancel_futures=True)
+            self._pool = None
+
+    # -- observability plumbing ----------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.count(name)
+
+    def _span(self, name: str, **attributes):
+        if self._tracer is not None:
+            return self._tracer.span(name, **attributes)
+        import contextlib
+
+        return contextlib.nullcontext()

@@ -1,0 +1,411 @@
+"""Chaos tests: the parallel runtime under process and disk faults.
+
+The contract under test extends ``test_runtime_parallel``'s determinism
+contract to the crash domain: a worker killed mid-experiment must not
+take the suite down, must not change the fingerprint of anything that
+survived, and must leave structured evidence (crash records, counters,
+spans) rather than a bare ``BrokenProcessPool``.  Disk-level faults
+(ENOSPC, killed writers) must leave the artifact cache and checkpoint
+files either complete or absent — never torn.
+
+Worker-only fault modes (``kill``) pass through in the parent process,
+which is what makes the 1-vs-N fingerprint comparisons here possible:
+the same injector config runs clean sequentially and lethal in a pool.
+"""
+
+import errno
+import os
+import time
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.io.artifacts import ArtifactCache
+from repro.io.jsonl import read_jsonl, salvage_jsonl_tail
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracing import Tracer, use_tracer
+from repro.runtime.faultinject import FaultInjector, use_fault_injector
+from repro.runtime.runner import SuiteReport, SuiteRunner
+
+#: Cheap real experiments (no shared corpus, sub-second each).
+CHEAP_IDS = ["E4", "E5", "E6", "E10"]
+
+
+def _run(ids, workers, injector=None, **runner_kwargs):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        report = SuiteRunner(
+            workers=workers, fault_injector=injector, **runner_kwargs
+        ).run_all(ids, seed=0, fast=True)
+    return report, tracer, metrics
+
+
+def _counters(metrics):
+    return metrics.snapshot()["counters"]
+
+
+def _kill_injector(times=None):
+    injector = FaultInjector(seed=7)
+    kwargs = {} if times is None else {"times": times}
+    injector.register("experiment:E5", mode="kill", **kwargs)
+    return injector
+
+
+def _without(report, experiment_id):
+    """A report restricted to the runs that did not involve ``experiment_id``."""
+    return SuiteReport(records=[
+        r for r in report.records if r.experiment_id != experiment_id
+    ])
+
+
+class TestWorkerKill:
+    def test_kill_requeues_and_matches_sequential(self):
+        """A SIGKILL'd worker rebuilds the pool; the requeued experiment
+        succeeds and the suite fingerprint equals the sequential run's."""
+        par, _, par_metrics = _run(CHEAP_IDS, 4, _kill_injector(times=1))
+        seq, _, _ = _run(CHEAP_IDS, 1, _kill_injector(times=1))
+        assert par.ok and seq.ok
+        assert par.fingerprint() == seq.fingerprint()
+        counters = _counters(par_metrics)
+        assert counters["runner.pool_rebuilds"] >= 1
+        assert counters["runner.worker_crashes"] >= 1
+        e5 = {r.experiment_id: r for r in par}["E5"]
+        assert e5.status == "ok" and e5.crash is None
+
+    def test_poison_task_quarantined_with_evidence(self):
+        """A task that kills every worker it meets exhausts its crash
+        budget and lands a structured WorkerCrashError record."""
+        report, tracer, metrics = _run(
+            CHEAP_IDS, 4, _kill_injector(),
+            max_worker_crashes=2, degrade=False,
+        )
+        e5 = {r.experiment_id: r for r in report}["E5"]
+        assert e5.status == "error"
+        assert e5.error_type == "WorkerCrashError"
+        assert e5.crash is not None
+        assert e5.crash["quarantined"] is True
+        assert e5.crash["attempt"] == 2
+        assert "crash budget exhausted" in e5.crash["reason"]
+        # the worker died by signal; the record says so
+        assert e5.crash["exit_code"] < 0
+        assert e5.crash["exit_signal"] is not None
+        counters = _counters(metrics)
+        assert counters["runner.quarantined"] == 1
+        assert counters["runner.worker_crashes"] >= 2
+        names = [s.name for s in tracer.finished]
+        assert "worker_crash" in names and "quarantine" in names
+
+    def test_survivors_fingerprint_equals_sequential(self):
+        """Quarantining the poison task must not perturb its siblings."""
+        par, _, _ = _run(
+            CHEAP_IDS, 4, _kill_injector(),
+            max_worker_crashes=2, degrade=False,
+        )
+        seq, _, _ = _run(CHEAP_IDS, 1)
+        assert not par.ok  # E5 was quarantined
+        assert (
+            _without(par, "E5").fingerprint()
+            == _without(seq, "E5").fingerprint()
+        )
+
+    def test_keep_going_false_raises_worker_crash_error(self):
+        injector = _kill_injector()
+        with pytest.raises(WorkerCrashError) as excinfo:
+            SuiteRunner(
+                workers=4, keep_going=False, fault_injector=injector,
+                max_worker_crashes=1, degrade=False,
+            ).run_all(CHEAP_IDS, seed=0, fast=True)
+        assert excinfo.value.experiment_id == "E5"
+        assert excinfo.value.crash_info()["quarantined"] is True
+
+
+class TestDegradation:
+    def test_repeated_pool_breakage_degrades_to_in_process(self):
+        """Past the rebuild budget the remaining tasks run in-process —
+        where worker-only kill faults cannot fire, so E5 completes."""
+        report, tracer, metrics = _run(
+            CHEAP_IDS, 4, _kill_injector(),
+            max_pool_rebuilds=1,
+        )
+        assert report.ok
+        e5 = {r.experiment_id: r for r in report}["E5"]
+        assert e5.status == "ok"
+        counters = _counters(metrics)
+        assert counters["runner.degraded"] == 1
+        assert any(s.name == "degrade" for s in tracer.finished)
+
+    def test_no_degrade_keeps_rebuilding_until_quarantine(self):
+        report, _, metrics = _run(
+            CHEAP_IDS, 4, _kill_injector(),
+            max_pool_rebuilds=1, max_worker_crashes=3, degrade=False,
+        )
+        e5 = {r.experiment_id: r for r in report}["E5"]
+        assert e5.status == "error" and e5.crash["attempt"] == 3
+        assert "runner.degraded" not in _counters(metrics)
+
+    def test_degraded_completion_is_a_complete_report(self):
+        """keep_going + degradation always ends with every experiment
+        accounted for, in suite order."""
+        report, _, _ = _run(
+            CHEAP_IDS, 4, _kill_injector(), max_pool_rebuilds=1,
+        )
+        assert [r.experiment_id for r in report] == CHEAP_IDS
+
+
+class TestHeartbeat:
+    def test_wedged_worker_is_killed_and_blamed(self):
+        """A worker that stops making progress past the heartbeat window
+        is terminated and the hang is treated as a crash event."""
+        injector = FaultInjector(seed=7)
+        injector.register("experiment:E5", mode="hang", hang_seconds=60.0)
+        report, _, metrics = _run(
+            CHEAP_IDS, 2, injector,
+            heartbeat_timeout=1.0, max_worker_crashes=1, degrade=False,
+        )
+        e5 = {r.experiment_id: r for r in report}["E5"]
+        assert e5.status == "error"
+        assert e5.error_type == "WorkerCrashError"
+        assert "missed heartbeat" in e5.crash["reason"]
+        assert _counters(metrics)["runner.quarantined"] == 1
+
+
+class TestOomFault:
+    def test_oom_burst_is_an_ordinary_failure(self):
+        """An allocation burst raises MemoryError inside the worker; the
+        in-worker runner records it and the suite completes."""
+        injector = FaultInjector(seed=7)
+        injector.register(
+            "experiment:E5", mode="oom", oom_bytes=16 * 1024 * 1024,
+        )
+        report, _, _ = _run(CHEAP_IDS, 4, injector)
+        e5 = {r.experiment_id: r for r in report}["E5"]
+        assert e5.status == "error"
+        assert e5.error_type == "MemoryError"
+        assert e5.crash is None  # the worker survived
+        assert [r.experiment_id for r in report] == CHEAP_IDS
+
+
+class TestEnospcArtifacts:
+    def _cache(self, tmp_path):
+        return ArtifactCache(tmp_path / "cache", sweep=False)
+
+    def test_enospc_leaves_no_partial_entry(self, tmp_path):
+        cache = self._cache(tmp_path)
+        injector = FaultInjector(seed=7)
+        injector.register("artifacts:put", mode="enospc")
+        with use_fault_injector(injector):
+            with pytest.raises(OSError) as excinfo:
+                cache.put("rows", {"n": 3}, [{"i": i} for i in range(3)])
+        assert excinfo.value.errno == errno.ENOSPC
+        assert list(cache.root.rglob("*.tmp")) == []
+        assert list(cache.root.rglob("*.jsonl")) == []
+        assert cache.get("rows", {"n": 3}) is None
+
+    def test_write_succeeds_once_space_returns(self, tmp_path):
+        cache = self._cache(tmp_path)
+        injector = FaultInjector(seed=7)
+        injector.register("artifacts:put", mode="enospc", times=1)
+        with use_fault_injector(injector):
+            with pytest.raises(OSError):
+                cache.put("rows", {"n": 2}, [{"i": 0}, {"i": 1}])
+            cache.put("rows", {"n": 2}, [{"i": 0}, {"i": 1}])
+        assert [r["i"] for r in cache.get("rows", {"n": 2})] == [0, 1]
+
+    def test_enospc_at_write_jsonl_unlinks_temp(self, tmp_path):
+        """The deeper injection point (inside write_jsonl, after the
+        temp file exists) exercises the crash-cleanup unlink."""
+        cache = self._cache(tmp_path)
+        injector = FaultInjector(seed=7)
+        injector.register("io:write_jsonl", mode="enospc")
+        with use_fault_injector(injector):
+            with pytest.raises(OSError):
+                cache.put("rows", {"n": 1}, [{"i": 0}])
+        assert list(cache.root.rglob("*.tmp")) == []
+
+
+class TestOrphanSweep:
+    def test_construction_sweeps_stale_tmp_files(self, tmp_path):
+        root = tmp_path / "cache"
+        (root / "rows").mkdir(parents=True)
+        stale = root / "rows" / "deadbeef.jsonl.abc123.tmp"
+        stale.write_text("{\"torn\":")
+        old = time.time() - 3600.0
+        os.utime(stale, (old, old))
+        fresh = root / "rows" / "cafef00d.jsonl.def456.tmp"
+        fresh.write_text("{\"live\":")
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            ArtifactCache(root)
+        assert not stale.exists()
+        assert fresh.exists()  # may belong to a live writer
+        assert _counters(metrics)["artifacts.orphans_swept"] == 1
+
+    def test_zero_grace_sweep_reaps_everything(self, tmp_path):
+        """The post-crash sweep: every pool writer is dead, so even
+        fresh temp files are orphans."""
+        root = tmp_path / "cache"
+        (root / "rows").mkdir(parents=True)
+        fresh = root / "rows" / "cafef00d.jsonl.def456.tmp"
+        fresh.write_text("{\"dead\":")
+        cache = ArtifactCache(root, sweep=False)
+        assert fresh.exists()
+        assert cache.sweep_orphans(max_age_seconds=0.0) == 1
+        assert not fresh.exists()
+
+    def test_sweep_spares_real_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache", sweep=False)
+        cache.put("rows", {"n": 1}, [{"i": 0}])
+        assert cache.sweep_orphans(max_age_seconds=0.0) == 0
+        assert cache.get("rows", {"n": 1}) is not None
+
+
+class TestCheckpointSalvage:
+    def test_salvage_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c": ')
+        assert salvage_jsonl_tail(path) == "truncated"
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+        assert path.read_text().endswith("\n")
+
+    def test_salvage_closes_complete_unterminated_record(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}')
+        assert salvage_jsonl_tail(path) == "closed"
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_salvage_noop_cases(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        assert salvage_jsonl_tail(path) is None  # absent
+        path.write_text("")
+        assert salvage_jsonl_tail(path) is None  # empty
+        path.write_text('{"a": 1}\n')
+        assert salvage_jsonl_tail(path) is None  # healthy
+        assert list(read_jsonl(path)) == [{"a": 1}]
+
+    def test_resume_salvages_hand_truncated_checkpoint(self, tmp_path):
+        """Regression: a checkpoint torn mid-record by a killed writer
+        must resume cleanly — complete records kept, the torn one
+        re-run, subsequent appends not concatenated onto the damage."""
+        checkpoint = tmp_path / "suite.jsonl"
+        first, _, _ = _run(CHEAP_IDS, 1, checkpoint=str(checkpoint))
+        assert first.ok
+        # Tear the final record the way SIGKILL mid-append does: the
+        # last line survives only up to its midpoint, no newline.
+        lines = checkpoint.read_bytes().splitlines(keepends=True)
+        torn = lines[-1][: len(lines[-1]) // 2].rstrip(b"\n")
+        checkpoint.write_bytes(b"".join(lines[:-1]) + torn)
+        resumed, _, metrics = _run(CHEAP_IDS, 1, checkpoint=str(checkpoint))
+        assert resumed.ok
+        counters = _counters(metrics)
+        assert counters["runner.checkpoint_salvaged"] == 1
+        assert counters["runner.checkpoint_hits"] == len(CHEAP_IDS) - 1
+        by_id = {r.experiment_id: r for r in resumed}
+        assert by_id[CHEAP_IDS[-1]].from_checkpoint is False
+        # the file healed: every line parses, the re-run was appended
+        rows = list(read_jsonl(checkpoint))
+        assert rows[-1]["experiment_id"] == CHEAP_IDS[-1]
+        assert first.fingerprint() == resumed.fingerprint()
+
+    def test_resume_closes_record_missing_only_its_newline(self, tmp_path):
+        checkpoint = tmp_path / "suite.jsonl"
+        first, _, _ = _run(CHEAP_IDS, 1, checkpoint=str(checkpoint))
+        checkpoint.write_bytes(checkpoint.read_bytes().rstrip(b"\n"))
+        resumed, _, metrics = _run(CHEAP_IDS, 1, checkpoint=str(checkpoint))
+        assert resumed.ok
+        counters = _counters(metrics)
+        assert counters["runner.checkpoint_salvaged"] == 1
+        # the record survived intact, so every experiment replays
+        assert counters["runner.checkpoint_hits"] == len(CHEAP_IDS)
+        assert all(r.from_checkpoint for r in resumed)
+
+
+class TestCrashReport:
+    """The obs-report side: crash evidence renders from trace spans."""
+
+    def _span(self, name, span_id, **attributes):
+        return {
+            "span_id": span_id, "parent_id": None, "name": name,
+            "start": 0.0, "end": 1.0, "duration": 1.0, "status": "ok",
+            "attributes": attributes,
+        }
+
+    def test_crash_breakdown_from_spans(self):
+        from repro.obs.report import build_report
+
+        spans = [
+            self._span("suite", 1, experiments=2),
+            self._span("worker_crash", 2, experiment_id="E5",
+                       exit_code=-9, exit_signal="SIGKILL", crashes=1,
+                       reason="worker process died"),
+            self._span("worker_crash", 3, experiment_id="E5",
+                       exit_code=-9, exit_signal="SIGKILL", crashes=2,
+                       reason="worker process died"),
+            self._span("pool_rebuild", 4, rebuilds=1, reason="x"),
+            self._span("pool_rebuild", 5, rebuilds=2, reason="x"),
+            self._span("quarantine", 6, experiment_id="E5",
+                       exit_code=-9, exit_signal="SIGKILL", crashes=2),
+        ]
+        crashes = build_report(spans)["worker_crashes"]
+        assert crashes["events"] == 2
+        assert crashes["causes"] == [
+            {"experiment_id": "E5", "cause": "SIGKILL", "crashes": 2}
+        ]
+        assert crashes["quarantined"][0]["experiment_id"] == "E5"
+        assert crashes["pool_rebuilds"] == 2
+        assert crashes["degraded"] is False
+
+    def test_render_includes_quarantine_table(self):
+        from repro.obs.report import render_report
+
+        spans = [
+            self._span("worker_crash", 1, experiment_id="E5",
+                       exit_code=-9, exit_signal="SIGKILL", crashes=1,
+                       reason="worker process died"),
+            self._span("quarantine", 2, experiment_id="E5",
+                       exit_code=-9, exit_signal="SIGKILL", crashes=1),
+        ]
+        text = render_report(spans)
+        assert "worker crashes" in text
+        assert "quarantined poison tasks" in text
+        assert "SIGKILL" in text
+
+    def test_clean_trace_renders_no_crash_section(self):
+        from repro.obs.report import render_report
+
+        text = render_report([self._span("suite", 1)])
+        assert "worker crashes" not in text
+
+
+class TestFaultInjectorModes:
+    """Unit coverage for the new process/disk fault modes."""
+
+    def test_worker_only_kill_passes_through_in_parent(self):
+        injector = FaultInjector(seed=7)
+        injector.register("p", mode="kill")
+        injector.call("p", lambda: 41)  # does not kill this process
+        assert injector.call("p", lambda: 41) == 41
+
+    def test_enospc_mode_raises_oserror(self):
+        injector = FaultInjector(seed=7)
+        injector.register("p", mode="enospc", times=1)
+        with pytest.raises(OSError) as excinfo:
+            injector.check("p")
+        assert excinfo.value.errno == errno.ENOSPC
+        injector.check("p")  # budget spent: passes
+
+    def test_oom_mode_raises_memory_error(self):
+        injector = FaultInjector(seed=7)
+        injector.register("p", mode="oom", oom_bytes=1024, times=1)
+        with pytest.raises(MemoryError):
+            injector.check("p")
+        injector.check("p")
+
+    def test_specs_round_trip_new_fields(self):
+        injector = FaultInjector(seed=7)
+        injector.register("p", mode="oom", oom_bytes=2048)
+        injector.register("q", mode="kill", kill_signal=15)
+        rebuilt = FaultInjector.from_specs(injector.export_specs(), seed=7)
+        specs = {spec["point"]: spec for spec in rebuilt.export_specs()}
+        assert specs["p"]["oom_bytes"] == 2048
+        assert specs["q"]["kill_signal"] == 15
