@@ -28,6 +28,24 @@ chaos-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro experiments E4 E5 E6 E10 --seed 0 \
 		--workers 2 --keep-going --max-worker-crashes 2 --json-summary -
 
+# The sweep engine end to end: a 3-point grid on a cheap experiment at
+# --workers 2, then the same grid again against the now-warm artifact
+# cache (every point must replay as source=cache).
+sweep-smoke:
+	rm -rf .sweep-smoke && mkdir -p .sweep-smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro sweep --grid seed=0,1,2 E7 \
+		--workers 2 --cache-dir .sweep-smoke/cache --results-dir .sweep-smoke/results \
+		--json-summary .sweep-smoke/cold.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro sweep --grid seed=0,1,2 E7 \
+		--workers 2 --cache-dir .sweep-smoke/cache --json-summary .sweep-smoke/warm.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -c "import json; \
+		cold = json.load(open('.sweep-smoke/cold.json')); \
+		warm = json.load(open('.sweep-smoke/warm.json')); \
+		assert cold['all_ok'] and warm['all_ok'], 'sweep points failed'; \
+		assert warm['from_cache'] == warm['total'] == 3, warm; \
+		assert cold['fingerprint'] == warm['fingerprint'], 'warm run drifted'"
+	rm -rf .sweep-smoke
+
 # One fast experiment with tracing + metrics on; `obs report` re-parses
 # the trace and fails on a malformed span, so this asserts the whole
 # export -> parse -> render path.
@@ -42,4 +60,4 @@ outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench examples experiments experiments-full check chaos-smoke obs-smoke outputs
+.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke obs-smoke outputs

@@ -1,0 +1,84 @@
+"""Sweep-engine wall clock across worker counts, plus cache hit rate.
+
+Expands one grid (seed x n_eyeballs on E7, six points) and times it
+cold at 1 and 2 workers — each against its own empty artifact cache so
+the comparison is fair — then re-runs the workers=2 grid against its
+now-warm cache and asserts every point replays as ``source="cache"``.
+Persists one JSON artifact (``results/sweep.json``) with per-run wall
+clock, speedup over the sequential cold run, and the warm-run hit rate.
+
+Every run must also produce the *same* report fingerprint — the sweep
+report zeroes durations and drops the run/cache source exactly so that
+worker count and cache state cannot change the result identity.
+"""
+
+import json
+import os
+import time
+
+from _harness import RESULTS_DIR
+
+from repro.experiments.sweep import run_sweep
+
+EXPERIMENT_ID = "E7"
+GRID = {"seed": [0, 1, 2], "n_eyeballs": [12, 18]}
+
+
+def _timed_sweep(cache_dir, workers):
+    start = time.perf_counter()
+    report = run_sweep(
+        EXPERIMENT_ID, GRID, preset="fast", workers=workers,
+        cache_dir=str(cache_dir),
+    )
+    wall = time.perf_counter() - start
+    assert report.ok, [
+        point.record.error for point in report.points if point.record.error
+    ]
+    return report, wall
+
+
+def test_sweep_wall_clock_and_cache_hit_rate(tmp_path):
+    runs = []
+    fingerprints = set()
+    for workers in (1, 2):
+        report, wall = _timed_sweep(tmp_path / f"cold-{workers}", workers)
+        assert all(point.source == "run" for point in report.points)
+        fingerprints.add(report.fingerprint())
+        runs.append({
+            "workers": workers, "cache": "cold", "wall_seconds": wall,
+            "cache_hit_rate": 0.0,
+        })
+
+    warm, wall = _timed_sweep(tmp_path / "cold-2", 2)
+    hits = sum(1 for point in warm.points if point.source == "cache")
+    assert hits == len(warm.points), "warm re-run missed the result cache"
+    fingerprints.add(warm.fingerprint())
+    runs.append({
+        "workers": 2, "cache": "warm", "wall_seconds": wall,
+        "cache_hit_rate": hits / len(warm.points),
+    })
+    assert len(fingerprints) == 1, "runs disagreed on the sweep report"
+
+    sequential = runs[0]["wall_seconds"]
+    payload = {
+        "benchmark": "sweep",
+        "experiment_id": EXPERIMENT_ID,
+        "grid": GRID,
+        "points": len(warm.points),
+        "cpu_count": os.cpu_count(),
+        "fingerprint": fingerprints.pop(),
+        "runs": [
+            {
+                **run,
+                "speedup_vs_sequential": (
+                    sequential / run["wall_seconds"]
+                    if run["wall_seconds"] else None
+                ),
+            }
+            for run in runs
+        ],
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "sweep.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

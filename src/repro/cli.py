@@ -1,18 +1,27 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a downstream user reaches for
+Six subcommands cover the workflows a downstream user reaches for
 first:
 
 - ``experiments`` (alias: ``run``): list the E1-E13 suite or run
-  selected experiments and print their result tables; ``--trace-out``,
-  ``--metrics-out``, and ``--profile-out`` switch on the
-  :mod:`repro.obs` observability layer for the run.
+  selected experiments and print their result tables; ``--set
+  key=value`` overrides individual typed spec fields, and
+  ``--trace-out``, ``--metrics-out``, and ``--profile-out`` switch on
+  the :mod:`repro.obs` observability layer for the run.
+- ``sweep``: expand a parameter grid (``--grid seed=0,1,2`` or a JSON
+  grid file) over one experiment's spec and run every point through
+  the parallel runtime, memoizing results in the artifact cache and
+  printing a per-point summary table.
 - ``obs``: observability reports — ``obs report TRACE`` renders the
   per-experiment stage-time breakdown from an exported trace.
 - ``corpus``: generate the synthetic venue corpus to JSONL files.
 - ``detect``: run method-mention detection over a text file.
 - ``audit``: evaluate a research-project record (JSON) against the
   Section-5 recommendations and the default ethics checklist.
+
+Spec-level mistakes (unknown ``--set``/``--grid`` keys, out-of-range
+or mistyped values) exit with code 2 and a one-line message naming the
+spec class and its valid fields — never a traceback.
 
 Run ``python -m repro --help`` for usage.
 """
@@ -61,7 +70,31 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             degrade=not args.no_degrade,
         )
         ids = None if args.all else (args.ids or None)
-        report = runner.run_all(ids, seed=args.seed, fast=not args.full)
+        if args.set:
+            # Explicit field overrides need a concrete spec per
+            # experiment; build them and take the spec-native path.
+            from repro.experiments.registry import (
+                all_experiments,
+                make_spec,
+                spec_class,
+            )
+            from repro.experiments.spec import parse_set_overrides
+
+            preset = "full" if args.full else "fast"
+            specs = [
+                make_spec(
+                    experiment_id,
+                    preset,
+                    seed=args.seed,
+                    overrides=parse_set_overrides(
+                        spec_class(experiment_id), args.set
+                    ),
+                )
+                for experiment_id in (ids or all_experiments())
+            ]
+            report = runner.run_points(specs)
+        else:
+            report = runner.run_all(ids, seed=args.seed, fast=not args.full)
     if tracer is not None:
         count = tracer.export(args.trace_out)
         print(f"wrote {count} spans -> {args.trace_out}", file=sys.stderr)
@@ -85,6 +118,65 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             )
         print()
 
+    if args.json_summary:
+        payload = json.dumps(report.summary(), indent=2, sort_keys=True)
+        if args.json_summary == "-":
+            print(payload)
+        else:
+            Path(args.json_summary).write_text(payload + "\n", encoding="utf-8")
+    return 0 if report.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import UnknownExperimentError
+    from repro.experiments.registry import spec_class
+    from repro.experiments.spec import parse_set_overrides
+    from repro.experiments.sweep import (
+        load_grid_file,
+        parse_grid_args,
+        run_sweep,
+    )
+
+    experiment_id = args.experiment
+    preset = args.preset
+    grid: dict[str, list] = {}
+    base: dict = {}
+    if args.grid_file:
+        data = load_grid_file(args.grid_file)
+        experiment_id = experiment_id or data["experiment"]
+        preset = preset or data["preset"]
+        grid.update(data["grid"])
+        base.update(data["base"])
+    if experiment_id is None:
+        print(
+            "error: no experiment named (pass an id or put 'experiment' "
+            "in the grid file)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        cls = spec_class(experiment_id)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    grid.update(parse_grid_args(cls, args.grid or []))
+    base.update(parse_set_overrides(cls, args.set or []))
+
+    report = run_sweep(
+        experiment_id,
+        grid,
+        preset=preset or "fast",
+        base_overrides=base,
+        workers=args.workers,
+        results_dir=args.results_dir,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout=args.timeout,
+        keep_going=True,
+    )
+    print(report.summary_table().render())
+    if args.results_dir:
+        print(f"\npoint artifacts -> {args.results_dir}", file=sys.stderr)
     if args.json_summary:
         payload = json.dumps(report.summary(), indent=2, sort_keys=True)
         if args.json_summary == "-":
@@ -307,7 +399,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="never fall back to sequential in-process execution when the "
         "worker pool keeps breaking; keep rebuilding pools instead",
     )
+    experiments.add_argument(
+        "--set", action="append", metavar="KEY=VALUE", default=[],
+        help="override a typed spec field (repeatable; dotted paths reach "
+        "nested blocks, e.g. corpus.start_year=2010)",
+    )
     experiments.set_defaults(func=_cmd_experiments)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a parameter grid over one experiment's typed spec",
+    )
+    sweep.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id (optional when the grid file names one)",
+    )
+    sweep.add_argument(
+        "--grid", action="append", metavar="KEY=V1,V2,...", default=[],
+        help="one sweep axis (repeatable); the run is the cross product",
+    )
+    sweep.add_argument(
+        "--grid-file", metavar="PATH",
+        help="JSON grid file: {experiment, grid, preset, base}",
+    )
+    sweep.add_argument(
+        "--preset", choices=["fast", "full"], default=None,
+        help="base preset the grid perturbs (default: fast)",
+    )
+    sweep.add_argument(
+        "--set", action="append", metavar="KEY=VALUE", default=[],
+        help="fixed override applied to every point (repeatable)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run points on N worker processes (1 = in-process)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed point up to N times with backoff",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock deadline across its attempts",
+    )
+    sweep.add_argument(
+        "--results-dir", metavar="DIR",
+        help="write <experiment>-<hash>/ result.txt + record.json per point",
+    )
+    sweep.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact cache; finished points are memoized by config hash "
+        "and replayed on re-run",
+    )
+    sweep.add_argument(
+        "--json-summary", metavar="PATH",
+        help="write a machine-readable sweep summary ('-' for stdout)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     obs = subparsers.add_parser(
         "obs", help="observability reports over exported traces"
@@ -360,8 +508,16 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.errors import SpecError
+
     try:
         return args.func(args)
+    except SpecError as exc:
+        # Bad --set/--grid input is a usage error: one actionable line
+        # (the message names the spec class and its valid fields), no
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output was piped to a consumer (head, less) that closed early.
         sys.stderr.close()

@@ -14,6 +14,7 @@ Hierarchy::
     │   ├── UnknownExperimentError   (also a KeyError, for back-compat)
     │   └── WorkerCrashError         a pool worker died (signal/OOM/segfault)
     ├── CheckFailure             shape-checks evaluated false
+    ├── SpecError                an experiment spec is invalid (also ValueError)
     ├── DataFormatError          persisted data is malformed (also ValueError)
     │   └── JsonlDecodeError         (also json.JSONDecodeError)
     │       └── TruncatedFileError       torn final line — likely a killed writer
@@ -151,6 +152,20 @@ class CheckFailure(ReproError):
     ) -> None:
         super().__init__(message, **context)
         self.failed_checks = tuple(failed_checks)
+
+
+class SpecError(ReproError, ValueError):
+    """An experiment spec is invalid or an override cannot be applied.
+
+    Raised by :mod:`repro.experiments.spec` on out-of-range values,
+    unknown fields, bad choices, and unparsable ``--set``/``--grid``
+    overrides.  The message is written to be shown verbatim to a CLI
+    user: one line naming the spec class, the offending field, and the
+    valid alternatives.
+
+    Also a :class:`ValueError`, so callers validating configs with a
+    generic ``except ValueError`` keep working.
+    """
 
 
 class DataFormatError(ReproError, ValueError):

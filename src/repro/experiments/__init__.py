@@ -1,4 +1,4 @@
-"""The experiment suite (E1-E12).
+"""The experiment suite (E1-E13).
 
 The paper has no tables or figures — it is a position paper — so
 DESIGN.md defines a synthetic evaluation suite mapping each of the
@@ -9,16 +9,31 @@ EXPERIMENTS.md records their expected shapes.
 
 Use :func:`repro.experiments.registry.get_experiment` /
 :func:`repro.experiments.registry.all_experiments` to enumerate and run
-them programmatically; each runner accepts ``seed`` and ``fast``
-(reduced problem sizes for CI) and returns an
-:class:`~repro.experiments.registry.ExperimentResult`.
+them programmatically.  Each experiment is configured by a typed,
+frozen :class:`~repro.experiments.spec.ExperimentSpec` subclass
+(``registry.spec_class(id)`` / ``registry.make_spec(id, ...)``) whose
+``fast``/``full`` presets reproduce the legacy ``run(seed, fast)``
+operating points exactly; the legacy signature still works and returns
+the same :class:`~repro.experiments.registry.ExperimentResult`.
 """
 
 from repro.experiments.registry import (
     ExperimentResult,
     all_experiments,
     get_experiment,
+    make_spec,
     run_all,
+    spec_class,
 )
+from repro.experiments.spec import CorpusParams, ExperimentSpec
 
-__all__ = ["ExperimentResult", "all_experiments", "get_experiment", "run_all"]
+__all__ = [
+    "CorpusParams",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "all_experiments",
+    "get_experiment",
+    "make_spec",
+    "run_all",
+    "spec_class",
+]

@@ -2,7 +2,7 @@
 
 Generating and scanning the corpus dominates those experiments' cost,
 and they test different claims on the *same* data — so the corpus is
-built once per ``(seed, fast)`` and cached at two levels:
+built once per generator config and cached at two levels:
 
 - **In memory** — a small explicit LRU (the ``lru_cache`` it replaces
   pinned corpora for interpreter lifetime with no way to release
@@ -38,11 +38,11 @@ CORPUS_ARTIFACT_KIND = "shared-corpus"
 #: disk entries become unreachable and are regenerated on demand.
 CORPUS_SCHEMA_VERSION = 1
 
-#: How many (seed, fast) corpora to keep in memory at once.
+#: How many corpora (distinct generator configs) to keep in memory at once.
 _MEMORY_SLOTS = 4
 
 _lock = threading.Lock()
-_memory: OrderedDict[tuple[int, bool], tuple[Corpus, GroundTruth]] = OrderedDict()
+_memory: OrderedDict[tuple, tuple[Corpus, GroundTruth]] = OrderedDict()
 _cache_dir: str | None = os.environ.get("REPRO_CACHE_DIR") or None
 
 
@@ -53,6 +53,20 @@ def corpus_config(seed: int = 0, fast: bool = True) -> SyntheticCorpusConfig:
         end_year=2025,
         seed=seed,
         authors_per_venue_pool=60 if fast else 120,
+    )
+
+
+def corpus_config_from_params(seed: int, params) -> SyntheticCorpusConfig:
+    """The generator config for a spec's :class:`CorpusParams` block.
+
+    ``params`` is a ``repro.experiments.spec.CorpusParams`` (duck-typed
+    here to keep this module importable without the spec layer).
+    """
+    return SyntheticCorpusConfig(
+        start_year=params.start_year,
+        end_year=params.end_year,
+        seed=seed,
+        authors_per_venue_pool=params.authors_per_venue_pool,
     )
 
 
@@ -125,7 +139,7 @@ def _deserialize(records: list[dict]) -> tuple[Corpus, GroundTruth]:
     return Corpus.from_records(tables), truth
 
 
-def _remember(key: tuple[int, bool], value: tuple[Corpus, GroundTruth]) -> None:
+def _remember(key: tuple, value: tuple[Corpus, GroundTruth]) -> None:
     """Insert into the in-memory LRU, evicting the oldest past capacity."""
     with _lock:
         _memory[key] = value
@@ -137,17 +151,31 @@ def _remember(key: tuple[int, bool], value: tuple[Corpus, GroundTruth]) -> None:
 def shared_corpus(seed: int = 0, fast: bool = True) -> tuple[Corpus, GroundTruth]:
     """The E1-E3/E12 corpus: 2000-2025 full, 2016-2025 in fast mode.
 
-    Resolution order: in-memory LRU, then the configured on-disk
-    artifact cache (corrupt entries fall back to regeneration), then
+    Legacy entry point; spec-driven experiments call
+    :func:`shared_corpus_from_config` with an explicit generator config
+    instead.  Both paths share the caches — the two legacy operating
+    points are just two configs.
+    """
+    return shared_corpus_from_config(corpus_config(seed=seed, fast=fast))
+
+
+def shared_corpus_from_config(
+    config: SyntheticCorpusConfig,
+) -> tuple[Corpus, GroundTruth]:
+    """The shared corpus for an explicit generator config.
+
+    Resolution order: in-memory LRU (keyed by the *full* config, so
+    sweep points with different corpus shapes never alias), then the
+    configured on-disk artifact cache (corrupt entries fall back to
+    regeneration), then
     :func:`repro.bibliometrics.synthgen.generate_corpus` — whose output
     is written back to both layers.
     """
-    key = (seed, fast)
+    key = tuple(sorted(asdict(config).items()))
     with _lock:
         if key in _memory:
             _memory.move_to_end(key)
             return _memory[key]
-    config = corpus_config(seed=seed, fast=fast)
     if _cache_dir is not None:
         cache = ArtifactCache(_cache_dir, version=CORPUS_SCHEMA_VERSION)
 

@@ -11,20 +11,47 @@ corpus years but stays a small minority.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.bibliometrics.statistics import (
     chi_squared_independence,
     proportion_confint,
     two_proportion_test,
 )
 from repro.bibliometrics.trends import venue_adoption_table
-from repro.experiments._corpus import shared_corpus
+from repro.experiments._corpus import (
+    corpus_config_from_params,
+    shared_corpus_from_config,
+)
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import CorpusParams, ExperimentSpec, resolve_spec
 from repro.io.tables import Table
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E1Spec(ExperimentSpec):
+    """Knobs for E1: the shared corpus shape."""
+
+    corpus: CorpusParams = CorpusParams()
+
+    EXPERIMENT_ID: ClassVar[str] = "E1"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"corpus": CorpusParams(**CorpusParams.FULL)},
+    }
+
+
+def run(
+    spec: E1Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E1; see module docstring for the expected shape."""
-    corpus, _ = shared_corpus(seed=seed, fast=fast)
+    spec = resolve_spec(E1Spec, spec, fast, seed)
+    corpus, _ = shared_corpus_from_config(
+        corpus_config_from_params(spec.seed, spec.corpus)
+    )
     records = venue_adoption_table(corpus)
 
     per_venue = Table(

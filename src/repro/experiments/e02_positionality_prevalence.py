@@ -14,15 +14,42 @@ pipeline, not linguistics).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.core.positionality import has_positionality_statement
-from repro.experiments._corpus import shared_corpus
+from repro.experiments._corpus import (
+    corpus_config_from_params,
+    shared_corpus_from_config,
+)
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import CorpusParams, ExperimentSpec, resolve_spec
 from repro.io.tables import Table
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E2Spec(ExperimentSpec):
+    """Knobs for E2: the shared corpus shape."""
+
+    corpus: CorpusParams = CorpusParams()
+
+    EXPERIMENT_ID: ClassVar[str] = "E2"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"corpus": CorpusParams(**CorpusParams.FULL)},
+    }
+
+
+def run(
+    spec: E2Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E2; see module docstring for the expected shape."""
-    corpus, truth = shared_corpus(seed=seed, fast=fast)
+    spec = resolve_spec(E2Spec, spec, fast, seed)
+    corpus, truth = shared_corpus_from_config(
+        corpus_config_from_params(spec.seed, spec.corpus)
+    )
 
     per_kind: dict[str, dict[str, int]] = {}
     true_positive = false_positive = false_negative = 0

@@ -17,19 +17,46 @@ not about how many technical topics the agenda spans.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.bibliometrics.demographics import room_report
 from repro.bibliometrics.metrics import hhi, shannon_diversity
-from repro.experiments._corpus import shared_corpus
+from repro.experiments._corpus import (
+    corpus_config_from_params,
+    shared_corpus_from_config,
+)
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import CorpusParams, ExperimentSpec, resolve_spec
 from repro.io.tables import Table
 
 HYPERSCALER_TOPICS = frozenset({"datacenter", "transport", "routing"})
 COMMUNITY_TOPICS = frozenset({"community-networks", "accessibility", "policy"})
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E3Spec(ExperimentSpec):
+    """Knobs for E3: the shared corpus shape."""
+
+    corpus: CorpusParams = CorpusParams()
+
+    EXPERIMENT_ID: ClassVar[str] = "E3"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"corpus": CorpusParams(**CorpusParams.FULL)},
+    }
+
+
+def run(
+    spec: E3Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E3; see module docstring for the expected shape."""
-    corpus, _ = shared_corpus(seed=seed, fast=fast)
+    spec = resolve_spec(E3Spec, spec, fast, seed)
+    corpus, _ = shared_corpus_from_config(
+        corpus_config_from_params(spec.seed, spec.corpus)
+    )
 
     stats: dict[str, dict] = {}
     for paper in corpus:

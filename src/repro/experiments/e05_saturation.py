@@ -20,12 +20,35 @@ saturation point lands well before the full budget.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import ExperimentSpec, resolve_spec, spec_field
 from repro.io.tables import Table
 from repro.qualcoding.codebook import Codebook
 from repro.qualcoding.saturation import bootstrap_saturation
 from repro.qualcoding.segments import CodingSession, Document
+
+
+@dataclass(frozen=True)
+class E5Spec(ExperimentSpec):
+    """Knobs for E5: study size and bootstrap effort.
+
+    The interview count defaults to 40 in both presets (the 40%-budget
+    claim is about this study size); fast mode saves on bootstrap
+    orderings instead.
+    """
+
+    n_interviews: int = spec_field(40, minimum=4, maximum=1000, help="interviews in the synthetic study")
+    n_codes: int = spec_field(30, minimum=2, maximum=500, help="codebook size")
+    n_orderings: int = spec_field(50, minimum=2, maximum=10_000, help="bootstrap interview orderings")
+
+    EXPERIMENT_ID: ClassVar[str] = "E5"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"n_orderings": 200},
+    }
 
 
 def build_interview_study(
@@ -57,15 +80,19 @@ def build_interview_study(
     return session
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+def run(
+    spec: E5Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E5; see module docstring for the expected shape."""
-    # The interview count stays at 40 in both modes (the 40%-budget
-    # claim is about this study size); fast mode saves on bootstrap
-    # orderings instead.
-    n_interviews = 40
-    session = build_interview_study(n_interviews=n_interviews, seed=seed)
+    spec = resolve_spec(E5Spec, spec, fast, seed)
+    n_interviews = spec.n_interviews
+    session = build_interview_study(
+        n_interviews=n_interviews, n_codes=spec.n_codes, seed=spec.seed
+    )
     boot = bootstrap_saturation(
-        session, n_orderings=50 if fast else 200, seed=seed
+        session, n_orderings=spec.n_orderings, seed=spec.seed
     )
     mean_curve = boot["mean_curve"]
     total = mean_curve[-1]

@@ -16,15 +16,38 @@ loophole is in *how the regulator identifies the operator*.)
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import ExperimentSpec, resolve_spec, spec_field
 from repro.io.tables import Table
 from repro.netsim.bgp.scenarios import run_mandatory_peering_study
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E6Spec(ExperimentSpec):
+    """Knobs for E6: market size."""
+
+    n_small_isps: int = spec_field(20, minimum=2, maximum=500, help="small ISPs in the synthetic market")
+
+    EXPERIMENT_ID: ClassVar[str] = "E6"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"n_small_isps": 40},
+    }
+
+
+def run(
+    spec: E6Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E6; see module docstring for the expected shape."""
-    n_small_isps = 20 if fast else 40
-    results = run_mandatory_peering_study(n_small_isps=n_small_isps, seed=seed)
+    spec = resolve_spec(E6Spec, spec, fast, seed)
+    results = run_mandatory_peering_study(
+        n_small_isps=spec.n_small_isps, seed=spec.seed
+    )
 
     table = Table(
         [

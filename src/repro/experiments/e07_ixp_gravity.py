@@ -15,16 +15,45 @@ tromboning falls.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import ExperimentSpec, resolve_spec, spec_field
 from repro.io.tables import Table
 from repro.netsim.bgp.scenarios import run_gravity_study
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E7Spec(ExperimentSpec):
+    """Knobs for E7: eyeball count and the PoP-presence sweep axis."""
+
+    n_eyeballs: int = spec_field(18, minimum=2, maximum=500, help="eyeball ISPs in the South region")
+    pop_presence_levels: tuple[float, ...] = spec_field(
+        (0.0, 0.34, 0.67, 1.0),
+        minimum=0.0,
+        maximum=1.0,
+        help="content-PoP presence levels swept (the IXP-density axis)",
+    )
+
+    EXPERIMENT_ID: ClassVar[str] = "E7"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"n_eyeballs": 30},
+    }
+
+
+def run(
+    spec: E7Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E7; see module docstring for the expected shape."""
+    spec = resolve_spec(E7Spec, spec, fast, seed)
     records = run_gravity_study(
-        n_eyeballs=18 if fast else 30,
-        seed=seed,
+        presence_levels=spec.pop_presence_levels,
+        n_eyeballs=spec.n_eyeballs,
+        seed=spec.seed,
     )
     table = Table(
         [

@@ -15,22 +15,46 @@ paper's interaction argument in miniature.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import ExperimentSpec, resolve_spec, spec_field
 from repro.io.tables import Table
 from repro.netsim.community.deployment import run_deployment_study
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E8Spec(ExperimentSpec):
+    """Knobs for E8: averaging window and simulated horizon."""
+
+    n_seeds: int = spec_field(3, minimum=1, maximum=64, help="per-variant seeds averaged")
+    months: int = spec_field(18, minimum=1, maximum=240, help="simulated deployment horizon")
+
+    EXPERIMENT_ID: ClassVar[str] = "E8"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"n_seeds": 8, "months": 24},
+    }
+
+
+def run(
+    spec: E8Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E8; see module docstring for the expected shape.
 
-    ``seed`` offsets the seed range used for the per-variant averages.
+    ``spec.seed`` offsets the seed range used for the per-variant
+    averages.
     """
-    n_seeds = 3 if fast else 8
-    months = 18 if fast else 24
+    spec = resolve_spec(E8Spec, spec, fast, seed)
     # run_deployment_study uses seeds 0..n-1 internally; fold the caller
     # seed in by widening the average window when seed > 0.
     results = run_deployment_study(
-        n_seeds=n_seeds + (seed % 2), months=months, ablations=True
+        n_seeds=spec.n_seeds + (spec.seed % 2),
+        months=spec.months,
+        ablations=True,
     )
 
     table = Table(

@@ -14,15 +14,43 @@ falls as sanctions harden — the knob a community actually debates.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import ExperimentSpec, resolve_spec, spec_field
 from repro.io.tables import Table
 from repro.netsim.community.congestion import run_congestion_study
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E9Spec(ExperimentSpec):
+    """Knobs for E9: horizon and the sanction-strength ablation axis."""
+
+    n_rounds: int = spec_field(120, minimum=10, maximum=100_000, help="allocation rounds simulated")
+    sanction_factors: tuple[float, ...] = spec_field(
+        (0.8, 0.5, 0.2),
+        minimum=0.0,
+        maximum=1.0,
+        help="CPR sanction factors ablated",
+    )
+
+    EXPERIMENT_ID: ClassVar[str] = "E9"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"n_rounds": 400},
+    }
+
+
+def run(
+    spec: E9Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E9; see module docstring for the expected shape."""
-    n_rounds = 120 if fast else 400
-    results = run_congestion_study(n_rounds=n_rounds, seed=seed)
+    spec = resolve_spec(E9Spec, spec, fast, seed)
+    n_rounds = spec.n_rounds
+    results = run_congestion_study(n_rounds=n_rounds, seed=spec.seed)
 
     table = Table(
         [
@@ -48,9 +76,9 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         ["sanction_factor", "jain", "satisfaction", "heavy_user_sat"],
         title="E9b: CPR sanction-strength ablation",
     )
-    for factor in (0.8, 0.5, 0.2):
+    for factor in spec.sanction_factors:
         record = run_congestion_study(
-            n_rounds=n_rounds, seed=seed, sanction_factor=factor
+            n_rounds=n_rounds, seed=spec.seed, sanction_factor=factor
         )["cpr"]
         ablation.add_row(
             [

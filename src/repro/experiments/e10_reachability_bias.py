@@ -24,7 +24,11 @@ attempt cost.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import ExperimentSpec, resolve_spec, spec_field
 from repro.io.tables import Table
 from repro.surveys.respondents import default_population
 from repro.surveys.sampling import (
@@ -35,10 +39,30 @@ from repro.surveys.sampling import (
 )
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class E10Spec(ExperimentSpec):
+    """Knobs for E10: population size and recruiting target."""
+
+    population_size: int = spec_field(600, minimum=50, maximum=100_000, help="stakeholder population size")
+    target: int = spec_field(80, minimum=10, maximum=10_000, help="recruits per sampling scheme")
+
+    EXPERIMENT_ID: ClassVar[str] = "E10"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {"population_size": 2000, "target": 200},
+    }
+
+
+def run(
+    spec: E10Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E10; see module docstring for the expected shape."""
-    population = default_population(size=600 if fast else 2000, seed=seed)
-    target = 80 if fast else 200
+    spec = resolve_spec(E10Spec, spec, fast, seed)
+    seed = spec.seed
+    population = default_population(size=spec.population_size, seed=seed)
+    target = spec.target
     per_stratum = max(5, target // len(population.strata()))
 
     samples = {

@@ -11,13 +11,25 @@ other two sub-scores untouched (separability).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.core.par import EngagementEvent, EngagementKind, EngagementLedger
 from repro.core.positionality import PositionalityStatement
 from repro.core.project import ConversationRecord, Partner, ResearchProject
 from repro.core.recommendations import audit_project
 from repro.core.stages import ResearchStage
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import ExperimentSpec, resolve_spec
 from repro.io.tables import Table
+
+
+@dataclass(frozen=True)
+class E11Spec(ExperimentSpec):
+    """Knobs for E11 — none beyond ``seed``; the audit is deterministic."""
+
+    EXPERIMENT_ID: ClassVar[str] = "E11"
+    PRESETS: ClassVar[dict[str, dict]] = {"fast": {}, "full": {}}
 
 
 def build_reference_project() -> ResearchProject:
@@ -119,8 +131,13 @@ def _strip_partnership_docs(project: ResearchProject) -> ResearchProject:
     return stripped
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
-    """Run E11 (deterministic; ``seed``/``fast`` accepted for uniformity)."""
+def run(
+    spec: E11Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Run E11 (deterministic; the spec exists for uniformity)."""
+    resolve_spec(E11Spec, spec, fast, seed)
     variants: dict[str, ResearchProject] = {"full": build_reference_project()}
 
     variants["no_partnership_docs"] = _strip_partnership_docs(

@@ -20,9 +20,21 @@ qualitative engagement with the right actors covers much of the system.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar
+
 from repro.bibliometrics.metrics import gini, top_k_share
-from repro.experiments._corpus import shared_corpus
+from repro.experiments._corpus import (
+    corpus_config_from_params,
+    shared_corpus_from_config,
+)
 from repro.experiments.registry import ExperimentResult, make_result
+from repro.experiments.spec import (
+    CorpusParams,
+    ExperimentSpec,
+    resolve_spec,
+    spec_field,
+)
 from repro.io.tables import Table
 from repro.netsim.bgp.ixp import connect_ixp_members
 from repro.netsim.bgp.routing import propagate_routes
@@ -30,10 +42,27 @@ from repro.netsim.bgp.scenarios import build_mandatory_peering_scenario
 from repro.netsim.bgp.traffic import resolve_flows
 
 
-def _traffic_concentration(seed: int, fast: bool) -> list[tuple[int, float]]:
+@dataclass(frozen=True)
+class E12Spec(ExperimentSpec):
+    """Knobs for E12: the interconnection market and the corpus shape."""
+
+    n_small_isps: int = spec_field(20, minimum=2, maximum=500, help="small ISPs in the synthetic market")
+    corpus: CorpusParams = CorpusParams()
+
+    EXPERIMENT_ID: ClassVar[str] = "E12"
+    PRESETS: ClassVar[dict[str, dict]] = {
+        "fast": {},
+        "full": {
+            "n_small_isps": 40,
+            "corpus": CorpusParams(**CorpusParams.FULL),
+        },
+    }
+
+
+def _traffic_concentration(seed: int, n_small_isps: int) -> list[tuple[int, float]]:
     """Share of delivered domestic volume touching the top-k ASes."""
     scenario = build_mandatory_peering_scenario(
-        n_small_isps=20 if fast else 40, seed=seed
+        n_small_isps=n_small_isps, seed=seed
     )
     connect_ixp_members(scenario.graph, scenario.ixp)
     table = propagate_routes(scenario.graph)
@@ -58,9 +87,14 @@ def _traffic_concentration(seed: int, fast: bool) -> list[tuple[int, float]]:
     return shares
 
 
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+def run(
+    spec: E12Spec | None = None,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> ExperimentResult:
     """Run E12; see module docstring for the expected shape."""
-    traffic_shares = _traffic_concentration(seed, fast)
+    spec = resolve_spec(E12Spec, spec, fast, seed)
+    traffic_shares = _traffic_concentration(spec.seed, spec.n_small_isps)
     traffic_table = Table(
         ["top_k_ases", "traffic_touch_share"],
         title="E12a: domestic traffic touching the top-k ASes",
@@ -68,7 +102,9 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
     for k, share in traffic_shares:
         traffic_table.add_row([k, share])
 
-    corpus, _ = shared_corpus(seed=seed, fast=fast)
+    corpus, _ = shared_corpus_from_config(
+        corpus_config_from_params(spec.seed, spec.corpus)
+    )
     citation_counts = corpus.citation_counts()
     counts = [citation_counts.get(p.paper_id, 0) for p in corpus]
     n = len(counts)

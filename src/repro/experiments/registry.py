@@ -95,7 +95,9 @@ class ExperimentResult:
     """Output of one experiment run.
 
     Attributes:
-        experiment_id: "E1".."E12".
+        experiment_id: An id from :func:`all_experiments` ("E1".."E13"
+            today; the registry, not this docstring, is the source of
+            truth for the count).
         title: Human-readable title.
         claim: The paper claim being tested.
         tables: Result tables (rendered into bench output and
@@ -135,6 +137,31 @@ class ExperimentResult:
                 stage="check",
             )
 
+    def to_payload(self) -> dict:
+        """The result as JSON-safe data (inverse of :meth:`from_payload`).
+
+        This is what the sweep engine stores in the artifact cache and
+        writes to per-point ``record.json`` files.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "tables": [table.to_payload() for table in self.tables],
+            "checks": dict(self.checks),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> ExperimentResult:
+        """Rebuild a result from :meth:`to_payload` output."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload.get("title", ""),
+            claim=payload.get("claim", ""),
+            tables=[Table.from_payload(t) for t in payload.get("tables", [])],
+            checks={k: bool(v) for k, v in payload.get("checks", {}).items()},
+        )
+
 
 def all_experiments() -> list[str]:
     """Experiment ids in suite order."""
@@ -159,37 +186,95 @@ def _traced(
     experiment_id: str,
     stage: str,
     run_fn: Callable[..., ExperimentResult],
+    spec_cls: type | None = None,
 ) -> Callable[..., ExperimentResult]:
     """Wrap an experiment runner in a ``<stage>.run`` tracing span.
 
     The span is opened against :func:`repro.obs.tracing.current_tracer`
     at call time, so one ``use_tracer`` block traces the whole suite —
-    including runs dispatched from worker threads and benchmarks.
+    including runs dispatched from worker threads and benchmarks.  When
+    the experiment has a spec class, every calling convention is
+    resolved to a spec *here* — the span then carries the spec's seed
+    and ``config_hash`` and the experiment body only ever sees a spec.
     """
+    from repro.experiments.spec import resolve_spec
 
     @functools.wraps(run_fn)
     def traced_run(*args, **kwargs) -> ExperimentResult:
+        if spec_cls is not None:
+            spec = resolve_spec(
+                spec_cls,
+                args[0] if args else kwargs.get("spec"),
+                args[1] if len(args) > 1 else kwargs.get("fast"),
+                kwargs.get("seed"),
+            )
+            with current_tracer().span(
+                f"{stage}.run",
+                experiment_id=experiment_id,
+                stage="run",
+                seed=spec.seed,
+                config_hash=spec.config_hash(),
+            ):
+                return run_fn(spec)
         with current_tracer().span(
             f"{stage}.run",
             experiment_id=experiment_id,
             stage="run",
             seed=kwargs.get("seed"),
-            fast=kwargs.get("fast"),
         ):
             return run_fn(*args, **kwargs)
 
     return traced_run
 
 
-def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    """The runner for ``experiment_id`` (signature: ``run(seed=0, fast=False)``).
+def spec_class(experiment_id: str) -> type:
+    """The :class:`repro.experiments.spec.ExperimentSpec` subclass for an id.
 
-    The returned callable is the experiment's ``run`` wrapped in a
-    tracing stage span (see :func:`_traced`).
+    By convention the class is named ``<id>Spec`` (``E7Spec``) and lives
+    in the experiment's module.
     """
     module_name, _, _ = _lookup(experiment_id)
     module = importlib.import_module(module_name)
-    return _traced(experiment_id, _stage_name(module_name), module.run)
+    cls = getattr(module, f"{experiment_id}Spec", None)
+    if cls is None:
+        raise UnknownExperimentError(
+            f"experiment {experiment_id!r} defines no {experiment_id}Spec class"
+        )
+    return cls
+
+
+def make_spec(
+    experiment_id: str,
+    preset: str = "fast",
+    seed: int = 0,
+    overrides: dict | None = None,
+):
+    """Build the named preset spec for ``experiment_id`` with overrides.
+
+    ``overrides`` maps (possibly dotted) field paths to values — raw
+    strings from the CLI are coerced to the declared field types; see
+    :func:`repro.experiments.spec.apply_overrides`.
+    """
+    from repro.experiments.spec import apply_overrides
+
+    spec = spec_class(experiment_id).preset(preset, seed=seed)
+    if overrides:
+        spec = apply_overrides(spec, overrides)
+    return spec
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The runner for ``experiment_id``.
+
+    The returned callable accepts a spec (``run(spec)``) or the legacy
+    signature (``run(seed=0, fast=True)``, fingerprint-identical to the
+    matching preset), and is wrapped in a tracing stage span (see
+    :func:`_traced`).
+    """
+    module_name, _, _ = _lookup(experiment_id)
+    module = importlib.import_module(module_name)
+    cls = getattr(module, f"{experiment_id}Spec", None)
+    return _traced(experiment_id, _stage_name(module_name), module.run, cls)
 
 
 def describe(experiment_id: str) -> tuple[str, str]:

@@ -54,6 +54,25 @@ class Table:
         """Rows as dicts keyed by column name (for JSONL persistence)."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
+    def to_payload(self) -> dict:
+        """The full table as one JSON-safe dict (inverse of :meth:`from_payload`)."""
+        return {
+            "columns": list(self.columns),
+            "title": self.title,
+            "precision": self.precision,
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> Table:
+        """Rebuild a table from :meth:`to_payload` output."""
+        return cls(
+            columns=list(payload["columns"]),
+            title=payload.get("title", ""),
+            precision=payload.get("precision", 3),
+            rows=[list(row) for row in payload.get("rows", [])],
+        )
+
 
 def render_kv(
     pairs: Sequence[tuple[str, object]],

@@ -46,9 +46,15 @@ def worker_init() -> None:
         pass
 
 
-def make_task(runner: "SuiteRunner", experiment_id: str, seed: int, fast: bool,
-              cache_dir: str | None) -> dict:
-    """The picklable task for running ``experiment_id`` in a worker."""
+def make_task(runner: "SuiteRunner", point, cache_dir: str | None) -> dict:
+    """The picklable task for running one suite point in a worker.
+
+    ``point`` is the runner's resolved ``_Point``: the spec (when the
+    experiment has one) travels as its ``to_dict()`` payload plus
+    ``config_hash`` and is reconstructed in the worker, so a sweep
+    point's exact configuration survives pickling, crash-requeue, and
+    pool rebuilds; legacy/synthetic points carry only ``(seed, fast)``.
+    """
     policy = runner.policy
     fault = None
     if runner.fault_injector is not None:
@@ -57,9 +63,11 @@ def make_task(runner: "SuiteRunner", experiment_id: str, seed: int, fast: bool,
             "specs": runner.fault_injector.export_specs(),
         }
     return {
-        "experiment_id": experiment_id,
-        "seed": seed,
-        "fast": fast,
+        "experiment_id": point.experiment_id,
+        "seed": point.seed,
+        "fast": point.fast,
+        "spec": point.spec_dict(),
+        "config_hash": point.config_hash,
         "timeout": runner.timeout,
         "strict_checks": runner.strict_checks,
         "profile_dir": runner.profile_dir,
@@ -125,12 +133,18 @@ def run_experiment_task(task: dict) -> dict:
         fault_injector=fault_injector,
         profile_dir=task["profile_dir"],
     )
+    spec = None
+    if task.get("spec") is not None:
+        from repro.experiments.registry import spec_class
+
+        spec = spec_class(task["experiment_id"]).from_dict(task["spec"])
     tracer = Tracer()
     metrics = MetricsRegistry()
     with use_tracer(tracer), use_metrics(metrics), \
             use_fault_injector(fault_injector):
         record = runner.run_one(
-            task["experiment_id"], seed=task["seed"], fast=task["fast"]
+            task["experiment_id"], seed=task["seed"], fast=task["fast"],
+            spec=spec,
         )
     return {
         "record": record.to_record(),
@@ -151,7 +165,8 @@ def record_from_payload(payload: dict) -> "RunRecord":
 
 
 def failure_payload(exc: BaseException, experiment_id: str, seed: int,
-                    fast: bool) -> dict:
+                    fast: bool, config_hash: str | None = None,
+                    spec: dict | None = None) -> dict:
     """A shard for a worker that died instead of returning one.
 
     A hard crash (e.g. ``BrokenProcessPool`` after a segfault or OOM
@@ -183,6 +198,8 @@ def failure_payload(exc: BaseException, experiment_id: str, seed: int,
             "error": error,
             "error_type": type(exc).__name__,
             "crash": crash,
+            "config_hash": config_hash,
+            "spec": spec,
         },
         "result": None,
         "spans": [],

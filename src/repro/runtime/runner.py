@@ -129,6 +129,11 @@ class RunRecord:
         from_checkpoint: True when replayed from a checkpoint file
             rather than executed.
         result: The live :class:`ExperimentResult` (None when replayed).
+        config_hash: The spec's ``config_hash()`` — the run's full
+            configuration identity (None for experiments without a
+            registered spec class, e.g. synthetic test ids).
+        spec: The spec's ``to_dict()`` payload, for post-hoc inspection
+            of exactly what ran (None when no spec was resolved).
     """
 
     experiment_id: str
@@ -143,6 +148,8 @@ class RunRecord:
     crash: dict | None = None
     from_checkpoint: bool = False
     result: ExperimentResult | None = None
+    config_hash: str | None = None
+    spec: dict | None = None
 
     @property
     def shape_holds(self) -> bool:
@@ -163,6 +170,8 @@ class RunRecord:
             "error": self.error,
             "error_type": self.error_type,
             "crash": self.crash,
+            "config_hash": self.config_hash,
+            "spec": self.spec,
         }
 
     @classmethod
@@ -180,7 +189,40 @@ class RunRecord:
             error_type=record.get("error_type"),
             crash=record.get("crash"),
             from_checkpoint=True,
+            config_hash=record.get("config_hash"),
+            spec=record.get("spec"),
         )
+
+
+@dataclass(frozen=True)
+class _Point:
+    """One schedulable unit: an experiment id plus its resolved config.
+
+    Registered experiments always carry a spec (resolved from the
+    legacy ``(seed, fast)`` arguments when necessary), so their
+    checkpoint and cache identity is the spec's ``config_hash()``.
+    Unknown ids — synthetic experiments that tests monkeypatch in —
+    have no spec class and fall back to legacy ``(seed, fast)``
+    calling and keying.
+    """
+
+    experiment_id: str
+    seed: int
+    fast: bool
+    spec: object | None = None
+
+    @property
+    def config_hash(self) -> str | None:
+        return self.spec.config_hash() if self.spec is not None else None
+
+    def spec_dict(self) -> dict | None:
+        return self.spec.to_dict() if self.spec is not None else None
+
+    def key(self) -> tuple:
+        """The checkpoint/resume identity of this point."""
+        if self.spec is not None:
+            return ("spec", self.experiment_id, self.spec.config_hash())
+        return ("legacy", self.experiment_id, self.seed, self.fast)
 
 
 @dataclass
@@ -348,10 +390,48 @@ class SuiteRunner:
         """The metrics registry in effect (explicit, else process-wide)."""
         return self._metrics if self._metrics is not None else current_metrics()
 
+    # -- point resolution ----------------------------------------------
+
+    def _make_point(
+        self, experiment_id: str, seed: int, fast: bool, spec=None
+    ) -> _Point:
+        """Resolve the spec for a legacy ``(id, seed, fast)`` request.
+
+        Unknown ids (synthetic experiments injected by tests through a
+        patched ``get_experiment``) have no spec class; they keep the
+        legacy calling convention and keying.
+        """
+        if spec is None:
+            from repro.experiments.registry import make_spec
+
+            try:
+                spec = make_spec(
+                    experiment_id, "fast" if fast else "full", seed=seed
+                )
+            except UnknownExperimentError:
+                spec = None
+        return _Point(experiment_id, seed, fast, spec)
+
+    @staticmethod
+    def _point_from_spec(spec) -> _Point:
+        """The point for an explicit spec (sweep engine entry path)."""
+        experiment_id = type(spec).EXPERIMENT_ID
+        if not experiment_id:
+            raise UnknownExperimentError(
+                f"{type(spec).__name__} declares no EXPERIMENT_ID"
+            )
+        fast = spec.origin_preset != "full"
+        return _Point(experiment_id, spec.seed, fast, spec)
+
     # -- checkpointing -------------------------------------------------
 
-    def _load_checkpoint(self) -> dict[tuple[str, int, bool], RunRecord]:
-        """Completed records keyed by (experiment_id, seed, fast).
+    def _load_checkpoint(self) -> dict[tuple, RunRecord]:
+        """Completed records keyed by point identity.
+
+        Each ``ok`` row is stored under its legacy
+        ``(experiment_id, seed, fast)`` key and — when the row carries
+        a ``config_hash`` — under the spec-hash key as well, so both
+        spec-driven points and legacy synthetic ids resume.
 
         A checkpoint whose final line was torn by a killed writer is
         salvaged first (:func:`repro.io.jsonl.salvage_jsonl_tail`):
@@ -365,7 +445,7 @@ class SuiteRunner:
             return {}
         if salvage_jsonl_tail(self.checkpoint) is not None:
             self.metrics.count("runner.checkpoint_salvaged")
-        completed: dict[tuple[str, int, bool], RunRecord] = {}
+        completed: dict[tuple, RunRecord] = {}
         try:
             rows = list(read_jsonl(self.checkpoint, on_error="skip"))
         except FileNotFoundError:
@@ -374,7 +454,13 @@ class SuiteRunner:
             if row.get("status") != "ok":
                 continue  # failed runs are retried on resume
             record = RunRecord.from_record(row)
-            completed[(record.experiment_id, record.seed, record.fast)] = record
+            completed[
+                ("legacy", record.experiment_id, record.seed, record.fast)
+            ] = record
+            if record.config_hash:
+                completed[
+                    ("spec", record.experiment_id, record.config_hash)
+                ] = record
         return completed
 
     def _append_checkpoint(self, record: RunRecord) -> None:
@@ -386,9 +472,7 @@ class SuiteRunner:
     def _call_experiment(
         self,
         run_fn: Callable[..., ExperimentResult],
-        experiment_id: str,
-        seed: int,
-        fast: bool,
+        point: _Point,
     ) -> ExperimentResult:
         if self.profile_dir is not None:
             # Imported lazily: profiling is opt-in and cProfile should
@@ -397,54 +481,55 @@ class SuiteRunner:
 
             return profile_call(
                 self._call_experiment_inner,
-                Path(self.profile_dir) / f"{experiment_id}.pstats",
+                Path(self.profile_dir) / f"{point.experiment_id}.pstats",
                 run_fn,
-                experiment_id,
-                seed,
-                fast,
+                point,
             )
-        return self._call_experiment_inner(run_fn, experiment_id, seed, fast)
+        return self._call_experiment_inner(run_fn, point)
 
     def _call_experiment_inner(
         self,
         run_fn: Callable[..., ExperimentResult],
-        experiment_id: str,
-        seed: int,
-        fast: bool,
+        point: _Point,
     ) -> ExperimentResult:
+        if point.spec is not None:
+            if self.fault_injector is not None:
+                return self.fault_injector.call(
+                    f"experiment:{point.experiment_id}", run_fn, point.spec
+                )
+            return run_fn(point.spec)
         if self.fault_injector is not None:
             return self.fault_injector.call(
-                f"experiment:{experiment_id}", run_fn, seed=seed, fast=fast
+                f"experiment:{point.experiment_id}",
+                run_fn,
+                seed=point.seed,
+                fast=point.fast,
             )
-        return run_fn(seed=seed, fast=fast)
+        return run_fn(seed=point.seed, fast=point.fast)
 
     def _attempt(
         self,
         run_fn: Callable[..., ExperimentResult],
-        experiment_id: str,
-        seed: int,
-        fast: bool,
+        point: _Point,
         deadline: float | None,
     ) -> ExperimentResult:
         """One attempt, deadline-enforced when a timeout is set."""
         if deadline is None:
-            return self._call_experiment(run_fn, experiment_id, seed, fast)
+            return self._call_experiment(run_fn, point)
         remaining = deadline - self._clock()
         if remaining <= 0:
             raise BudgetExceeded(
                 "deadline exhausted before attempt started",
                 budget=self.timeout,
-                experiment_id=experiment_id,
-                seed=seed,
+                experiment_id=point.experiment_id,
+                seed=point.seed,
                 stage="run",
             )
         outcome: dict[str, object] = {}
 
         def worker() -> None:
             try:
-                outcome["result"] = self._call_experiment(
-                    run_fn, experiment_id, seed, fast
-                )
+                outcome["result"] = self._call_experiment(run_fn, point)
             except BaseException as exc:  # noqa: BLE001 - relayed below
                 outcome["error"] = exc
 
@@ -452,7 +537,7 @@ class SuiteRunner:
         # non-daemon, so a hung experiment would keep the interpreter
         # alive at exit even though the suite long since timed out.
         thread = threading.Thread(
-            target=worker, name=f"repro-{experiment_id}", daemon=True
+            target=worker, name=f"repro-{point.experiment_id}", daemon=True
         )
         thread.start()
         thread.join(timeout=remaining)
@@ -475,8 +560,8 @@ class SuiteRunner:
                 f"experiment exceeded its {self.timeout}s deadline",
                 budget=self.timeout,
                 spent=self.timeout,
-                experiment_id=experiment_id,
-                seed=seed,
+                experiment_id=point.experiment_id,
+                seed=point.seed,
                 stage="run",
             )
         if "error" in outcome:
@@ -484,19 +569,36 @@ class SuiteRunner:
         return outcome["result"]
 
     def run_one(
-        self, experiment_id: str, seed: int = 0, fast: bool = True
+        self,
+        experiment_id: str,
+        seed: int = 0,
+        fast: bool = True,
+        spec=None,
     ) -> RunRecord:
         """Run one experiment under the full retry/deadline policy.
 
-        Never raises when ``keep_going`` is True; the failure is
-        captured in the returned record.  The run is wrapped in an
-        ``experiment`` span with one ``attempt`` span per attempt, and
-        the outcome lands in the ``runner.*`` counters.
+        ``spec`` — an :class:`repro.experiments.spec.ExperimentSpec` —
+        pins the exact configuration; without it, the matching
+        ``fast``/``full`` preset at ``seed`` is resolved from the
+        registry (ids without a spec class keep the legacy calling
+        convention).  Never raises when ``keep_going`` is True; the
+        failure is captured in the returned record.  The run is
+        wrapped in an ``experiment`` span with one ``attempt`` span
+        per attempt, and the outcome lands in the ``runner.*``
+        counters.
         """
+        point = self._make_point(experiment_id, seed, fast, spec)
+        return self._run_point(point)
+
+    def _run_point(self, point: _Point) -> RunRecord:
         with self.tracer.span(
-            "experiment", experiment_id=experiment_id, seed=seed, fast=fast
+            "experiment",
+            experiment_id=point.experiment_id,
+            seed=point.seed,
+            fast=point.fast,
+            config_hash=point.config_hash,
         ) as span:
-            record = self._run_one_instrumented(experiment_id, seed, fast)
+            record = self._run_one_instrumented(point)
             span.set_attribute("status", record.status)
             span.set_attribute("attempts", record.attempts)
             self.metrics.count(f"runner.status.{record.status}")
@@ -504,9 +606,8 @@ class SuiteRunner:
                 self.metrics.count("runner.timeouts")
             return record
 
-    def _run_one_instrumented(
-        self, experiment_id: str, seed: int, fast: bool
-    ) -> RunRecord:
+    def _run_one_instrumented(self, point: _Point) -> RunRecord:
+        experiment_id, seed, fast = point.experiment_id, point.seed, point.fast
         started = self._clock()
         try:
             run_fn = get_experiment(experiment_id)
@@ -520,6 +621,8 @@ class SuiteRunner:
                 duration=self._clock() - started,
                 error=str(exc),
                 error_type=type(exc).__name__,
+                config_hash=point.config_hash,
+                spec=point.spec_dict(),
             )
             if not self.keep_going:
                 raise
@@ -537,9 +640,7 @@ class SuiteRunner:
                 with self.tracer.span(
                     "attempt", experiment_id=experiment_id, attempt=attempts
                 ):
-                    result = self._attempt(
-                        run_fn, experiment_id, seed, fast, deadline
-                    )
+                    result = self._attempt(run_fn, point, deadline)
                 self.metrics.observe(
                     "runner.attempt_seconds", self._clock() - attempt_started
                 )
@@ -571,6 +672,8 @@ class SuiteRunner:
                     duration=self._clock() - started,
                     checks=dict(result.checks),
                     result=result,
+                    config_hash=point.config_hash,
+                    spec=point.spec_dict(),
                 )
             except BudgetExceeded as exc:
                 # The wall-clock budget spans attempts: no retry helps.
@@ -592,6 +695,8 @@ class SuiteRunner:
             duration=self._clock() - started,
             error=str(last_exc),
             error_type=type(last_exc).__name__,
+            config_hash=point.config_hash,
+            spec=point.spec_dict(),
         )
         if not self.keep_going:
             assert last_exc is not None
@@ -608,12 +713,13 @@ class SuiteRunner:
         """Run the suite (or ``ids``) under isolation; returns a report.
 
         With a checkpoint configured, experiments that already
-        completed with the same ``(seed, fast)`` are replayed from the
-        file instead of re-executed, and every fresh outcome is
-        appended as soon as it is known — a killed run resumes from
-        the last completed experiment.  Resume filtering happens
-        *before* dispatch, so a parallel resume never re-executes (or
-        even schedules) completed experiments.
+        completed with the same configuration (``config_hash`` for
+        spec-bearing experiments, ``(seed, fast)`` otherwise) are
+        replayed from the file instead of re-executed, and every fresh
+        outcome is appended as soon as it is known — a killed run
+        resumes from the last completed experiment.  Resume filtering
+        happens *before* dispatch, so a parallel resume never
+        re-executes (or even schedules) completed experiments.
 
         ``workers`` overrides the runner's configured worker count for
         this call.  Parallel runs produce the same records, checkpoint
@@ -621,9 +727,33 @@ class SuiteRunner:
         sequential ones — completions are buffered and flushed strictly
         in suite order.
         """
+        experiment_ids = list(ids) if ids is not None else all_experiments()
+        points = [
+            self._make_point(experiment_id, seed, fast)
+            for experiment_id in experiment_ids
+        ]
+        return self._execute_points(points, workers, {"seed": seed, "fast": fast})
+
+    def run_points(self, specs: Iterable, workers: int | None = None) -> SuiteReport:
+        """Run explicit spec instances (the sweep engine's entry point).
+
+        Each spec becomes one schedulable point with checkpoint/cache
+        identity ``config_hash()`` — the same experiment id may appear
+        any number of times with different configurations.  Everything
+        else (isolation, retries, checkpointing, parallel fan-out,
+        supervision) behaves exactly as in :meth:`run_all`.
+        """
+        points = [self._point_from_spec(spec) for spec in specs]
+        return self._execute_points(points, workers, {"sweep": True})
+
+    def _execute_points(
+        self,
+        points: list[_Point],
+        workers: int | None,
+        span_attrs: dict,
+    ) -> SuiteReport:
         from repro.experiments._corpus import configure_corpus_cache
 
-        experiment_ids = list(ids) if ids is not None else all_experiments()
         workers = self.workers if workers is None else workers
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -643,20 +773,16 @@ class SuiteRunner:
             # sequential path too, not just inside pool workers.
             with use_fault_injector(self.fault_injector), self.tracer.span(
                 "suite",
-                seed=seed,
-                fast=fast,
-                experiments=len(experiment_ids),
+                **span_attrs,
+                experiments=len(points),
                 workers=workers,
             ) as span:
                 completed = self._load_checkpoint()
                 if workers == 1:
-                    report = self._run_all_sequential(
-                        experiment_ids, seed, fast, completed
-                    )
+                    report = self._run_all_sequential(points, completed)
                 else:
                     report = self._run_all_parallel(
-                        experiment_ids, seed, fast, completed, workers,
-                        cache_dir, span,
+                        points, completed, workers, cache_dir, span
                     )
                 span.set_attribute("ok", report.ok)
             return report
@@ -668,29 +794,25 @@ class SuiteRunner:
 
     def _run_all_sequential(
         self,
-        experiment_ids: list[str],
-        seed: int,
-        fast: bool,
-        completed: dict[tuple[str, int, bool], RunRecord],
+        points: list[_Point],
+        completed: dict[tuple, RunRecord],
     ) -> SuiteReport:
         report = SuiteReport()
-        for experiment_id in experiment_ids:
-            key = (experiment_id, seed, fast)
+        for point in points:
+            key = point.key()
             if key in completed:
                 self.metrics.count("runner.checkpoint_hits")
                 report.records.append(completed[key])
                 continue
-            record = self.run_one(experiment_id, seed=seed, fast=fast)
+            record = self._run_point(point)
             self._append_checkpoint(record)
             report.records.append(record)
         return report
 
     def _run_all_parallel(
         self,
-        experiment_ids: list[str],
-        seed: int,
-        fast: bool,
-        completed: dict[tuple[str, int, bool], RunRecord],
+        points: list[_Point],
+        completed: dict[tuple, RunRecord],
         workers: int,
         cache_dir: str | None,
         suite_span,
@@ -718,10 +840,10 @@ class SuiteRunner:
         report = SuiteReport()
         replayed: dict[int, RunRecord] = {}
         pending: list[int] = []
-        for index, experiment_id in enumerate(experiment_ids):
-            if (experiment_id, seed, fast) in completed:
+        for index, point in enumerate(points):
+            if point.key() in completed:
                 self.metrics.count("runner.checkpoint_hits")
-                replayed[index] = completed[(experiment_id, seed, fast)]
+                replayed[index] = completed[point.key()]
             else:
                 pending.append(index)
         suite_span_id = getattr(suite_span, "span_id", None)
@@ -735,7 +857,7 @@ class SuiteRunner:
         def flush_ready() -> None:
             """Emit records for every suite position that is ready."""
             nonlocal flushed
-            while flushed < len(experiment_ids):
+            while flushed < len(points):
                 index = flushed
                 if index in replayed:
                     report.records.append(replayed[index])
@@ -801,7 +923,7 @@ class SuiteRunner:
             on_crash=on_crash,
         )
         tasks = [
-            (index, make_task(self, experiment_ids[index], seed, fast, cache_dir))
+            (index, make_task(self, points[index], cache_dir))
             for index in pending
         ]
         for index, payload in supervisor.run(tasks):

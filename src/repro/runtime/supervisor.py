@@ -262,6 +262,8 @@ class WorkerSupervisor:
                     finished.append((state, failure_payload(
                         exc, state.experiment_id,
                         state.task["seed"], state.task["fast"],
+                        config_hash=state.task.get("config_hash"),
+                        spec=state.task.get("spec"),
                     )))
                     completed.add(future)
                 else:
@@ -310,6 +312,8 @@ class WorkerSupervisor:
                 finished.append((state, failure_payload(
                     exc, state.experiment_id,
                     state.task["seed"], state.task["fast"],
+                    config_hash=state.task.get("config_hash"),
+                    spec=state.task.get("spec"),
                 )))
             else:
                 finished.append((state, payload))
@@ -394,6 +398,8 @@ class WorkerSupervisor:
         return failure_payload(
             error, state.experiment_id, state.task["seed"],
             state.task["fast"],
+            config_hash=state.task.get("config_hash"),
+            spec=state.task.get("spec"),
         )
 
     # -- degraded (sequential, in-process) mode ------------------------
@@ -418,6 +424,8 @@ class WorkerSupervisor:
                 payload = failure_payload(
                     exc, state.experiment_id, state.task["seed"],
                     state.task["fast"],
+                    config_hash=state.task.get("config_hash"),
+                    spec=state.task.get("spec"),
                 )
             yield state.index, payload
 

@@ -1,0 +1,286 @@
+"""Property and equivalence tests for the typed spec layer.
+
+Three guarantees are load-bearing for the whole runtime:
+
+- **Identity is canonical.**  ``config_hash()`` depends only on the
+  spec's field values — not dict insertion order, not the process that
+  computed it — and distinct configurations never share a hash.
+- **Serialization roundtrips.**  ``from_dict(to_dict(spec))`` is the
+  identity, which is what lets specs cross the fork pool and the
+  crash-requeue path as plain payloads.
+- **The legacy shim is exact.**  ``run(seed, fast)`` and
+  ``run(Spec.preset(...))`` produce byte-identical results for every
+  experiment, so the refactor cannot have moved any operating point.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.experiments.registry import (
+    all_experiments,
+    get_experiment,
+    make_spec,
+    spec_class,
+)
+from repro.experiments.spec import (
+    CorpusParams,
+    ExperimentSpec,
+    apply_overrides,
+    parse_override,
+    parse_set_overrides,
+    resolve_spec,
+)
+
+E7Spec = spec_class("E7")
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization properties (hypothesis)
+
+
+def e7_specs():
+    """Valid E7 specs across the declared field ranges."""
+    return st.builds(
+        E7Spec,
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_eyeballs=st.integers(min_value=2, max_value=500),
+        pop_presence_levels=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        ).map(tuple),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=e7_specs())
+def test_config_hash_is_key_order_insensitive(spec):
+    data = spec.to_dict()
+    reordered = dict(reversed(list(data.items())))
+    assert E7Spec.from_dict(reordered).config_hash() == spec.config_hash()
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=e7_specs())
+def test_to_dict_from_dict_roundtrip_identity(spec):
+    rebuilt = E7Spec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    assert rebuilt.config_hash() == spec.config_hash()
+    assert rebuilt.canonical_json() == spec.canonical_json()
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=e7_specs(), b=e7_specs())
+def test_distinct_specs_never_collide(a, b):
+    if a == b:
+        assert a.config_hash() == b.config_hash()
+    else:
+        assert a.config_hash() != b.config_hash()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_same_fields_different_experiment_different_hash(seed):
+    # E6 and E12 share the n_small_isps knob name; the experiment id is
+    # part of the canonical payload, so they can never share identity.
+    e6 = make_spec("E6", "fast", seed=seed)
+    e12 = make_spec("E12", "fast", seed=seed)
+    assert e6.config_hash() != e12.config_hash()
+
+
+def test_canonical_json_is_sorted_and_compact():
+    spec = make_spec("E7", "fast", seed=3)
+    text = spec.canonical_json()
+    assert json.loads(text) == json.loads(text)  # valid JSON
+    assert ": " not in text and ", " not in text  # compact separators
+    payload = json.loads(text)
+    assert list(payload) == sorted(payload)
+
+
+def test_config_hash_stable_across_processes(tmp_path):
+    """The hash must be a pure function of the spec — no per-process salt."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    script = (
+        "import json\n"
+        "from repro.experiments.registry import all_experiments, make_spec\n"
+        "print(json.dumps({eid: make_spec(eid, 'fast', seed=7).config_hash()\n"
+        "                  for eid in all_experiments()}))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "random"},
+    )
+    remote = json.loads(out.stdout)
+    local = {
+        eid: make_spec(eid, "fast", seed=7).config_hash()
+        for eid in all_experiments()
+    }
+    assert remote == local
+
+
+# ---------------------------------------------------------------------------
+# Preset and validation behaviour
+
+
+def test_every_experiment_has_fast_and_full_presets():
+    for experiment_id in all_experiments():
+        cls = spec_class(experiment_id)
+        assert cls.EXPERIMENT_ID == experiment_id
+        assert set(cls.preset_names()) >= {"fast", "full"}
+        fast = cls.preset("fast", seed=1)
+        full = cls.preset("full", seed=1)
+        assert fast.origin_preset == "fast"
+        assert full.origin_preset == "full"
+        assert fast.seed == full.seed == 1
+
+
+def test_unknown_preset_is_a_spec_error():
+    with pytest.raises(SpecError, match="preset"):
+        E7Spec.preset("turbo")
+
+
+def test_origin_preset_is_not_part_of_identity():
+    assert (
+        E7Spec.preset("fast", seed=0).config_hash()
+        == E7Spec(seed=0).config_hash()
+    )
+
+
+def test_out_of_range_value_rejected():
+    with pytest.raises(SpecError, match="n_eyeballs"):
+        E7Spec(n_eyeballs=1)
+    with pytest.raises(SpecError, match="pop_presence_levels"):
+        E7Spec(pop_presence_levels=(0.0, 1.5))
+
+
+def test_wrong_type_rejected_including_bool_for_int():
+    with pytest.raises(SpecError, match="seed"):
+        E7Spec(seed=True)
+    with pytest.raises(SpecError, match="n_eyeballs"):
+        E7Spec(n_eyeballs="lots")
+
+
+def test_nested_corpus_params_validated():
+    with pytest.raises(SpecError, match="end_year"):
+        CorpusParams(start_year=2020, end_year=2010)
+    spec = make_spec("E1", "fast")
+    assert isinstance(spec.corpus, CorpusParams)
+
+
+def test_choice_constraint_enforced():
+    E13Spec = spec_class("E13")
+    with pytest.raises(SpecError, match="cubic"):
+        E13Spec(protocols=("tahoe", "cubic"))
+
+
+def test_from_dict_unknown_key_names_valid_fields():
+    with pytest.raises(SpecError) as excinfo:
+        E7Spec.from_dict({"seed": 0, "eyeballs": 3})
+    message = str(excinfo.value)
+    assert "E7Spec" in message and "n_eyeballs" in message
+
+
+# ---------------------------------------------------------------------------
+# Override parsing
+
+
+def test_parse_override_coerces_types():
+    assert parse_override(E7Spec, "seed=5") == ("seed", 5)
+    assert parse_override(E7Spec, "pop_presence_levels=0.1,0.9") == (
+        "pop_presence_levels",
+        (0.1, 0.9),
+    )
+
+
+def test_parse_override_dotted_nested_path():
+    E1Spec = spec_class("E1")
+    key, value = parse_override(E1Spec, "corpus.start_year=2010")
+    assert (key, value) == ("corpus.start_year", 2010)
+    spec = apply_overrides(E1Spec.preset("fast"), {key: value})
+    assert spec.corpus.start_year == 2010
+
+
+def test_parse_override_unknown_key_is_one_line_and_actionable():
+    with pytest.raises(SpecError) as excinfo:
+        parse_override(E7Spec, "bogus=1")
+    message = str(excinfo.value)
+    assert "\n" not in message
+    assert "E7Spec" in message and "n_eyeballs" in message
+
+
+def test_apply_overrides_preserves_origin_preset():
+    spec = apply_overrides(E7Spec.preset("full", seed=2), {"n_eyeballs": 40})
+    assert spec.origin_preset == "full"
+    assert spec.n_eyeballs == 40 and spec.seed == 2
+
+
+def test_parse_set_overrides_collects_assignments():
+    overrides = parse_set_overrides(E7Spec, ["seed=4", "n_eyeballs=9"])
+    assert overrides == {"seed": 4, "n_eyeballs": 9}
+
+
+# ---------------------------------------------------------------------------
+# resolve_spec shim
+
+
+def test_resolve_spec_accepts_all_calling_conventions():
+    preset = E7Spec.preset("fast", seed=3)
+    assert resolve_spec(E7Spec, preset) is preset
+    assert resolve_spec(E7Spec, None, None, 3) == preset
+    assert resolve_spec(E7Spec, 3) == preset
+    assert resolve_spec(E7Spec, preset.to_dict()) == preset
+    # A spec smuggled through a legacy wrapper's seed= keyword.
+    assert resolve_spec(E7Spec, None, True, preset) is preset
+    full = resolve_spec(E7Spec, None, False, 3)
+    assert full == E7Spec.preset("full", seed=3)
+
+
+def test_resolve_spec_rejects_wrong_spec_class():
+    with pytest.raises(SpecError, match="E7Spec"):
+        resolve_spec(E7Spec, make_spec("E13", "fast"))
+
+
+# ---------------------------------------------------------------------------
+# Legacy-vs-spec equivalence: the refactor moved no operating point.
+
+
+@pytest.mark.parametrize("experiment_id", all_experiments())
+def test_legacy_fast_call_matches_fast_preset(experiment_id):
+    run_fn = get_experiment(experiment_id)
+    legacy = run_fn(seed=1, fast=True)
+    via_spec = run_fn(make_spec(experiment_id, "fast", seed=1))
+    assert legacy.to_payload() == via_spec.to_payload()
+
+
+def test_legacy_full_call_matches_full_preset_on_cheap_experiment():
+    # One full-preset equivalence witness; the full suite's slow
+    # experiments are covered by the fast-preset sweep above plus the
+    # shared resolve_spec path.
+    run_fn = get_experiment("E6")
+    legacy = run_fn(seed=2, fast=False)
+    via_spec = run_fn(make_spec("E6", "full", seed=2))
+    assert legacy.to_payload() == via_spec.to_payload()
+
+
+def test_spec_subclasses_are_frozen_and_hashable():
+    spec = make_spec("E7", "fast")
+    with pytest.raises(Exception):
+        spec.seed = 5
+    assert isinstance(hash(spec), int)
+
+
+def test_describe_fields_reports_constraints():
+    rows = make_spec("E7", "fast").describe_fields()
+    by_name = {row["field"]: row for row in rows}
+    assert by_name["n_eyeballs"]["minimum"] == 2
+    assert by_name["seed"]["type"] == "int"

@@ -107,7 +107,9 @@ class TestFullSuiteDeterminism:
     def test_full_suite_workers_1_vs_4(self):
         seq, _, seq_metrics = _run(None, workers=1)
         par, _, par_metrics = _run(None, workers=4)
-        assert len(seq.records) == 13
+        from repro.experiments.registry import all_experiments
+
+        assert len(seq.records) == len(all_experiments())
         assert seq.ok and par.ok
         assert seq.fingerprint() == par.fingerprint()
         assert _deterministic_counters(seq_metrics) == _deterministic_counters(

@@ -270,7 +270,7 @@ class TestAcceptance:
                 sleep=lambda seconds: None,
             )
             report = runner.run_all(seed=0, fast=True)
-            assert len(report) == 13
+            assert len(report) == len(registry.all_experiments())
             assert all(r.shape_holds for r in report)
             e6 = next(r for r in report if r.experiment_id == "E6")
             assert e6.attempts == 3
@@ -332,7 +332,7 @@ class TestRecordsAndReport:
 
 def test_registry_run_all_still_returns_results():
     results = registry.run_all(seed=0, fast=True)
-    assert len(results) == 13
+    assert len(results) == len(registry.all_experiments())
     assert all(isinstance(r, ExperimentResult) for r in results)
     assert all(r.shape_holds for r in results)
 

@@ -1,0 +1,365 @@
+"""Tests for the parameter-sweep engine and its CLI.
+
+The sweep engine rides on the parallel supervised runtime, so the
+guarantees under test are the runtime's, extended to grids: expansion
+is deterministic, results are memoized by ``config_hash`` (equal specs
+share one cache entry, any field change misses), and a parallel sweep
+— including under injected raise/kill faults — fingerprints
+identically to a sequential one.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SpecError
+from repro.experiments.registry import make_spec, spec_class
+from repro.experiments.sweep import (
+    SWEEP_RESULT_KIND,
+    expand_grid,
+    load_grid_file,
+    parse_grid_args,
+    run_sweep,
+)
+from repro.io.artifacts import ArtifactCache
+from repro.runtime.faultinject import FaultInjector
+
+E10Spec = spec_class("E10")
+
+
+# ---------------------------------------------------------------------------
+# Grid parsing and expansion
+
+
+class TestGridParsing:
+    def test_parse_grid_args_coerces_and_keeps_order(self):
+        grid = parse_grid_args(
+            E10Spec, ["seed=0,1,2", "population_size=300,400"]
+        )
+        assert grid == {"seed": [0, 1, 2], "population_size": [300, 400]}
+        assert list(grid) == ["seed", "population_size"]
+
+    def test_parse_grid_args_rejects_unknown_key(self):
+        with pytest.raises(SpecError, match="E10Spec"):
+            parse_grid_args(E10Spec, ["bogus=1,2"])
+
+    def test_parse_grid_args_rejects_bad_value(self):
+        with pytest.raises(SpecError, match="seed"):
+            parse_grid_args(E10Spec, ["seed=0,banana"])
+
+    def test_parse_grid_args_rejects_duplicate_axis(self):
+        with pytest.raises(SpecError, match="twice"):
+            parse_grid_args(E10Spec, ["seed=0", "seed=1"])
+
+    def test_parse_grid_args_rejects_empty_values(self):
+        with pytest.raises(SpecError, match="no values"):
+            parse_grid_args(E10Spec, ["seed="])
+
+    def test_expand_grid_is_the_ordered_cross_product(self):
+        base = E10Spec.preset("fast")
+        specs = expand_grid(
+            base, {"seed": [0, 1], "population_size": [300, 400]}
+        )
+        assert [(s.seed, s.population_size) for s in specs] == [
+            (0, 300),
+            (0, 400),
+            (1, 300),
+            (1, 400),
+        ]
+        # Non-axis fields stay at the base value.
+        assert all(s.target == base.target for s in specs)
+
+    def test_expand_grid_empty_is_the_base_point(self):
+        base = E10Spec.preset("fast", seed=5)
+        assert expand_grid(base, {}) == [base]
+
+    def test_load_grid_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "experiment": "E10",
+                    "grid": {"seed": [0, 1]},
+                    "preset": "fast",
+                    "base": {"population_size": 300},
+                }
+            )
+        )
+        data = load_grid_file(path)
+        assert data["experiment"] == "E10"
+        assert data["grid"] == {"seed": [0, 1]}
+        assert data["base"] == {"population_size": 300}
+
+    def test_load_grid_file_rejects_missing_grid(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"experiment": "E10"}))
+        with pytest.raises(SpecError, match="grid"):
+            load_grid_file(path)
+
+    def test_load_grid_file_rejects_unreadable(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read"):
+            load_grid_file(tmp_path / "missing.json")
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution
+
+
+class TestRunSweep:
+    def test_basic_sweep_runs_every_point(self, tmp_path):
+        report = run_sweep(
+            "E10",
+            {"seed": [0, 1, 2]},
+            cache_dir=tmp_path / "cache",
+            results_dir=tmp_path / "results",
+        )
+        assert len(report) == 3 and report.ok
+        assert report.axes == ["seed"]
+        assert [p.spec.seed for p in report] == [0, 1, 2]
+        for point in report:
+            assert point.source == "run"
+            assert point.record.config_hash == point.spec.config_hash()
+            assert point.record.spec == point.spec.to_dict()
+
+    def test_per_point_artifacts_written(self, tmp_path):
+        results = tmp_path / "results"
+        report = run_sweep(
+            "E10", {"seed": [0, 1]}, results_dir=results
+        )
+        dirs = sorted(p.name for p in results.iterdir())
+        assert len(dirs) == 2
+        for point in report:
+            short = point.spec.config_hash()[:12]
+            point_dir = results / f"E10-{short}"
+            assert (point_dir / "result.txt").exists()
+            payload = json.loads((point_dir / "record.json").read_text())
+            assert payload["record"]["config_hash"] == point.spec.config_hash()
+
+    def test_summary_table_has_axes_and_status(self):
+        report = run_sweep("E10", {"seed": [0, 1]})
+        rendered = report.summary_table().render()
+        assert "seed" in rendered and "status" in rendered
+        assert rendered.count("ok") >= 2
+
+    def test_failed_points_reported_not_raised(self):
+        injector = FaultInjector(seed=7)
+        injector.register("experiment:E10", mode="raise")
+        report = run_sweep(
+            "E10", {"seed": [0, 1]}, fault_injector=injector
+        )
+        assert not report.ok
+        assert all(p.record.status == "error" for p in report)
+
+
+class TestSweepCache:
+    def test_rerun_replays_from_cache_with_equal_fingerprint(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_sweep("E10", {"seed": [0, 1]}, cache_dir=cache_dir)
+        warm = run_sweep("E10", {"seed": [0, 1]}, cache_dir=cache_dir)
+        assert [p.source for p in cold] == ["run", "run"]
+        assert [p.source for p in warm] == ["cache", "cache"]
+        assert cold.fingerprint() == warm.fingerprint()
+        assert warm.summary()["from_cache"] == 2
+
+    def test_equal_specs_share_one_cache_entry(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_sweep("E10", {"seed": [0]}, cache_dir=cache_dir)
+        cache = ArtifactCache(cache_dir)
+        spec = make_spec("E10", "fast", seed=0)
+        config = {"experiment_id": "E10", "config_hash": spec.config_hash()}
+        rows = cache.get(SWEEP_RESULT_KIND, config)
+        assert rows is not None and len(rows) == 1
+        # A second, equal spec resolves to the very same entry.
+        again = make_spec("E10", "fast", seed=0)
+        assert again.config_hash() == spec.config_hash()
+
+    def test_any_field_change_misses_the_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_sweep("E10", {"seed": [0]}, cache_dir=cache_dir)
+        cache = ArtifactCache(cache_dir)
+        changed = make_spec("E10", "fast", seed=0).replace(population_size=333)
+        assert (
+            cache.get(
+                SWEEP_RESULT_KIND,
+                {
+                    "experiment_id": "E10",
+                    "config_hash": changed.config_hash(),
+                },
+            )
+            is None
+        )
+        # And running the changed point executes rather than replays.
+        report = run_sweep(
+            "E10",
+            {"seed": [0]},
+            base_overrides={"population_size": 333},
+            cache_dir=cache_dir,
+        )
+        assert [p.source for p in report] == ["run"]
+
+    def test_failed_points_are_not_cached(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        injector = FaultInjector(seed=7)
+        injector.register("experiment:E10", mode="raise")
+        run_sweep(
+            "E10", {"seed": [0]}, cache_dir=cache_dir, fault_injector=injector
+        )
+        report = run_sweep("E10", {"seed": [0]}, cache_dir=cache_dir)
+        assert [p.source for p in report] == ["run"]
+        assert report.ok
+
+
+class TestSweepParallelDeterminism:
+    def test_workers_1_vs_4_fingerprint_equal(self, tmp_path):
+        seq = run_sweep(
+            "E10", {"seed": [0, 1, 2]}, cache_dir=tmp_path / "c1", workers=1
+        )
+        par = run_sweep(
+            "E10", {"seed": [0, 1, 2]}, cache_dir=tmp_path / "c2", workers=4
+        )
+        assert seq.ok and par.ok
+        assert seq.fingerprint() == par.fingerprint()
+
+    def test_raise_faults_fingerprint_equal_across_workers(self, tmp_path):
+        def injector():
+            inj = FaultInjector(seed=7)
+            inj.register("experiment:E10", mode="raise")
+            return inj
+
+        seq = run_sweep(
+            "E10",
+            {"seed": [0, 1]},
+            cache_dir=tmp_path / "c1",
+            workers=1,
+            fault_injector=injector(),
+        )
+        par = run_sweep(
+            "E10",
+            {"seed": [0, 1]},
+            cache_dir=tmp_path / "c2",
+            workers=2,
+            fault_injector=injector(),
+        )
+        assert not seq.ok and not par.ok
+        assert seq.fingerprint() == par.fingerprint()
+
+    def test_kill_faults_requeue_and_fingerprint_equal(self, tmp_path):
+        """A sweep point that SIGKILLs its worker is requeued and still
+        produces a record identical to an unfaulted sequential run."""
+
+        def injector():
+            inj = FaultInjector(seed=7)
+            inj.register("experiment:E5", mode="kill", times=1)
+            return inj
+
+        seq = run_sweep(
+            "E5",
+            {"seed": [0, 1]},
+            cache_dir=tmp_path / "c1",
+            workers=1,
+            fault_injector=injector(),
+        )
+        par = run_sweep(
+            "E5",
+            {"seed": [0, 1]},
+            cache_dir=tmp_path / "c2",
+            workers=2,
+            fault_injector=injector(),
+        )
+        assert seq.ok and par.ok
+        assert seq.fingerprint() == par.fingerprint()
+        assert all(p.record.crash is None for p in par)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestSweepCli:
+    def test_sweep_prints_summary_table(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--grid",
+                "seed=0,1",
+                "E10",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep E10" in out and "seed" in out and "ok" in out
+
+    def test_sweep_parallel_with_json_summary(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--grid",
+                "seed=0,1,2",
+                "E10",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--json-summary",
+                "-",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out[out.index("{"):])
+        assert payload["total"] == 3 and payload["all_ok"]
+
+    def test_sweep_warm_cache_reports_cache_source(self, capsys, tmp_path):
+        args = [
+            "sweep", "--grid", "seed=0", "E10",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_sweep_grid_file(self, capsys, tmp_path):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(
+            json.dumps(
+                {
+                    "experiment": "E10",
+                    "grid": {"seed": [0, 1]},
+                    "base": {"population_size": 800},
+                }
+            )
+        )
+        code = main(["sweep", "--grid-file", str(grid_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("E10-") == 2
+
+    def test_sweep_unknown_axis_is_one_line_error(self, capsys):
+        code = main(["sweep", "--grid", "bogus=1,2", "E10"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.strip().count("\n") == 0
+        assert "E10Spec" in captured.err
+
+    def test_sweep_unknown_experiment_is_one_line_error(self, capsys):
+        code = main(["sweep", "--grid", "seed=0", "E99"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "E99" in captured.err
+
+    def test_sweep_without_experiment_is_an_error(self, capsys):
+        code = main(["sweep", "--grid", "seed=0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no experiment" in captured.err
+
+    def test_run_set_override_unknown_key(self, capsys):
+        code = main(["run", "E10", "--set", "bogus=1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.strip().count("\n") == 0
+        assert "E10Spec" in captured.err and "population_size" in captured.err
