@@ -46,6 +46,16 @@ sweep-smoke:
 		assert cold['fingerprint'] == warm['fingerprint'], 'warm run drifted'"
 	rm -rf .sweep-smoke
 
+# The result service end to end: the serve test suite (framing, jobs,
+# degradation ladder, chaos), then the standalone smoke script — hot
+# and cold fetches, a coalescing probe, a killed-worker -> 503 probe, a
+# graceful-drain check, and a real-CLI SIGTERM drain.
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest \
+		tests/test_serve_http.py tests/test_serve_jobs.py \
+		tests/test_serve_service.py tests/test_serve_chaos.py -q
+	python scripts/serve_smoke.py
+
 # One fast experiment with tracing + metrics on; `obs report` re-parses
 # the trace and fails on a malformed span, so this asserts the whole
 # export -> parse -> render path.
@@ -60,4 +70,4 @@ outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke obs-smoke outputs
+.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke serve-smoke obs-smoke outputs

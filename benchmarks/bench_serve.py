@@ -1,0 +1,127 @@
+"""Result-service latency under concurrency, hot vs cold, plus chaos.
+
+Runs a live :class:`repro.serve.service.ServerThread` on a loopback
+port and drives it with the closed-loop load generator at 1, 8, and 64
+concurrent clients:
+
+- **cold**: every client asks for the same never-computed
+  ``config_hash`` — the requests coalesce onto one supervised compute
+  job, so this measures the miss path *and* demonstrates coalescing at
+  scale (the compute-job counter moves by ~1, not by N);
+- **hot**: the same key again, now cached — pure read-through;
+- **chaos**: the fault injector SIGKILLs the compute workers, and
+  every client gets the contract response (``503 + Retry-After``)
+  instead of a hang or a dead server; after the fault clears, a retry
+  succeeds.
+
+Persists one JSON artifact (``results/serve.json``) with p50/p95/p99
+per phase and concurrency level, status mixes, and the final
+``serve.*`` counter snapshot.
+"""
+
+import json
+import os
+
+from _harness import RESULTS_DIR
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.faultinject import FaultInjector
+from repro.serve.client import fetch, run_load
+from repro.serve.service import ResultService, ServeConfig, ServerThread
+
+HOST = "127.0.0.1"
+CLIENT_LEVELS = (1, 8, 64)
+HOT_REQUESTS_PER_CLIENT = 10
+
+
+def _serve_counters(service):
+    counters = service.metrics.snapshot()["counters"]
+    return {k: v for k, v in sorted(counters.items()) if k.startswith("serve.")}
+
+
+def test_serve_latency_percentiles_hot_and_cold(tmp_path):
+    service = ResultService(
+        ServeConfig(
+            cache_dir=str(tmp_path / "cache"), deadline=120.0, max_inflight=128
+        ),
+        metrics=MetricsRegistry(),
+    )
+    runs = []
+    with ServerThread(service) as server:
+        port = server.port
+        for index, clients in enumerate(CLIENT_LEVELS):
+            # a fresh seed per level -> this level's first wave is cold
+            path = f"/v1/result/E7?seed={100 + index}"
+            jobs_before = _serve_counters(service).get("serve.compute_jobs", 0)
+            cold = run_load(
+                HOST, port, path,
+                clients=clients, requests_per_client=1, timeout=120,
+            )
+            jobs_after = _serve_counters(service).get("serve.compute_jobs", 0)
+            assert cold.statuses.get(200, 0) == clients, cold.statuses
+            # coalescing: N concurrent cold requests ran ~1 job, never N
+            assert 1 <= jobs_after - jobs_before <= max(1, clients // 2)
+            runs.append({
+                "phase": "cold", **cold.summary(),
+                "compute_jobs": jobs_after - jobs_before,
+            })
+
+            hot = run_load(
+                HOST, port, path,
+                clients=clients,
+                requests_per_client=HOT_REQUESTS_PER_CLIENT,
+                timeout=120,
+            )
+            expected = clients * HOT_REQUESTS_PER_CLIENT
+            assert hot.statuses.get(200, 0) == expected, hot.statuses
+            runs.append({"phase": "hot", **hot.summary()})
+
+    chaos = _chaos_phase(tmp_path)
+    payload = {
+        "benchmark": "serve",
+        "experiment_id": "E7",
+        "client_levels": list(CLIENT_LEVELS),
+        "cpu_count": os.cpu_count(),
+        "runs": runs + [chaos["run"]],
+        "chaos": {k: v for k, v in chaos.items() if k != "run"},
+        "counters": _serve_counters(service),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "serve.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _chaos_phase(tmp_path):
+    """Kill compute workers mid-request; the contract must hold under load."""
+    injector = FaultInjector(seed=7)
+    injector.register("experiment:E5", mode="kill")
+    service = ResultService(
+        ServeConfig(
+            cache_dir=str(tmp_path / "chaos-cache"),
+            workers=2,
+            deadline=120.0,
+            retry_after=1.0,
+        ),
+        metrics=MetricsRegistry(),
+        fault_injector=injector,
+        runner_kwargs={"max_worker_crashes": 2, "degrade": False},
+    )
+    with ServerThread(service) as server:
+        port = server.port
+        report = run_load(
+            HOST, port, "/v1/result/E5?seed=0",
+            clients=8, requests_per_client=1, timeout=120,
+        )
+        # every client saw the degraded answer, none crashed the server
+        assert report.statuses.get(503, 0) == 8, report.statuses
+        assert fetch(HOST, port, "/healthz").status == 200
+        injector.clear()
+        retry = fetch(HOST, port, "/v1/result/E5?seed=0", timeout=120)
+        assert retry.status == 200
+    return {
+        "run": {"phase": "chaos-503", **report.summary()},
+        "retry_after_clear_status": retry.status,
+        "retry_after_clear_ms": round(retry.elapsed * 1000, 3),
+        "counters": _serve_counters(service),
+    }

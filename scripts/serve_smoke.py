@@ -1,0 +1,192 @@
+"""End-to-end smoke for ``repro serve`` (run by ``make serve-smoke``).
+
+Five probes, each printing one PASS line; any failure is a loud
+assertion with a non-zero exit:
+
+1. **hot+cold fetch** — a cold request computes (200, ``ETag``), the
+   same request again is a cache hit, and ``If-None-Match`` gets 304;
+2. **coalescing** — 8 concurrent requests for one cold ``config_hash``
+   dispatch ~1 compute job (asserted via the ``serve.*`` counters);
+3. **killed worker → 503** — with the fault injector SIGKILLing
+   compute workers, the request degrades to ``503 + Retry-After``,
+   the server stays alive, and a retry after the fault clears is 200;
+4. **graceful drain** — an in-flight request finishes during drain,
+   after which the port refuses connections;
+5. **CLI SIGTERM** — the real ``python -m repro serve`` process drains
+   and exits 0 on SIGTERM.
+
+Probes 1-4 run the service in-process (ServerThread) so the probes can
+reach its metrics registry and fault injector; probe 5 exercises the
+actual CLI entry point over a subprocess.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.runtime.faultinject import FaultInjector  # noqa: E402
+from repro.serve.client import fetch, run_load  # noqa: E402
+from repro.serve.service import (  # noqa: E402
+    ResultService,
+    ServeConfig,
+    ServerThread,
+)
+
+HOST = "127.0.0.1"
+
+
+def serve_counters(service):
+    counters = service.metrics.snapshot()["counters"]
+    return {k: v for k, v in counters.items() if k.startswith("serve.")}
+
+
+def probe_hot_cold_and_coalescing(tmp):
+    service = ResultService(
+        ServeConfig(cache_dir=os.path.join(tmp, "cache"), deadline=120.0),
+        metrics=MetricsRegistry(),
+    )
+    with ServerThread(service) as server:
+        port = server.port
+        cold = fetch(HOST, port, "/v1/result/E7?seed=0", timeout=120)
+        assert cold.status == 200 and cold.json()["source"] == "computed", (
+            cold.status,
+            cold.body,
+        )
+        hot = fetch(HOST, port, "/v1/result/E7?seed=0")
+        assert hot.status == 200 and hot.json()["source"] == "cache"
+        not_modified = fetch(
+            HOST, port, "/v1/result/E7?seed=0",
+            headers={"If-None-Match": cold.headers["etag"]},
+        )
+        assert not_modified.status == 304, not_modified.status
+        print("PASS serve-smoke: cold 200 -> hot cache hit -> ETag 304")
+
+        before = serve_counters(service).get("serve.compute_jobs", 0)
+        report = run_load(
+            HOST, port, "/v1/result/E7?seed=1",
+            clients=8, requests_per_client=1, timeout=120,
+        )
+        jobs = serve_counters(service).get("serve.compute_jobs", 0) - before
+        assert report.statuses.get(200, 0) == 8, report.statuses
+        assert 1 <= jobs <= 4, f"8 cold requests ran {jobs} jobs"
+        print(
+            f"PASS serve-smoke: coalescing (8 concurrent cold requests, "
+            f"{jobs} compute job(s))"
+        )
+
+
+def probe_killed_worker(tmp):
+    injector = FaultInjector(seed=7)
+    injector.register("experiment:E5", mode="kill")
+    service = ResultService(
+        ServeConfig(
+            cache_dir=os.path.join(tmp, "chaos-cache"),
+            workers=2,
+            deadline=120.0,
+            retry_after=1.0,
+        ),
+        metrics=MetricsRegistry(),
+        fault_injector=injector,
+        runner_kwargs={"max_worker_crashes": 2, "degrade": False},
+    )
+    with ServerThread(service) as server:
+        port = server.port
+        degraded = fetch(HOST, port, "/v1/result/E5?seed=0", timeout=120)
+        assert degraded.status == 503, (degraded.status, degraded.body)
+        assert "retry-after" in degraded.headers, degraded.headers
+        assert fetch(HOST, port, "/healthz").status == 200
+        injector.clear()
+        retried = fetch(HOST, port, "/v1/result/E5?seed=0", timeout=120)
+        assert retried.status == 200, (retried.status, retried.body)
+    print(
+        "PASS serve-smoke: killed compute worker -> 503 + Retry-After, "
+        "server alive, retry 200"
+    )
+
+
+def probe_graceful_drain(tmp):
+    service = ResultService(
+        ServeConfig(cache_dir=os.path.join(tmp, "drain-cache"), deadline=120.0),
+        metrics=MetricsRegistry(),
+    )
+    server = ServerThread(service).start()
+    port = server.port
+    results = []
+    client = threading.Thread(
+        target=lambda: results.append(
+            fetch(HOST, port, "/v1/result/E7?seed=2", timeout=120)
+        )
+    )
+    client.start()
+    time.sleep(0.05)  # let the request reach the server
+    server.drain()
+    client.join(timeout=60)
+    assert results and results[0].status == 200, "in-flight request was dropped"
+    try:
+        fetch(HOST, port, "/healthz", timeout=2)
+    except OSError:
+        pass
+    else:
+        raise AssertionError("drained server still accepts connections")
+    print("PASS serve-smoke: graceful drain (in-flight 200, then refused)")
+
+
+def probe_cli_sigterm(tmp):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(__file__), "..", "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--cache-dir", os.path.join(tmp, "cli-cache"),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 30
+        banner = ""
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            banner += line
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        assert port is not None, f"no listen banner from the CLI: {banner!r}"
+        assert fetch(HOST, port, "/healthz", timeout=10).status == 200
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        assert code == 0, f"serve exited {code} on SIGTERM"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    print("PASS serve-smoke: CLI drains and exits 0 on SIGTERM")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        probe_hot_cold_and_coalescing(tmp)
+        probe_killed_worker(tmp)
+        probe_graceful_drain(tmp)
+        probe_cli_sigterm(tmp)
+    print("serve-smoke: all probes passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

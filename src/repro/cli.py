@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the workflows a downstream user reaches for
+Seven subcommands cover the workflows a downstream user reaches for
 first:
 
 - ``experiments`` (alias: ``run``): list the E1-E13 suite or run
@@ -14,6 +14,9 @@ first:
   printing a per-point summary table.
 - ``obs``: observability reports — ``obs report TRACE`` renders the
   per-experiment stage-time breakdown from an exported trace.
+- ``serve``: run the fault-tolerant HTTP result service
+  (:mod:`repro.serve`) over an artifact cache — cache hits served from
+  disk, misses computed in the background, SIGTERM drains gracefully.
 - ``corpus``: generate the synthetic venue corpus to JSONL files.
 - ``detect``: run method-mention detection over a text file.
 - ``audit``: evaluate a research-project record (JSON) against the
@@ -21,7 +24,10 @@ first:
 
 Spec-level mistakes (unknown ``--set``/``--grid`` keys, out-of-range
 or mistyped values) exit with code 2 and a one-line message naming the
-spec class and its valid fields — never a traceback.
+spec class and its valid fields — never a traceback.  SIGINT/SIGTERM
+during ``run``/``sweep`` exit 130 with a one-line resume hint instead
+of a traceback: completed work is already in the checkpoint/cache, so
+interruption is a pause, not a loss.
 
 Run ``python -m repro --help`` for usage.
 """
@@ -31,9 +37,41 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro import __version__
+
+#: Conventional exit code for "terminated by SIGINT" (128 + 2).
+EXIT_INTERRUPTED = 130
+
+
+@contextmanager
+def _graceful_signals():
+    """Deliver SIGTERM as :class:`KeyboardInterrupt` for a long command.
+
+    SIGINT already raises KeyboardInterrupt; mapping SIGTERM onto the
+    same path means one ``except`` clause covers both Ctrl-C and a
+    supervisor's polite kill, and the runner's incremental checkpoint
+    writes (flushed per record) are the resume state.  Only installed
+    on the main thread — signal handlers cannot be set elsewhere, and
+    tests drive these commands from worker threads.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -70,31 +108,45 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             degrade=not args.no_degrade,
         )
         ids = None if args.all else (args.ids or None)
-        if args.set:
-            # Explicit field overrides need a concrete spec per
-            # experiment; build them and take the spec-native path.
-            from repro.experiments.registry import (
-                all_experiments,
-                make_spec,
-                spec_class,
-            )
-            from repro.experiments.spec import parse_set_overrides
+        try:
+            with _graceful_signals():
+                if args.set:
+                    # Explicit field overrides need a concrete spec per
+                    # experiment; build them and take the spec-native path.
+                    from repro.experiments.registry import (
+                        all_experiments,
+                        make_spec,
+                        spec_class,
+                    )
+                    from repro.experiments.spec import parse_set_overrides
 
-            preset = "full" if args.full else "fast"
-            specs = [
-                make_spec(
-                    experiment_id,
-                    preset,
-                    seed=args.seed,
-                    overrides=parse_set_overrides(
-                        spec_class(experiment_id), args.set
-                    ),
-                )
-                for experiment_id in (ids or all_experiments())
-            ]
-            report = runner.run_points(specs)
-        else:
-            report = runner.run_all(ids, seed=args.seed, fast=not args.full)
+                    preset = "full" if args.full else "fast"
+                    specs = [
+                        make_spec(
+                            experiment_id,
+                            preset,
+                            seed=args.seed,
+                            overrides=parse_set_overrides(
+                                spec_class(experiment_id), args.set
+                            ),
+                        )
+                        for experiment_id in (ids or all_experiments())
+                    ]
+                    report = runner.run_points(specs)
+                else:
+                    report = runner.run_all(
+                        ids, seed=args.seed, fast=not args.full
+                    )
+        except KeyboardInterrupt:
+            # Completed experiments are already flushed to the
+            # checkpoint (the runner appends per record), so nothing is
+            # lost: the same command picks up where this one stopped.
+            if args.checkpoint:
+                hint = f"resume with: repro run --checkpoint {args.checkpoint}"
+            else:
+                hint = "re-run with --checkpoint PATH to make interrupts resumable"
+            print(f"interrupted; {hint}", file=sys.stderr)
+            return EXIT_INTERRUPTED
     if tracer is not None:
         count = tracer.export(args.trace_out)
         print(f"wrote {count} spans -> {args.trace_out}", file=sys.stderr)
@@ -162,18 +214,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     grid.update(parse_grid_args(cls, args.grid or []))
     base.update(parse_set_overrides(cls, args.set or []))
 
-    report = run_sweep(
-        experiment_id,
-        grid,
-        preset=preset or "fast",
-        base_overrides=base,
-        workers=args.workers,
-        results_dir=args.results_dir,
-        cache_dir=args.cache_dir,
-        retries=args.retries,
-        timeout=args.timeout,
-        keep_going=True,
-    )
+    try:
+        with _graceful_signals():
+            report = run_sweep(
+                experiment_id,
+                grid,
+                preset=preset or "fast",
+                base_overrides=base,
+                workers=args.workers,
+                results_dir=args.results_dir,
+                cache_dir=args.cache_dir,
+                retries=args.retries,
+                timeout=args.timeout,
+                keep_going=True,
+            )
+    except KeyboardInterrupt:
+        # Finished points are memoized in the artifact cache by config
+        # hash, so a re-run replays them instead of recomputing.
+        if args.cache_dir:
+            hint = (
+                f"finished points are cached; resume with: repro sweep ... "
+                f"--cache-dir {args.cache_dir}"
+            )
+        else:
+            hint = "re-run with --cache-dir DIR to make interrupts resumable"
+        print(f"interrupted; {hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     print(report.summary_table().render())
     if args.results_dir:
         print(f"\npoint artifacts -> {args.results_dir}", file=sys.stderr)
@@ -184,6 +250,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             Path(args.json_summary).write_text(payload + "\n", encoding="utf-8")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.serve.service import ResultService, ServeConfig, run_server
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        print(
+            f"no --cache-dir given; serving a throwaway cache at {cache_dir}",
+            file=sys.stderr,
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        max_inflight=args.max_inflight,
+        deadline=args.deadline,
+        retry_after=args.retry_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_timeout=args.drain_timeout,
+    )
+    return run_server(ResultService(config))
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -456,6 +549,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a machine-readable sweep summary ('-' for stdout)",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the fault-tolerant HTTP result service over a cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8737,
+        help="bind port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes per background compute job",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact cache to serve (shared with repro sweep; "
+        "default: a throwaway directory)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="admission-control bound; extra requests are shed with 429",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="per-request budget; cold requests still computing get 503",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=2.0, metavar="SECONDS",
+        help="Retry-After suggested on 429/503 responses",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive compute failures that trip a key's circuit",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="how long a tripped circuit rejects before a probe retry",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain budget for in-flight requests and jobs",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     obs = subparsers.add_parser(
         "obs", help="observability reports over exported traces"

@@ -18,7 +18,8 @@ Hierarchy::
     ├── DataFormatError          persisted data is malformed (also ValueError)
     │   └── JsonlDecodeError         (also json.JSONDecodeError)
     │       └── TruncatedFileError       torn final line — likely a killed writer
-    └── BudgetExceeded           a wall-clock / resource budget ran out
+    ├── BudgetExceeded           a wall-clock / resource budget ran out
+    └── CacheLockTimeout         a per-key cache lock never came free
 """
 
 from __future__ import annotations
@@ -208,6 +209,36 @@ class TruncatedFileError(JsonlDecodeError):
     tail almost always means the writing process was killed mid-write,
     and everything before the tail is salvageable.
     """
+
+
+class CacheLockTimeout(ReproError):
+    """A per-key artifact-cache lock could not be acquired in time.
+
+    Raised by :meth:`repro.io.artifacts.ArtifactCache._key_lock` when
+    the advisory ``flock`` holder wedges (a stopped process, a hung
+    NFS client) past the acquisition deadline.  Callers that can make
+    progress without the cache —
+    :meth:`~repro.io.artifacts.ArtifactCache.get_or_create` above all —
+    catch this and fall back to computing uncached, so one wedged lock
+    holder degrades throughput instead of freezing every process that
+    shares the cache.
+
+    Attributes:
+        lock_path: The lock file that never came free, as a string.
+        timeout: The acquisition deadline that expired, in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lock_path: str | None = None,
+        timeout: float | None = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.lock_path = lock_path
+        self.timeout = timeout
 
 
 class BudgetExceeded(ReproError):

@@ -37,11 +37,22 @@ __all__ = [
     "expand_grid",
     "load_grid_file",
     "parse_grid_args",
+    "result_cache_config",
     "run_sweep",
 ]
 
 #: Artifact-cache kind for memoized per-point experiment results.
 SWEEP_RESULT_KIND = "experiment-result"
+
+
+def result_cache_config(experiment_id: str, config_hash: str) -> dict:
+    """The artifact-cache config addressing one memoized experiment result.
+
+    Public because the result service (:mod:`repro.serve`) reads and
+    writes the *same* entries: a sweep warms the server, a served cold
+    request warms future sweeps.  Any change here invalidates both.
+    """
+    return {"experiment_id": experiment_id, "config_hash": config_hash}
 
 
 # ---------------------------------------------------------------------------
@@ -242,7 +253,7 @@ def point_dirname(experiment_id: str, spec) -> str:
 
 
 def _cache_config(experiment_id: str, spec) -> dict:
-    return {"experiment_id": experiment_id, "config_hash": spec.config_hash()}
+    return result_cache_config(experiment_id, spec.config_hash())
 
 
 def _write_point_dir(results_dir: Path, experiment_id: str, point: SweepPoint) -> None:

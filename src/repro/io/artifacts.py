@@ -46,6 +46,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
+from repro.errors import CacheLockTimeout
 from repro.io.jsonl import read_jsonl, write_jsonl
 
 try:  # pragma: no cover - fcntl is always present on the POSIX targets
@@ -57,6 +58,15 @@ __all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactCache", "artifact_key"]
 
 #: Bump to invalidate every existing cache entry (serialization change).
 ARTIFACT_FORMAT_VERSION = 1
+
+#: How long :meth:`ArtifactCache._key_lock` waits for a per-key lock
+#: before giving up with :class:`repro.errors.CacheLockTimeout`.  Sized
+#: for the slowest legitimate holder (a full-preset corpus generation),
+#: not for a wedged one.
+DEFAULT_LOCK_TIMEOUT = 120.0
+
+#: How often the non-blocking lock acquisition retries while waiting.
+_LOCK_POLL_SECONDS = 0.05
 
 #: Grace period for the construction-time orphan sweep: a ``*.tmp``
 #: younger than this may belong to a live writer in another process and
@@ -96,6 +106,11 @@ class ArtifactCache:
         sweep: Sweep stale orphaned ``*.tmp`` files (from writers
             killed mid-:meth:`put`) on construction; see
             :meth:`sweep_orphans`.
+        lock_timeout: Ceiling in seconds on waiting for another
+            process's per-key generation lock in
+            :meth:`get_or_create`; a holder wedged past it raises
+            :class:`repro.errors.CacheLockTimeout` internally and the
+            caller falls back to computing without the cache.
 
     Example:
         >>> import tempfile
@@ -109,10 +124,11 @@ class ArtifactCache:
 
     def __init__(
         self, root: str | Path, *, version: int = ARTIFACT_FORMAT_VERSION,
-        sweep: bool = True,
+        sweep: bool = True, lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
     ) -> None:
         self.root = Path(root)
         self.version = version
+        self.lock_timeout = lock_timeout
         if sweep:
             # Writers killed mid-put (SIGKILL, OOM) never reach their
             # cleanup handler and strand a private temp file; sweep
@@ -195,11 +211,26 @@ class ArtifactCache:
         Misses serialize through a per-key advisory file lock, so when
         several processes race on the same key only the first runs
         ``factory``; the rest block briefly and then read its output.
+        The wait is bounded by ``lock_timeout``: a lock holder wedged
+        past it (stopped, hung, undead) is treated as unavailable and
+        this process computes *without* the cache — the entry is not
+        written (the holder may still be mid-generation), but the
+        caller gets its records instead of blocking forever.  Such
+        fallbacks are counted as ``artifacts.lock_timeouts``.
         """
+        from contextlib import ExitStack
+
         records = self.get(kind, config)
         if records is not None:
             return records
-        with self._key_lock(kind, config):
+        with ExitStack() as stack:
+            try:
+                # enter_context runs acquisition eagerly, so a timeout
+                # here cannot be confused with one raised by a factory
+                # that itself uses a (nested) cache.
+                stack.enter_context(self._key_lock(kind, config))
+            except CacheLockTimeout:
+                return list(factory())
             # Re-check under the lock: another process may have
             # generated the entry while this one waited.
             records = self.get(kind, config)
@@ -266,7 +297,15 @@ class ArtifactCache:
 
     @contextmanager
     def _key_lock(self, kind: str, config: dict) -> Iterator[None]:
-        """An advisory exclusive lock scoped to one cache key."""
+        """An advisory exclusive lock scoped to one cache key.
+
+        Acquisition is non-blocking under a deadline: a bare
+        ``flock(LOCK_EX)`` would wait forever on a holder that wedged
+        after taking the lock, so this polls ``LOCK_NB`` every
+        :data:`_LOCK_POLL_SECONDS` and raises
+        :class:`repro.errors.CacheLockTimeout` (counted as
+        ``artifacts.lock_timeouts``) once ``lock_timeout`` expires.
+        """
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             yield
             return
@@ -274,7 +313,22 @@ class ArtifactCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         lock_path = path.with_suffix(".lock")
         with lock_path.open("a") as handle:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            deadline = time.monotonic() + self.lock_timeout
+            while True:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except BlockingIOError:
+                    if time.monotonic() >= deadline:
+                        _metrics().count("artifacts.lock_timeouts")
+                        raise CacheLockTimeout(
+                            f"cache lock {lock_path} still held after "
+                            f"{self.lock_timeout}s (wedged holder?)",
+                            lock_path=str(lock_path),
+                            timeout=self.lock_timeout,
+                            stage="lock",
+                        ) from None
+                    time.sleep(min(_LOCK_POLL_SECONDS, self.lock_timeout))
             try:
                 yield
             finally:

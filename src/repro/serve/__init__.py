@@ -1,0 +1,34 @@
+"""``repro.serve`` — a fault-tolerant async result service.
+
+A long-lived HTTP view over the artifact cache: cache hits are served
+from disk, misses become supervised background compute jobs, and every
+failure mode degrades to a status code instead of a dead process.  See
+:mod:`repro.serve.service` for the degradation ladder and DESIGN.md
+§10 for the architecture.
+"""
+
+from repro.serve.jobs import (
+    CircuitBreaker,
+    CircuitOpen,
+    ComputeFailed,
+    ComputeJobManager,
+)
+from repro.serve.service import (
+    ResultServer,
+    ResultService,
+    ServeConfig,
+    ServerThread,
+    run_server,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "ComputeFailed",
+    "ComputeJobManager",
+    "ResultServer",
+    "ResultService",
+    "ServeConfig",
+    "ServerThread",
+    "run_server",
+]

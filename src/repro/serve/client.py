@@ -1,0 +1,149 @@
+"""A small synchronous client for the result service.
+
+The harness tests, the load-generator benchmark, and ``make
+serve-smoke`` all poke the server over real TCP; this module is the
+one place that speaks the client side (stdlib :mod:`http.client`), so
+they agree on timeouts, JSON decoding, and header access.  It also
+carries the load generator itself — closed-loop worker threads
+hammering one URL and recording per-request latency — because the
+benchmark and the smoke test share that too.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FetchResult", "LoadReport", "fetch", "percentile", "run_load"]
+
+
+@dataclass
+class FetchResult:
+    """One response as the client saw it.
+
+    Attributes:
+        status: HTTP status code.
+        headers: Response headers, lowercase names.
+        body: Raw body bytes.
+        elapsed: Wall-clock seconds for the round trip.
+    """
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+    elapsed: float
+
+    def json(self) -> dict:
+        """The body decoded as JSON (raises on non-JSON bodies)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def fetch(
+    host: str,
+    port: int,
+    path: str,
+    *,
+    headers: dict[str, str] | None = None,
+    method: str = "GET",
+    timeout: float = 30.0,
+) -> FetchResult:
+    """One request against a running service."""
+    started = time.monotonic()
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        return FetchResult(
+            status=response.status,
+            headers={k.lower(): v for k, v in response.getheaders()},
+            body=body,
+            elapsed=time.monotonic() - started,
+        )
+    finally:
+        conn.close()
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` (nearest-rank; 0 if empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """What one closed-loop load run observed.
+
+    Attributes:
+        clients: Concurrent worker threads.
+        requests: Completed requests (all statuses).
+        statuses: Count per HTTP status code.
+        latencies: Per-request seconds, arrival order per worker.
+        elapsed: Wall-clock seconds for the whole run.
+    """
+
+    clients: int
+    requests: int = 0
+    statuses: dict[int, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def summary(self) -> dict:
+        """The JSON row the benchmark stores: percentiles + status mix."""
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "p50_ms": round(percentile(self.latencies, 0.50) * 1000, 3),
+            "p95_ms": round(percentile(self.latencies, 0.95) * 1000, 3),
+            "p99_ms": round(percentile(self.latencies, 0.99) * 1000, 3),
+            "elapsed_s": round(self.elapsed, 3),
+            "rps": round(self.requests / self.elapsed, 1) if self.elapsed else 0.0,
+        }
+
+
+def run_load(
+    host: str,
+    port: int,
+    path: str,
+    *,
+    clients: int,
+    requests_per_client: int,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Closed-loop load: ``clients`` threads, each fetching back-to-back."""
+    report = LoadReport(clients=clients)
+    lock = threading.Lock()
+
+    def worker() -> None:
+        for _ in range(requests_per_client):
+            try:
+                result = fetch(host, port, path, timeout=timeout)
+            except OSError:
+                with lock:
+                    report.requests += 1
+                    report.statuses[0] = report.statuses.get(0, 0) + 1
+                continue
+            with lock:
+                report.requests += 1
+                report.statuses[result.status] = (
+                    report.statuses.get(result.status, 0) + 1
+                )
+                report.latencies.append(result.elapsed)
+
+    threads = [
+        threading.Thread(target=worker, name=f"load-{i}") for i in range(clients)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed = time.monotonic() - started
+    return report

@@ -1,0 +1,184 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+The result service (:mod:`repro.serve.service`) speaks a deliberately
+small slice of HTTP — ``GET``/``HEAD`` requests, JSON responses, one
+request per connection — so this module implements exactly that slice
+on the stdlib streams API instead of pulling in a web framework (the
+repository's no-new-dependencies rule).  Everything here is pure
+framing: parse a request head into a :class:`Request`, render a
+:class:`Response` to bytes.  Policy (routing, caching, shedding) lives
+in the service.
+
+Hostile or broken input never raises past :func:`read_request`: an
+over-long or malformed head raises :class:`BadRequest`, which the
+connection handler turns into a ``400`` and a closed connection — a
+garbage client cannot take the server down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = [
+    "BadRequest",
+    "REASONS",
+    "Request",
+    "Response",
+    "json_response",
+    "read_request",
+]
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Upper bound on the request head (request line + headers).  Far above
+#: any legitimate query this API can express, far below anything that
+#: could pressure memory.
+MAX_HEAD_BYTES = 32 * 1024
+
+#: Upper bound on a single head line.
+MAX_LINE_BYTES = 8 * 1024
+
+
+class BadRequest(Exception):
+    """The request head is malformed, over-long, or not HTTP."""
+
+
+@dataclass
+class Request:
+    """One parsed request head.
+
+    Attributes:
+        method: Uppercased method ("GET", "HEAD", ...).
+        target: The raw request target, query string included.
+        path: The decoded path component.
+        query: Query parameters, each name mapping to every value it
+            was given (``?set=a=1&set=b=2`` keeps both).
+        headers: Header fields with lowercased names; duplicate fields
+            keep the last value (none of the headers this service reads
+            are list-valued).
+    """
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """The first value of query parameter ``name``, or ``default``."""
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def params(self, name: str) -> list[str]:
+        """Every value of query parameter ``name`` (possibly empty)."""
+        return list(self.query.get(name, ()))
+
+
+@dataclass
+class Response:
+    """One response, rendered to wire bytes by :meth:`encode`.
+
+    ``body`` is always the full representation; :meth:`encode` drops it
+    for ``HEAD`` requests and ``304``s while keeping the
+    ``Content-Length`` a ``GET`` would have produced, as the RFC
+    requires.
+    """
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def encode(self, *, head_only: bool = False) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+            "Server: repro-serve",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        if head_only or self.status == 304:
+            return head
+        return head + self.body
+
+
+def json_response(
+    status: int, payload: object, headers: dict[str, str] | None = None
+) -> Response:
+    """A :class:`Response` carrying ``payload`` as sorted-key JSON."""
+    body = (json.dumps(payload, sort_keys=True, ensure_ascii=False) + "\n").encode(
+        "utf-8"
+    )
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+async def _read_line(reader, budget: int) -> bytes:
+    line = await reader.readline()
+    if len(line) > min(MAX_LINE_BYTES, budget):
+        raise BadRequest("header line too long")
+    if line and not line.endswith(b"\n"):
+        # readline() returned a partial line: the peer hit the stream
+        # limit or closed mid-line.
+        raise BadRequest("truncated header line")
+    return line
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request head from ``reader``.
+
+    Returns None when the connection closed cleanly before any bytes
+    arrived (a client that connected and left).  Raises
+    :class:`BadRequest` on anything that is not a well-formed HTTP/1.x
+    request head within the size bounds.  A request body, if announced,
+    is *not* consumed — this service answers every request with
+    ``Connection: close``, so unread bytes die with the connection.
+    """
+    budget = MAX_HEAD_BYTES
+    request_line = await _read_line(reader, budget)
+    if not request_line:
+        return None
+    budget -= len(request_line)
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].upper().startswith("HTTP/1"):
+        raise BadRequest(f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, budget)
+        if not line:
+            raise BadRequest("connection closed inside the header block")
+        budget -= len(line)
+        if budget <= 0:
+            raise BadRequest("request head exceeds the size bound")
+        stripped = line.strip()
+        if not stripped:
+            break
+        name, sep, value = stripped.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = parse_qs(split.query, keep_blank_values=True)
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+    )

@@ -1,0 +1,709 @@
+"""The fault-tolerant result service.
+
+``repro serve`` turns the compute stack into a long-lived process: a
+stdlib-asyncio HTTP server whose GET endpoints are a *read-through*
+view of the :class:`~repro.io.artifacts.ArtifactCache`.  A hit is
+served straight from disk; a miss dispatches a supervised
+:class:`~repro.runtime.runner.SuiteRunner` job through
+:class:`~repro.serve.jobs.ComputeJobManager` and answers within the
+request deadline — with the result if the job finishes in time,
+otherwise with ``503 + Retry-After`` while the job keeps running, so
+the retry lands on a warm cache.
+
+The degradation ladder, from healthy to shedding:
+
+1. **Hit** — ``200`` with ``ETag`` (the ``config_hash``); a matching
+   ``If-None-Match`` short-circuits to ``304``.
+2. **Miss, compute in time** — ``200``, result now cached.
+3. **Miss, deadline first** — ``503 + Retry-After``; the job is
+   *abandoned, not cancelled* and finishes in the background.
+4. **Compute keeps failing** — the per-key circuit breaker trips;
+   requests for that key get an immediate ``503 + Retry-After``
+   without burning another doomed job.
+5. **Saturated** — more than ``max_inflight`` requests in flight:
+   admission control sheds with ``429 + Retry-After`` before any work
+   happens.
+6. **Draining** — SIGTERM: ``/readyz`` flips to ``503``, the listener
+   closes, in-flight requests finish, background jobs get
+   ``drain_timeout`` to checkpoint (their cache write *is* the
+   checkpoint).
+
+At every rung the process stays alive; a crashed compute worker is the
+runner's problem (requeue → quarantine), never the server's.
+
+Every request is counted (``serve.*``) and spanned (``serve.request``),
+so the chaos tests can assert the contract — "exactly one compute job
+for N coalesced requests" is a counter equality, not a log grep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import signal
+import sys
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Callable
+
+from repro.errors import SpecError, UnknownExperimentError
+from repro.io.artifacts import ArtifactCache, artifact_key
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import current_tracer
+from repro.serve.http import (
+    BadRequest,
+    Request,
+    Response,
+    json_response,
+    read_request,
+)
+from repro.serve.jobs import (
+    CircuitBreaker,
+    CircuitOpen,
+    ComputeFailed,
+    ComputeJobManager,
+    compute_experiment_rows,
+)
+
+__all__ = [
+    "CORPUS_STATS_KIND",
+    "ResultServer",
+    "ResultService",
+    "ServeConfig",
+    "ServerThread",
+    "compute_corpus_stats",
+    "run_server",
+]
+
+#: Artifact-cache kind for the corpus analytics endpoint.
+CORPUS_STATS_KIND = "corpus-stats"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one service instance (CLI flags map 1:1 onto these).
+
+    Attributes:
+        host: Bind address.
+        port: Bind port (0 picks a free one; see ``ResultServer.port``).
+        workers: Process workers per compute job (``SuiteRunner(workers=)``).
+        cache_dir: Artifact-cache root the service reads through to.
+        max_inflight: Admission-control bound; request N+1 is shed
+            with ``429``.
+        deadline: Per-request wall-clock budget in seconds; a cold
+            request still computing at the deadline gets ``503``.
+        retry_after: Seconds suggested in ``Retry-After`` for ``429``
+            and deadline/compute ``503``s (breaker ``503``s use the
+            remaining cooldown instead).
+        breaker_threshold: Consecutive compute failures that trip a
+            key's circuit.
+        breaker_cooldown: Seconds a tripped circuit stays open.
+        drain_timeout: Seconds graceful drain waits — once for in-flight
+            requests, then again for background jobs to checkpoint.
+        executor_workers: Concurrent compute jobs (thread-pool size).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 1
+    cache_dir: str | None = None
+    max_inflight: int = 64
+    deadline: float = 30.0
+    retry_after: float = 2.0
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    drain_timeout: float = 10.0
+    executor_workers: int = 2
+
+
+def compute_corpus_stats(config, *, cache: ArtifactCache) -> list[dict]:
+    """Generate (or load) a corpus and cache its analytics summary.
+
+    The stats row is a pure function of the generator config, so it is
+    cached under ``(corpus-stats, asdict(config))`` — and the heavy
+    part, the corpus itself, goes through the shared corpus cache
+    layers, so a stats miss after a warm suite run is still cheap.
+    """
+    from collections import Counter
+
+    from repro.experiments._corpus import shared_corpus_from_config
+
+    corpus, truth = shared_corpus_from_config(config)
+    papers = corpus.papers()
+    by_year = Counter(p.year for p in papers)
+    by_topic = Counter(p.topic for p in papers)
+    by_sector = Counter(a.sector for a in corpus.authors())
+    stats = {
+        "config": asdict(config),
+        "papers": len(papers),
+        "authors": len(corpus.authors()),
+        "venues": len(corpus.venues()),
+        "papers_by_year": {str(y): n for y, n in sorted(by_year.items())},
+        "papers_by_topic": dict(sorted(by_topic.items())),
+        "authors_by_sector": dict(sorted(by_sector.items())),
+        "positionality_papers": len(truth.positionality),
+        "human_method_papers": len(truth.human_methods),
+    }
+    rows = [stats]
+    cache.put(CORPUS_STATS_KIND, asdict(config), rows)
+    return rows
+
+
+class ResultService:
+    """Routing, admission control, and read-through logic — no sockets.
+
+    Separated from :class:`ResultServer` (which owns the listener) so
+    tests can drive :meth:`respond` with synthetic :class:`Request`
+    objects and assert on status codes and counters without a single
+    TCP connection.
+
+    Args:
+        config: The :class:`ServeConfig` tunables.
+        metrics: Counter sink; a fresh :class:`MetricsRegistry` by
+            default so ``/metrics`` always has something to report.
+        tracer: Span sink (ambient tracer by default).
+        fault_injector: Passed through to every compute job's runner —
+            the chaos tests arm worker-kill faults here.
+        runner_kwargs: Extra :class:`SuiteRunner` keywords for compute
+            jobs (retries, crash budgets, heartbeats).
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+        fault_injector=None,
+        runner_kwargs: dict | None = None,
+    ) -> None:
+        if config.cache_dir is None:
+            raise ValueError("ServeConfig.cache_dir is required to serve")
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.cache = ArtifactCache(config.cache_dir)
+        self.jobs = ComputeJobManager(
+            executor_workers=config.executor_workers,
+            breaker=CircuitBreaker(
+                threshold=config.breaker_threshold,
+                cooldown=config.breaker_cooldown,
+            ),
+            metrics=self.metrics,
+        )
+        self.fault_injector = fault_injector
+        self.runner_kwargs = dict(runner_kwargs or {})
+        self.draining = False
+        self._inflight = 0
+        self._started = time.monotonic()
+
+    # -- connection plumbing -------------------------------------------
+
+    async def handle_connection(self, reader, writer) -> None:
+        """One connection: read a request, respond, close.
+
+        Nothing a client sends can raise past here: malformed heads are
+        ``400``, a slow-loris head read is bounded by the request
+        deadline, and connection resets during the write are swallowed.
+        """
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), self.config.deadline
+                )
+            except BadRequest as exc:
+                self.metrics.count("serve.bad_requests")
+                await self._write(
+                    writer, json_response(400, {"error": str(exc)}), head_only=False
+                )
+                return
+            except asyncio.TimeoutError:
+                # Head never arrived inside the deadline; just hang up.
+                self.metrics.count("serve.bad_requests")
+                return
+            if request is None:
+                return
+            response = await self.respond(request)
+            await self._write(
+                writer, response, head_only=request.method == "HEAD"
+            )
+        except (ConnectionError, BrokenPipeError):
+            self.metrics.count("serve.client_aborts")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _write(self, writer, response: Response, *, head_only: bool) -> None:
+        writer.write(response.encode(head_only=head_only))
+        await writer.drain()
+
+    # -- admission + dispatch ------------------------------------------
+
+    async def respond(self, request: Request) -> Response:
+        """Admission control, deadline enforcement, routing, accounting."""
+        self.metrics.count("serve.requests")
+        started = time.monotonic()
+        response = await self._admit_and_route(request)
+        self.metrics.count(f"serve.responses.{response.status}")
+        self.metrics.observe(
+            "serve.request_seconds", time.monotonic() - started
+        )
+        return response
+
+    async def _admit_and_route(self, request: Request) -> Response:
+        if request.method not in ("GET", "HEAD"):
+            return json_response(
+                405,
+                {"error": f"method {request.method} not supported"},
+                {"Allow": "GET, HEAD"},
+            )
+        # Liveness answers regardless of drain or saturation: the probe
+        # asking "is the process up" must not be shed by load.
+        if request.path == "/healthz":
+            return json_response(
+                200, {"status": "alive", "uptime": time.monotonic() - self._started}
+            )
+        if request.path == "/readyz":
+            if self.draining:
+                return json_response(
+                    503,
+                    {"status": "draining"},
+                    {"Retry-After": _retry_after(self.config.retry_after)},
+                )
+            return json_response(
+                200, {"status": "ready", "inflight": self._inflight}
+            )
+        if self.draining:
+            return json_response(
+                503,
+                {"error": "server is draining"},
+                {"Retry-After": _retry_after(self.config.retry_after)},
+            )
+        if self._inflight >= self.config.max_inflight:
+            self.metrics.count("serve.shed")
+            return json_response(
+                429,
+                {
+                    "error": "server saturated",
+                    "inflight": self._inflight,
+                    "max_inflight": self.config.max_inflight,
+                },
+                {"Retry-After": _retry_after(self.config.retry_after)},
+            )
+        self._inflight += 1
+        self.metrics.set_gauge("serve.inflight", self._inflight)
+        try:
+            with self.tracer.span(
+                "serve.request", method=request.method, path=request.path
+            ) as span:
+                response = await self._route_with_deadline(request)
+                span.set_attribute("status", response.status)
+                return response
+        finally:
+            self._inflight -= 1
+            self.metrics.set_gauge("serve.inflight", self._inflight)
+
+    async def _route_with_deadline(self, request: Request) -> Response:
+        try:
+            return await asyncio.wait_for(
+                self._route(request), self.config.deadline
+            )
+        except asyncio.TimeoutError:
+            self.metrics.count("serve.deadline_timeouts")
+            return json_response(
+                503,
+                {
+                    "error": "deadline exceeded; compute continues in background",
+                    "deadline": self.config.deadline,
+                },
+                {"Retry-After": _retry_after(self.config.retry_after)},
+            )
+        except CircuitOpen as exc:
+            return json_response(
+                503,
+                {"error": str(exc), "circuit": "open"},
+                {"Retry-After": _retry_after(exc.retry_after)},
+            )
+        except ComputeFailed as exc:
+            return json_response(
+                503,
+                {"error": str(exc), "crash": exc.crash},
+                {"Retry-After": _retry_after(self.config.retry_after)},
+            )
+        except BadRequest as exc:
+            return json_response(400, {"error": str(exc)})
+        except UnknownExperimentError as exc:
+            return json_response(404, {"error": str(exc)})
+        except SpecError as exc:
+            return json_response(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            self.metrics.count("serve.errors")
+            return json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    # -- routing --------------------------------------------------------
+
+    async def _route(self, request: Request) -> Response:
+        path = request.path.rstrip("/") or "/"
+        if path == "/metrics":
+            return json_response(200, self.metrics.snapshot())
+        if path == "/v1/experiments":
+            return self._experiments()
+        if path == "/v1/corpus":
+            return await self._corpus(request)
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "result":
+            if len(parts) == 3:
+                return await self._result(request, parts[2])
+            if len(parts) == 4:
+                return self._result_by_hash(parts[2], parts[3])
+        if len(parts) == 3 and parts[0] == "v1" and parts[1] == "grid":
+            return self._grid(request, parts[2])
+        return json_response(404, {"error": f"no route for {request.path}"})
+
+    def _experiments(self) -> Response:
+        from repro.experiments.registry import all_experiments, describe
+
+        listing = []
+        for experiment_id in all_experiments():
+            title, claim = describe(experiment_id)
+            listing.append(
+                {"id": experiment_id, "title": title, "claim": claim}
+            )
+        return json_response(200, {"experiments": listing})
+
+    # -- results --------------------------------------------------------
+
+    def _build_spec(self, experiment_id: str, request: Request):
+        from repro.experiments.registry import make_spec, spec_class
+        from repro.experiments.spec import parse_set_overrides
+
+        try:
+            seed = int(request.param("seed", "0"))
+        except ValueError:
+            raise BadRequest(f"seed={request.param('seed')!r} is not an integer")
+        preset = request.param("preset", "fast")
+        overrides = parse_set_overrides(
+            spec_class(experiment_id), request.params("set")
+        )
+        return make_spec(
+            experiment_id, preset=preset, seed=seed, overrides=overrides
+        )
+
+    def _result_payload(
+        self, experiment_id: str, config_hash: str, rows: list[dict], source: str
+    ) -> dict:
+        row = rows[0] if rows else {}
+        return {
+            "experiment_id": experiment_id,
+            "config_hash": config_hash,
+            "source": source,
+            "record": row.get("record"),
+            "result": row.get("result"),
+        }
+
+    def _result_response(
+        self,
+        request: Request | None,
+        experiment_id: str,
+        config_hash: str,
+        rows: list[dict],
+        source: str,
+    ) -> Response:
+        etag = f'"{config_hash}"'
+        if request is not None and request.headers.get("if-none-match") == etag:
+            self.metrics.count("serve.not_modified")
+            return Response(status=304, headers={"ETag": etag})
+        return json_response(
+            200,
+            self._result_payload(experiment_id, config_hash, rows, source),
+            {"ETag": etag, "X-Config-Hash": config_hash},
+        )
+
+    async def _result(self, request: Request, experiment_id: str) -> Response:
+        from repro.experiments.sweep import SWEEP_RESULT_KIND, result_cache_config
+
+        spec = self._build_spec(experiment_id, request)
+        config_hash = spec.config_hash()
+        rows = self.cache.get(
+            SWEEP_RESULT_KIND, result_cache_config(experiment_id, config_hash)
+        )
+        if rows:
+            self.metrics.count("serve.hits")
+            return self._result_response(
+                request, experiment_id, config_hash, rows, "cache"
+            )
+        self.metrics.count("serve.misses")
+        job = self.jobs.submit(config_hash, self._experiment_compute(spec))
+        # shield(): a deadline cancels *this request's wait*, never the
+        # shared job — coalesced peers and the eventual cache write
+        # survive, and the outer wait_for turns the timeout into 503.
+        rows = await asyncio.shield(job)
+        return self._result_response(
+            request, experiment_id, config_hash, rows, "computed"
+        )
+
+    def _experiment_compute(self, spec) -> Callable[[], list[dict]]:
+        def compute() -> list[dict]:
+            return compute_experiment_rows(
+                spec,
+                cache=self.cache,
+                cache_dir=self.config.cache_dir,
+                workers=self.config.workers,
+                metrics=self.metrics,
+                fault_injector=self.fault_injector,
+                runner_kwargs=self.runner_kwargs,
+            )
+
+        return compute
+
+    def _result_by_hash(self, experiment_id: str, config_hash: str) -> Response:
+        """Cache-only lookup: a hash names a computation, never starts one."""
+        from repro.experiments.sweep import SWEEP_RESULT_KIND, result_cache_config
+
+        rows = self.cache.get(
+            SWEEP_RESULT_KIND, result_cache_config(experiment_id, config_hash)
+        )
+        if not rows:
+            self.metrics.count("serve.misses")
+            return json_response(
+                404,
+                {
+                    "error": f"no cached result for {experiment_id}/{config_hash}",
+                    "hint": "POST-free API: request /v1/result/"
+                    f"{experiment_id}?seed=... to compute it",
+                },
+            )
+        self.metrics.count("serve.hits")
+        return self._result_response(
+            None, experiment_id, config_hash, rows, "cache"
+        )
+
+    # -- grids ----------------------------------------------------------
+
+    def _grid(self, request: Request, experiment_id: str) -> Response:
+        """Expand a grid and report per-point cache status (no compute)."""
+        from repro.experiments.registry import spec_class
+        from repro.experiments.sweep import (
+            SWEEP_RESULT_KIND,
+            expand_grid,
+            parse_grid_args,
+            result_cache_config,
+        )
+
+        base = self._build_spec(experiment_id, request)
+        axes = parse_grid_args(spec_class(experiment_id), request.params("grid"))
+        specs = expand_grid(base, axes)
+        points = []
+        cached = 0
+        for spec in specs:
+            config_hash = spec.config_hash()
+            rows = self.cache.get(
+                SWEEP_RESULT_KIND,
+                result_cache_config(experiment_id, config_hash),
+            )
+            if rows:
+                cached += 1
+            points.append({"config_hash": config_hash, "cached": bool(rows)})
+        return json_response(
+            200,
+            {
+                "experiment_id": experiment_id,
+                "axes": {k: [repr(v) for v in vs] for k, vs in axes.items()},
+                "points": points,
+                "total": len(points),
+                "cached": cached,
+            },
+        )
+
+    # -- corpus analytics ------------------------------------------------
+
+    async def _corpus(self, request: Request) -> Response:
+        from repro.experiments._corpus import corpus_config
+
+        try:
+            seed = int(request.param("seed", "0"))
+        except ValueError:
+            raise BadRequest(f"seed={request.param('seed')!r} is not an integer")
+        preset = request.param("preset", "fast")
+        if preset not in ("fast", "full"):
+            raise BadRequest(f"preset={preset!r} must be 'fast' or 'full'")
+        config = corpus_config(seed=seed, fast=preset == "fast")
+        for name in ("start_year", "end_year", "authors_per_venue_pool"):
+            raw = request.param(name)
+            if raw is not None:
+                try:
+                    config = replace(config, **{name: int(raw)})
+                except ValueError:
+                    raise BadRequest(f"{name}={raw!r} is not an integer")
+        config_dict = asdict(config)
+        config_hash = artifact_key(
+            CORPUS_STATS_KIND, config_dict, self.cache.version
+        )
+        etag = f'"{config_hash}"'
+        rows = self.cache.get(CORPUS_STATS_KIND, config_dict)
+        if rows:
+            self.metrics.count("serve.hits")
+            source = "cache"
+        else:
+            self.metrics.count("serve.misses")
+            job = self.jobs.submit(
+                config_hash,
+                lambda: compute_corpus_stats(config, cache=self.cache),
+            )
+            rows = await asyncio.shield(job)
+            source = "computed"
+        if request.headers.get("if-none-match") == etag:
+            self.metrics.count("serve.not_modified")
+            return Response(status=304, headers={"ETag": etag})
+        return json_response(
+            200,
+            {"config_hash": config_hash, "source": source, "stats": rows[0]},
+            {"ETag": etag, "X-Config-Hash": config_hash},
+        )
+
+    # -- drain -----------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop admitting, let in-flight requests and jobs finish."""
+        self.draining = True
+        self.metrics.count("serve.drains")
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        remaining = max(0.1, deadline - time.monotonic())
+        abandoned = await self.jobs.drain(remaining)
+        self.metrics.set_gauge("serve.inflight", self._inflight)
+        if abandoned:
+            self.metrics.count("serve.drain_abandoned", abandoned)
+
+
+def _retry_after(seconds: float) -> str:
+    """``Retry-After`` as an integral number of seconds, at least 1."""
+    return str(max(1, math.ceil(seconds)))
+
+
+class ResultServer:
+    """The asyncio listener around a :class:`ResultService`."""
+
+    def __init__(self, service: ResultService) -> None:
+        self.service = service
+        self._server = None
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self.service.handle_connection, config.host, config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: close the listener, then drain the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain()
+
+
+async def _serve_until_signalled(service: ResultService) -> None:
+    server = ResultServer(service)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    print(
+        f"repro serve listening on "
+        f"http://{service.config.host}:{server.port} "
+        f"(cache: {service.config.cache_dir})",
+        file=sys.stderr,
+        flush=True,
+    )
+    await stop.wait()
+    print("repro serve: draining ...", file=sys.stderr, flush=True)
+    await server.drain()
+    print("repro serve: drained, bye", file=sys.stderr, flush=True)
+
+
+def run_server(service: ResultService) -> int:
+    """Run ``service`` until SIGINT/SIGTERM; returns a process exit code."""
+    asyncio.run(_serve_until_signalled(service))
+    return 0
+
+
+class ServerThread:
+    """A :class:`ResultService` on a daemon thread with its own loop.
+
+    The harness tests, the load-generator benchmark, and the smoke
+    script all need a live server *inside* the current process (so they
+    can reach its metrics registry and fault injector).  Use as a
+    context manager::
+
+        with ServerThread(service) as server:
+            fetch("127.0.0.1", server.port, "/healthz")
+
+    Exit triggers the same graceful drain SIGTERM would.
+    """
+
+    def __init__(self, service: ResultService) -> None:
+        self.service = service
+        self.port: int | None = None
+        self._thread = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "ServerThread":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("server thread failed to start in 10s")
+        if self._startup_error is not None:
+            raise RuntimeError("server thread failed to start") from (
+                self._startup_error
+            )
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = ResultServer(self.service)
+        await server.start()
+        self.port = server.port
+        self._ready.set()
+        await self._stop.wait()
+        await server.drain()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Trigger the graceful drain and wait for the thread to exit."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()

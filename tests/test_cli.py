@@ -378,3 +378,100 @@ class TestSetOverrides:
         hash_a = json.loads(first[first.index("{"):])["records"][0]["config_hash"]
         hash_b = json.loads(second[second.index("{"):])["records"][0]["config_hash"]
         assert hash_a != hash_b
+
+
+class TestGracefulInterrupt:
+    """Ctrl-C / SIGTERM mid-suite: one resume hint, exit 130, no traceback."""
+
+    def test_interrupted_run_exits_130_with_checkpoint_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        def interrupted_run_all(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        from repro.runtime.runner import SuiteRunner
+
+        monkeypatch.setattr(SuiteRunner, "run_all", interrupted_run_all)
+        ckpt = str(tmp_path / "suite.ckpt")
+        code = main(["experiments", "E11", "--checkpoint", ckpt])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert f"--checkpoint {ckpt}" in err
+
+    def test_interrupted_run_without_checkpoint_suggests_one(
+        self, capsys, monkeypatch
+    ):
+        def interrupted_run_all(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        from repro.runtime.runner import SuiteRunner
+
+        monkeypatch.setattr(SuiteRunner, "run_all", interrupted_run_all)
+        assert main(["experiments", "E11"]) == 130
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_interrupted_sweep_exits_130_with_cache_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        def interrupted_sweep(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.experiments.sweep.run_sweep", interrupted_sweep)
+        cache = str(tmp_path / "cache")
+        code = main(
+            ["sweep", "E7", "--grid", "seed=0,1", "--cache-dir", cache]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert f"--cache-dir {cache}" in err
+
+    def test_sigterm_is_mapped_to_keyboard_interrupt(self):
+        import os
+        import signal
+
+        from repro.cli import _graceful_signals
+
+        with pytest.raises(KeyboardInterrupt):
+            with _graceful_signals():
+                os.kill(os.getpid(), signal.SIGTERM)
+                signal.sigtimedwait([], 1)  # give delivery a beat
+        # handler restored after the block
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--cache-dir", "/tmp/c"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8737
+        assert args.workers == 1
+        assert args.max_inflight == 64
+        assert args.deadline == 30.0
+        assert args.breaker_threshold == 3
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_serve_flags_round_trip_into_config(self, tmp_path, monkeypatch):
+        captured = {}
+
+        def fake_run_server(service):
+            captured["config"] = service.config
+            return 0
+
+        monkeypatch.setattr("repro.serve.service.run_server", fake_run_server)
+        code = main([
+            "serve", "--cache-dir", str(tmp_path), "--port", "0",
+            "--workers", "2", "--max-inflight", "5", "--deadline", "3.5",
+            "--breaker-threshold", "7", "--drain-timeout", "1.5",
+        ])
+        assert code == 0
+        config = captured["config"]
+        assert config.cache_dir == str(tmp_path)
+        assert config.workers == 2
+        assert config.max_inflight == 5
+        assert config.deadline == 3.5
+        assert config.breaker_threshold == 7
+        assert config.drain_timeout == 1.5

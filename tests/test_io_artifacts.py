@@ -224,3 +224,81 @@ class TestConcurrency:
             assert proc.exitcode == 0
         # every process observed the same creator's records
         assert len(creators) == 1
+
+
+class TestLockTimeout:
+    """A wedged lock holder degrades get_or_create, never freezes it."""
+
+    def _hold_lock(self, cache, kind, config):
+        """Take the per-key flock the way a wedged process would."""
+        import fcntl
+
+        lock_path = cache.path_for(kind, config).with_suffix(".lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = lock_path.open("a")
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        return handle
+
+    def test_wedged_holder_times_out_with_context(self, tmp_path):
+        from repro.errors import CacheLockTimeout
+
+        cache = ArtifactCache(tmp_path, lock_timeout=0.15)
+        holder = self._hold_lock(cache, "slow", CONFIG)
+        try:
+            with pytest.raises(CacheLockTimeout) as excinfo:
+                with cache._key_lock("slow", CONFIG):
+                    pass  # pragma: no cover - never acquired
+        finally:
+            holder.close()
+        assert excinfo.value.timeout == 0.15
+        assert excinfo.value.lock_path.endswith(".lock")
+
+    def test_get_or_create_falls_back_to_uncached_compute(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = ArtifactCache(tmp_path, lock_timeout=0.15)
+        holder = self._hold_lock(cache, "slow", CONFIG)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return squares()
+
+        try:
+            with use_metrics(metrics):
+                records = cache.get_or_create("slow", CONFIG, factory)
+        finally:
+            holder.close()
+        assert records == squares()
+        assert calls == [1]
+        counts = metrics.snapshot()["counters"]
+        assert counts["artifacts.lock_timeouts"] == 1
+        # the entry was NOT written: the wedged holder may still be
+        # mid-generation, and a half-baked overwrite would be worse
+        assert not cache.path_for("slow", CONFIG).exists()
+
+    def test_released_lock_resumes_normal_caching(self, tmp_path):
+        cache = ArtifactCache(tmp_path, lock_timeout=0.15)
+        holder = self._hold_lock(cache, "slow", CONFIG)
+        cache.get_or_create("slow", CONFIG, squares)  # timed-out fallback
+        holder.close()  # the wedged holder dies; the lock frees
+        records = cache.get_or_create("slow", CONFIG, squares)
+        assert records == squares()
+        assert cache.path_for("slow", CONFIG).exists()
+
+    def test_factory_errors_are_not_mistaken_for_timeouts(self, tmp_path):
+        cache = ArtifactCache(tmp_path, lock_timeout=0.15)
+
+        def factory():
+            raise RuntimeError("factory bug, not a lock problem")
+
+        with pytest.raises(RuntimeError, match="factory bug"):
+            cache.get_or_create("k", CONFIG, factory)
+
+    def test_uncontended_lock_acquires_immediately(self, tmp_path):
+        import time
+
+        cache = ArtifactCache(tmp_path, lock_timeout=0.15)
+        started = time.monotonic()
+        with cache._key_lock("k", CONFIG):
+            pass
+        assert time.monotonic() - started < 0.1

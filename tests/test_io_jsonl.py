@@ -151,3 +151,93 @@ class TestAtomicWrites:
         # Appends can tear only the tail; salvage mode recovers the rest.
         salvaged = list(read_jsonl(path, on_error="skip"))
         assert salvaged[0] == {"old": 1}
+
+
+class TestSalvageTail:
+    """salvage_jsonl_tail edge cases: the resume path must repair any
+    torn tail a killed writer can leave, and append safely afterwards."""
+
+    def _salvage(self, path):
+        from repro.io.jsonl import salvage_jsonl_tail
+
+        return salvage_jsonl_tail(path)
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        assert self._salvage(tmp_path / "absent.jsonl") is None
+
+    def test_empty_file_is_a_noop(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_bytes(b"")
+        assert self._salvage(path) is None
+        assert path.read_bytes() == b""
+
+    def test_clean_file_is_a_noop(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        before = path.read_bytes()
+        assert self._salvage(path) is None
+        assert path.read_bytes() == before
+
+    def test_file_that_is_only_a_torn_record(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_bytes(b'{"half": tru')  # writer died mid-first-record
+        assert self._salvage(path) == "truncated"
+        assert path.read_bytes() == b""
+        # resume: appending to the emptied file works normally
+        append_jsonl(path, [{"fresh": 1}])
+        assert list(read_jsonl(path)) == [{"fresh": 1}]
+
+    def test_torn_tail_spanning_multiple_partial_lines(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        # two good records, then a tail that glued two partial writes
+        # together without a newline between them
+        path.write_bytes(
+            b'{"a": 1}\n{"b": 2}\n{"c": 3}{"d": '
+        )
+        assert self._salvage(path) == "truncated"
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+        append_jsonl(path, [{"e": 5}])
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}, {"e": 5}]
+
+    def test_final_record_missing_its_newline_is_closed(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        # the writer died between the record bytes and the newline: the
+        # record is complete JSON and must survive, not be truncated
+        path.write_bytes(b'{"a": 1}\n{"b": 2}')
+        assert self._salvage(path) == "closed"
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+        append_jsonl(path, [{"c": 3}])
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}, {"c": 3}]
+
+    def test_salvage_without_repair_corrupts_the_next_append(self, tmp_path):
+        """Why salvage exists: a torn tail silently eats the next append."""
+        path = tmp_path / "data.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"torn": ')
+        append_jsonl(path, [{"b": 2}])  # concatenates onto the torn tail
+        with pytest.raises(json.JSONDecodeError):
+            list(read_jsonl(path))
+
+    def test_salvage_is_idempotent(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"torn": ')
+        assert self._salvage(path) == "truncated"
+        assert self._salvage(path) is None
+        path2 = tmp_path / "closed.jsonl"
+        path2.write_bytes(b'{"a": 1}')
+        assert self._salvage(path2) == "closed"
+        assert self._salvage(path2) is None
+
+    def test_salvage_events_are_counted(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        metrics = MetricsRegistry()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(b'{"x": ')
+        unterminated = tmp_path / "unterminated.jsonl"
+        unterminated.write_bytes(b'{"x": 1}')
+        with use_metrics(metrics):
+            assert self._salvage(torn) == "truncated"
+            assert self._salvage(unterminated) == "closed"
+        counts = metrics.snapshot()["counters"]
+        assert counts["io.jsonl.tails_truncated"] == 1
+        assert counts["io.jsonl.tails_closed"] == 1

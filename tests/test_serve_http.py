@@ -1,0 +1,116 @@
+"""Tests for repro.serve.http — the framing layer.
+
+Framing must parse every request the service's own client emits,
+reject hostile or broken input with BadRequest (never an uncaught
+exception), and render responses that honor the HEAD/304 body rules.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_HEAD_BYTES,
+    BadRequest,
+    Response,
+    json_response,
+    read_request,
+)
+
+
+def _parse(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = _parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+
+    def test_query_parsing_keeps_repeats(self):
+        request = _parse(
+            b"GET /v1/result/E7?seed=3&set=a=1&set=b=2 HTTP/1.1\r\n\r\n"
+        )
+        assert request.param("seed") == "3"
+        assert request.params("set") == ["a=1", "b=2"]
+        assert request.param("absent") is None
+        assert request.param("absent", "dflt") == "dflt"
+
+    def test_method_uppercased_and_header_names_lowercased(self):
+        request = _parse(b"get / HTTP/1.0\r\nIf-None-Match: \"abc\"\r\n\r\n")
+        assert request.method == "GET"
+        assert request.headers["if-none-match"] == '"abc"'
+
+    def test_percent_decoded_path(self):
+        request = _parse(b"GET /a%20b HTTP/1.1\r\n\r\n")
+        assert request.path == "/a b"
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(BadRequest):
+            _parse(b"NOT HTTP\r\n\r\n")
+
+    def test_non_http_version_raises(self):
+        with pytest.raises(BadRequest):
+            _parse(b"GET / SPDY/3\r\n\r\n")
+
+    def test_header_without_colon_raises(self):
+        with pytest.raises(BadRequest):
+            _parse(b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n")
+
+    def test_eof_inside_header_block_raises(self):
+        with pytest.raises(BadRequest):
+            _parse(b"GET / HTTP/1.1\r\nHost: x\r\n")
+
+    def test_oversized_head_raises(self):
+        filler = b"".join(
+            b"X-Pad-%d: %s\r\n" % (i, b"y" * 1024) for i in range(40)
+        )
+        assert len(filler) > MAX_HEAD_BYTES
+        with pytest.raises(BadRequest):
+            _parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+
+    def test_oversized_single_line_raises(self):
+        with pytest.raises(BadRequest):
+            _parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+
+
+class TestResponse:
+    def test_json_response_roundtrips(self):
+        import json
+
+        response = json_response(200, {"b": 2, "a": 1})
+        assert json.loads(response.body) == {"a": 1, "b": 2}
+        assert response.body.endswith(b"\n")
+
+    def test_encode_carries_status_and_length(self):
+        response = json_response(429, {"error": "x"}, {"Retry-After": "2"})
+        wire = response.encode()
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests")
+        assert b"Retry-After: 2" in head
+        assert b"Connection: close" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_head_only_drops_body_keeps_length(self):
+        response = json_response(200, {"big": "x" * 100})
+        wire = response.encode(head_only=True)
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert body == b""
+        assert f"Content-Length: {len(response.body)}".encode() in head
+
+    def test_304_never_carries_a_body(self):
+        response = Response(status=304, headers={"ETag": '"h"'})
+        wire = response.encode()
+        assert wire.endswith(b"\r\n\r\n")
+        assert b"ETag" in wire

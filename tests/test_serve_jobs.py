@@ -1,0 +1,237 @@
+"""Tests for repro.serve.jobs — coalescing, breaker, drain.
+
+The job manager is the robustness core of the service: N submits for
+one key must run one compute, failures must trip the per-key breaker
+(and only that key's), and drain must bound how long stragglers can
+hold up shutdown.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import (
+    CircuitBreaker,
+    CircuitOpen,
+    ComputeFailed,
+    ComputeJobManager,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_closed_by_default(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        assert breaker.seconds_until_half_open("k") is None
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        assert breaker.record_failure("k") is False
+        assert breaker.record_failure("k") is False
+        assert breaker.seconds_until_half_open("k") is None
+
+    def test_threshold_trips_and_counts_down(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=clock)
+        breaker.record_failure("k")
+        assert breaker.record_failure("k") is True
+        assert breaker.seconds_until_half_open("k") == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.seconds_until_half_open("k") == pytest.approx(6.0)
+        assert breaker.open_keys() == ["k"]
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=clock)
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        clock.advance(11.0)
+        assert breaker.seconds_until_half_open("k") is None  # probe allowed
+        breaker.record_success("k")
+        assert breaker.record_failure("k") is False  # count fully reset
+
+    def test_half_open_probe_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance(11.0)
+        assert breaker.seconds_until_half_open("k") is None
+        assert breaker.record_failure("k") is True  # one strike re-opens
+        assert breaker.seconds_until_half_open("k") == pytest.approx(10.0)
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1, clock=FakeClock())
+        breaker.record_failure("bad")
+        assert breaker.seconds_until_half_open("bad") is not None
+        assert breaker.seconds_until_half_open("good") is None
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+def _counters(metrics):
+    return metrics.snapshot()["counters"]
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_one_compute(self):
+        metrics = MetricsRegistry()
+        calls = []
+        release = threading.Event()
+
+        def compute():
+            calls.append(1)
+            release.wait(timeout=5)
+            return [{"v": 42}]
+
+        async def run():
+            manager = ComputeJobManager(metrics=metrics)
+            first = manager.submit("k", compute)
+            # second/third submits while the first is still computing
+            assert manager.submit("k", compute) is first
+            assert manager.submit("k", compute) is first
+            assert manager.inflight == 1
+            release.set()
+            results = await asyncio.gather(first, manager.submit("k", compute))
+            return results
+
+        results = run_with_loop(run)
+        assert all(r == [{"v": 42}] for r in results)
+        assert len(calls) == 1
+        counters = _counters(metrics)
+        assert counters["serve.compute_jobs"] == 1
+        assert counters["serve.coalesced"] == 3
+        assert counters["serve.compute_ok"] == 1
+
+    def test_distinct_keys_run_distinct_jobs(self):
+        metrics = MetricsRegistry()
+
+        async def run():
+            manager = ComputeJobManager(metrics=metrics)
+            a = manager.submit("a", lambda: [{"k": "a"}])
+            b = manager.submit("b", lambda: [{"k": "b"}])
+            assert a is not b
+            return await asyncio.gather(a, b)
+
+        results = run_with_loop(run)
+        assert [r[0]["k"] for r in results] == ["a", "b"]
+        assert _counters(metrics)["serve.compute_jobs"] == 2
+
+    def test_finished_key_recomputes_on_next_submit(self):
+        calls = []
+
+        async def run():
+            manager = ComputeJobManager()
+
+            def compute():
+                calls.append(1)
+                return [{"n": len(calls)}]
+
+            first = await manager.submit("k", compute)
+            second = await manager.submit("k", compute)
+            return first, second
+
+        first, second = run_with_loop(run)
+        assert first == [{"n": 1}] and second == [{"n": 2}]
+        assert len(calls) == 2
+
+
+class TestFailures:
+    def test_failure_propagates_to_every_awaiter(self):
+        metrics = MetricsRegistry()
+
+        def compute():
+            raise ComputeFailed("boom", detail="synthetic")
+
+        async def run():
+            manager = ComputeJobManager(metrics=metrics)
+            job = manager.submit("k", compute)
+            shared = manager.submit("k", compute)
+            with pytest.raises(ComputeFailed):
+                await job
+            with pytest.raises(ComputeFailed):
+                await shared
+
+        run_with_loop(run)
+        counters = _counters(metrics)
+        assert counters["serve.compute_failed"] == 1
+        assert counters.get("serve.compute_ok", 0) == 0
+
+    def test_repeated_failures_trip_the_breaker(self):
+        metrics = MetricsRegistry()
+
+        def compute():
+            raise RuntimeError("always down")
+
+        async def run():
+            manager = ComputeJobManager(
+                breaker=CircuitBreaker(threshold=2, cooldown=60.0),
+                metrics=metrics,
+            )
+            for _ in range(2):
+                with pytest.raises(RuntimeError):
+                    await manager.submit("k", compute)
+            with pytest.raises(CircuitOpen) as excinfo:
+                manager.submit("k", compute)
+            assert excinfo.value.retry_after > 0
+            # other keys still dispatch
+            assert await manager.submit("other", lambda: [{}]) == [{}]
+
+        run_with_loop(run)
+        counters = _counters(metrics)
+        assert counters["serve.breaker_trips"] == 1
+        assert counters["serve.breaker_rejects"] == 1
+        assert counters["serve.compute_jobs"] == 3  # the reject dispatched none
+
+
+class TestDrain:
+    def test_drain_waits_for_quick_jobs(self):
+        async def run():
+            manager = ComputeJobManager()
+            job = manager.submit("k", lambda: [{"ok": True}])
+            abandoned = await manager.drain(timeout=5.0)
+            assert abandoned == 0
+            assert job.done()
+
+        run_with_loop(run)
+
+    def test_drain_abandons_stragglers_within_timeout(self):
+        metrics = MetricsRegistry()
+        release = threading.Event()
+
+        def compute():
+            release.wait(timeout=10)
+            return [{}]
+
+        async def run():
+            manager = ComputeJobManager(metrics=metrics)
+            manager.submit("slow", compute)
+            started = time.monotonic()
+            abandoned = await manager.drain(timeout=0.2)
+            elapsed = time.monotonic() - started
+            release.set()
+            assert abandoned == 1
+            assert elapsed < 5.0
+
+        run_with_loop(run)
+        assert _counters(metrics)["serve.jobs_abandoned"] == 1
+
+
+def run_with_loop(coro_factory):
+    """asyncio.run with a fresh loop (the manager binds to the running loop)."""
+    return asyncio.run(coro_factory())
