@@ -66,8 +66,38 @@ obs-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro obs report .obs-smoke/trace.jsonl
 	rm -rf .obs-smoke
 
+# The perf-regression gate against the committed ledger: re-measure the
+# cheap hot paths, append to benchmarks/results/BENCH_history.json, and
+# fail if any gated series is >20% worse than its trailing median.
+bench-gate:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench run scanner tfidf --repeats 12
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench gate
+
+# The gate machinery end to end against a throwaway ledger: two honest
+# runs must pass, then a synthetically inflated (+50%) entry must make
+# the gate exit non-zero — proving it can actually fail.
+bench-gate-smoke:
+	rm -rf .bench-smoke && mkdir -p .bench-smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench run scanner \
+		--ledger .bench-smoke/ledger.json --repeats 3
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench run scanner \
+		--ledger .bench-smoke/ledger.json --repeats 3
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench gate scanner \
+		--ledger .bench-smoke/ledger.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -c "from repro.bench.ledger import append_entries, load_ledger, make_entry; \
+		rows = load_ledger('.bench-smoke/ledger.json'); \
+		last = rows[-1]; \
+		append_entries('.bench-smoke/ledger.json', [make_entry( \
+			last['bench'], last['value'] * 1.5, metric=last['metric'], \
+			context={'synthetic': True})])"
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench gate scanner \
+		--ledger .bench-smoke/ledger.json && exit 1 || true
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench report \
+		--ledger .bench-smoke/ledger.json
+	rm -rf .bench-smoke
+
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke serve-smoke obs-smoke outputs
+.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke serve-smoke obs-smoke bench-gate bench-gate-smoke outputs

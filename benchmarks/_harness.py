@@ -9,6 +9,10 @@ artifacts under ``benchmarks/results/``:
 - ``eXX.json`` — per-round stage timings captured by the
   :mod:`repro.obs` tracer, the baseline every perf PR compares against.
 
+Every run also appends one normalized row per experiment to the bench
+ledger (``benchmarks/results/BENCH_history.json``) so ``repro bench
+report``/``gate`` see the suite benchmarks alongside the CLI hot paths.
+
 Nothing is persisted when a shape check fails: a broken run must not
 overwrite a good baseline.
 
@@ -22,10 +26,13 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.experiments.registry import ExperimentResult, get_experiment
+from repro.bench.ledger import append_entries, make_entry
+from repro.experiments.registry import ExperimentResult, get_experiment, make_spec
 from repro.obs import Tracer, use_tracer
+from repro.obs.metrics import percentile
 
 RESULTS_DIR = Path(__file__).parent / "results"
+LEDGER_PATH = RESULTS_DIR / "BENCH_history.json"
 
 
 def _make_runner(experiment_id: str, workers: int):
@@ -122,4 +129,19 @@ def run_and_record(
     timings_path.write_text(
         json.dumps(timings, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+    preset = "fast" if fast else "full"
+    append_entries(LEDGER_PATH, [make_entry(
+        f"suite.{experiment_id}",
+        mean,
+        metric="mean_run_seconds",
+        config_hash=make_spec(experiment_id, preset, seed=seed).config_hash(),
+        context={
+            "rounds": len(durations),
+            "workers": workers,
+            "preset": preset,
+            "p50_run_seconds": percentile(durations, 0.50),
+            "p95_run_seconds": percentile(durations, 0.95),
+        },
+    )])
     return result

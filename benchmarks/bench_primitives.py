@@ -2,11 +2,18 @@
 
 The experiment benchmarks (bench_e01..e12) time whole studies; these
 time the individual kernels they are built from, so a performance
-regression can be localized.
+regression can be localized.  The scanner and tf-idf kernels also
+append a row to the bench ledger through the *same* fixed-workload
+runners ``repro bench run`` uses, so `repro bench gate` sees them no
+matter which entry point did the measuring.
 """
 
 import random
 
+from _harness import LEDGER_PATH
+
+from repro.bench.hotpaths import run_hot_path
+from repro.bench.ledger import append_entries
 from repro.bibliometrics.methods_detect import (
     METHOD_FAMILIES,
     LexiconScanner,
@@ -116,3 +123,11 @@ def test_cpr_allocation_speed(benchmark):
 
     allocator = benchmark(run)
     assert allocator is not None
+
+
+def test_hot_path_ledger_append():
+    """Record the scanner and tf-idf hot paths in the bench ledger."""
+    entries = run_hot_path("scanner") + run_hot_path("tfidf")
+    assert append_entries(LEDGER_PATH, entries) == len(entries)
+    for entry in entries:
+        assert entry["value"] > 0

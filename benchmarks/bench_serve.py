@@ -16,13 +16,18 @@ concurrent clients:
 
 Persists one JSON artifact (``results/serve.json``) with p50/p95/p99
 per phase and concurrency level, status mixes, and the final
-``serve.*`` counter snapshot.
+``serve.*`` counter snapshot — and appends the fixed-workload hot-path
+p95 to the bench ledger via the same runner ``repro bench run
+serve_p95`` uses, keeping the gated series workload-identical.
 """
 
 import json
 import os
 
-from _harness import RESULTS_DIR
+from _harness import LEDGER_PATH, RESULTS_DIR
+
+from repro.bench.hotpaths import run_hot_path
+from repro.bench.ledger import append_entries
 
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.faultinject import FaultInjector
@@ -90,6 +95,13 @@ def test_serve_latency_percentiles_hot_and_cold(tmp_path):
     (RESULTS_DIR / "serve.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+
+def test_serve_p95_ledger_append():
+    """Record the serve hot path's tail latency in the bench ledger."""
+    entries = run_hot_path("serve_p95")
+    assert append_entries(LEDGER_PATH, entries) == len(entries)
+    assert entries[0]["metric"] == "hot_p95_seconds"
 
 
 def _chaos_phase(tmp_path):

@@ -1,6 +1,6 @@
 """End-to-end smoke for ``repro serve`` (run by ``make serve-smoke``).
 
-Five probes, each printing one PASS line; any failure is a loud
+Six probes, each printing one PASS line; any failure is a loud
 assertion with a non-zero exit:
 
 1. **hot+cold fetch** — a cold request computes (200, ``ETag``), the
@@ -13,11 +13,15 @@ assertion with a non-zero exit:
 4. **graceful drain** — an in-flight request finishes during drain,
    after which the port refuses connections;
 5. **CLI SIGTERM** — the real ``python -m repro serve`` process drains
-   and exits 0 on SIGTERM.
+   and exits 0 on SIGTERM;
+6. **request telemetry** — a generated ``X-Request-Id`` comes back on
+   every response, a sane client-supplied id round-trips verbatim, and
+   the JSONL access log carries the matching request id, route,
+   status, and the response's ``config_hash``.
 
-Probes 1-4 run the service in-process (ServerThread) so the probes can
-reach its metrics registry and fault injector; probe 5 exercises the
-actual CLI entry point over a subprocess.
+Probes 1-4 and 6 run the service in-process (ServerThread) so the
+probes can reach its metrics registry and fault injector; probe 5
+exercises the actual CLI entry point over a subprocess.
 """
 
 import os
@@ -31,6 +35,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.io.jsonl import read_jsonl  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 from repro.runtime.faultinject import FaultInjector  # noqa: E402
 from repro.serve.client import fetch, run_load  # noqa: E402
@@ -178,12 +183,54 @@ def probe_cli_sigterm(tmp):
     print("PASS serve-smoke: CLI drains and exits 0 on SIGTERM")
 
 
+def probe_request_telemetry(tmp):
+    access_log = os.path.join(tmp, "access.jsonl")
+    service = ResultService(
+        ServeConfig(
+            cache_dir=os.path.join(tmp, "telemetry-cache"),
+            deadline=120.0,
+            access_log=access_log,
+        ),
+        metrics=MetricsRegistry(),
+    )
+    with ServerThread(service) as server:
+        port = server.port
+        first = fetch(HOST, port, "/v1/result/E7?seed=3", timeout=120)
+        assert first.status == 200, (first.status, first.body)
+        generated = first.headers.get("x-request-id")
+        assert generated and re.fullmatch(r"[0-9a-f]{16}", generated), (
+            f"no generated request id: {first.headers}"
+        )
+        echoed = fetch(
+            HOST, port, "/v1/result/E7?seed=3",
+            headers={"X-Request-Id": "smoke-probe-42"},
+        )
+        assert echoed.headers.get("x-request-id") == "smoke-probe-42", (
+            echoed.headers
+        )
+    rows = list(read_jsonl(access_log))
+    assert len(rows) == 2, f"expected 2 access-log rows, got {len(rows)}"
+    by_id = {row["request_id"]: row for row in rows}
+    assert set(by_id) == {generated, "smoke-probe-42"}, sorted(by_id)
+    config_hash = first.json()["config_hash"]
+    for row in by_id.values():
+        assert row["route"] == "/v1/result/{id}", row
+        assert row["status"] == 200, row
+        assert row["config_hash"] == config_hash, row
+        assert row["duration_ms"] >= 0, row
+    print(
+        "PASS serve-smoke: request ids round-trip and the access log "
+        "carries matching id + config_hash"
+    )
+
+
 def main():
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
         probe_hot_cold_and_coalescing(tmp)
         probe_killed_worker(tmp)
         probe_graceful_drain(tmp)
         probe_cli_sigterm(tmp)
+        probe_request_telemetry(tmp)
     print("serve-smoke: all probes passed")
     return 0
 

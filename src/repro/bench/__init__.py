@@ -1,0 +1,43 @@
+"""``repro.bench`` — the perf-regression ledger and its gate.
+
+``benchmarks/results/*.json`` are point-in-time artifacts; this package
+turns them into a *trajectory*.  Every benchmark run appends one
+normalized, schema-validated record per measured hot path to
+``BENCH_history.json`` (the ledger), and ``repro bench gate`` compares
+the newest record for each named hot path against a rolling baseline of
+its predecessors — failing loudly on a >20% regression.  The speed
+story stops being "the numbers in the last PR looked fine" and becomes
+an enforced invariant, measured against the ledger, never against an
+arbitrary commit.
+
+- :mod:`repro.bench.ledger` — the record schema, validation, and the
+  append/load path (JSONL through the crash-safe ``append_jsonl``).
+- :mod:`repro.bench.gate` — baseline selection (median of a trailing
+  window), the regression check, and the trajectory report.
+- :mod:`repro.bench.hotpaths` — the named hot-path runners (`scanner`,
+  `tfidf`, `suite`, `serve_p95`) behind ``repro bench run``, shared
+  with the pytest benchmarks so both append comparable entries.
+"""
+
+from repro.bench.gate import GateCheck, GateReport, evaluate_gate, render_trajectory
+from repro.bench.ledger import (
+    DEFAULT_LEDGER,
+    SCHEMA_VERSION,
+    append_entries,
+    load_ledger,
+    make_entry,
+    validate_entry,
+)
+
+__all__ = [
+    "DEFAULT_LEDGER",
+    "GateCheck",
+    "GateReport",
+    "SCHEMA_VERSION",
+    "append_entries",
+    "evaluate_gate",
+    "load_ledger",
+    "make_entry",
+    "render_trajectory",
+    "validate_entry",
+]

@@ -1,0 +1,220 @@
+"""The perf-regression gate over the bench ledger.
+
+``repro bench gate scanner tfidf`` answers one question per named hot
+path: *is the newest ledger entry more than X% worse than its recent
+history?*  The baseline is the **median of a trailing window** of prior
+entries (default 5) rather than the single previous run — one noisy
+run must neither trip the gate on the next honest run nor quietly
+become the number everything after it is judged by.  A hot path with
+no prior history passes with a ``no baseline yet`` note: the first run
+*establishes* the trajectory, it cannot regress from it.
+
+The ledger is append-only and ordered, so "latest" and "window" are
+positional — the discipline the related llm-docs repo spells as "do
+not benchmark against an arbitrary commit": every comparison is
+against the recorded trajectory, reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.io.tables import render_table
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WINDOW",
+    "GateCheck",
+    "GateReport",
+    "evaluate_gate",
+    "render_trajectory",
+]
+
+#: Fractional regression that fails the gate (0.20 == >20% worse).
+DEFAULT_THRESHOLD = 0.20
+
+#: Prior entries the baseline median is taken over.
+DEFAULT_WINDOW = 5
+
+
+@dataclass
+class GateCheck:
+    """The verdict for one (bench, metric) hot path.
+
+    Attributes:
+        bench: Hot-path name (``scanner``, ``serve_p95``, ...).
+        metric: Metric name within the bench (usually ``seconds``).
+        latest: Newest recorded value.
+        baseline: Median of the trailing window, None on first run.
+        ratio: ``latest / baseline`` oriented so > 1 is worse (the
+            reciprocal for higher-is-better metrics); None without a
+            baseline.
+        ok: True unless the ratio exceeds ``1 + threshold``.
+        note: Human-readable one-liner for the table.
+    """
+
+    bench: str
+    metric: str
+    latest: float | None
+    baseline: float | None
+    ratio: float | None
+    ok: bool
+    note: str
+
+
+@dataclass
+class GateReport:
+    """Every requested check plus the overall verdict."""
+
+    threshold: float
+    window: int
+    checks: list[GateCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def summary(self) -> dict:
+        """The machine-readable form (``repro bench gate --json``)."""
+        return {
+            "ok": self.ok,
+            "threshold": self.threshold,
+            "window": self.window,
+            "checks": [
+                {
+                    "bench": c.bench,
+                    "metric": c.metric,
+                    "latest": c.latest,
+                    "baseline": c.baseline,
+                    "ratio": c.ratio,
+                    "ok": c.ok,
+                    "note": c.note,
+                }
+                for c in self.checks
+            ],
+        }
+
+    def render(self) -> str:
+        return render_table(
+            ["bench", "metric", "latest", "baseline", "ratio", "verdict"],
+            [
+                [
+                    c.bench,
+                    c.metric,
+                    c.latest if c.latest is not None else "-",
+                    c.baseline if c.baseline is not None else "-",
+                    f"{c.ratio:.3f}" if c.ratio is not None else "-",
+                    ("ok" if c.ok else "REGRESSED") + f" ({c.note})",
+                ]
+                for c in self.checks
+            ],
+            title=(
+                f"bench gate (fail above {1 + self.threshold:.2f}x the "
+                f"median of the last {self.window})"
+            ),
+            precision=6,
+        )
+
+
+def _series(entries: list[dict]) -> dict[tuple[str, str], list[dict]]:
+    grouped: dict[tuple[str, str], list[dict]] = {}
+    for entry in entries:
+        grouped.setdefault((entry["bench"], entry["metric"]), []).append(entry)
+    return grouped
+
+
+def evaluate_gate(
+    entries: list[dict],
+    benches: list[str],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> GateReport:
+    """Gate the named ``benches`` against the ledger ``entries``.
+
+    A named bench with no ledger entries at all fails — a gate that
+    passes because the benchmark silently stopped recording would be
+    worse than no gate.
+    """
+    grouped = _series(entries)
+    report = GateReport(threshold=threshold, window=window)
+    for bench in benches:
+        keys = sorted(key for key in grouped if key[0] == bench)
+        if not keys:
+            report.checks.append(GateCheck(
+                bench=bench, metric="-", latest=None, baseline=None,
+                ratio=None, ok=False, note="no ledger entries",
+            ))
+            continue
+        for key in keys:
+            series = grouped[key]
+            latest = series[-1]
+            prior = [e["value"] for e in series[:-1]][-window:]
+            if not prior:
+                report.checks.append(GateCheck(
+                    bench=bench, metric=key[1], latest=latest["value"],
+                    baseline=None, ratio=None, ok=True,
+                    note="no baseline yet (first entry)",
+                ))
+                continue
+            baseline = median(prior)
+            if baseline <= 0:
+                ratio = None
+                ok = True
+                note = "baseline is zero; not comparable"
+            else:
+                ratio = latest["value"] / baseline
+                if latest.get("better") == "higher":
+                    ratio = baseline / latest["value"] if latest["value"] else float("inf")
+                ok = ratio <= 1 + threshold
+                note = (
+                    f"{len(prior)}-run baseline"
+                    if ok
+                    else f"{(ratio - 1) * 100:.1f}% worse than baseline"
+                )
+            report.checks.append(GateCheck(
+                bench=bench, metric=key[1], latest=latest["value"],
+                baseline=baseline, ratio=ratio, ok=ok, note=note,
+            ))
+    return report
+
+
+def render_trajectory(
+    entries: list[dict], benches: list[str] | None = None
+) -> str:
+    """The ledger as a per-hot-path trajectory table (``bench report``).
+
+    Shows, for every (bench, metric) series: how many runs the ledger
+    holds, the newest value, the rolling baseline the gate would use,
+    the best value ever recorded, and latest-vs-baseline drift.
+    """
+    grouped = _series(entries)
+    if benches:
+        grouped = {k: v for k, v in grouped.items() if k[0] in benches}
+    if not grouped:
+        return "(ledger has no entries)"
+    rows = []
+    for (bench, metric), series in sorted(grouped.items()):
+        values = [e["value"] for e in series]
+        latest = values[-1]
+        prior = values[:-1][-DEFAULT_WINDOW:]
+        baseline = median(prior) if prior else None
+        best = min(values) if series[-1].get("better") != "higher" else max(values)
+        drift = (
+            f"{(latest / baseline - 1) * 100:+.1f}%"
+            if baseline else "-"
+        )
+        rows.append([
+            bench, metric, len(series), latest,
+            baseline if baseline is not None else "-",
+            best, drift,
+            series[-1].get("git_rev") or "-",
+        ])
+    return render_table(
+        ["bench", "metric", "runs", "latest", "baseline", "best", "drift",
+         "rev"],
+        rows,
+        title="bench ledger trajectory",
+        precision=6,
+    )

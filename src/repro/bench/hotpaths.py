@@ -1,0 +1,180 @@
+"""Named hot-path runners behind ``repro bench run``.
+
+Each hot path is a self-contained measurement of one thing the ROADMAP
+calls out as a speed claim — the method-mention scanner, the tf-idf
+vectorizer, suite wall-clock, and the serve hot path's tail latency —
+with a *fixed* workload, so ledger entries from different commits are
+comparable.  The pytest benchmarks (``benchmarks/bench_primitives.py``,
+``bench_serve.py``) call the same runners for their ledger appends:
+one definition of "the scanner benchmark", wherever it is measured.
+
+Micro paths (and the fast suite run, which is itself only tens of
+milliseconds) record the **minimum** over ``repeats`` runs — the
+standard microbenchmark estimator, least contaminated by scheduler
+noise; the serve path takes the best p95 over a few load passes
+against one warm server — each pass already aggregates hundreds of
+requests, and the min rejects the pass a CI neighbor stole cycles
+from.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Callable
+
+from repro.bench.ledger import make_entry
+
+__all__ = ["HOT_PATHS", "hot_path_names", "run_hot_path"]
+
+#: The deterministic scanner workload: method-dense prose, ~2.4 KB.
+_SCANNER_TEXT = (
+    "This paper studies peering policies and the practices surrounding "
+    "them. We conducted semi-structured interviews with 24 operators and "
+    "complement the findings with a measurement study spanning 12 months "
+    "of packet traces collected from 9 vantage points. A testbed "
+    "deployment validates the design. Participatory action research "
+    "with the community network's volunteers grounded the survey design. "
+) * 8
+
+
+def _tfidf_docs() -> list[str]:
+    rng = random.Random(0)
+    vocabulary = (
+        "mesh", "community", "network", "peering", "transit", "ixp",
+        "backhaul", "datacenter", "latency", "operator",
+    )
+    return [
+        " ".join(rng.choice(vocabulary) for _ in range(120))
+        for _ in range(200)
+    ]
+
+
+def _time_min(fn: Callable[[], object], repeats: int, inner: int = 1) -> float:
+    """Min over ``repeats`` of the mean of ``inner`` back-to-back calls.
+
+    The inner loop amortizes timer granularity and interrupt noise for
+    sub-millisecond paths; the outer min rejects scheduler outliers.
+    Sub-20% regressions are what the gate must resolve, so the
+    estimator's own jitter has to sit well below that.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - started) / inner)
+    return best
+
+
+def _run_scanner(repeats: int) -> list[dict]:
+    from repro.bibliometrics.methods_detect import detect_methods
+
+    assert detect_methods(_SCANNER_TEXT), "scanner workload found no mentions"
+    value = _time_min(lambda: detect_methods(_SCANNER_TEXT), repeats, inner=50)
+    return [make_entry(
+        "scanner", value,
+        context={"repeats": repeats, "inner": 50, "chars": len(_SCANNER_TEXT),
+                 "cpu_count": os.cpu_count()},
+    )]
+
+
+def _run_tfidf(repeats: int) -> list[dict]:
+    from repro.textmine.tfidf import TfidfVectorizer
+
+    docs = _tfidf_docs()
+    value = _time_min(
+        lambda: TfidfVectorizer().fit_transform(docs), repeats, inner=3
+    )
+    return [make_entry(
+        "tfidf", value,
+        context={"repeats": repeats, "inner": 3, "docs": len(docs),
+                 "cpu_count": os.cpu_count()},
+    )]
+
+
+def _run_suite(repeats: int) -> list[dict]:
+    from repro.experiments.registry import make_spec
+    from repro.runtime.runner import SuiteRunner
+
+    spec = make_spec("E7", "fast", seed=0)
+
+    def run_once():
+        report = SuiteRunner().run_points([spec])
+        record = report.records[0]
+        assert record.status == "ok", f"E7 failed: {record.error}"
+
+    value = _time_min(run_once, repeats)
+    return [make_entry(
+        "suite", value,
+        metric="e7_fast_wall_seconds",
+        config_hash=spec.config_hash(),
+        context={"experiment_id": "E7", "preset": "fast",
+                 "repeats": repeats, "cpu_count": os.cpu_count()},
+    )]
+
+
+def _run_serve_p95(repeats: int) -> list[dict]:
+    from repro.obs.metrics import MetricsRegistry, percentile
+    from repro.serve.client import fetch, run_load
+    from repro.serve.service import ResultService, ServeConfig, ServerThread
+
+    import tempfile
+
+    clients, per_client = 8, 25
+    passes = max(1, min(repeats, 3))
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        service = ResultService(
+            ServeConfig(
+                cache_dir=os.path.join(tmp, "cache"),
+                deadline=120.0,
+                max_inflight=128,
+            ),
+            metrics=MetricsRegistry(),
+        )
+        best = float("inf")
+        with ServerThread(service) as server:
+            warm = fetch(
+                "127.0.0.1", server.port, "/v1/result/E7?seed=0", timeout=120
+            )
+            assert warm.status == 200, warm.status
+            for _ in range(passes):
+                report = run_load(
+                    "127.0.0.1", server.port, "/v1/result/E7?seed=0",
+                    clients=clients, requests_per_client=per_client,
+                    timeout=120,
+                )
+                ok = report.statuses.get(200, 0)
+                assert ok == clients * per_client, report.statuses
+                best = min(best, percentile(report.latencies, 0.95))
+    return [make_entry(
+        "serve_p95", best,
+        metric="hot_p95_seconds",
+        context={"clients": clients, "requests_per_client": per_client,
+                 "passes": passes, "cpu_count": os.cpu_count()},
+    )]
+
+
+#: name -> runner(repeats) -> validated ledger entries
+HOT_PATHS: dict[str, Callable[[int], list[dict]]] = {
+    "scanner": _run_scanner,
+    "tfidf": _run_tfidf,
+    "suite": _run_suite,
+    "serve_p95": _run_serve_p95,
+}
+
+
+def hot_path_names() -> list[str]:
+    return sorted(HOT_PATHS)
+
+
+def run_hot_path(name: str, *, repeats: int = 5) -> list[dict]:
+    """Measure one named hot path; returns its ledger entries."""
+    try:
+        runner = HOT_PATHS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown hot path {name!r}; known: {', '.join(hot_path_names())}"
+        ) from None
+    return runner(repeats)

@@ -1,0 +1,160 @@
+"""The bench ledger: normalized perf records with a validated schema.
+
+One ledger row is one measurement of one named benchmark metric:
+
+.. code-block:: json
+
+    {"schema": 1, "bench": "scanner", "metric": "seconds",
+     "value": 0.00042, "unit": "seconds", "better": "lower",
+     "config_hash": null, "git_rev": "a73b0af", "recorded": 1754650000.0,
+     "context": {"cpu_count": 1, "repeats": 5}}
+
+The file is line-delimited JSON appended through the crash-safe
+:func:`repro.io.jsonl.append_jsonl` path (a torn final line is
+detectable and salvageable like every other JSONL dataset here), and
+every row is validated against the schema both on append and on load —
+a ledger that silently accumulated malformed rows would poison every
+future gate comparison.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+from pathlib import Path
+
+from repro.errors import DataFormatError
+from repro.io.jsonl import append_jsonl, read_jsonl
+
+__all__ = [
+    "DEFAULT_LEDGER",
+    "SCHEMA_VERSION",
+    "append_entries",
+    "git_rev",
+    "load_ledger",
+    "make_entry",
+    "validate_entry",
+]
+
+#: Bumped when a field is added/renamed; old rows stay readable because
+#: validation is keyed on the row's own ``schema`` value.
+SCHEMA_VERSION = 1
+
+#: Where the repository's ledger lives (relative to the repo root /
+#: working directory; the CLI and Makefile both default to this).
+DEFAULT_LEDGER = Path("benchmarks") / "results" / "BENCH_history.json"
+
+#: field name -> (accepted types, required)
+_SCHEMA: dict[str, tuple[tuple[type, ...], bool]] = {
+    "schema": ((int,), True),
+    "bench": ((str,), True),
+    "metric": ((str,), True),
+    "value": ((int, float), True),
+    "unit": ((str,), True),
+    "better": ((str,), True),
+    "config_hash": ((str, type(None)), True),
+    "git_rev": ((str, type(None)), True),
+    "recorded": ((int, float), True),
+    "context": ((dict,), False),
+}
+
+
+def git_rev() -> str | None:
+    """The current short git revision, or None outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def make_entry(
+    bench: str,
+    value: float,
+    *,
+    metric: str = "seconds",
+    unit: str = "seconds",
+    better: str = "lower",
+    config_hash: str | None = None,
+    context: dict | None = None,
+    rev: str | None = None,
+) -> dict:
+    """One schema-complete ledger row, stamped with rev + wall time."""
+    entry = {
+        "schema": SCHEMA_VERSION,
+        "bench": bench,
+        "metric": metric,
+        "value": float(value),
+        "unit": unit,
+        "better": better,
+        "config_hash": config_hash,
+        "git_rev": rev if rev is not None else git_rev(),
+        "recorded": time.time(),
+        "context": dict(context or {}),
+    }
+    validate_entry(entry)
+    return entry
+
+
+def validate_entry(entry: dict, *, where: str = "ledger entry") -> None:
+    """Raise :class:`DataFormatError` unless ``entry`` fits the schema."""
+    if not isinstance(entry, dict):
+        raise DataFormatError(
+            f"{where}: expected an object, got {type(entry).__name__}",
+            stage="validate",
+        )
+    for field, (types, required) in _SCHEMA.items():
+        if field not in entry:
+            if required:
+                raise DataFormatError(
+                    f"{where}: missing required field {field!r}",
+                    stage="validate",
+                )
+            continue
+        value = entry[field]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise DataFormatError(
+                f"{where}: field {field!r} has {type(value).__name__} "
+                f"value {value!r}; expected "
+                f"{'/'.join(t.__name__ for t in types)}",
+                stage="validate",
+            )
+    if entry["better"] not in ("lower", "higher"):
+        raise DataFormatError(
+            f"{where}: 'better' must be 'lower' or 'higher', "
+            f"got {entry['better']!r}",
+            stage="validate",
+        )
+    unknown = set(entry) - set(_SCHEMA)
+    if unknown:
+        raise DataFormatError(
+            f"{where}: unknown fields {sorted(unknown)}", stage="validate"
+        )
+
+
+def append_entries(path: str | Path, entries: list[dict]) -> int:
+    """Validate and append ``entries``; returns how many were written."""
+    for index, entry in enumerate(entries):
+        validate_entry(entry, where=f"entry {index}")
+    return append_jsonl(path, entries)
+
+
+def load_ledger(path: str | Path) -> list[dict]:
+    """Read and validate the ledger at ``path`` (empty list when absent).
+
+    Rows come back in append order — the order the gate's trailing
+    baseline window depends on.  A malformed row fails the load: the
+    gate must never silently compare against garbage.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = list(read_jsonl(path))
+    for index, entry in enumerate(entries):
+        validate_entry(entry, where=f"{path}: row {index}")
+    return entries

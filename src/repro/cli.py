@@ -13,10 +13,18 @@ first:
   the parallel runtime, memoizing results in the artifact cache and
   printing a per-point summary table.
 - ``obs``: observability reports — ``obs report TRACE`` renders the
-  per-experiment stage-time breakdown from an exported trace.
+  per-experiment stage-time breakdown (and, when the trace came from a
+  server, the per-route serve request breakdown) from an exported
+  trace.
 - ``serve``: run the fault-tolerant HTTP result service
   (:mod:`repro.serve`) over an artifact cache — cache hits served from
-  disk, misses computed in the background, SIGTERM drains gracefully.
+  disk, misses computed in the background, SIGTERM drains gracefully;
+  ``--access-log`` adds a structured JSONL row per request.
+- ``bench``: the perf-regression ledger — ``bench run`` measures named
+  hot paths and appends normalized records to ``BENCH_history.json``,
+  ``bench report`` renders the trajectory, and ``bench gate`` exits
+  non-zero when the newest entry regressed >20% against the rolling
+  baseline.
 - ``corpus``: generate the synthetic venue corpus to JSONL files.
 - ``detect``: run method-mention detection over a text file.
 - ``audit``: evaluate a research-project record (JSON) against the
@@ -275,8 +283,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         drain_timeout=args.drain_timeout,
+        access_log=args.access_log,
     )
     return run_server(ResultService(config))
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.gate import evaluate_gate, render_trajectory
+    from repro.bench.hotpaths import hot_path_names, run_hot_path
+    from repro.bench.ledger import append_entries, load_ledger
+
+    if args.bench_command == "run":
+        names = args.names or hot_path_names()
+        unknown = [n for n in names if n not in hot_path_names()]
+        if unknown:
+            print(
+                f"error: unknown hot path(s) {', '.join(unknown)}; "
+                f"known: {', '.join(hot_path_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        entries = []
+        for name in names:
+            measured = run_hot_path(name, repeats=args.repeats)
+            for entry in measured:
+                print(
+                    f"{entry['bench']}.{entry['metric']}: "
+                    f"{entry['value']:.6f} {entry['unit']}"
+                )
+            entries.extend(measured)
+        count = append_entries(args.ledger, entries)
+        print(f"appended {count} entr{'y' if count == 1 else 'ies'} -> "
+              f"{args.ledger}", file=sys.stderr)
+        return 0
+
+    entries = load_ledger(args.ledger)
+    if args.bench_command == "report":
+        print(render_trajectory(entries, args.names or None))
+        return 0
+
+    # gate
+    names = args.names or sorted({e["bench"] for e in entries})
+    if not names:
+        print(
+            f"error: ledger {args.ledger} is empty and no hot paths were "
+            "named; run `repro bench run` first",
+            file=sys.stderr,
+        )
+        return 2
+    report = evaluate_gate(
+        entries, names, threshold=args.threshold, window=args.window
+    )
+    if args.json:
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -592,7 +654,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="graceful-drain budget for in-flight requests and jobs",
     )
+    serve.add_argument(
+        "--access-log", metavar="PATH",
+        help="append one structured JSONL row per request (request id, "
+        "route, status, duration, config hash, cache source)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="measure named hot paths and gate them against the ledger",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    default_ledger = "benchmarks/results/BENCH_history.json"
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="measure hot paths (scanner, tfidf, suite, serve_p95) and "
+        "append normalized records to the ledger",
+    )
+    bench_run.add_argument(
+        "names", nargs="*",
+        help="hot paths to measure (default: all of them)",
+    )
+    bench_run.add_argument(
+        "--ledger", metavar="PATH", default=default_ledger,
+        help=f"ledger file to append to (default: {default_ledger})",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=5, metavar="N",
+        help="micro hot paths record the minimum over N runs",
+    )
+    bench_run.set_defaults(func=_cmd_bench)
+    bench_report = bench_sub.add_parser(
+        "report", help="render the ledger's per-hot-path trajectory"
+    )
+    bench_report.add_argument("names", nargs="*", help="filter to these benches")
+    bench_report.add_argument(
+        "--ledger", metavar="PATH", default=default_ledger,
+        help=f"ledger file to read (default: {default_ledger})",
+    )
+    bench_report.set_defaults(func=_cmd_bench)
+    bench_gate = bench_sub.add_parser(
+        "gate",
+        help="fail (exit 1) when a named hot path's newest ledger entry "
+        "regressed beyond the threshold",
+    )
+    bench_gate.add_argument(
+        "names", nargs="*",
+        help="hot paths to gate (default: every bench in the ledger)",
+    )
+    bench_gate.add_argument(
+        "--ledger", metavar="PATH", default=default_ledger,
+        help=f"ledger file to read (default: {default_ledger})",
+    )
+    bench_gate.add_argument(
+        "--threshold", type=float, default=0.20, metavar="FRACTION",
+        help="fail when latest > (1 + FRACTION) x baseline (default 0.20)",
+    )
+    bench_gate.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="baseline = median of the last N prior entries",
+    )
+    bench_gate.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable gate report",
+    )
+    bench_gate.set_defaults(func=_cmd_bench)
 
     obs = subparsers.add_parser(
         "obs", help="observability reports over exported traces"

@@ -31,7 +31,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     current_metrics,
+    labeled,
     merge_snapshots,
+    percentile,
+    render_prometheus,
+    sanitize_metric_name,
     set_metrics,
     use_metrics,
 )
@@ -59,11 +63,15 @@ __all__ = [
     "build_report",
     "current_metrics",
     "current_tracer",
+    "labeled",
     "load_trace",
     "merge_snapshots",
+    "percentile",
     "profile_call",
     "profile_to",
+    "render_prometheus",
     "render_report",
+    "sanitize_metric_name",
     "set_metrics",
     "set_tracer",
     "use_metrics",

@@ -4,7 +4,14 @@ A :class:`MetricsRegistry` holds named instruments, snapshots to a
 plain dict, and merges snapshots associatively — so per-shard (or
 per-process) registries can be combined in any grouping and produce the
 same totals.  Rendering goes through :mod:`repro.io.tables`, the same
-renderer every other report in the toolkit uses.
+renderer every other report in the toolkit uses, plus
+:func:`render_prometheus` for the ``/metrics`` text exposition.
+
+Instrument names are opaque strings to the registry.  By convention a
+name may carry Prometheus-style labels — ``serve.request_seconds
+{route="/v1/result/{id}",status="200"}`` — built with :func:`labeled`;
+the JSON snapshot keeps the full key, and :func:`render_prometheus`
+splits it back into a metric family plus a label set.
 
 The process-wide default is a :class:`NullMetrics` whose every method
 is a no-op, so instrumented hot paths (``read_jsonl`` row counting, the
@@ -15,6 +22,7 @@ real registry is installed with :func:`use_metrics`.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -30,7 +38,12 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "current_metrics",
+    "labeled",
     "merge_snapshots",
+    "parse_metric_key",
+    "percentile",
+    "render_prometheus",
+    "sanitize_metric_name",
     "set_metrics",
     "use_metrics",
 ]
@@ -110,6 +123,34 @@ class Histogram:
     def mean(self) -> float:
         """Mean of all observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Estimate the ``fraction``-quantile from the bucket counts.
+
+        Standard fixed-bucket estimator (what a Prometheus
+        ``histogram_quantile`` does): find the bucket the target rank
+        falls in, then interpolate linearly inside it, treating the
+        first bucket's lower edge as 0.0.  Observations past the last
+        edge cannot be located inside the overflow bucket, so the last
+        edge is returned for ranks landing there — a deliberate
+        underestimate rather than a guess.  Returns 0.0 when empty.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        rank = fraction * self.count
+        cumulative = 0
+        for index, cell in enumerate(self.counts):
+            previous = cumulative
+            cumulative += cell
+            if cumulative >= rank and cell:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                lo = self.buckets[index - 1] if index else 0.0
+                hi = self.buckets[index]
+                return lo + (hi - lo) * (max(0.0, rank - previous) / cell)
+        return self.buckets[-1]
 
 
 class MetricsRegistry:
@@ -273,6 +314,146 @@ def merge_snapshots(*snapshots: dict) -> dict:
     for snapshot in snapshots:
         merged.merge(snapshot)
     return merged.snapshot()
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` (nearest-rank; 0 if empty).
+
+    The one quantile definition the toolkit uses: the serve client's
+    load reports, the benchmark harness, and ``repro obs report`` all
+    call this, so a "p95" means the same thing everywhere.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+#: Characters legal in an exposition metric name (labels have no colon).
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+#: One ``key="value"`` pair inside a labeled instrument key.
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def labeled(name: str, **labels: object) -> str:
+    """An instrument key carrying Prometheus-style labels.
+
+    ``labeled("serve.request_seconds", route="/v1/corpus", status=200)``
+    → ``serve.request_seconds{route="/v1/corpus",status="200"}``.  The
+    registry treats the whole string as an opaque key (so snapshot and
+    merge just work); :func:`render_prometheus` splits it back apart.
+    Labels are sorted so the same label set always produces the same
+    key.
+    """
+    pairs = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{pairs}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split an instrument key into (base name, label pairs).
+
+    The inverse of :func:`labeled` (label values stay escaped, ready to
+    re-emit); a key without a label block comes back with no labels.
+    """
+    if key.endswith("}") and "{" in key:
+        base, _, rest = key.partition("{")
+        return base, _LABEL_PAIR.findall(rest[:-1])
+    return key, []
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an instrument name onto the exposition grammar.
+
+    Dots (and anything else outside ``[a-zA-Z0-9_:]``) become
+    underscores — ``serve.request`` → ``serve_request`` — and a name
+    that would start with a digit gains a leading underscore.
+    """
+    cleaned = _NAME_OK.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_block(pairs: list[tuple[str, str]], extra: str | None = None) -> str:
+    rendered = [
+        f'{_LABEL_NAME_OK.sub("_", key)}="{value}"' for key, value in pairs
+    ]
+    if extra is not None:
+        rendered.append(extra)
+    return "{" + ",".join(rendered) + "}" if rendered else ""
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """A :meth:`MetricsRegistry.snapshot` as Prometheus text exposition.
+
+    Emits one ``# TYPE`` line per metric family (labeled variants of
+    the same base name share it), sanitized names, and histograms in
+    the exposition's cumulative form: ``_bucket`` series with ``le``
+    upper-bound labels (including the ``+Inf`` overflow), plus ``_sum``
+    and ``_count``.  Gauges that were never set are omitted — "no
+    value" has no exposition representation.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit_type(family: str, kind: str) -> None:
+        if family not in typed:
+            typed.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        base, pairs = parse_metric_key(key)
+        family = sanitize_metric_name(base)
+        emit_type(family, "counter")
+        lines.append(f"{family}{_label_block(pairs)} {_format_value(value)}")
+
+    for key, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        base, pairs = parse_metric_key(key)
+        family = sanitize_metric_name(base)
+        emit_type(family, "gauge")
+        lines.append(f"{family}{_label_block(pairs)} {_format_value(value)}")
+
+    for key, data in snapshot.get("histograms", {}).items():
+        base, pairs = parse_metric_key(key)
+        family = sanitize_metric_name(base)
+        emit_type(family, "histogram")
+        cumulative = 0
+        for edge, cell in zip(data["buckets"], data["counts"]):
+            cumulative += cell
+            block = _label_block(pairs, f'le="{edge:g}"')
+            lines.append(f"{family}_bucket{block} {cumulative}")
+        block = _label_block(pairs, 'le="+Inf"')
+        lines.append(f"{family}_bucket{block} {data['count']}")
+        labels = _label_block(pairs)
+        lines.append(f"{family}_sum{labels} {_format_value(data['sum'])}")
+        lines.append(f"{family}_count{labels} {data['count']}")
+
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 class NullMetrics:

@@ -10,7 +10,10 @@ it into the answers a perf investigation starts from:
 - a retry histogram (attempts consumed per experiment);
 - a worker-crash breakdown (which experiments killed workers, by exit
   signal and supervisor verdict) when the trace contains the parallel
-  supervisor's ``worker_crash``/``quarantine`` spans.
+  supervisor's ``worker_crash``/``quarantine`` spans;
+- a serve section (top routes, status mix, p50/p95/p99 latency per
+  route, coalescing and breaker/deadline outcome counts) when the
+  trace contains a server's ``serve.request`` spans.
 
 All tables render through :mod:`repro.io.tables` — the same renderer
 the registry listing and the benchmarks use.
@@ -23,6 +26,7 @@ from pathlib import Path
 from repro.errors import DataFormatError
 from repro.io.jsonl import read_jsonl
 from repro.io.tables import render_kv, render_table
+from repro.obs.metrics import percentile
 
 __all__ = ["build_report", "load_trace", "render_report"]
 
@@ -124,6 +128,7 @@ def build_report(spans: list[dict], top: int = 5) -> dict:
         retry_histogram[attempts] = retry_histogram.get(attempts, 0) + 1
 
     worker_crashes = _crash_breakdown(spans)
+    serve = _serve_breakdown(spans, top=top)
 
     critical_path = [
         {
@@ -142,6 +147,7 @@ def build_report(spans: list[dict], top: int = 5) -> dict:
         "retry_histogram": retry_histogram,
         "critical_path": critical_path,
         "worker_crashes": worker_crashes,
+        "serve": serve,
     }
 
 
@@ -186,6 +192,63 @@ def _crash_breakdown(spans: list[dict]) -> dict:
         ),
         "pool_rebuilds": sum(s["name"] == "pool_rebuild" for s in spans),
         "degraded": any(s["name"] == "degrade" for s in spans),
+    }
+
+
+def _serve_breakdown(spans: list[dict], top: int = 5) -> dict:
+    """Summarize a server trace's ``serve.request`` spans.
+
+    Per-route request counts, status mix, and latency quantiles, plus
+    the degradation-ladder evidence an incident review asks for first:
+    how many requests coalesced onto an in-flight compute, and how many
+    ended in each failure outcome (deadline, breaker_open, ...).
+    Everything is empty when the trace has no serve spans, and the
+    renderer skips the section entirely.
+    """
+    requests = [s for s in spans if s["name"] == "serve.request"]
+    routes: dict[str, dict] = {}
+    statuses: dict[str, int] = {}
+    outcomes: dict[str, int] = {}
+    sources: dict[str, int] = {}
+    coalesced = 0
+    for span in requests:
+        attrs = span.get("attributes", {})
+        route = attrs.get("route", "(unmatched)")
+        entry = routes.setdefault(
+            route, {"requests": 0, "durations": [], "statuses": {}}
+        )
+        entry["requests"] += 1
+        entry["durations"].append(span["duration"])
+        status = str(attrs.get("status", "?"))
+        entry["statuses"][status] = entry["statuses"].get(status, 0) + 1
+        statuses[status] = statuses.get(status, 0) + 1
+        outcome = attrs.get("outcome")
+        if outcome:
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        source = attrs.get("source")
+        if source:
+            sources[source] = sources.get(source, 0) + 1
+        if attrs.get("coalesced"):
+            coalesced += 1
+    route_rows = [
+        {
+            "route": route,
+            "requests": entry["requests"],
+            "statuses": dict(sorted(entry["statuses"].items())),
+            "p50": percentile(entry["durations"], 0.50),
+            "p95": percentile(entry["durations"], 0.95),
+            "p99": percentile(entry["durations"], 0.99),
+        }
+        for route, entry in routes.items()
+    ]
+    route_rows.sort(key=lambda row: row["requests"], reverse=True)
+    return {
+        "requests": len(requests),
+        "routes": route_rows[:top],
+        "statuses": dict(sorted(statuses.items())),
+        "outcomes": dict(sorted(outcomes.items())),
+        "sources": dict(sorted(sources.items())),
+        "coalesced": coalesced,
     }
 
 
@@ -271,5 +334,38 @@ def render_report(spans: list[dict], top: int = 5) -> str:
                 ],
                 title="quarantined poison tasks",
             ))
+
+    serve = report["serve"]
+    if serve["requests"]:
+        parts.append(render_table(
+            ["route", "requests", "statuses", "p50_s", "p95_s", "p99_s"],
+            [
+                [
+                    row["route"], row["requests"],
+                    " ".join(
+                        f"{status}:{count}"
+                        for status, count in row["statuses"].items()
+                    ),
+                    row["p50"], row["p95"], row["p99"],
+                ]
+                for row in serve["routes"]
+            ],
+            title=(
+                f"serve: top routes ({serve['requests']} requests, "
+                f"{serve['coalesced']} coalesced)"
+            ),
+            precision=4,
+        ))
+        summary_rows = [
+            ("status " + status, count)
+            for status, count in serve["statuses"].items()
+        ] + [
+            ("outcome " + outcome, count)
+            for outcome, count in serve["outcomes"].items()
+        ] + [
+            ("source " + source, count)
+            for source, count in serve["sources"].items()
+        ]
+        parts.append(render_kv(summary_rows, title="serve: status mix"))
 
     return "\n\n".join(parts)

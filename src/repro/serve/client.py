@@ -17,6 +17,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import percentile
+
 __all__ = ["FetchResult", "LoadReport", "fetch", "percentile", "run_load"]
 
 
@@ -65,15 +67,6 @@ def fetch(
         )
     finally:
         conn.close()
-
-
-def percentile(values: list[float], fraction: float) -> float:
-    """The ``fraction``-quantile of ``values`` (nearest-rank; 0 if empty)."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank]
 
 
 @dataclass

@@ -236,6 +236,15 @@ class ComputeJobManager:
         """How many compute jobs are currently running or queued."""
         return len(self._jobs)
 
+    def pending(self, key: str) -> bool:
+        """True when a job for ``key`` is already in flight.
+
+        A :meth:`submit` while this holds will coalesce onto that job;
+        the service uses this to stamp ``coalesced`` on request spans
+        without changing dispatch.
+        """
+        return key in self._jobs
+
     async def drain(self, timeout: float) -> int:
         """Let in-flight jobs checkpoint; returns how many were abandoned.
 

@@ -33,22 +33,32 @@ runner's problem (requeue → quarantine), never the server's.
 
 Every request is counted (``serve.*``) and spanned (``serve.request``),
 so the chaos tests can assert the contract — "exactly one compute job
-for N coalesced requests" is a counter equality, not a log grep.
+for N coalesced requests" is a counter equality, not a log grep.  On
+top of the counters, each request gets an ``X-Request-Id`` (generated,
+or the client's own when sane), a per-route × per-status latency
+histogram observation, and — when ``ServeConfig.access_log`` is set —
+one structured JSONL access-log row carrying the request id, route,
+status, duration, config hash, and cache source.  ``/metrics`` is
+content-negotiated: ``Accept: text/plain`` returns the Prometheus text
+exposition, anything else the JSON snapshot.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+import re
 import signal
 import sys
 import time
+import uuid
 from dataclasses import asdict, dataclass, replace
 from typing import Callable
 
 from repro.errors import SpecError, UnknownExperimentError
 from repro.io.artifacts import ArtifactCache, artifact_key
-from repro.obs.metrics import MetricsRegistry
+from repro.io.jsonl import append_jsonl
+from repro.obs.metrics import MetricsRegistry, labeled, render_prometheus
 from repro.obs.tracing import current_tracer
 from repro.serve.http import (
     BadRequest,
@@ -72,11 +82,51 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     "compute_corpus_stats",
+    "route_template",
     "run_server",
 ]
 
 #: Artifact-cache kind for the corpus analytics endpoint.
 CORPUS_STATS_KIND = "corpus-stats"
+
+#: Request ids a client may supply: sane length, log-safe alphabet.
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def route_template(path: str) -> str:
+    """Collapse a request path onto its route template.
+
+    Per-route metrics must not key on raw paths — every distinct
+    experiment id or config hash would mint a new histogram, and a
+    hostile client could mint millions.  Parameterized segments
+    collapse (``/v1/result/E7/abc123`` → ``/v1/result/{id}/{hash}``),
+    the fixed endpoints map to themselves, and everything else —
+    including every 404-bound probe — lands in one ``(unmatched)``
+    bucket.
+    """
+    parts = [p for p in path.split("/") if p]
+    if parts and parts[0] == "v1":
+        if len(parts) == 3 and parts[1] == "result":
+            return "/v1/result/{id}"
+        if len(parts) == 4 and parts[1] == "result":
+            return "/v1/result/{id}/{hash}"
+        if len(parts) == 3 and parts[1] == "grid":
+            return "/v1/grid/{id}"
+        if len(parts) == 2 and parts[1] in ("experiments", "corpus"):
+            return f"/v1/{parts[1]}"
+        return "(unmatched)"
+    if len(parts) == 1 and parts[0] in ("metrics", "healthz", "readyz"):
+        return f"/{parts[0]}"
+    return "(unmatched)"
+
+
+def _request_id(request: Request) -> str:
+    """The request's id: the client's ``X-Request-Id`` when it is sane
+    (so ids propagate through a proxy chain), a fresh one otherwise."""
+    supplied = request.headers.get("x-request-id", "")
+    if _REQUEST_ID_OK.match(supplied):
+        return supplied
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass(frozen=True)
@@ -101,6 +151,9 @@ class ServeConfig:
         drain_timeout: Seconds graceful drain waits — once for in-flight
             requests, then again for background jobs to checkpoint.
         executor_workers: Concurrent compute jobs (thread-pool size).
+        access_log: JSONL access-log path (one structured row per
+            request, written through the atomic ``append_jsonl`` path);
+            None disables it.
     """
 
     host: str = "127.0.0.1"
@@ -114,6 +167,7 @@ class ServeConfig:
     breaker_cooldown: float = 30.0
     drain_timeout: float = 10.0
     executor_workers: int = 2
+    access_log: str | None = None
 
 
 def compute_corpus_stats(config, *, cache: ArtifactCache) -> list[dict]:
@@ -243,17 +297,75 @@ class ResultService:
     # -- admission + dispatch ------------------------------------------
 
     async def respond(self, request: Request) -> Response:
-        """Admission control, deadline enforcement, routing, accounting."""
+        """Admission control, deadline enforcement, routing, accounting.
+
+        Every request — shed, drained, and probe requests included —
+        gets the full telemetry treatment here: an ``X-Request-Id``
+        (the client's, when sane, so ids survive proxy hops), a
+        ``serve.request`` span carrying route/status/config_hash/cache
+        source, per-route × per-status latency histograms, status-class
+        counters, and one JSONL access-log row.
+        """
         self.metrics.count("serve.requests")
         started = time.monotonic()
-        response = await self._admit_and_route(request)
-        self.metrics.count(f"serve.responses.{response.status}")
-        self.metrics.observe(
-            "serve.request_seconds", time.monotonic() - started
-        )
+        request_id = _request_id(request)
+        route = route_template(request.path)
+        with self.tracer.span(
+            "serve.request",
+            method=request.method,
+            path=request.path,
+            route=route,
+            request_id=request_id,
+        ) as span:
+            response = await self._admit_and_route(request, span)
+            span.set_attribute("status", response.status)
+            for attribute, header in (
+                ("config_hash", "X-Config-Hash"),
+                ("source", "X-Cache"),
+            ):
+                value = response.headers.get(header)
+                if value is not None:
+                    span.set_attribute(attribute, value)
+        elapsed = time.monotonic() - started
+        response.headers.setdefault("X-Request-Id", request_id)
+        self._record_request(request, request_id, route, response, elapsed)
         return response
 
-    async def _admit_and_route(self, request: Request) -> Response:
+    def _record_request(
+        self,
+        request: Request,
+        request_id: str,
+        route: str,
+        response: Response,
+        elapsed: float,
+    ) -> None:
+        """Counters, histograms, and the access-log row for one request."""
+        status = response.status
+        self.metrics.count(f"serve.responses.{status}")
+        self.metrics.count(f"serve.responses.{status // 100}xx")
+        self.metrics.observe("serve.request_seconds", elapsed)
+        if self.metrics.enabled:
+            # The labeled key is an f-string build per request; skip it
+            # entirely under NullMetrics so the opt-out stays free.
+            self.metrics.observe(
+                labeled("serve.request_seconds", route=route, status=status),
+                elapsed,
+            )
+        if self.config.access_log is not None:
+            append_jsonl(self.config.access_log, [{
+                "ts": time.time(),
+                "request_id": request_id,
+                "method": request.method,
+                "path": request.path,
+                "route": route,
+                "status": status,
+                "duration_ms": round(elapsed * 1000, 3),
+                "config_hash": response.headers.get("X-Config-Hash"),
+                "source": response.headers.get("X-Cache"),
+                "bytes": len(response.body),
+            }])
+
+    async def _admit_and_route(self, request: Request, span) -> Response:
         if request.method not in ("GET", "HEAD"):
             return json_response(
                 405,
@@ -296,23 +408,19 @@ class ResultService:
         self._inflight += 1
         self.metrics.set_gauge("serve.inflight", self._inflight)
         try:
-            with self.tracer.span(
-                "serve.request", method=request.method, path=request.path
-            ) as span:
-                response = await self._route_with_deadline(request)
-                span.set_attribute("status", response.status)
-                return response
+            return await self._route_with_deadline(request, span)
         finally:
             self._inflight -= 1
             self.metrics.set_gauge("serve.inflight", self._inflight)
 
-    async def _route_with_deadline(self, request: Request) -> Response:
+    async def _route_with_deadline(self, request: Request, span) -> Response:
         try:
             return await asyncio.wait_for(
-                self._route(request), self.config.deadline
+                self._route(request, span), self.config.deadline
             )
         except asyncio.TimeoutError:
             self.metrics.count("serve.deadline_timeouts")
+            span.set_attribute("outcome", "deadline")
             return json_response(
                 503,
                 {
@@ -322,12 +430,14 @@ class ResultService:
                 {"Retry-After": _retry_after(self.config.retry_after)},
             )
         except CircuitOpen as exc:
+            span.set_attribute("outcome", "breaker_open")
             return json_response(
                 503,
                 {"error": str(exc), "circuit": "open"},
                 {"Retry-After": _retry_after(exc.retry_after)},
             )
         except ComputeFailed as exc:
+            span.set_attribute("outcome", "compute_failed")
             return json_response(
                 503,
                 {"error": str(exc), "crash": exc.crash},
@@ -341,29 +451,53 @@ class ResultService:
             return json_response(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - the server must not die
             self.metrics.count("serve.errors")
+            span.set_attribute("outcome", "internal_error")
             return json_response(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
 
     # -- routing --------------------------------------------------------
 
-    async def _route(self, request: Request) -> Response:
+    async def _route(self, request: Request, span) -> Response:
         path = request.path.rstrip("/") or "/"
         if path == "/metrics":
-            return json_response(200, self.metrics.snapshot())
+            return self._metrics_response(request)
         if path == "/v1/experiments":
             return self._experiments()
         if path == "/v1/corpus":
-            return await self._corpus(request)
+            return await self._corpus(request, span)
         parts = [p for p in path.split("/") if p]
         if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "result":
             if len(parts) == 3:
-                return await self._result(request, parts[2])
+                return await self._result(request, parts[2], span)
             if len(parts) == 4:
                 return self._result_by_hash(parts[2], parts[3])
         if len(parts) == 3 and parts[0] == "v1" and parts[1] == "grid":
             return self._grid(request, parts[2])
         return json_response(404, {"error": f"no route for {request.path}"})
+
+    def _metrics_response(self, request: Request) -> Response:
+        """The metrics snapshot, content-negotiated.
+
+        ``Accept: text/plain`` (or ``text/*``, or an OpenMetrics type —
+        what Prometheus scrapers send) gets the text exposition;
+        everything else, including no ``Accept`` at all, keeps the
+        historical JSON snapshot.
+        """
+        self.metrics.set_gauge(
+            "serve.uptime_seconds", time.monotonic() - self._started
+        )
+        accept = request.headers.get("accept", "")
+        if any(
+            token in accept
+            for token in ("text/plain", "text/*", "openmetrics")
+        ):
+            return Response(
+                status=200,
+                body=render_prometheus(self.metrics.snapshot()).encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        return json_response(200, self.metrics.snapshot())
 
     def _experiments(self) -> Response:
         from repro.experiments.registry import all_experiments, describe
@@ -417,14 +551,23 @@ class ResultService:
         etag = f'"{config_hash}"'
         if request is not None and request.headers.get("if-none-match") == etag:
             self.metrics.count("serve.not_modified")
-            return Response(status=304, headers={"ETag": etag})
+            return Response(
+                status=304,
+                headers={"ETag": etag, "X-Config-Hash": config_hash},
+            )
         return json_response(
             200,
             self._result_payload(experiment_id, config_hash, rows, source),
-            {"ETag": etag, "X-Config-Hash": config_hash},
+            {
+                "ETag": etag,
+                "X-Config-Hash": config_hash,
+                "X-Cache": source,
+            },
         )
 
-    async def _result(self, request: Request, experiment_id: str) -> Response:
+    async def _result(
+        self, request: Request, experiment_id: str, span
+    ) -> Response:
         from repro.experiments.sweep import SWEEP_RESULT_KIND, result_cache_config
 
         spec = self._build_spec(experiment_id, request)
@@ -438,6 +581,8 @@ class ResultService:
                 request, experiment_id, config_hash, rows, "cache"
             )
         self.metrics.count("serve.misses")
+        if self.jobs.pending(config_hash):
+            span.set_attribute("coalesced", True)
         job = self.jobs.submit(config_hash, self._experiment_compute(spec))
         # shield(): a deadline cancels *this request's wait*, never the
         # shared job — coalesced peers and the eventual cache write
@@ -522,7 +667,7 @@ class ResultService:
 
     # -- corpus analytics ------------------------------------------------
 
-    async def _corpus(self, request: Request) -> Response:
+    async def _corpus(self, request: Request, span) -> Response:
         from repro.experiments._corpus import corpus_config
 
         try:
@@ -551,6 +696,8 @@ class ResultService:
             source = "cache"
         else:
             self.metrics.count("serve.misses")
+            if self.jobs.pending(config_hash):
+                span.set_attribute("coalesced", True)
             job = self.jobs.submit(
                 config_hash,
                 lambda: compute_corpus_stats(config, cache=self.cache),
@@ -559,11 +706,14 @@ class ResultService:
             source = "computed"
         if request.headers.get("if-none-match") == etag:
             self.metrics.count("serve.not_modified")
-            return Response(status=304, headers={"ETag": etag})
+            return Response(
+                status=304,
+                headers={"ETag": etag, "X-Config-Hash": config_hash},
+            )
         return json_response(
             200,
             {"config_hash": config_hash, "source": source, "stats": rows[0]},
-            {"ETag": etag, "X-Config-Hash": config_hash},
+            {"ETag": etag, "X-Config-Hash": config_hash, "X-Cache": source},
         )
 
     # -- drain -----------------------------------------------------------

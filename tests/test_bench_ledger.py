@@ -1,0 +1,194 @@
+"""Tests for repro.bench — the ledger schema and the regression gate.
+
+The gate is the enforcement arm of the perf story, so its failure
+modes get tests of their own: a regression must fail, a missing bench
+must fail, a first entry must pass, and one noisy run must not poison
+the trailing-median baseline.
+"""
+
+import pytest
+
+from repro.bench.gate import GateReport, evaluate_gate, render_trajectory
+from repro.bench.hotpaths import hot_path_names, run_hot_path
+from repro.bench.ledger import (
+    SCHEMA_VERSION,
+    append_entries,
+    load_ledger,
+    make_entry,
+    validate_entry,
+)
+from repro.errors import DataFormatError
+
+
+def entry(bench="scanner", value=1.0, **kwargs):
+    return make_entry(bench, value, rev="deadbee", **kwargs)
+
+
+class TestSchema:
+    def test_make_entry_is_schema_complete(self):
+        row = entry()
+        validate_entry(row)
+        assert row["schema"] == SCHEMA_VERSION
+        assert row["git_rev"] == "deadbee"
+        assert row["recorded"] > 0
+
+    def test_missing_field_rejected(self):
+        row = entry()
+        del row["unit"]
+        with pytest.raises(DataFormatError, match="unit"):
+            validate_entry(row)
+
+    def test_wrong_type_rejected(self):
+        row = entry()
+        row["value"] = "fast"
+        with pytest.raises(DataFormatError, match="value"):
+            validate_entry(row)
+
+    def test_bool_is_not_a_number(self):
+        row = entry()
+        row["value"] = True
+        with pytest.raises(DataFormatError, match="value"):
+            validate_entry(row)
+
+    def test_unknown_field_rejected(self):
+        row = entry()
+        row["speed"] = 9001
+        with pytest.raises(DataFormatError, match="speed"):
+            validate_entry(row)
+
+    def test_better_must_be_lower_or_higher(self):
+        with pytest.raises(DataFormatError, match="better"):
+            entry(better="sideways")
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(DataFormatError):
+            validate_entry([1, 2, 3])
+
+
+class TestLedgerIO:
+    def test_append_then_load_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        rows = [entry(value=0.1), entry(value=0.2)]
+        assert append_entries(path, rows) == 2
+        assert load_ledger(path) == rows
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        assert load_ledger(tmp_path / "absent.json") == []
+
+    def test_append_validates_before_writing(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        bad = entry()
+        del bad["bench"]
+        with pytest.raises(DataFormatError):
+            append_entries(path, [bad])
+        assert not path.exists()
+
+    def test_load_rejects_malformed_rows(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        append_entries(path, [entry()])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "bench": "x"}\n')
+        with pytest.raises(DataFormatError, match="row 1"):
+            load_ledger(path)
+
+
+class TestGate:
+    def test_first_entry_passes_without_baseline(self):
+        report = evaluate_gate([entry()], ["scanner"])
+        assert report.ok
+        assert report.checks[0].baseline is None
+        assert "no baseline" in report.checks[0].note
+
+    def test_steady_series_passes(self):
+        rows = [entry(value=v) for v in (1.0, 1.02, 0.98, 1.01)]
+        report = evaluate_gate(rows, ["scanner"])
+        assert report.ok
+        assert report.checks[-1].ratio == pytest.approx(1.01, rel=1e-6)
+
+    def test_regression_over_threshold_fails(self):
+        rows = [entry(value=1.0), entry(value=1.0), entry(value=1.3)]
+        report = evaluate_gate(rows, ["scanner"])
+        assert not report.ok
+        assert "worse" in report.checks[0].note
+
+    def test_missing_bench_fails(self):
+        report = evaluate_gate([entry()], ["scanner", "ghost"])
+        assert not report.ok
+        ghost = next(c for c in report.checks if c.bench == "ghost")
+        assert ghost.note == "no ledger entries"
+
+    def test_one_noisy_run_does_not_poison_the_baseline(self):
+        # spike at 3.0, then honest runs again: the median baseline
+        # absorbs the outlier, so the next honest run still passes.
+        rows = [entry(value=v) for v in (1.0, 1.0, 3.0, 1.0, 1.05)]
+        report = evaluate_gate(rows, ["scanner"])
+        assert report.ok, report.checks[0].note
+
+    def test_window_bounds_the_baseline(self):
+        # ancient fast history outside the window must not fail today's
+        # honest run.
+        rows = [entry(value=0.1)] * 10 + [entry(value=1.0)] * 6
+        report = evaluate_gate(rows, ["scanner"], window=5)
+        assert report.ok
+
+    def test_higher_is_better_inverts_the_ratio(self):
+        rows = [
+            entry(metric="throughput", better="higher", value=v)
+            for v in (100.0, 100.0, 70.0)
+        ]
+        report = evaluate_gate(rows, ["scanner"])
+        assert not report.ok
+        assert report.checks[0].ratio == pytest.approx(100.0 / 70.0)
+
+    def test_threshold_is_tunable(self):
+        rows = [entry(value=1.0), entry(value=1.1)]
+        assert evaluate_gate(rows, ["scanner"], threshold=0.05).ok is False
+        assert evaluate_gate(rows, ["scanner"], threshold=0.20).ok is True
+
+    def test_summary_is_json_shaped(self):
+        report = evaluate_gate([entry()], ["scanner"])
+        summary = report.summary()
+        assert summary["ok"] is True
+        assert summary["checks"][0]["bench"] == "scanner"
+
+    def test_render_marks_regressions(self):
+        rows = [entry(value=1.0), entry(value=2.0)]
+        text = evaluate_gate(rows, ["scanner"]).render()
+        assert "REGRESSED" in text
+
+    def test_empty_report_is_ok(self):
+        assert GateReport(threshold=0.2, window=5).ok is True
+
+
+class TestTrajectory:
+    def test_empty_ledger(self):
+        assert "no entries" in render_trajectory([])
+
+    def test_lists_each_series_once(self):
+        rows = [entry(value=1.0), entry(value=1.1),
+                entry(bench="tfidf", value=0.5)]
+        text = render_trajectory(rows)
+        assert text.count("scanner") == 1
+        assert text.count("tfidf") == 1
+        assert "deadbee" in text
+
+    def test_bench_filter(self):
+        rows = [entry(), entry(bench="tfidf")]
+        text = render_trajectory(rows, ["tfidf"])
+        assert "tfidf" in text and "scanner" not in text
+
+
+class TestHotPaths:
+    def test_known_names(self):
+        assert hot_path_names() == ["scanner", "serve_p95", "suite", "tfidf"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown hot path"):
+            run_hot_path("warp_drive")
+
+    def test_scanner_runner_emits_valid_entries(self):
+        entries = run_hot_path("scanner", repeats=1)
+        assert len(entries) == 1
+        validate_entry(entries[0])
+        assert entries[0]["bench"] == "scanner"
+        assert entries[0]["value"] > 0

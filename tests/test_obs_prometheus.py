@@ -1,0 +1,193 @@
+"""Tests for the Prometheus text exposition in repro.obs.metrics.
+
+Every emitted line is linted against the exposition grammar — a
+scraper that chokes on one malformed line drops the whole page, so the
+format is the contract, not the vibe.
+"""
+
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    labeled,
+    parse_metric_key,
+    percentile,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+#: `# TYPE <name> <kind>` comment lines.
+_TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+)
+#: `name{label="value",...} <number>` sample lines.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*\})?'
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+
+
+def lint(text):
+    """Assert every line fits the exposition grammar; returns the lines."""
+    assert text == "" or text.endswith("\n"), "exposition must end in newline"
+    lines = text.splitlines()
+    for line in lines:
+        pattern = _TYPE_LINE if line.startswith("#") else _SAMPLE_LINE
+        assert pattern.match(line), f"grammar violation: {line!r}"
+    return lines
+
+
+class TestSanitization:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.request") == "serve_request"
+
+    def test_leading_digit_gets_underscore(self):
+        assert sanitize_metric_name("2xx.responses") == "_2xx_responses"
+
+    def test_hostile_characters_flattened(self):
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+        assert sanitize_metric_name("") == "_"
+
+
+class TestLabeledKeys:
+    def test_roundtrip(self):
+        key = labeled("serve.request_seconds", route="/v1/corpus", status=200)
+        base, pairs = parse_metric_key(key)
+        assert base == "serve.request_seconds"
+        assert pairs == [("route", "/v1/corpus"), ("status", "200")]
+
+    def test_labels_sorted_for_stable_keys(self):
+        assert labeled("m", b="2", a="1") == labeled("m", a="1", b="2")
+
+    def test_quotes_and_backslashes_escaped(self):
+        key = labeled("m", path='a"b\\c')
+        base, pairs = parse_metric_key(key)
+        assert base == "m"
+        assert pairs == [("path", 'a\\"b\\\\c')]
+
+    def test_unlabeled_key_passes_through(self):
+        assert parse_metric_key("plain.name") == ("plain.name", [])
+
+
+class TestExposition:
+    def test_every_line_fits_the_grammar(self):
+        registry = MetricsRegistry()
+        registry.count("serve.requests", 3)
+        registry.count(labeled("serve.responses", status=200), 2)
+        registry.set_gauge("serve.inflight", 1)
+        registry.observe("serve.request_seconds", 0.004)
+        registry.observe(
+            labeled("serve.request_seconds", route="/v1/result/{id}",
+                    status=200),
+            0.004,
+        )
+        lint(render_prometheus(registry.snapshot()))
+
+    def test_type_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.observe("serve.request_seconds", 0.01)
+        registry.observe(labeled("serve.request_seconds", route="/x"), 0.01)
+        lines = lint(render_prometheus(registry.snapshot()))
+        type_lines = [line for line in lines if line.startswith("# TYPE")]
+        assert type_lines == ["# TYPE serve_request_seconds histogram"]
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 1.5, 1.5, 10.0):
+            registry.observe("h", value, buckets=(1.0, 2.0, 5.0))
+        lines = lint(render_prometheus(registry.snapshot()))
+        buckets = [line for line in lines if line.startswith("h_bucket")]
+        assert buckets == [
+            'h_bucket{le="1"} 1',
+            'h_bucket{le="2"} 3',
+            'h_bucket{le="5"} 3',
+            'h_bucket{le="+Inf"} 4',
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "bucket series must be monotonic"
+
+    def test_histogram_count_and_sum_rows(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0, buckets=(2.0,))
+        registry.observe("h", 3.0, buckets=(2.0,))
+        lines = lint(render_prometheus(registry.snapshot()))
+        assert "h_count 2" in lines
+        assert "h_sum 4" in lines
+
+    def test_final_bucket_equals_count(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 5.0, 500.0):
+            registry.observe("h", value)
+        lines = lint(render_prometheus(registry.snapshot()))
+        inf = next(line for line in lines if 'le="+Inf"' in line)
+        count = next(line for line in lines if line.startswith("h_count"))
+        assert inf.rsplit(" ", 1)[1] == count.rsplit(" ", 1)[1] == "3"
+
+    def test_unset_gauge_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert render_prometheus(registry.snapshot()) == ""
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_labels_survive_into_exposition(self):
+        registry = MetricsRegistry()
+        registry.count(
+            labeled("serve.responses", route="/v1/result/{id}", status=503)
+        )
+        lines = lint(render_prometheus(registry.snapshot()))
+        assert (
+            'serve_responses{route="/v1/result/{id}",status="503"} 1' in lines
+        )
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_unsorted_input(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.99) == 5.0
+
+    def test_median_of_ten(self):
+        values = [float(i) for i in range(1, 11)]
+        assert percentile(values, 0.5) == 6.0
+        assert percentile(values, 0.9) == 10.0
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert Histogram("h", buckets=(1.0, 2.0)).quantile(0.5) == 0.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0,)).quantile(1.5)
+
+    def test_interpolates_within_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            histogram.observe(1.5)
+        estimate = histogram.quantile(0.5)
+        assert 1.0 <= estimate <= 2.0
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_quantiles_are_monotone(self):
+        histogram = Histogram("h", buckets=(0.01, 0.1, 1.0, 10.0))
+        for value in (0.005, 0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(f / 10) for f in range(11)]
+        assert quantiles == sorted(quantiles)

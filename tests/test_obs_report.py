@@ -114,6 +114,72 @@ class TestBuildReport:
         assert durations == sorted(durations, reverse=True)
 
 
+def synthetic_serve_trace(tmp_path):
+    """A trace shaped like the result service's ``serve.request`` spans.
+
+    Five requests: three hot hits on the result route (one coalesced),
+    one deadline 503, and one 404 probe.
+    """
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    durations = (0.01, 0.02, 0.03)
+    for index, duration in enumerate(durations):
+        with tracer.span(
+            "serve.request", method="GET", path=f"/v1/result/E{index}",
+            route="/v1/result/{id}", request_id=f"id-{index}",
+        ) as span:
+            clock.advance(duration)
+            span.set_attribute("status", 200)
+            span.set_attribute("source", "cache")
+            if index == 0:
+                span.set_attribute("coalesced", True)
+    with tracer.span(
+        "serve.request", method="GET", path="/v1/result/E9",
+        route="/v1/result/{id}", request_id="id-d",
+    ) as span:
+        clock.advance(1.0)
+        span.set_attribute("status", 503)
+        span.set_attribute("outcome", "deadline")
+    with tracer.span(
+        "serve.request", method="GET", path="/etc/passwd",
+        route="(unmatched)", request_id="id-x",
+    ) as span:
+        clock.advance(0.001)
+        span.set_attribute("status", 404)
+    path = tmp_path / "serve-trace.jsonl"
+    tracer.export(path)
+    return path
+
+
+class TestServeSection:
+    def test_routes_statuses_and_quantiles(self, tmp_path):
+        report = build_report(load_trace(synthetic_serve_trace(tmp_path)))
+        serve = report["serve"]
+        assert serve["requests"] == 5
+        assert serve["coalesced"] == 1
+        assert serve["statuses"] == {"200": 3, "404": 1, "503": 1}
+        assert serve["outcomes"] == {"deadline": 1}
+        assert serve["sources"] == {"cache": 3}
+        top = serve["routes"][0]
+        assert top["route"] == "/v1/result/{id}"
+        assert top["requests"] == 4
+        assert top["statuses"] == {"200": 3, "503": 1}
+        assert top["p50"] == pytest.approx(0.03)
+        assert top["p99"] == pytest.approx(1.0)
+
+    def test_routes_sorted_by_traffic_and_capped(self, tmp_path):
+        report = build_report(
+            load_trace(synthetic_serve_trace(tmp_path)), top=1
+        )
+        routes = report["serve"]["routes"]
+        assert [r["route"] for r in routes] == ["/v1/result/{id}"]
+
+    def test_absent_without_serve_spans(self, tmp_path):
+        report = build_report(load_trace(synthetic_suite_trace(tmp_path)))
+        assert report["serve"]["requests"] == 0
+        assert report["serve"]["routes"] == []
+
+
 class TestRenderReport:
     def test_renders_all_sections(self, tmp_path):
         text = render_report(load_trace(synthetic_suite_trace(tmp_path)))
@@ -124,3 +190,14 @@ class TestRenderReport:
         assert "retry histogram" in text
         assert "E1" in text
         assert "E2" in text
+
+    def test_renders_serve_section(self, tmp_path):
+        text = render_report(load_trace(synthetic_serve_trace(tmp_path)))
+        assert "serve: top routes (5 requests, 1 coalesced)" in text
+        assert "/v1/result/{id}" in text
+        assert "serve: status mix" in text
+        assert "outcome deadline" in text
+
+    def test_suite_report_omits_serve_section(self, tmp_path):
+        text = render_report(load_trace(synthetic_suite_trace(tmp_path)))
+        assert "serve:" not in text

@@ -1,0 +1,230 @@
+"""Tests for the request-telemetry layer of repro.serve.service.
+
+The contract tests in test_serve_service.py pin the degradation
+ladder; these pin the observability riding on it — request ids,
+route-templated metrics, status-class counters, the JSONL access log,
+and the /metrics content negotiation.  Most cases drive
+``ResultService.respond`` directly with synthetic requests; the
+round-trip cases go over a live ServerThread.
+"""
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.io.jsonl import read_jsonl
+from repro.obs import Tracer, use_tracer
+from repro.obs.metrics import MetricsRegistry, labeled
+from repro.serve.client import fetch
+from repro.serve.http import Request
+from repro.serve.service import (
+    ResultService,
+    ServeConfig,
+    ServerThread,
+    route_template,
+)
+
+HOST = "127.0.0.1"
+
+
+def make_service(tmp_path, **overrides):
+    defaults = dict(cache_dir=str(tmp_path / "cache"), deadline=60.0)
+    defaults.update(overrides)
+    return ResultService(ServeConfig(**defaults), metrics=MetricsRegistry())
+
+
+def respond(service, path, headers=None, method="GET"):
+    split = urlsplit(path)
+    request = Request(
+        method=method,
+        target=path,
+        path=split.path,
+        query=parse_qs(split.query, keep_blank_values=True),
+        headers={k.lower(): v for k, v in (headers or {}).items()},
+    )
+    return asyncio.run(service.respond(request))
+
+
+class TestRouteTemplate:
+    def test_parameterized_routes_collapse(self):
+        assert route_template("/v1/result/E7") == "/v1/result/{id}"
+        assert route_template("/v1/result/E7/abc123") == "/v1/result/{id}/{hash}"
+        assert route_template("/v1/grid/E7") == "/v1/grid/{id}"
+
+    def test_fixed_routes_map_to_themselves(self):
+        for path in ("/v1/experiments", "/v1/corpus", "/metrics",
+                     "/healthz", "/readyz"):
+            assert route_template(path) == path
+
+    def test_hostile_paths_share_one_bucket(self):
+        for path in ("/", "/etc/passwd", "/v1/whatever/x/y/z", "/v1/result",
+                     "/metricsss"):
+            assert route_template(path) == "(unmatched)"
+
+
+class TestRequestId:
+    def test_generated_when_absent(self, tmp_path):
+        service = make_service(tmp_path)
+        response = respond(service, "/healthz")
+        request_id = response.headers["X-Request-Id"]
+        assert len(request_id) == 16
+        int(request_id, 16)  # hex
+
+    def test_sane_client_id_round_trips(self, tmp_path):
+        service = make_service(tmp_path)
+        response = respond(
+            service, "/healthz", headers={"X-Request-Id": "proxy-hop.1"}
+        )
+        assert response.headers["X-Request-Id"] == "proxy-hop.1"
+
+    def test_hostile_client_id_replaced(self, tmp_path):
+        service = make_service(tmp_path)
+        for bad in ("x" * 65, "id with spaces", 'inject="1"', ""):
+            response = respond(
+                service, "/healthz", headers={"X-Request-Id": bad}
+            )
+            assert response.headers["X-Request-Id"] != bad
+
+    def test_every_response_carries_an_id(self, tmp_path):
+        service = make_service(tmp_path)
+        for path in ("/healthz", "/nope", "/v1/result/bogus"):
+            assert respond(service, path).headers.get("X-Request-Id")
+
+
+class TestRequestMetrics:
+    def test_status_class_counters(self, tmp_path):
+        service = make_service(tmp_path)
+        respond(service, "/healthz")
+        respond(service, "/healthz")
+        respond(service, "/nope")
+        stats = service.metrics.snapshot()["counters"]
+        assert stats["serve.responses.2xx"] == 2
+        assert stats["serve.responses.200"] == 2
+        assert stats["serve.responses.4xx"] == 1
+        assert stats["serve.responses.404"] == 1
+        assert stats["serve.requests"] == 3
+
+    def test_per_route_per_status_histogram(self, tmp_path):
+        service = make_service(tmp_path)
+        respond(service, "/v1/result/E7?seed=0")
+        histograms = service.metrics.snapshot()["histograms"]
+        key = labeled(
+            "serve.request_seconds", route="/v1/result/{id}", status=200
+        )
+        assert histograms[key]["count"] == 1
+        assert histograms["serve.request_seconds"]["count"] == 1
+
+    def test_serve_request_span_attributes(self, tmp_path):
+        service = make_service(tmp_path)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            service.tracer = tracer
+            respond(service, "/v1/result/E7?seed=0")
+        spans = [s for s in tracer.finished if s.name == "serve.request"]
+        assert len(spans) == 1
+        attrs = spans[0].attributes
+        assert attrs["route"] == "/v1/result/{id}"
+        assert attrs["status"] == 200
+        assert attrs["source"] == "computed"
+        assert attrs["config_hash"]
+        assert attrs["request_id"]
+
+    def test_uptime_gauge_set_on_metrics_scrape(self, tmp_path):
+        service = make_service(tmp_path)
+        respond(service, "/metrics")
+        gauges = service.metrics.snapshot()["gauges"]
+        assert gauges["serve.uptime_seconds"] >= 0.0
+        assert gauges["serve.inflight"] == 0
+
+
+class TestAccessLog:
+    def test_rows_match_requests(self, tmp_path):
+        log = tmp_path / "access.jsonl"
+        service = make_service(tmp_path, access_log=str(log))
+        ok = respond(service, "/v1/result/E7?seed=0")
+        respond(service, "/nope", headers={"X-Request-Id": "probe-2"})
+        rows = list(read_jsonl(log))
+        assert len(rows) == 2
+        first, second = rows
+        assert first["route"] == "/v1/result/{id}"
+        assert first["status"] == 200
+        assert first["source"] == "computed"
+        assert first["config_hash"] == ok.headers["X-Config-Hash"]
+        assert first["request_id"] == ok.headers["X-Request-Id"]
+        assert first["duration_ms"] >= 0
+        assert second["request_id"] == "probe-2"
+        assert second["status"] == 404
+        assert second["config_hash"] is None
+
+    def test_disabled_by_default(self, tmp_path):
+        service = make_service(tmp_path)
+        respond(service, "/healthz")
+        assert not (tmp_path / "access.jsonl").exists()
+
+
+class TestMetricsNegotiation:
+    def test_default_stays_json(self, tmp_path):
+        service = make_service(tmp_path)
+        respond(service, "/healthz")
+        response = respond(service, "/metrics")
+        assert response.content_type.startswith("application/json")
+        snapshot = json.loads(response.body)
+        assert snapshot["counters"]["serve.requests"] >= 1
+
+    def test_text_plain_gets_exposition(self, tmp_path):
+        service = make_service(tmp_path)
+        respond(service, "/healthz")
+        response = respond(
+            service, "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert response.content_type.startswith("text/plain")
+        text = response.body.decode("utf-8")
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_uptime_seconds" in text
+
+    def test_openmetrics_accept_gets_exposition(self, tmp_path):
+        service = make_service(tmp_path)
+        response = respond(
+            service, "/metrics",
+            headers={"Accept": "application/openmetrics-text"},
+        )
+        assert response.content_type.startswith("text/plain")
+
+    def test_negotiation_over_real_tcp(self, tmp_path):
+        service = make_service(tmp_path)
+        with ServerThread(service) as server:
+            hot = fetch(HOST, server.port, "/v1/result/E7?seed=0", timeout=120)
+            assert hot.status == 200
+            text = fetch(
+                HOST, server.port, "/metrics",
+                headers={"Accept": "text/plain"},
+            )
+            json_body = fetch(HOST, server.port, "/metrics")
+        assert text.headers["content-type"].startswith("text/plain")
+        body = text.body.decode("utf-8")
+        assert 'serve_request_seconds_bucket' in body
+        assert 'route="/v1/result/{id}"' in body
+        assert json.loads(json_body.body)["counters"]["serve.requests"] >= 1
+
+
+class TestCacheSourceHeader:
+    def test_cold_then_hot_sources(self, tmp_path):
+        service = make_service(tmp_path)
+        cold = respond(service, "/v1/result/E7?seed=0")
+        hot = respond(service, "/v1/result/E7?seed=0")
+        assert cold.headers["X-Cache"] == "computed"
+        assert hot.headers["X-Cache"] == "cache"
+
+    def test_304_carries_config_hash(self, tmp_path):
+        service = make_service(tmp_path)
+        cold = respond(service, "/v1/result/E7?seed=0")
+        etag = cold.headers["ETag"]
+        not_modified = respond(
+            service, "/v1/result/E7?seed=0",
+            headers={"If-None-Match": etag},
+        )
+        assert not_modified.status == 304
+        assert (
+            not_modified.headers["X-Config-Hash"]
+            == cold.headers["X-Config-Hash"]
+        )
