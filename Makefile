@@ -96,8 +96,30 @@ bench-gate-smoke:
 		--ledger .bench-smoke/ledger.json
 	rm -rf .bench-smoke
 
+# Shard-parallel corpus generation end to end: generate a 10^4-paper
+# columnar corpus at workers=2 through the CLI, re-derive its
+# fingerprint sequentially in-process, then replay the warm shard cache
+# streamed — all three fingerprints must agree, proving worker-count
+# and cache-state invariance.
+corpus-smoke:
+	rm -rf .corpus-smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro corpus .corpus-smoke/run \
+		--papers 10000 --workers 2 --shard-size 2500 \
+		--cache-dir .corpus-smoke/shards
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -c "import json; \
+		from repro.bibliometrics.shardgen import ShardedCorpusConfig, generate_columnar_corpus; \
+		manifest = json.load(open('.corpus-smoke/run/manifest.json')); \
+		config = ShardedCorpusConfig(**manifest['config']); \
+		sequential = generate_columnar_corpus(config).fingerprint(); \
+		assert sequential == manifest['fingerprint'], 'worker-count drift'; \
+		warm = generate_columnar_corpus(config, cache_dir='.corpus-smoke/shards', stream=True); \
+		assert warm.fingerprint() == sequential, 'warm-cache drift'; \
+		assert warm.resident_shards() <= 1, 'streaming held >1 shard'; \
+		print('corpus-smoke ok: ' + sequential)"
+	rm -rf .corpus-smoke
+
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke serve-smoke obs-smoke bench-gate bench-gate-smoke outputs
+.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke serve-smoke obs-smoke bench-gate bench-gate-smoke corpus-smoke outputs

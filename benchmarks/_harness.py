@@ -24,7 +24,10 @@ so statistical repetition buys nothing but wall-clock.
 from __future__ import annotations
 
 import json
+import resource
+import sys
 from pathlib import Path
+from typing import Any, Callable
 
 from repro.bench.ledger import append_entries, make_entry
 from repro.experiments.registry import ExperimentResult, get_experiment, make_spec
@@ -33,6 +36,36 @@ from repro.obs.metrics import percentile
 
 RESULTS_DIR = Path(__file__).parent / "results"
 LEDGER_PATH = RESULTS_DIR / "BENCH_history.json"
+
+#: ``ru_maxrss`` unit: kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak RSS high-water mark, child-inclusive, in bytes.
+
+    ``RUSAGE_SELF`` plus ``RUSAGE_CHILDREN`` (waited-for descendants —
+    pool workers included), so a measurement over a shard-parallel run
+    charges the workers' memory too.
+    """
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (self_kb + child_kb) * _RU_MAXRSS_UNIT
+
+
+def measure_peak_rss(fn: Callable[[], Any]) -> tuple[Any, int]:
+    """Run ``fn`` and return ``(result, peak-RSS delta in bytes)``.
+
+    The delta is against the pre-call high-water mark.  ``ru_maxrss``
+    is monotone for a process's lifetime, so the delta is only
+    meaningful when ``fn`` is the largest thing the process has run —
+    back-to-back measurements of *descending* size read as zero.  For
+    honest curves, run each point in a fresh subprocess (what
+    ``bench_corpus_scale.py`` does) and treat the delta as a floor.
+    """
+    before = peak_rss_bytes()
+    result = fn()
+    return result, max(0, peak_rss_bytes() - before)
 
 
 def _make_runner(experiment_id: str, workers: int):

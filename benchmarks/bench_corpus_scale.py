@@ -1,0 +1,227 @@
+"""Scale curves for the columnar corpus generator.
+
+Measures papers/second and peak RSS at 10⁴/10⁵/10⁶ papers, sequential
+vs shard-parallel, streamed vs materialized, and checks the invariants
+the design promises: the corpus fingerprint is identical at every
+worker count and on warm-cache replays, and streaming peak RSS grows
+sub-linearly in corpus size.
+
+Run it directly (not under pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_corpus_scale.py
+    PYTHONPATH=src python benchmarks/bench_corpus_scale.py --sizes 10000 100000
+
+Every measurement point runs in a **fresh subprocess** (``--point``
+re-entry): ``ru_maxrss`` is a process-lifetime high-water mark, so a
+second, smaller point measured in the same process would read as the
+first point's peak.  Results land in
+``benchmarks/results/corpus_scale.json`` and a rendered table on
+stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).parent / "results" / "corpus_scale.json"
+
+#: Materialized (all shards resident) points are only run up to this
+#: size; past it the whole point of streaming is that you shouldn't.
+DEFAULT_MAX_MATERIALIZED = 100_000
+
+
+def _measure_point(spec: dict) -> dict:
+    """Run one measurement in this (fresh) process and return its row."""
+    from _harness import measure_peak_rss, peak_rss_bytes
+
+    from repro.bibliometrics.shardgen import (
+        ShardedCorpusConfig,
+        generate_columnar_corpus,
+    )
+
+    config = ShardedCorpusConfig(
+        start_year=2016,
+        end_year=2025,
+        seed=0,
+        total_papers=spec["papers"],
+        shard_size=spec["shard_size"],
+    )
+    workers = spec["workers"]
+    stream = spec["stream"]
+    row = dict(spec)
+
+    with tempfile.TemporaryDirectory(prefix="bench-corpus-") as tmp:
+        cache_dir = tmp if (stream or spec.get("warm")) else None
+
+        def generate():
+            started = time.perf_counter()
+            corpus = generate_columnar_corpus(
+                config, workers=workers, cache_dir=cache_dir, stream=stream
+            )
+            fingerprint = corpus.fingerprint()
+            return corpus, fingerprint, time.perf_counter() - started
+
+        if spec.get("warm"):
+            # Cold pass fills the cache; the measured pass replays it.
+            generate()
+        (corpus, fingerprint, seconds), rss_delta = measure_peak_rss(generate)
+        if stream:
+            assert corpus.resident_shards() <= 1, corpus.resident_shards()
+        row.update(
+            seconds=seconds,
+            papers_per_second=spec["papers"] / seconds if seconds else None,
+            fingerprint=fingerprint,
+            rss_delta_bytes=rss_delta,
+            peak_rss_bytes=peak_rss_bytes(),
+        )
+    return row
+
+
+def _run_point(spec: dict) -> dict:
+    """Run one point in a fresh subprocess; returns its result row."""
+    proc = subprocess.run(
+        [sys.executable, __file__, "--point", json.dumps(spec)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"point {spec} failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _label(row: dict) -> str:
+    mode = "streamed" if row["stream"] else "materialized"
+    warm = " warm" if row.get("warm") else ""
+    return f"{row['papers']:>9,} papers  w={row['workers']}  {mode}{warm}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[10_000, 100_000, 1_000_000],
+        help="corpus sizes to measure (default: 1e4 1e5 1e6)",
+    )
+    parser.add_argument(
+        "--workers-list", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts for the streamed points (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--max-materialized", type=int, default=DEFAULT_MAX_MATERIALIZED,
+        help="largest size also measured fully materialized",
+    )
+    parser.add_argument(
+        "--out", default=str(RESULTS_PATH),
+        help="JSON results path",
+    )
+    parser.add_argument("--point", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.point:
+        print(json.dumps(_measure_point(json.loads(args.point))))
+        return 0
+
+    import os
+
+    cpu_count = os.cpu_count() or 1
+    rows: list[dict] = []
+    for papers in sorted(args.sizes):
+        shard_size = max(2_500, min(50_000, papers // 8))
+        base = {"papers": papers, "shard_size": shard_size}
+        points: list[dict] = []
+        if papers <= args.max_materialized:
+            points.append({**base, "workers": 1, "stream": False})
+        for workers in args.workers_list:
+            points.append({**base, "workers": workers, "stream": True})
+        points.append({**base, "workers": 1, "stream": True, "warm": True})
+        for spec in points:
+            row = _run_point(spec)
+            rows.append(row)
+            print(f"{_label(row)}  {row['papers_per_second']:>10,.0f} papers/s"
+                  f"  peak-RSS Δ {row['rss_delta_bytes'] / 2**20:>8.1f} MiB",
+                  flush=True)
+
+    # -- invariants ------------------------------------------------------
+    notes: list[str] = []
+    ok = True
+    for papers in sorted(args.sizes):
+        prints = {row["fingerprint"] for row in rows if row["papers"] == papers}
+        if len(prints) != 1:
+            ok = False
+            notes.append(f"FINGERPRINT DRIFT at {papers} papers: {prints}")
+    if ok:
+        notes.append(
+            "fingerprints identical across worker counts, streamed/"
+            "materialized, and cold/warm cache at every size"
+        )
+
+    streamed = {
+        row["papers"]: row
+        for row in rows
+        if row["stream"] and row["workers"] == 1 and not row.get("warm")
+    }
+    sizes = sorted(streamed)
+    for small, large in zip(sizes, sizes[1:]):
+        growth = (large / small)
+        rss_small = max(1, streamed[small]["rss_delta_bytes"])
+        rss_growth = streamed[large]["rss_delta_bytes"] / rss_small
+        verdict = "sub-linear" if rss_growth < growth else "NOT sub-linear"
+        notes.append(
+            f"streaming peak-RSS {small:,}->{large:,} papers: "
+            f"{rss_growth:.2f}x for {growth:.0f}x papers ({verdict})"
+        )
+        if rss_growth >= growth:
+            ok = False
+
+    best_multi = max(
+        (row for row in rows if row["stream"] and row["workers"] > 1
+         and not row.get("warm")),
+        key=lambda r: r["papers_per_second"],
+        default=None,
+    )
+    if best_multi is not None:
+        base_row = streamed.get(best_multi["papers"])
+        if base_row:
+            speedup = (
+                best_multi["papers_per_second"] / base_row["papers_per_second"]
+            )
+            notes.append(
+                f"best shard-parallel speedup: {speedup:.2f}x at "
+                f"workers={best_multi['workers']} on a {cpu_count}-CPU host"
+            )
+            if cpu_count < 4:
+                notes.append(
+                    f"honest note: this host has {cpu_count} CPU(s); "
+                    "process-parallel speedup is bounded by physical "
+                    "cores, so ~1x here is expected — the >=3x claim "
+                    "applies to multi-core hosts"
+                )
+
+    payload = {
+        "cpu_count": cpu_count,
+        "rows": rows,
+        "notes": notes,
+        "ok": ok,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print()
+    for note in notes:
+        print(f"- {note}")
+    print(f"\nwrote {out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

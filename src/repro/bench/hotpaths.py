@@ -156,12 +156,86 @@ def _run_serve_p95(repeats: int) -> list[dict]:
     )]
 
 
+#: Fixed workload for the corpus-generation hot path: big enough that
+#: per-shard vectorized work dominates, small enough for CI (~0.5 s per
+#: repeat at the seed-commit rate).
+_SYNTHGEN_PAPERS = 20_000
+_SYNTHGEN_SHARD = 5_000
+
+#: Fixed workload for the per-shard scan hot path.
+_SCAN_PAPERS = 4_000
+
+
+def _synthgen_config():
+    from repro.bibliometrics.shardgen import ShardedCorpusConfig
+
+    return ShardedCorpusConfig(
+        start_year=2016, end_year=2025, seed=0,
+        total_papers=_SYNTHGEN_PAPERS, shard_size=_SYNTHGEN_SHARD,
+    )
+
+
+def _run_synthgen(repeats: int) -> list[dict]:
+    """Columnar shard generation, papers/second (higher is better).
+
+    Sequential (workers=1) on purpose: the ledger tracks the per-shard
+    generation kernel itself, not pool dispatch — and a fixed workload
+    must mean the same thing on 1-core CI and a 32-core laptop.
+    """
+    from repro.bibliometrics.shardgen import generate_columnar_corpus
+
+    config = _synthgen_config()
+
+    def generate() -> None:
+        corpus = generate_columnar_corpus(config)
+        assert len(corpus) == _SYNTHGEN_PAPERS
+
+    seconds = _time_min(generate, repeats)
+    return [make_entry(
+        "synthgen", _SYNTHGEN_PAPERS / seconds,
+        metric="papers_per_second", unit="papers/second", better="higher",
+        context={"repeats": repeats, "papers": _SYNTHGEN_PAPERS,
+                 "shard_size": _SYNTHGEN_SHARD, "workers": 1,
+                 "best_seconds": seconds, "cpu_count": os.cpu_count()},
+    )]
+
+
+def _run_corpus_scan(repeats: int) -> list[dict]:
+    """Per-shard methods_detect over a fixed corpus, papers/second."""
+    from repro.bibliometrics.shardgen import (
+        ShardedCorpusConfig,
+        generate_columnar_corpus,
+    )
+    from repro.bibliometrics.shardscan import scan_corpus
+
+    config = ShardedCorpusConfig(
+        start_year=2016, end_year=2025, seed=0,
+        total_papers=_SCAN_PAPERS, shard_size=_SCAN_PAPERS // 4,
+    )
+    corpus = generate_columnar_corpus(config)
+
+    def scan() -> None:
+        aggregates = scan_corpus(corpus)
+        assert aggregates.n_papers == _SCAN_PAPERS
+
+    seconds = _time_min(scan, repeats)
+    return [make_entry(
+        "corpus_scan", _SCAN_PAPERS / seconds,
+        metric="papers_per_second", unit="papers/second", better="higher",
+        context={"repeats": repeats, "papers": _SCAN_PAPERS,
+                 "shards": corpus.n_shards, "best_seconds": seconds,
+                 "cpu_count": os.cpu_count()},
+    )]
+
+
 #: name -> runner(repeats) -> validated ledger entries
 HOT_PATHS: dict[str, Callable[[int], list[dict]]] = {
     "scanner": _run_scanner,
     "tfidf": _run_tfidf,
     "suite": _run_suite,
     "serve_p95": _run_serve_p95,
+    "synthgen": _run_synthgen,
+    "corpus_scan": _run_corpus_scan,
 }
 
 

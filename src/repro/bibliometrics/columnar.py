@@ -1,0 +1,686 @@
+"""Columnar (struct-of-arrays) corpus representation.
+
+The dataclass :class:`~repro.bibliometrics.corpus.Corpus` holds one
+Python object per paper — fine at 10³–10⁴ papers, the scale ceiling at
+10⁶–10⁷.  This module stores a corpus as contiguous numpy columns
+grouped into fixed-size **shards**:
+
+- integer columns per paper (``year``, ``venue_idx``, ``topic_idx``),
+- author lists and within-corpus citations as CSR pairs
+  (``indptr``/``values``) of *global* author / paper indices,
+- text (titles, abstracts, bodies) as :class:`TextColumn` pools — one
+  concatenated blob plus an offsets array, so a shard's strings cost
+  two objects instead of ``3 × n_papers``,
+- generator ground truth as a per-paper human-family bitmask plus a
+  positionality flag column.
+
+:class:`ColumnarCorpus` exposes the existing ``Corpus``/``Paper`` API
+*lazily* — iteration yields real :class:`Paper` dataclasses built on
+demand — so every current consumer (``methods_detect``, ``trends``,
+``demographics``…) keeps working unchanged, while scale-aware callers
+use :meth:`ColumnarCorpus.iter_shards` and the per-shard reducers in
+:mod:`repro.bibliometrics.shardscan`.  With ``max_resident=1`` the
+corpus streams: at most one shard's string pools are decoded at a time
+and the rest live in the :class:`repro.io.artifacts.ArtifactCache`.
+
+Shards serialize to the artifact cache's JSONL record format (one
+record per column, numeric data base64-encoded, text stored as JSON
+strings — no pickle), and fingerprint over their raw column buffers;
+:func:`merge_fingerprints` combines per-shard digests associatively in
+shard order, which is what makes the corpus fingerprint independent of
+worker count and cache state.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.bibliometrics.corpus import Author, Corpus, Paper, Venue
+
+__all__ = [
+    "HUMAN_FAMILY_ORDER",
+    "SHARD_ARTIFACT_KIND",
+    "SHARD_SCHEMA_VERSION",
+    "ColumnarCorpus",
+    "ColumnarShard",
+    "CorpusVocab",
+    "TextColumn",
+    "decode_shard",
+    "encode_shard",
+    "merge_fingerprints",
+    "paper_id_for",
+]
+
+#: Artifact-cache kind for streamed corpus shards.
+SHARD_ARTIFACT_KIND = "corpus-shard"
+
+#: Bump when the column set or encoding changes shape; old cache
+#: entries become unreachable and shards are regenerated on demand.
+SHARD_SCHEMA_VERSION = 1
+
+#: Bit order of the ground-truth human-family mask (bit i set = the
+#: generator planted a sentence of family ``HUMAN_FAMILY_ORDER[i]``).
+HUMAN_FAMILY_ORDER: tuple[str, ...] = (
+    "diaries",
+    "ethnography",
+    "focus_groups",
+    "interviews",
+    "participatory",
+    "positionality",
+    "surveys",
+)
+
+#: Width of the zero-padded global index inside generated paper ids.
+_PAPER_ID_DIGITS = 8
+
+
+def paper_id_for(index: int) -> str:
+    """The stable paper id for global paper ``index`` (``p00000042``)."""
+    return f"p{index:0{_PAPER_ID_DIGITS}d}"
+
+
+def _index_of_paper_id(paper_id: str) -> int:
+    if not paper_id.startswith("p"):
+        raise KeyError(paper_id)
+    try:
+        return int(paper_id[1:], 10)
+    except ValueError:
+        raise KeyError(paper_id) from None
+
+
+class TextColumn:
+    """``n`` strings stored as one blob plus an int64 offsets array.
+
+    ``offsets`` has ``n + 1`` entries; string ``i`` is
+    ``blob[offsets[i]:offsets[i + 1]]``.  Slicing is lazy — holding a
+    TextColumn costs two objects however many strings it contains.
+    """
+
+    __slots__ = ("blob", "offsets")
+
+    def __init__(self, blob: str, offsets: np.ndarray) -> None:
+        self.blob = blob
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+
+    @classmethod
+    def from_strings(cls, strings: Iterable[str]) -> "TextColumn":
+        parts = list(strings)
+        offsets = np.zeros(len(parts) + 1, dtype=np.int64)
+        np.cumsum([len(p) for p in parts], out=offsets[1:])
+        return cls("".join(parts), offsets)
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def __getitem__(self, index: int) -> str:
+        return self.blob[self.offsets[index]:self.offsets[index + 1]]
+
+    def __iter__(self) -> Iterator[str]:
+        blob, offsets = self.blob, self.offsets
+        for i in range(len(self)):
+            yield blob[offsets[i]:offsets[i + 1]]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size (UTF-8 blob + offsets)."""
+        return len(self.blob.encode("utf-8", "replace")) + self.offsets.nbytes
+
+
+#: (attribute name, dtype) of every numeric shard column, in
+#: serialization (and fingerprint) order.
+_INT_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("year", "int32"),
+    ("venue_idx", "int16"),
+    ("topic_idx", "int16"),
+    ("author_indptr", "int64"),
+    ("author_values", "int64"),
+    ("ref_indptr", "int64"),
+    ("ref_values", "int64"),
+    ("human_mask", "uint16"),
+    ("positionality", "uint8"),
+)
+
+_TEXT_COLUMNS: tuple[str, ...] = ("title", "abstract", "body")
+
+
+@dataclass
+class ColumnarShard:
+    """One contiguous slice of the corpus in struct-of-arrays form.
+
+    Papers ``paper_offset .. paper_offset + n_papers - 1`` (global
+    indices).  ``author_values`` holds global author indices into the
+    :class:`CorpusVocab` author table; ``ref_values`` holds global
+    *paper* indices (always earlier years, so always resolvable).
+    """
+
+    index: int
+    paper_offset: int
+    year: np.ndarray
+    venue_idx: np.ndarray
+    topic_idx: np.ndarray
+    author_indptr: np.ndarray
+    author_values: np.ndarray
+    ref_indptr: np.ndarray
+    ref_values: np.ndarray
+    human_mask: np.ndarray
+    positionality: np.ndarray
+    title: TextColumn
+    abstract: TextColumn
+    body: TextColumn
+
+    @property
+    def n_papers(self) -> int:
+        return int(self.year.shape[0])
+
+    def authors_of(self, local: int) -> np.ndarray:
+        """Global author indices of local paper ``local``."""
+        return self.author_values[self.author_indptr[local]:self.author_indptr[local + 1]]
+
+    def refs_of(self, local: int) -> np.ndarray:
+        """Global paper indices cited by local paper ``local``."""
+        return self.ref_values[self.ref_indptr[local]:self.ref_indptr[local + 1]]
+
+    def full_text(self, local: int) -> str:
+        """Title + abstract + body of local paper ``local``."""
+        return "\n\n".join(
+            part
+            for part in (self.title[local], self.abstract[local], self.body[local])
+            if part
+        )
+
+    def human_families(self, local: int) -> tuple[str, ...]:
+        """Ground-truth human families planted in local paper ``local``."""
+        mask = int(self.human_mask[local])
+        return tuple(
+            family
+            for bit, family in enumerate(HUMAN_FAMILY_ORDER)
+            if mask & (1 << bit)
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the raw column buffers (order-fixed).
+
+        Computed on the in-memory arrays, so a generated shard and its
+        decoded cache copy fingerprint identically (roundtrip fidelity
+        is test-enforced) — the corpus fingerprint is therefore the
+        same whether shards came cold from the generator or warm from
+        the artifact cache.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"shard:{self.index}:{self.paper_offset}:{self.n_papers}".encode())
+        for name, dtype in _INT_COLUMNS:
+            array = np.ascontiguousarray(getattr(self, name), dtype=dtype)
+            digest.update(name.encode())
+            digest.update(array.tobytes())
+        for name in _TEXT_COLUMNS:
+            column: TextColumn = getattr(self, name)
+            digest.update(name.encode())
+            digest.update(column.blob.encode("utf-8"))
+            digest.update(np.ascontiguousarray(column.offsets).tobytes())
+        return digest.hexdigest()
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of every column."""
+        total = 0
+        for name, _ in _INT_COLUMNS:
+            total += getattr(self, name).nbytes
+        for name in _TEXT_COLUMNS:
+            total += getattr(self, name).nbytes
+        return total
+
+
+def _b64(array: np.ndarray, dtype: str) -> str:
+    return base64.b64encode(
+        np.ascontiguousarray(array, dtype=dtype).tobytes()
+    ).decode("ascii")
+
+
+def _unb64(data: str, dtype: str) -> np.ndarray:
+    return np.frombuffer(base64.b64decode(data.encode("ascii")), dtype=dtype).copy()
+
+
+def encode_shard(shard: ColumnarShard) -> list[dict]:
+    """Serialize a shard to artifact-cache records (JSON-safe, no pickle).
+
+    One record per column: numeric columns travel as base64 of their
+    little-endian buffer, text columns as the blob string plus base64
+    offsets.  The leading record carries the shard header.
+    """
+    records: list[dict] = [{
+        "shard": shard.index,
+        "paper_offset": shard.paper_offset,
+        "n_papers": shard.n_papers,
+    }]
+    for name, dtype in _INT_COLUMNS:
+        records.append({
+            "column": name,
+            "dtype": dtype,
+            "data": _b64(getattr(shard, name), dtype),
+        })
+    for name in _TEXT_COLUMNS:
+        column: TextColumn = getattr(shard, name)
+        records.append({
+            "column": name,
+            "blob": column.blob,
+            "offsets": _b64(column.offsets, "int64"),
+        })
+    return records
+
+
+def decode_shard(records: list[dict]) -> ColumnarShard:
+    """Inverse of :func:`encode_shard`."""
+    if not records or "shard" not in records[0]:
+        raise ValueError("not a shard record stream: missing header")
+    header = records[0]
+    columns: dict[str, object] = {}
+    for record in records[1:]:
+        name = record["column"]
+        if "blob" in record:
+            columns[name] = TextColumn(record["blob"], _unb64(record["offsets"], "int64"))
+        else:
+            columns[name] = _unb64(record["data"], record["dtype"])
+    missing = (
+        {name for name, _ in _INT_COLUMNS} | set(_TEXT_COLUMNS)
+    ) - set(columns)
+    if missing:
+        raise ValueError(f"shard record stream missing columns: {sorted(missing)}")
+    return ColumnarShard(
+        index=int(header["shard"]),
+        paper_offset=int(header["paper_offset"]),
+        **columns,  # type: ignore[arg-type]
+    )
+
+
+def merge_fingerprints(shard_fingerprints: Iterable[str]) -> str:
+    """Combine per-shard digests into the corpus fingerprint.
+
+    The combination is a digest over the ordered digest list — shards
+    are merged in shard-index order whatever order workers finished in,
+    so the result depends only on shard *content*, never on scheduling,
+    worker count, or cache temperature.
+    """
+    digest = hashlib.sha256()
+    for fingerprint in shard_fingerprints:
+        digest.update(fingerprint.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass
+class CorpusVocab:
+    """Shared side tables every shard's integer columns point into.
+
+    Venues and topics are tiny; the author table is itself columnar
+    (sector/region/name/affiliation as small integer columns, ids and
+    :class:`Author` objects materialized lazily).
+    """
+
+    venues: tuple[Venue, ...]
+    topics: tuple[str, ...]
+    #: First global author index of each venue's pool (len = venues+1).
+    author_offsets: np.ndarray
+    author_sector_idx: np.ndarray
+    author_region_idx: np.ndarray
+    author_given_idx: np.ndarray
+    author_surname_idx: np.ndarray
+    author_affil_num: np.ndarray
+    sectors: tuple[str, ...] = ()
+    regions: tuple[str, ...] = ()
+    given_names: tuple[str, ...] = ()
+    surnames: tuple[str, ...] = ()
+    _author_ids: dict[int, str] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_authors(self) -> int:
+        return int(self.author_offsets[-1])
+
+    def venue_of_author(self, index: int) -> int:
+        """Venue (index) owning global author ``index``'s pool."""
+        return int(np.searchsorted(self.author_offsets, index, side="right") - 1)
+
+    def author_id(self, index: int) -> str:
+        """Stable author id for global author index ``index``."""
+        cached = self._author_ids.get(index)
+        if cached is None:
+            venue = self.venue_of_author(index)
+            local = index - int(self.author_offsets[venue])
+            cached = f"{self.venues[venue].venue_id}-a{local:06d}"
+            self._author_ids[index] = cached
+        return cached
+
+    def author_index(self, author_id: str) -> int:
+        """Inverse of :meth:`author_id` (KeyError when malformed/unknown)."""
+        venue_id, _, local = author_id.rpartition("-a")
+        for venue_idx, venue in enumerate(self.venues):
+            if venue.venue_id == venue_id:
+                try:
+                    index = int(self.author_offsets[venue_idx]) + int(local, 10)
+                except ValueError:
+                    raise KeyError(author_id) from None
+                if index >= int(self.author_offsets[venue_idx + 1]):
+                    raise KeyError(author_id)
+                return index
+        raise KeyError(author_id)
+
+    def author(self, index: int) -> Author:
+        """The :class:`Author` dataclass for global author ``index``."""
+        sector = self.sectors[self.author_sector_idx[index]]
+        region = self.regions[self.author_region_idx[index]]
+        return Author(
+            author_id=self.author_id(index),
+            name=(
+                f"{self.given_names[self.author_given_idx[index]]} "
+                f"{self.surnames[self.author_surname_idx[index]]}"
+            ),
+            affiliation=f"{region}:{sector}-{int(self.author_affil_num[index]):02d}",
+            sector=sector,
+            region=region,
+        )
+
+
+class ColumnarCorpus:
+    """A sharded columnar corpus behind the classic ``Corpus`` API.
+
+    Shards load through ``loader(shard_index)`` and are kept in a small
+    LRU; with ``max_resident=1`` (streaming mode) at most one shard's
+    string pools are decoded at any moment, so iterating a 10⁶-paper
+    corpus costs one shard of RAM, not the corpus.
+
+    The dataclass API (:meth:`__iter__`, :meth:`papers`,
+    :meth:`paper` …) materializes :class:`Paper` objects on demand and
+    is the *compatibility* path; scale-aware consumers should reduce
+    per shard via :meth:`iter_shards` (see
+    :mod:`repro.bibliometrics.shardscan`).
+    """
+
+    def __init__(
+        self,
+        vocab: CorpusVocab,
+        shard_sizes: list[int],
+        loader: Callable[[int], ColumnarShard],
+        *,
+        shard_fingerprints: list[str] | None = None,
+        max_resident: int | None = None,
+    ) -> None:
+        self.vocab = vocab
+        self._sizes = list(shard_sizes)
+        self._offsets = [0]
+        for size in self._sizes:
+            self._offsets.append(self._offsets[-1] + size)
+        self._loader = loader
+        self._shard_fingerprints = shard_fingerprints
+        self.max_resident = max_resident
+        self._resident: dict[int, ColumnarShard] = {}
+        self._resident_order: list[int] = []
+
+    # -- shard access --------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._sizes)
+
+    def resident_shards(self) -> int:
+        """How many shards are currently decoded in memory."""
+        return len(self._resident)
+
+    def shard_sizes(self) -> list[int]:
+        """Paper count of every shard, in shard order (no loads)."""
+        return list(self._sizes)
+
+    def shard(self, index: int) -> ColumnarShard:
+        """Shard ``index``, loading (and evicting) as needed."""
+        if not 0 <= index < self.n_shards:
+            raise IndexError(f"shard {index} out of range 0..{self.n_shards - 1}")
+        shard = self._resident.get(index)
+        if shard is not None:
+            self._resident_order.remove(index)
+            self._resident_order.append(index)
+            return shard
+        # Evict *before* loading, so streaming mode never holds two
+        # shards' string pools at once even transiently.
+        if self.max_resident is not None:
+            while len(self._resident) >= max(1, self.max_resident):
+                oldest = self._resident_order.pop(0)
+                del self._resident[oldest]
+        shard = self._loader(index)
+        if shard.n_papers != self._sizes[index]:
+            raise ValueError(
+                f"shard {index} loaded with {shard.n_papers} papers; "
+                f"expected {self._sizes[index]}"
+            )
+        self._resident[index] = shard
+        self._resident_order.append(index)
+        return shard
+
+    def iter_shards(self) -> Iterator[ColumnarShard]:
+        """Stream shards in order (each load may evict the previous)."""
+        for index in range(self.n_shards):
+            yield self.shard(index)
+
+    def fingerprint(self) -> str:
+        """The associative merge of the per-shard fingerprints.
+
+        Uses the fingerprints recorded at generation/load time when
+        available; otherwise streams every shard once to compute them.
+        """
+        if self._shard_fingerprints is None:
+            self._shard_fingerprints = [
+                shard.fingerprint() for shard in self.iter_shards()
+            ]
+        return merge_fingerprints(self._shard_fingerprints)
+
+    # -- locating papers -----------------------------------------------
+
+    def _locate(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < len(self):
+            raise KeyError(paper_id_for(index))
+        shard_index = int(
+            np.searchsorted(np.asarray(self._offsets), index, side="right") - 1
+        )
+        return shard_index, index - self._offsets[shard_index]
+
+    def _paper_at(self, shard: ColumnarShard, local: int) -> Paper:
+        vocab = self.vocab
+        return Paper(
+            paper_id=paper_id_for(shard.paper_offset + local),
+            title=shard.title[local],
+            abstract=shard.abstract[local],
+            body=shard.body[local],
+            venue_id=vocab.venues[shard.venue_idx[local]].venue_id,
+            year=int(shard.year[local]),
+            author_ids=tuple(
+                vocab.author_id(int(a)) for a in shard.authors_of(local)
+            ),
+            topic=vocab.topics[shard.topic_idx[local]],
+            references=tuple(
+                paper_id_for(int(r)) for r in shard.refs_of(local)
+            ),
+        )
+
+    # -- Corpus API ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._offsets[-1]
+
+    def __iter__(self) -> Iterator[Paper]:
+        for shard in self.iter_shards():
+            for local in range(shard.n_papers):
+                yield self._paper_at(shard, local)
+
+    def paper(self, paper_id: str) -> Paper:
+        """Paper by id (KeyError when absent)."""
+        shard_index, local = self._locate(_index_of_paper_id(paper_id))
+        return self._paper_at(self.shard(shard_index), local)
+
+    def author(self, author_id: str) -> Author:
+        """Author by id (KeyError when absent)."""
+        return self.vocab.author(self.vocab.author_index(author_id))
+
+    def venue(self, venue_id: str) -> Venue:
+        """Venue by id (KeyError when absent)."""
+        for venue in self.vocab.venues:
+            if venue.venue_id == venue_id:
+                return venue
+        raise KeyError(venue_id)
+
+    def papers(
+        self,
+        venue_id: str | None = None,
+        year: int | None = None,
+        topic: str | None = None,
+        predicate: Callable[[Paper], bool] | None = None,
+    ) -> list[Paper]:
+        """Papers filtered by venue, year, topic, and/or a predicate.
+
+        Materializes matching papers only: the filter runs on the
+        integer columns first, so an off-venue/off-year shard costs a
+        few array compares and zero string slicing.
+        """
+        venue_idx = None
+        if venue_id is not None:
+            venue_idx = next(
+                (i for i, v in enumerate(self.vocab.venues) if v.venue_id == venue_id),
+                -1,
+            )
+        topic_idx = None
+        if topic is not None:
+            topic_idx = (
+                self.vocab.topics.index(topic) if topic in self.vocab.topics else -1
+            )
+        result: list[Paper] = []
+        for shard in self.iter_shards():
+            mask = np.ones(shard.n_papers, dtype=bool)
+            if venue_idx is not None:
+                mask &= shard.venue_idx == venue_idx
+            if year is not None:
+                mask &= shard.year == year
+            if topic_idx is not None:
+                mask &= shard.topic_idx == topic_idx
+            for local in np.nonzero(mask)[0]:
+                paper = self._paper_at(shard, int(local))
+                if predicate is None or predicate(paper):
+                    result.append(paper)
+        return result
+
+    def venues(self) -> list[Venue]:
+        """All venues, sorted by id."""
+        return sorted(self.vocab.venues, key=lambda v: v.venue_id)
+
+    def authors(self) -> list[Author]:
+        """All authors, sorted by id (materialized — small table)."""
+        return sorted(
+            (self.vocab.author(i) for i in range(self.vocab.n_authors)),
+            key=lambda a: a.author_id,
+        )
+
+    def years(self) -> list[int]:
+        """Distinct publication years, ascending (columnar scan)."""
+        seen: set[int] = set()
+        for shard in self.iter_shards():
+            seen.update(int(y) for y in np.unique(shard.year))
+        return sorted(seen)
+
+    # -- aggregates (columnar fast paths) ------------------------------
+
+    def papers_per_author_array(self) -> np.ndarray:
+        """Paper counts indexed by global author index (zeros included)."""
+        counts = np.zeros(self.vocab.n_authors, dtype=np.int64)
+        for shard in self.iter_shards():
+            if shard.author_values.size:
+                counts += np.bincount(
+                    shard.author_values, minlength=self.vocab.n_authors
+                )
+        return counts
+
+    def papers_per_author(self):
+        """Counter of paper counts keyed by author id (Corpus API)."""
+        from collections import Counter
+
+        counts = self.papers_per_author_array()
+        return Counter({
+            self.vocab.author_id(int(i)): int(counts[i])
+            for i in np.nonzero(counts)[0]
+        })
+
+    def citation_counts_array(self) -> np.ndarray:
+        """Within-corpus citation counts indexed by global paper index."""
+        counts = np.zeros(len(self), dtype=np.int64)
+        for shard in self.iter_shards():
+            if shard.ref_values.size:
+                counts += np.bincount(shard.ref_values, minlength=len(self))
+        return counts
+
+    def citation_counts(self):
+        """Counter of citations keyed by cited paper id (Corpus API)."""
+        from collections import Counter
+
+        counts = self.citation_counts_array()
+        return Counter({
+            paper_id_for(int(i)): int(counts[i]) for i in np.nonzero(counts)[0]
+        })
+
+    def topic_counts(self, venue_id: str | None = None):
+        """Counter of paper counts keyed by topic (Corpus API)."""
+        from collections import Counter
+
+        venue_idx = None
+        if venue_id is not None:
+            venue_idx = next(
+                (i for i, v in enumerate(self.vocab.venues) if v.venue_id == venue_id),
+                -1,
+            )
+        totals = np.zeros(len(self.vocab.topics), dtype=np.int64)
+        for shard in self.iter_shards():
+            topic_idx = shard.topic_idx
+            if venue_idx is not None:
+                topic_idx = topic_idx[shard.venue_idx == venue_idx]
+            if topic_idx.size:
+                totals += np.bincount(topic_idx, minlength=len(self.vocab.topics))
+        return Counter({
+            self.vocab.topics[i]: int(totals[i]) for i in np.nonzero(totals)[0]
+        })
+
+    # -- interop -------------------------------------------------------
+
+    def truth(self):
+        """Materialize the generator's :class:`GroundTruth` labels.
+
+        Builds per-paper dicts — intended for oracle tests and small
+        corpora, not the 10⁶-paper streaming path.
+        """
+        from repro.bibliometrics.synthgen import GroundTruth
+
+        truth = GroundTruth()
+        for shard in self.iter_shards():
+            planted = np.nonzero(shard.human_mask)[0]
+            for local in planted:
+                truth.human_methods[
+                    paper_id_for(shard.paper_offset + int(local))
+                ] = shard.human_families(int(local))
+            for local in np.nonzero(shard.positionality)[0]:
+                truth.positionality.add(
+                    paper_id_for(shard.paper_offset + int(local))
+                )
+        return truth
+
+    def to_corpus(self) -> Corpus:
+        """Materialize a classic dataclass :class:`Corpus`.
+
+        The equivalence-oracle bridge: tests run the legacy analytics
+        on the materialized corpus and assert the per-shard reducers
+        agree.  Memory scales with corpus size — use at oracle scale.
+        """
+        corpus = Corpus()
+        for venue in self.vocab.venues:
+            corpus.add_venue(venue)
+        for author in self.authors():
+            corpus.add_author(author)
+        for paper in self:
+            corpus.add_paper(paper)
+        return corpus

@@ -409,15 +409,26 @@ def detect_methods(text: str, families: tuple[str, ...] | None = None) -> list[M
     return _SCANNER.detect(text, families)
 
 
+def classify_text(text: str) -> dict[str, int]:
+    """Count method mentions per family in raw text.
+
+    Families with zero hits are omitted.  This is the per-shard entry
+    point (:mod:`repro.bibliometrics.shardscan` feeds it text sliced
+    straight from a shard's string pools); :func:`classify_paper` is
+    the dataclass wrapper over it.
+    """
+    counts: dict[str, int] = {}
+    for mention in detect_methods(text):
+        counts[mention.family] = counts.get(mention.family, 0) + 1
+    return counts
+
+
 def classify_paper(paper: Paper) -> dict[str, int]:
     """Count method mentions per family in a paper's full text.
 
     Families with zero hits are omitted.
     """
-    counts: dict[str, int] = {}
-    for mention in detect_methods(paper.full_text):
-        counts[mention.family] = counts.get(mention.family, 0) + 1
-    return counts
+    return classify_text(paper.full_text)
 
 
 def uses_human_methods(paper: Paper, min_mentions: int = 1) -> bool:

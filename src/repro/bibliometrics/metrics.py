@@ -16,7 +16,13 @@ import numpy as np
 
 
 def _as_nonnegative_array(values: Iterable[float]) -> np.ndarray:
-    array = np.asarray(list(values), dtype=float)
+    if isinstance(values, np.ndarray):
+        # Columnar fast path: aggregate arrays from ColumnarCorpus
+        # (papers-per-author, citation counts) skip the Python-level
+        # list round-trip entirely.
+        array = values.astype(float, copy=False).ravel()
+    else:
+        array = np.asarray(list(values), dtype=float)
     if array.size == 0:
         raise ValueError("need at least one value")
     if np.any(array < 0):
@@ -115,6 +121,13 @@ def h_index(citation_counts: Sequence[int]) -> int:
     >>> h_index([10, 8, 5, 4, 3])
     4
     """
+    if isinstance(citation_counts, np.ndarray):
+        counts = np.sort(citation_counts.astype(np.int64, copy=False).ravel())[::-1]
+        if counts.size and counts[-1] < 0:
+            raise ValueError("citation counts must be non-negative")
+        return int(
+            np.count_nonzero(counts >= np.arange(1, counts.size + 1))
+        )
     counts = sorted((int(c) for c in citation_counts), reverse=True)
     if any(c < 0 for c in counts):
         raise ValueError("citation counts must be non-negative")

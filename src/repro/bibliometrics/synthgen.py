@@ -370,6 +370,11 @@ class SyntheticCorpusConfig:
         mean_references: Average within-corpus citation count per paper.
         same_topic_citation_bias: Multiplier applied to same-topic papers
             during preferential-attachment citation sampling.
+        venue_scale: Multiplier on every venue's ``papers_per_year``
+            (rounded per venue).  Part of the config — and therefore of
+            every corpus cache key — so two corpora of different sizes
+            can never alias one artifact.  1.0 reproduces the historical
+            output bit for bit.
     """
 
     start_year: int = 2000
@@ -380,6 +385,7 @@ class SyntheticCorpusConfig:
     mean_authors_per_paper: float = 4.0
     mean_references: float = 8.0
     same_topic_citation_bias: float = 4.0
+    venue_scale: float = 1.0
 
 
 @dataclass
@@ -518,7 +524,7 @@ def generate_corpus(
                 max(0.0, profile.human_method_rate
                     + profile.human_method_trend * years_in),
             )
-            for _ in range(profile.papers_per_year):
+            for _ in range(max(0, round(profile.papers_per_year * config.venue_scale))):
                 paper_id = f"p{paper_counter:06d}"
                 paper_counter += 1
                 topic = _weighted_choice(rng, profile.topic_weights)

@@ -3,11 +3,27 @@
 Turns the detector output into the per-venue, per-year adoption series
 that experiment E1 reports: what share of each venue's papers mention
 human-centered methods, and how that share moves over time.
+
+Two equivalent paths produce the series:
+
+- the classic one (:func:`adoption_series`,
+  :func:`venue_adoption_table`) classifies materialized
+  :class:`~repro.bibliometrics.corpus.Paper` objects, and
+- the columnar one (:func:`adoption_series_from_counts`,
+  :func:`venue_adoption_table_from_counts`) consumes the per-(venue,
+  year) counters a per-shard scan
+  (:func:`repro.bibliometrics.shardscan.scan_corpus`) already holds.
+
+Both shares are ratios of per-(venue, year) counts, so the from-counts
+builders reproduce the classic output exactly — the oracle tests pin
+the equality down.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.bibliometrics.corpus import Corpus
 from repro.bibliometrics.methods_detect import uses_human_methods
@@ -91,6 +107,82 @@ def venue_adoption_table(
                 "human_share": total_human / len(papers),
                 "early_share": (sum(early) / len(early)) if early else 0.0,
                 "late_share": (sum(late) / len(late)) if late else 0.0,
+            }
+        )
+    records.sort(key=lambda r: (-r["human_share"], r["venue_id"]))
+    return records
+
+
+def adoption_series_from_counts(
+    venue_year: Mapping[tuple[str, int], Counter],
+    venue_id: str,
+) -> list[AdoptionPoint]:
+    """:func:`adoption_series` from per-(venue, year) scan counters.
+
+    Args:
+        venue_year: ``(venue_id, year) -> Counter`` with ``"papers"``
+            and ``"human"`` keys, as produced by
+            :class:`repro.bibliometrics.shardscan.CorpusAggregates`.
+        venue_id: The venue to extract.
+    """
+    points = []
+    for (vid, year), bucket in venue_year.items():
+        if vid != venue_id or not bucket["papers"]:
+            continue
+        points.append(
+            AdoptionPoint(venue_id, year, bucket["papers"], bucket["human"])
+        )
+    points.sort(key=lambda p: p.year)
+    return points
+
+
+def venue_adoption_table_from_counts(
+    venue_year: Mapping[tuple[str, int], Counter],
+    venue_kinds: Mapping[str, str],
+) -> list[dict]:
+    """:func:`venue_adoption_table` from per-(venue, year) scan counters.
+
+    The classic table's shares are ratios of per-(venue, year) paper
+    and human counts, so this rebuilds the identical records without
+    touching a single :class:`~repro.bibliometrics.corpus.Paper`.
+
+    Args:
+        venue_year: As in :func:`adoption_series_from_counts`.
+        venue_kinds: ``venue_id -> kind`` for the venues in the table.
+    """
+    years = sorted({year for (_, year), b in venue_year.items() if b["papers"]})
+    if not years:
+        return []
+    span = years[-1] - years[0] + 1
+    early_cutoff = years[0] + span // 3
+    late_cutoff = years[-1] - span // 3
+    records = []
+    for venue_id in sorted(venue_kinds):
+        totals = Counter()
+        early = Counter()
+        late = Counter()
+        for (vid, year), bucket in venue_year.items():
+            if vid != venue_id:
+                continue
+            totals.update(bucket)
+            if year < early_cutoff:
+                early.update(bucket)
+            if year > late_cutoff:
+                late.update(bucket)
+        if not totals["papers"]:
+            continue
+        records.append(
+            {
+                "venue_id": venue_id,
+                "kind": venue_kinds[venue_id],
+                "n_papers": totals["papers"],
+                "human_share": totals["human"] / totals["papers"],
+                "early_share": (
+                    early["human"] / early["papers"] if early["papers"] else 0.0
+                ),
+                "late_share": (
+                    late["human"] / late["papers"] if late["papers"] else 0.0
+                ),
             }
         )
     records.sort(key=lambda r: (-r["human_share"], r["venue_id"]))

@@ -25,7 +25,9 @@ first:
   ``bench report`` renders the trajectory, and ``bench gate`` exits
   non-zero when the newest entry regressed >20% against the rolling
   baseline.
-- ``corpus``: generate the synthetic venue corpus to JSONL files.
+- ``corpus``: generate the synthetic venue corpus to JSONL files — or,
+  with ``--papers``, at scale through the shard-parallel columnar
+  generator (``repro corpus --papers 1000000 --workers 4``).
 - ``detect``: run method-mention detection over a text file.
 - ``audit``: evaluate a research-project record (JSON) against the
   Section-5 recommendations and the default ethics checklist.
@@ -360,6 +362,12 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     )
     from repro.io.jsonl import write_jsonl
 
+    if args.papers is not None:
+        return _cmd_corpus_sharded(args)
+    if args.output is None:
+        print("error: output directory required (or use --papers for the "
+              "sharded columnar generator)", file=sys.stderr)
+        return 2
     config = SyntheticCorpusConfig(
         start_year=args.start_year, end_year=args.end_year, seed=args.seed
     )
@@ -379,6 +387,75 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     ]
     count = write_jsonl(out / "ground_truth.jsonl", truth_records)
     print(f"wrote {count} ground-truth labels -> {out / 'ground_truth.jsonl'}")
+    return 0
+
+
+def _cmd_corpus_sharded(args: argparse.Namespace) -> int:
+    """``repro corpus --papers N``: the columnar shard-parallel path.
+
+    Shards stream through the artifact cache (``--cache-dir``, default
+    ``<output>/shards`` when an output directory is given); the corpus
+    fingerprint printed at the end is identical at any ``--workers``
+    and on warm-cache replays.
+    """
+    import time as _time
+
+    from repro.bibliometrics.shardgen import (
+        ShardedCorpusConfig,
+        generate_columnar_corpus,
+    )
+
+    config = ShardedCorpusConfig(
+        start_year=args.start_year,
+        end_year=args.end_year,
+        seed=args.seed,
+        total_papers=args.papers,
+        shard_size=args.shard_size,
+    )
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.output is not None:
+        cache_dir = str(Path(args.output) / "shards")
+    if args.stream and cache_dir is None:
+        print("error: --stream needs --cache-dir (or an output directory) "
+              "to stream shards through", file=sys.stderr)
+        return 2
+    done = {"n": 0}
+
+    def progress(meta: dict) -> None:
+        done["n"] += 1
+        print(f"  shard {meta['shard']:4d}  {meta['n_papers']:7d} papers  "
+              f"[{done['n']} done]", flush=True)
+
+    start = _time.perf_counter()
+    corpus = generate_columnar_corpus(
+        config,
+        workers=max(1, args.workers),
+        cache_dir=cache_dir,
+        stream=args.stream,
+        on_shard=progress,
+    )
+    elapsed = _time.perf_counter() - start
+    fingerprint = corpus.fingerprint()
+    rate = len(corpus) / elapsed if elapsed > 0 else float("inf")
+    print(f"generated {len(corpus)} papers in {corpus.n_shards} shards "
+          f"({args.workers} worker(s)) in {elapsed:.2f}s — {rate:,.0f} papers/s")
+    print(f"fingerprint: {fingerprint}")
+    if args.output is not None:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "config": config.to_dict(),
+            "n_papers": len(corpus),
+            "n_shards": corpus.n_shards,
+            "shard_sizes": corpus.shard_sizes(),
+            "fingerprint": fingerprint,
+            "cache_dir": cache_dir,
+        }
+        (out / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote manifest -> {out / 'manifest.json'}")
     return 0
 
 
@@ -669,8 +746,8 @@ def build_parser() -> argparse.ArgumentParser:
     default_ledger = "benchmarks/results/BENCH_history.json"
     bench_run = bench_sub.add_parser(
         "run",
-        help="measure hot paths (scanner, tfidf, suite, serve_p95) and "
-        "append normalized records to the ledger",
+        help="measure hot paths (scanner, tfidf, suite, serve_p95, "
+        "synthgen, corpus_scan) and append normalized records to the ledger",
     )
     bench_run.add_argument(
         "names", nargs="*",
@@ -741,12 +818,37 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.set_defaults(func=_cmd_obs_report)
 
     corpus = subparsers.add_parser(
-        "corpus", help="generate the synthetic venue corpus to JSONL"
+        "corpus", help="generate the synthetic venue corpus "
+        "(JSONL dump, or sharded columnar at scale with --papers)"
     )
-    corpus.add_argument("output", help="output directory")
+    corpus.add_argument(
+        "output", nargs="?", default=None,
+        help="output directory (legacy JSONL dump; optional with --papers)",
+    )
     corpus.add_argument("--start-year", type=int, default=2000)
     corpus.add_argument("--end-year", type=int, default=2025)
     corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument(
+        "--papers", type=int, default=None,
+        help="total papers: switch to the shard-parallel columnar generator",
+    )
+    corpus.add_argument(
+        "--workers", type=int, default=1,
+        help="shard-generation worker processes (never changes the output)",
+    )
+    corpus.add_argument(
+        "--shard-size", type=int, default=25000,
+        help="papers per shard (part of corpus identity)",
+    )
+    corpus.add_argument(
+        "--stream", action="store_true",
+        help="keep at most one shard in RAM (needs a cache dir)",
+    )
+    corpus.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache shards stream through "
+        "(default: <output>/shards when output is given)",
+    )
     corpus.set_defaults(func=_cmd_corpus)
 
     detect = subparsers.add_parser(

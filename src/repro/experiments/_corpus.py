@@ -36,7 +36,9 @@ CORPUS_ARTIFACT_KIND = "shared-corpus"
 
 #: Bump when the generator or serialization changes shape; existing
 #: disk entries become unreachable and are regenerated on demand.
-CORPUS_SCHEMA_VERSION = 1
+#: v2: cache keys carry the full config *including* ``venue_scale``
+#: (corpus-size awareness) — pre-scale entries are orphaned.
+CORPUS_SCHEMA_VERSION = 2
 
 #: How many corpora (distinct generator configs) to keep in memory at once.
 _MEMORY_SLOTS = 4
@@ -67,6 +69,7 @@ def corpus_config_from_params(seed: int, params) -> SyntheticCorpusConfig:
         end_year=params.end_year,
         seed=seed,
         authors_per_venue_pool=params.authors_per_venue_pool,
+        venue_scale=getattr(params, "venue_scale", 1.0),
     )
 
 

@@ -248,6 +248,7 @@ class CorpusParams(_SpecBase):
     start_year: int = spec_field(2016, minimum=1990, maximum=2025, help="first publication year")
     end_year: int = spec_field(2025, minimum=1990, maximum=2030, help="last publication year")
     authors_per_venue_pool: int = spec_field(60, minimum=10, maximum=500, help="author pool size per venue")
+    venue_scale: float = spec_field(1.0, minimum=0.1, maximum=100.0, help="multiplier on every venue's papers per year")
 
     def validate(self) -> None:
         super().validate()

@@ -180,7 +180,9 @@ class TestTrajectory:
 
 class TestHotPaths:
     def test_known_names(self):
-        assert hot_path_names() == ["scanner", "serve_p95", "suite", "tfidf"]
+        assert hot_path_names() == [
+            "corpus_scan", "scanner", "serve_p95", "suite", "synthgen", "tfidf",
+        ]
 
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError, match="unknown hot path"):

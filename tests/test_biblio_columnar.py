@@ -1,0 +1,219 @@
+"""Tests for repro.bibliometrics.columnar."""
+
+import numpy as np
+import pytest
+
+from repro.bibliometrics.columnar import (
+    HUMAN_FAMILY_ORDER,
+    ColumnarCorpus,
+    TextColumn,
+    decode_shard,
+    encode_shard,
+    merge_fingerprints,
+    paper_id_for,
+)
+from repro.bibliometrics.corpus import Paper
+from repro.bibliometrics.shardgen import (
+    ShardedCorpusConfig,
+    generate_columnar_corpus,
+    generate_shard,
+)
+
+CONFIG = ShardedCorpusConfig(
+    start_year=2018, end_year=2025, seed=7, total_papers=1500, shard_size=400
+)
+
+
+@pytest.fixture(scope="module")
+def corpus() -> ColumnarCorpus:
+    return generate_columnar_corpus(CONFIG)
+
+
+class TestTextColumn:
+    def test_roundtrip(self):
+        strings = ["alpha", "", "gamma delta", "é-accented"]
+        column = TextColumn.from_strings(strings)
+        assert len(column) == 4
+        assert list(column) == strings
+        assert column[2] == "gamma delta"
+
+    def test_empty(self):
+        column = TextColumn.from_strings([])
+        assert len(column) == 0
+        assert list(column) == []
+
+
+class TestShardCodec:
+    def test_encode_decode_identity(self, corpus):
+        shard = corpus.shard(1)
+        clone = decode_shard(encode_shard(shard))
+        assert clone.index == shard.index
+        assert clone.paper_offset == shard.paper_offset
+        assert clone.n_papers == shard.n_papers
+        np.testing.assert_array_equal(clone.year, shard.year)
+        np.testing.assert_array_equal(clone.author_values, shard.author_values)
+        np.testing.assert_array_equal(clone.ref_indptr, shard.ref_indptr)
+        assert clone.title.blob == shard.title.blob
+        assert clone.body.blob == shard.body.blob
+
+    def test_decoded_shard_fingerprints_identically(self, corpus):
+        # The cold/warm-cache invariance hinges on exactly this.
+        shard = corpus.shard(2)
+        assert decode_shard(encode_shard(shard)).fingerprint() == shard.fingerprint()
+
+    def test_records_are_json_safe(self, corpus):
+        import json
+
+        records = encode_shard(corpus.shard(0))
+        for record in records:
+            json.dumps(record)
+
+    def test_decode_rejects_missing_columns(self, corpus):
+        records = encode_shard(corpus.shard(0))
+        with pytest.raises(ValueError, match="missing columns"):
+            decode_shard(records[:-1])
+
+    def test_decode_rejects_headerless_stream(self):
+        with pytest.raises(ValueError, match="missing header"):
+            decode_shard([{"column": "year", "dtype": "int32", "data": ""}])
+
+
+class TestFingerprints:
+    def test_merge_is_order_sensitive_and_deterministic(self):
+        a = merge_fingerprints(["aa", "bb"])
+        assert a == merge_fingerprints(["aa", "bb"])
+        assert a != merge_fingerprints(["bb", "aa"])
+
+    def test_shard_fingerprint_changes_with_content(self, corpus):
+        shard = corpus.shard(0)
+        fingerprint = shard.fingerprint()
+        original = shard.year[0]
+        shard.year[0] = original + 1
+        try:
+            assert shard.fingerprint() != fingerprint
+        finally:
+            shard.year[0] = original
+
+    def test_corpus_fingerprint_streams_when_unrecorded(self, corpus):
+        rebuilt = ColumnarCorpus(
+            corpus.vocab,
+            corpus.shard_sizes(),
+            lambda i: generate_shard(CONFIG, None, i),
+        )
+        assert rebuilt.fingerprint() == corpus.fingerprint()
+
+
+class TestCorpusAPI:
+    def test_len_and_iteration(self, corpus):
+        assert len(corpus) == CONFIG.total_papers
+        papers = list(corpus)
+        assert len(papers) == CONFIG.total_papers
+        assert all(isinstance(p, Paper) for p in papers[:5])
+        assert papers[0].paper_id == paper_id_for(0)
+
+    def test_paper_lookup(self, corpus):
+        paper = corpus.paper(paper_id_for(7))
+        assert paper.paper_id == "p00000007"
+        assert CONFIG.start_year <= paper.year <= CONFIG.end_year
+        with pytest.raises(KeyError):
+            corpus.paper(paper_id_for(CONFIG.total_papers))
+        with pytest.raises(KeyError):
+            corpus.paper("bogus")
+
+    def test_author_and_venue_lookup(self, corpus):
+        author = corpus.authors()[0]
+        assert corpus.author(author.author_id) == author
+        with pytest.raises(KeyError):
+            corpus.author("no-such-a999999")
+        venue = corpus.venues()[0]
+        assert corpus.venue(venue.venue_id) == venue
+        with pytest.raises(KeyError):
+            corpus.venue("no-such-venue")
+
+    def test_references_resolve_to_earlier_years(self, corpus):
+        checked = 0
+        for paper in corpus.papers(year=CONFIG.end_year):
+            for ref in paper.references[:3]:
+                cited = corpus.paper(ref)
+                assert cited.year < paper.year
+                checked += 1
+            if checked > 30:
+                break
+        assert checked > 0
+
+    def test_papers_filters_match_manual_scan(self, corpus):
+        venue_id = corpus.venues()[0].venue_id
+        year = CONFIG.start_year + 1
+        filtered = corpus.papers(venue_id=venue_id, year=year)
+        manual = [
+            p for p in corpus if p.venue_id == venue_id and p.year == year
+        ]
+        assert [p.paper_id for p in filtered] == [p.paper_id for p in manual]
+        assert corpus.papers(venue_id="nope") == []
+
+    def test_predicate_filter(self, corpus):
+        humans = corpus.papers(
+            year=CONFIG.end_year, predicate=lambda p: bool(p.body)
+        )
+        assert all(p.body for p in humans)
+
+    def test_years(self, corpus):
+        years = corpus.years()
+        assert years[0] == CONFIG.start_year
+        assert years[-1] == CONFIG.end_year
+
+    def test_full_text_matches_paper_property(self, corpus):
+        shard = corpus.shard(0)
+        paper = corpus.paper(paper_id_for(shard.paper_offset))
+        assert shard.full_text(0) == paper.full_text
+
+
+class TestAggregates:
+    def test_counters_match_dataclass_corpus(self, corpus):
+        legacy = corpus.to_corpus()
+        assert corpus.papers_per_author() == legacy.papers_per_author()
+        assert corpus.citation_counts() == legacy.citation_counts()
+        assert corpus.topic_counts() == legacy.topic_counts()
+        venue_id = corpus.venues()[3].venue_id
+        assert corpus.topic_counts(venue_id) == legacy.topic_counts(venue_id)
+
+    def test_truth_masks_roundtrip(self, corpus):
+        truth = corpus.truth()
+        shard = corpus.shard(0)
+        for local in range(shard.n_papers):
+            families = shard.human_families(local)
+            paper_id = paper_id_for(shard.paper_offset + local)
+            if families:
+                assert truth.human_methods[paper_id] == families
+                assert families == tuple(sorted(families))
+                assert set(families) <= set(HUMAN_FAMILY_ORDER)
+            else:
+                assert paper_id not in truth.human_methods
+
+
+class TestResidency:
+    def test_streaming_holds_at_most_one_shard(self, tmp_path):
+        corpus = generate_columnar_corpus(
+            CONFIG, cache_dir=str(tmp_path), stream=True
+        )
+        assert corpus.max_resident == 1
+        for _ in corpus.iter_shards():
+            assert corpus.resident_shards() <= 1
+        # Random access across shard boundaries keeps the bound too.
+        corpus.paper(paper_id_for(0))
+        corpus.paper(paper_id_for(CONFIG.total_papers - 1))
+        assert corpus.resident_shards() <= 1
+
+    def test_materialized_keeps_shards(self):
+        corpus = generate_columnar_corpus(CONFIG)
+        list(corpus.iter_shards())
+        assert corpus.resident_shards() == corpus.n_shards
+
+    def test_loader_size_mismatch_rejected(self, corpus):
+        bad = ColumnarCorpus(
+            corpus.vocab,
+            [1] * corpus.n_shards,
+            lambda i: generate_shard(CONFIG, None, i),
+        )
+        with pytest.raises(ValueError, match="expected"):
+            bad.shard(0)

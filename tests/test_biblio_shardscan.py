@@ -1,0 +1,173 @@
+"""Oracle tests: per-shard scan analytics vs the classic dataclass path."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.bibliometrics.columnar import ColumnarCorpus
+from repro.bibliometrics.metrics import gini, h_index
+from repro.bibliometrics.methods_detect import classify_paper, uses_human_methods
+from repro.bibliometrics.shardgen import ShardedCorpusConfig, generate_columnar_corpus
+from repro.bibliometrics.shardscan import CorpusAggregates, scan_corpus, scan_shard
+from repro.bibliometrics.trends import (
+    adoption_series,
+    adoption_series_from_counts,
+    venue_adoption_table,
+    venue_adoption_table_from_counts,
+)
+
+CONFIG = ShardedCorpusConfig(
+    start_year=2017, end_year=2025, seed=11, total_papers=1200, shard_size=350
+)
+
+
+@pytest.fixture(scope="module")
+def corpus() -> ColumnarCorpus:
+    return generate_columnar_corpus(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def aggregates(corpus) -> CorpusAggregates:
+    return scan_corpus(corpus)
+
+
+@pytest.fixture(scope="module")
+def legacy(corpus):
+    return corpus.to_corpus()
+
+
+class TestScanOracle:
+    """scan_corpus must reproduce the classic per-Paper classification."""
+
+    def test_paper_count(self, aggregates, corpus):
+        assert aggregates.n_papers == len(corpus)
+        assert sum(
+            b["papers"] for b in aggregates.venue_year.values()
+        ) == len(corpus)
+
+    def test_family_mentions_match_classify_paper(self, aggregates, legacy):
+        oracle = Counter()
+        for paper in legacy:
+            oracle.update(classify_paper(paper))
+        assert aggregates.family_mentions == oracle
+
+    def test_human_buckets_match_uses_human_methods(self, aggregates, legacy):
+        oracle: dict[tuple[str, int], Counter] = {}
+        for paper in legacy:
+            bucket = oracle.setdefault((paper.venue_id, paper.year), Counter())
+            bucket["papers"] += 1
+            if uses_human_methods(paper):
+                bucket["human"] += 1
+        assert aggregates.venue_year == oracle
+
+    def test_min_mentions_threshold(self, corpus, legacy):
+        strict = scan_corpus(corpus, min_mentions=3)
+        oracle_human = sum(
+            1 for p in legacy if uses_human_methods(p, min_mentions=3)
+        )
+        assert sum(
+            b["human"] for b in strict.venue_year.values()
+        ) == oracle_human
+
+    def test_topic_papers_match_topic_counts(self, aggregates, legacy):
+        assert aggregates.topic_papers == legacy.topic_counts()
+
+
+class TestTrendsOracle:
+    """The from-counts builders must equal the classic builders verbatim."""
+
+    def test_adoption_series_every_venue(self, aggregates, legacy):
+        for venue in legacy.venues():
+            classic = adoption_series(legacy, venue.venue_id)
+            columnar = adoption_series_from_counts(
+                aggregates.venue_year, venue.venue_id
+            )
+            assert columnar == classic
+
+    def test_venue_adoption_table(self, aggregates, legacy):
+        classic = venue_adoption_table(legacy)
+        columnar = venue_adoption_table_from_counts(
+            aggregates.venue_year, aggregates.venue_kinds
+        )
+        assert columnar == classic
+
+    def test_empty_counts(self):
+        assert adoption_series_from_counts({}, "anything") == []
+        assert venue_adoption_table_from_counts({}, {"v": "networking"}) == []
+
+
+class TestMetricsOracle:
+    """Array-native metric inputs must agree with the Counter path."""
+
+    def test_citation_arrays_match_counters(self, corpus, legacy):
+        array = corpus.citation_counts_array()
+        counter = legacy.citation_counts()
+        assert int(array.sum()) == sum(counter.values())
+        assert h_index(array) == h_index(list(counter.values()))
+        # The Counter only holds *cited* papers; the array also carries
+        # the zero-citation ones, so compare on the positive support.
+        assert gini(array[array > 0]) == pytest.approx(
+            gini(list(counter.values()))
+        )
+
+    def test_author_arrays_match_counters(self, corpus, legacy):
+        array = corpus.papers_per_author_array()
+        counter = legacy.papers_per_author()
+        assert int(array.sum()) == sum(counter.values())
+        assert gini(array[array > 0]) == pytest.approx(
+            gini(list(counter.values()))
+        )
+
+    def test_h_index_ndarray_fast_path(self):
+        for counts in ([0], [3, 0, 6, 1, 5], list(range(100)), [7] * 7):
+            assert h_index(np.asarray(counts)) == h_index(list(counts))
+        with pytest.raises(ValueError):
+            h_index(np.asarray([2, -1]))
+
+
+class TestMergeAlgebra:
+    def test_merge_equals_whole_scan(self, corpus, aggregates):
+        parts = [
+            scan_shard(shard, corpus.vocab) for shard in corpus.iter_shards()
+        ]
+        assert CorpusAggregates.merge_all(parts) == aggregates
+
+    def test_merge_is_associative_and_commutative(self, corpus):
+        parts = [
+            scan_shard(shard, corpus.vocab) for shard in corpus.iter_shards()
+        ][:3]
+        a, b, c = parts
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(a).merge(b)
+        assert left == right == swapped
+
+    def test_merge_does_not_mutate_inputs(self, corpus):
+        shards = corpus.iter_shards()
+        a = scan_shard(next(shards), corpus.vocab)
+        b = scan_shard(next(shards), corpus.vocab)
+        before_a = {k: Counter(v) for k, v in a.venue_year.items()}
+        a.merge(b)
+        assert a.venue_year == before_a
+
+    def test_empty_identity(self, aggregates):
+        empty = CorpusAggregates()
+        assert empty.merge(aggregates) == aggregates
+        assert aggregates.merge(empty) == aggregates
+
+
+class TestStreamedScan:
+    def test_scan_keeps_one_shard_resident(self, tmp_path):
+        streamed = generate_columnar_corpus(
+            CONFIG, cache_dir=str(tmp_path), stream=True
+        )
+        result = scan_corpus(streamed)
+        assert streamed.resident_shards() <= 1
+        assert result.n_papers == CONFIG.total_papers
+
+    def test_streamed_equals_materialized(self, tmp_path, aggregates):
+        streamed = generate_columnar_corpus(
+            CONFIG, cache_dir=str(tmp_path), stream=True
+        )
+        assert scan_corpus(streamed) == aggregates
