@@ -118,8 +118,20 @@ corpus-smoke:
 		print('corpus-smoke ok: ' + sequential)"
 	rm -rf .corpus-smoke
 
+# The self-healing data plane end to end: the integrity test suite
+# (damage taxonomy, corrupt-then-repair round trips, snapshot tamper
+# detection), then the standalone smoke script — flip a byte in a
+# cached shard, assert the strict read raises IntegrityError, scrub
+# --repair restores the exact fingerprint, a tampered snapshot
+# manifest is rejected, and serve answers 200 via recompute (never
+# 500) over a corrupted artifact.
+integrity-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest \
+		tests/test_integrity.py tests/test_io_artifacts.py -q
+	python scripts/integrity_smoke.py
+
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke serve-smoke obs-smoke bench-gate bench-gate-smoke corpus-smoke outputs
+.PHONY: install test bench examples experiments experiments-full check chaos-smoke sweep-smoke serve-smoke obs-smoke bench-gate bench-gate-smoke corpus-smoke integrity-smoke outputs

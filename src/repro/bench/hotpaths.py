@@ -228,6 +228,55 @@ def _run_corpus_scan(repeats: int) -> list[dict]:
     )]
 
 
+#: Fixed workload for the scrub hot path: enough entries that the
+#: per-entry walk/parse overhead shows, small bodies so the workload
+#: builds in well under a second.
+_SCRUB_ENTRIES = 48
+_SCRUB_RECORDS_PER_ENTRY = 40
+
+
+def _run_scrub(repeats: int) -> list[dict]:
+    """End-to-end cache verification, entries/second (higher is better).
+
+    Scrub throughput bounds how big a cache the self-healing story can
+    cover on a maintenance cadence — a regression here quietly shrinks
+    the data plane we can afford to verify.  The workload is a warm
+    cache of fixed shape (entry count, records per entry, record size),
+    scrubbed clean; classification cost on damaged entries is bounded
+    by the same read path.
+    """
+    import tempfile
+
+    from repro.integrity.scrub import scrub_cache
+    from repro.io.artifacts import ArtifactCache
+
+    with tempfile.TemporaryDirectory(prefix="bench-scrub-") as tmp:
+        cache = ArtifactCache(tmp, version=1, sweep=False)
+        for index in range(_SCRUB_ENTRIES):
+            cache.put(
+                "bench-entry",
+                {"index": index},
+                [
+                    {"record": record, "payload": f"{index:04d}-{record:04d}" * 8}
+                    for record in range(_SCRUB_RECORDS_PER_ENTRY)
+                ],
+            )
+
+        def scrub() -> None:
+            report = scrub_cache(tmp)
+            assert report.entries == _SCRUB_ENTRIES, report.entries
+            assert not report.damaged, report.damage_counts()
+
+        seconds = _time_min(scrub, repeats, inner=3)
+    return [make_entry(
+        "scrub", _SCRUB_ENTRIES / seconds,
+        metric="entries_per_second", unit="entries/second", better="higher",
+        context={"repeats": repeats, "inner": 3, "entries": _SCRUB_ENTRIES,
+                 "records_per_entry": _SCRUB_RECORDS_PER_ENTRY,
+                 "best_seconds": seconds, "cpu_count": os.cpu_count()},
+    )]
+
+
 #: name -> runner(repeats) -> validated ledger entries
 HOT_PATHS: dict[str, Callable[[int], list[dict]]] = {
     "scanner": _run_scanner,
@@ -236,6 +285,7 @@ HOT_PATHS: dict[str, Callable[[int], list[dict]]] = {
     "serve_p95": _run_serve_p95,
     "synthgen": _run_synthgen,
     "corpus_scan": _run_corpus_scan,
+    "scrub": _run_scrub,
 }
 
 

@@ -41,6 +41,7 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from repro.bibliometrics.corpus import Author, Corpus, Paper, Venue
+from repro.errors import IntegrityError
 
 __all__ = [
     "HUMAN_FAMILY_ORDER",
@@ -61,7 +62,9 @@ SHARD_ARTIFACT_KIND = "corpus-shard"
 
 #: Bump when the column set or encoding changes shape; old cache
 #: entries become unreachable and shards are regenerated on demand.
-SHARD_SCHEMA_VERSION = 1
+#: v2 rides the artifact format's end-to-end digest bump (PR 9), so
+#: every cached shard is re-landed with a verifiable body checksum.
+SHARD_SCHEMA_VERSION = 2
 
 #: Bit order of the ground-truth human-family mask (bit i set = the
 #: generator planted a sentence of family ``HUMAN_FAMILY_ORDER[i]``).
@@ -274,9 +277,19 @@ def encode_shard(shard: ColumnarShard) -> list[dict]:
 
 
 def decode_shard(records: list[dict]) -> ColumnarShard:
-    """Inverse of :func:`encode_shard`."""
+    """Inverse of :func:`encode_shard`.
+
+    Structural damage — a missing header or column record — raises a
+    typed :class:`repro.errors.IntegrityError` (still a ``ValueError``,
+    so pre-taxonomy callers keep working).
+    """
     if not records or "shard" not in records[0]:
-        raise ValueError("not a shard record stream: missing header")
+        raise IntegrityError(
+            "not a shard record stream: missing header",
+            kind=SHARD_ARTIFACT_KIND,
+            damage="bad_header",
+            stage="read",
+        )
     header = records[0]
     columns: dict[str, object] = {}
     for record in records[1:]:
@@ -289,7 +302,12 @@ def decode_shard(records: list[dict]) -> ColumnarShard:
         {name for name, _ in _INT_COLUMNS} | set(_TEXT_COLUMNS)
     ) - set(columns)
     if missing:
-        raise ValueError(f"shard record stream missing columns: {sorted(missing)}")
+        raise IntegrityError(
+            f"shard record stream missing columns: {sorted(missing)}",
+            kind=SHARD_ARTIFACT_KIND,
+            damage="truncated",
+            stage="read",
+        )
     return ColumnarShard(
         index=int(header["shard"]),
         paper_offset=int(header["paper_offset"]),
@@ -450,10 +468,29 @@ class ColumnarCorpus:
                 del self._resident[oldest]
         shard = self._loader(index)
         if shard.n_papers != self._sizes[index]:
-            raise ValueError(
+            raise IntegrityError(
                 f"shard {index} loaded with {shard.n_papers} papers; "
-                f"expected {self._sizes[index]}"
+                f"expected {self._sizes[index]}",
+                kind=SHARD_ARTIFACT_KIND,
+                damage="truncated",
+                stage="read",
             )
+        if self._shard_fingerprints is not None:
+            # End-to-end check: the loaded buffers must hash to the
+            # fingerprint recorded at generation/export time, so a
+            # damaged loader source cannot slip wrong columns into an
+            # otherwise healthy corpus.
+            expected = self._shard_fingerprints[index]
+            actual = shard.fingerprint()
+            if actual != expected:
+                raise IntegrityError(
+                    f"shard {index} fingerprint mismatch on load",
+                    kind=SHARD_ARTIFACT_KIND,
+                    damage="bit_flipped",
+                    expected=expected,
+                    actual=actual,
+                    stage="read",
+                )
         self._resident[index] = shard
         self._resident_order.append(index)
         return shard

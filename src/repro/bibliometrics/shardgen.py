@@ -903,8 +903,14 @@ def generate_columnar_corpus(
             )
             if records is not None:
                 return decode_shard(records)
-            # Evicted or corrupted behind our back: regenerate — the
-            # shard is a pure function of (config, index).
+            # Evicted or corrupted behind our back (the cache verifies
+            # the body digest on every read, so bit-rot lands here too):
+            # regenerate — the shard is a pure function of
+            # (config, index).  Counted so a scrubbed-around corruption
+            # is visible in `repro obs report`, not silent.
+            from repro.obs.metrics import current_metrics
+
+            current_metrics().count("shardgen.recovered_shards")
             return generate_shard(config, profiles, index)
     else:
         def loader(index: int) -> ColumnarShard:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the workflows a downstream user reaches for
+The subcommands cover the workflows a downstream user reaches for
 first:
 
 - ``experiments`` (alias: ``run``): list the E1-E13 suite or run
@@ -25,9 +25,24 @@ first:
   ``bench report`` renders the trajectory, and ``bench gate`` exits
   non-zero when the newest entry regressed >20% against the rolling
   baseline.
-- ``corpus``: generate the synthetic venue corpus to JSONL files — or,
-  with ``--papers``, at scale through the shard-parallel columnar
-  generator (``repro corpus --papers 1000000 --workers 4``).
+- ``corpus generate``: generate the synthetic venue corpus to JSONL
+  files — or, with ``--papers``, at scale through the shard-parallel
+  columnar generator (``repro corpus --papers 1000000 --workers 4``;
+  the bare ``repro corpus OUT`` spelling still works).
+- ``corpus export`` / ``corpus import``: versioned, content-addressed
+  corpus snapshots — export writes a tagged directory of checksummed
+  shard objects plus a self-digested manifest, import verifies every
+  byte of it (manifest self-digest, config hash, object digests, shard
+  fingerprints, merged fingerprint) before anything is used.
+- ``integrity``: the data-plane immune system — ``integrity scrub
+  CACHE_DIR`` walks an artifact cache verifying every entry end-to-end
+  and classifies damage (truncated, bit_flipped, bad_header, garbled,
+  orphaned_tmp); ``--repair`` regenerates exactly the damaged shards
+  byte-identically and deletes what cannot be regenerated down to a
+  clean miss.
+- ``cache``: ``cache ls`` / ``cache stats`` list an artifact cache's
+  entries (kind, key, size, age) and orphaned-temp-file count without
+  reading entry bodies.
 - ``detect``: run method-mention detection over a text file.
 - ``audit``: evaluate a research-project record (JSON) against the
   Section-5 recommendations and the default ethics checklist.
@@ -459,6 +474,143 @@ def _cmd_corpus_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharded_config(args: argparse.Namespace):
+    """Build a ShardedCorpusConfig from the shared corpus flags."""
+    from repro.bibliometrics.shardgen import ShardedCorpusConfig
+
+    return ShardedCorpusConfig(
+        start_year=args.start_year,
+        end_year=args.end_year,
+        seed=args.seed,
+        total_papers=args.papers,
+        shard_size=args.shard_size,
+    )
+
+
+def _cmd_corpus_export(args: argparse.Namespace) -> int:
+    from repro.integrity.snapshot import export_snapshot
+
+    manifest = export_snapshot(
+        args.directory,
+        _sharded_config(args),
+        tag=args.tag,
+        workers=max(1, args.workers),
+        cache_dir=args.cache_dir,
+        force=args.force,
+    )
+    print(f"snapshot {manifest['tag']!r} -> {args.directory}")
+    print(f"  papers:      {manifest['n_papers']:,} "
+          f"in {len(manifest['shards'])} shard(s)")
+    print(f"  fingerprint: {manifest['fingerprint']}")
+    print(f"  config_hash: {manifest['config_hash']}")
+    return 0
+
+
+def _cmd_corpus_import(args: argparse.Namespace) -> int:
+    from repro.integrity.snapshot import import_snapshot, load_manifest
+
+    corpus = import_snapshot(args.directory, cache_dir=args.cache_dir)
+    # import_snapshot verified the manifest already; re-reading it here
+    # is a cheap way to get the tag and fingerprint for the summary.
+    manifest = load_manifest(args.directory)
+    print(f"verified snapshot {manifest['tag']!r}: {len(corpus):,} papers "
+          f"in {corpus.n_shards} shard(s)")
+    print(f"  fingerprint: {manifest['fingerprint']}")
+    if args.cache_dir is not None:
+        print(f"  hydrated cache -> {args.cache_dir}")
+    return 0
+
+
+def _cmd_integrity_scrub(args: argparse.Namespace) -> int:
+    from repro.integrity.scrub import repair_cache, scrub_cache
+
+    report = scrub_cache(args.cache_dir)
+    if args.repair and report.damaged:
+        report = repair_cache(args.cache_dir, report)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"scrubbed {report.entries} entr"
+              f"{'y' if report.entries == 1 else 'ies'} "
+              f"({report.bytes_scanned:,} bytes): "
+              f"{report.intact} intact, {report.damaged} damaged")
+        for finding in report.findings:
+            line = (f"  {finding.damage:<12s} "
+                    f"{Path(finding.path).name}: {finding.detail}")
+            if finding.repair is not None:
+                line += f" [{finding.repair}]"
+            print(line)
+        if report.damaged and not args.repair:
+            print("re-run with --repair to regenerate or clear the damage",
+                  file=sys.stderr)
+    if not report.damaged:
+        return 0
+    # After --repair every finding was regenerated byte-identically or
+    # deleted down to a clean miss — the cache is healthy again.
+    return 0 if args.repair else 1
+
+
+def _format_age(seconds: float) -> str:
+    """Compact one-unit age: ``42s``, ``13m``, ``7h``, ``3d``."""
+    if seconds < 60:
+        return f"{int(seconds)}s"
+    if seconds < 3600:
+        return f"{int(seconds / 60)}m"
+    if seconds < 86400:
+        return f"{int(seconds / 3600)}h"
+    return f"{int(seconds / 86400)}d"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.integrity.scrub import iter_entries
+
+    root = Path(args.cache_dir)
+    entries = list(iter_entries(root))
+    orphans = sum(1 for _ in root.rglob("*.tmp")) if root.exists() else 0
+
+    if args.cache_command == "ls":
+        if not entries and not orphans:
+            print(f"cache {root}: empty")
+            return 0
+        print(f"{'KIND':<16} {'KEY':<16} {'SIZE':>12} {'AGE':>6}")
+        for entry in entries:
+            key = entry.key if len(entry.key) <= 15 else entry.key[:12] + "..."
+            print(f"{entry.kind:<16} {key:<16} {entry.size:>12,} "
+                  f"{_format_age(entry.age_seconds):>6}")
+        if orphans:
+            print(f"+ {orphans} orphaned temp file(s) — "
+                  "`repro integrity scrub --repair` clears them",
+                  file=sys.stderr)
+        return 0
+
+    # stats: per-kind rollup
+    by_kind: dict[str, list[int]] = {}
+    for entry in entries:
+        bucket = by_kind.setdefault(entry.kind, [0, 0])
+        bucket[0] += 1
+        bucket[1] += entry.size
+    total_bytes = sum(bucket[1] for bucket in by_kind.values())
+    if args.json:
+        payload = {
+            "root": str(root),
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "orphaned_tmp": orphans,
+            "kinds": {
+                kind: {"entries": bucket[0], "bytes": bucket[1]}
+                for kind, bucket in sorted(by_kind.items())
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"cache {root}: {len(entries)} entr"
+          f"{'y' if len(entries) == 1 else 'ies'}, {total_bytes:,} bytes, "
+          f"{orphans} orphaned temp file(s)")
+    for kind, bucket in sorted(by_kind.items()):
+        print(f"  {kind:<16} {bucket[0]:>6} entries  {bucket[1]:>12,} bytes")
+    return 0
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.bibliometrics.methods_detect import detect_methods
 
@@ -747,7 +899,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run = bench_sub.add_parser(
         "run",
         help="measure hot paths (scanner, tfidf, suite, serve_p95, "
-        "synthgen, corpus_scan) and append normalized records to the ledger",
+        "synthgen, corpus_scan, scrub) and append normalized records "
+        "to the ledger",
     )
     bench_run.add_argument(
         "names", nargs="*",
@@ -818,38 +971,140 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.set_defaults(func=_cmd_obs_report)
 
     corpus = subparsers.add_parser(
-        "corpus", help="generate the synthetic venue corpus "
-        "(JSONL dump, or sharded columnar at scale with --papers)"
+        "corpus", help="generate the synthetic venue corpus, or export/"
+        "import tagged verified snapshots of it"
     )
-    corpus.add_argument(
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_gen = corpus_sub.add_parser(
+        "generate",
+        help="generate the corpus (JSONL dump, or sharded columnar at "
+        "scale with --papers); `repro corpus OUT` still means this",
+    )
+    corpus_gen.add_argument(
         "output", nargs="?", default=None,
         help="output directory (legacy JSONL dump; optional with --papers)",
     )
-    corpus.add_argument("--start-year", type=int, default=2000)
-    corpus.add_argument("--end-year", type=int, default=2025)
-    corpus.add_argument("--seed", type=int, default=0)
-    corpus.add_argument(
+    corpus_gen.add_argument("--start-year", type=int, default=2000)
+    corpus_gen.add_argument("--end-year", type=int, default=2025)
+    corpus_gen.add_argument("--seed", type=int, default=0)
+    corpus_gen.add_argument(
         "--papers", type=int, default=None,
         help="total papers: switch to the shard-parallel columnar generator",
     )
-    corpus.add_argument(
+    corpus_gen.add_argument(
         "--workers", type=int, default=1,
         help="shard-generation worker processes (never changes the output)",
     )
-    corpus.add_argument(
+    corpus_gen.add_argument(
         "--shard-size", type=int, default=25000,
         help="papers per shard (part of corpus identity)",
     )
-    corpus.add_argument(
+    corpus_gen.add_argument(
         "--stream", action="store_true",
         help="keep at most one shard in RAM (needs a cache dir)",
     )
-    corpus.add_argument(
+    corpus_gen.add_argument(
         "--cache-dir", default=None,
         help="artifact cache shards stream through "
         "(default: <output>/shards when output is given)",
     )
-    corpus.set_defaults(func=_cmd_corpus)
+    corpus_gen.set_defaults(func=_cmd_corpus)
+
+    corpus_export = corpus_sub.add_parser(
+        "export",
+        help="write a tagged, content-addressed, self-verifying corpus "
+        "snapshot directory",
+    )
+    corpus_export.add_argument("directory", help="snapshot directory to create")
+    corpus_export.add_argument(
+        "--tag", required=True,
+        help="snapshot tag recorded (and digest-protected) in the manifest",
+    )
+    corpus_export.add_argument("--start-year", type=int, default=2000)
+    corpus_export.add_argument("--end-year", type=int, default=2025)
+    corpus_export.add_argument("--seed", type=int, default=0)
+    corpus_export.add_argument(
+        "--papers", type=int, default=100_000,
+        help="total papers in the snapshotted corpus",
+    )
+    corpus_export.add_argument(
+        "--shard-size", type=int, default=25000,
+        help="papers per shard (part of corpus identity)",
+    )
+    corpus_export.add_argument(
+        "--workers", type=int, default=1,
+        help="shard-generation worker processes (never changes the bytes)",
+    )
+    corpus_export.add_argument(
+        "--cache-dir", default=None,
+        help="warm artifact cache to replay shards from instead of "
+        "regenerating",
+    )
+    corpus_export.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing snapshot manifest",
+    )
+    corpus_export.set_defaults(func=_cmd_corpus_export)
+
+    corpus_import = corpus_sub.add_parser(
+        "import",
+        help="verify a snapshot end-to-end (manifest self-digest, object "
+        "digests, shard fingerprints) and optionally hydrate a cache",
+    )
+    corpus_import.add_argument("directory", help="snapshot directory to verify")
+    corpus_import.add_argument(
+        "--cache-dir", default=None,
+        help="also land every verified shard in this artifact cache so "
+        "generators replay the snapshot warm",
+    )
+    corpus_import.set_defaults(func=_cmd_corpus_import)
+
+    integrity = subparsers.add_parser(
+        "integrity",
+        help="verify and repair the on-disk data plane (artifact caches)",
+    )
+    integrity_sub = integrity.add_subparsers(
+        dest="integrity_command", required=True
+    )
+    integrity_scrub = integrity_sub.add_parser(
+        "scrub",
+        help="walk a cache verifying every entry end-to-end; classify "
+        "damage, optionally repair it (exit 1 on unrepaired damage)",
+    )
+    integrity_scrub.add_argument(
+        "cache_dir", help="artifact cache directory to scrub"
+    )
+    integrity_scrub.add_argument(
+        "--repair", action="store_true",
+        help="heal findings: regenerate damaged corpus shards "
+        "byte-identically from their header config, delete the rest "
+        "down to a clean miss",
+    )
+    integrity_scrub.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable scrub report",
+    )
+    integrity_scrub.set_defaults(func=_cmd_integrity_scrub)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect an artifact cache without reading bodies"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list entries (kind, key, size, age)"
+    )
+    cache_ls.add_argument("cache_dir", help="artifact cache directory")
+    cache_ls.set_defaults(func=_cmd_cache)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-kind entry/byte rollup plus orphaned-tmp count"
+    )
+    cache_stats.add_argument("cache_dir", help="artifact cache directory")
+    cache_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable rollup",
+    )
+    cache_stats.set_defaults(func=_cmd_cache)
 
     detect = subparsers.add_parser(
         "detect", help="detect method mentions in a text file"
@@ -870,11 +1125,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ``repro corpus`` sub-subcommands; anything else after ``corpus`` is
+#: the legacy ``repro corpus [OUT] [flags]`` spelling of ``generate``.
+_CORPUS_SUBCOMMANDS = ("generate", "export", "import")
+
+
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """Keep ``repro corpus OUT``-style invocations working.
+
+    ``corpus`` grew ``generate``/``export``/``import`` sub-subcommands;
+    when the token after ``corpus`` is not one of them (a directory, a
+    flag like ``--papers``), splice ``generate`` in so existing scripts
+    and Makefiles parse unchanged.  Bare ``repro corpus`` and ``repro
+    corpus --help`` are left alone so argparse can show the subcommand
+    listing.
+    """
+    if argv[:1] != ["corpus"]:
+        return argv
+    rest = argv[1:]
+    if not rest or rest[0] in _CORPUS_SUBCOMMANDS or rest[0] in ("-h", "--help"):
+        return argv
+    return ["corpus", "generate", *rest]
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
-    from repro.errors import SpecError
+    args = parser.parse_args(
+        _normalize_argv(sys.argv[1:] if argv is None else list(argv))
+    )
+    from repro.errors import IntegrityError, SpecError
 
     try:
         return args.func(args)
@@ -884,6 +1164,12 @@ def main(argv: list[str] | None = None) -> int:
         # traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except IntegrityError as exc:
+        # Damaged or tampered data (a failed snapshot import, a strict
+        # verify) is a data error, not a usage error: the typed one-line
+        # message says exactly what failed to hold, no traceback.
+        print(f"integrity error: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Output was piped to a consumer (head, less) that closed early.
         sys.stderr.close()

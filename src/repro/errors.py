@@ -16,8 +16,9 @@ Hierarchy::
     ├── CheckFailure             shape-checks evaluated false
     ├── SpecError                an experiment spec is invalid (also ValueError)
     ├── DataFormatError          persisted data is malformed (also ValueError)
-    │   └── JsonlDecodeError         (also json.JSONDecodeError)
-    │       └── TruncatedFileError       torn final line — likely a killed writer
+    │   ├── JsonlDecodeError         (also json.JSONDecodeError)
+    │   │   └── TruncatedFileError       torn final line — likely a killed writer
+    │   └── IntegrityError           checksum/fingerprint verification failed
     ├── BudgetExceeded           a wall-clock / resource budget ran out
     └── CacheLockTimeout         a per-key cache lock never came free
 """
@@ -209,6 +210,58 @@ class TruncatedFileError(JsonlDecodeError):
     tail almost always means the writing process was killed mid-write,
     and everything before the tail is salvageable.
     """
+
+
+class IntegrityError(DataFormatError):
+    """Stored data failed checksum or fingerprint verification.
+
+    Raised when bytes on disk do not match the digest they were written
+    with: a bit-flipped artifact body, a truncated corpus shard, a
+    snapshot manifest whose fields were edited after export.  Distinct
+    from :class:`JsonlDecodeError` — the file may *parse* perfectly and
+    still be wrong, which is exactly the failure mode a parse-only
+    check cannot see.
+
+    The message is one line, written to be shown verbatim by the CLI
+    (``repro integrity scrub``, ``repro corpus import``).  Layers that
+    can self-heal (the artifact cache, shard loaders, ``repro serve``)
+    catch this and route to recompute; layers that cannot (snapshot
+    import) surface it.
+
+    Attributes:
+        path: The damaged file, as a string, when known.
+        kind: Artifact kind or snapshot member ("corpus-shard", ...).
+        damage: Damage class from the scrub taxonomy ("bit_flipped",
+            "truncated", "bad_header", "orphaned_tmp", "garbled").
+        expected: The digest/fingerprint that was declared.
+        actual: The digest/fingerprint recomputed from the bytes read.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        kind: str | None = None,
+        damage: str | None = None,
+        expected: str | None = None,
+        actual: str | None = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.path = path
+        self.kind = kind
+        self.damage = damage
+        self.expected = expected
+        self.actual = actual
+
+    def context(self) -> dict:
+        fields = dict(super().context())
+        for key in ("path", "kind", "damage"):
+            value = getattr(self, key)
+            if value is not None:
+                fields[key] = value
+        return fields
 
 
 class CacheLockTimeout(ReproError):

@@ -38,7 +38,9 @@ CORPUS_ARTIFACT_KIND = "shared-corpus"
 #: disk entries become unreachable and are regenerated on demand.
 #: v2: cache keys carry the full config *including* ``venue_scale``
 #: (corpus-size awareness) — pre-scale entries are orphaned.
-CORPUS_SCHEMA_VERSION = 2
+#: v3: rides the artifact format's end-to-end digest bump (PR 9), so
+#: every shared-corpus entry is re-landed with a verifiable checksum.
+CORPUS_SCHEMA_VERSION = 3
 
 #: How many corpora (distinct generator configs) to keep in memory at once.
 _MEMORY_SLOTS = 4
@@ -140,6 +142,17 @@ def _deserialize(records: list[dict]) -> tuple[Corpus, GroundTruth]:
         else:
             raise ValueError(f"unknown corpus cache table {table!r}")
     return Corpus.from_records(tables), truth
+
+
+def regenerate_corpus_records(config: dict) -> list[dict]:
+    """Rebuild a ``shared-corpus`` cache entry's records from its key config.
+
+    The repair half of self-healing: a corpus entry is a pure function
+    of its generator config, and the cache header carries that config —
+    so ``repro integrity scrub --repair`` can hand the header config
+    here and land a byte-identical replacement for a damaged entry.
+    """
+    return _serialize(*generate_corpus(SyntheticCorpusConfig(**config)))
 
 
 def _remember(key: tuple, value: tuple[Corpus, GroundTruth]) -> None:

@@ -1,0 +1,499 @@
+"""Cache scrubbing: walk, classify damage, repair in place.
+
+The artifact cache's read path treats every corruption mode as a miss,
+which keeps *running* systems healthy — but silently: a bit-flipped
+shard costs a regeneration nobody hears about, and damage in entries
+nothing currently reads is never even noticed.  The scrubber is the
+proactive half of the self-healing story:
+
+- :func:`scrub_cache` walks a cache directory, verifies every entry
+  end-to-end (header fields, per-line parse, declared count, body
+  SHA-256, filename-vs-recomputed content address) and classifies each
+  damaged file into a small taxonomy (:data:`DAMAGE_KINDS`), producing
+  a machine-readable :class:`ScrubReport`.
+- :func:`repair_cache` fixes what the report found.  Entries whose
+  kind is a pure function of its header config — corpus shards
+  (PR 8), the shared experiment corpus — are **regenerated
+  byte-identically** from that config via :data:`DEFAULT_REGENERATORS`;
+  everything else (sweep results, unreadable headers, orphaned temp
+  files) is deleted, which turns the damage into a clean miss the next
+  reader recomputes through.
+
+Both halves emit ``integrity.scrub`` / ``integrity.repair`` spans, so
+``repro obs report`` can show scrub activity alongside the rest of a
+campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.errors import IntegrityError
+from repro.io.artifacts import ArtifactCache, artifact_key
+
+__all__ = [
+    "DAMAGE_KINDS",
+    "DEFAULT_REGENERATORS",
+    "EntryInfo",
+    "Finding",
+    "ScrubReport",
+    "classify_entry",
+    "iter_entries",
+    "repair_cache",
+    "scrub_cache",
+    "verify_entry",
+]
+
+#: The damage taxonomy, in rough order of how the bytes died:
+#:
+#: - ``orphaned_tmp`` — a writer's private temp file that outlived its
+#:   (killed) writer; never renamed into place, pure litter.
+#: - ``truncated`` — the file ends early: empty, a torn final line, or
+#:   fewer records than the header declared (a truncation fault, a
+#:   short copy).
+#: - ``bit_flipped`` — every line parses and the shape is right, but
+#:   the body bytes do not hash to the header's ``sha256``: silent
+#:   media corruption, the failure mode only end-to-end digests catch.
+#: - ``bad_header`` — the header line is unparsable, missing fields,
+#:   or disagrees with where the file lives (kind directory, content
+#:   address); the entry cannot be trusted to describe itself.
+#: - ``garbled`` — an interior line is not JSON, or there are *more*
+#:   records than declared: interleaved or mangled writes.
+DAMAGE_KINDS = (
+    "orphaned_tmp",
+    "truncated",
+    "bit_flipped",
+    "bad_header",
+    "garbled",
+)
+
+#: Header fields every verifiable entry must carry (the v2 format).
+_REQUIRED_HEADER_FIELDS = ("artifact", "version", "config", "count", "sha256")
+
+
+def _regenerate_shard_records(config: dict) -> list[dict]:
+    """Rebuild a ``corpus-shard`` entry from its header config.
+
+    The header config is ``shard_cache_config`` output — generator
+    config, venue profiles, shard index — and a shard is a pure
+    function of exactly that, so the replacement is byte-identical.
+    """
+    from repro.bibliometrics.columnar import encode_shard
+    from repro.bibliometrics.shardgen import ShardedCorpusConfig, generate_shard
+    from repro.bibliometrics.synthgen import VenueProfile
+
+    generator = ShardedCorpusConfig(**config["config"])
+    profiles = [VenueProfile(**profile) for profile in config["profiles"]]
+    return encode_shard(generate_shard(generator, profiles, config["shard"]))
+
+
+def _regenerate_corpus_records(config: dict) -> list[dict]:
+    from repro.experiments._corpus import regenerate_corpus_records
+
+    return regenerate_corpus_records(config)
+
+
+#: Artifact kinds whose records are a pure function of their header
+#: config, keyed to the regenerator that proves it.  Kinds not listed
+#: here (sweep results above all — their spec lives with the sweep, not
+#: in the cache) are repaired by deletion: the damage becomes a clean
+#: miss and the next reader recomputes.
+DEFAULT_REGENERATORS: dict[str, Callable[[dict], list[dict]]] = {
+    "corpus-shard": _regenerate_shard_records,
+    "shared-corpus": _regenerate_corpus_records,
+}
+
+
+@dataclass
+class Finding:
+    """One damaged file, classified.
+
+    Attributes:
+        path: The damaged file.
+        damage: One of :data:`DAMAGE_KINDS`.
+        detail: One human-readable line of evidence.
+        kind: Artifact kind (from the header when readable, else the
+            kind directory the file lives in).
+        key: The entry's content address (filename stem).
+        size: File size in bytes at scrub time.
+        repair: Filled by :func:`repair_cache` — ``"regenerated"``,
+            ``"deleted"``, or ``"failed"``; None before repair.
+    """
+
+    path: str
+    damage: str
+    detail: str
+    kind: str | None = None
+    key: str | None = None
+    size: int = 0
+    repair: str | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ScrubReport:
+    """Machine-readable outcome of one scrub (and optional repair) pass.
+
+    Attributes:
+        root: The cache directory walked.
+        entries: Entry files examined (``*.jsonl``).
+        intact: Entries that passed every check.
+        bytes_scanned: Total bytes read while verifying.
+        findings: One :class:`Finding` per damaged file.
+    """
+
+    root: str
+    entries: int = 0
+    intact: int = 0
+    bytes_scanned: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def damaged(self) -> int:
+        return len(self.findings)
+
+    def damage_counts(self) -> dict[str, int]:
+        """``{damage_kind: count}`` over the findings."""
+        return dict(Counter(finding.damage for finding in self.findings))
+
+    def repair_counts(self) -> dict[str, int]:
+        """``{repair_action: count}`` over repaired findings."""
+        return dict(
+            Counter(
+                finding.repair
+                for finding in self.findings
+                if finding.repair is not None
+            )
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "intact": self.intact,
+            "damaged": self.damaged,
+            "bytes_scanned": self.bytes_scanned,
+            "damage_counts": self.damage_counts(),
+            "repair_counts": self.repair_counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+@dataclass
+class EntryInfo:
+    """One cache entry as seen by the walker (no verification).
+
+    The shared substrate for ``repro cache ls``/``stats`` — kind, key,
+    size, and age are all the listing needs, and none of it requires
+    reading the file body.
+    """
+
+    path: str
+    kind: str
+    key: str
+    size: int
+    age_seconds: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def iter_entries(root: str | Path) -> Iterator[EntryInfo]:
+    """Yield every cache entry under ``root``, cheapest-first metadata.
+
+    Entries live at ``<root>/<kind>/<key>.jsonl``; lock files and temp
+    files are not entries and are skipped (temp files are surfaced by
+    :func:`scrub_cache` as ``orphaned_tmp`` findings instead).
+    """
+    root = Path(root)
+    if not root.exists():
+        return
+    now = time.time()
+    for path in sorted(root.rglob("*.jsonl")):
+        try:
+            stat = path.stat()
+        except FileNotFoundError:  # pragma: no cover - racing cleaner
+            continue
+        yield EntryInfo(
+            path=str(path),
+            kind=path.parent.name if path.parent != root else "",
+            key=path.stem,
+            size=stat.st_size,
+            age_seconds=max(0.0, now - stat.st_mtime),
+        )
+
+
+def classify_entry(
+    path: str | Path,
+    *,
+    expect_addressed: bool = True,
+) -> tuple[str | None, str, dict | None]:
+    """Verify one entry file end-to-end; classify any damage.
+
+    Returns ``(damage, detail, header)`` where ``damage`` is None for
+    an intact entry and one of :data:`DAMAGE_KINDS` otherwise, and
+    ``header`` is the parsed header dict whenever the header line was
+    readable (repair needs it even for damaged bodies).
+
+    Args:
+        path: The ``<kind>/<key>.jsonl`` entry file.
+        expect_addressed: Also check that the filename stem equals the
+            content address recomputed from the header — True for cache
+            entries, False for files that are not content-addressed.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return "truncated", "file vanished mid-scrub", None
+    if not data:
+        return "truncated", "empty file", None
+
+    newline = data.find(b"\n")
+    torn_header = newline < 0
+    header_bytes = data if torn_header else data[:newline]
+    body = b"" if torn_header else data[newline + 1 :]
+    try:
+        header = json.loads(header_bytes.decode("utf-8-sig"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        if torn_header:
+            return "truncated", "torn header line (no newline)", None
+        return "bad_header", "header line is not JSON", None
+    if not isinstance(header, dict):
+        return "bad_header", "header is not an object", None
+    missing = [k for k in _REQUIRED_HEADER_FIELDS if k not in header]
+    if missing:
+        return (
+            "bad_header",
+            f"header missing fields: {missing} (pre-digest entry?)",
+            header,
+        )
+    kind_dir = path.parent.name
+    if header["artifact"] != kind_dir:
+        return (
+            "bad_header",
+            f"header kind {header['artifact']!r} != directory {kind_dir!r}",
+            header,
+        )
+    if expect_addressed:
+        expected_key = artifact_key(
+            header["artifact"], header["config"], header["version"]
+        )
+        if path.stem != expected_key:
+            return (
+                "bad_header",
+                "filename does not match the content address recomputed "
+                "from the header (moved or relabeled entry)",
+                header,
+            )
+
+    # Body shape: every line must parse, the final line must be
+    # newline-terminated, and the record count must match the header.
+    torn_tail = bool(body) and not body.endswith(b"\n")
+    records = 0
+    lines = body.split(b"\n")
+    for number, line in enumerate(lines, start=2):
+        if not line.strip():
+            continue
+        try:
+            json.loads(line.decode("utf-8-sig"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            if torn_tail and number - 1 == len(lines):
+                return "truncated", f"torn final line {number}", header
+            return "garbled", f"line {number} is not JSON", header
+        records += 1
+    if torn_tail:
+        return "truncated", "final line has no newline", header
+    declared = header["count"]
+    if records < declared:
+        return (
+            "truncated",
+            f"{records} records on disk, header declares {declared}",
+            header,
+        )
+    if records > declared:
+        return (
+            "garbled",
+            f"{records} records on disk, header declares {declared}",
+            header,
+        )
+
+    # The end-to-end check: bytes, not parse trees.
+    actual = hashlib.sha256(body).hexdigest()
+    if actual != header["sha256"]:
+        return (
+            "bit_flipped",
+            f"body sha256 {actual[:12]}… != declared {header['sha256'][:12]}…",
+            header,
+        )
+    return None, "intact", header
+
+
+def verify_entry(path: str | Path, *, expect_addressed: bool = True) -> dict:
+    """Classify ``path`` and raise a typed error on any damage.
+
+    The strict wrapper around :func:`classify_entry` for callers that
+    must surface corruption (smoke checks, snapshot members) instead of
+    reporting it: raises :class:`repro.errors.IntegrityError` with a
+    one-line message, returns the parsed header when intact.
+    """
+    damage, detail, header = classify_entry(
+        path, expect_addressed=expect_addressed
+    )
+    if damage is not None:
+        raise IntegrityError(
+            f"{Path(path).name}: {detail}",
+            path=str(path),
+            kind=header.get("artifact") if header else None,
+            damage=damage,
+            stage="read",
+        )
+    return header
+
+
+def _tracer():
+    from repro.obs.tracing import current_tracer
+
+    return current_tracer()
+
+
+def scrub_cache(root: str | Path) -> ScrubReport:
+    """Walk a cache directory and verify every entry end-to-end.
+
+    Emits one ``integrity.scrub`` span carrying the headline counts.
+    Never modifies anything — pair with :func:`repair_cache` to heal.
+    """
+    root = Path(root)
+    report = ScrubReport(root=str(root))
+    with _tracer().span("integrity.scrub", root=str(root)) as span:
+        if root.exists():
+            for path in sorted(root.rglob("*.tmp")):
+                try:
+                    size = path.stat().st_size
+                except FileNotFoundError:  # pragma: no cover - racer
+                    continue
+                report.findings.append(Finding(
+                    path=str(path),
+                    damage="orphaned_tmp",
+                    detail="writer temp file that outlived its writer",
+                    kind=path.parent.name if path.parent != root else None,
+                    size=size,
+                ))
+            for path in sorted(root.rglob("*.jsonl")):
+                try:
+                    size = path.stat().st_size
+                except FileNotFoundError:  # pragma: no cover - racer
+                    continue
+                report.entries += 1
+                report.bytes_scanned += size
+                damage, detail, header = classify_entry(path)
+                if damage is None:
+                    report.intact += 1
+                    continue
+                report.findings.append(Finding(
+                    path=str(path),
+                    damage=damage,
+                    detail=detail,
+                    kind=(header or {}).get("artifact", path.parent.name),
+                    key=path.stem,
+                    size=size,
+                ))
+        span.set_attribute("entries", report.entries)
+        span.set_attribute("damaged", report.damaged)
+        span.set_attribute("bytes_scanned", report.bytes_scanned)
+    return report
+
+
+def _read_header(path: Path) -> dict | None:
+    """The entry's header dict when its first line still parses."""
+    try:
+        with path.open("rb") as handle:
+            first = handle.readline()
+        header = json.loads(first.decode("utf-8-sig"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return header if isinstance(header, dict) else None
+
+
+def repair_cache(
+    root: str | Path,
+    report: ScrubReport | None = None,
+    *,
+    regenerators: dict[str, Callable[[dict], list[dict]]] | None = None,
+) -> ScrubReport:
+    """Heal the damage a scrub found; returns the annotated report.
+
+    Strategy per finding:
+
+    - ``orphaned_tmp`` → delete (it was never an entry).
+    - damaged entry with a readable header whose kind has a registered
+      regenerator → regenerate the records from the header config and
+      land them through the normal atomic :meth:`ArtifactCache.put`,
+      then re-verify; only the damaged entries are regenerated, nothing
+      intact is touched.
+    - anything else (unreadable header, unregenerable kind) → delete,
+      so the next reader takes a clean miss and recomputes on demand.
+
+    Runs a fresh :func:`scrub_cache` when ``report`` is None.  Each
+    finding's ``repair`` field records what happened.  Emits one
+    ``integrity.repair`` span with regenerated/deleted counts.
+    """
+    root = Path(root)
+    if report is None:
+        report = scrub_cache(root)
+    regenerators = (
+        DEFAULT_REGENERATORS if regenerators is None else regenerators
+    )
+    regenerated = deleted = failed = 0
+    with _tracer().span("integrity.repair", root=str(root)) as span:
+        for finding in report.findings:
+            path = Path(finding.path)
+            if finding.damage == "orphaned_tmp":
+                path.unlink(missing_ok=True)
+                finding.repair = "deleted"
+                deleted += 1
+                continue
+            header = _read_header(path)
+            kind = (header or {}).get("artifact")
+            regenerate = regenerators.get(kind) if isinstance(kind, str) else None
+            if (
+                header is not None
+                and regenerate is not None
+                and all(k in header for k in ("config", "version"))
+            ):
+                try:
+                    records = regenerate(header["config"])
+                    cache = ArtifactCache(
+                        root, version=header["version"], sweep=False
+                    )
+                    cache.put(kind, header["config"], records)
+                    cache.read_verified(kind, header["config"])
+                except Exception as exc:  # noqa: BLE001 - degrade to delete
+                    # A regenerator that cannot reproduce the entry
+                    # (config drift, generator change) must not leave
+                    # the damage in place: fall through to deletion so
+                    # readers at least get a clean miss.
+                    path.unlink(missing_ok=True)
+                    finding.repair = "deleted"
+                    finding.detail += f"; regeneration failed: {exc}"
+                    failed += 1
+                    deleted += 1
+                    continue
+                finding.repair = "regenerated"
+                regenerated += 1
+            else:
+                path.unlink(missing_ok=True)
+                finding.repair = "deleted"
+                deleted += 1
+        span.set_attribute("regenerated", regenerated)
+        span.set_attribute("deleted", deleted)
+        span.set_attribute("failed", failed)
+    return report

@@ -22,6 +22,16 @@ Design points:
   header-mismatched file makes :meth:`ArtifactCache.get` return None
   (counted as ``artifacts.corrupt``); the caller regenerates and the
   next :meth:`ArtifactCache.put` atomically replaces the bad entry.
+- **End-to-end verification.**  Every entry's header carries a SHA-256
+  over the exact body bytes (``"sha256"``), written by :meth:`put` and
+  recomputed from the raw file on every :meth:`ArtifactCache.get` —
+  so a bit-flip that still *parses* (the failure mode a header check
+  cannot see) is caught and becomes a miss, counted as
+  ``artifacts.integrity_failures``.  :meth:`ArtifactCache.read_verified`
+  is the strict variant: it raises a typed
+  :class:`repro.errors.IntegrityError` instead of returning None, for
+  callers (snapshot import, ``repro integrity scrub``) that must
+  *report* damage rather than silently regenerate around it.
 - **Safe under racing writers.**  Writes go to a private temp file and
   are renamed over the destination, so two processes racing on one key
   both produce valid files and the last rename wins.
@@ -46,7 +56,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
-from repro.errors import CacheLockTimeout
+from repro.errors import CacheLockTimeout, IntegrityError
 from repro.io.jsonl import read_jsonl, write_jsonl
 
 try:  # pragma: no cover - fcntl is always present on the POSIX targets
@@ -54,10 +64,23 @@ try:  # pragma: no cover - fcntl is always present on the POSIX targets
 except ImportError:  # pragma: no cover
     fcntl = None
 
-__all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactCache", "artifact_key"]
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactCache",
+    "artifact_key",
+    "body_digest",
+]
 
 #: Bump to invalidate every existing cache entry (serialization change).
-ARTIFACT_FORMAT_VERSION = 1
+#: v2 added the mandatory ``"sha256"`` body digest to the header, so
+#: pre-digest entries land on unreachable keys instead of failing
+#: verification one by one.
+ARTIFACT_FORMAT_VERSION = 2
+
+#: Injection point offered to :meth:`FaultInjector.damage_file` after
+#: every successful :meth:`ArtifactCache.put` — chaos tests arm it with
+#: ``bitrot``/``truncate`` to corrupt completed entries deterministically.
+DAMAGE_POINT = "artifacts:damage"
 
 #: How long :meth:`ArtifactCache._key_lock` waits for a per-key lock
 #: before giving up with :class:`repro.errors.CacheLockTimeout`.  Sized
@@ -88,11 +111,42 @@ def artifact_key(kind: str, config: dict, version: int) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def body_digest(records: Iterable[dict]) -> str:
+    """SHA-256 over the canonical JSONL encoding of ``records``.
+
+    Byte-identical to what :func:`repro.io.jsonl.write_jsonl` lands on
+    disk for the same records (same canonical ``json.dumps``, one
+    ``\\n`` per line) — so a digest recomputed from a file's raw bytes
+    after the header line can be compared directly against one computed
+    from in-memory records, with no re-parse in between.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        line = json.dumps(record, ensure_ascii=False, sort_keys=True) + "\n"
+        digest.update(line.encode("utf-8"))
+    return digest.hexdigest()
+
+
 def _metrics():
     """The active metrics registry (lazy import; see repro.io.jsonl)."""
     from repro.obs.metrics import current_metrics
 
     return current_metrics()
+
+
+def _damage_fault(point: str, path: Path) -> None:
+    """Offer a completed file to the process-wide injector for damage.
+
+    The post-write counterpart of :func:`repro.io.jsonl._check_fault`:
+    chaos tests arm ``bitrot``/``truncate`` at ``point`` and this hands
+    them the finished entry.  Lazy import to avoid a cycle; with no
+    injector installed the cost is one ``sys.modules`` lookup.
+    """
+    from repro.runtime.faultinject import current_fault_injector
+
+    injector = current_fault_injector()
+    if injector is not None:
+        injector.damage_file(point, path)
 
 
 class ArtifactCache:
@@ -156,12 +210,10 @@ class ArtifactCache:
             _metrics().count("artifacts.misses")
             return None
         except Exception:  # noqa: BLE001 - any decode failure is a miss
-            _metrics().count("artifacts.misses")
-            _metrics().count("artifacts.corrupt")
+            self._count_verification_failure()
             return None
         if not rows:
-            _metrics().count("artifacts.misses")
-            _metrics().count("artifacts.corrupt")
+            self._count_verification_failure()
             return None
         header, records = rows[0], rows[1:]
         if (
@@ -170,11 +222,70 @@ class ArtifactCache:
             or header.get("config") != config
             or header.get("count") != len(records)
         ):
-            _metrics().count("artifacts.misses")
-            _metrics().count("artifacts.corrupt")
+            self._count_verification_failure()
+            return None
+        declared = header.get("sha256")
+        if not isinstance(declared, str) or self._body_sha256(path) != declared:
+            # The entry *parses* but its bytes are not the ones the
+            # writer hashed — bit-rot, a torn replication copy, or a
+            # tampered body.  Only the end-to-end digest catches this.
+            self._count_verification_failure()
             return None
         _metrics().count("artifacts.hits")
         return records
+
+    @staticmethod
+    def _count_verification_failure() -> None:
+        """Count one present-but-unverifiable entry.
+
+        Three counters move together: the read is a miss, the file is
+        corrupt (the pre-digest name, kept for dashboard continuity),
+        and end-to-end verification failed (``integrity_failures`` —
+        what ``repro serve`` and the scrubber docs reference).  A
+        merely *absent* entry is a plain miss and touches neither of
+        the damage counters.
+        """
+        _metrics().count("artifacts.misses")
+        _metrics().count("artifacts.corrupt")
+        _metrics().count("artifacts.integrity_failures")
+
+    def read_verified(self, kind: str, config: dict) -> list[dict]:
+        """The cached records, or a typed error — never a silent miss.
+
+        The strict twin of :meth:`get`, for callers that must *surface*
+        damage (snapshot import, ``repro integrity scrub``, smoke
+        scripts proving corruption is detected) instead of regenerating
+        around it.  Raises :class:`repro.errors.IntegrityError` — one
+        line, CLI-ready — on an absent, torn, header-mismatched, or
+        digest-mismatched entry.
+        """
+        path = self.path_for(kind, config)
+        records = self.get(kind, config)
+        if records is None:
+            damage = "missing" if not path.exists() else "corrupt"
+            raise IntegrityError(
+                f"cache entry failed verification: {path.name}",
+                path=str(path),
+                kind=kind,
+                damage=damage,
+                stage="read",
+            )
+        return records
+
+    @staticmethod
+    def _body_sha256(path: Path) -> str | None:
+        """SHA-256 of the raw bytes after the header line, or None.
+
+        Digests the file exactly as written — not a re-dump of parsed
+        records — so corruption hiding in bytes the parser normalizes
+        away still mismatches.
+        """
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        cut = data.find(b"\n") + 1  # 0 (whole file) when the header is torn
+        return hashlib.sha256(data[cut:]).hexdigest()
 
     # -- write ---------------------------------------------------------
 
@@ -193,11 +304,15 @@ class ArtifactCache:
             "version": self.version,
             "config": config,
             "count": len(body),
+            "sha256": body_digest(body),
         }
         path = self.path_for(kind, config)
         _check_fault("artifacts:put")
         write_jsonl(path, [header] + body)
         _metrics().count("artifacts.writes")
+        # Completed entries are offered to the chaos injector so tests
+        # can bit-rot or truncate them deterministically post-rename.
+        _damage_fault(DAMAGE_POINT, path)
         return path
 
     def get_or_create(

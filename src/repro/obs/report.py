@@ -13,7 +13,10 @@ it into the answers a perf investigation starts from:
   supervisor's ``worker_crash``/``quarantine`` spans;
 - a serve section (top routes, status mix, p50/p95/p99 latency per
   route, coalescing and breaker/deadline outcome counts) when the
-  trace contains a server's ``serve.request`` spans.
+  trace contains a server's ``serve.request`` spans;
+- an integrity section (entries scrubbed, damage found, repair
+  outcomes, bytes verified) when the trace contains the scrubber's
+  ``integrity.scrub``/``integrity.repair`` spans.
 
 All tables render through :mod:`repro.io.tables` — the same renderer
 the registry listing and the benchmarks use.
@@ -129,6 +132,7 @@ def build_report(spans: list[dict], top: int = 5) -> dict:
 
     worker_crashes = _crash_breakdown(spans)
     serve = _serve_breakdown(spans, top=top)
+    integrity = _integrity_breakdown(spans)
 
     critical_path = [
         {
@@ -148,6 +152,7 @@ def build_report(spans: list[dict], top: int = 5) -> dict:
         "critical_path": critical_path,
         "worker_crashes": worker_crashes,
         "serve": serve,
+        "integrity": integrity,
     }
 
 
@@ -249,6 +254,32 @@ def _serve_breakdown(spans: list[dict], top: int = 5) -> dict:
         "outcomes": dict(sorted(outcomes.items())),
         "sources": dict(sorted(sources.items())),
         "coalesced": coalesced,
+    }
+
+
+def _integrity_breakdown(spans: list[dict]) -> dict:
+    """Summarize a trace's ``integrity.scrub``/``integrity.repair`` spans.
+
+    Scrub activity belongs in the same report as the campaign it ran
+    alongside: how much of the data plane was verified, what damage
+    turned up, and what the repairer did about it.  All zeros when the
+    trace has no integrity spans, and the renderer skips the section.
+    """
+    scrubs = [s for s in spans if s["name"] == "integrity.scrub"]
+    repairs = [s for s in spans if s["name"] == "integrity.repair"]
+    attrs_of = lambda span: span.get("attributes", {})  # noqa: E731
+    return {
+        "scrubs": len(scrubs),
+        "repairs": len(repairs),
+        "entries": sum(attrs_of(s).get("entries", 0) for s in scrubs),
+        "damaged": sum(attrs_of(s).get("damaged", 0) for s in scrubs),
+        "bytes_scanned": sum(
+            attrs_of(s).get("bytes_scanned", 0) for s in scrubs
+        ),
+        "scrub_seconds": sum(s["duration"] for s in scrubs),
+        "regenerated": sum(attrs_of(s).get("regenerated", 0) for s in repairs),
+        "deleted": sum(attrs_of(s).get("deleted", 0) for s in repairs),
+        "failed": sum(attrs_of(s).get("failed", 0) for s in repairs),
     }
 
 
@@ -367,5 +398,22 @@ def render_report(spans: list[dict], top: int = 5) -> str:
             for source, count in serve["sources"].items()
         ]
         parts.append(render_kv(summary_rows, title="serve: status mix"))
+
+    integrity = report["integrity"]
+    if integrity["scrubs"] or integrity["repairs"]:
+        parts.append(render_kv(
+            [
+                ("scrub passes", integrity["scrubs"]),
+                ("entries verified", integrity["entries"]),
+                ("bytes verified", integrity["bytes_scanned"]),
+                ("scrub wall clock (s)", round(integrity["scrub_seconds"], 4)),
+                ("damaged entries", integrity["damaged"]),
+                ("repair passes", integrity["repairs"]),
+                ("regenerated", integrity["regenerated"]),
+                ("deleted", integrity["deleted"]),
+                ("regeneration failures", integrity["failed"]),
+            ],
+            title="integrity: scrub/repair activity",
+        ))
 
     return "\n\n".join(parts)

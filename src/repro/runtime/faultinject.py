@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 __all__ = [
+    "DISK_DAMAGE_MODES",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
@@ -64,12 +65,24 @@ __all__ = [
 ]
 
 #: Supported fault modes.  The first three are *in-process* faults (an
-#: exception, a stall, a damaged return value); the last three are
-#: *process/disk* faults for chaos testing the parallel runtime:
-#: ``kill`` takes the whole worker process down with a signal, ``oom``
-#: performs a bounded allocation burst and then fails the allocation,
-#: and ``enospc`` raises ``OSError(ENOSPC)`` as a full disk would.
-MODES = ("raise", "hang", "corrupt", "kill", "oom", "enospc")
+#: exception, a stall, a damaged return value); ``kill``/``oom``/
+#: ``enospc`` are *process/disk* faults for chaos testing the parallel
+#: runtime: ``kill`` takes the whole worker process down with a signal,
+#: ``oom`` performs a bounded allocation burst and then fails the
+#: allocation, and ``enospc`` raises ``OSError(ENOSPC)`` as a full disk
+#: would.  ``bitrot``/``truncate`` are *post-write damage* faults: they
+#: never raise, and instead corrupt a **completed** file when the
+#: writer offers it through :meth:`FaultInjector.damage_file` (the
+#: artifact cache does, after every ``put``) — flipping one byte or
+#: cutting the tail, exactly like silent media corruption or a torn
+#: replication copy.
+MODES = ("raise", "hang", "corrupt", "kill", "oom", "enospc", "bitrot", "truncate")
+
+#: Modes that damage bytes already on disk instead of failing the call.
+#: They are inert in :meth:`FaultInjector.call`/:meth:`~FaultInjector.check`
+#: (the write succeeds untouched) and fire only through
+#: :meth:`FaultInjector.damage_file`.
+DISK_DAMAGE_MODES = ("bitrot", "truncate")
 
 #: Process-level modes that only fire inside a pool worker process (a
 #: ``kill`` in the coordinating parent would take the suite down with
@@ -267,6 +280,11 @@ class FaultInjector:
         runner deadline, or return a corrupted value; an unarmed point
         is a transparent passthrough.
         """
+        spec = self._specs.get(point)
+        if spec is not None and spec.mode in DISK_DAMAGE_MODES:
+            # Damage modes corrupt completed files via damage_file();
+            # the call itself passes through without spending budget.
+            return fn(*args, **kwargs)
         if not self.should_fire(point):
             return fn(*args, **kwargs)
         spec = self._specs[point]
@@ -307,6 +325,46 @@ class FaultInjector:
         then returns.
         """
         self.call(point, lambda: None)
+
+    def damage_file(self, point: str, path: "str | os.PathLike") -> str | None:
+        """Corrupt the completed file at ``path`` if ``point`` is armed.
+
+        The post-write half of disk chaos: writers that land files
+        atomically call this *after* the rename, offering the finished
+        bytes for damage.  An armed ``bitrot`` spec XOR-flips one byte
+        at a deterministic (seeded) offset; ``truncate`` cuts the file
+        to a deterministic prefix.  Both leave a file that is complete
+        as far as the filesystem is concerned — exactly the corruption
+        that only end-to-end checksums can catch.
+
+        Returns the mode fired (``"bitrot"``/``"truncate"``) or None
+        when the point is unarmed, armed with a non-damage mode, out of
+        budget, or the file is empty/absent.
+        """
+        spec = self._specs.get(point)
+        if spec is None or spec.mode not in DISK_DAMAGE_MODES:
+            return None
+        if not self.should_fire(point):
+            return None
+        try:
+            with open(path, "r+b") as handle:
+                data = handle.read()
+                if not data:
+                    spec.fired -= 1  # nothing to damage; refund the budget
+                    return None
+                rng = self._rngs[point]
+                if spec.mode == "bitrot":
+                    offset = rng.randrange(len(data))
+                    handle.seek(offset)
+                    handle.write(bytes([data[offset] ^ 0xFF]))
+                else:  # truncate: keep a strict prefix, possibly empty
+                    handle.truncate(rng.randrange(len(data)))
+                handle.flush()
+                os.fsync(handle.fileno())
+        except FileNotFoundError:
+            spec.fired -= 1
+            return None
+        return spec.mode
 
     def export_specs(self) -> list[dict]:
         """The armed points as plain JSON-safe dicts.

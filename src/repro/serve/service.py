@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import random
 import re
 import signal
 import sys
@@ -145,6 +146,11 @@ class ServeConfig:
         retry_after: Seconds suggested in ``Retry-After`` for ``429``
             and deadline/compute ``503``s (breaker ``503``s use the
             remaining cooldown instead).
+        retry_jitter: Bounded random spread added on top of any
+            ``Retry-After`` base, as a fraction of it (0.25 → up to
+            +25%).  Coalesced clients that all saw the same 503/429
+            would otherwise retry in lockstep and re-stampede the key
+            the moment the breaker half-opens; 0.0 disables.
         breaker_threshold: Consecutive compute failures that trip a
             key's circuit.
         breaker_cooldown: Seconds a tripped circuit stays open.
@@ -163,6 +169,7 @@ class ServeConfig:
     max_inflight: int = 64
     deadline: float = 30.0
     retry_after: float = 2.0
+    retry_jitter: float = 0.25
     breaker_threshold: int = 3
     breaker_cooldown: float = 30.0
     drain_timeout: float = 10.0
@@ -383,7 +390,7 @@ class ResultService:
                 return json_response(
                     503,
                     {"status": "draining"},
-                    {"Retry-After": _retry_after(self.config.retry_after)},
+                    {"Retry-After": _retry_after(self.config.retry_after, self.config.retry_jitter)},
                 )
             return json_response(
                 200, {"status": "ready", "inflight": self._inflight}
@@ -392,7 +399,7 @@ class ResultService:
             return json_response(
                 503,
                 {"error": "server is draining"},
-                {"Retry-After": _retry_after(self.config.retry_after)},
+                {"Retry-After": _retry_after(self.config.retry_after, self.config.retry_jitter)},
             )
         if self._inflight >= self.config.max_inflight:
             self.metrics.count("serve.shed")
@@ -403,7 +410,7 @@ class ResultService:
                     "inflight": self._inflight,
                     "max_inflight": self.config.max_inflight,
                 },
-                {"Retry-After": _retry_after(self.config.retry_after)},
+                {"Retry-After": _retry_after(self.config.retry_after, self.config.retry_jitter)},
             )
         self._inflight += 1
         self.metrics.set_gauge("serve.inflight", self._inflight)
@@ -427,21 +434,21 @@ class ResultService:
                     "error": "deadline exceeded; compute continues in background",
                     "deadline": self.config.deadline,
                 },
-                {"Retry-After": _retry_after(self.config.retry_after)},
+                {"Retry-After": _retry_after(self.config.retry_after, self.config.retry_jitter)},
             )
         except CircuitOpen as exc:
             span.set_attribute("outcome", "breaker_open")
             return json_response(
                 503,
                 {"error": str(exc), "circuit": "open"},
-                {"Retry-After": _retry_after(exc.retry_after)},
+                {"Retry-After": _retry_after(exc.retry_after, self.config.retry_jitter)},
             )
         except ComputeFailed as exc:
             span.set_attribute("outcome", "compute_failed")
             return json_response(
                 503,
                 {"error": str(exc), "crash": exc.crash},
-                {"Retry-After": _retry_after(self.config.retry_after)},
+                {"Retry-After": _retry_after(self.config.retry_after, self.config.retry_jitter)},
             )
         except BadRequest as exc:
             return json_response(400, {"error": str(exc)})
@@ -732,9 +739,22 @@ class ResultService:
             self.metrics.count("serve.drain_abandoned", abandoned)
 
 
-def _retry_after(seconds: float) -> str:
-    """``Retry-After`` as an integral number of seconds, at least 1."""
-    return str(max(1, math.ceil(seconds)))
+def _retry_after(seconds: float, jitter: float = 0.0) -> str:
+    """``Retry-After`` as an integral number of seconds, at least 1.
+
+    ``jitter`` spreads the value uniformly over the integral band
+    ``[ceil(seconds), ceil(seconds * (1 + jitter))]``, so a burst of
+    clients shed with the same response de-synchronizes instead of
+    retrying in lockstep (thundering herd after a breaker opens).  The
+    draw is over whole seconds — the only granularity the header can
+    express — and the band keeps the hint honest: never earlier than
+    the base, never beyond the stated fraction past it.
+    """
+    low = max(1, math.ceil(seconds))
+    if jitter <= 0.0:
+        return str(low)
+    high = max(low, math.ceil(seconds * (1.0 + jitter)))
+    return str(random.randint(low, high))
 
 
 class ResultServer:

@@ -227,6 +227,39 @@ class TestSalvageTail:
         assert self._salvage(path2) == "closed"
         assert self._salvage(path2) is None
 
+    def test_torn_tail_mid_utf8_multibyte_sequence(self, tmp_path):
+        """A writer killed partway through a multibyte character.
+
+        The torn tail is not just invalid JSON — it is invalid UTF-8
+        (the record was cut between the bytes of a single codepoint),
+        so the decode itself fails before json.loads gets a say.  The
+        salvage must treat that exactly like any other torn record:
+        truncate back to the last complete line.
+        """
+        path = tmp_path / "data.jsonl"
+        full = '{"name": "café"}'.encode("utf-8")
+        # cut inside the 2-byte UTF-8 sequence for é (0xC3 0xA9)
+        torn = full[: full.index(b"\xc3") + 1]
+        path.write_bytes(b'{"a": 1}\n' + torn)
+        assert self._salvage(path) == "truncated"
+        assert list(read_jsonl(path)) == [{"a": 1}]
+        append_jsonl(path, [{"b": 2}])
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_file_that_is_exactly_an_unterminated_header_line(self, tmp_path):
+        """A file whose whole content is one valid-JSON header, no newline.
+
+        This is what a cache writer killed between writing its header
+        line and the newline leaves behind: complete JSON that must be
+        closed, not truncated away — losing the header would turn a
+        recoverable entry into an empty file.
+        """
+        path = tmp_path / "entry.jsonl"
+        header = {"artifact": "kind", "version": 1, "config": {}, "count": 0}
+        path.write_bytes(json.dumps(header).encode("utf-8"))
+        assert self._salvage(path) == "closed"
+        assert list(read_jsonl(path)) == [header]
+
     def test_salvage_events_are_counted(self, tmp_path):
         from repro.obs.metrics import MetricsRegistry, use_metrics
 

@@ -131,3 +131,104 @@ class TestApi:
     def test_args_forwarded(self):
         injector = FaultInjector()
         assert injector.call("p", lambda a, b=0: a + b, 40, b=2) == 42
+
+
+class TestDiskDamageModes:
+    """bitrot/truncate: the disk-fault modes behind artifacts:damage.
+
+    They damage *files* (via damage_file), never call results — a
+    damage-mode spec on a point must leave call() as a pass-through.
+    """
+
+    def write_target(self, tmp_path, data=b"0123456789" * 20):
+        path = tmp_path / "entry.jsonl"
+        path.write_bytes(data)
+        return path
+
+    def test_bitrot_flips_exactly_one_byte(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="bitrot", times=1)
+        path = self.write_target(tmp_path)
+        before = path.read_bytes()
+        assert injector.damage_file("p", path) == "bitrot"
+        after = path.read_bytes()
+        assert len(after) == len(before)
+        assert sum(a != b for a, b in zip(before, after)) == 1
+
+    def test_truncate_shortens_the_file(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="truncate", times=1)
+        path = self.write_target(tmp_path)
+        before = path.read_bytes()
+        assert injector.damage_file("p", path) == "truncate"
+        after = path.read_bytes()
+        assert len(after) < len(before)
+        assert before.startswith(after)
+
+    def test_same_seed_damages_the_same_byte(self, tmp_path):
+        results = []
+        for run in range(2):
+            injector = FaultInjector(seed=11)
+            injector.register("p", mode="bitrot", times=1)
+            path = tmp_path / f"copy{run}.jsonl"
+            path.write_bytes(b"0123456789" * 20)
+            injector.damage_file("p", path)
+            results.append(path.read_bytes())
+        assert results[0] == results[1]
+
+    def test_budget_limits_damage(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="bitrot", times=1)
+        first = self.write_target(tmp_path)
+        assert injector.damage_file("p", first) == "bitrot"
+        untouched = tmp_path / "second.jsonl"
+        untouched.write_bytes(b"safe")
+        assert injector.damage_file("p", untouched) is None
+        assert untouched.read_bytes() == b"safe"
+
+    def test_missing_file_refunds_the_budget(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="bitrot", times=1)
+        assert injector.damage_file("p", tmp_path / "absent.jsonl") is None
+        # the budget survived the misfire and lands on a real file
+        path = self.write_target(tmp_path)
+        assert injector.damage_file("p", path) == "bitrot"
+
+    def test_empty_file_refunds_the_budget(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="bitrot", times=1)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        assert injector.damage_file("p", empty) is None
+        path = self.write_target(tmp_path)
+        assert injector.damage_file("p", path) == "bitrot"
+
+    def test_damage_modes_are_inert_in_call(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="bitrot")
+        injector.register("q", mode="truncate")
+        assert injector.call("p", lambda: 42) == 42
+        assert injector.call("q", lambda: "ok") == "ok"
+
+    def test_non_damage_point_is_a_damage_file_noop(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="raise")
+        path = self.write_target(tmp_path)
+        before = path.read_bytes()
+        assert injector.damage_file("p", path) is None
+        assert path.read_bytes() == before
+
+    def test_export_specs_round_trips_damage_modes(self, tmp_path):
+        injector = FaultInjector(seed=5)
+        injector.register("p", mode="bitrot", times=2)
+        path = self.write_target(tmp_path)
+        injector.damage_file("p", path)
+
+        rebuilt = FaultInjector.from_specs(injector.export_specs(), seed=5)
+        spec = rebuilt.spec("p")
+        assert spec.mode == "bitrot"
+        assert spec.fired == 1  # the spent budget survived the hop
+        second = tmp_path / "second.jsonl"
+        second.write_bytes(b"0123456789" * 20)
+        assert rebuilt.damage_file("p", second) == "bitrot"
+        assert rebuilt.damage_file("p", second) is None  # budget exhausted

@@ -13,8 +13,8 @@ import time
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry
-from repro.runtime.faultinject import FaultInjector
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.runtime.faultinject import FaultInjector, use_fault_injector
 from repro.serve.client import fetch
 from repro.serve.service import ResultService, ServeConfig, ServerThread
 
@@ -121,6 +121,45 @@ class TestKilledComputeWorkers:
         assert stats["serve.breaker_trips"] == 1
         assert stats["serve.breaker_rejects"] == 1
         assert stats["serve.compute_ok"] == 1
+
+    def test_corrupted_artifact_serves_200_via_recompute(self, tmp_path):
+        """Injected bit-rot on a cached result: 200, never 500 or garbage.
+
+        The ``bitrot`` disk fault corrupts the entry the moment it is
+        written; the next read fails its end-to-end digest and becomes
+        a miss (counted ``artifacts.integrity_failures``) that routes
+        to the normal miss-compute path — the client sees a recompute,
+        not a 500 and not a silently wrong payload.
+        """
+        injector = FaultInjector(seed=11)
+        injector.register("artifacts:damage", mode="bitrot", times=1)
+        service = make_chaos_service(tmp_path, None, workers=1)
+        with use_metrics(service.metrics), use_fault_injector(injector):
+            with ServerThread(service) as server:
+                port = server.port
+                # First fetch computes and caches — but the injector
+                # bit-rots the completed entry right after the rename.
+                first = fetch(HOST, port, f"/v1/result/{CHEAP}?seed=0", timeout=90)
+                assert first.status == 200
+                assert first.json()["source"] == "computed"
+                assert injector.stats()["artifacts:damage"]["fired"] == 1
+
+                # The damaged entry fails verification: a recompute,
+                # not a crash and not a corrupted payload.
+                second = fetch(HOST, port, f"/v1/result/{CHEAP}?seed=0", timeout=90)
+                assert second.status == 200
+                assert second.json()["source"] == "computed"
+                assert second.json()["result"] is not None
+
+                # Fault budget spent: the healthy rewrite now serves hot.
+                third = fetch(HOST, port, f"/v1/result/{CHEAP}?seed=0")
+                assert third.status == 200
+                assert third.json()["source"] == "cache"
+        stats = counters(service)
+        assert stats["artifacts.integrity_failures"] == 1
+        assert stats["serve.responses.200"] == 3
+        assert "serve.responses.500" not in stats
+        assert "serve.compute_failed" not in stats
 
     def test_unaffected_keys_keep_serving_during_the_failures(self, tmp_path):
         """A poison key must not take neighboring keys down with it."""

@@ -236,9 +236,31 @@ class TestAdmissionControl:
         service._inflight = 2  # deterministic saturation
         response = respond(service, "/v1/experiments")
         assert response.status == 429
-        assert response.headers["Retry-After"] == "2"
+        # base retry_after is 2.0 with up to +25% anti-herd jitter, so
+        # the integral header lands in [2, ceil(2.5)]
+        assert 2 <= int(response.headers["Retry-After"]) <= 3
         assert b"saturated" in response.body
         assert counters(service)["serve.shed"] == 1
+
+    def test_retry_after_jitter_is_bounded(self, tmp_path):
+        service = make_service(tmp_path, max_inflight=1, retry_jitter=0.5)
+        service._inflight = 1
+        seen = set()
+        for _ in range(32):
+            response = respond(service, "/v1/experiments")
+            assert response.status == 429
+            seen.add(int(response.headers["Retry-After"]))
+        # every value within [base, base * 1.5] rounded up...
+        assert seen <= {2, 3}
+        # ...and the spread actually spreads (herd de-synchronized)
+        assert len(seen) == 2
+
+    def test_zero_jitter_is_deterministic(self, tmp_path):
+        service = make_service(tmp_path, max_inflight=1, retry_jitter=0.0)
+        service._inflight = 1
+        for _ in range(4):
+            response = respond(service, "/v1/experiments")
+            assert response.headers["Retry-After"] == "2"
 
     def test_health_answers_even_when_saturated(self, tmp_path):
         service = make_service(tmp_path, max_inflight=1)
