@@ -1,10 +1,13 @@
-"""Scale curves for the columnar corpus generator.
+"""Scale curves for the columnar corpus generator and experiment scan.
 
 Measures papers/second and peak RSS at 10⁴/10⁵/10⁶ papers, sequential
-vs shard-parallel, streamed vs materialized, and checks the invariants
-the design promises: the corpus fingerprint is identical at every
-worker count and on warm-cache replays, and streaming peak RSS grows
-sub-linearly in corpus size.
+vs shard-parallel, streamed vs materialized — plus the experiment
+suite's analytics fold (``shardscan.scan_corpus``, the columnar
+backend's hot path) over each streamed corpus — and checks the
+invariants the design promises: the corpus fingerprint is identical at
+every worker count and on warm-cache replays, at most one shard is
+resident during streamed generation *and* during the scan, and
+streaming peak RSS grows sub-linearly in corpus size for both phases.
 
 Run it directly (not under pytest-benchmark)::
 
@@ -59,6 +62,34 @@ def _measure_point(spec: dict) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-corpus-") as tmp:
         cache_dir = tmp if (stream or spec.get("warm")) else None
 
+        if spec.get("scan"):
+            from repro.bibliometrics.shardscan import scan_corpus
+
+            # Build (streamed, cached) outside the measured region: the
+            # point tracks the scan fold the experiments run on, with
+            # shards paged in from disk one at a time.
+            corpus = generate_columnar_corpus(
+                config, workers=workers, cache_dir=cache_dir, stream=True
+            )
+
+            def scan():
+                started = time.perf_counter()
+                aggregates = scan_corpus(corpus)
+                return aggregates, time.perf_counter() - started
+
+            (aggregates, seconds), rss_delta = measure_peak_rss(scan)
+            assert corpus.resident_shards() <= 1, corpus.resident_shards()
+            assert aggregates.n_papers == spec["papers"], aggregates.n_papers
+            row.update(
+                seconds=seconds,
+                papers_per_second=spec["papers"] / seconds if seconds else None,
+                fingerprint=corpus.fingerprint(),
+                resident_shards=corpus.resident_shards(),
+                rss_delta_bytes=rss_delta,
+                peak_rss_bytes=peak_rss_bytes(),
+            )
+            return row
+
         def generate():
             started = time.perf_counter()
             corpus = generate_columnar_corpus(
@@ -101,7 +132,8 @@ def _run_point(spec: dict) -> dict:
 def _label(row: dict) -> str:
     mode = "streamed" if row["stream"] else "materialized"
     warm = " warm" if row.get("warm") else ""
-    return f"{row['papers']:>9,} papers  w={row['workers']}  {mode}{warm}"
+    phase = " scan" if row.get("scan") else ""
+    return f"{row['papers']:>9,} papers  w={row['workers']}  {mode}{warm}{phase}"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -143,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
         for workers in args.workers_list:
             points.append({**base, "workers": workers, "stream": True})
         points.append({**base, "workers": 1, "stream": True, "warm": True})
+        points.append({**base, "workers": 1, "stream": True, "scan": True})
         for spec in points:
             row = _run_point(spec)
             rows.append(row)
@@ -168,6 +201,7 @@ def main(argv: list[str] | None = None) -> int:
         row["papers"]: row
         for row in rows
         if row["stream"] and row["workers"] == 1 and not row.get("warm")
+        and not row.get("scan")
     }
     sizes = sorted(streamed)
     for small, large in zip(sizes, sizes[1:]):
@@ -178,6 +212,21 @@ def main(argv: list[str] | None = None) -> int:
         notes.append(
             f"streaming peak-RSS {small:,}->{large:,} papers: "
             f"{rss_growth:.2f}x for {growth:.0f}x papers ({verdict})"
+        )
+        if rss_growth >= growth:
+            ok = False
+
+    scanned = {row["papers"]: row for row in rows if row.get("scan")}
+    sizes = sorted(scanned)
+    for small, large in zip(sizes, sizes[1:]):
+        growth = (large / small)
+        rss_small = max(1, scanned[small]["rss_delta_bytes"])
+        rss_growth = scanned[large]["rss_delta_bytes"] / rss_small
+        verdict = "sub-linear" if rss_growth < growth else "NOT sub-linear"
+        notes.append(
+            f"scan peak-RSS {small:,}->{large:,} papers: "
+            f"{rss_growth:.2f}x for {growth:.0f}x papers ({verdict}, "
+            f"<=1 resident shard asserted per point)"
         )
         if rss_growth >= growth:
             ok = False

@@ -1,0 +1,123 @@
+"""End-to-end smoke for the columnar experiment backend
+(run by ``make experiments-columnar-smoke``).
+
+Five probes, each printing one PASS line; any failure is a loud
+assertion with a non-zero exit:
+
+1. **identity rules** — ``corpus.backend``/``corpus.shard_size`` are
+   execution knobs: flipping them leaves ``config_hash`` untouched
+   while content knobs still split it;
+2. **result equality** — E1 fast produces bit-identical result
+   fingerprints on ``backend=classic`` and ``backend=columnar``
+   (including via the CLI-style ``--set corpus.backend=...`` override
+   path);
+3. **shard-cached layout** — the columnar run lands a ``layout:
+   columnar`` manifest plus per-shard ``corpus-shard`` entries, not a
+   monolithic classic blob;
+4. **warm-cache replay** — with the in-memory LRU dropped, the
+   experiment replays from the shard cache bit-identically while at
+   most one shard is ever resident;
+5. **sweep memoization across backends** — a sweep warmed on the
+   classic backend serves the columnar-backend rerun entirely from
+   cache (every point ``source="cache"``, zero compute jobs).
+"""
+
+import os
+import sys
+import tempfile
+
+_ROOT = os.path.join(os.path.dirname(__file__), "..")
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+sys.path.insert(0, _ROOT)  # for tests.backend_oracle (shared helpers)
+
+from repro.experiments import _corpus  # noqa: E402
+from repro.experiments.registry import make_spec  # noqa: E402
+from repro.experiments.spec import parse_set_overrides  # noqa: E402
+from repro.experiments.sweep import run_sweep  # noqa: E402
+from repro.integrity.scrub import iter_entries  # noqa: E402
+from tests.backend_oracle import result_fingerprint  # noqa: E402
+
+
+def main() -> int:
+    from repro.experiments import e01_method_adoption as e1
+
+    classic_spec = make_spec("E1", "fast", overrides={"corpus.backend": "classic"})
+    columnar_spec = make_spec(
+        "E1", "fast",
+        overrides=parse_set_overrides(
+            type(classic_spec),
+            ["corpus.backend=columnar", "corpus.shard_size=1500"],
+        ),
+    )
+    assert classic_spec.config_hash() == columnar_spec.config_hash(), (
+        "backend knobs must not split config_hash"
+    )
+    content_spec = make_spec("E1", "fast", overrides={"corpus.venue_scale": "2.0"})
+    assert content_spec.config_hash() != classic_spec.config_hash(), (
+        "content knobs must split config_hash"
+    )
+    print("PASS identity: backend knobs outside config_hash, content knobs inside")
+
+    with tempfile.TemporaryDirectory(prefix="columnar-smoke-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        previous = _corpus.configure_corpus_cache(cache_dir)
+        try:
+            _corpus.clear_corpus_cache()
+            classic = result_fingerprint(e1.run(classic_spec))
+            _corpus.clear_corpus_cache()  # no cross-backend memory aliasing
+            columnar = result_fingerprint(e1.run(columnar_spec))
+            assert classic == columnar, f"{classic} != {columnar}"
+            print(f"PASS equality: E1 fast fingerprint {classic[:16]} on both backends")
+
+            kinds = {}
+            for entry in iter_entries(cache_dir):
+                kinds[entry.kind] = kinds.get(entry.kind, 0) + 1
+            shards = kinds.get("corpus-shard", 0)
+            assert shards >= 2, f"expected per-shard entries, got {kinds}"
+            print(f"PASS layout: manifest + {shards} corpus-shard entries "
+                  f"(kinds: {kinds})")
+
+            _corpus.clear_corpus_cache()  # memory only — disk stays warm
+            warm = result_fingerprint(e1.run(columnar_spec))
+            assert warm == classic, "warm-cache replay drifted"
+            corpus = _corpus.shared_columnar_corpus_from_config(
+                _corpus.corpus_config_from_params(
+                    columnar_spec.seed, columnar_spec.corpus
+                ),
+                columnar_spec.corpus.shard_size,
+            )
+            for _ in corpus.iter_shards():
+                assert corpus.resident_shards() <= 1, corpus.resident_shards()
+            print("PASS replay: warm shard cache, bit-identical, <=1 resident shard")
+
+            sweep_cache = os.path.join(tmp, "sweep-cache")
+            grid = {"seed": [0, 1]}
+            cold = run_sweep(
+                "E1", grid, preset="fast",
+                base_overrides={"corpus.backend": "classic"},
+                cache_dir=sweep_cache,
+            )
+            assert all(p.source == "run" for p in cold.points), (
+                [p.source for p in cold.points]
+            )
+            _corpus.clear_corpus_cache()
+            replay = run_sweep(
+                "E1", grid, preset="fast",
+                base_overrides={"corpus.backend": "columnar"},
+                cache_dir=sweep_cache,
+            )
+            assert all(p.source == "cache" for p in replay.points), (
+                [p.source for p in replay.points]
+            )
+            assert cold.fingerprint() == replay.fingerprint(), "sweep drift"
+            print("PASS sweep: classic-warmed cache served the columnar rerun "
+                  "with zero compute jobs")
+        finally:
+            _corpus.configure_corpus_cache(previous)
+            _corpus.clear_corpus_cache()
+    print("columnar-smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -228,6 +228,45 @@ def _run_corpus_scan(repeats: int) -> list[dict]:
     )]
 
 
+def _run_experiment_scan(repeats: int) -> list[dict]:
+    """The experiment suite's columnar analytics fold, papers/second.
+
+    Measures exactly what E1/E2/E3/E12 pay on the columnar backend: one
+    :func:`scan_corpus` pass (method classification, positionality
+    detection, venue/topic/sector/author/citation rollups) over the
+    stock fast-preset experiment corpus re-encoded as columnar shards.
+    Generation and columnarization happen once outside the timed
+    region — the series tracks the scan kernel, the path the routing
+    layer puts every bibliometric experiment on.
+    """
+    from repro.bibliometrics.columnar import ColumnarCorpus
+    from repro.bibliometrics.columnarize import columnarize_corpus
+    from repro.bibliometrics.shardscan import scan_corpus
+    from repro.bibliometrics.synthgen import generate_corpus
+    from repro.experiments._corpus import corpus_config
+
+    vocab, shards = columnarize_corpus(
+        *generate_corpus(corpus_config(seed=0, fast=True)), 1_000
+    )
+    corpus = ColumnarCorpus(
+        vocab, [shard.n_papers for shard in shards], shards.__getitem__
+    )
+    papers = len(corpus)
+
+    def scan() -> None:
+        aggregates = scan_corpus(corpus)
+        assert aggregates.n_papers == papers
+
+    seconds = _time_min(scan, repeats)
+    return [make_entry(
+        "experiment_scan", papers / seconds,
+        metric="papers_per_second", unit="papers/second", better="higher",
+        context={"repeats": repeats, "papers": papers,
+                 "shards": corpus.n_shards, "preset": "fast",
+                 "best_seconds": seconds, "cpu_count": os.cpu_count()},
+    )]
+
+
 #: Fixed workload for the scrub hot path: enough entries that the
 #: per-entry walk/parse overhead shows, small bodies so the workload
 #: builds in well under a second.
@@ -285,6 +324,7 @@ HOT_PATHS: dict[str, Callable[[int], list[dict]]] = {
     "serve_p95": _run_serve_p95,
     "synthgen": _run_synthgen,
     "corpus_scan": _run_corpus_scan,
+    "experiment_scan": _run_experiment_scan,
     "scrub": _run_scrub,
 }
 

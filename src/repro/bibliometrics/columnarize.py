@@ -1,0 +1,255 @@
+"""Re-encode a classic dataclass corpus as columnar shards.
+
+The experiment suite's backend routing (DESIGN.md §15) promises that
+``backend=classic`` and ``backend=columnar`` produce *identical* result
+fingerprints for the same :class:`~repro.bibliometrics.synthgen.SyntheticCorpusConfig`.
+The shard-parallel generator in :mod:`repro.bibliometrics.shardgen`
+draws from per-shard numpy streams — different content by construction —
+so it cannot back that promise.  This module closes the gap the other
+way: take the classic generator's output (papers, authors, ground
+truth) and lay the *same content* out as :class:`ColumnarShard` columns
+plus a :class:`CorpusVocab`, so the per-shard analytics in
+:mod:`repro.bibliometrics.shardscan` stream it at columnar cost.
+
+Equality-relevant invariants:
+
+- papers keep generation order (classic iteration sorts ``p%06d`` ids,
+  which *is* generation order), so global paper index ``i`` is the
+  classic corpus's ``i``-th paper and citation/author multisets line up
+  element for element;
+- author pools are grouped per venue in local-index order, matching the
+  classic ``{venue_id}-a{n:04d}`` ids, so :meth:`CorpusVocab.author`
+  rebuilds every sector/region/name/affiliation attribute byte-exactly
+  (ids themselves differ in zero-padding — experiments never emit ids
+  into result tables, and every id-keyed computation is
+  bijection-invariant);
+- ground truth travels in the ``human_mask``/``positionality`` columns,
+  so no side table is needed at scan time.
+
+Shards serialize through the existing :func:`columnar.encode_shard`
+format and the vocab through :func:`vocab_to_records` /
+:func:`vocab_from_records`, both artifact-cache-ready (JSON-safe, no
+pickle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bibliometrics.columnar import (
+    HUMAN_FAMILY_ORDER,
+    ColumnarShard,
+    CorpusVocab,
+    TextColumn,
+)
+from repro.bibliometrics.corpus import Corpus, Venue
+from repro.bibliometrics.synthgen import GroundTruth
+
+__all__ = [
+    "columnarize_corpus",
+    "vocab_from_records",
+    "vocab_to_records",
+]
+
+_FAMILY_BIT = {family: bit for bit, family in enumerate(HUMAN_FAMILY_ORDER)}
+
+
+def _build_vocab(corpus: Corpus) -> tuple[CorpusVocab, dict[str, int]]:
+    """The vocab for a classic corpus, plus an author-id -> index map."""
+    venues = tuple(corpus.venues())
+    topics = tuple(sorted({p.topic for p in corpus if p.topic}))
+    authors = corpus.authors()
+
+    # Classic author attributes decompose exactly: ids are per-venue
+    # local counters, names are "Given Surname" over single-token pools,
+    # affiliations are "{region}:{sector}-{NN}".  Index vocabularies are
+    # rebuilt from the data so the vocab never depends on generator
+    # internals.
+    sectors = tuple(sorted({a.sector for a in authors}))
+    regions = tuple(sorted({a.region for a in authors}))
+    given_names = tuple(sorted({a.name.split(" ", 1)[0] for a in authors}))
+    surnames = tuple(sorted({a.name.split(" ", 1)[1] for a in authors}))
+
+    per_venue: dict[str, list] = {venue.venue_id: [] for venue in venues}
+    for author in authors:
+        venue_id, _, local = author.author_id.rpartition("-a")
+        per_venue[venue_id].append((int(local, 10), author))
+
+    n_authors = len(authors)
+    author_offsets = np.zeros(len(venues) + 1, dtype=np.int64)
+    sector_idx = np.zeros(n_authors, dtype=np.int16)
+    region_idx = np.zeros(n_authors, dtype=np.int16)
+    given_idx = np.zeros(n_authors, dtype=np.int32)
+    surname_idx = np.zeros(n_authors, dtype=np.int32)
+    affil_num = np.zeros(n_authors, dtype=np.int16)
+    index_of: dict[str, int] = {}
+    cursor = 0
+    for venue_index, venue in enumerate(venues):
+        author_offsets[venue_index] = cursor
+        for local, author in sorted(per_venue[venue.venue_id]):
+            given, surname = author.name.split(" ", 1)
+            sector_idx[cursor] = sectors.index(author.sector)
+            region_idx[cursor] = regions.index(author.region)
+            given_idx[cursor] = given_names.index(given)
+            surname_idx[cursor] = surnames.index(surname)
+            affil_num[cursor] = int(author.affiliation.rpartition("-")[2], 10)
+            index_of[author.author_id] = cursor
+            cursor += 1
+    author_offsets[len(venues)] = cursor
+
+    vocab = CorpusVocab(
+        venues=venues,
+        topics=topics,
+        author_offsets=author_offsets,
+        author_sector_idx=sector_idx,
+        author_region_idx=region_idx,
+        author_given_idx=given_idx,
+        author_surname_idx=surname_idx,
+        author_affil_num=affil_num,
+        sectors=sectors,
+        regions=regions,
+        given_names=given_names,
+        surnames=surnames,
+    )
+    return vocab, index_of
+
+
+def columnarize_corpus(
+    corpus: Corpus,
+    truth: GroundTruth,
+    shard_size: int,
+) -> tuple[CorpusVocab, list[ColumnarShard]]:
+    """Lay ``(corpus, truth)`` out as columnar shards of ``shard_size``.
+
+    Papers keep classic iteration order, so shard ``i`` holds global
+    papers ``[i * shard_size, ...)`` and the result is a pure function
+    of ``(corpus content, shard_size)`` — which is what lets the routing
+    layer cache each shard content-addressed by generator config plus
+    shard geometry.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    vocab, author_index_of = _build_vocab(corpus)
+    topic_index = {topic: i for i, topic in enumerate(vocab.topics)}
+    venue_index = {venue.venue_id: i for i, venue in enumerate(vocab.venues)}
+
+    papers = list(corpus)
+    paper_index_of = {p.paper_id: i for i, p in enumerate(papers)}
+
+    shards: list[ColumnarShard] = []
+    for shard_index, offset in enumerate(range(0, len(papers), shard_size)):
+        chunk = papers[offset:offset + shard_size]
+        n = len(chunk)
+        year = np.zeros(n, dtype=np.int32)
+        venue_idx = np.zeros(n, dtype=np.int16)
+        topic_idx = np.zeros(n, dtype=np.int16)
+        human_mask = np.zeros(n, dtype=np.uint16)
+        positionality = np.zeros(n, dtype=np.uint8)
+        author_indptr = np.zeros(n + 1, dtype=np.int64)
+        ref_indptr = np.zeros(n + 1, dtype=np.int64)
+        author_values: list[int] = []
+        ref_values: list[int] = []
+        for local, paper in enumerate(chunk):
+            year[local] = paper.year
+            venue_idx[local] = venue_index[paper.venue_id]
+            topic_idx[local] = topic_index.get(paper.topic, 0)
+            author_values.extend(author_index_of[a] for a in paper.author_ids)
+            author_indptr[local + 1] = len(author_values)
+            ref_values.extend(paper_index_of[r] for r in paper.references)
+            ref_indptr[local + 1] = len(ref_values)
+            mask = 0
+            for family in truth.human_methods.get(paper.paper_id, ()):
+                mask |= 1 << _FAMILY_BIT[family]
+            human_mask[local] = mask
+            positionality[local] = int(paper.paper_id in truth.positionality)
+        shards.append(ColumnarShard(
+            index=shard_index,
+            paper_offset=offset,
+            year=year,
+            venue_idx=venue_idx,
+            topic_idx=topic_idx,
+            author_indptr=author_indptr,
+            author_values=np.asarray(author_values, dtype=np.int64),
+            ref_indptr=ref_indptr,
+            ref_values=np.asarray(ref_values, dtype=np.int64),
+            human_mask=human_mask,
+            positionality=positionality,
+            title=TextColumn.from_strings(p.title for p in chunk),
+            abstract=TextColumn.from_strings(p.abstract for p in chunk),
+            body=TextColumn.from_strings(p.body for p in chunk),
+        ))
+    return vocab, shards
+
+
+# ---------------------------------------------------------------------------
+# Vocab serialization (for the columnar-corpus manifest cache entry)
+
+def _b64(array: np.ndarray, dtype: str) -> str:
+    import base64
+
+    return base64.b64encode(
+        np.ascontiguousarray(array, dtype=dtype).tobytes()
+    ).decode("ascii")
+
+
+def _unb64(data: str, dtype: str) -> np.ndarray:
+    import base64
+
+    return np.frombuffer(base64.b64decode(data.encode("ascii")), dtype=dtype).copy()
+
+
+#: (attribute, dtype) of every numeric vocab column, serialization order.
+_VOCAB_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("author_offsets", "int64"),
+    ("author_sector_idx", "int16"),
+    ("author_region_idx", "int16"),
+    ("author_given_idx", "int32"),
+    ("author_surname_idx", "int32"),
+    ("author_affil_num", "int16"),
+)
+
+
+def vocab_to_records(vocab: CorpusVocab) -> list[dict]:
+    """Serialize a vocab to artifact-cache records (JSON-safe)."""
+    records: list[dict] = [{
+        "vocab": True,
+        "venues": [
+            {"venue_id": v.venue_id, "name": v.name, "kind": v.kind}
+            for v in vocab.venues
+        ],
+        "topics": list(vocab.topics),
+        "sectors": list(vocab.sectors),
+        "regions": list(vocab.regions),
+        "given_names": list(vocab.given_names),
+        "surnames": list(vocab.surnames),
+    }]
+    for name, dtype in _VOCAB_COLUMNS:
+        records.append({
+            "column": name,
+            "dtype": dtype,
+            "data": _b64(getattr(vocab, name), dtype),
+        })
+    return records
+
+
+def vocab_from_records(records: list[dict]) -> CorpusVocab:
+    """Inverse of :func:`vocab_to_records`."""
+    if not records or not records[0].get("vocab"):
+        raise ValueError("not a vocab record stream: missing header")
+    header = records[0]
+    columns = {
+        record["column"]: _unb64(record["data"], record["dtype"])
+        for record in records[1:]
+    }
+    missing = {name for name, _ in _VOCAB_COLUMNS} - set(columns)
+    if missing:
+        raise ValueError(f"vocab record stream missing columns: {sorted(missing)}")
+    return CorpusVocab(
+        venues=tuple(Venue(**venue) for venue in header["venues"]),
+        topics=tuple(header["topics"]),
+        sectors=tuple(header["sectors"]),
+        regions=tuple(header["regions"]),
+        given_names=tuple(header["given_names"]),
+        surnames=tuple(header["surnames"]),
+        **columns,
+    )

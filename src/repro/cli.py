@@ -583,13 +583,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         return 0
 
-    # stats: per-kind rollup
-    by_kind: dict[str, list[int]] = {}
+    # stats: per-kind rollup — entries, bytes, share of the cache, and
+    # age span, so operators can see which backend (one monolithic
+    # shared-corpus stream vs many corpus-shard payloads) fills the
+    # cache and how stale each kind is.
+    by_kind: dict[str, dict] = {}
     for entry in entries:
-        bucket = by_kind.setdefault(entry.kind, [0, 0])
-        bucket[0] += 1
-        bucket[1] += entry.size
-    total_bytes = sum(bucket[1] for bucket in by_kind.values())
+        bucket = by_kind.setdefault(
+            entry.kind,
+            {"entries": 0, "bytes": 0, "newest_age": None, "oldest_age": None},
+        )
+        bucket["entries"] += 1
+        bucket["bytes"] += entry.size
+        age = entry.age_seconds
+        if bucket["newest_age"] is None or age < bucket["newest_age"]:
+            bucket["newest_age"] = age
+        if bucket["oldest_age"] is None or age > bucket["oldest_age"]:
+            bucket["oldest_age"] = age
+    total_bytes = sum(bucket["bytes"] for bucket in by_kind.values())
+    for bucket in by_kind.values():
+        bucket["bytes_share"] = (
+            bucket["bytes"] / total_bytes if total_bytes else 0.0
+        )
     if args.json:
         payload = {
             "root": str(root),
@@ -597,8 +612,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             "bytes": total_bytes,
             "orphaned_tmp": orphans,
             "kinds": {
-                kind: {"entries": bucket[0], "bytes": bucket[1]}
-                for kind, bucket in sorted(by_kind.items())
+                kind: dict(bucket) for kind, bucket in sorted(by_kind.items())
             },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -607,7 +621,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
           f"{'y' if len(entries) == 1 else 'ies'}, {total_bytes:,} bytes, "
           f"{orphans} orphaned temp file(s)")
     for kind, bucket in sorted(by_kind.items()):
-        print(f"  {kind:<16} {bucket[0]:>6} entries  {bucket[1]:>12,} bytes")
+        ages = (f"{_format_age(bucket['newest_age'])}-"
+                f"{_format_age(bucket['oldest_age'])}")
+        print(f"  {kind:<16} {bucket['entries']:>6} entries  "
+              f"{bucket['bytes']:>12,} bytes  "
+              f"{bucket['bytes_share']:>5.1%}  age {ages}")
     return 0
 
 

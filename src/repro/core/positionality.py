@@ -55,7 +55,10 @@ _FACET_CUES: dict[str, tuple[str, ...]] = {
     ),
 }
 
-_STATEMENT_MARKERS = (
+#: Marker phrases :func:`has_positionality_statement` requires before
+#: running the extractor; exported so bulk scanners (the columnar
+#: shard scan) can prefilter candidate papers cheaply.
+STATEMENT_MARKERS = (
     "positionality",
     "we situate ourselves",
     "situate themselves",
@@ -152,7 +155,7 @@ def extract_statements(paper_text: str) -> list[PositionalityStatement]:
         remaining = remaining.replace(span, "")
     for sentence in sentences(remaining):
         lowered = sentence.lower()
-        if any(marker in lowered for marker in _STATEMENT_MARKERS):
+        if any(marker in lowered for marker in STATEMENT_MARKERS):
             start = remaining.find(sentence)
             window = remaining[start : start + 500]
             claimed_spans.append(window)
@@ -188,6 +191,6 @@ def has_positionality_statement(paper_text: str) -> bool:
     merely cites positionality literature does not count.
     """
     lowered = paper_text.lower()
-    if not any(marker in lowered for marker in _STATEMENT_MARKERS):
+    if not any(marker in lowered for marker in STATEMENT_MARKERS):
         return False
     return any(s.disclosed_facets() for s in extract_statements(paper_text))

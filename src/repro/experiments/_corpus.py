@@ -1,19 +1,43 @@
-"""Shared synthetic corpus for the bibliometric experiments (E1-E3, E12).
+"""Shared corpus routing for the bibliometric experiments (E1-E3, E12).
 
-Generating and scanning the corpus dominates those experiments' cost,
-and they test different claims on the *same* data — so the corpus is
-built once per generator config and cached at two levels:
+Two backends serve the same generator config behind one module:
 
-- **In memory** — a small explicit LRU (the ``lru_cache`` it replaces
-  pinned corpora for interpreter lifetime with no way to release
-  them); :func:`clear_corpus_cache` empties it.
+- **classic** — :func:`repro.bibliometrics.synthgen.generate_corpus`
+  materializes per-:class:`Paper` dataclasses; the historical path and
+  the equivalence oracle.
+- **columnar** — the same classic content re-encoded as
+  :class:`ColumnarShard` columns (:mod:`repro.bibliometrics.columnarize`),
+  streamed one shard at a time and folded into
+  :class:`~repro.bibliometrics.shardscan.CorpusAggregates`.  Content is
+  identical by construction, so experiment results (and therefore
+  ``config_hash``-keyed sweep/serve memoization entries) are identical;
+  ``CorpusParams.backend``/``shard_size`` are execution knobs outside
+  the spec identity (DESIGN.md §15).
+
+:func:`resolve_backend` picks per spec: explicit ``classic``/``columnar``
+wins, ``auto`` routes configs at or above
+:data:`COLUMNAR_AUTO_THRESHOLD` estimated papers to columnar.
+
+Both backends cache at two levels:
+
+- **In memory** — one small explicit LRU shared by classic corpora,
+  columnar corpora, and scanned aggregates (the ``lru_cache`` this
+  replaced pinned corpora for interpreter lifetime);
+  :func:`clear_corpus_cache` empties it.
 - **On disk** — when a cache directory is configured
   (:func:`configure_corpus_cache`, the ``REPRO_CACHE_DIR`` environment
-  variable, or ``SuiteRunner(cache_dir=...)``), the corpus is stored
-  in a :class:`repro.io.artifacts.ArtifactCache` keyed by the full
-  generator config.  Parallel suite workers and *subsequent processes*
-  then load the JSONL entry instead of regenerating; a per-key file
-  lock ensures racing workers generate at most once.
+  variable, or ``SuiteRunner(cache_dir=...)``), entries land in a
+  :class:`repro.io.artifacts.ArtifactCache`.  The classic backend
+  stores one ``shared-corpus`` record stream per generator config; the
+  columnar backend stores a small ``shared-corpus`` *manifest* (vocab +
+  shard geometry + fingerprints, marked ``layout: columnar``) plus one
+  ``corpus-shard`` entry per shard, so loading streams shard-by-shard
+  (≤1 resident) instead of parsing one monolithic blob.  Per-key file
+  locks ensure racing workers generate at most once, and every entry
+  is a pure function of its header config — the scrub/repair hooks
+  (:func:`regenerate_corpus_records`,
+  :func:`regenerate_shard_records`) rebuild damaged entries
+  byte-identically.
 """
 
 from __future__ import annotations
@@ -23,15 +47,31 @@ import threading
 from collections import OrderedDict
 from dataclasses import asdict
 
+from repro.bibliometrics.columnar import (
+    SHARD_ARTIFACT_KIND,
+    ColumnarCorpus,
+    ColumnarShard,
+    decode_shard,
+    encode_shard,
+)
+from repro.bibliometrics.columnarize import (
+    columnarize_corpus,
+    vocab_from_records,
+    vocab_to_records,
+)
 from repro.bibliometrics.corpus import Corpus
+from repro.bibliometrics.shardscan import CorpusAggregates, scan_corpus
 from repro.bibliometrics.synthgen import (
     GroundTruth,
     SyntheticCorpusConfig,
+    default_venue_profiles,
     generate_corpus,
 )
 from repro.io.artifacts import ArtifactCache
 
-#: Artifact-cache kind for the shared corpus entries.
+#: Artifact-cache kind for the shared corpus entries (classic record
+#: streams and columnar manifests — told apart by the ``layout`` key in
+#: the entry config).
 CORPUS_ARTIFACT_KIND = "shared-corpus"
 
 #: Bump when the generator or serialization changes shape; existing
@@ -42,11 +82,18 @@ CORPUS_ARTIFACT_KIND = "shared-corpus"
 #: every shared-corpus entry is re-landed with a verifiable checksum.
 CORPUS_SCHEMA_VERSION = 3
 
-#: How many corpora (distinct generator configs) to keep in memory at once.
+#: ``backend="auto"`` routes configs at or above this many estimated
+#: papers through the columnar engine.  Sized so the stock fast
+#: (~4.4k papers) and full (~11.4k) presets stay classic while scaled
+#: corpora (``venue_scale`` >= ~5 on full) stream.
+COLUMNAR_AUTO_THRESHOLD = 50_000
+
+#: How many cached values (classic corpora, columnar corpora, scanned
+#: aggregates — distinct keys) to keep in memory at once.
 _MEMORY_SLOTS = 4
 
 _lock = threading.Lock()
-_memory: OrderedDict[tuple, tuple[Corpus, GroundTruth]] = OrderedDict()
+_memory: OrderedDict[tuple, object] = OrderedDict()
 _cache_dir: str | None = os.environ.get("REPRO_CACHE_DIR") or None
 
 
@@ -64,7 +111,10 @@ def corpus_config_from_params(seed: int, params) -> SyntheticCorpusConfig:
     """The generator config for a spec's :class:`CorpusParams` block.
 
     ``params`` is a ``repro.experiments.spec.CorpusParams`` (duck-typed
-    here to keep this module importable without the spec layer).
+    here to keep this module importable without the spec layer).  Note
+    the backend knobs (``params.backend``/``params.shard_size``) are
+    deliberately *not* part of the generator config: they choose the
+    corpus representation, never its content.
     """
     return SyntheticCorpusConfig(
         start_year=params.start_year,
@@ -73,6 +123,32 @@ def corpus_config_from_params(seed: int, params) -> SyntheticCorpusConfig:
         authors_per_venue_pool=params.authors_per_venue_pool,
         venue_scale=getattr(params, "venue_scale", 1.0),
     )
+
+
+def estimated_corpus_papers(config: SyntheticCorpusConfig) -> int:
+    """How many papers ``config`` will generate (exact for stock profiles)."""
+    per_year = sum(
+        max(0, round(profile.papers_per_year * config.venue_scale))
+        for profile in default_venue_profiles()
+    )
+    return per_year * max(0, config.end_year - config.start_year + 1)
+
+
+def resolve_backend(params) -> str:
+    """Which corpus engine a :class:`CorpusParams` block selects.
+
+    Explicit ``"classic"``/``"columnar"`` win; ``"auto"`` (the default)
+    routes by estimated corpus size against
+    :data:`COLUMNAR_AUTO_THRESHOLD`.  Duck-typed so pre-backend specs
+    (no ``backend`` attribute) resolve classic.
+    """
+    backend = getattr(params, "backend", "classic")
+    if backend != "auto":
+        return backend
+    config = corpus_config_from_params(0, params)
+    if estimated_corpus_papers(config) >= COLUMNAR_AUTO_THRESHOLD:
+        return "columnar"
+    return "classic"
 
 
 def configure_corpus_cache(cache_dir: str | None) -> str | None:
@@ -96,15 +172,19 @@ def clear_corpus_cache(disk: bool = False) -> None:
     """Drop every cached corpus from memory (and optionally disk).
 
     Args:
-        disk: Also invalidate the configured artifact cache's
-            ``shared-corpus`` entries, forcing regeneration in every
-            process — the invalidation hook tests and campaign tooling
-            use after a generator change.
+        disk: Also invalidate the configured artifact cache's corpus
+            entries under **both** backends' kinds — ``shared-corpus``
+            (classic streams and columnar manifests) and
+            ``corpus-shard`` (columnar shard payloads) — forcing
+            regeneration in every process; the invalidation hook tests
+            and campaign tooling use this after a generator change.
     """
     with _lock:
         _memory.clear()
     if disk and _cache_dir is not None:
-        ArtifactCache(_cache_dir).invalidate(CORPUS_ARTIFACT_KIND)
+        cache = ArtifactCache(_cache_dir)
+        cache.invalidate(CORPUS_ARTIFACT_KIND)
+        cache.invalidate(SHARD_ARTIFACT_KIND)
 
 
 def _serialize(corpus: Corpus, truth: GroundTruth) -> list[dict]:
@@ -144,6 +224,16 @@ def _deserialize(records: list[dict]) -> tuple[Corpus, GroundTruth]:
     return Corpus.from_records(tables), truth
 
 
+def _strip_layout_keys(config: dict) -> SyntheticCorpusConfig:
+    """The generator config inside a columnar cache-entry config."""
+    kwargs = {
+        key: value
+        for key, value in config.items()
+        if key not in ("layout", "shard_size", "shard")
+    }
+    return SyntheticCorpusConfig(**kwargs)
+
+
 def regenerate_corpus_records(config: dict) -> list[dict]:
     """Rebuild a ``shared-corpus`` cache entry's records from its key config.
 
@@ -151,17 +241,49 @@ def regenerate_corpus_records(config: dict) -> list[dict]:
     of its generator config, and the cache header carries that config —
     so ``repro integrity scrub --repair`` can hand the header config
     here and land a byte-identical replacement for a damaged entry.
+    Dispatches on the ``layout`` marker: columnar manifests rebuild via
+    :func:`columnarize_corpus`, classic streams via the generator.
     """
+    if config.get("layout") == "columnar":
+        generator_config = _strip_layout_keys(config)
+        vocab, shards = columnarize_corpus(
+            *_classic_value(generator_config), int(config["shard_size"])
+        )
+        return _manifest_records(vocab, shards)
     return _serialize(*generate_corpus(SyntheticCorpusConfig(**config)))
 
 
-def _remember(key: tuple, value: tuple[Corpus, GroundTruth]) -> None:
+def regenerate_shard_records(config: dict) -> list[dict]:
+    """Rebuild one columnarized ``corpus-shard`` entry from its key config.
+
+    The columnar analogue of :func:`regenerate_corpus_records` for
+    shard payload entries (``layout: columnar`` plus a ``shard``
+    index); the classic corpus is re-derived (memory/disk/generate)
+    and re-columnarized, so repair is byte-identical.
+    """
+    generator_config = _strip_layout_keys(config)
+    _, shards = columnarize_corpus(
+        *_classic_value(generator_config), int(config["shard_size"])
+    )
+    return encode_shard(shards[int(config["shard"])])
+
+
+def _remember(key: tuple, value: object) -> None:
     """Insert into the in-memory LRU, evicting the oldest past capacity."""
     with _lock:
         _memory[key] = value
         _memory.move_to_end(key)
         while len(_memory) > _MEMORY_SLOTS:
             _memory.popitem(last=False)
+
+
+def _recall(key: tuple):
+    """Memory-LRU lookup (refreshes recency); None on miss."""
+    with _lock:
+        if key in _memory:
+            _memory.move_to_end(key)
+            return _memory[key]
+    return None
 
 
 def shared_corpus(seed: int = 0, fast: bool = True) -> tuple[Corpus, GroundTruth]:
@@ -178,7 +300,7 @@ def shared_corpus(seed: int = 0, fast: bool = True) -> tuple[Corpus, GroundTruth
 def shared_corpus_from_config(
     config: SyntheticCorpusConfig,
 ) -> tuple[Corpus, GroundTruth]:
-    """The shared corpus for an explicit generator config.
+    """The shared classic corpus for an explicit generator config.
 
     Resolution order: in-memory LRU (keyed by the *full* config, so
     sweep points with different corpus shapes never alias), then the
@@ -188,10 +310,9 @@ def shared_corpus_from_config(
     is written back to both layers.
     """
     key = tuple(sorted(asdict(config).items()))
-    with _lock:
-        if key in _memory:
-            _memory.move_to_end(key)
-            return _memory[key]
+    cached = _recall(key)
+    if cached is not None:
+        return cached
     if _cache_dir is not None:
         cache = ArtifactCache(_cache_dir, version=CORPUS_SCHEMA_VERSION)
 
@@ -209,3 +330,135 @@ def shared_corpus_from_config(
         value = generate_corpus(config)
     _remember(key, value)
     return value
+
+
+def _classic_value(config: SyntheticCorpusConfig) -> tuple[Corpus, GroundTruth]:
+    """The classic ``(corpus, truth)`` without *writing* a classic blob.
+
+    The columnarizer needs the classic content as raw material; reuse a
+    memory- or disk-cached classic corpus when one exists, but on a
+    cold cache generate directly — a config routed columnar stores the
+    manifest + shards, never the monolithic classic record stream.
+    """
+    key = tuple(sorted(asdict(config).items()))
+    cached = _recall(key)
+    if cached is not None:
+        return cached
+    value = None
+    if _cache_dir is not None:
+        cache = ArtifactCache(_cache_dir, version=CORPUS_SCHEMA_VERSION)
+        records = cache.get(CORPUS_ARTIFACT_KIND, asdict(config))
+        if records is not None:
+            value = _deserialize(records)
+    if value is None:
+        value = generate_corpus(config)
+    _remember(key, value)
+    return value
+
+
+def _manifest_records(vocab, shards: list[ColumnarShard]) -> list[dict]:
+    """The columnar manifest record stream: geometry header + vocab."""
+    return [{
+        "manifest": "columnar",
+        "shard_sizes": [shard.n_papers for shard in shards],
+        "shard_fingerprints": [shard.fingerprint() for shard in shards],
+    }] + vocab_to_records(vocab)
+
+
+def _columnar_entry_config(
+    config: SyntheticCorpusConfig, shard_size: int, shard: int | None = None
+) -> dict:
+    """The cache-entry config for a columnar manifest or shard payload."""
+    entry = {**asdict(config), "layout": "columnar", "shard_size": shard_size}
+    if shard is not None:
+        entry["shard"] = shard
+    return entry
+
+
+def shared_columnar_corpus_from_config(
+    config: SyntheticCorpusConfig,
+    shard_size: int = 10_000,
+) -> ColumnarCorpus:
+    """The shared columnar corpus for an explicit generator config.
+
+    Same content as :func:`shared_corpus_from_config` (the columnarizer
+    re-encodes the classic generator's output — see
+    :mod:`repro.bibliometrics.columnarize` for why), different cost
+    model: with a disk cache configured the corpus streams shard
+    payloads through ``corpus-shard`` entries with at most one shard
+    decoded at a time, and only a small manifest is parsed up front.
+    Cold-cache generation is a one-time linear-memory pass (the classic
+    generator materializes); every later load — including in other
+    processes — streams.
+    """
+    key = ("columnar", shard_size) + tuple(sorted(asdict(config).items()))
+    cached = _recall(key)
+    if cached is not None:
+        return cached
+
+    if _cache_dir is None:
+        vocab, shards = columnarize_corpus(*_classic_value(config), shard_size)
+        corpus = ColumnarCorpus(
+            vocab,
+            [shard.n_papers for shard in shards],
+            shards.__getitem__,
+        )
+        _remember(key, corpus)
+        return corpus
+
+    cache = ArtifactCache(_cache_dir, version=CORPUS_SCHEMA_VERSION)
+    manifest_config = _columnar_entry_config(config, shard_size)
+    records = cache.get(CORPUS_ARTIFACT_KIND, manifest_config)
+    if records is None:
+        vocab, shards = columnarize_corpus(*_classic_value(config), shard_size)
+        for index, shard in enumerate(shards):
+            cache.put(
+                SHARD_ARTIFACT_KIND,
+                _columnar_entry_config(config, shard_size, index),
+                encode_shard(shard),
+            )
+        records = _manifest_records(vocab, shards)
+        cache.put(CORPUS_ARTIFACT_KIND, manifest_config, records)
+    header = records[0]
+    vocab = vocab_from_records(records[1:])
+
+    def loader(index: int) -> ColumnarShard:
+        entry = _columnar_entry_config(config, shard_size, index)
+        shard_records = cache.get_or_create(
+            SHARD_ARTIFACT_KIND, entry, lambda: regenerate_shard_records(entry)
+        )
+        return decode_shard(shard_records)
+
+    corpus = ColumnarCorpus(
+        vocab,
+        [int(size) for size in header["shard_sizes"]],
+        loader,
+        shard_fingerprints=list(header["shard_fingerprints"]),
+        max_resident=1,
+    )
+    _remember(key, corpus)
+    return corpus
+
+
+def shared_aggregates_from_config(
+    config: SyntheticCorpusConfig,
+    shard_size: int = 10_000,
+    min_mentions: int = 1,
+) -> CorpusAggregates:
+    """The scanned :class:`CorpusAggregates` for a generator config.
+
+    One streamed scan serves every experiment on the columnar backend
+    (E1's adoption counts, E2's positionality confusion cells, E3's
+    topic/sector rollups, E12's citation and author-depth counts), so
+    the result is memory-cached alongside the corpora it summarizes.
+    """
+    key = ("aggregates", min_mentions, shard_size) + tuple(
+        sorted(asdict(config).items())
+    )
+    cached = _recall(key)
+    if cached is not None:
+        return cached
+    corpus = shared_columnar_corpus_from_config(config, shard_size)
+    aggregates = scan_corpus(corpus, min_mentions)
+    _remember(key, aggregates)
+    return aggregates

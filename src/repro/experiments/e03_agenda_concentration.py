@@ -24,6 +24,9 @@ from repro.bibliometrics.demographics import room_report
 from repro.bibliometrics.metrics import hhi, shannon_diversity
 from repro.experiments._corpus import (
     corpus_config_from_params,
+    resolve_backend,
+    shared_aggregates_from_config,
+    shared_columnar_corpus_from_config,
     shared_corpus_from_config,
 )
 from repro.experiments.registry import ExperimentResult, make_result
@@ -54,30 +57,57 @@ def run(
 ) -> ExperimentResult:
     """Run E3; see module docstring for the expected shape."""
     spec = resolve_spec(E3Spec, spec, fast, seed)
-    corpus, _ = shared_corpus_from_config(
-        corpus_config_from_params(spec.seed, spec.corpus)
-    )
+    config = corpus_config_from_params(spec.seed, spec.corpus)
+    columnar = resolve_backend(spec.corpus) == "columnar"
 
     stats: dict[str, dict] = {}
-    for paper in corpus:
-        kind = corpus.venue(paper.venue_id).kind
-        bucket = stats.setdefault(
-            kind,
-            {"papers": 0, "hyper_topics": 0, "community_topics": 0,
-             "topic_counts": {}, "author_slots": 0, "hyper_authors": 0},
+    if columnar:
+        corpus = shared_columnar_corpus_from_config(
+            config, spec.corpus.shard_size
         )
-        bucket["papers"] += 1
-        bucket["topic_counts"][paper.topic] = (
-            bucket["topic_counts"].get(paper.topic, 0) + 1
+        aggregates = shared_aggregates_from_config(
+            config, spec.corpus.shard_size
         )
-        if paper.topic in HYPERSCALER_TOPICS:
-            bucket["hyper_topics"] += 1
-        if paper.topic in COMMUNITY_TOPICS:
-            bucket["community_topics"] += 1
-        for author_id in paper.author_ids:
-            bucket["author_slots"] += 1
-            if corpus.author(author_id).sector == "hyperscaler":
-                bucket["hyper_authors"] += 1
+        for venue_id, topics in aggregates.venue_topics.items():
+            kind = aggregates.venue_kinds[venue_id]
+            bucket = stats.setdefault(
+                kind,
+                {"papers": 0, "hyper_topics": 0, "community_topics": 0,
+                 "topic_counts": {}, "author_slots": 0, "hyper_authors": 0},
+            )
+            for topic, papers in topics.items():
+                bucket["papers"] += papers
+                bucket["topic_counts"][topic] = (
+                    bucket["topic_counts"].get(topic, 0) + papers
+                )
+                if topic in HYPERSCALER_TOPICS:
+                    bucket["hyper_topics"] += papers
+                if topic in COMMUNITY_TOPICS:
+                    bucket["community_topics"] += papers
+            slots = aggregates.sector_slots.get(venue_id, {})
+            bucket["author_slots"] += sum(slots.values())
+            bucket["hyper_authors"] += slots.get("hyperscaler", 0)
+    else:
+        corpus, _ = shared_corpus_from_config(config)
+        for paper in corpus:
+            kind = corpus.venue(paper.venue_id).kind
+            bucket = stats.setdefault(
+                kind,
+                {"papers": 0, "hyper_topics": 0, "community_topics": 0,
+                 "topic_counts": {}, "author_slots": 0, "hyper_authors": 0},
+            )
+            bucket["papers"] += 1
+            bucket["topic_counts"][paper.topic] = (
+                bucket["topic_counts"].get(paper.topic, 0) + 1
+            )
+            if paper.topic in HYPERSCALER_TOPICS:
+                bucket["hyper_topics"] += 1
+            if paper.topic in COMMUNITY_TOPICS:
+                bucket["community_topics"] += 1
+            for author_id in paper.author_ids:
+                bucket["author_slots"] += 1
+                if corpus.author(author_id).sector == "hyperscaler":
+                    bucket["hyper_authors"] += 1
 
     table = Table(
         [
@@ -89,7 +119,13 @@ def run(
     rows = {}
     for kind in sorted(stats):
         bucket = stats[kind]
-        counts = list(bucket["topic_counts"].values())
+        # Topic-sorted value order: hhi/shannon_diversity sum floats in
+        # input order, so both backends must feed them the same
+        # sequence, not merely the same multiset.
+        counts = [
+            bucket["topic_counts"][topic]
+            for topic in sorted(bucket["topic_counts"])
+        ]
         row = {
             "hyper_share": bucket["hyper_topics"] / bucket["papers"],
             "community_share": bucket["community_topics"] / bucket["papers"],

@@ -80,10 +80,18 @@ _REQUIRED_HEADER_FIELDS = ("artifact", "version", "config", "count", "sha256")
 def _regenerate_shard_records(config: dict) -> list[dict]:
     """Rebuild a ``corpus-shard`` entry from its header config.
 
-    The header config is ``shard_cache_config`` output — generator
-    config, venue profiles, shard index — and a shard is a pure
-    function of exactly that, so the replacement is byte-identical.
+    Two writers share the kind, told apart by their config shape: the
+    shard-parallel generator keys entries by ``shard_cache_config``
+    output (generator config, venue profiles, shard index), while the
+    experiment suite's columnar backend keys re-encoded classic shards
+    with a ``layout: columnar`` marker.  Either way the shard is a pure
+    function of its config, so the replacement is byte-identical.
     """
+    if config.get("layout") == "columnar":
+        from repro.experiments._corpus import regenerate_shard_records
+
+        return regenerate_shard_records(config)
+
     from repro.bibliometrics.columnar import encode_shard
     from repro.bibliometrics.shardgen import ShardedCorpusConfig, generate_shard
     from repro.bibliometrics.synthgen import VenueProfile

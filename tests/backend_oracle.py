@@ -1,0 +1,71 @@
+"""Classic-vs-columnar comparison helpers shared by the backend tests.
+
+``tests/test_experiments_columnar.py`` and ``scripts/columnar_smoke.py``
+compare the two corpus backends the same way: run the experiment once
+per backend and require byte-identical result fingerprints.  The
+helpers live here exactly once instead of being pasted into each file.
+"""
+
+import hashlib
+import json
+
+from repro.experiments.registry import get_experiment, make_spec
+
+#: Experiments that consume the shared corpus — the ones the backend
+#: routing can affect at all, and therefore the equality surface.
+CORPUS_EXPERIMENTS = ("E1", "E2", "E3", "E12")
+
+
+def result_fingerprint(result) -> str:
+    """sha256 over the result's cache payload (carries no wall-clock)."""
+    blob = json.dumps(result.to_payload(), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_on_backend(
+    experiment_id: str,
+    backend: str,
+    *,
+    preset: str = "fast",
+    seed: int = 0,
+    shard_size: int | None = None,
+    overrides: dict | None = None,
+):
+    """Run one experiment with the corpus backend forced to ``backend``."""
+    merged: dict = {"corpus.backend": backend}
+    if shard_size is not None:
+        merged["corpus.shard_size"] = shard_size
+    if overrides:
+        merged.update(overrides)
+    spec = make_spec(experiment_id, preset, seed=seed, overrides=merged)
+    return get_experiment(experiment_id)(spec)
+
+
+def assert_backends_agree(
+    experiment_id: str,
+    *,
+    preset: str = "fast",
+    seed: int = 0,
+    shard_size: int = 1500,
+) -> str:
+    """Run classic then columnar; require equal fingerprints.
+
+    Returns the (shared) fingerprint so callers can report or compare
+    it further.  An awkward ``shard_size`` default is deliberate: the
+    equality must hold at shard boundaries that split the corpus
+    unevenly, not just at the tidy preset geometry.
+    """
+    classic = result_fingerprint(
+        run_on_backend(experiment_id, "classic", preset=preset, seed=seed)
+    )
+    columnar = result_fingerprint(
+        run_on_backend(
+            experiment_id, "columnar",
+            preset=preset, seed=seed, shard_size=shard_size,
+        )
+    )
+    assert classic == columnar, (
+        f"{experiment_id} {preset} seed={seed}: "
+        f"classic {classic} != columnar {columnar}"
+    )
+    return classic

@@ -181,8 +181,8 @@ class TestTrajectory:
 class TestHotPaths:
     def test_known_names(self):
         assert hot_path_names() == [
-            "corpus_scan", "scanner", "scrub", "serve_p95", "suite",
-            "synthgen", "tfidf",
+            "corpus_scan", "experiment_scan", "scanner", "scrub",
+            "serve_p95", "suite", "synthgen", "tfidf",
         ]
 
     def test_unknown_name_raises(self):

@@ -5,11 +5,12 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from repro.bibliometrics.columnar import ColumnarCorpus
+from repro.bibliometrics.columnar import ColumnarCorpus, ColumnarShard, TextColumn
 from repro.bibliometrics.metrics import gini, h_index
 from repro.bibliometrics.methods_detect import classify_paper, uses_human_methods
 from repro.bibliometrics.shardgen import ShardedCorpusConfig, generate_columnar_corpus
 from repro.bibliometrics.shardscan import CorpusAggregates, scan_corpus, scan_shard
+from repro.core.positionality import has_positionality_statement
 from repro.bibliometrics.trends import (
     adoption_series,
     adoption_series_from_counts,
@@ -72,6 +73,71 @@ class TestScanOracle:
 
     def test_topic_papers_match_topic_counts(self, aggregates, legacy):
         assert aggregates.topic_papers == legacy.topic_counts()
+
+    def test_positionality_cells_match_unfiltered_detector(
+        self, corpus, aggregates
+    ):
+        # Oracle = the real detector on every paper, WITHOUT the marker
+        # prefilter the scan uses — so this also proves the prefilter
+        # never drops a detection (it may only over-flag candidates).
+        venue_ids = [venue.venue_id for venue in corpus.vocab.venues]
+        oracle: dict[tuple[str, int], Counter] = {}
+        for shard in corpus.iter_shards():
+            for local in range(shard.n_papers):
+                key = (
+                    venue_ids[shard.venue_idx[local]],
+                    int(shard.year[local]),
+                )
+                detected = has_positionality_statement(shard.full_text(local))
+                actual = bool(shard.positionality[local])
+                cells = oracle.setdefault(key, Counter())
+                cells["papers"] += 1
+                cells["detected"] += int(detected)
+                cells["truth"] += int(actual)
+                if detected and actual:
+                    cells["tp"] += 1
+                elif detected:
+                    cells["fp"] += 1
+                elif actual:
+                    cells["fn"] += 1
+        assert aggregates.positionality == oracle
+
+    def test_venue_topics_match_per_venue_topic_counts(self, aggregates, legacy):
+        oracle = {
+            venue.venue_id: legacy.topic_counts(venue_id=venue.venue_id)
+            for venue in legacy.venues()
+        }
+        observed = {
+            venue_id: counts
+            for venue_id, counts in aggregates.venue_topics.items()
+            if counts
+        }
+        assert observed == {k: v for k, v in oracle.items() if v}
+
+    def test_sector_slots_match_byline_walk(self, aggregates, legacy):
+        oracle: dict[str, Counter] = {}
+        for paper in legacy:
+            bucket = oracle.setdefault(paper.venue_id, Counter())
+            for author_id in paper.author_ids:
+                bucket[legacy.author(author_id).sector] += 1
+        assert aggregates.sector_slots == oracle
+
+    def test_author_papers_match_papers_per_author(
+        self, corpus, aggregates, legacy
+    ):
+        observed = {
+            corpus.vocab.author_id(index): count
+            for index, count in aggregates.author_papers.items()
+        }
+        assert observed == dict(legacy.papers_per_author())
+
+    def test_citations_match_citation_counts(self, corpus, aggregates, legacy):
+        paper_ids = [paper.paper_id for paper in corpus]
+        observed = {
+            paper_ids[index]: count
+            for index, count in aggregates.citations.items()
+        }
+        assert observed == dict(legacy.citation_counts())
 
 
 class TestTrendsOracle:
@@ -155,6 +221,69 @@ class TestMergeAlgebra:
         empty = CorpusAggregates()
         assert empty.merge(aggregates) == aggregates
         assert aggregates.merge(empty) == aggregates
+
+    def test_merge_all_of_nothing_is_empty(self):
+        assert CorpusAggregates.merge_all([]) == CorpusAggregates()
+
+    def test_merge_covers_every_field(self, corpus):
+        # A field added to CorpusAggregates but forgotten in merge()
+        # would silently come back empty: catch it by checking every
+        # non-count field is non-trivial after a merge of real parts.
+        shards = corpus.iter_shards()
+        merged = scan_shard(next(shards), corpus.vocab).merge(
+            scan_shard(next(shards), corpus.vocab)
+        )
+        assert merged.n_papers > 0
+        assert merged.venue_year and merged.family_mentions
+        assert merged.topic_papers and merged.venue_kinds
+        assert merged.positionality and merged.venue_topics
+        assert merged.sector_slots and merged.author_papers
+        assert merged.citations
+
+
+def _empty_shard() -> ColumnarShard:
+    int64 = np.zeros(0, dtype=np.int64)
+    return ColumnarShard(
+        index=0,
+        paper_offset=0,
+        year=np.zeros(0, dtype=np.int32),
+        venue_idx=np.zeros(0, dtype=np.int16),
+        topic_idx=np.zeros(0, dtype=np.int16),
+        author_indptr=np.zeros(1, dtype=np.int64),
+        author_values=int64,
+        ref_indptr=np.zeros(1, dtype=np.int64),
+        ref_values=int64,
+        human_mask=np.zeros(0, dtype=np.uint16),
+        positionality=np.zeros(0, dtype=np.uint8),
+        title=TextColumn.from_strings([]),
+        abstract=TextColumn.from_strings([]),
+        body=TextColumn.from_strings([]),
+    )
+
+
+class TestDegenerateShards:
+    def test_empty_shard_scans_to_neutral_element(self, corpus, aggregates):
+        scanned = scan_shard(_empty_shard(), corpus.vocab)
+        assert scanned.n_papers == 0
+        assert not scanned.venue_year
+        assert not scanned.family_mentions
+        assert not scanned.author_papers and not scanned.citations
+        # venue_kinds is vocabulary, not observation — it is filled even
+        # for an empty shard, and merging adds nothing but those kinds.
+        assert scanned.venue_kinds == aggregates.venue_kinds
+        assert scanned.merge(aggregates) == aggregates
+
+    def test_single_paper_shards_merge_to_whole_scan(self):
+        config = ShardedCorpusConfig(
+            start_year=2024, end_year=2025, seed=3, total_papers=6,
+            shard_size=1,
+        )
+        corpus = generate_columnar_corpus(config)
+        parts = []
+        for shard in corpus.iter_shards():
+            assert shard.n_papers == 1
+            parts.append(scan_shard(shard, corpus.vocab))
+        assert CorpusAggregates.merge_all(parts) == scan_corpus(corpus)
 
 
 class TestStreamedScan:
